@@ -1,0 +1,142 @@
+// Command agentd runs a sensor node as a long-lived daemon: the paper's
+// §5 end-to-end system. It plans traffic-aware measurement windows, runs
+// the ADS-B and frequency measurements at the scheduled times, submits
+// shared-signal readings to a spectrumd collector (when configured), and
+// prints the evolving calibration report after every round.
+//
+// By default it runs against an accelerated simulated clock so a full
+// measurement day finishes in seconds; pass -realtime to pace the windows
+// on the wall clock (for demonstration alongside fr24d/spectrumd).
+//
+// Usage:
+//
+//	agentd [-site rooftop] [-node node-1] [-days 1] [-windows 4]
+//	       [-collector http://host:8025] [-realtime] [-seed 1]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"sensorcal/internal/agent"
+	"sensorcal/internal/clock"
+	"sensorcal/internal/trust"
+	"sensorcal/internal/world"
+)
+
+// httpCollector submits readings to a remote spectrumd.
+type httpCollector struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *httpCollector) Submit(r trust.Reading) error {
+	body, err := json.Marshal(map[string]interface{}{
+		"node": string(r.Node), "signal_id": r.SignalID,
+		"power_dbm": r.PowerDBm, "at": r.At,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+"/api/readings", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("agentd: submit: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("agentd: collector returned %s", resp.Status)
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("agentd: ")
+	var (
+		siteName  = flag.String("site", "rooftop", "installation: rooftop, window or indoor")
+		nodeID    = flag.String("node", "node-1", "node identity at the collector")
+		days      = flag.Int("days", 1, "measurement days to run")
+		windows   = flag.Int("windows", 4, "measurement windows per day")
+		collector = flag.String("collector", "", "spectrumd base URL (empty: no submission)")
+		realtime  = flag.Bool("realtime", false, "pace windows on the wall clock")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	var site *world.Site
+	for _, s := range world.Sites() {
+		if s.Name == *siteName {
+			site = s
+		}
+	}
+	if site == nil {
+		log.Fatalf("unknown site %q", *siteName)
+	}
+
+	var col agent.Collector
+	if *collector != "" {
+		col = &httpCollector{base: *collector, hc: &http.Client{Timeout: 10 * time.Second}}
+	}
+
+	start := time.Now().Truncate(time.Hour)
+	var clk clock.Clock
+	var sim *clock.Simulated
+	if *realtime {
+		clk = clock.System{}
+	} else {
+		sim = clock.NewSimulated(start)
+		clk = sim
+	}
+
+	a, err := agent.New(agent.Config{
+		Node: trust.NodeID(*nodeID),
+		Site: site,
+		Traffic: agent.SimTraffic{
+			Center: world.BuildingOrigin, Radius: 100_000, Count: 60, Seed: *seed,
+		},
+		Towers:        world.Towers(),
+		TV:            world.TVStations(),
+		Clock:         clk,
+		Collector:     col,
+		WindowsPerDay: *windows,
+		Seed:          *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if sim != nil {
+		// Drive the simulated clock forward continuously.
+		go func() {
+			for {
+				sim.Advance(5 * time.Minute)
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	for d := 0; d < *days; d++ {
+		from := start.Add(time.Duration(d) * 24 * time.Hour)
+		log.Printf("planning day %d from %s", d+1, from.Format(time.RFC3339))
+		if err := a.RunDay(context.Background(), from); err != nil {
+			log.Fatal(err)
+		}
+		rep := a.LatestReport()
+		rep.AttachPowerCalibration(site, nil)
+		fmt.Printf("\n=== after day %d (%d rounds) ===\n%s", d+1, len(a.Rounds()), rep.Render())
+		covered := a.CoveredSectors()
+		n := 0
+		for _, c := range covered {
+			if c {
+				n++
+			}
+		}
+		log.Printf("sector coverage: %d/12", n)
+	}
+}

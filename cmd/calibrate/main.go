@@ -1,0 +1,116 @@
+// Command calibrate runs the paper's full automatic-calibration procedure
+// against a simulated node and prints the calibration report: the §3.1
+// ADS-B directional measurement, the §3.2 cellular and TV frequency
+// sweeps, the field-of-view estimate, per-band grades and the
+// indoor/outdoor verdict.
+//
+// Usage:
+//
+//	calibrate -site rooftop|window|indoor [-aircraft 60] [-seed 1]
+//	          [-duration 30s] [-plot] [-claim-outdoor]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"sensorcal/internal/calib"
+	"sensorcal/internal/flightsim"
+	"sensorcal/internal/fr24"
+	"sensorcal/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("calibrate: ")
+	var (
+		siteName = flag.String("site", "rooftop", "installation to evaluate: rooftop, window or indoor")
+		siteFile = flag.String("site-file", "", "JSON site definition (overrides -site; see internal/world.LoadSite)")
+		aircraft = flag.Int("aircraft", 60, "aircraft within 100 km during the measurement")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		duration = flag.Duration("duration", 30*time.Second, "ADS-B capture duration")
+		plot     = flag.Bool("plot", false, "print the Figure 1 style polar scatter")
+		claim    = flag.Bool("claim-outdoor", false, "verify an operator claim of an outdoor installation")
+		withFM   = flag.Bool("fm", false, "include the FM broadcast sweep (antenna roll-off probe)")
+	)
+	flag.Parse()
+
+	var site *world.Site
+	if *siteFile != "" {
+		f, err := os.Open(*siteFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		site, err = world.LoadSite(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		for _, s := range world.Sites() {
+			if s.Name == *siteName {
+				site = s
+			}
+		}
+		if site == nil {
+			log.Fatalf("unknown site %q (want rooftop, window or indoor)", *siteName)
+		}
+	}
+
+	epoch := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	fleet, err := flightsim.NewFleet(epoch, flightsim.Config{
+		Center: world.BuildingOrigin,
+		Radius: 100_000,
+		Count:  *aircraft,
+		Seed:   *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "running %s ADS-B capture at %s...\n", *duration, site.Name)
+	obs, err := calib.RunDirectional(calib.DirectionalConfig{
+		Site:     site,
+		Fleet:    fleet,
+		Truth:    fr24.NewService(fleet),
+		Start:    epoch,
+		Duration: *duration,
+		Seed:     *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "running cellular + TV frequency sweep...\n")
+	fcfg := calib.FrequencyConfig{
+		Site:   site,
+		Towers: world.Towers(),
+		TV:     world.TVStations(),
+		Seed:   *seed,
+	}
+	if *withFM {
+		fcfg.FM = world.FMStations()
+	}
+	freq, err := calib.RunFrequency(fcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := calib.BuildReport(site.Name, epoch, obs, freq)
+	report.AttachPowerCalibration(site, nil)
+	fmt.Print(report.Render())
+	if *plot {
+		fmt.Println()
+		fmt.Print(obs.PolarPlot(100, 61))
+	}
+	if *claim {
+		check := calib.VerifyClaim(true, obs, freq)
+		fmt.Printf("\nOperator claims OUTDOOR: consistent=%v — %v\n", check.Consistent, check.Verdict)
+		if !check.Consistent {
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command figures regenerates the paper's evaluation figures as text data
+// series from the simulated testbed.
+//
+// Usage:
+//
+//	figures [-fig all|1a|1b|1c|3|4] [-seed 1] [-aircraft 60] [-plot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+)
+
+import "sensorcal/internal/figures"
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 1a, 1b, 1c, 3, 4 or all")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		aircraft = flag.Int("aircraft", figures.DefaultAircraft, "aircraft population for Figure 1")
+		plot     = flag.Bool("plot", false, "include polar scatter plots for Figure 1")
+	)
+	flag.Parse()
+
+	fig1 := func(site string) {
+		obs, err := figures.Figure1(site, *aircraft, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(figures.RenderFigure1(obs, *plot))
+	}
+	fig3 := func() {
+		data, err := figures.Figure3(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(figures.RenderFigure3(data))
+	}
+	fig4 := func() {
+		data, err := figures.Figure4(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(figures.RenderFigure4(data))
+	}
+
+	switch *fig {
+	case "1a":
+		fig1("rooftop")
+	case "1b":
+		fig1("window")
+	case "1c":
+		fig1("indoor")
+	case "3":
+		fig3()
+	case "4":
+		fig4()
+	case "all":
+		for _, s := range figures.SiteOrder {
+			fig1(s)
+		}
+		fig3()
+		fig4()
+	default:
+		log.Fatalf("unknown figure %q", *fig)
+	}
+}

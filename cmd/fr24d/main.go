@@ -1,0 +1,52 @@
+// Command fr24d serves the simulated flight-tracking ground-truth API —
+// the FlightRadar24 stand-in the calibration procedure queries 15 seconds
+// into every ADS-B measurement.
+//
+// Usage:
+//
+//	fr24d [-addr :8024] [-aircraft 60] [-seed 1] [-latency 10s]
+//
+// Endpoints:
+//
+//	GET /api/flights?lat=&lon=&radius_km=[&t=RFC3339]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"sensorcal/internal/flightsim"
+	"sensorcal/internal/fr24"
+	"sensorcal/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fr24d: ")
+	var (
+		addr     = flag.String("addr", ":8024", "listen address")
+		aircraft = flag.Int("aircraft", 60, "simulated aircraft population")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		latency  = flag.Duration("latency", fr24.DefaultLatency, "reporting latency")
+	)
+	flag.Parse()
+
+	fleet, err := flightsim.NewFleet(time.Now(), flightsim.Config{
+		Center: world.BuildingOrigin,
+		Radius: 150_000,
+		Count:  *aircraft,
+		Seed:   *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := fr24.NewService(fleet)
+	svc.Latency = *latency
+
+	log.Printf("serving %d simulated aircraft on %s (latency %s)", *aircraft, *addr, *latency)
+	if err := http.ListenAndServe(*addr, svc.Handler(time.Now)); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+// Command spectrumd is the cloud collector of the crowd-sourced spectrum
+// network: nodes register, stream readings of shared reference signals,
+// and the daemon maintains consensus-based trust scores (upper-bound and
+// temporal-correlation fabrication checks).
+//
+// Usage:
+//
+//	spectrumd [-addr :8025] [-epoch 1m]
+//
+// Endpoints:
+//
+//	POST /api/register — {"id","operator","lat","lon","claimed_outdoor","hardware"}
+//	POST /api/readings — {"node","signal_id","power_dbm","at"}
+//	GET  /api/trust?node=ID
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"sensorcal/internal/trust"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spectrumd: ")
+	var (
+		addr  = flag.String("addr", ":8025", "listen address")
+		epoch = flag.Duration("epoch", time.Minute, "consensus epoch window")
+		state = flag.String("state", "", "ledger snapshot file (loaded at boot, saved every epoch)")
+	)
+	flag.Parse()
+
+	c := trust.NewCollector()
+	c.EpochWindow = *epoch
+
+	if *state != "" {
+		if f, err := os.Open(*state); err == nil {
+			if err := c.Ledger.Load(f); err != nil {
+				log.Fatalf("loading %s: %v", *state, err)
+			}
+			f.Close()
+			log.Printf("restored %d nodes from %s", c.Ledger.Len(), *state)
+		} else if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+	}
+	saveState := func() {
+		if *state == "" {
+			return
+		}
+		tmp := *state + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			log.Printf("saving ledger: %v", err)
+			return
+		}
+		if err := c.Ledger.Save(f, time.Now()); err != nil {
+			log.Printf("saving ledger: %v", err)
+			f.Close()
+			return
+		}
+		f.Close()
+		if err := os.Rename(tmp, *state); err != nil {
+			log.Printf("saving ledger: %v", err)
+		}
+	}
+
+	// Close matured epochs in the background.
+	go func() {
+		t := time.NewTicker(*epoch)
+		defer t.Stop()
+		for range t.C {
+			for _, a := range c.CloseEpochs(time.Now().Add(-*epoch)) {
+				log.Printf("anomaly: %v", a)
+			}
+			saveState()
+		}
+	}()
+
+	log.Printf("collector listening on %s (epoch window %s)", *addr, *epoch)
+	if err := http.ListenAndServe(*addr, c.Handler(time.Now)); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Command spectrumscan runs the monitoring service a calibrated node
+// sells: it sweeps the testbed's broadcast and cellular bands at a chosen
+// installation, produces PSD-based channel occupancy with duty cycles
+// over several frames, and stamps the output with the site's calibration
+// grades so a renter can judge how far to trust each band.
+//
+// Usage:
+//
+//	spectrumscan [-site rooftop] [-frames 8] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sensorcal/internal/antenna"
+	"sensorcal/internal/calib"
+	"sensorcal/internal/rfmath"
+	"sensorcal/internal/sdr"
+	"sensorcal/internal/spectrum"
+	"sensorcal/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spectrumscan: ")
+	var (
+		siteName = flag.String("site", "rooftop", "installation: rooftop, window or indoor")
+		frames   = flag.Int("frames", 8, "PSD frames per tuning")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	var site *world.Site
+	for _, s := range world.Sites() {
+		if s.Name == *siteName {
+			site = s
+		}
+	}
+	if site == nil {
+		log.Fatalf("unknown site %q", *siteName)
+	}
+
+	scene := &calib.WorldScene{
+		Site:    site,
+		Antenna: antenna.PaperAntenna(),
+		Towers:  world.Towers(),
+		TV:      world.TVStations(),
+		Fader:   rfmath.NewFader(*seed),
+	}
+
+	// Tunings covering the TV farm and the cellular carriers, with the
+	// channels a renter might care about.
+	type tuning struct {
+		centerHz float64
+		rate     float64
+		channels []spectrum.Channel
+	}
+	tunings := []tuning{
+		{545e6, 30e6, []spectrum.Channel{
+			{Name: "TV-545MHz", LowHz: 542e6, HighHz: 548e6},
+			{Name: "TV-551MHz(vacant)", LowHz: 548e6, HighHz: 554e6},
+		}},
+		{731e6, 12e6, []spectrum.Channel{
+			{Name: "LTE-B12-731MHz", LowHz: 726e6, HighHz: 736e6},
+		}},
+		{2145e6, 30e6, []spectrum.Channel{
+			{Name: "LTE-B4-2145MHz", LowHz: 2135e6, HighHz: 2155e6},
+		}},
+		{2670e6, 40e6, []spectrum.Channel{
+			{Name: "LTE-B7-2650MHz", LowHz: 2640e6, HighHz: 2660e6},
+			{Name: "LTE-B7-2670MHz", LowHz: 2660e6, HighHz: 2680e6},
+		}},
+	}
+
+	analyzer := spectrum.NewAnalyzer()
+	duty := spectrum.NewDutyCycle()
+	dev := sdr.New(sdr.BladeRFxA9(), *seed)
+	if err := dev.SetGain(30); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("spectrum scan at %s (%d frames per tuning)\n\n", site.Name, *frames)
+	for _, tn := range tunings {
+		if err := dev.Tune(tn.centerHz); err != nil {
+			log.Fatal(err)
+		}
+		if err := dev.SetSampleRate(tn.rate); err != nil {
+			log.Fatal(err)
+		}
+		var last []spectrum.ChannelReport
+		for fIdx := 0; fIdx < *frames; fIdx++ {
+			ems, err := scene.EmissionsFor(tn.centerHz, tn.rate, 1<<15)
+			if err != nil {
+				log.Fatal(err)
+			}
+			buf, err := dev.Capture(1<<15, ems)
+			if err != nil {
+				log.Fatal(err)
+			}
+			frame, err := analyzer.Analyze(buf, tn.centerHz)
+			if err != nil {
+				log.Fatal(err)
+			}
+			last = spectrum.ChannelOccupancy(frame, 6, tn.channels)
+			duty.Add(last)
+		}
+		for _, r := range last {
+			frac, _ := duty.Fraction(r.Channel.Name)
+			fmt.Printf("  %-22s %7.1f dBFS  occupied %5.1f%% of frames\n",
+				r.Channel.Name, r.PowerDB, frac*100)
+		}
+	}
+
+	// Qualify the data with the node's calibration grades.
+	rep, err := calib.RunFrequency(calib.FrequencyConfig{
+		Site: site, Towers: world.Towers(), TV: world.TVStations(), Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncalibration grades qualifying this data:")
+	for _, b := range rep.BandScores() {
+		fmt.Printf("  %-18s grade %s (%.2f)\n", b.Class, calib.GradeFor(b.Score), b.Score)
+	}
+}

@@ -1,0 +1,12 @@
+// Package sensorcal is a full Go reproduction of "Automatic Calibration
+// in Crowd-sourced Network of Spectrum Sensors" (Abedi, Sanz, Sahai —
+// HotNets '23): automatic evaluation of volunteer-run spectrum sensor
+// nodes using signals of opportunity (ADS-B aircraft, cellular towers,
+// broadcast TV), with every hardware dependency of the original system
+// rebuilt as a deterministic simulation.
+//
+// The package itself holds the repository-level benchmark harness
+// (bench_test.go regenerates every figure of the paper) and the network
+// integration test; the implementation lives under internal/ — see
+// README.md for the map and DESIGN.md for the paper-to-module inventory.
+package sensorcal

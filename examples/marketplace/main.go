@@ -1,0 +1,91 @@
+// Marketplace: the paper's economic vision end to end. Three operators
+// calibrate their nodes automatically, list them with suggested prices,
+// and two renters with different needs get matched — one needs mid-band
+// coverage from a verified outdoor installation, the other just wants
+// cheap sub-600 MHz TV-band monitoring (which even the indoor node can
+// honestly sell, thanks to its calibration report saying so).
+//
+//	go run ./examples/marketplace
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sensorcal/internal/calib"
+	"sensorcal/internal/figures"
+	"sensorcal/internal/geo"
+	"sensorcal/internal/market"
+	"sensorcal/internal/trust"
+	"sensorcal/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	m := market.NewMarket()
+
+	fmt.Println("calibrating and listing three nodes...")
+	for _, site := range world.Sites() {
+		obs, err := figures.Figure1(site.Name, 60, 77)
+		if err != nil {
+			log.Fatal(err)
+		}
+		freq, err := calib.RunFrequency(calib.FrequencyConfig{
+			Site: site, Towers: world.Towers(), TV: world.TVStations(), Seed: 77,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := calib.BuildReport(site.Name, figures.Epoch, obs, freq)
+		l := market.Listing{
+			Node:   trust.NodeID("node-" + site.Name),
+			Report: rep,
+			Trust:  0.9,
+		}
+		l.PricePerHour = market.SuggestPrice(l, 10)
+		if err := m.List(l); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s grade %s  placement %-8v  %5.2f credits/h\n",
+			l.Node, calib.GradeFor(rep.Overall), rep.Placement.Placement, l.PricePerHour)
+	}
+
+	// Renter 1: regulator monitoring 2.6 GHz interference toward the west.
+	west := geo.Sector{From: 250, To: 300}
+	req1 := market.Requirement{
+		Band:           calib.BandMid,
+		MinBandScore:   0.7,
+		Direction:      &west,
+		RequireOutdoor: true,
+		MinTrust:       0.6,
+	}
+	fmt.Println("\nrenter 1 (mid-band, westward FoV, verified outdoor):")
+	for _, l := range m.Match(req1) {
+		fmt.Printf("  matched %s at %.2f credits/h\n", l.Node, l.PricePerHour)
+	}
+	for id, why := range m.Explain(req1) {
+		fmt.Printf("  rejected %s: %s\n", id, why)
+	}
+
+	// Renter 2: cheap TV-band occupancy stats, any placement.
+	req2 := market.Requirement{
+		Band:            calib.BandTV,
+		MinBandScore:    0.3,
+		MinTrust:        0.6,
+		MaxPricePerHour: 5,
+	}
+	fmt.Println("\nrenter 2 (TV band, budget-capped):")
+	matches := m.Match(req2)
+	for _, l := range matches {
+		fmt.Printf("  matched %s at %.2f credits/h\n", l.Node, l.PricePerHour)
+	}
+	if len(matches) > 0 {
+		r, err := m.Book(matches[0].Node, "budget-labs", time.Date(2026, 7, 7, 9, 0, 0, 0, time.UTC), 24)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nbooked %s for %v h: %.2f credits (operator earnings now %.2f)\n",
+			r.Node, r.Hours, r.Credits, m.Earnings(r.Node))
+	}
+}

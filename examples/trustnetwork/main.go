@@ -1,0 +1,79 @@
+// Trust network: the crowd-sourced market the paper motivates, with
+// honest and dishonest operators.
+//
+// Five nodes join a collector. Three are honest (rooftop, window, indoor —
+// each reporting its genuinely attenuated view of a shared TV channel),
+// one inflates its readings to look like premium hardware, and one replays
+// a constant instead of measuring. The consensus checks catch both, the
+// honest-but-indoor node keeps its trust, and a marketplace query at the
+// end returns only nodes worth renting.
+//
+//	go run ./examples/trustnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"sensorcal/internal/trust"
+)
+
+func main() {
+	log.SetFlags(0)
+	c := trust.NewCollector()
+	epoch := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+
+	nodes := []trust.Node{
+		{ID: "roof-alice", Operator: "alice", ClaimedOutdoor: true, Hardware: "bladeRF xA9"},
+		{ID: "window-bob", Operator: "bob", Hardware: "bladeRF xA9"},
+		{ID: "indoor-carol", Operator: "carol", Hardware: "RTL-SDR v3"},
+		{ID: "inflate-dave", Operator: "dave", ClaimedOutdoor: true, Hardware: "bladeRF xA9"},
+		{ID: "replay-eve", Operator: "eve", ClaimedOutdoor: true, Hardware: "bladeRF xA9"},
+	}
+	for _, n := range nodes {
+		if err := c.Ledger.Register(n); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 48 one-minute epochs of the shared 521 MHz TV channel. The real
+	// channel fluctuates (propagation, transmitter); honest nodes track
+	// it with their own attenuation offsets.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 48; i++ {
+		at := epoch.Add(time.Duration(i) * time.Minute)
+		trend := 5 * math.Sin(float64(i)/4)
+		submit := func(id trust.NodeID, dbm float64) {
+			if err := c.Submit(trust.Reading{Node: id, SignalID: "tv-521MHz", PowerDBm: dbm, At: at}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		submit("roof-alice", -45+trend+rng.NormFloat64())
+		submit("window-bob", -58+trend+rng.NormFloat64())
+		submit("indoor-carol", -70+trend+rng.NormFloat64()*1.5)
+		submit("inflate-dave", -20+trend+rng.NormFloat64()) // 25 dB hotter than anyone
+		submit("replay-eve", -47)                           // constant replay
+	}
+	anomalies := c.CloseEpochs(epoch.Add(49 * time.Minute))
+	fmt.Printf("consensus checks raised %d anomalies; first few:\n", len(anomalies))
+	for i, a := range anomalies {
+		if i >= 4 {
+			break
+		}
+		fmt.Printf("  %v\n", a)
+	}
+
+	fmt.Println("\ntrust scores after 48 epochs:")
+	for _, n := range nodes {
+		s := c.Ledger.Trust(n.ID)
+		fmt.Printf("  %-13s %.2f (%s)\n", n.ID, float64(s), s.Quantize())
+	}
+
+	fmt.Println("\nmarketplace: nodes rentable at trust ≥ 0.55:")
+	for _, id := range c.Ledger.Trusted(0.55) {
+		fmt.Printf("  %s\n", id)
+	}
+}

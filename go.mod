@@ -1,0 +1,3 @@
+module sensorcal
+
+go 1.22

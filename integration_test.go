@@ -1,0 +1,147 @@
+package sensorcal
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sensorcal/internal/agent"
+	"sensorcal/internal/calib"
+	"sensorcal/internal/clock"
+	"sensorcal/internal/trust"
+	"sensorcal/internal/world"
+)
+
+// TestNetworkEndToEnd is the repository's integration test: three honest
+// agents at the paper's three installations plus a fabricating node share
+// one collector for a simulated day. At the end the calibration reports
+// rank the installations correctly, the fabricator has lost its trust,
+// and the honest nodes have not.
+func TestNetworkEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	day := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	col := trust.NewCollector()
+	col.EpochWindow = time.Hour // agents measure on hour boundaries
+
+	sites := world.Sites()
+	agents := make([]*agent.Agent, 0, len(sites))
+	clocks := make([]*clock.Simulated, 0, len(sites))
+	for i, site := range sites {
+		id := trust.NodeID("node-" + site.Name)
+		if err := col.Ledger.Register(trust.Node{ID: id, ClaimedOutdoor: site.Outdoor}); err != nil {
+			t.Fatal(err)
+		}
+		clk := clock.NewSimulated(day)
+		a, err := agent.New(agent.Config{
+			Node: id,
+			Site: site,
+			Traffic: agent.SimTraffic{
+				Center: world.BuildingOrigin, Radius: 100_000, Count: 50, Seed: int64(100 + i),
+			},
+			Towers:         world.Towers(),
+			TV:             world.TVStations(),
+			Clock:          clk,
+			Collector:      col,
+			WindowsPerDay:  3,
+			FrequencyEvery: 1, // submit TV readings every round for consensus density
+			Seed:           int64(100 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, a)
+		clocks = append(clocks, clk)
+	}
+	// A fabricating node reports impossible TV power all day.
+	cheater := trust.NodeID("node-cheater")
+	if err := col.Ledger.Register(trust.Node{ID: cheater, ClaimedOutdoor: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(agents))
+	for _, a := range agents {
+		wg.Add(1)
+		go func(a *agent.Agent) {
+			defer wg.Done()
+			errs <- a.RunDay(context.Background(), day)
+		}(a)
+	}
+	// Drive all clocks and inject the cheater's readings.
+	doneDriving := make(chan struct{})
+	go func() {
+		defer close(doneDriving)
+		for step := 0; step < 24*6+6; step++ {
+			at := day.Add(time.Duration(step) * 10 * time.Minute)
+			if at.Minute() == 0 {
+				for _, st := range world.TVStations() {
+					_ = col.Submit(trust.Reading{
+						Node:     cheater,
+						SignalID: fmt.Sprintf("tv-%.0fMHz", st.CenterHz/1e6),
+						PowerDBm: -8, // hotter than physics allows anywhere
+						At:       at,
+					})
+				}
+			}
+			for _, clk := range clocks {
+				clk.Advance(10 * time.Minute)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-doneDriving
+	for range agents {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	anomalies := col.CloseEpochs(day.Add(48 * time.Hour))
+	if len(anomalies) == 0 {
+		t.Fatal("fabricated readings produced no anomalies")
+	}
+	for _, a := range anomalies {
+		if a.Node != cheater {
+			t.Errorf("honest node flagged: %v", a)
+		}
+	}
+	if ct := col.Ledger.Trust(cheater); ct > 0.4 {
+		t.Errorf("cheater trust = %v, want low", ct)
+	}
+	for _, site := range sites {
+		if ht := col.Ledger.Trust(trust.NodeID("node-" + site.Name)); ht < 0.8 {
+			t.Errorf("honest %s trust = %v, want high", site.Name, ht)
+		}
+	}
+
+	// Calibration reports rank the installations and classify placement.
+	var overall []float64
+	for i, a := range agents {
+		rep := a.LatestReport()
+		overall = append(overall, rep.Overall)
+		wantOutdoor := sites[i].Outdoor
+		gotOutdoor := rep.Placement.Placement == calib.PlacementOutdoor
+		if wantOutdoor != gotOutdoor {
+			t.Errorf("%s classified %v", sites[i].Name, rep.Placement)
+		}
+	}
+	if !(overall[0] > overall[1] && overall[1] > overall[2]) {
+		t.Errorf("report ordering violated: %v", overall)
+	}
+
+	// The marketplace rents only the trustworthy nodes.
+	rentable := col.Ledger.Trusted(0.6)
+	for _, id := range rentable {
+		if id == cheater {
+			t.Error("cheater should not be rentable")
+		}
+	}
+	if len(rentable) != 3 {
+		t.Errorf("rentable nodes = %v, want the three honest ones", rentable)
+	}
+}

@@ -1,0 +1,276 @@
+// Package agent implements the paper's §5 "end-to-end system": a sensor
+// node daemon that decides *when* to measure (traffic-aware scheduling),
+// runs the ADS-B and frequency measurements, feeds shared-signal readings
+// to the network collector for consensus checking, and refines its own
+// field-of-view knowledge between rounds so later measurements target the
+// sectors still in doubt.
+//
+// The agent is clock-driven: production uses the wall clock, tests drive
+// a clock.Simulated through a full measurement day in microseconds.
+package agent
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sensorcal/internal/calib"
+	"sensorcal/internal/clock"
+	"sensorcal/internal/flightsim"
+	"sensorcal/internal/fr24"
+	"sensorcal/internal/geo"
+	"sensorcal/internal/trust"
+	"sensorcal/internal/world"
+)
+
+// Collector is where the agent reports shared-signal readings
+// (trust.Collector implements it; a remote HTTP client can too).
+type Collector interface {
+	Submit(trust.Reading) error
+}
+
+// TrafficSource supplies the air traffic visible during a measurement
+// window. Real deployments receive whatever is flying; the simulated
+// source spawns a fresh fleet per window (aircraft hours apart are
+// different aircraft).
+type TrafficSource interface {
+	At(window time.Time) (*flightsim.Fleet, calib.GroundTruth, error)
+}
+
+// SimTraffic is the standard simulated traffic source.
+type SimTraffic struct {
+	Center geo.Point
+	Radius float64
+	Count  int
+	Seed   int64
+}
+
+// At implements TrafficSource: the fleet epoch is the window start, the
+// seed mixes the configured seed with the window time so every window
+// sees distinct but reproducible traffic.
+func (s SimTraffic) At(window time.Time) (*flightsim.Fleet, calib.GroundTruth, error) {
+	fleet, err := flightsim.NewFleet(window, flightsim.Config{
+		Center: s.Center,
+		Radius: s.Radius,
+		Count:  s.Count,
+		Seed:   s.Seed ^ window.Unix(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return fleet, fr24.NewService(fleet), nil
+}
+
+// Config assembles an agent.
+type Config struct {
+	Node    trust.NodeID
+	Site    *world.Site
+	Traffic TrafficSource
+	// Towers and TV define the frequency sweep; TV readings double as the
+	// consensus signals submitted to the collector.
+	Towers []world.CellTower
+	TV     []world.TVStation
+	// Clock drives the measurement loop.
+	Clock clock.Clock
+	// Collector receives readings; nil disables submission.
+	Collector Collector
+	// Forecast feeds the scheduler.
+	Forecast calib.TrafficForecast
+	// WindowsPerDay is how many ADS-B windows the scheduler plans.
+	WindowsPerDay int
+	// FrequencyEvery runs the cellular+TV sweep every n-th window (the
+	// sweep is slow and its observables change little).
+	FrequencyEvery int
+	Seed           int64
+}
+
+// Round is the outcome of one measurement window.
+type Round struct {
+	Window      calib.MeasurementWindow
+	Directional *calib.ObservationSet
+	Frequency   *calib.FrequencyReport
+	Report      *calib.Report
+}
+
+// Agent is a running node daemon.
+type Agent struct {
+	cfg Config
+
+	mu       sync.Mutex
+	rounds   []Round
+	covered  [12]bool
+	accum    *calib.ObservationSet
+	lastFreq *calib.FrequencyReport
+}
+
+// New validates the config and returns an agent.
+func New(cfg Config) (*Agent, error) {
+	if cfg.Node == "" {
+		return nil, fmt.Errorf("agent: needs a node ID")
+	}
+	if cfg.Site == nil || cfg.Traffic == nil {
+		return nil, fmt.Errorf("agent: needs a site and a traffic source")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System{}
+	}
+	if cfg.WindowsPerDay <= 0 {
+		cfg.WindowsPerDay = 4
+	}
+	if cfg.FrequencyEvery <= 0 {
+		cfg.FrequencyEvery = 2
+	}
+	if cfg.Forecast.HourlyDensity == [24]float64{} {
+		cfg.Forecast = calib.TypicalAirportForecast()
+	}
+	return &Agent{
+		cfg:   cfg,
+		accum: &calib.ObservationSet{Site: cfg.Site.Name},
+	}, nil
+}
+
+// Rounds returns a copy of the completed rounds.
+func (a *Agent) Rounds() []Round {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Round(nil), a.rounds...)
+}
+
+// CoveredSectors returns the 30° sectors the agent considers confidently
+// measured so far.
+func (a *Agent) CoveredSectors() [12]bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.covered
+}
+
+// LatestReport builds the calibration report from everything accumulated.
+func (a *Agent) LatestReport() *calib.Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return calib.BuildReport(string(a.cfg.Node), a.cfg.Clock.Now(), a.accum, a.lastFreq)
+}
+
+// RunDay plans and executes one day of measurements starting at from. It
+// blocks on the agent's clock between windows (drive a simulated clock
+// from another goroutine in tests) and stops early if ctx is cancelled.
+func (a *Agent) RunDay(ctx context.Context, from time.Time) error {
+	a.mu.Lock()
+	covered := a.covered
+	a.mu.Unlock()
+	plan, err := calib.PlanMeasurements(calib.ScheduleConfig{
+		Forecast:       a.cfg.Forecast,
+		From:           from,
+		Horizon:        24 * time.Hour,
+		Windows:        a.cfg.WindowsPerDay,
+		CoveredSectors: covered,
+	})
+	if err != nil {
+		return err
+	}
+	for i, w := range plan {
+		if err := a.waitUntil(ctx, w.Start); err != nil {
+			return err
+		}
+		if err := a.measure(ctx, i, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *Agent) waitUntil(ctx context.Context, at time.Time) error {
+	for {
+		now := a.cfg.Clock.Now()
+		if !now.Before(at) {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-a.cfg.Clock.After(at.Sub(now)):
+		}
+	}
+}
+
+func (a *Agent) measure(ctx context.Context, index int, w calib.MeasurementWindow) error {
+	fleet, truth, err := a.cfg.Traffic.At(w.Start)
+	if err != nil {
+		return fmt.Errorf("agent: traffic for round %d: %w", index, err)
+	}
+	obs, err := calib.RunDirectional(calib.DirectionalConfig{
+		Site:     a.cfg.Site,
+		Fleet:    fleet,
+		Truth:    truth,
+		Start:    w.Start,
+		Duration: w.Duration,
+		Seed:     a.cfg.Seed + int64(index),
+	})
+	if err != nil {
+		return fmt.Errorf("agent: directional round %d: %w", index, err)
+	}
+	round := Round{Window: w, Directional: obs}
+
+	if index%a.cfg.FrequencyEvery == 0 && (len(a.cfg.Towers) > 0 || len(a.cfg.TV) > 0) {
+		freq, err := calib.RunFrequency(calib.FrequencyConfig{
+			Site:   a.cfg.Site,
+			Towers: a.cfg.Towers,
+			TV:     a.cfg.TV,
+			Seed:   a.cfg.Seed + int64(index),
+		})
+		if err != nil {
+			return fmt.Errorf("agent: frequency round %d: %w", index, err)
+		}
+		round.Frequency = freq
+		if a.cfg.Collector != nil {
+			for _, tv := range freq.TV {
+				r := trust.Reading{
+					Node:     a.cfg.Node,
+					SignalID: fmt.Sprintf("tv-%.0fMHz", tv.Station.CenterHz/1e6),
+					PowerDBm: tv.Measurement.PowerDBm,
+					At:       w.Start,
+				}
+				if err := a.cfg.Collector.Submit(r); err != nil {
+					return fmt.Errorf("agent: submitting %s: %w", r.SignalID, err)
+				}
+			}
+		}
+	}
+
+	a.mu.Lock()
+	a.accum.Observations = append(a.accum.Observations, obs.Observations...)
+	if round.Frequency != nil {
+		a.lastFreq = round.Frequency
+	}
+	a.updateCoverageLocked()
+	round.Report = calib.BuildReport(string(a.cfg.Node), w.Start, a.accum, a.lastFreq)
+	a.rounds = append(a.rounds, round)
+	a.mu.Unlock()
+
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	return nil
+}
+
+// updateCoverageLocked marks a 30° sector covered once it holds enough
+// long-range ground-truth aircraft (observed or missed — either answers
+// the question for that bearing).
+func (a *Agent) updateCoverageLocked() {
+	const perSector = 3
+	var counts [12]int
+	for _, o := range a.accum.Observations {
+		if o.RangeKm < 25 {
+			continue
+		}
+		counts[int(geo.NormalizeBearing(o.BearingDeg)/30)%12]++
+	}
+	for i, c := range counts {
+		if c >= perSector {
+			a.covered[i] = true
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package agent
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sensorcal/internal/calib"
+	"sensorcal/internal/clock"
+	"sensorcal/internal/trust"
+	"sensorcal/internal/world"
+)
+
+var day = time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+
+func testAgent(t *testing.T, site *world.Site, col Collector, clk clock.Clock) *Agent {
+	t.Helper()
+	a, err := New(Config{
+		Node: "node-under-test",
+		Site: site,
+		Traffic: SimTraffic{
+			Center: world.BuildingOrigin, Radius: 100_000, Count: 50, Seed: 9,
+		},
+		TV:            world.TVStations(),
+		Clock:         clk,
+		Collector:     col,
+		WindowsPerDay: 3,
+		Seed:          9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// driveDay runs the agent's day while advancing the simulated clock.
+func driveDay(t *testing.T, a *Agent, clk *clock.Simulated) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- a.RunDay(context.Background(), day) }()
+	deadline := time.After(60 * time.Second)
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			return
+		case <-deadline:
+			t.Fatal("agent did not finish")
+		default:
+			clk.Advance(10 * time.Minute)
+			// Give the agent goroutine a chance to run its measurements.
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config should error")
+	}
+	if _, err := New(Config{Node: "x"}); err == nil {
+		t.Error("missing site should error")
+	}
+}
+
+func TestAgentRunsPlannedDay(t *testing.T) {
+	clk := clock.NewSimulated(day)
+	col := trust.NewCollector()
+	_ = col.Ledger.Register(trust.Node{ID: "node-under-test"})
+	a := testAgent(t, world.RooftopSite(), col, clk)
+
+	driveDay(t, a, clk)
+
+	rounds := a.Rounds()
+	if len(rounds) != 3 {
+		t.Fatalf("rounds = %d, want 3", len(rounds))
+	}
+	// Windows were executed in order at their scheduled times.
+	for i := 1; i < len(rounds); i++ {
+		if rounds[i].Window.Start.Before(rounds[i-1].Window.Start) {
+			t.Error("rounds out of order")
+		}
+	}
+	// Every round has directional data; frequency ran on rounds 0 and 2.
+	for i, r := range rounds {
+		if r.Directional == nil || len(r.Directional.Observations) == 0 {
+			t.Errorf("round %d has no directional data", i)
+		}
+		wantFreq := i%2 == 0
+		if (r.Frequency != nil) != wantFreq {
+			t.Errorf("round %d frequency sweep presence = %v, want %v", i, r.Frequency != nil, wantFreq)
+		}
+		if r.Report == nil {
+			t.Errorf("round %d missing report", i)
+		}
+	}
+	// TV readings reached the collector (6 channels × 2 sweeps).
+	if got := len(col.History("tv-521MHz")); got != 0 {
+		t.Errorf("epochs should still be pending, got %d closed", got)
+	}
+	anomalies := col.CloseEpochs(day.Add(48 * time.Hour))
+	if len(anomalies) != 0 {
+		t.Errorf("single honest node should produce no anomalies: %v", anomalies)
+	}
+	if got := len(col.History("tv-521MHz")); got != 2 {
+		t.Errorf("collector closed %d epochs for tv-521MHz, want 2", got)
+	}
+}
+
+func TestAgentAccumulatesCoverage(t *testing.T) {
+	clk := clock.NewSimulated(day)
+	a := testAgent(t, world.RooftopSite(), nil, clk)
+	driveDay(t, a, clk)
+
+	covered := a.CoveredSectors()
+	n := 0
+	for _, c := range covered {
+		if c {
+			n++
+		}
+	}
+	// 3 runs × ~50 ground-truth aircraft: most sectors should have ≥3
+	// long-range samples by now.
+	if n < 6 {
+		t.Errorf("only %d/12 sectors covered after a day", n)
+	}
+	// The final report reflects the accumulated observations.
+	rep := a.LatestReport()
+	if len(rep.Directional.Observations) < 100 {
+		t.Errorf("accumulated observations = %d", len(rep.Directional.Observations))
+	}
+	if rep.Placement.Placement != calib.PlacementOutdoor {
+		t.Errorf("rooftop agent classified %v", rep.Placement.Placement)
+	}
+}
+
+func TestAgentContextCancel(t *testing.T) {
+	clk := clock.NewSimulated(day)
+	a := testAgent(t, world.IndoorSite(), nil, clk)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.RunDay(ctx, day) }()
+	// Cancel while the agent waits for its first window.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled run should return an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent did not stop on cancel")
+	}
+}
+
+func TestAgentSubmitRejectionPropagates(t *testing.T) {
+	clk := clock.NewSimulated(day)
+	// Collector without the node registered: submissions fail.
+	col := trust.NewCollector()
+	a := testAgent(t, world.RooftopSite(), col, clk)
+	done := make(chan error, 1)
+	go func() { done <- a.RunDay(context.Background(), day) }()
+	deadline := time.After(60 * time.Second)
+	for {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("unregistered node submission should fail the run")
+			}
+			return
+		case <-deadline:
+			t.Fatal("agent did not finish")
+		default:
+			clk.Advance(10 * time.Minute)
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package antenna models receive/transmit antenna gain as a function of
+// direction and frequency.
+//
+// The paper's experiment setup attaches "a wide-band antenna with a
+// frequency range of 700 MHz to 2700 MHz" to the SDR, and explicitly
+// declines to disentangle antenna pattern from physical occlusion — the
+// calibration measures the combination. We therefore keep the antenna model
+// simple (gain vs. elevation and a band-edge roll-off vs. frequency) and
+// put the directional structure in the world's obstruction model.
+package antenna
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pattern returns the antenna gain in dBi toward a given direction at a
+// given frequency. Azimuth is compass degrees, elevation degrees above the
+// horizontal.
+type Pattern interface {
+	// GainDBi returns the gain toward (azimuthDeg, elevationDeg) at hz.
+	GainDBi(azimuthDeg, elevationDeg, hz float64) float64
+	// Name identifies the pattern for reports.
+	Name() string
+}
+
+// Isotropic radiates equally in all directions at all frequencies.
+type Isotropic struct{ Gain float64 }
+
+// GainDBi implements Pattern.
+func (i Isotropic) GainDBi(_, _, _ float64) float64 { return i.Gain }
+
+// Name implements Pattern.
+func (i Isotropic) Name() string { return fmt.Sprintf("isotropic(%.1fdBi)", i.Gain) }
+
+// VerticalDipole is an omnidirectional (in azimuth) half-wave dipole with
+// the classic cos(pi/2 sin e)/cos(e) elevation pattern and 2.15 dBi peak
+// gain. It has nulls toward zenith — relevant for overhead aircraft.
+type VerticalDipole struct{}
+
+// GainDBi implements Pattern.
+func (VerticalDipole) GainDBi(_, elevationDeg, _ float64) float64 {
+	e := elevationDeg * math.Pi / 180
+	c := math.Cos(e)
+	if math.Abs(c) < 1e-6 {
+		return -40 // deep null at zenith/nadir
+	}
+	f := math.Cos(math.Pi/2*math.Sin(e)) / c
+	p := f * f
+	if p < 1e-4 {
+		p = 1e-4
+	}
+	return 2.15 + 10*math.Log10(p)
+}
+
+// Name implements Pattern.
+func (VerticalDipole) Name() string { return "vertical-dipole" }
+
+// Wideband models the paper's 700–2700 MHz antenna: near-flat in-band gain
+// with steep roll-off outside the band. In azimuth it is omnidirectional;
+// in elevation it behaves like a monopole with reduced gain at high
+// elevation angles.
+type Wideband struct {
+	LowHz   float64 // lower band edge
+	HighHz  float64 // upper band edge
+	MidGain float64 // in-band gain in dBi
+	// RolloffDBPerOctave is the attenuation slope outside the band.
+	RolloffDBPerOctave float64
+}
+
+// PaperAntenna returns the wideband antenna used in the paper's
+// experiments: 700–2700 MHz, 2 dBi, 12 dB/octave roll-off.
+func PaperAntenna() Wideband {
+	return Wideband{LowHz: 700e6, HighHz: 2700e6, MidGain: 2, RolloffDBPerOctave: 12}
+}
+
+// GainDBi implements Pattern.
+func (w Wideband) GainDBi(_, elevationDeg, hz float64) float64 {
+	g := w.MidGain
+	switch {
+	case hz <= 0:
+		return -100
+	case hz < w.LowHz:
+		g -= w.RolloffDBPerOctave * math.Log2(w.LowHz/hz)
+	case hz > w.HighHz:
+		g -= w.RolloffDBPerOctave * math.Log2(hz/w.HighHz)
+	}
+	// Mild elevation taper: full gain at the horizon, −6 dB at 60°,
+	// −12 dB near zenith, mimicking a ground-plane monopole.
+	e := math.Abs(elevationDeg)
+	if e > 90 {
+		e = 90
+	}
+	g -= 12 * math.Pow(e/90, 2)
+	if g < -60 {
+		g = -60
+	}
+	return g
+}
+
+// Name implements Pattern.
+func (w Wideband) Name() string {
+	return fmt.Sprintf("wideband(%.0f-%.0fMHz)", w.LowHz/1e6, w.HighHz/1e6)
+}
+
+// SectorPanel is a directional panel antenna, used for cellular base
+// stations: high gain in a main lobe, strong front-to-back ratio.
+type SectorPanel struct {
+	BoresightDeg  float64 // azimuth of the main lobe
+	BeamwidthDeg  float64 // 3 dB beamwidth in azimuth
+	PeakGain      float64 // dBi at boresight
+	FrontToBackDB float64 // suppression directly behind
+}
+
+// GainDBi implements Pattern, using the 3GPP parabolic main-lobe model
+// clamped at the front-to-back ratio.
+func (s SectorPanel) GainDBi(azimuthDeg, _, _ float64) float64 {
+	d := angDiff(azimuthDeg, s.BoresightDeg)
+	att := 12 * math.Pow(d/s.BeamwidthDeg, 2)
+	if att > s.FrontToBackDB {
+		att = s.FrontToBackDB
+	}
+	return s.PeakGain - att
+}
+
+// Name implements Pattern.
+func (s SectorPanel) Name() string {
+	return fmt.Sprintf("sector(%.0f°@%.0f°,%.1fdBi)", s.BeamwidthDeg, s.BoresightDeg, s.PeakGain)
+}
+
+func angDiff(a, b float64) float64 {
+	d := math.Mod(math.Abs(a-b), 360)
+	if d > 180 {
+		d = 360 - d
+	}
+	return d
+}

@@ -1,0 +1,119 @@
+package antenna
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIsotropic(t *testing.T) {
+	a := Isotropic{Gain: 3}
+	for _, az := range []float64{0, 90, 180, 270} {
+		for _, el := range []float64{-90, 0, 45, 90} {
+			if g := a.GainDBi(az, el, 1e9); g != 3 {
+				t.Fatalf("isotropic gain = %v at az=%v el=%v", g, az, el)
+			}
+		}
+	}
+	if a.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestDipolePattern(t *testing.T) {
+	var d VerticalDipole
+	// Peak at the horizon.
+	if g := d.GainDBi(0, 0, 1090e6); math.Abs(g-2.15) > 0.01 {
+		t.Errorf("horizon gain = %v, want 2.15", g)
+	}
+	// Deep null at zenith.
+	if g := d.GainDBi(0, 90, 1090e6); g > -20 {
+		t.Errorf("zenith gain = %v, want deep null", g)
+	}
+	// Monotone decrease from horizon to zenith.
+	prev := math.Inf(1)
+	for e := 0.0; e <= 90; e += 5 {
+		g := d.GainDBi(0, e, 1090e6)
+		if g > prev+1e-9 {
+			t.Errorf("gain increased with elevation at %v°", e)
+		}
+		prev = g
+	}
+	// Azimuth-independent.
+	if d.GainDBi(0, 30, 1e9) != d.GainDBi(123, 30, 1e9) {
+		t.Error("dipole should be omnidirectional in azimuth")
+	}
+}
+
+func TestWidebandInBandFlat(t *testing.T) {
+	w := PaperAntenna()
+	g700 := w.GainDBi(0, 0, 700e6)
+	g1090 := w.GainDBi(0, 0, 1090e6)
+	g2700 := w.GainDBi(0, 0, 2700e6)
+	if g700 != g1090 || g1090 != g2700 {
+		t.Errorf("in-band gain should be flat: %v %v %v", g700, g1090, g2700)
+	}
+	if g1090 != 2 {
+		t.Errorf("in-band gain = %v, want 2 dBi", g1090)
+	}
+}
+
+func TestWidebandRolloff(t *testing.T) {
+	w := PaperAntenna()
+	// One octave below the band: 12 dB down.
+	gLow := w.GainDBi(0, 0, 350e6)
+	if math.Abs(gLow-(2-12)) > 0.01 {
+		t.Errorf("gain one octave below band = %v, want -10", gLow)
+	}
+	// One octave above.
+	gHigh := w.GainDBi(0, 0, 5400e6)
+	if math.Abs(gHigh-(2-12)) > 0.01 {
+		t.Errorf("gain one octave above band = %v, want -10", gHigh)
+	}
+	// TV frequencies (213 MHz) are below the band but still usable:
+	// attenuated, not annihilated. The paper measures TV through this
+	// antenna, so the roll-off must leave signal.
+	gTV := w.GainDBi(0, 0, 213e6)
+	if gTV < -25 || gTV >= 2 {
+		t.Errorf("gain at 213 MHz = %v, want moderate negative", gTV)
+	}
+	// Floor clamp.
+	if g := w.GainDBi(0, 0, 1); g < -60 {
+		t.Errorf("gain should clamp at -60, got %v", g)
+	}
+	if g := w.GainDBi(0, 0, 0); g != -100 {
+		t.Errorf("nonpositive frequency should give -100, got %v", g)
+	}
+}
+
+func TestWidebandElevationTaper(t *testing.T) {
+	w := PaperAntenna()
+	if w.GainDBi(0, 0, 1e9) <= w.GainDBi(0, 60, 1e9) {
+		t.Error("gain at horizon should exceed gain at 60° elevation")
+	}
+	// Taper is symmetric in elevation sign and clamped past 90.
+	if w.GainDBi(0, 45, 1e9) != w.GainDBi(0, -45, 1e9) {
+		t.Error("elevation taper should be symmetric")
+	}
+	if w.GainDBi(0, 120, 1e9) != w.GainDBi(0, 90, 1e9) {
+		t.Error("elevation should clamp at 90")
+	}
+}
+
+func TestSectorPanel(t *testing.T) {
+	s := SectorPanel{BoresightDeg: 120, BeamwidthDeg: 65, PeakGain: 17, FrontToBackDB: 25}
+	if g := s.GainDBi(120, 0, 2e9); g != 17 {
+		t.Errorf("boresight gain = %v, want 17", g)
+	}
+	// 3 dB point at half the beamwidth.
+	if g := s.GainDBi(120+65.0/2, 0, 2e9); math.Abs(g-(17-3)) > 0.01 {
+		t.Errorf("edge-of-beam gain = %v, want 14", g)
+	}
+	// Behind the panel: clamped at front-to-back.
+	if g := s.GainDBi(300, 0, 2e9); g != 17-25 {
+		t.Errorf("back gain = %v, want -8", g)
+	}
+	// Wraparound: -170 and 190 are the same direction.
+	if s.GainDBi(-170, 0, 2e9) != s.GainDBi(190, 0, 2e9) {
+		t.Error("azimuth wraparound broken")
+	}
+}

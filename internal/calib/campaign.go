@@ -1,0 +1,98 @@
+package calib
+
+import (
+	"fmt"
+	"time"
+
+	"sensorcal/internal/flightsim"
+	"sensorcal/internal/fr24"
+	"sensorcal/internal/geo"
+	"sensorcal/internal/world"
+)
+
+// A measurement campaign repeats the 30 s directional procedure the way
+// the paper did ("We repeated these experiments over 10 times at these
+// locations, obtaining similar results") and aggregates the observation
+// sets, which is what the FoV estimators actually want as input.
+
+// CampaignConfig configures a repeated directional campaign.
+type CampaignConfig struct {
+	Site *world.Site
+	// Center and RadiusM bound the traffic population per run.
+	Center  geo.Point
+	RadiusM float64
+	// Aircraft per run.
+	Aircraft int
+	// Runs is the repetition count (paper: ≥10).
+	Runs int
+	// Start of the first run; runs are spaced by Spacing (fresh traffic
+	// each time).
+	Start   time.Time
+	Spacing time.Duration
+	Seed    int64
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	// Aggregate holds every run's observations concatenated.
+	Aggregate *ObservationSet
+	// PerRun keeps the individual sets for convergence analysis.
+	PerRun []*ObservationSet
+}
+
+// ObservedFraction returns the share of ground-truth aircraft observed
+// across the whole campaign.
+func (r *CampaignResult) ObservedFraction() float64 {
+	if len(r.Aggregate.Observations) == 0 {
+		return 0
+	}
+	return float64(len(r.Aggregate.Observed())) / float64(len(r.Aggregate.Observations))
+}
+
+// RunCampaign executes the repeated procedure with fresh traffic per run.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.Site == nil {
+		return nil, fmt.Errorf("calib: campaign needs a site")
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 10
+	}
+	if cfg.Aircraft <= 0 {
+		cfg.Aircraft = 60
+	}
+	if cfg.RadiusM <= 0 {
+		cfg.RadiusM = 100_000
+	}
+	if (cfg.Center == geo.Point{}) {
+		cfg.Center = cfg.Site.Position
+	}
+	if cfg.Spacing <= 0 {
+		cfg.Spacing = time.Hour
+	}
+	res := &CampaignResult{Aggregate: &ObservationSet{Site: cfg.Site.Name, Start: cfg.Start}}
+	for r := 0; r < cfg.Runs; r++ {
+		start := cfg.Start.Add(time.Duration(r) * cfg.Spacing)
+		fleet, err := flightsim.NewFleet(start, flightsim.Config{
+			Center: cfg.Center,
+			Radius: cfg.RadiusM,
+			Count:  cfg.Aircraft,
+			Seed:   cfg.Seed + int64(r)*7919,
+		})
+		if err != nil {
+			return nil, err
+		}
+		obs, err := RunDirectional(DirectionalConfig{
+			Site:  cfg.Site,
+			Fleet: fleet,
+			Truth: fr24.NewService(fleet),
+			Start: start,
+			Seed:  cfg.Seed + int64(r),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("calib: campaign run %d: %w", r, err)
+		}
+		res.PerRun = append(res.PerRun, obs)
+		res.Aggregate.Observations = append(res.Aggregate.Observations, obs.Observations...)
+	}
+	return res, nil
+}

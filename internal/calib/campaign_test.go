@@ -1,0 +1,72 @@
+package calib
+
+import (
+	"testing"
+	"time"
+
+	"sensorcal/internal/world"
+)
+
+func TestCampaignAggregates(t *testing.T) {
+	res, err := RunCampaign(CampaignConfig{
+		Site:     world.RooftopSite(),
+		Aircraft: 40,
+		Runs:     4,
+		Start:    epoch,
+		Seed:     501,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRun) != 4 {
+		t.Fatalf("runs = %d", len(res.PerRun))
+	}
+	if len(res.Aggregate.Observations) != 4*len(res.PerRun[0].Observations) &&
+		len(res.Aggregate.Observations) < 120 {
+		t.Errorf("aggregate size = %d", len(res.Aggregate.Observations))
+	}
+	// Fresh traffic each run: the ICAO populations must differ.
+	same := 0
+	for _, a := range res.PerRun[0].Observations {
+		for _, b := range res.PerRun[1].Observations {
+			if a.ICAO == b.ICAO && a.BearingDeg == b.BearingDeg {
+				same++
+			}
+		}
+	}
+	if same > len(res.PerRun[0].Observations)/2 {
+		t.Error("runs reuse the same traffic")
+	}
+	// The paper's finding: aggregated campaigns give "similar results" —
+	// each run's observed fraction should be in the same ballpark.
+	frac := res.ObservedFraction()
+	if frac <= 0 || frac >= 1 {
+		t.Errorf("observed fraction = %v", frac)
+	}
+	// And the aggregated FoV estimate should beat a single run's.
+	truth := world.RooftopSite().ClearSectors()
+	single := ScoreFoV(KNNFoV{}.Estimate(res.PerRun[0]), truth)
+	agg := ScoreFoV(KNNFoV{}.Estimate(res.Aggregate), truth)
+	if agg.IoU < single.IoU-0.05 {
+		t.Errorf("aggregate IoU %.2f worse than single-run %.2f", agg.IoU, single.IoU)
+	}
+}
+
+func TestCampaignDefaults(t *testing.T) {
+	res, err := RunCampaign(CampaignConfig{
+		Site:     world.IndoorSite(),
+		Runs:     2,
+		Aircraft: 20,
+		Start:    epoch.Add(time.Hour),
+		Seed:     503,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregate.Site != "indoor" {
+		t.Errorf("site = %s", res.Aggregate.Site)
+	}
+	if _, err := RunCampaign(CampaignConfig{}); err == nil {
+		t.Error("missing site should error")
+	}
+}

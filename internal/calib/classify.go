@@ -1,0 +1,191 @@
+package calib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The paper (§3.2): "combining the results from multiple experiments,
+// including ADS-B, cellular networks, and broadcast TV, can provide
+// additional insights such as determining whether an installation is
+// indoor or outdoor. ... These deductions can be used to independently
+// verify claims about a node installation."
+
+// Placement is the classifier's verdict.
+type Placement int
+
+const (
+	// PlacementUnknown means evidence was insufficient.
+	PlacementUnknown Placement = iota
+	// PlacementOutdoor is a rooftop/mast-class installation.
+	PlacementOutdoor
+	// PlacementIndoor is inside a structure (window counts as indoor).
+	PlacementIndoor
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlacementOutdoor:
+		return "outdoor"
+	case PlacementIndoor:
+		return "indoor"
+	}
+	return "unknown"
+}
+
+// PlacementVerdict carries the classification and its evidence trail.
+type PlacementVerdict struct {
+	Placement  Placement
+	Confidence float64 // 0..1
+	Evidence   []string
+}
+
+func (v PlacementVerdict) String() string {
+	return fmt.Sprintf("%s (%.0f%%): %s", v.Placement, v.Confidence*100, strings.Join(v.Evidence, "; "))
+}
+
+// ClassifyPlacement combines the directional and frequency evidence into
+// an indoor/outdoor verdict, following the paper's reasoning:
+//
+//   - consistently high quality across all signals ⇒ outdoor;
+//   - significant degradation at higher frequencies (mid-band towers dead
+//     while low-band and TV survive) ⇒ indoor;
+//   - a wide ADS-B field of view with long-range reception ⇒ outdoor.
+func ClassifyPlacement(obs *ObservationSet, freq *FrequencyReport) PlacementVerdict {
+	var outdoorScore, totalWeight float64
+	var evidence []string
+
+	if freq != nil {
+		var midDecoded, midTotal, lowDecoded, lowTotal int
+		var midRSRPSum float64
+		for _, t := range freq.Towers {
+			switch ClassifyHz(t.Result.FrequencyHz) {
+			case BandMid:
+				midTotal++
+				if t.Result.Decoded {
+					midDecoded++
+					midRSRPSum += t.Result.RSRPDBm
+				}
+			default:
+				lowTotal++
+				if t.Result.Decoded {
+					lowDecoded++
+				}
+			}
+		}
+		if midTotal > 0 {
+			frac := float64(midDecoded) / float64(midTotal)
+			w := 2.0
+			totalWeight += w
+			switch {
+			case frac == 1 && midRSRPSum/float64(midDecoded) > -85:
+				outdoorScore += w
+				evidence = append(evidence, "all mid-band towers decoded at high RSRP")
+			case frac == 1:
+				outdoorScore += w * 0.6
+				evidence = append(evidence, "all mid-band towers decoded but attenuated")
+			case frac == 0:
+				evidence = append(evidence, "mid-band cellular dead (strong indoor indicator)")
+			default:
+				outdoorScore += w * 0.25
+				evidence = append(evidence, fmt.Sprintf("%d/%d mid-band towers decoded", midDecoded, midTotal))
+			}
+		}
+		if lowTotal > 0 && lowDecoded == lowTotal && midTotal > 0 && midDecoded == 0 {
+			evidence = append(evidence, "low band survives where mid band dies: building penetration signature")
+		}
+		// TV attenuation: outdoor nodes show uniformly strong TV, so use
+		// the median margin (robust to a single obstructed channel like
+		// the testbed rooftop's 521 MHz tower behind the roof machinery).
+		if len(freq.TV) > 0 {
+			margins := make([]float64, 0, len(freq.TV))
+			for _, tv := range freq.TV {
+				margins = append(margins, tv.Measurement.MarginDB())
+			}
+			sortFloats(margins)
+			medM := margins[len(margins)/2]
+			w := 1.0
+			totalWeight += w
+			switch {
+			case medM > 30:
+				outdoorScore += w
+				evidence = append(evidence, "TV channels uniformly strong")
+			case medM > 8:
+				outdoorScore += w * 0.4
+				evidence = append(evidence, "TV receivable but attenuated")
+			default:
+				evidence = append(evidence, "TV channels near the noise floor")
+			}
+		}
+	}
+
+	if obs != nil && len(obs.Observations) > 0 {
+		// KNN interpolates across the sparse single-run scatter, so a
+		// genuinely open wedge is not undercounted the way raw sector
+		// occupancy would.
+		est := KNNFoV{}.Estimate(obs)
+		coverage := est.Coverage()
+		maxRange := obs.MaxObservedRangeKm(nil)
+		w := 2.0
+		totalWeight += w
+		switch {
+		case coverage >= 150 && maxRange > 60:
+			outdoorScore += w
+			evidence = append(evidence, fmt.Sprintf("ADS-B FoV %.0f° to %.0f km: open-sky installation", coverage, maxRange))
+		case coverage >= 60 && maxRange > 60:
+			outdoorScore += w * 0.6
+			evidence = append(evidence, fmt.Sprintf("broad ADS-B FoV (%.0f°) with long range", coverage))
+		case maxRange < 25:
+			evidence = append(evidence, "ADS-B limited to nearby aircraft: enclosed installation")
+		default:
+			outdoorScore += w * 0.25
+			evidence = append(evidence, fmt.Sprintf("narrow ADS-B FoV (%.0f°)", coverage))
+		}
+	}
+
+	v := PlacementVerdict{Evidence: evidence}
+	if totalWeight == 0 {
+		return v
+	}
+	ratio := outdoorScore / totalWeight
+	switch {
+	case ratio >= 0.65:
+		v.Placement = PlacementOutdoor
+		v.Confidence = ratio
+	case ratio <= 0.35:
+		v.Placement = PlacementIndoor
+		v.Confidence = 1 - ratio
+	default:
+		v.Placement = PlacementIndoor // partial obstruction ⇒ not open-sky
+		v.Confidence = 0.5 + (0.5-ratio)/2
+		v.Evidence = append(v.Evidence, "mixed evidence: treating as indoor/obstructed")
+	}
+	return v
+}
+
+// VerifyClaim checks a node operator's self-reported installation against
+// the classifier — the paper's CBRS application (§3.3), where modems must
+// self-report indoor/outdoor status and the network wants to audit it.
+type ClaimCheck struct {
+	ClaimedOutdoor bool
+	Verdict        PlacementVerdict
+	Consistent     bool
+}
+
+// VerifyClaim evaluates a self-reported outdoor flag.
+func VerifyClaim(claimedOutdoor bool, obs *ObservationSet, freq *FrequencyReport) ClaimCheck {
+	v := ClassifyPlacement(obs, freq)
+	consistent := true
+	if v.Placement == PlacementOutdoor && !claimedOutdoor {
+		consistent = false
+	}
+	if v.Placement == PlacementIndoor && claimedOutdoor {
+		consistent = false
+	}
+	return ClaimCheck{ClaimedOutdoor: claimedOutdoor, Verdict: v, Consistent: consistent}
+}
+
+func sortFloats(xs []float64) {
+	sort.Float64s(xs)
+}

@@ -1,0 +1,87 @@
+package calib
+
+import (
+	"strings"
+	"testing"
+
+	"sensorcal/internal/world"
+)
+
+// fullEvaluation runs both measurements at a site.
+func fullEvaluation(t *testing.T, site *world.Site, seed int64) (*ObservationSet, *FrequencyReport) {
+	t.Helper()
+	obs := runSite(t, site, 60, seed)
+	freq := runFrequency(t, site, seed)
+	return obs, freq
+}
+
+func TestClassifierRooftopIsOutdoor(t *testing.T) {
+	obs, freq := fullEvaluation(t, world.RooftopSite(), 61)
+	v := ClassifyPlacement(obs, freq)
+	if v.Placement != PlacementOutdoor {
+		t.Errorf("rooftop classified %v: %v", v.Placement, v)
+	}
+	if v.Confidence < 0.6 {
+		t.Errorf("confidence %.2f too low", v.Confidence)
+	}
+}
+
+func TestClassifierIndoorIsIndoor(t *testing.T) {
+	obs, freq := fullEvaluation(t, world.IndoorSite(), 67)
+	v := ClassifyPlacement(obs, freq)
+	if v.Placement != PlacementIndoor {
+		t.Errorf("indoor classified %v: %v", v.Placement, v)
+	}
+	// The building-penetration signature should appear in the evidence.
+	joined := strings.Join(v.Evidence, "|")
+	if !strings.Contains(joined, "mid-band cellular dead") {
+		t.Errorf("evidence missing the mid-band signature: %v", v.Evidence)
+	}
+}
+
+func TestClassifierWindowIsIndoor(t *testing.T) {
+	obs, freq := fullEvaluation(t, world.WindowSite(), 71)
+	v := ClassifyPlacement(obs, freq)
+	if v.Placement != PlacementIndoor {
+		t.Errorf("window classified %v: %v", v.Placement, v)
+	}
+}
+
+func TestClassifierNoEvidence(t *testing.T) {
+	v := ClassifyPlacement(nil, nil)
+	if v.Placement != PlacementUnknown {
+		t.Errorf("no evidence should be unknown, got %v", v.Placement)
+	}
+	if v.String() == "" {
+		t.Error("verdict should format")
+	}
+}
+
+func TestVerifyClaim(t *testing.T) {
+	obs, freq := fullEvaluation(t, world.RooftopSite(), 73)
+	// Honest outdoor claim.
+	if c := VerifyClaim(true, obs, freq); !c.Consistent {
+		t.Errorf("honest rooftop claim flagged: %v", c.Verdict)
+	}
+	// Fraudulent indoor claim on an outdoor node.
+	if c := VerifyClaim(false, obs, freq); c.Consistent {
+		t.Error("false indoor claim should be flagged")
+	}
+
+	iobs, ifreq := fullEvaluation(t, world.IndoorSite(), 79)
+	// Fraudulent outdoor claim on an indoor node — the CBRS audit case.
+	if c := VerifyClaim(true, iobs, ifreq); c.Consistent {
+		t.Error("false outdoor claim should be flagged")
+	}
+	if c := VerifyClaim(false, iobs, ifreq); !c.Consistent {
+		t.Error("honest indoor claim flagged")
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	for _, p := range []Placement{PlacementUnknown, PlacementOutdoor, PlacementIndoor} {
+		if p.String() == "" {
+			t.Error("placement should format")
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package calib
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sensorcal/internal/flightsim"
+	"sensorcal/internal/fr24"
+	"sensorcal/internal/geo"
+	"sensorcal/internal/world"
+)
+
+var epoch = time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+
+// testScenario builds the shared fleet + ground truth for a site.
+func testScenario(t *testing.T, count int, seed int64) (*flightsim.Fleet, *fr24.Service) {
+	t.Helper()
+	fleet, err := flightsim.NewFleet(epoch, flightsim.Config{
+		Center: world.BuildingOrigin,
+		Radius: 100_000,
+		Count:  count,
+		Seed:   seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet, fr24.NewService(fleet)
+}
+
+func runSite(t *testing.T, site *world.Site, count int, seed int64) *ObservationSet {
+	t.Helper()
+	fleet, truth := testScenario(t, count, seed)
+	obs, err := RunDirectional(DirectionalConfig{
+		Site:  site,
+		Fleet: fleet,
+		Truth: truth,
+		Start: epoch,
+		Seed:  seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs
+}
+
+func TestDirectionalRequiresInputs(t *testing.T) {
+	if _, err := RunDirectional(DirectionalConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+}
+
+// TestFigure1Rooftop asserts the shape of Figure 1(a): long-range
+// reception only in the open west sector, near-universal reception close
+// in, and misses dominating the blocked sectors at distance.
+func TestFigure1Rooftop(t *testing.T) {
+	obs := runSite(t, world.RooftopSite(), 60, 11)
+	if len(obs.Observations) < 40 {
+		t.Fatalf("only %d ground-truth aircraft", len(obs.Observations))
+	}
+	west := geo.Sector{From: 230, To: 310}
+	// Distant aircraft in the west sector are received (paper: up to
+	// 95 km).
+	if max := obs.MaxObservedRangeKm(&west); max < 60 {
+		t.Errorf("max west range = %.0f km, want ≥60", max)
+	}
+	// Long-range reception outside the FoV should be rare: count distant
+	// observed aircraft in blocked bearings.
+	var blockedFar, blockedFarObserved int
+	for _, o := range obs.Observations {
+		if !west.Contains(o.BearingDeg) && o.RangeKm > 35 {
+			blockedFar++
+			if o.Observed {
+				blockedFarObserved++
+			}
+		}
+	}
+	if blockedFar == 0 {
+		t.Fatal("scenario has no distant aircraft in blocked sectors; increase count")
+	}
+	if frac := float64(blockedFarObserved) / float64(blockedFar); frac > 0.25 {
+		t.Errorf("%.0f%% of distant blocked-sector aircraft observed, want few", frac*100)
+	}
+	// Close-in aircraft are received regardless of direction (paper's
+	// ≤20 km note).
+	var close, closeObserved int
+	for _, o := range obs.Observations {
+		if o.RangeKm < 15 {
+			close++
+			if o.Observed {
+				closeObserved++
+			}
+		}
+	}
+	if close > 0 && closeObserved == 0 {
+		t.Error("no close-in aircraft received at all")
+	}
+}
+
+// TestFigure1Window asserts Figure 1(b): a narrow SE wedge with long
+// range, plus close-in penetration.
+func TestFigure1Window(t *testing.T) {
+	obs := runSite(t, world.WindowSite(), 80, 13)
+	se := geo.Sector{From: 115, To: 160}
+	if max := obs.MaxObservedRangeKm(&se); max < 50 {
+		t.Errorf("max SE range = %.0f km, want long (paper: 80 km)", max)
+	}
+	// Observed fraction in the wedge should exceed the rest by a wide
+	// margin for distant aircraft.
+	frac := func(sector geo.Sector, invert bool) float64 {
+		var n, o int
+		for _, ob := range obs.Observations {
+			in := sector.Contains(ob.BearingDeg)
+			if invert {
+				in = !in
+			}
+			if in && ob.RangeKm > 30 {
+				n++
+				if ob.Observed {
+					o++
+				}
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return float64(o) / float64(n)
+	}
+	inFoV := frac(se, false)
+	outFoV := frac(se, true)
+	if inFoV <= outFoV+0.3 {
+		t.Errorf("in-FoV observed fraction %.2f should far exceed out-of-FoV %.2f", inFoV, outFoV)
+	}
+}
+
+// TestFigure1Indoor asserts Figure 1(c): only nearby aircraft decode.
+func TestFigure1Indoor(t *testing.T) {
+	obs := runSite(t, world.IndoorSite(), 150, 17)
+	if max := obs.MaxObservedRangeKm(nil); max > 30 {
+		t.Errorf("indoor max range = %.0f km, want short (paper: ~20 km)", max)
+	}
+	// And it must still see something (the paper's plot has blue points
+	// near the center).
+	if len(obs.Observed()) == 0 {
+		t.Error("indoor site should still receive very close aircraft")
+	}
+	// Every observation's range must respect the 100 km query bound.
+	for _, o := range obs.Observations {
+		if o.RangeKm > 101 {
+			t.Errorf("ground truth returned an aircraft at %.0f km", o.RangeKm)
+		}
+	}
+}
+
+// TestSiteOrdering is the headline monotonicity: rooftop sees more than
+// window sees more than indoor.
+func TestSiteOrdering(t *testing.T) {
+	type result struct {
+		name string
+		seen int
+	}
+	var rs []result
+	for _, site := range world.Sites() {
+		obs := runSite(t, site, 50, 23)
+		rs = append(rs, result{site.Name, len(obs.Observed())})
+	}
+	if !(rs[0].seen > rs[1].seen && rs[1].seen >= rs[2].seen) {
+		t.Errorf("observed-aircraft ordering violated: %+v", rs)
+	}
+}
+
+func TestDirectionalDeterminism(t *testing.T) {
+	a := runSite(t, world.RooftopSite(), 20, 29)
+	b := runSite(t, world.RooftopSite(), 20, 29)
+	if len(a.Observations) != len(b.Observations) {
+		t.Fatal("determinism broken: different observation counts")
+	}
+	for i := range a.Observations {
+		if a.Observations[i] != b.Observations[i] {
+			t.Fatalf("determinism broken at observation %d", i)
+		}
+	}
+}
+
+func TestObservationSetAccessors(t *testing.T) {
+	obs := &ObservationSet{Observations: []Observation{
+		{ICAO: "A", Observed: true, RangeKm: 50, BearingDeg: 270},
+		{ICAO: "B", Observed: false, RangeKm: 80, BearingDeg: 90},
+		{ICAO: "C", Observed: true, RangeKm: 20, BearingDeg: 100},
+	}}
+	if len(obs.Observed()) != 2 || len(obs.Missed()) != 1 {
+		t.Error("filters wrong")
+	}
+	if obs.MaxObservedRangeKm(nil) != 50 {
+		t.Error("max range wrong")
+	}
+	west := geo.Sector{From: 230, To: 310}
+	if obs.MaxObservedRangeKm(&west) != 50 {
+		t.Error("sector max range wrong")
+	}
+	east := geo.Sector{From: 80, To: 120}
+	if obs.MaxObservedRangeKm(&east) != 20 {
+		t.Error("east sector max range wrong")
+	}
+}
+
+func TestPolarPlotRenders(t *testing.T) {
+	obs := runSite(t, world.RooftopSite(), 30, 31)
+	plot := obs.PolarPlot(100, 41)
+	if !strings.Contains(plot, "●") {
+		t.Error("plot should contain observed markers")
+	}
+	if !strings.Contains(plot, "rooftop") {
+		t.Error("plot should name the site")
+	}
+	lines := strings.Split(plot, "\n")
+	if len(lines) < 40 {
+		t.Errorf("plot has %d lines", len(lines))
+	}
+}

@@ -1,0 +1,125 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+)
+
+// Re-calibration drift detection. The paper's related work (§4) notes the
+// advantage of blind calibration: "it can often be conducted during
+// operation and used to adapt to performance variations as conditions
+// change." Operationally that means comparing successive calibration
+// reports of the same node and alerting when the installation changed —
+// an antenna knocked over, a node moved indoors, a band gone deaf, or a
+// suspiciously sudden improvement (hardware swap the operator did not
+// declare).
+
+// DriftKind classifies a detected change.
+type DriftKind string
+
+// Drift kinds.
+const (
+	DriftFoVShrunk     DriftKind = "fov-shrunk"
+	DriftFoVGrown      DriftKind = "fov-grown"
+	DriftBandDegraded  DriftKind = "band-degraded"
+	DriftBandImproved  DriftKind = "band-improved"
+	DriftPlacement     DriftKind = "placement-changed"
+	DriftOverallPlunge DriftKind = "overall-plunged"
+)
+
+// DriftAlert is one detected change between two reports.
+type DriftAlert struct {
+	Kind   DriftKind
+	Detail string
+	// Severity in [0,1].
+	Severity float64
+}
+
+func (d DriftAlert) String() string {
+	return fmt.Sprintf("%s: %s (severity %.2f)", d.Kind, d.Detail, d.Severity)
+}
+
+// DriftThresholds tunes the comparison.
+type DriftThresholds struct {
+	// FoVDeg is the minimum coverage change in degrees to alert on.
+	FoVDeg float64
+	// BandScore is the minimum per-band score change.
+	BandScore float64
+	// Overall is the overall-score plunge that triggers the headline
+	// alert.
+	Overall float64
+}
+
+// DefaultDriftThresholds returns thresholds tolerant of normal
+// measurement noise (single-run FoV estimates wobble by tens of degrees).
+func DefaultDriftThresholds() DriftThresholds {
+	return DriftThresholds{FoVDeg: 45, BandScore: 0.25, Overall: 0.25}
+}
+
+// CompareReports diffs two calibration reports of the same node (prev
+// first). It returns the alerts, empty when the installation looks
+// unchanged.
+func CompareReports(prev, cur *Report, th DriftThresholds) []DriftAlert {
+	var out []DriftAlert
+	if prev == nil || cur == nil {
+		return out
+	}
+	if th == (DriftThresholds{}) {
+		th = DefaultDriftThresholds()
+	}
+	// Field of view.
+	d := cur.FoVCoverage - prev.FoVCoverage
+	if prev.Directional != nil && cur.Directional != nil && math.Abs(d) >= th.FoVDeg {
+		kind := DriftFoVGrown
+		if d < 0 {
+			kind = DriftFoVShrunk
+		}
+		out = append(out, DriftAlert{
+			Kind:     kind,
+			Detail:   fmt.Sprintf("coverage %.0f° → %.0f°", prev.FoVCoverage, cur.FoVCoverage),
+			Severity: math.Min(1, math.Abs(d)/180),
+		})
+	}
+	// Per-band scores.
+	prevBands := map[BandClass]float64{}
+	for _, b := range prev.Bands {
+		prevBands[b.Class] = b.Score
+	}
+	for _, b := range cur.Bands {
+		p, ok := prevBands[b.Class]
+		if !ok {
+			continue
+		}
+		diff := b.Score - p
+		if math.Abs(diff) < th.BandScore {
+			continue
+		}
+		kind := DriftBandImproved
+		if diff < 0 {
+			kind = DriftBandDegraded
+		}
+		out = append(out, DriftAlert{
+			Kind:     kind,
+			Detail:   fmt.Sprintf("%v score %.2f → %.2f", b.Class, p, b.Score),
+			Severity: math.Min(1, math.Abs(diff)),
+		})
+	}
+	// Placement flip.
+	if prev.Placement.Placement != PlacementUnknown && cur.Placement.Placement != PlacementUnknown &&
+		prev.Placement.Placement != cur.Placement.Placement {
+		out = append(out, DriftAlert{
+			Kind:     DriftPlacement,
+			Detail:   fmt.Sprintf("%v → %v", prev.Placement.Placement, cur.Placement.Placement),
+			Severity: 0.9,
+		})
+	}
+	// Headline plunge.
+	if prev.Overall-cur.Overall >= th.Overall {
+		out = append(out, DriftAlert{
+			Kind:     DriftOverallPlunge,
+			Detail:   fmt.Sprintf("overall %.2f → %.2f", prev.Overall, cur.Overall),
+			Severity: math.Min(1, (prev.Overall-cur.Overall)/prev.Overall),
+		})
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package calib
+
+import (
+	"testing"
+
+	"sensorcal/internal/world"
+)
+
+func TestCompareReportsSameSiteQuiet(t *testing.T) {
+	// Two measurements of the same unchanged installation: no alerts.
+	obs1, freq1 := fullEvaluation(t, world.RooftopSite(), 401)
+	obs2, freq2 := fullEvaluation(t, world.RooftopSite(), 402)
+	a := BuildReport("n", epoch, obs1, freq1)
+	b := BuildReport("n", epoch, obs2, freq2)
+	alerts := CompareReports(a, b, DefaultDriftThresholds())
+	if len(alerts) != 0 {
+		t.Errorf("unchanged installation raised alerts: %v", alerts)
+	}
+}
+
+// TestCompareReportsDetectsMoveIndoors simulates the operator moving the
+// node from the rooftop to deep indoors between calibrations — the drift
+// detector must fire on several axes.
+func TestCompareReportsDetectsMoveIndoors(t *testing.T) {
+	obs1, freq1 := fullEvaluation(t, world.RooftopSite(), 403)
+	obs2, freq2 := fullEvaluation(t, world.IndoorSite(), 403)
+	prev := BuildReport("n", epoch, obs1, freq1)
+	cur := BuildReport("n", epoch, obs2, freq2)
+	alerts := CompareReports(prev, cur, DefaultDriftThresholds())
+	kinds := map[DriftKind]bool{}
+	for _, a := range alerts {
+		kinds[a.Kind] = true
+		if a.String() == "" {
+			t.Error("alert should format")
+		}
+	}
+	for _, want := range []DriftKind{DriftFoVShrunk, DriftBandDegraded, DriftPlacement, DriftOverallPlunge} {
+		if !kinds[want] {
+			t.Errorf("missing %s in %v", want, alerts)
+		}
+	}
+	// The reverse move is an improvement — suspicious in its own way.
+	rev := CompareReports(cur, prev, DefaultDriftThresholds())
+	revKinds := map[DriftKind]bool{}
+	for _, a := range rev {
+		revKinds[a.Kind] = true
+	}
+	if !revKinds[DriftBandImproved] || !revKinds[DriftFoVGrown] {
+		t.Errorf("reverse comparison missing improvement alerts: %v", rev)
+	}
+}
+
+func TestCompareReportsNilSafe(t *testing.T) {
+	if got := CompareReports(nil, &Report{}, DriftThresholds{}); got != nil {
+		t.Error("nil prev should be quiet")
+	}
+	if got := CompareReports(&Report{}, nil, DriftThresholds{}); got != nil {
+		t.Error("nil cur should be quiet")
+	}
+	// Zero thresholds fall back to defaults (no division by zero, no
+	// hair-trigger alerts on empty reports).
+	if got := CompareReports(&Report{}, &Report{}, DriftThresholds{}); len(got) != 0 {
+		t.Errorf("empty reports alerted: %v", got)
+	}
+}

@@ -1,0 +1,264 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+
+	"sensorcal/internal/geo"
+)
+
+// The paper's §5 names "algorithms, such as k-nearest neighbors (KNN) or a
+// support vector machine (SVM), to estimate the true sensor field of view"
+// as the next step beyond the binary observed/missed scatter. This file
+// implements three estimators of increasing sophistication and a common
+// scoring function against the geometric ground truth:
+//
+//   - SectorOccupancyFoV: merge azimuth bins that contain at least one
+//     long-range observation (the baseline a human reads off Figure 1);
+//   - KNNFoV: classify each bearing by majority vote of its k nearest
+//     long-range observations;
+//   - LinearFoV: an online-trained perceptron on a periodic feature
+//     expansion of the bearing (the in-repo stand-in for the SVM).
+
+// minLongRangeKm filters out the paper's "within 20 km ... received
+// regardless of direction" disk, which carries no directional information.
+const minLongRangeKm = 25.0
+
+// FoVEstimator estimates the open field of view from an observation set.
+type FoVEstimator interface {
+	Name() string
+	Estimate(obs *ObservationSet) geo.SectorSet
+}
+
+// SectorOccupancyFoV merges occupied azimuth bins.
+type SectorOccupancyFoV struct {
+	// Bins is the azimuth resolution (default 36 bins of 10°).
+	Bins int
+	// MinRangeKm filters near-field observations (default 25 km).
+	MinRangeKm float64
+}
+
+// Name implements FoVEstimator.
+func (SectorOccupancyFoV) Name() string { return "sector-occupancy" }
+
+func (s SectorOccupancyFoV) params() (int, float64) {
+	bins, minR := s.Bins, s.MinRangeKm
+	if bins <= 0 {
+		bins = 36
+	}
+	if minR <= 0 {
+		minR = minLongRangeKm
+	}
+	return bins, minR
+}
+
+// Estimate implements FoVEstimator.
+func (s SectorOccupancyFoV) Estimate(obs *ObservationSet) geo.SectorSet {
+	bins, minR := s.params()
+	h := geo.NewHistogram(bins)
+	for _, o := range obs.Observations {
+		if o.Observed && o.RangeKm >= minR {
+			h.Add(o.BearingDeg, 1)
+		}
+	}
+	return h.OccupiedSectors(1)
+}
+
+// KNNFoV classifies each degree of azimuth by its k nearest long-range
+// observations (distance measured along the circle).
+type KNNFoV struct {
+	K          int
+	MinRangeKm float64
+}
+
+// Name implements FoVEstimator.
+func (KNNFoV) Name() string { return "knn" }
+
+// Estimate implements FoVEstimator.
+func (k KNNFoV) Estimate(obs *ObservationSet) geo.SectorSet {
+	kk := k.K
+	if kk <= 0 {
+		kk = 5
+	}
+	minR := k.MinRangeKm
+	if minR <= 0 {
+		minR = minLongRangeKm
+	}
+	type sample struct {
+		bearing  float64
+		observed bool
+	}
+	var samples []sample
+	for _, o := range obs.Observations {
+		if o.RangeKm >= minR {
+			samples = append(samples, sample{o.BearingDeg, o.Observed})
+		}
+	}
+	if len(samples) == 0 {
+		return nil
+	}
+	if kk > len(samples) {
+		kk = len(samples)
+	}
+	h := geo.NewHistogram(360)
+	dists := make([]struct {
+		d   float64
+		obs bool
+	}, len(samples))
+	for deg := 0; deg < 360; deg++ {
+		b := float64(deg) + 0.5
+		for i, s := range samples {
+			dists[i].d = geo.AngularDiff(b, s.bearing)
+			dists[i].obs = s.observed
+		}
+		// Partial selection of the k smallest.
+		for i := 0; i < kk; i++ {
+			min := i
+			for j := i + 1; j < len(dists); j++ {
+				if dists[j].d < dists[min].d {
+					min = j
+				}
+			}
+			dists[i], dists[min] = dists[min], dists[i]
+		}
+		votes := 0
+		for i := 0; i < kk; i++ {
+			if dists[i].obs {
+				votes++
+			}
+		}
+		if votes*2 > kk {
+			h.Add(b, 1)
+		}
+	}
+	return h.OccupiedSectors(1)
+}
+
+// LinearFoV is an online perceptron over periodic bearing features
+// (sin/cos harmonics), the repository's SVM stand-in: a max-margin-ish
+// linear separator in a fixed feature space.
+type LinearFoV struct {
+	Harmonics  int
+	Epochs     int
+	MinRangeKm float64
+}
+
+// Name implements FoVEstimator.
+func (LinearFoV) Name() string { return "linear" }
+
+func (l LinearFoV) features(bearingDeg float64, dst []float64) []float64 {
+	h := l.Harmonics
+	if h <= 0 {
+		h = 4
+	}
+	dst = dst[:0]
+	dst = append(dst, 1)
+	rad := bearingDeg * math.Pi / 180
+	for k := 1; k <= h; k++ {
+		dst = append(dst, math.Sin(float64(k)*rad), math.Cos(float64(k)*rad))
+	}
+	return dst
+}
+
+// Estimate implements FoVEstimator.
+func (l LinearFoV) Estimate(obs *ObservationSet) geo.SectorSet {
+	minR := l.MinRangeKm
+	if minR <= 0 {
+		minR = minLongRangeKm
+	}
+	epochs := l.Epochs
+	if epochs <= 0 {
+		epochs = 50
+	}
+	type sample struct {
+		bearing float64
+		label   float64 // +1 observed, -1 missed
+	}
+	var samples []sample
+	anyPos := false
+	for _, o := range obs.Observations {
+		if o.RangeKm < minR {
+			continue
+		}
+		lbl := -1.0
+		if o.Observed {
+			lbl = 1
+			anyPos = true
+		}
+		samples = append(samples, sample{o.BearingDeg, lbl})
+	}
+	if !anyPos || len(samples) == 0 {
+		return nil
+	}
+	h := l.Harmonics
+	if h <= 0 {
+		h = 4
+	}
+	w := make([]float64, 1+2*h)
+	feat := make([]float64, 0, len(w))
+	const lr = 0.1
+	for e := 0; e < epochs; e++ {
+		for _, s := range samples {
+			feat = l.features(s.bearing, feat)
+			var dot float64
+			for i, f := range feat {
+				dot += w[i] * f
+			}
+			// Perceptron with margin: update on violation.
+			if s.label*dot < 1 {
+				for i, f := range feat {
+					w[i] += lr * s.label * f
+				}
+			}
+		}
+	}
+	hist := geo.NewHistogram(360)
+	for deg := 0; deg < 360; deg++ {
+		feat = l.features(float64(deg)+0.5, feat)
+		var dot float64
+		for i, f := range feat {
+			dot += w[i] * f
+		}
+		if dot > 0 {
+			hist.Add(float64(deg)+0.5, 1)
+		}
+	}
+	return hist.OccupiedSectors(1)
+}
+
+// FoVScore compares an estimated field of view against the geometric
+// ground truth, degree by degree.
+type FoVScore struct {
+	Accuracy float64 // fraction of the circle labelled correctly
+	IoU      float64 // intersection-over-union of the open sets
+}
+
+// ScoreFoV evaluates an estimate against ground truth.
+func ScoreFoV(estimate, truth geo.SectorSet) FoVScore {
+	var correct, inter, union int
+	for deg := 0; deg < 360; deg++ {
+		b := float64(deg) + 0.5
+		e := estimate.Contains(b)
+		t := truth.Contains(b)
+		if e == t {
+			correct++
+		}
+		if e && t {
+			inter++
+		}
+		if e || t {
+			union++
+		}
+	}
+	s := FoVScore{Accuracy: float64(correct) / 360}
+	if union > 0 {
+		s.IoU = float64(inter) / float64(union)
+	} else {
+		s.IoU = 1 // both empty: perfect agreement
+	}
+	return s
+}
+
+func (s FoVScore) String() string {
+	return fmt.Sprintf("accuracy %.1f%%, IoU %.2f", s.Accuracy*100, s.IoU)
+}

@@ -1,0 +1,145 @@
+package calib
+
+import (
+	"math/rand"
+	"testing"
+
+	"sensorcal/internal/geo"
+	"sensorcal/internal/world"
+)
+
+// syntheticObs builds an observation set from a known FoV: long-range
+// aircraft inside the FoV observed, outside missed, plus close-in noise.
+func syntheticObs(fov geo.SectorSet, n int, seed int64) *ObservationSet {
+	rng := rand.New(rand.NewSource(seed))
+	set := &ObservationSet{Site: "synthetic"}
+	for i := 0; i < n; i++ {
+		bearing := rng.Float64() * 360
+		rangeKm := 30 + rng.Float64()*70
+		set.Observations = append(set.Observations, Observation{
+			ICAO:       string(rune('A' + i%26)),
+			BearingDeg: bearing,
+			RangeKm:    rangeKm,
+			Observed:   fov.Contains(bearing),
+		})
+	}
+	// Close-in aircraft observed regardless of direction (the 20 km disk).
+	for i := 0; i < n/5; i++ {
+		set.Observations = append(set.Observations, Observation{
+			BearingDeg: rng.Float64() * 360,
+			RangeKm:    5 + rng.Float64()*12,
+			Observed:   true,
+		})
+	}
+	return set
+}
+
+func TestEstimatorsRecoverWideFoV(t *testing.T) {
+	truth := geo.SectorSet{{From: 230, To: 310}}
+	obs := syntheticObs(truth, 200, 3)
+	for _, est := range []FoVEstimator{SectorOccupancyFoV{}, KNNFoV{}, LinearFoV{}} {
+		got := est.Estimate(obs)
+		score := ScoreFoV(got, truth)
+		if score.IoU < 0.6 {
+			t.Errorf("%s: IoU %.2f for wide FoV (estimate %v)", est.Name(), score.IoU, got)
+		}
+		if score.Accuracy < 0.85 {
+			t.Errorf("%s: accuracy %.2f", est.Name(), score.Accuracy)
+		}
+	}
+}
+
+func TestEstimatorsRecoverNarrowFoV(t *testing.T) {
+	truth := geo.SectorSet{{From: 115, To: 160}}
+	obs := syntheticObs(truth, 300, 5)
+	for _, est := range []FoVEstimator{SectorOccupancyFoV{}, KNNFoV{K: 3}} {
+		got := est.Estimate(obs)
+		score := ScoreFoV(got, truth)
+		if score.IoU < 0.45 {
+			t.Errorf("%s: IoU %.2f for narrow FoV (estimate %v)", est.Name(), score.IoU, got)
+		}
+	}
+}
+
+func TestEstimatorsHandleWrapFoV(t *testing.T) {
+	truth := geo.SectorSet{{From: 330, To: 30}}
+	obs := syntheticObs(truth, 300, 7)
+	got := KNNFoV{}.Estimate(obs)
+	score := ScoreFoV(got, truth)
+	if score.IoU < 0.5 {
+		t.Errorf("knn on wrap FoV: IoU %.2f (%v)", score.IoU, got)
+	}
+}
+
+func TestEstimatorsEmptyInput(t *testing.T) {
+	empty := &ObservationSet{}
+	for _, est := range []FoVEstimator{SectorOccupancyFoV{}, KNNFoV{}, LinearFoV{}} {
+		if got := est.Estimate(empty); got != nil {
+			t.Errorf("%s on empty input = %v, want nil", est.Name(), got)
+		}
+	}
+	// All-missed input (fully blocked site).
+	blocked := syntheticObs(nil, 100, 9)
+	for _, est := range []FoVEstimator{SectorOccupancyFoV{}, LinearFoV{}} {
+		got := est.Estimate(blocked)
+		if got.Coverage() > 30 {
+			t.Errorf("%s on blocked site claims %v° open", est.Name(), got.Coverage())
+		}
+	}
+}
+
+func TestNearFieldObservationsIgnored(t *testing.T) {
+	// Only close-in observations: no directional information, no FoV.
+	set := &ObservationSet{}
+	for b := 0.0; b < 360; b += 10 {
+		set.Observations = append(set.Observations, Observation{BearingDeg: b, RangeKm: 10, Observed: true})
+	}
+	if got := (SectorOccupancyFoV{}).Estimate(set); got != nil {
+		t.Errorf("near-field-only input should give no FoV, got %v", got)
+	}
+}
+
+func TestScoreFoV(t *testing.T) {
+	truth := geo.SectorSet{{From: 0, To: 90}}
+	perfect := ScoreFoV(truth, truth)
+	if perfect.Accuracy != 1 || perfect.IoU != 1 {
+		t.Errorf("perfect score = %+v", perfect)
+	}
+	disjoint := ScoreFoV(geo.SectorSet{{From: 180, To: 270}}, truth)
+	if disjoint.IoU != 0 {
+		t.Errorf("disjoint IoU = %v", disjoint.IoU)
+	}
+	if disjoint.Accuracy != 0.5 {
+		t.Errorf("disjoint accuracy = %v, want 0.5", disjoint.Accuracy)
+	}
+	bothEmpty := ScoreFoV(nil, nil)
+	if bothEmpty.IoU != 1 || bothEmpty.Accuracy != 1 {
+		t.Errorf("both-empty score = %+v", bothEmpty)
+	}
+	if perfect.String() == "" {
+		t.Error("score should format")
+	}
+}
+
+// TestEstimatorsOnSimulatedMeasurement runs the estimators on a real
+// simulated rooftop measurement and scores them against the site's
+// geometric ground truth — the §5 end-to-end loop.
+func TestEstimatorsOnSimulatedMeasurement(t *testing.T) {
+	site := world.RooftopSite()
+	// Aggregate several 30 s runs (the paper repeated each experiment
+	// ≥10 times) for denser coverage.
+	agg := &ObservationSet{Site: site.Name}
+	for seed := int64(0); seed < 6; seed++ {
+		obs := runSite(t, site, 60, 100+seed)
+		agg.Observations = append(agg.Observations, obs.Observations...)
+	}
+	truth := site.ClearSectors()
+	occ := ScoreFoV(SectorOccupancyFoV{}.Estimate(agg), truth)
+	knn := ScoreFoV(KNNFoV{}.Estimate(agg), truth)
+	if occ.IoU < 0.5 {
+		t.Errorf("sector occupancy IoU %.2f on simulated rooftop", occ.IoU)
+	}
+	if knn.IoU < 0.5 {
+		t.Errorf("knn IoU %.2f on simulated rooftop", knn.IoU)
+	}
+}

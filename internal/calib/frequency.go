@@ -1,0 +1,322 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+
+	"sensorcal/internal/antenna"
+	"sensorcal/internal/cellsim"
+	"sensorcal/internal/fmsim"
+	"sensorcal/internal/rfmath"
+	"sensorcal/internal/sdr"
+	"sensorcal/internal/tvsim"
+	"sensorcal/internal/world"
+)
+
+// WorldScene adapts the world model to the scanner/receiver Scene
+// interfaces: for any tuning it computes each transmitter's received power
+// through the site's obstructions and the node's antenna, then renders the
+// corresponding emissions.
+type WorldScene struct {
+	Site    *world.Site
+	Antenna antenna.Pattern
+	Towers  []world.CellTower
+	TV      []world.TVStation
+	FM      []world.FMStation
+	// Fader adds per-measurement shadowing; nil disables fading.
+	Fader *rfmath.Fader
+}
+
+// rxPower computes the received power of a transmitter at the site.
+func (ws *WorldScene) rxPower(tx world.Transmitter, model world.PropagationModel) float64 {
+	g := ws.Site.GeometryTo(tx.Position)
+	gain := 0.0
+	if ws.Antenna != nil {
+		gain = ws.Antenna.GainDBi(g.BearingDeg, g.ElevationDeg, tx.FrequencyHz)
+	}
+	fade := 0.0
+	if ws.Fader != nil && ws.Site.ObstructionLossDB(g.BearingDeg, g.ElevationDeg, tx.FrequencyHz) > 0 {
+		fade = ws.Fader.ShadowingDB(ws.Site.ShadowSigmaDB / 2)
+	}
+	lb := ws.Site.Link(tx, model, world.RxConfig{GainDBi: gain, NoiseFigureDB: 6, TempK: 290}, fade)
+	return lb.ReceivedPowerDBm()
+}
+
+// EmissionsFor implements both cellsim.Scene and tvsim.Scene.
+func (ws *WorldScene) EmissionsFor(tunedHz, sampleRate float64, samples int) ([]sdr.Emission, error) {
+	var out []sdr.Emission
+	for _, tw := range ws.Towers {
+		cell := TowerCell(tw)
+		rx := ws.rxPower(tw.Transmitter(), world.ModelUrban)
+		ems, err := cell.Emissions(tunedHz, sampleRate, samples, rx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ems...)
+	}
+	for _, st := range ws.TV {
+		rx := ws.rxPower(st.Transmitter(), world.ModelUrban)
+		if em, ok := (tvsim.Station{CallSign: st.CallSign, CenterHz: st.CenterHz}).Emission(tunedHz, sampleRate, rx); ok {
+			out = append(out, em)
+		}
+	}
+	for _, st := range ws.FM {
+		rx := ws.rxPower(st.Transmitter(), world.ModelUrban)
+		if ems, ok := (fmsim.Station{CallSign: st.CallSign, CenterHz: st.CenterHz}).Emission(tunedHz, sampleRate, rx); ok {
+			out = append(out, ems...)
+		}
+	}
+	return out, nil
+}
+
+// TowerCell converts a testbed tower into its cellsim database entry.
+func TowerCell(tw world.CellTower) cellsim.Cell {
+	return cellsim.Cell{
+		Name:        tw.Name,
+		PCI:         tw.ID * 7, // arbitrary but stable
+		EARFCN:      tw.EARFCN,
+		BandwidthHz: tw.BandwidthHz,
+	}
+}
+
+// TowerReading is one bar of Figure 3.
+type TowerReading struct {
+	Tower  world.CellTower
+	Result cellsim.ScanResult
+}
+
+// TVReading is one bar of Figure 4.
+type TVReading struct {
+	Station     world.TVStation
+	Measurement tvsim.Measurement
+}
+
+// FMReading is one FM channel measurement (§5 extension).
+type FMReading struct {
+	Station     world.FMStation
+	Measurement fmsim.Measurement
+}
+
+// FrequencyConfig configures a §3.2 measurement.
+type FrequencyConfig struct {
+	Site    *world.Site
+	Antenna antenna.Pattern
+	Towers  []world.CellTower
+	TV      []world.TVStation
+	FM      []world.FMStation
+	// DeviceProfile defaults to the paper's BladeRF xA9.
+	DeviceProfile *sdr.Profile
+	// GainDB is the fixed front-end gain (paper: fixed, no AGC).
+	GainDB float64
+	Seed   int64
+}
+
+func (c *FrequencyConfig) defaults() {
+	if c.Antenna == nil {
+		c.Antenna = antenna.PaperAntenna()
+	}
+	if c.DeviceProfile == nil {
+		p := sdr.BladeRFxA9()
+		c.DeviceProfile = &p
+	}
+	if c.GainDB == 0 {
+		c.GainDB = 30
+	}
+}
+
+// FrequencyReport is the outcome of the full §3.2 sweep.
+type FrequencyReport struct {
+	Site   string
+	Towers []TowerReading
+	TV     []TVReading
+	FM     []FMReading
+}
+
+// DecodedTowers returns how many towers produced a Figure 3 bar.
+func (r *FrequencyReport) DecodedTowers() int {
+	n := 0
+	for _, t := range r.Towers {
+		if t.Result.Decoded {
+			n++
+		}
+	}
+	return n
+}
+
+// RunFrequency executes the cellular and TV sweeps at a site.
+func RunFrequency(cfg FrequencyConfig) (*FrequencyReport, error) {
+	cfg.defaults()
+	if cfg.Site == nil {
+		return nil, fmt.Errorf("calib: frequency config needs a site")
+	}
+	if err := cfg.Site.Validate(); err != nil {
+		return nil, err
+	}
+	scene := &WorldScene{
+		Site:    cfg.Site,
+		Antenna: cfg.Antenna,
+		Towers:  cfg.Towers,
+		TV:      cfg.TV,
+		FM:      cfg.FM,
+		Fader:   rfmath.NewFader(cfg.Seed),
+	}
+	report := &FrequencyReport{Site: cfg.Site.Name}
+
+	// Cellular sweep (srsUE role).
+	dev := sdr.New(*cfg.DeviceProfile, cfg.Seed+1)
+	if err := dev.SetGain(cfg.GainDB); err != nil {
+		return nil, err
+	}
+	scanner := cellsim.NewScanner(dev)
+	for _, tw := range cfg.Towers {
+		res, err := scanner.ScanChannel(scene, TowerCell(tw))
+		if err != nil {
+			return nil, fmt.Errorf("calib: tower %d: %w", tw.ID, err)
+		}
+		report.Towers = append(report.Towers, TowerReading{Tower: tw, Result: res})
+	}
+
+	// TV sweep (GNU Radio role) with a fresh device at the same fixed
+	// gain.
+	tvDev := sdr.New(*cfg.DeviceProfile, cfg.Seed+2)
+	if err := tvDev.SetGain(cfg.GainDB); err != nil {
+		return nil, err
+	}
+	rxr := tvsim.NewReceiver(tvDev)
+	for _, st := range cfg.TV {
+		m, err := rxr.MeasureChannel(scene, st.CenterHz)
+		if err != nil {
+			return nil, fmt.Errorf("calib: station %s: %w", st.CallSign, err)
+		}
+		report.TV = append(report.TV, TVReading{Station: st, Measurement: m})
+	}
+
+	// FM sweep (§5 extension), same fixed gain.
+	if len(cfg.FM) > 0 {
+		fmDev := sdr.New(*cfg.DeviceProfile, cfg.Seed+3)
+		if err := fmDev.SetGain(cfg.GainDB); err != nil {
+			return nil, err
+		}
+		fmr := fmsim.NewReceiver(fmDev)
+		for _, st := range cfg.FM {
+			m, err := fmr.MeasureChannel(scene, st.CenterHz)
+			if err != nil {
+				return nil, fmt.Errorf("calib: FM station %s: %w", st.CallSign, err)
+			}
+			report.FM = append(report.FM, FMReading{Station: st, Measurement: m})
+		}
+	}
+	return report, nil
+}
+
+// BandClass buckets frequencies the way the paper discusses them.
+type BandClass int
+
+const (
+	// BandFM is the 87.5–108 MHz broadcast band (out of the paper
+	// antenna's range — probes roll-off).
+	BandFM BandClass = iota
+	// BandTV is sub-700 MHz broadcast territory.
+	BandTV
+	// BandLow is 600 MHz–1 GHz cellular low band.
+	BandLow
+	// BandMid is 1–3 GHz cellular mid band.
+	BandMid
+)
+
+func (b BandClass) String() string {
+	switch b {
+	case BandFM:
+		return "FM (88-108MHz)"
+	case BandTV:
+		return "sub-700MHz TV"
+	case BandLow:
+		return "low-band (<1GHz)"
+	case BandMid:
+		return "mid-band (1-3GHz)"
+	}
+	return "?"
+}
+
+// ClassifyHz maps a frequency to its band class.
+func ClassifyHz(hz float64) BandClass {
+	switch {
+	case hz < 150e6:
+		return BandFM
+	case hz < 700e6:
+		return BandTV
+	case hz < 1e9:
+		return BandLow
+	default:
+		return BandMid
+	}
+}
+
+// BandScore summarizes reception quality in one band class on [0,1].
+type BandScore struct {
+	Class BandClass
+	// Score is 1.0 for unimpaired reception, 0 for none.
+	Score float64
+	// Evidence describes what the score is based on.
+	Evidence string
+}
+
+// BandScores grades each band class from a frequency report. Cellular
+// readings grade by decode success and RSRP margin; TV readings by margin
+// above the noise floor.
+func (r *FrequencyReport) BandScores() []BandScore {
+	classes := []BandClass{BandTV, BandLow, BandMid}
+	if len(r.FM) > 0 {
+		classes = append([]BandClass{BandFM}, classes...)
+	}
+	out := make([]BandScore, 0, len(classes))
+	for _, cls := range classes {
+		var score, weight float64
+		var n int
+		for _, t := range r.Towers {
+			if ClassifyHz(t.Result.FrequencyHz) != cls {
+				continue
+			}
+			n++
+			weight++
+			if t.Result.Decoded {
+				// Full credit at RSRP ≥ -85, scaling down to the decode
+				// threshold.
+				s := (t.Result.RSRPDBm + 105) / 20
+				score += math.Max(0.2, math.Min(1, s))
+			}
+		}
+		for _, tv := range r.TV {
+			if ClassifyHz(tv.Station.CenterHz) != cls {
+				continue
+			}
+			n++
+			weight++
+			// Full credit at ≥40 dB margin over the floor.
+			s := tv.Measurement.MarginDB() / 40
+			score += math.Max(0, math.Min(1, s))
+		}
+		for _, fm := range r.FM {
+			if ClassifyHz(fm.Station.CenterHz) != cls {
+				continue
+			}
+			n++
+			weight++
+			// Normalize to the 6 MHz reference bandwidth: a 200 kHz
+			// channel's noise floor is ~14.8 dB lower, which would
+			// otherwise hand FM free margin relative to TV.
+			norm := 10 * math.Log10(6e6/200e3)
+			s := (fm.Measurement.MarginDB() - norm) / 40
+			score += math.Max(0, math.Min(1, s))
+		}
+		bs := BandScore{Class: cls}
+		if weight > 0 {
+			bs.Score = score / weight
+			bs.Evidence = fmt.Sprintf("%d measurements", n)
+		} else {
+			bs.Evidence = "no signals of opportunity in band"
+		}
+		out = append(out, bs)
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"sensorcal/internal/sdr"
+	"sensorcal/internal/world"
+)
+
+func runFrequency(t *testing.T, site *world.Site, seed int64) *FrequencyReport {
+	t.Helper()
+	rep, err := RunFrequency(FrequencyConfig{
+		Site:   site,
+		Towers: world.Towers(),
+		TV:     world.TVStations(),
+		Seed:   seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestFrequencyRequiresSite(t *testing.T) {
+	if _, err := RunFrequency(FrequencyConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+}
+
+// TestFigure3DecodeMatrix asserts the paper's headline cellular result:
+// rooftop decodes all five towers, the window site decodes towers 1–3,
+// and the indoor site decodes only tower 1 (700 MHz penetrates).
+func TestFigure3DecodeMatrix(t *testing.T) {
+	want := map[string][]bool{
+		"rooftop": {true, true, true, true, true},
+		"window":  {true, true, true, false, false},
+		"indoor":  {true, false, false, false, false},
+	}
+	for _, site := range world.Sites() {
+		rep := runFrequency(t, site, 41)
+		if len(rep.Towers) != 5 {
+			t.Fatalf("%s: %d towers", site.Name, len(rep.Towers))
+		}
+		for i, tr := range rep.Towers {
+			if tr.Result.Decoded != want[site.Name][i] {
+				t.Errorf("%s tower %d: decoded=%v want %v (RSRP %.1f dBm, detected=%v)",
+					site.Name, tr.Tower.ID, tr.Result.Decoded, want[site.Name][i],
+					tr.Result.RSRPDBm, tr.Result.Detected)
+			}
+		}
+	}
+}
+
+// TestFigure3RSRPShape asserts the quantitative structure: rooftop RSRP is
+// high for every tower; the window readings are attenuated versus rooftop;
+// tower 1 is the strongest at the obstructed sites.
+func TestFigure3RSRPShape(t *testing.T) {
+	roof := runFrequency(t, world.RooftopSite(), 43)
+	win := runFrequency(t, world.WindowSite(), 43)
+	ind := runFrequency(t, world.IndoorSite(), 43)
+
+	for _, tr := range roof.Towers {
+		if !tr.Result.Decoded {
+			t.Fatalf("rooftop tower %d missing", tr.Tower.ID)
+		}
+		if tr.Result.RSRPDBm < -85 || tr.Result.RSRPDBm > -40 {
+			t.Errorf("rooftop tower %d RSRP %.1f outside the excellent range", tr.Tower.ID, tr.Result.RSRPDBm)
+		}
+	}
+	// Window attenuation relative to rooftop on the decodable towers.
+	for i := 0; i < 3; i++ {
+		delta := roof.Towers[i].Result.RSRPDBm - win.Towers[i].Result.RSRPDBm
+		if delta < 15 {
+			t.Errorf("window tower %d only %.1f dB below rooftop, want significant attenuation", i+1, delta)
+		}
+	}
+	// Tower 1 is the strongest reading at both obstructed sites.
+	for _, rep := range []*FrequencyReport{win, ind} {
+		for i := 1; i < 5; i++ {
+			if rep.Towers[i].Result.Decoded && rep.Towers[i].Result.RSRPDBm > rep.Towers[0].Result.RSRPDBm {
+				t.Errorf("%s: tower %d outranks tower 1", rep.Site, i+1)
+			}
+		}
+	}
+}
+
+// TestFigure4TVShape asserts the broadcast-TV behaviour: rooftop strong on
+// all six channels; obstructed sites attenuated but still receiving
+// sub-600 MHz; and the window's 521 MHz exception (its tower is in the
+// window's field of view, so the reading is far above the other
+// window channels and comparable to open-sky reception).
+func TestFigure4TVShape(t *testing.T) {
+	roof := runFrequency(t, world.RooftopSite(), 47)
+	win := runFrequency(t, world.WindowSite(), 47)
+	ind := runFrequency(t, world.IndoorSite(), 47)
+
+	if len(roof.TV) != 6 {
+		t.Fatalf("want 6 TV readings, got %d", len(roof.TV))
+	}
+	for i, tv := range roof.TV {
+		if tv.Station.CenterHz == 521e6 {
+			continue // SE tower is behind the rooftop's roof structures
+		}
+		if tv.Measurement.MarginDB() < 20 {
+			t.Errorf("rooftop %s margin %.1f dB, want strong", tv.Station.CallSign, tv.Measurement.MarginDB())
+		}
+		// Attenuated sites still receive the channel (the paper: "they
+		// can be used for sub-600 MHz spectrum measurements").
+		if win.TV[i].Measurement.MarginDB() < 5 {
+			t.Errorf("window %s margin %.1f dB, want receivable", tv.Station.CallSign, win.TV[i].Measurement.MarginDB())
+		}
+		if ind.TV[i].Measurement.MarginDB() < 5 {
+			t.Errorf("indoor %s margin %.1f dB, want receivable", tv.Station.CallSign, ind.TV[i].Measurement.MarginDB())
+		}
+		// And attenuated relative to the rooftop.
+		if roof.TV[i].Measurement.PowerDBFS-win.TV[i].Measurement.PowerDBFS < 10 {
+			t.Errorf("window %s not attenuated vs rooftop", tv.Station.CallSign)
+		}
+	}
+	// The 521 MHz exception: the window reading is the strongest of all
+	// window channels and beats the rooftop's (obstructed) 521 reading.
+	var win521, roof521 float64
+	best := math.Inf(-1)
+	for i, tv := range win.TV {
+		if tv.Measurement.PowerDBFS > best {
+			best = tv.Measurement.PowerDBFS
+		}
+		if tv.Station.CenterHz == 521e6 {
+			win521 = tv.Measurement.PowerDBFS
+			roof521 = roof.TV[i].Measurement.PowerDBFS
+		}
+	}
+	if win521 != best {
+		t.Errorf("window 521 MHz (%.1f dBFS) should be the strongest window channel (best %.1f)", win521, best)
+	}
+	if win521 <= roof521 {
+		t.Errorf("window 521 MHz (%.1f) should beat the rooftop's obstructed reading (%.1f)", win521, roof521)
+	}
+	// Pilot confirms a real ATSC signal on strong channels.
+	for _, tv := range roof.TV {
+		if tv.Measurement.MarginDB() > 25 && !tv.Measurement.PilotDetected {
+			t.Errorf("rooftop %s strong but pilot missing", tv.Station.CallSign)
+		}
+	}
+}
+
+func TestBandScoresOrdering(t *testing.T) {
+	roof := runFrequency(t, world.RooftopSite(), 51)
+	ind := runFrequency(t, world.IndoorSite(), 51)
+	rs, is := roof.BandScores(), ind.BandScores()
+	if len(rs) != 3 || len(is) != 3 {
+		t.Fatalf("band score counts: %d, %d", len(rs), len(is))
+	}
+	for i := range rs {
+		if rs[i].Score < is[i].Score {
+			t.Errorf("band %v: rooftop %.2f < indoor %.2f", rs[i].Class, rs[i].Score, is[i].Score)
+		}
+	}
+	// Indoor mid-band should be near zero; indoor TV band usable.
+	for _, b := range is {
+		switch b.Class {
+		case BandMid:
+			if b.Score > 0.2 {
+				t.Errorf("indoor mid-band score %.2f, want ≈0", b.Score)
+			}
+		case BandTV:
+			if b.Score < 0.2 {
+				t.Errorf("indoor TV score %.2f, want usable", b.Score)
+			}
+		}
+	}
+}
+
+func TestClassifyHz(t *testing.T) {
+	cases := map[float64]BandClass{
+		213e6: BandTV, 605e6: BandTV, 731e6: BandLow, 970e6: BandLow,
+		1970e6: BandMid, 2680e6: BandMid,
+	}
+	for hz, want := range cases {
+		if got := ClassifyHz(hz); got != want {
+			t.Errorf("ClassifyHz(%v) = %v, want %v", hz, got, want)
+		}
+	}
+	for _, b := range []BandClass{BandTV, BandLow, BandMid, BandClass(99)} {
+		if b.String() == "" {
+			t.Error("band class should format")
+		}
+	}
+}
+
+func TestRTLSDRCannotCoverMidBand(t *testing.T) {
+	// The crowd-sourced hardware-diversity case: an RTL-SDR node cannot
+	// tune the 2.6 GHz towers at all, so they report undecoded even on
+	// the rooftop.
+	p := sdr.RTLSDR()
+	rep, err := RunFrequency(FrequencyConfig{
+		Site:          world.RooftopSite(),
+		Towers:        world.Towers(),
+		DeviceProfile: &p,
+		GainDB:        40,
+		Seed:          53,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range rep.Towers {
+		if tr.Tower.DownlinkHz > 1.8e9 && tr.Result.Decoded {
+			t.Errorf("RTL-SDR decoded %v MHz, beyond its tuning range", tr.Tower.DownlinkHz/1e6)
+		}
+		if tr.Tower.ID == 1 && !tr.Result.Decoded {
+			t.Error("RTL-SDR should still decode the 731 MHz tower")
+		}
+	}
+}
+
+// TestFMExtension exercises the §5 "other RF sources" path: FM stations
+// measured through the 700–2700 MHz antenna come in heavily attenuated
+// relative to TV, grading the FM band far below the TV band and thereby
+// exposing the antenna's true lower range.
+func TestFMExtension(t *testing.T) {
+	rep, err := RunFrequency(FrequencyConfig{
+		Site: world.RooftopSite(),
+		TV:   world.TVStations(),
+		FM:   world.FMStations(),
+		Seed: 113,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.FM) != 3 {
+		t.Fatalf("FM readings = %d", len(rep.FM))
+	}
+	scores := rep.BandScores()
+	var fmScore, tvScore float64
+	seenFM := false
+	for _, b := range scores {
+		switch b.Class {
+		case BandFM:
+			fmScore = b.Score
+			seenFM = true
+		case BandTV:
+			tvScore = b.Score
+		}
+	}
+	if !seenFM {
+		t.Fatal("FM band missing from scores")
+	}
+	if fmScore >= tvScore {
+		t.Errorf("FM score %.2f should sit below TV score %.2f (antenna roll-off)", fmScore, tvScore)
+	}
+	// The strong local carriers are still detectable despite the antenna.
+	detected := 0
+	for _, fm := range rep.FM {
+		if fm.Measurement.CarrierDetected {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Error("no FM carriers detected at all — stations are high-EIRP and close")
+	}
+}
+
+func TestFMOmittedWhenNotConfigured(t *testing.T) {
+	rep := runFrequency(t, world.RooftopSite(), 127)
+	if len(rep.FM) != 0 {
+		t.Error("unconfigured FM sweep should be empty")
+	}
+	for _, b := range rep.BandScores() {
+		if b.Class == BandFM {
+			t.Error("FM band should not appear in scores without readings")
+		}
+	}
+}

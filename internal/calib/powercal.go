@@ -1,0 +1,117 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sensorcal/internal/antenna"
+	"sensorcal/internal/world"
+)
+
+// Absolute power calibration — the paper's §5 "Other types of
+// calibration": "if precise measurements of absolute received signal
+// power are needed, further techniques would be necessary as SDRs are not
+// inherently calibrated for this purpose."
+//
+// The technique here uses the same signals of opportunity: broadcast-TV
+// stations have registered EIRPs and fixed positions, so the *predicted*
+// received power at the node is known up to propagation modelling error.
+// Comparing several predicted powers with the node's reported powers
+// yields the node's systematic gain offset (cable loss, gain-table error,
+// antenna efficiency) as the robust median of the per-station residuals,
+// and the residual spread tells us how far to trust absolute readings
+// from this node afterwards.
+
+// PowerReference is one known transmitter with a measured power at the
+// node.
+type PowerReference struct {
+	Name string
+	// PredictedDBm is the expected receive power from the link budget.
+	PredictedDBm float64
+	// MeasuredDBm is what the node reported.
+	MeasuredDBm float64
+}
+
+// Residual returns measured − predicted: the per-reference gain error.
+func (p PowerReference) Residual() float64 { return p.MeasuredDBm - p.PredictedDBm }
+
+// PowerCalibration is the fitted correction for one node.
+type PowerCalibration struct {
+	// OffsetDB is the node's systematic gain error (median residual):
+	// subtract it from the node's readings to get calibrated power.
+	OffsetDB float64
+	// SpreadDB is the median absolute deviation of the residuals — the
+	// expected error of a single corrected reading.
+	SpreadDB float64
+	// References carries the per-station evidence.
+	References []PowerReference
+}
+
+// Usable reports whether absolute readings from the node can be trusted
+// after correction (spread within tol dB).
+func (pc PowerCalibration) Usable(tolDB float64) bool {
+	return len(pc.References) >= 3 && pc.SpreadDB <= tolDB
+}
+
+// Apply corrects a raw reading from the node.
+func (pc PowerCalibration) Apply(rawDBm float64) float64 { return rawDBm - pc.OffsetDB }
+
+func (pc PowerCalibration) String() string {
+	return fmt.Sprintf("gain offset %+.1f dB (spread %.1f dB over %d references)",
+		pc.OffsetDB, pc.SpreadDB, len(pc.References))
+}
+
+// FitPowerCalibration computes the robust offset from references.
+func FitPowerCalibration(refs []PowerReference) (PowerCalibration, error) {
+	if len(refs) == 0 {
+		return PowerCalibration{}, fmt.Errorf("calib: no power references")
+	}
+	res := make([]float64, len(refs))
+	for i, r := range refs {
+		res[i] = r.Residual()
+	}
+	sort.Float64s(res)
+	med := res[len(res)/2]
+	if len(res)%2 == 0 {
+		med = (res[len(res)/2-1] + res[len(res)/2]) / 2
+	}
+	devs := make([]float64, len(res))
+	for i, r := range res {
+		devs[i] = math.Abs(r - med)
+	}
+	sort.Float64s(devs)
+	mad := devs[len(devs)/2]
+	if len(devs)%2 == 0 {
+		mad = (devs[len(devs)/2-1] + devs[len(devs)/2]) / 2
+	}
+	return PowerCalibration{OffsetDB: med, SpreadDB: mad, References: refs}, nil
+}
+
+// PowerReferencesFromTV builds references from a frequency report: the
+// predicted power comes from the world's link budget (known EIRP,
+// distance, obstructions), the measured power from the node's TV sweep.
+// Channels whose pilot was checkable but absent are skipped — energy
+// without the ATSC pilot might not be the expected station. Narrowband
+// devices that cannot reach the pilot frequency keep their readings.
+func PowerReferencesFromTV(site *world.Site, ant antenna.Pattern, report *FrequencyReport) []PowerReference {
+	if ant == nil {
+		ant = antenna.PaperAntenna()
+	}
+	var refs []PowerReference
+	for _, tv := range report.TV {
+		if tv.Measurement.PilotCheckable && !tv.Measurement.PilotDetected {
+			continue
+		}
+		tx := tv.Station.Transmitter()
+		g := site.GeometryTo(tx.Position)
+		gain := ant.GainDBi(g.BearingDeg, g.ElevationDeg, tx.FrequencyHz)
+		lb := site.Link(tx, world.ModelUrban, world.RxConfig{GainDBi: gain, NoiseFigureDB: 6, TempK: 290}, 0)
+		refs = append(refs, PowerReference{
+			Name:         tv.Station.CallSign,
+			PredictedDBm: lb.ReceivedPowerDBm(),
+			MeasuredDBm:  tv.Measurement.PowerDBm,
+		})
+	}
+	return refs
+}

@@ -1,0 +1,157 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"sensorcal/internal/sdr"
+	"sensorcal/internal/world"
+)
+
+func TestFitPowerCalibrationRecoverOffset(t *testing.T) {
+	refs := []PowerReference{
+		{Name: "a", PredictedDBm: -50, MeasuredDBm: -57.2},
+		{Name: "b", PredictedDBm: -60, MeasuredDBm: -66.9},
+		{Name: "c", PredictedDBm: -45, MeasuredDBm: -52.1},
+		{Name: "d", PredictedDBm: -70, MeasuredDBm: -77.3},
+		{Name: "e", PredictedDBm: -55, MeasuredDBm: -40}, // outlier
+	}
+	pc, err := FitPowerCalibration(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median residual ≈ -7.1 despite the +15 outlier.
+	if math.Abs(pc.OffsetDB-(-7.1)) > 0.3 {
+		t.Errorf("offset = %v, want ≈ -7.1", pc.OffsetDB)
+	}
+	// Corrected reading.
+	if got := pc.Apply(-60); math.Abs(got-(-52.9)) > 0.3 {
+		t.Errorf("Apply(-60) = %v", got)
+	}
+	if pc.String() == "" {
+		t.Error("should format")
+	}
+}
+
+func TestFitPowerCalibrationErrors(t *testing.T) {
+	if _, err := FitPowerCalibration(nil); err == nil {
+		t.Error("no references should error")
+	}
+}
+
+func TestUsable(t *testing.T) {
+	good := PowerCalibration{SpreadDB: 1.5, References: make([]PowerReference, 5)}
+	if !good.Usable(3) {
+		t.Error("tight spread should be usable")
+	}
+	noisy := PowerCalibration{SpreadDB: 8, References: make([]PowerReference, 5)}
+	if noisy.Usable(3) {
+		t.Error("wide spread should not be usable")
+	}
+	few := PowerCalibration{SpreadDB: 0.1, References: make([]PowerReference, 2)}
+	if few.Usable(3) {
+		t.Error("two references are not enough")
+	}
+}
+
+// TestPowerCalibrationEndToEnd introduces a known gain-table error on the
+// node (the SDR believes its gain is 30 dB but the calibration pipeline is
+// told 36 dB, i.e. a 6 dB systematic error) and checks the TV-based
+// calibration recovers it.
+func TestPowerCalibrationEndToEnd(t *testing.T) {
+	site := world.RooftopSite()
+	// The node runs its sweep at an actual gain of 30 dB...
+	report, err := RunFrequency(FrequencyConfig{
+		Site:   site,
+		TV:     world.TVStations(),
+		GainDB: 30,
+		Seed:   101,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...but its gain table is off by +6 dB: every reported absolute
+	// power is 6 dB too low after the (wrong) dBFS→dBm conversion.
+	const gainError = 6.0
+	for i := range report.TV {
+		report.TV[i].Measurement.PowerDBm -= gainError
+	}
+	refs := PowerReferencesFromTV(site, nil, report)
+	if len(refs) < 4 {
+		t.Fatalf("only %d usable references", len(refs))
+	}
+	pc, err := FitPowerCalibration(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pc.OffsetDB-(-gainError)) > 2 {
+		t.Errorf("recovered offset %v dB, want ≈ %v", pc.OffsetDB, -gainError)
+	}
+	if !pc.Usable(4) {
+		t.Errorf("rooftop calibration should be usable: %v", pc)
+	}
+	// A corrected reading lands near the true power.
+	for _, r := range refs {
+		corrected := pc.Apply(r.MeasuredDBm)
+		if math.Abs(corrected-r.PredictedDBm) > 3*pc.SpreadDB+3 {
+			t.Errorf("%s: corrected %v vs predicted %v", r.Name, corrected, r.PredictedDBm)
+		}
+	}
+}
+
+func TestPowerCalibrationSkipsPilotlessChannels(t *testing.T) {
+	site := world.IndoorSite()
+	report, err := RunFrequency(FrequencyConfig{
+		Site:   site,
+		TV:     world.TVStations(),
+		Seed:   103,
+		GainDB: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := PowerReferencesFromTV(site, nil, report)
+	// Indoors some channels may lose their pilot; every reference that
+	// remains must have had a detected pilot.
+	for _, r := range refs {
+		found := false
+		for _, tv := range report.TV {
+			if tv.Station.CallSign == r.Name && tv.Measurement.PilotDetected {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("reference %s has no detected pilot", r.Name)
+		}
+	}
+}
+
+func TestPowerCalibrationAcrossDevices(t *testing.T) {
+	// An RTL-SDR node (different full-scale and NF) still calibrates: the
+	// method only needs consistent references.
+	p := sdr.RTLSDR()
+	site := world.RooftopSite()
+	report, err := RunFrequency(FrequencyConfig{
+		Site:          site,
+		TV:            world.TVStations(),
+		DeviceProfile: &p,
+		GainDB:        40,
+		Seed:          107,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := PowerReferencesFromTV(site, nil, report)
+	if len(refs) < 3 {
+		t.Fatalf("only %d references on RTL-SDR", len(refs))
+	}
+	pc, err := FitPowerCalibration(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No injected error: offset should be near zero (propagation model
+	// and measurement pipeline agree), spread small.
+	if math.Abs(pc.OffsetDB) > 3 {
+		t.Errorf("unexpected systematic offset %v dB", pc.OffsetDB)
+	}
+}

@@ -1,0 +1,150 @@
+package calib
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sensorcal/internal/antenna"
+	"sensorcal/internal/geo"
+	"sensorcal/internal/world"
+)
+
+// Grade is a letter summary of a quality score.
+type Grade string
+
+// GradeFor maps a [0,1] score to a letter grade.
+func GradeFor(score float64) Grade {
+	switch {
+	case score >= 0.85:
+		return "A"
+	case score >= 0.65:
+		return "B"
+	case score >= 0.45:
+		return "C"
+	case score >= 0.2:
+		return "D"
+	default:
+		return "F"
+	}
+}
+
+// Report is the full calibration output for one node: the product a
+// spectrum-sensing marketplace would attach to a listing.
+type Report struct {
+	Node      string
+	Generated time.Time
+
+	Directional *ObservationSet
+	FieldOfView geo.SectorSet
+	FoVCoverage float64
+
+	Frequency *FrequencyReport
+	Bands     []BandScore
+
+	Placement PlacementVerdict
+
+	// PowerCal is the optional absolute-power calibration (attach with
+	// AttachPowerCalibration).
+	PowerCal *PowerCalibration
+
+	// Overall is the headline quality score on [0,1].
+	Overall float64
+}
+
+// AttachPowerCalibration fits and stores the absolute-power correction
+// from the report's TV readings (no-op when there are too few usable
+// references).
+func (r *Report) AttachPowerCalibration(site *world.Site, ant antenna.Pattern) {
+	if r.Frequency == nil || site == nil {
+		return
+	}
+	refs := PowerReferencesFromTV(site, ant, r.Frequency)
+	if len(refs) < 3 {
+		return
+	}
+	pc, err := FitPowerCalibration(refs)
+	if err != nil {
+		return
+	}
+	r.PowerCal = &pc
+}
+
+// BuildReport assembles a report from measurement outputs.
+func BuildReport(node string, at time.Time, obs *ObservationSet, freq *FrequencyReport) *Report {
+	r := &Report{Node: node, Generated: at, Directional: obs, Frequency: freq}
+	if obs != nil {
+		r.FieldOfView = SectorOccupancyFoV{}.Estimate(obs)
+		r.FoVCoverage = r.FieldOfView.Coverage()
+	}
+	if freq != nil {
+		r.Bands = freq.BandScores()
+	}
+	r.Placement = ClassifyPlacement(obs, freq)
+
+	// Overall: mean of band scores weighted equally with normalized FoV
+	// coverage.
+	var sum, n float64
+	for _, b := range r.Bands {
+		sum += b.Score
+		n++
+	}
+	if obs != nil {
+		sum += r.FoVCoverage / 360
+		n++
+	}
+	if n > 0 {
+		r.Overall = sum / n
+	}
+	return r
+}
+
+// Render produces the human-readable calibration certificate.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Calibration report: %s (generated %s)\n", r.Node, r.Generated.Format(time.RFC3339))
+	fmt.Fprintf(&sb, "Overall grade: %s (%.2f)\n", GradeFor(r.Overall), r.Overall)
+	fmt.Fprintf(&sb, "Placement: %s\n", r.Placement)
+	if r.Directional != nil {
+		obs := len(r.Directional.Observed())
+		fmt.Fprintf(&sb, "ADS-B: %d/%d aircraft observed, FoV %s (%.0f° coverage), max range %.0f km\n",
+			obs, len(r.Directional.Observations), r.FieldOfView, r.FoVCoverage,
+			r.Directional.MaxObservedRangeKm(nil))
+	}
+	if r.Frequency != nil {
+		fmt.Fprintf(&sb, "Cellular: %d/%d towers decoded\n", r.Frequency.DecodedTowers(), len(r.Frequency.Towers))
+		for _, t := range r.Frequency.Towers {
+			status := "missing"
+			if t.Result.Decoded {
+				status = fmt.Sprintf("RSRP %.1f dBm", t.Result.RSRPDBm)
+			}
+			fmt.Fprintf(&sb, "  %-8s %7.1f MHz  %s\n", t.Tower.Name, t.Result.FrequencyHz/1e6, status)
+		}
+		fmt.Fprintf(&sb, "Broadcast TV:\n")
+		for _, tv := range r.Frequency.TV {
+			fmt.Fprintf(&sb, "  %-8s %5.0f MHz  %6.1f dBFS (margin %4.1f dB, pilot %v)\n",
+				tv.Station.CallSign, tv.Station.CenterHz/1e6, tv.Measurement.PowerDBFS,
+				tv.Measurement.MarginDB(), tv.Measurement.PilotDetected)
+		}
+	}
+	if r.Frequency != nil && len(r.Frequency.FM) > 0 {
+		fmt.Fprintf(&sb, "FM broadcast (antenna roll-off probe):\n")
+		for _, fm := range r.Frequency.FM {
+			fmt.Fprintf(&sb, "  %-8s %5.1f MHz  %6.1f dBFS (margin %4.1f dB, carrier %v)\n",
+				fm.Station.CallSign, fm.Station.CenterHz/1e6, fm.Measurement.PowerDBFS,
+				fm.Measurement.MarginDB(), fm.Measurement.CarrierDetected)
+		}
+	}
+	for _, b := range r.Bands {
+		fmt.Fprintf(&sb, "Band %-18s grade %s (%.2f) — %s\n", b.Class, GradeFor(b.Score), b.Score, b.Evidence)
+	}
+	if r.PowerCal != nil {
+		fmt.Fprintf(&sb, "Absolute power: %v", r.PowerCal)
+		if r.PowerCal.Usable(4) {
+			sb.WriteString(" — calibrated readings usable\n")
+		} else {
+			sb.WriteString(" — spread too wide for absolute use\n")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,120 @@
+package calib
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sensorcal/internal/world"
+)
+
+func TestGradeFor(t *testing.T) {
+	cases := map[float64]Grade{1: "A", 0.9: "A", 0.7: "B", 0.5: "C", 0.3: "D", 0.1: "F", 0: "F"}
+	for score, want := range cases {
+		if got := GradeFor(score); got != want {
+			t.Errorf("GradeFor(%v) = %s, want %s", score, got, want)
+		}
+	}
+}
+
+func TestBuildReportRooftop(t *testing.T) {
+	obs, freq := fullEvaluation(t, world.RooftopSite(), 83)
+	r := BuildReport("node-1", epoch, obs, freq)
+	if r.Overall < 0.5 {
+		t.Errorf("rooftop overall %.2f, want high", r.Overall)
+	}
+	if r.Placement.Placement != PlacementOutdoor {
+		t.Errorf("rooftop placement %v", r.Placement.Placement)
+	}
+	if r.FoVCoverage < 40 {
+		t.Errorf("rooftop FoV coverage %.0f°", r.FoVCoverage)
+	}
+	out := r.Render()
+	for _, want := range []string{"node-1", "Overall grade", "Tower 1", "KSIM-22", "Placement: outdoor", "ADS-B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildReportOrdering(t *testing.T) {
+	// The headline product claim: the report's overall score ranks the
+	// three installations rooftop > window > indoor.
+	var scores []float64
+	for _, site := range world.Sites() {
+		obs, freq := fullEvaluation(t, site, 89)
+		r := BuildReport(site.Name, epoch, obs, freq)
+		scores = append(scores, r.Overall)
+	}
+	if !(scores[0] > scores[1] && scores[1] > scores[2]) {
+		t.Errorf("overall score ordering violated: %v", scores)
+	}
+}
+
+func TestBuildReportPartialInputs(t *testing.T) {
+	r := BuildReport("bare", epoch, nil, nil)
+	if r.Overall != 0 {
+		t.Errorf("empty report overall = %v", r.Overall)
+	}
+	if out := r.Render(); !strings.Contains(out, "bare") {
+		t.Error("render should include the node name")
+	}
+	// Frequency-only report still renders and scores.
+	freq := runFrequency(t, world.RooftopSite(), 97)
+	r2 := BuildReport("freq-only", epoch, nil, freq)
+	if r2.Overall <= 0 {
+		t.Error("frequency-only report should have a positive score")
+	}
+}
+
+func TestReportPowerCalibration(t *testing.T) {
+	site := world.RooftopSite()
+	freq := runFrequency(t, site, 131)
+	r := BuildReport("pc-node", epoch, nil, freq)
+	if r.PowerCal != nil {
+		t.Fatal("power cal should not attach implicitly")
+	}
+	r.AttachPowerCalibration(site, nil)
+	if r.PowerCal == nil {
+		t.Fatal("power cal missing after attach")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Absolute power") {
+		t.Errorf("report missing power calibration section:\n%s", out)
+	}
+	// Attach is a no-op without frequency data.
+	r2 := BuildReport("bare", epoch, nil, nil)
+	r2.AttachPowerCalibration(site, nil)
+	if r2.PowerCal != nil {
+		t.Error("no-frequency report should not gain a power cal")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	obs, freq := fullEvaluation(t, world.RooftopSite(), 601)
+	r := BuildReport("json-node", epoch, obs, freq)
+	r.AttachPowerCalibration(world.RooftopSite(), nil)
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Node != r.Node || back.Overall != r.Overall ||
+		back.Placement.Placement != r.Placement.Placement ||
+		back.FoVCoverage != r.FoVCoverage {
+		t.Errorf("headline fields lost: %+v", back)
+	}
+	if len(back.Bands) != len(r.Bands) || len(back.Frequency.Towers) != len(r.Frequency.Towers) {
+		t.Error("nested structures lost")
+	}
+	if back.PowerCal == nil || back.PowerCal.OffsetDB != r.PowerCal.OffsetDB {
+		t.Error("power calibration lost")
+	}
+	// A deserialized report still renders.
+	if !strings.Contains(back.Render(), "json-node") {
+		t.Error("deserialized report does not render")
+	}
+}

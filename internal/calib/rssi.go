@@ -1,0 +1,69 @@
+package calib
+
+import "math"
+
+// The paper on raw signal strength (§3.1): "dump1090 provides RSSI
+// information, but transmit power can be between 75 and 500 W, limiting
+// the utility of this information from one measurement on one receiver."
+// RSSIRangeAnalysis quantifies that claim on an observation set so the
+// repository's experiments can demonstrate it rather than assert it: the
+// correlation between mean RSSI and log-range is diluted by the ~8 dB
+// transmit-power spread (and fading), which is why the calibration design
+// uses the binary observed/missed indicator instead.
+
+// RSSIRangeAnalysis summarizes the RSSI-vs-range relationship over the
+// observed aircraft of one measurement.
+type RSSIRangeAnalysis struct {
+	// Samples is the number of observed aircraft used.
+	Samples int
+	// Correlation is the Pearson correlation between mean RSSI (dB) and
+	// log10(range). Pure free-space propagation with uniform transmit
+	// power would give −1.
+	Correlation float64
+	// SlopeDBPerDecade is the least-squares slope; Friis predicts −20.
+	SlopeDBPerDecade float64
+	// ResidualStdDB is the scatter around the fit — dominated by the
+	// transponder power spread.
+	ResidualStdDB float64
+}
+
+// AnalyzeRSSIRange fits RSSI against log-range for the observed aircraft.
+func AnalyzeRSSIRange(obs *ObservationSet) RSSIRangeAnalysis {
+	var xs, ys []float64
+	for _, o := range obs.Observations {
+		if !o.Observed || o.RangeKm <= 0 || o.Messages == 0 {
+			continue
+		}
+		xs = append(xs, math.Log10(o.RangeKm))
+		ys = append(ys, o.MeanRSSI)
+	}
+	a := RSSIRangeAnalysis{Samples: len(xs)}
+	if len(xs) < 3 {
+		return a
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		syy += ys[i] * ys[i]
+		sxy += xs[i] * ys[i]
+	}
+	vx := sxx/n - sx/n*sx/n
+	vy := syy/n - sy/n*sy/n
+	cov := sxy/n - sx/n*sy/n
+	if vx <= 1e-12 || vy <= 1e-12 {
+		return a
+	}
+	a.Correlation = cov / math.Sqrt(vx*vy)
+	a.SlopeDBPerDecade = cov / vx
+	intercept := sy/n - a.SlopeDBPerDecade*sx/n
+	var ss float64
+	for i := range xs {
+		r := ys[i] - (intercept + a.SlopeDBPerDecade*xs[i])
+		ss += r * r
+	}
+	a.ResidualStdDB = math.Sqrt(ss / n)
+	return a
+}

@@ -1,0 +1,137 @@
+package calib
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPlanPicksBusyHours(t *testing.T) {
+	cfg := ScheduleConfig{
+		Forecast: TypicalAirportForecast(),
+		From:     time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC),
+		Horizon:  24 * time.Hour,
+		Windows:  4,
+	}
+	ws, err := PlanMeasurements(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 4 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	// Every pick should land in a busy hour (density ≥ 25), never in the
+	// overnight lull.
+	for _, w := range ws {
+		if w.ExpectedAircraft < 25 {
+			t.Errorf("picked hour %v with density %v", w.Start, w.ExpectedAircraft)
+		}
+		if w.Duration != 30*time.Second {
+			t.Errorf("window duration %v, want default 30 s", w.Duration)
+		}
+	}
+	// Sorted by start.
+	for i := 1; i < len(ws); i++ {
+		if ws[i].Start.Before(ws[i-1].Start) {
+			t.Fatal("windows not sorted")
+		}
+	}
+	// Distinct wall-clock slots.
+	seen := map[time.Time]bool{}
+	for _, w := range ws {
+		if seen[w.Start] {
+			t.Errorf("slot %v picked twice", w.Start)
+		}
+		seen[w.Start] = true
+	}
+}
+
+func TestPlanDiscountsCoveredSectors(t *testing.T) {
+	f := TypicalAirportForecast()
+	// Morning traffic flows in sector 0 only; evening traffic spreads.
+	f.SectorBias = map[int][12]float64{}
+	var morning [12]float64
+	morning[0] = 1
+	for h := 6; h <= 9; h++ {
+		f.SectorBias[h] = morning
+	}
+	var covered [12]bool
+	covered[0] = true
+
+	cfg := ScheduleConfig{
+		Forecast:       f,
+		From:           time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC),
+		Horizon:        24 * time.Hour,
+		Windows:        3,
+		CoveredSectors: covered,
+	}
+	ws, err := PlanMeasurements(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No pick should land in the 6–9 block whose traffic is already
+	// covered, despite its high density.
+	for _, w := range ws {
+		h := w.Start.Hour()
+		if h >= 6 && h <= 9 {
+			t.Errorf("picked covered-sector hour %d", h)
+		}
+	}
+}
+
+func TestPlanSpreadsAcrossHours(t *testing.T) {
+	cfg := ScheduleConfig{
+		Forecast: TypicalAirportForecast(),
+		From:     time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC),
+		Horizon:  72 * time.Hour,
+		Windows:  6,
+	}
+	ws, err := PlanMeasurements(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hours := map[int]int{}
+	for _, w := range ws {
+		hours[w.Start.Hour()]++
+	}
+	// Diminishing returns should spread picks over ≥3 distinct hours of
+	// day rather than hammering the single busiest hour.
+	if len(hours) < 3 {
+		t.Errorf("picks concentrated in %d hours: %v", len(hours), hours)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	base := ScheduleConfig{
+		Forecast: TypicalAirportForecast(),
+		From:     time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC),
+		Horizon:  time.Hour,
+		Windows:  1,
+	}
+	bad := base
+	bad.Windows = 0
+	if _, err := PlanMeasurements(bad); err == nil {
+		t.Error("zero windows should error")
+	}
+	bad = base
+	bad.Horizon = 0
+	if _, err := PlanMeasurements(bad); err == nil {
+		t.Error("zero horizon should error")
+	}
+	bad = base
+	bad.From = bad.From.Add(30 * time.Minute) // mid-hour start
+	bad.Horizon = time.Minute                 // no hour boundary inside
+	if _, err := PlanMeasurements(bad); err == nil {
+		t.Error("horizon without a full hour should error")
+	}
+	// More windows than slots: get all slots.
+	small := base
+	small.Horizon = 2 * time.Hour
+	small.Windows = 10
+	ws, err := PlanMeasurements(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Errorf("got %d windows from 2 slots", len(ws))
+	}
+}

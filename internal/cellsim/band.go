@@ -1,0 +1,72 @@
+// Package cellsim simulates the cellular side of the paper's §3.2
+// frequency-response experiment: LTE/NR downlink channels identified by
+// EARFCN (as listed on cellmapper-style databases), base stations that
+// emit a Zadoff–Chu primary synchronization sequence plus an OFDM-shaped
+// signal body, and an srsUE-class scanner that detects cells by PSS
+// correlation and measures their RSRP.
+//
+// Simplifications relative to a full LTE stack (documented in DESIGN.md):
+// the PSS is a time-domain length-63 Zadoff–Chu burst rather than an
+// OFDM-mapped one, and "decoding a cell" is modelled as PSS detection plus
+// an RSRP threshold that stands in for srsUE's MIB/SIB decode chain. The
+// paper's observable — which towers produce a bar in Figure 3 at which
+// sites — depends only on detection success and measured RSRP, both of
+// which this model reproduces from the same link physics.
+package cellsim
+
+import "fmt"
+
+// Band describes one LTE band's downlink EARFCN range.
+type Band struct {
+	Name      string
+	FDLLowMHz float64 // downlink low edge frequency
+	NOffsDL   int     // EARFCN offset of the low edge
+	NDLMin    int
+	NDLMax    int
+}
+
+// bands lists the bands the testbed towers use (3GPP TS 36.101 table
+// 5.7.3-1).
+var bands = []Band{
+	{Name: "B2", FDLLowMHz: 1930, NOffsDL: 600, NDLMin: 600, NDLMax: 1199},
+	{Name: "B4", FDLLowMHz: 2110, NOffsDL: 1950, NDLMin: 1950, NDLMax: 2399},
+	{Name: "B7", FDLLowMHz: 2620, NOffsDL: 2750, NDLMin: 2750, NDLMax: 3449},
+	{Name: "B12", FDLLowMHz: 729, NOffsDL: 5010, NDLMin: 5010, NDLMax: 5179},
+}
+
+// EARFCNToHz converts a downlink EARFCN to its carrier frequency.
+func EARFCNToHz(earfcn int) (float64, error) {
+	for _, b := range bands {
+		if earfcn >= b.NDLMin && earfcn <= b.NDLMax {
+			return (b.FDLLowMHz + 0.1*float64(earfcn-b.NOffsDL)) * 1e6, nil
+		}
+	}
+	return 0, fmt.Errorf("cellsim: EARFCN %d not in a supported band", earfcn)
+}
+
+// HzToEARFCN converts a downlink frequency to the nearest EARFCN in a
+// supported band.
+func HzToEARFCN(hz float64) (int, error) {
+	mhz := hz / 1e6
+	for _, b := range bands {
+		n := b.NOffsDL + int((mhz-b.FDLLowMHz)/0.1+0.5)
+		if n >= b.NDLMin && n <= b.NDLMax {
+			// Verify the reverse mapping lands within 50 kHz.
+			f := b.FDLLowMHz + 0.1*float64(n-b.NOffsDL)
+			if d := f - mhz; d < 0.051 && d > -0.051 {
+				return n, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("cellsim: %0.1f MHz not in a supported band", mhz)
+}
+
+// BandName returns the band containing an EARFCN.
+func BandName(earfcn int) string {
+	for _, b := range bands {
+		if earfcn >= b.NDLMin && earfcn <= b.NDLMax {
+			return b.Name
+		}
+	}
+	return "?"
+}

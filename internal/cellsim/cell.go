@@ -1,0 +1,130 @@
+package cellsim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"sensorcal/internal/sdr"
+)
+
+// PSS roots for the three N_ID_2 values (3GPP TS 36.211 §6.11.1).
+var pssRoots = [3]int{25, 29, 34}
+
+// pssLen is the Zadoff–Chu sequence length used by the LTE PSS.
+const pssLen = 63
+
+// PSSSequence returns the length-63 Zadoff–Chu sequence for N_ID_2 ∈
+// {0,1,2} (the DC element, index 31, is zeroed as the standard punctures
+// it).
+func PSSSequence(nID2 int) ([]complex128, error) {
+	if nID2 < 0 || nID2 > 2 {
+		return nil, fmt.Errorf("cellsim: N_ID_2 %d out of range", nID2)
+	}
+	u := float64(pssRoots[nID2])
+	seq := make([]complex128, pssLen)
+	for n := 0; n < pssLen; n++ {
+		var ph float64
+		switch {
+		case n < 31:
+			ph = -math.Pi * u * float64(n) * float64(n+1) / 63
+		case n == 31:
+			seq[n] = 0
+			continue
+		default:
+			ph = -math.Pi * u * float64(n+1) * float64(n+2) / 63
+		}
+		seq[n] = cmplx.Exp(complex(0, ph))
+	}
+	return seq, nil
+}
+
+// Cell is one base-station sector as a database entry (the cellmapper
+// role) and an RF source.
+type Cell struct {
+	Name        string
+	PCI         int // physical cell ID, 0..503; N_ID_2 = PCI mod 3
+	EARFCN      int
+	BandwidthHz float64 // channel bandwidth (10e6 or 20e6 here)
+}
+
+// NID2 returns the PSS index of the cell.
+func (c Cell) NID2() int { return ((c.PCI % 3) + 3) % 3 }
+
+// NumRB returns the resource-block count for the channel bandwidth.
+func (c Cell) NumRB() int {
+	switch {
+	case c.BandwidthHz >= 20e6:
+		return 100
+	case c.BandwidthHz >= 15e6:
+		return 75
+	case c.BandwidthHz >= 10e6:
+		return 50
+	case c.BandwidthHz >= 5e6:
+		return 25
+	default:
+		return 6
+	}
+}
+
+// RSRPOffsetDB converts between total in-channel power and RSRP:
+// RSRP = wideband − 10·log10(12 · NumRB), the per-resource-element share.
+func (c Cell) RSRPOffsetDB() float64 {
+	return 10 * math.Log10(float64(12*c.NumRB()))
+}
+
+// DownlinkHz returns the cell's carrier frequency.
+func (c Cell) DownlinkHz() (float64, error) { return EARFCNToHz(c.EARFCN) }
+
+// pssRepetitionSamples is the spacing between PSS bursts in the emitted
+// waveform; LTE sends the PSS every 5 ms.
+func pssRepetitionSamples(sampleRate float64) int {
+	return int(sampleRate * 5e-3)
+}
+
+// Emissions renders the cell as received with total in-channel power
+// rxPowerDBm, for a device tuned to tunedHz. The result is the signal body
+// (OFDM-shaped noise band) plus repeated PSS bursts at the carrier offset.
+func (c Cell) Emissions(tunedHz, sampleRate float64, captureSamples int, rxPowerDBm float64) ([]sdr.Emission, error) {
+	carrier, err := c.DownlinkHz()
+	if err != nil {
+		return nil, err
+	}
+	offset := carrier - tunedHz
+	if math.Abs(offset)-c.BandwidthHz/2 > sampleRate/2 {
+		// Out of the capture passband entirely: contributes nothing.
+		// Partial overlap is fine — the NoiseBand emission clips itself
+		// at the Nyquist edge, which is how a narrowband front end (an
+		// RTL-SDR on a 10 MHz carrier) sees a wide channel.
+		return nil, nil
+	}
+	// Put ~5% of the power into the sync bursts, the rest into the body.
+	// (The real PSS occupies the central 6 RB for one symbol per 5 ms —
+	// tiny average power — but our detector integrates a full burst, so
+	// the exact share only shifts the detection threshold.)
+	seq, err := PSSSequence(c.NID2())
+	if err != nil {
+		return nil, err
+	}
+	body := sdr.NoiseBand{
+		CenterOffsetHz: offset,
+		BandwidthHz:    c.BandwidthHz * 0.9, // occupied bandwidth
+		PowerDBm:       rxPowerDBm + 10*math.Log10(0.95),
+	}
+	ems := []sdr.Emission{body}
+	rep := pssRepetitionSamples(sampleRate)
+	burstPower := rxPowerDBm + 10*math.Log10(0.05)
+	// The PSS duty cycle: energy concentrated in pssLen samples out of
+	// each repetition period, so the per-burst power is higher.
+	duty := float64(pssLen) / float64(rep)
+	perBurst := burstPower - 10*math.Log10(duty)
+	for start := 0; start < captureSamples; start += rep {
+		ems = append(ems, sdr.Waveform{
+			Samples:           seq,
+			StartSample:       start,
+			PowerDBm:          perBurst,
+			FrequencyOffsetHz: offset,
+		})
+	}
+	return ems, nil
+}

@@ -1,0 +1,246 @@
+package cellsim
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"sensorcal/internal/sdr"
+)
+
+func TestEARFCNConversions(t *testing.T) {
+	// The testbed tower channels.
+	cases := []struct {
+		earfcn int
+		mhz    float64
+		band   string
+	}{
+		{5110, 739, "B12"},
+		{700, 1940, "B2"},
+		{2175, 2132.5, "B4"},
+		{3050, 2650, "B7"},
+		{3248, 2669.8, "B7"},
+	}
+	for _, c := range cases {
+		hz, err := EARFCNToHz(c.earfcn)
+		if err != nil {
+			t.Fatalf("EARFCN %d: %v", c.earfcn, err)
+		}
+		if math.Abs(hz-c.mhz*1e6) > 1 {
+			t.Errorf("EARFCN %d = %v Hz, want %v MHz", c.earfcn, hz, c.mhz)
+		}
+		if BandName(c.earfcn) != c.band {
+			t.Errorf("EARFCN %d band = %s, want %s", c.earfcn, BandName(c.earfcn), c.band)
+		}
+		back, err := HzToEARFCN(hz)
+		if err != nil || back != c.earfcn {
+			t.Errorf("round trip EARFCN %d -> %v Hz -> %d (%v)", c.earfcn, hz, back, err)
+		}
+	}
+	if _, err := EARFCNToHz(99999); err == nil {
+		t.Error("unknown EARFCN should error")
+	}
+	if _, err := HzToEARFCN(10e9); err == nil {
+		t.Error("unsupported frequency should error")
+	}
+	if BandName(99999) != "?" {
+		t.Error("unknown band should be ?")
+	}
+}
+
+func TestPSSSequenceProperties(t *testing.T) {
+	for nid2 := 0; nid2 < 3; nid2++ {
+		seq, err := PSSSequence(nid2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != 63 {
+			t.Fatalf("length %d", len(seq))
+		}
+		if seq[31] != 0 {
+			t.Error("DC element should be punctured")
+		}
+		// Constant amplitude off the punctured element.
+		for i, v := range seq {
+			if i == 31 {
+				continue
+			}
+			if math.Abs(cmplx.Abs(v)-1) > 1e-12 {
+				t.Fatalf("element %d magnitude %v", i, cmplx.Abs(v))
+			}
+		}
+	}
+	// Cross-correlation between different roots is low compared to the
+	// autocorrelation peak.
+	s0, _ := PSSSequence(0)
+	s1, _ := PSSSequence(1)
+	var auto, cross complex128
+	for i := range s0 {
+		auto += s0[i] * cmplx.Conj(s0[i])
+		cross += s0[i] * cmplx.Conj(s1[i])
+	}
+	if cmplx.Abs(cross) > 0.35*cmplx.Abs(auto) {
+		t.Errorf("cross-correlation %v too high vs auto %v", cmplx.Abs(cross), cmplx.Abs(auto))
+	}
+	if _, err := PSSSequence(3); err == nil {
+		t.Error("N_ID_2=3 should error")
+	}
+}
+
+func TestCellDerivedValues(t *testing.T) {
+	c := Cell{Name: "T2", PCI: 301, EARFCN: 700, BandwidthHz: 20e6}
+	if c.NID2() != 1 {
+		t.Errorf("NID2 = %d, want 1", c.NID2())
+	}
+	if c.NumRB() != 100 {
+		t.Errorf("NumRB = %d, want 100", c.NumRB())
+	}
+	if math.Abs(c.RSRPOffsetDB()-30.79) > 0.01 {
+		t.Errorf("RSRP offset = %v, want 30.79", c.RSRPOffsetDB())
+	}
+	ten := Cell{PCI: 2, EARFCN: 5110, BandwidthHz: 10e6}
+	if ten.NumRB() != 50 || ten.NID2() != 2 {
+		t.Errorf("10 MHz cell: RB=%d NID2=%d", ten.NumRB(), ten.NID2())
+	}
+}
+
+func testDevice(seed int64) *sdr.Device {
+	d := sdr.New(sdr.BladeRFxA9(), seed)
+	_ = d.SetGain(40)
+	return d
+}
+
+func TestScannerDetectsStrongCell(t *testing.T) {
+	cell := Cell{Name: "T1", PCI: 0, EARFCN: 5110, BandwidthHz: 10e6}
+	scene := StaticScene{{Cell: cell, RxPowerDBm: -60}}
+	s := NewScanner(testDevice(1))
+	res, err := s.ScanChannel(scene, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatalf("strong cell not detected: peak %v dB", res.PeakToAvgDB)
+	}
+	if res.NID2 != 0 {
+		t.Errorf("NID2 = %d, want 0", res.NID2)
+	}
+	// RSRP should be wideband − 27.78 ± a couple of dB.
+	want := -60.0 - cell.RSRPOffsetDB()
+	if math.Abs(res.RSRPDBm-want) > 2 {
+		t.Errorf("RSRP = %v, want ≈ %v", res.RSRPDBm, want)
+	}
+	if !res.Decoded {
+		t.Error("strong cell should decode")
+	}
+}
+
+func TestScannerIdentifiesNID2(t *testing.T) {
+	for pci := 0; pci < 3; pci++ {
+		cell := Cell{Name: "X", PCI: pci, EARFCN: 700, BandwidthHz: 20e6}
+		scene := StaticScene{{Cell: cell, RxPowerDBm: -55}}
+		s := NewScanner(testDevice(int64(2 + pci)))
+		res, err := s.ScanChannel(scene, cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Detected || res.NID2 != pci%3 {
+			t.Errorf("PCI %d: detected=%v NID2=%d", pci, res.Detected, res.NID2)
+		}
+	}
+}
+
+func TestScannerMissesAbsentCell(t *testing.T) {
+	cell := Cell{Name: "ghost", PCI: 7, EARFCN: 3050, BandwidthHz: 20e6}
+	s := NewScanner(testDevice(4))
+	res, err := s.ScanChannel(StaticScene{}, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected || res.Decoded {
+		t.Errorf("empty air detected a cell: %+v", res)
+	}
+}
+
+func TestScannerWeakCellDetectedButNotDecoded(t *testing.T) {
+	// A cell at RSRP ≈ -113 dBm: the PSS may correlate, but srsUE-class
+	// full decode fails (below the -105 threshold) → no bar in Figure 3.
+	cell := Cell{Name: "T4", PCI: 55, EARFCN: 3050, BandwidthHz: 20e6}
+	scene := StaticScene{{Cell: cell, RxPowerDBm: -82}}
+	s := NewScanner(testDevice(5))
+	res, err := s.ScanChannel(scene, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decoded {
+		t.Errorf("cell at RSRP %v should not decode", res.RSRPDBm)
+	}
+}
+
+func TestScannerDecodeThresholdBoundary(t *testing.T) {
+	cell := Cell{Name: "T1", PCI: 0, EARFCN: 5110, BandwidthHz: 10e6}
+	s := NewScanner(testDevice(6))
+	// Comfortably above threshold: wideband -70 → RSRP ≈ -97.8.
+	res, err := s.ScanChannel(StaticScene{{Cell: cell, RxPowerDBm: -70}}, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decoded {
+		t.Errorf("RSRP %v should decode (threshold %v)", res.RSRPDBm, s.DecodeThresholdDBm)
+	}
+}
+
+func TestScannerHandlesUntunableChannel(t *testing.T) {
+	// RTL-SDR cannot tune B7 (2.65 GHz): the scan must report the channel
+	// as absent, not fail.
+	dev := sdr.New(sdr.RTLSDR(), 7)
+	_ = dev.SetGain(40)
+	s := NewScanner(dev)
+	cell := Cell{Name: "T4", PCI: 1, EARFCN: 3050, BandwidthHz: 20e6}
+	res, err := s.ScanChannel(StaticScene{{Cell: cell, RxPowerDBm: -40}}, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected || res.Decoded {
+		t.Error("untunable channel must not detect")
+	}
+}
+
+func TestScanMultipleCells(t *testing.T) {
+	cells := []Cell{
+		{Name: "T1", PCI: 0, EARFCN: 5110, BandwidthHz: 10e6},
+		{Name: "T2", PCI: 1, EARFCN: 700, BandwidthHz: 20e6},
+	}
+	scene := StaticScene{
+		{Cell: cells[0], RxPowerDBm: -60},
+		{Cell: cells[1], RxPowerDBm: -65},
+	}
+	s := NewScanner(testDevice(8))
+	rs, err := s.Scan(scene, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for i, r := range rs {
+		if !r.Detected {
+			t.Errorf("cell %d not detected", i)
+		}
+	}
+	// RSRP ordering tracks power ordering.
+	if rs[0].RSRPDBm+27.78 < rs[1].RSRPDBm+30.79 {
+		t.Errorf("wideband power ordering violated: %+v", rs)
+	}
+}
+
+func TestEmissionsOutsidePassband(t *testing.T) {
+	cell := Cell{Name: "far", PCI: 0, EARFCN: 700, BandwidthHz: 20e6}
+	// Tuned 100 MHz away: nothing should render.
+	ems, err := cell.Emissions(1.8e9, 30e6, 1000, -50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ems != nil {
+		t.Error("out-of-band cell should render nothing")
+	}
+}

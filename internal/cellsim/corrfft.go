@@ -1,0 +1,108 @@
+package cellsim
+
+import (
+	"math/cmplx"
+
+	"sensorcal/internal/dsp"
+)
+
+// FFT-accelerated PSS search. The direct sliding correlation costs
+// O(N·M) complex multiplies (N capture samples, M=63 sequence length);
+// overlap-save correlation via the FFT costs O(N log B) for block size B.
+// Both produce the same peak-to-average statistic; the scanner exposes
+// the choice through UseFFTCorrelation and the repository benchmarks the
+// two as an ablation.
+
+// correlationEnergiesFFT computes |corr(x, seq)|² for every lag in
+// [0, len(x)-len(seq)] using overlap-save fast convolution.
+func correlationEnergiesFFT(x, seq []complex128) []float64 {
+	m := len(seq)
+	n := len(x)
+	if n < m {
+		return nil
+	}
+	out := make([]float64, n-m+1)
+
+	// Block size: a few times the sequence length keeps the overlap
+	// overhead low.
+	b := dsp.NextPow2(8 * m)
+	step := b - m + 1
+
+	// For correlation y[k] = Σ x[k+j]·conj(seq[j]), convolve x with the
+	// time-reversed conjugate kernel and read the outputs from offset
+	// m-1 — the standard matched-filter form.
+	hr := make([]complex128, b)
+	for i := 0; i < m; i++ {
+		hr[i] = cmplx.Conj(seq[m-1-i])
+	}
+	if err := dsp.FFT(hr); err != nil {
+		return nil
+	}
+
+	buf := make([]complex128, b)
+	for start := 0; start < n-m+1; start += step {
+		// Load block with m-1 samples of history for valid convolution.
+		for i := 0; i < b; i++ {
+			j := start + i
+			if j < n {
+				buf[i] = x[j]
+			} else {
+				buf[i] = 0
+			}
+		}
+		if err := dsp.FFT(buf); err != nil {
+			return nil
+		}
+		for i := range buf {
+			buf[i] *= hr[i]
+		}
+		if err := dsp.IFFT(buf); err != nil {
+			return nil
+		}
+		// Valid outputs of the convolution with the reversed kernel sit
+		// at indices m-1 .. b-1, corresponding to lags start .. start+step-1.
+		for i := 0; i < step; i++ {
+			lag := start + i
+			if lag >= len(out) {
+				break
+			}
+			v := buf[m-1+i]
+			out[lag] = real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	return out
+}
+
+// combinePeakToAvg folds per-lag energies across the repetition period and
+// returns peak over mean — shared by both correlation backends.
+func combinePeakToAvg(energies []float64, rep int) float64 {
+	if len(energies) == 0 || rep <= 0 {
+		return 0
+	}
+	span := rep
+	if span > len(energies) {
+		span = len(energies)
+	}
+	var peak, sum float64
+	count := 0
+	for i := 0; i < span; i++ {
+		var e float64
+		for j := i; j < len(energies); j += rep {
+			e += energies[j]
+		}
+		sum += e
+		count++
+		if e > peak {
+			peak = e
+		}
+	}
+	if count == 0 || sum == 0 {
+		return 0
+	}
+	return peak / (sum / float64(count))
+}
+
+// correlateCombinedFFT is the FFT-backed version of correlateCombined.
+func correlateCombinedFFT(x, seq []complex128, rep int) float64 {
+	return combinePeakToAvg(correlationEnergiesFFT(x, seq), rep)
+}

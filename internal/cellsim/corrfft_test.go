@@ -1,0 +1,123 @@
+package cellsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sensorcal/internal/sdr"
+)
+
+func TestFFTCorrelationMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	seq, err := PSSSequence(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 10_000
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 0.05
+	}
+	// Plant the sequence at a known offset.
+	for i, s := range seq {
+		x[4321+i] += s * 0.5
+	}
+	direct := correlationEnergies(x, seq)
+	fft := correlationEnergiesFFT(x, seq)
+	if len(direct) != len(fft) {
+		t.Fatalf("length mismatch: %d vs %d", len(direct), len(fft))
+	}
+	for i := range direct {
+		if math.Abs(direct[i]-fft[i]) > 1e-6*(direct[i]+1e-9) {
+			t.Fatalf("lag %d: direct %v vs fft %v", i, direct[i], fft[i])
+		}
+	}
+	// And the peak sits at the planted offset for both.
+	argmax := func(e []float64) int {
+		best := 0
+		for i, v := range e {
+			if v > e[best] {
+				best = i
+			}
+		}
+		_ = best
+		for i, v := range e {
+			if v > e[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	if argmax(direct) != 4321 || argmax(fft) != 4321 {
+		t.Errorf("peaks at %d / %d, want 4321", argmax(direct), argmax(fft))
+	}
+}
+
+func TestFFTCorrelationShortInput(t *testing.T) {
+	seq, _ := PSSSequence(0)
+	if got := correlationEnergiesFFT(make([]complex128, 10), seq); got != nil {
+		t.Error("input shorter than the sequence should give nil")
+	}
+	if combinePeakToAvg(nil, 100) != 0 {
+		t.Error("empty energies should give 0")
+	}
+	if combinePeakToAvg([]float64{1, 2}, 0) != 0 {
+		t.Error("non-positive rep should give 0")
+	}
+}
+
+func TestScannerFFTBackendAgrees(t *testing.T) {
+	cell := Cell{Name: "T1", PCI: 0, EARFCN: 5110, BandwidthHz: 10e6}
+	scene := StaticScene{{Cell: cell, RxPowerDBm: -60}}
+	mk := func(fft bool) ScanResult {
+		d := sdr.New(sdr.BladeRFxA9(), 77) // same seed: identical capture
+		_ = d.SetGain(40)
+		s := NewScanner(d)
+		s.UseFFTCorrelation = fft
+		res, err := s.ScanChannel(scene, cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	direct := mk(false)
+	fft := mk(true)
+	if direct.Detected != fft.Detected || direct.NID2 != fft.NID2 {
+		t.Errorf("backends disagree: %+v vs %+v", direct, fft)
+	}
+	if math.Abs(direct.PeakToAvgDB-fft.PeakToAvgDB) > 0.01 {
+		t.Errorf("peak statistics differ: %v vs %v", direct.PeakToAvgDB, fft.PeakToAvgDB)
+	}
+	if math.Abs(direct.RSRPDBm-fft.RSRPDBm) > 0.01 {
+		t.Errorf("RSRP differs: %v vs %v", direct.RSRPDBm, fft.RSRPDBm)
+	}
+}
+
+func BenchmarkPSSCorrelationDirect(b *testing.B) {
+	seq, _ := PSSSequence(0)
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 120_000) // one 5 ms period at 24 MS/s
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b.SetBytes(int64(len(x) * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		correlateCombined(x, seq, 100_000)
+	}
+}
+
+func BenchmarkPSSCorrelationFFT(b *testing.B) {
+	seq, _ := PSSSequence(0)
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 120_000)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b.SetBytes(int64(len(x) * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		correlateCombinedFFT(x, seq, 100_000)
+	}
+}

@@ -1,0 +1,106 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+
+func TestSimulatedNowAdvances(t *testing.T) {
+	c := NewSimulated(t0)
+	if !c.Now().Equal(t0) {
+		t.Fatal("start time wrong")
+	}
+	c.Advance(30 * time.Second)
+	if !c.Now().Equal(t0.Add(30 * time.Second)) {
+		t.Errorf("now = %v", c.Now())
+	}
+}
+
+func TestSimulatedAfterFiresInOrder(t *testing.T) {
+	c := NewSimulated(t0)
+	a := c.After(10 * time.Second)
+	b := c.After(5 * time.Second)
+	c.Advance(20 * time.Second)
+	tb := <-b
+	ta := <-a
+	if !tb.Equal(t0.Add(5 * time.Second)) {
+		t.Errorf("b fired at %v", tb)
+	}
+	if !ta.Equal(t0.Add(10 * time.Second)) {
+		t.Errorf("a fired at %v", ta)
+	}
+	if c.Pending() != 0 {
+		t.Errorf("pending = %d", c.Pending())
+	}
+}
+
+func TestSimulatedAfterPartialAdvance(t *testing.T) {
+	c := NewSimulated(t0)
+	ch := c.After(10 * time.Second)
+	c.Advance(5 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired early")
+	default:
+	}
+	if c.Pending() != 1 {
+		t.Errorf("pending = %d", c.Pending())
+	}
+	c.Advance(5 * time.Second)
+	if got := <-ch; !got.Equal(t0.Add(10 * time.Second)) {
+		t.Errorf("fired at %v", got)
+	}
+}
+
+func TestSimulatedZeroAfterFiresImmediately(t *testing.T) {
+	c := NewSimulated(t0)
+	select {
+	case <-c.After(0):
+	default:
+		t.Error("zero-delay After should be ready")
+	}
+}
+
+func TestSimulatedSleepUnblocksOnAdvance(t *testing.T) {
+	c := NewSimulated(t0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	done := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		c.Sleep(time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register its timer.
+	for c.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleep did not unblock")
+	}
+	wg.Wait()
+	// Zero/negative sleep returns immediately.
+	c.Sleep(0)
+	c.Sleep(-time.Second)
+}
+
+func TestSystemClockSane(t *testing.T) {
+	var c System
+	before := time.Now()
+	got := c.Now()
+	if got.Before(before.Add(-time.Second)) {
+		t.Error("system clock in the past")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Error("system After did not fire")
+	}
+	c.Sleep(time.Millisecond)
+}

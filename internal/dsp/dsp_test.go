@@ -1,0 +1,378 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownDFT(t *testing.T) {
+	// FFT of an impulse is flat.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+	// FFT of a single complex exponential concentrates in one bin.
+	n := 64
+	x = make([]complex128, n)
+	k := 5
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(k*i)/float64(n)))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		want := 0.0
+		if i == k {
+			want = float64(n)
+		}
+		if cmplx.Abs(v-complex(want, 0)) > 1e-9 {
+			t.Fatalf("bin %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 256)
+	orig := make([]complex128, 256)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = x[i]
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+			t.Fatalf("sample %d: %v != %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Parseval's identity — the paper's TV measurement leans on it:
+	// sum|x|² == (1/N) sum|X|².
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 128
+		x := make([]complex128, n)
+		var timePower float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			timePower += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		if err := FFT(x); err != nil {
+			return false
+		}
+		var freqPower float64
+		for _, v := range x {
+			freqPower += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(timePower-freqPower/float64(n)) < 1e-8*timePower
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTRejectsNonPow2(t *testing.T) {
+	if err := FFT(make([]complex128, 12)); err == nil {
+		t.Error("length 12 should error")
+	}
+	if err := FFT(nil); err != nil {
+		t.Error("empty input should be a no-op")
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestFFTFreq(t *testing.T) {
+	// 8-point FFT at 8 Hz: bins 0..3 are 0..3 Hz, bins 4..7 are -4..-1 Hz.
+	want := []float64{0, 1, 2, 3, -4, -3, -2, -1}
+	for i, w := range want {
+		if got := FFTFreq(i, 8, 8); got != w {
+			t.Errorf("FFTFreq(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestWindows(t *testing.T) {
+	for name, wf := range map[string]WindowFunc{"hann": Hann, "hamming": Hamming, "blackman": Blackman, "rect": Rectangular} {
+		w := wf(64)
+		if len(w) != 64 {
+			t.Fatalf("%s: wrong length", name)
+		}
+		for i, v := range w {
+			if v < -1e-12 || v > 1+1e-12 {
+				t.Fatalf("%s[%d] = %v out of [0,1]", name, i, v)
+			}
+		}
+		// Symmetry.
+		for i := 0; i < 32; i++ {
+			if math.Abs(w[i]-w[63-i]) > 1e-12 {
+				t.Fatalf("%s not symmetric at %d", name, i)
+			}
+		}
+		// Single-point window is 1.
+		if one := wf(1); len(one) != 1 || one[0] != 1 {
+			t.Fatalf("%s(1) = %v", name, one)
+		}
+	}
+	// Hann endpoints are zero; rectangular is all ones.
+	if h := Hann(16); h[0] != 0 || h[15] != 0 {
+		t.Error("Hann endpoints should be zero")
+	}
+	for _, v := range Rectangular(16) {
+		if v != 1 {
+			t.Error("rectangular should be all ones")
+		}
+	}
+}
+
+func TestLowpassResponse(t *testing.T) {
+	fs := 2e6
+	lp, err := DesignLowpass(200e3, fs, 129)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unity DC gain.
+	if g := lp.Response(0, fs); math.Abs(g-1) > 1e-6 {
+		t.Errorf("DC gain = %v, want 1", g)
+	}
+	// Passband nearly flat.
+	if g := lp.Response(100e3, fs); math.Abs(g-1) > 0.05 {
+		t.Errorf("passband gain at 100 kHz = %v", g)
+	}
+	// Stopband well down.
+	if g := lp.Response(500e3, fs); g > 0.01 {
+		t.Errorf("stopband gain at 500 kHz = %v, want < -40 dB", g)
+	}
+}
+
+func TestLowpassErrors(t *testing.T) {
+	if _, err := DesignLowpass(0, 1e6, 65); err == nil {
+		t.Error("zero cutoff should error")
+	}
+	if _, err := DesignLowpass(600e3, 1e6, 65); err == nil {
+		t.Error("cutoff above Nyquist should error")
+	}
+	if _, err := DesignLowpass(100e3, 1e6, 2); err == nil {
+		t.Error("too few taps should error")
+	}
+	// Even tap count is rounded up to odd.
+	lp, err := DesignLowpass(100e3, 1e6, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lp.Taps)%2 != 1 {
+		t.Error("tap count should be odd")
+	}
+}
+
+func TestBandpassSelectsBand(t *testing.T) {
+	fs := 10e6
+	bp, err := DesignBandpass(1e6, 2e6, fs, 255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := bp.Response(1.5e6, fs); g < 0.9 {
+		t.Errorf("in-band gain = %v, want ≈1", g)
+	}
+	for _, f := range []float64{0, 200e3, 3.5e6, 4.5e6} {
+		if g := bp.Response(f, fs); g > 0.05 {
+			t.Errorf("out-of-band gain at %v = %v", f, g)
+		}
+	}
+	if _, err := DesignBandpass(2e6, 1e6, fs, 255); err == nil {
+		t.Error("inverted band should error")
+	}
+	// lowHz=0 degenerates to a lowpass.
+	lp, err := DesignBandpass(0, 1e6, fs, 255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := lp.Response(0, fs); math.Abs(g-1) > 1e-6 {
+		t.Errorf("degenerate bandpass DC gain = %v", g)
+	}
+}
+
+func TestFIRApplyConvolves(t *testing.T) {
+	f := &FIR{Taps: []float64{0.25, 0.5, 0.25}}
+	x := []complex128{0, 0, 4, 0, 0}
+	y := f.Apply(x)
+	want := []complex128{0, 1, 2, 1, 0}
+	for i := range want {
+		if cmplx.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	ma, err := NewMovingAverage(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Value() != 0 || ma.Full() {
+		t.Error("fresh moving average should be empty")
+	}
+	// Partial fill averages what it has.
+	if got := ma.Push(4); got != 4 {
+		t.Errorf("after one push = %v, want 4", got)
+	}
+	ma.Push(8)
+	if got := ma.Value(); got != 6 {
+		t.Errorf("after two pushes = %v, want 6", got)
+	}
+	ma.Push(0)
+	ma.Push(0)
+	if !ma.Full() {
+		t.Error("window should be full")
+	}
+	if got := ma.Value(); got != 3 {
+		t.Errorf("full window = %v, want 3", got)
+	}
+	// Oldest sample (4) drops out.
+	if got := ma.Push(4); got != 3 {
+		t.Errorf("after rollover = %v, want 3", got)
+	}
+	if _, err := NewMovingAverage(0); err == nil {
+		t.Error("zero length should error")
+	}
+}
+
+func TestMovingAverageLongRunStability(t *testing.T) {
+	// Push a constant through a long window; no drift allowed.
+	ma, _ := NewMovingAverage(10_000)
+	for i := 0; i < 100_000; i++ {
+		ma.Push(0.125)
+	}
+	if math.Abs(ma.Value()-0.125) > 1e-12 {
+		t.Errorf("long-run mean drifted: %v", ma.Value())
+	}
+}
+
+func TestWelchPSDParsevalConsistency(t *testing.T) {
+	// Total integrated PSD must match time-domain power (Parseval).
+	rng := rand.New(rand.NewSource(3))
+	n := 1 << 14
+	fs := 10e6
+	x := make([]complex128, n)
+	var timePower float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64()*0.1, rng.NormFloat64()*0.1)
+		timePower += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	timePower /= float64(n)
+	psd, err := WelchPSD(x, fs, 1024, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := psd.TotalPower()
+	if math.Abs(got-timePower) > 0.05*timePower {
+		t.Errorf("PSD total power = %v, time-domain = %v", got, timePower)
+	}
+}
+
+func TestWelchPSDErrors(t *testing.T) {
+	if _, err := WelchPSD(make([]complex128, 100), 1e6, 300, Hann); err == nil {
+		t.Error("non-pow2 segment should error")
+	}
+	if _, err := WelchPSD(make([]complex128, 100), 1e6, 256, Hann); err == nil {
+		t.Error("input shorter than segment should error")
+	}
+}
+
+func TestBandPowerTimeDomainMeasuresTone(t *testing.T) {
+	// A tone at +1 MHz with power 0.25 inside a 6 MHz channel centered at
+	// +1 MHz must measure ≈0.25; a channel centered at -3 MHz must see
+	// nearly nothing.
+	fs := 20e6
+	n := 1 << 15
+	x := make([]complex128, n)
+	for i := range x {
+		ph := 2 * math.Pi * 1e6 * float64(i) / fs
+		x[i] = complex(0.5*math.Cos(ph), 0.5*math.Sin(ph))
+	}
+	inBand, err := BandPowerTimeDomain(x, fs, 1e6, 6e6, 129, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(inBand-0.25) > 0.02 {
+		t.Errorf("in-band power = %v, want 0.25", inBand)
+	}
+	outBand, err := BandPowerTimeDomain(x, fs, -7e6, 6e6, 129, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outBand > 0.001 {
+		t.Errorf("out-of-band power = %v, want ≈0", outBand)
+	}
+}
+
+func TestBandPowerSpectralAgreesWithTimeDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	fs := 20e6
+	n := 1 << 15
+	x := make([]complex128, n)
+	for i := range x {
+		ph := 2 * math.Pi * 2e6 * float64(i) / fs
+		x[i] = complex(0.3*math.Cos(ph), 0.3*math.Sin(ph)) +
+			complex(rng.NormFloat64()*0.01, rng.NormFloat64()*0.01)
+	}
+	td, err := BandPowerTimeDomain(x, fs, 2e6, 6e6, 129, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := BandPowerSpectral(x, fs, 2e6, 6e6, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(10*math.Log10(td/fd)) > 1 {
+		t.Errorf("time-domain %v vs spectral %v differ by >1 dB", td, fd)
+	}
+}
+
+func TestBandPowerEmptyInput(t *testing.T) {
+	if _, err := BandPowerTimeDomain(nil, 1e6, 0, 1e5, 65, 100); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestGoertzelDetectsPilot(t *testing.T) {
+	fs := 2e6
+	n := 4096
+	x := make([]complex128, n)
+	for i := range x {
+		ph := 2 * math.Pi * 310e3 * float64(i) / fs
+		x[i] = complex(0.1*math.Cos(ph), 0.1*math.Sin(ph))
+	}
+	at := Goertzel(x, fs, 310e3)
+	off := Goertzel(x, fs, 150e3)
+	if at < 100*off {
+		t.Errorf("pilot power %v should dominate off-frequency %v", at, off)
+	}
+	if Goertzel(nil, fs, 1) != 0 {
+		t.Error("empty input should give zero")
+	}
+}

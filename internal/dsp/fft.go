@@ -1,0 +1,90 @@
+// Package dsp implements the signal-processing blocks the paper's
+// measurement programs rely on: an FFT, window functions, windowed-sinc FIR
+// filter design, a very long moving-average filter, Welch power spectral
+// density estimation, and Parseval-based band-power measurement.
+//
+// The broadcast-TV experiment in §3.2 describes its receiver precisely:
+// "The received power was measured by bandpass filtering a desired ATSC
+// channel, then applying Parseval's identity to measure the band's power by
+// running the magnitude-squared time-domain samples through a very long
+// moving average filter." BandPowerTimeDomain is that exact pipeline.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two.
+func FFT(x []complex128) error {
+	return fftDir(x, false)
+}
+
+// IFFT computes the inverse FFT of x in place, including the 1/N scaling.
+func IFFT(x []complex128) error {
+	return fftDir(x, true)
+}
+
+func fftDir(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := 2 * math.Pi / float64(size) * sign
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				even := x[start+k]
+				odd := x[start+k+half] * w
+				x[start+k] = even + odd
+				x[start+k+half] = even - odd
+				w *= wBase
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	return nil
+}
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// FFTFreq returns the frequency in Hz of FFT bin i for an N-point FFT at
+// the given sample rate, mapping the upper half to negative frequencies.
+func FFTFreq(i, n int, sampleRate float64) float64 {
+	if i >= n/2 {
+		i -= n
+	}
+	return float64(i) * sampleRate / float64(n)
+}

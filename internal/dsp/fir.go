@@ -1,0 +1,154 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIR is a finite-impulse-response filter with real taps, applied to
+// complex baseband samples.
+type FIR struct {
+	Taps []float64
+}
+
+// sinc is the unnormalized sin(x)/x with sinc(0)=1.
+func sinc(x float64) float64 {
+	if math.Abs(x) < 1e-12 {
+		return 1
+	}
+	return math.Sin(x) / x
+}
+
+// DesignLowpass designs a windowed-sinc lowpass FIR with the given cutoff
+// (Hz), sample rate (Hz) and tap count (odd counts give linear phase with
+// an integer group delay). The Blackman window keeps stopband rejection
+// near −58 dB, plenty for separating 6 MHz TV channels.
+func DesignLowpass(cutoffHz, sampleRate float64, taps int) (*FIR, error) {
+	if taps < 3 {
+		return nil, fmt.Errorf("dsp: need at least 3 taps, got %d", taps)
+	}
+	if cutoffHz <= 0 || cutoffHz >= sampleRate/2 {
+		return nil, fmt.Errorf("dsp: cutoff %v Hz outside (0, %v)", cutoffHz, sampleRate/2)
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	h := make([]float64, taps)
+	w := Blackman(taps)
+	fc := cutoffHz / sampleRate
+	mid := float64(taps-1) / 2
+	var sum float64
+	for i := range h {
+		x := float64(i) - mid
+		h[i] = 2 * fc * sinc(2*math.Pi*fc*x) * w[i]
+		sum += h[i]
+	}
+	// Normalize to unity DC gain.
+	for i := range h {
+		h[i] /= sum
+	}
+	return &FIR{Taps: h}, nil
+}
+
+// DesignBandpass designs a windowed-sinc bandpass FIR covering
+// [lowHz, highHz] at baseband (for complex signals the band is taken
+// symmetric around its center after frequency translation; use
+// FilterAround for the full translate-filter-translate pipeline).
+func DesignBandpass(lowHz, highHz, sampleRate float64, taps int) (*FIR, error) {
+	if lowHz >= highHz {
+		return nil, fmt.Errorf("dsp: bandpass low %v ≥ high %v", lowHz, highHz)
+	}
+	lp, err := DesignLowpass(highHz, sampleRate, taps)
+	if err != nil {
+		return nil, err
+	}
+	if lowHz <= 0 {
+		return lp, nil
+	}
+	lp2, err := DesignLowpass(lowHz, sampleRate, len(lp.Taps))
+	if err != nil {
+		return nil, err
+	}
+	h := make([]float64, len(lp.Taps))
+	for i := range h {
+		h[i] = lp.Taps[i] - lp2.Taps[i]
+	}
+	return &FIR{Taps: h}, nil
+}
+
+// Apply filters x, returning a slice of the same length (zero-padded
+// edges, i.e. "same" convolution).
+func (f *FIR) Apply(x []complex128) []complex128 {
+	n := len(x)
+	m := len(f.Taps)
+	out := make([]complex128, n)
+	half := m / 2
+	for i := 0; i < n; i++ {
+		var acc complex128
+		for k := 0; k < m; k++ {
+			j := i + half - k
+			if j >= 0 && j < n {
+				acc += x[j] * complex(f.Taps[k], 0)
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Response returns the filter's magnitude response (linear) at frequency
+// hz for the given sample rate.
+func (f *FIR) Response(hz, sampleRate float64) float64 {
+	var re, im float64
+	w := 2 * math.Pi * hz / sampleRate
+	for k, t := range f.Taps {
+		re += t * math.Cos(w*float64(k))
+		im -= t * math.Sin(w*float64(k))
+	}
+	return math.Hypot(re, im)
+}
+
+// MovingAverage is the "very long moving average filter" from the paper's
+// TV measurement: an O(1)-per-sample running mean over a window of L
+// samples, applied to real-valued instantaneous power.
+type MovingAverage struct {
+	window []float64
+	sum    float64
+	idx    int
+	filled int
+}
+
+// NewMovingAverage returns a moving average over length samples.
+func NewMovingAverage(length int) (*MovingAverage, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("dsp: moving average length %d", length)
+	}
+	return &MovingAverage{window: make([]float64, length)}, nil
+}
+
+// Push adds a sample and returns the current mean over the (partially
+// filled at start-up) window.
+func (m *MovingAverage) Push(v float64) float64 {
+	m.sum -= m.window[m.idx]
+	m.window[m.idx] = v
+	m.sum += v
+	m.idx++
+	if m.idx == len(m.window) {
+		m.idx = 0
+	}
+	if m.filled < len(m.window) {
+		m.filled++
+	}
+	return m.sum / float64(m.filled)
+}
+
+// Value returns the current mean without adding a sample.
+func (m *MovingAverage) Value() float64 {
+	if m.filled == 0 {
+		return 0
+	}
+	return m.sum / float64(m.filled)
+}
+
+// Full reports whether the window has been completely filled.
+func (m *MovingAverage) Full() bool { return m.filled == len(m.window) }

@@ -1,0 +1,142 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// BandPowerTimeDomain implements the paper's TV-channel measurement
+// verbatim: bandpass-filter the desired channel, square the magnitude of
+// the time-domain output, and run it through a very long moving average.
+// It returns the averaged in-band power (linear full-scale units).
+//
+// centerHz is the channel center relative to the tuned baseband center;
+// widthHz is the channel bandwidth (6 MHz for ATSC). The input is consumed
+// as-is; the caller chooses the capture length ("live measurement" in the
+// paper means the average keeps updating — here we return the final value).
+func BandPowerTimeDomain(x []complex128, sampleRate, centerHz, widthHz float64, taps, avgLen int) (float64, error) {
+	if len(x) == 0 {
+		return 0, fmt.Errorf("dsp: empty input")
+	}
+	if avgLen <= 0 {
+		avgLen = len(x)
+	}
+	// Translate the channel to DC, lowpass at half the channel width,
+	// then measure |y|² through the moving average. This is the
+	// translate-filter form of the paper's bandpass.
+	shifted := make([]complex128, len(x))
+	w := -2 * math.Pi * centerHz / sampleRate
+	for i, s := range x {
+		c, sn := math.Cos(w*float64(i)), math.Sin(w*float64(i))
+		shifted[i] = s * complex(c, sn)
+	}
+	lp, err := DesignLowpass(widthHz/2, sampleRate, taps)
+	if err != nil {
+		return 0, err
+	}
+	y := lp.Apply(shifted)
+	ma, err := NewMovingAverage(avgLen)
+	if err != nil {
+		return 0, err
+	}
+	// Skip the filter's warm-up transient at the edges.
+	skip := len(lp.Taps)
+	if skip*2 >= len(y) {
+		skip = 0
+	}
+	var last float64
+	for _, s := range y[skip : len(y)-skip] {
+		last = ma.Push(real(s)*real(s) + imag(s)*imag(s))
+	}
+	return last, nil
+}
+
+// BandPowerSpectral measures in-band power by integrating a Welch PSD over
+// [centerHz-widthHz/2, centerHz+widthHz/2]. It is the frequency-domain
+// alternative benchmarked against the paper's time-domain method.
+func BandPowerSpectral(x []complex128, sampleRate, centerHz, widthHz float64, segment int) (float64, error) {
+	psd, err := WelchPSD(x, sampleRate, segment, Hann)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := centerHz-widthHz/2, centerHz+widthHz/2
+	var p float64
+	df := sampleRate / float64(len(psd.Density))
+	for i, d := range psd.Density {
+		f := FFTFreq(i, len(psd.Density), sampleRate)
+		if f >= lo && f <= hi {
+			p += d * df
+		}
+	}
+	return p, nil
+}
+
+// PSD holds a power spectral density estimate: Density[i] is the power per
+// Hz in FFT bin i (bin order as produced by FFT, i.e. DC first).
+type PSD struct {
+	Density    []float64
+	SampleRate float64
+}
+
+// WelchPSD estimates the PSD by averaging windowed periodograms over 50%
+// overlapping segments of the given power-of-two length.
+func WelchPSD(x []complex128, sampleRate float64, segment int, window WindowFunc) (*PSD, error) {
+	if segment <= 0 || segment&(segment-1) != 0 {
+		return nil, fmt.Errorf("dsp: segment %d must be a power of two", segment)
+	}
+	if len(x) < segment {
+		return nil, fmt.Errorf("dsp: input (%d) shorter than segment (%d)", len(x), segment)
+	}
+	w := window(segment)
+	gain := windowPowerGain(w)
+	density := make([]float64, segment)
+	buf := make([]complex128, segment)
+	hop := segment / 2
+	segments := 0
+	for start := 0; start+segment <= len(x); start += hop {
+		for i := 0; i < segment; i++ {
+			buf[i] = x[start+i] * complex(w[i], 0)
+		}
+		if err := FFT(buf); err != nil {
+			return nil, err
+		}
+		for i, s := range buf {
+			density[i] += real(s)*real(s) + imag(s)*imag(s)
+		}
+		segments++
+	}
+	norm := 1 / (float64(segments) * gain * sampleRate)
+	for i := range density {
+		density[i] *= norm
+	}
+	return &PSD{Density: density, SampleRate: sampleRate}, nil
+}
+
+// TotalPower integrates the PSD across the whole band, which by Parseval
+// equals the mean time-domain power.
+func (p *PSD) TotalPower() float64 {
+	df := p.SampleRate / float64(len(p.Density))
+	var sum float64
+	for _, d := range p.Density {
+		sum += d * df
+	}
+	return sum
+}
+
+// Goertzel computes the power of x at a single frequency, the cheap way to
+// check for a pilot tone without a full FFT.
+func Goertzel(x []complex128, sampleRate, hz float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	w := 2 * math.Pi * hz / sampleRate
+	// Complex Goertzel: correlate with e^{-jwt}.
+	var re, im float64
+	for i, s := range x {
+		c, sn := math.Cos(w*float64(i)), math.Sin(w*float64(i))
+		re += real(s)*c + imag(s)*sn
+		im += imag(s)*c - real(s)*sn
+	}
+	return (re*re + im*im) / float64(n) / float64(n)
+}

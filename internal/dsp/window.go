@@ -1,0 +1,65 @@
+package dsp
+
+import "math"
+
+// WindowFunc generates an n-point analysis window.
+type WindowFunc func(n int) []float64
+
+// Rectangular returns an all-ones window.
+func Rectangular(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Hann returns the raised-cosine Hann window.
+func Hann(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// Hamming returns the Hamming window.
+func Hamming(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// Blackman returns the Blackman window (−58 dB sidelobes), the usual
+// choice for windowed-sinc filter design.
+func Blackman(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		x := 2 * math.Pi * float64(i) / float64(n-1)
+		w[i] = 0.42 - 0.5*math.Cos(x) + 0.08*math.Cos(2*x)
+	}
+	return w
+}
+
+// windowPowerGain returns sum(w[i]^2), used to normalize PSD estimates.
+func windowPowerGain(w []float64) float64 {
+	var s float64
+	for _, v := range w {
+		s += v * v
+	}
+	return s
+}

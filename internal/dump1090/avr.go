@@ -1,0 +1,67 @@
+package dump1090
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+
+	"sensorcal/internal/modes"
+)
+
+// AVR raw format — the `*<hex>;` lines dump1090 serves on port 30002.
+// It is the lingua franca for feeding raw Mode S frames between tools
+// (readsb, adsbexchange feeders, test fixtures).
+
+// FormatAVR renders a raw frame as an AVR line.
+func FormatAVR(frame []byte) string {
+	return "*" + strings.ToUpper(hex.EncodeToString(frame)) + ";"
+}
+
+// ParseAVR extracts the raw frame bytes from an AVR line. Both 56-bit and
+// 112-bit frames are accepted; anything else is an error.
+func ParseAVR(line string) ([]byte, error) {
+	s := strings.TrimSpace(line)
+	if len(s) < 3 || s[0] != '*' || s[len(s)-1] != ';' {
+		return nil, fmt.Errorf("dump1090: %q is not an AVR line", line)
+	}
+	raw, err := hex.DecodeString(s[1 : len(s)-1])
+	if err != nil {
+		return nil, fmt.Errorf("dump1090: AVR hex: %w", err)
+	}
+	if len(raw) != modes.FrameLength && len(raw) != modes.ShortFrameLength {
+		return nil, fmt.Errorf("dump1090: AVR frame length %d", len(raw))
+	}
+	return raw, nil
+}
+
+// ReplayAVR feeds a sequence of AVR lines through the Mode S decoder into
+// the tracker (timestamps are synthetic and ordered). It returns how many
+// lines decoded, and the first hard parse error if any line was not AVR
+// at all; undecodable-but-well-formed frames are skipped and counted in
+// the pipeline stats.
+func (p *Pipeline) ReplayAVR(lines []string) (decoded int, err error) {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for _, line := range lines {
+		raw, perr := ParseAVR(line)
+		if perr != nil {
+			if err == nil {
+				err = perr
+			}
+			continue
+		}
+		if len(raw) != modes.FrameLength {
+			continue // short frames carry no ADS-B payload
+		}
+		f, derr := modes.Decode(raw)
+		if derr != nil {
+			p.DecodeErrors++
+			continue
+		}
+		p.FramesDecoded++
+		p.Tracker.Feed(at, f, 0)
+		decoded++
+		at = at.Add(100 * time.Millisecond)
+	}
+	return decoded, err
+}

@@ -1,0 +1,204 @@
+package dump1090
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sensorcal/internal/geo"
+	"sensorcal/internal/iq"
+	"sensorcal/internal/modes"
+	"sensorcal/internal/phy1090"
+)
+
+var t0 = time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+
+func frame(t *testing.T, icao modes.ICAO, msg modes.Message) *modes.Frame {
+	t.Helper()
+	wire, err := (&modes.Frame{ICAO: icao, Msg: msg}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := modes.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestTrackerAccumulatesMessages(t *testing.T) {
+	tr := NewTracker()
+	icao := modes.ICAO(0xABC123)
+	tr.Feed(t0, frame(t, icao, &modes.Identification{TC: 4, Callsign: "UAL123"}), -20)
+	tr.Feed(t0.Add(time.Second), frame(t, icao, &modes.Velocity{GroundSpeedKt: 400, TrackDeg: 90}), -25)
+	if tr.Len() != 1 {
+		t.Fatalf("tracks = %d", tr.Len())
+	}
+	trk, ok := tr.Track(icao)
+	if !ok {
+		t.Fatal("track missing")
+	}
+	if trk.Messages != 2 || trk.Callsign != "UAL123" {
+		t.Errorf("track = %+v", trk)
+	}
+	if trk.GroundSpeedKt != 400 {
+		t.Error("velocity not stored")
+	}
+	if trk.MeanRSSI() != -22.5 || trk.RSSIMax != -20 {
+		t.Errorf("RSSI stats wrong: mean %v max %v", trk.MeanRSSI(), trk.RSSIMax)
+	}
+	if !trk.FirstSeen.Equal(t0) || !trk.LastSeen.Equal(t0.Add(time.Second)) {
+		t.Error("timestamps wrong")
+	}
+	if !tr.Seen(icao) || tr.Seen(0x999999) {
+		t.Error("Seen predicate wrong")
+	}
+}
+
+func TestTrackerGlobalCPRDecode(t *testing.T) {
+	tr := NewTracker()
+	icao := modes.ICAO(0x111111)
+	lat, lon := 37.95, -122.35
+	even := &modes.AirbornePosition{TC: 11, AltitudeFt: 10000, AltValid: true, CPR: modes.EncodeCPR(lat, lon, false)}
+	odd := &modes.AirbornePosition{TC: 11, AltitudeFt: 10000, AltValid: true, CPR: modes.EncodeCPR(lat, lon, true)}
+
+	tr.Feed(t0, frame(t, icao, even), -30)
+	trk, _ := tr.Track(icao)
+	if trk.PositionValid {
+		t.Fatal("single fix must not produce a position without a receiver reference")
+	}
+	tr.Feed(t0.Add(500*time.Millisecond), frame(t, icao, odd), -30)
+	if !trk.PositionValid {
+		t.Fatal("even+odd pair should decode globally")
+	}
+	if geo.GroundDistance(trk.Position, geo.Point{Lat: lat, Lon: lon}) > 200 {
+		t.Errorf("decoded position %v too far from truth", trk.Position)
+	}
+	if trk.AltitudeFt != 10000 {
+		t.Errorf("altitude = %d", trk.AltitudeFt)
+	}
+}
+
+func TestTrackerRejectsStalePair(t *testing.T) {
+	tr := NewTracker()
+	icao := modes.ICAO(0x222222)
+	even := &modes.AirbornePosition{TC: 11, AltValid: true, AltitudeFt: 9000, CPR: modes.EncodeCPR(37.9, -122.3, false)}
+	odd := &modes.AirbornePosition{TC: 11, AltValid: true, AltitudeFt: 9000, CPR: modes.EncodeCPR(37.9, -122.3, true)}
+	tr.Feed(t0, frame(t, icao, even), -30)
+	tr.Feed(t0.Add(11*time.Second), frame(t, icao, odd), -30) // beyond the 10 s window
+	trk, _ := tr.Track(icao)
+	if trk.PositionValid {
+		t.Error("stale even/odd pair should not globally decode")
+	}
+}
+
+func TestTrackerLocalDecodeWithReceiverPosition(t *testing.T) {
+	tr := NewTracker()
+	tr.SetReceiverPosition(geo.Point{Lat: 37.8716, Lon: -122.2727})
+	icao := modes.ICAO(0x333333)
+	lat, lon := 38.1, -122.0
+	fix := &modes.AirbornePosition{TC: 11, AltValid: true, AltitudeFt: 12000, CPR: modes.EncodeCPR(lat, lon, false)}
+	tr.Feed(t0, frame(t, icao, fix), -35)
+	trk, _ := tr.Track(icao)
+	if !trk.PositionValid {
+		t.Fatal("receiver-relative local decode should work from a single fix")
+	}
+	if geo.GroundDistance(trk.Position, geo.Point{Lat: lat, Lon: lon}) > 200 {
+		t.Errorf("local decode off: %v", trk.Position)
+	}
+}
+
+func TestTrackerLocalUpdatesAfterFirstFix(t *testing.T) {
+	tr := NewTracker()
+	icao := modes.ICAO(0x444444)
+	lat, lon := 37.95, -122.35
+	tr.Feed(t0, frame(t, icao, &modes.AirbornePosition{TC: 11, AltValid: true, AltitudeFt: 10000, CPR: modes.EncodeCPR(lat, lon, false)}), -30)
+	tr.Feed(t0.Add(500*time.Millisecond), frame(t, icao, &modes.AirbornePosition{TC: 11, AltValid: true, AltitudeFt: 10000, CPR: modes.EncodeCPR(lat, lon, true)}), -30)
+	// Aircraft moves ~1 km north; a single new fix must track it.
+	lat2 := lat + 0.01
+	tr.Feed(t0.Add(time.Second), frame(t, icao, &modes.AirbornePosition{TC: 11, AltValid: true, AltitudeFt: 10025, CPR: modes.EncodeCPR(lat2, lon, false)}), -30)
+	trk, _ := tr.Track(icao)
+	if geo.GroundDistance(trk.Position, geo.Point{Lat: lat2, Lon: lon}) > 200 {
+		t.Errorf("position did not follow the aircraft: %v", trk.Position)
+	}
+	if trk.AltitudeFt != 10025 {
+		t.Errorf("altitude not refreshed: %d", trk.AltitudeFt)
+	}
+}
+
+func TestTracksSortedByICAO(t *testing.T) {
+	tr := NewTracker()
+	for _, icao := range []modes.ICAO{0x300000, 0x100000, 0x200000} {
+		tr.Feed(t0, frame(t, icao, &modes.Identification{TC: 4, Callsign: "X"}), -40)
+	}
+	tracks := tr.Tracks()
+	if len(tracks) != 3 {
+		t.Fatalf("tracks = %d", len(tracks))
+	}
+	for i := 1; i < len(tracks); i++ {
+		if tracks[i].ICAO < tracks[i-1].ICAO {
+			t.Fatal("tracks not sorted")
+		}
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	p := NewPipeline()
+	icao := modes.ICAO(0xA1B2C3)
+	wire, err := (&modes.Frame{ICAO: icao, Msg: &modes.Identification{TC: 4, Callsign: "SIM0001"}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := phy1090.Modulate(wire, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := iq.New(phy1090.FrameSamples+100, phy1090.SampleRate)
+	_ = cap.AddAt(burst, 40)
+	iq.NewNoiseSource(5).AddNoise(cap, iq.DBFSToPower(-45))
+
+	if n := p.ProcessCapture(t0, cap); n != 1 {
+		t.Fatalf("decoded %d frames", n)
+	}
+	if !p.Tracker.Seen(icao) {
+		t.Error("aircraft not tracked")
+	}
+	if p.FramesDecoded != 1 || p.FramesDemodulated != 1 {
+		t.Errorf("stats: %+v", p)
+	}
+	// Burst path.
+	if ok := p.ProcessBurst(t0.Add(time.Second), cap, 100); !ok {
+		t.Error("burst path failed")
+	}
+	trk, _ := p.Tracker.Track(icao)
+	if trk.Messages != 2 {
+		t.Errorf("messages = %d, want 2", trk.Messages)
+	}
+	// Pure-noise burst fails gracefully.
+	noise := iq.New(phy1090.FrameSamples+10, phy1090.SampleRate)
+	iq.NewNoiseSource(6).AddNoise(noise, iq.DBFSToPower(-20))
+	if ok := p.ProcessBurst(t0, noise, 10); ok {
+		t.Error("noise should not decode")
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	tr := NewTracker()
+	icao := modes.ICAO(0xABCDEF)
+	tr.Feed(t0, frame(t, icao, &modes.Identification{TC: 4, Callsign: "UAL42"}), -33)
+	out := Summary(tr.Tracks())
+	if !strings.Contains(out, "ABCDEF") || !strings.Contains(out, "UAL42") {
+		t.Errorf("summary missing fields:\n%s", out)
+	}
+	// Position column placeholder when no fix.
+	if !strings.Contains(out, "-") {
+		t.Error("missing position placeholder")
+	}
+}
+
+func TestMeanRSSIEmptyTrack(t *testing.T) {
+	trk := &Track{}
+	if trk.MeanRSSI() != 0 {
+		t.Error("empty track mean RSSI should be 0")
+	}
+}

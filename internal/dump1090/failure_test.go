@@ -1,0 +1,134 @@
+package dump1090
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sensorcal/internal/geo"
+	"sensorcal/internal/iq"
+	"sensorcal/internal/modes"
+	"sensorcal/internal/phy1090"
+)
+
+// Failure-injection coverage: the pipeline must stay sane when the RF is
+// hostile — corrupted frames, interleaved aircraft, garbage CPR words.
+
+func TestPipelineCorruptedFramesCounted(t *testing.T) {
+	p := NewPipeline()
+	p.Demod.ErrorCorrection = 0 // make corruption visible
+	wire, err := (&modes.Frame{ICAO: 0xBADBAD, Msg: &modes.Identification{TC: 4, Callsign: "EVIL"}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip three bits: unrepairable, undetectable as valid.
+	modes.BitError(wire, 10)
+	modes.BitError(wire, 50)
+	modes.BitError(wire, 90)
+	burst, err := phy1090.Modulate(wire, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capBuf := iq.New(phy1090.FrameSamples+8, phy1090.SampleRate)
+	_ = capBuf.AddAt(burst, 4)
+	iq.NewNoiseSource(1).AddNoise(capBuf, iq.DBFSToPower(-50))
+	if ok := p.ProcessBurst(time.Now(), capBuf, 8); ok {
+		t.Error("corrupted frame must not enter the tracker")
+	}
+	if p.Tracker.Len() != 0 {
+		t.Error("tracker should be empty")
+	}
+}
+
+func TestTrackerInterleavedAircraft(t *testing.T) {
+	tr := NewTracker()
+	rng := rand.New(rand.NewSource(2))
+	base := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	positions := map[modes.ICAO][2]float64{
+		0x100001: {37.9, -122.4},
+		0x100002: {38.1, -122.0},
+		0x100003: {37.7, -122.6},
+	}
+	// 60 interleaved position messages across the three aircraft.
+	for i := 0; i < 60; i++ {
+		icaos := []modes.ICAO{0x100001, 0x100002, 0x100003}
+		icao := icaos[rng.Intn(3)]
+		p := positions[icao]
+		msg := &modes.AirbornePosition{
+			TC: 11, AltValid: true, AltitudeFt: 10000,
+			CPR: modes.EncodeCPR(p[0], p[1], i%2 == 1),
+		}
+		wire, err := (&modes.Frame{ICAO: icao, Msg: msg}).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := modes.Decode(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Feed(base.Add(time.Duration(i)*250*time.Millisecond), f, -30)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("tracks = %d", tr.Len())
+	}
+	for icao, p := range positions {
+		trk, ok := tr.Track(icao)
+		if !ok || !trk.PositionValid {
+			t.Errorf("%s: no position", icao)
+			continue
+		}
+		if d := geo.GroundDistance(trk.Position, geo.Point{Lat: p[0], Lon: p[1]}); d > 300 {
+			t.Errorf("%s: position off by %v m (cross-aircraft CPR contamination?)", icao, d)
+		}
+	}
+}
+
+func TestTrackerGarbageCPRStaysLocal(t *testing.T) {
+	// A receiver-referenced tracker fed a CPR word decoding far outside
+	// the local-decode region must not accept the bogus position.
+	tr := NewTracker()
+	tr.SetReceiverPosition(geo.Point{Lat: 37.87, Lon: -122.27})
+	// Craft a fix for the antipode-ish region: encode at a far location.
+	msg := &modes.AirbornePosition{TC: 11, AltValid: true, AltitudeFt: 30000,
+		CPR: modes.EncodeCPR(-35.0, 55.0, false)}
+	wire, err := (&modes.Frame{ICAO: 0x200001, Msg: msg}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := modes.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Feed(time.Now(), f, -30)
+	trk, _ := tr.Track(0x200001)
+	if trk.PositionValid {
+		// If it decoded, the ambiguity math landed within 300 km of the
+		// receiver, which local decode cannot distinguish — but a
+		// far-away truth must never produce a "valid" position beyond
+		// the local-decode radius.
+		if geo.GroundDistance(tr.ReceiverPosition, trk.Position) > 300_000 {
+			t.Errorf("accepted position %v outside local-decode radius", trk.Position)
+		}
+	}
+}
+
+func TestPipelineOverlappingBursts(t *testing.T) {
+	// Two bursts that overlap in time: the demodulator decodes at most
+	// one cleanly; it must never emit a frame that fails parity.
+	p := NewPipeline()
+	wireA, _ := (&modes.Frame{ICAO: 0x300001, Msg: &modes.Identification{TC: 4, Callsign: "AAA"}}).Encode()
+	wireB, _ := (&modes.Frame{ICAO: 0x300002, Msg: &modes.Identification{TC: 4, Callsign: "BBB"}}).Encode()
+	bA, _ := phy1090.Modulate(wireA, 0.6)
+	bB, _ := phy1090.Modulate(wireB, 0.5)
+	capBuf := iq.New(phy1090.FrameSamples+120, phy1090.SampleRate)
+	_ = capBuf.AddAt(bA, 10)
+	_ = capBuf.AddAt(bB, 110) // overlaps the tail of A
+	iq.NewNoiseSource(3).AddNoise(capBuf, iq.DBFSToPower(-50))
+	p.ProcessCapture(time.Now(), capBuf)
+	// Whatever decoded must be one of the two true ICAOs.
+	for _, trk := range p.Tracker.Tracks() {
+		if trk.ICAO != 0x300001 && trk.ICAO != 0x300002 {
+			t.Errorf("phantom aircraft %s from colliding bursts", trk.ICAO)
+		}
+	}
+}

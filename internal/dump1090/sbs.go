@@ -1,0 +1,132 @@
+package dump1090
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"sensorcal/internal/modes"
+)
+
+// SBS-1 "BaseStation" output — the CSV feed dump1090 serves on port
+// 30003, consumed by virtually every ADS-B aggregation tool. Emitting and
+// parsing it makes this pipeline drop-in compatible with downstream
+// consumers (and gives the crowd-sourced network a wire format for raw
+// message export).
+//
+// Relevant message types: MSG,1 identification; MSG,3 airborne position;
+// MSG,4 airborne velocity. Field layout per the BaseStation reference:
+//
+//	MSG,<sub>,1,1,<icao>,1,<date>,<time>,<date>,<time>,
+//	<callsign>,<alt>,<gs>,<trk>,<lat>,<lon>,<vr>,,,,,
+const sbsFields = 22
+
+func sbsTimestamp(at time.Time) (string, string) {
+	return at.UTC().Format("2006/01/02"), at.UTC().Format("15:04:05.000")
+}
+
+// SBSLine renders one decoded frame as a BaseStation CSV line. Frames
+// whose content SBS cannot carry (operational status, surface positions
+// without decoded coordinates) return ok=false.
+func SBSLine(at time.Time, f *modes.Frame, trk *Track) (string, bool) {
+	fields := make([]string, sbsFields)
+	fields[0] = "MSG"
+	fields[2] = "1"
+	fields[3] = "1"
+	fields[4] = f.ICAO.String()
+	fields[5] = "1"
+	d, tm := sbsTimestamp(at)
+	fields[6], fields[7] = d, tm
+	fields[8], fields[9] = d, tm
+
+	switch m := f.Msg.(type) {
+	case *modes.Identification:
+		fields[1] = "1"
+		fields[10] = m.Callsign
+	case *modes.AirbornePosition:
+		fields[1] = "3"
+		if m.AltValid {
+			fields[11] = strconv.Itoa(m.AltitudeFt)
+		}
+		if trk != nil && trk.PositionValid {
+			fields[14] = strconv.FormatFloat(trk.Position.Lat, 'f', 5, 64)
+			fields[15] = strconv.FormatFloat(trk.Position.Lon, 'f', 5, 64)
+		}
+	case *modes.Velocity:
+		fields[1] = "4"
+		fields[12] = strconv.FormatFloat(m.GroundSpeedKt, 'f', 1, 64)
+		fields[13] = strconv.FormatFloat(m.TrackDeg, 'f', 1, 64)
+		fields[16] = strconv.Itoa(m.VerticalRateFtMin)
+	default:
+		return "", false
+	}
+	return strings.Join(fields, ","), true
+}
+
+// SBSRecord is a parsed BaseStation line.
+type SBSRecord struct {
+	TransmissionType int
+	ICAO             modes.ICAO
+	At               time.Time
+	Callsign         string
+	AltitudeFt       int
+	HasAltitude      bool
+	GroundSpeedKt    float64
+	TrackDeg         float64
+	HasVelocity      bool
+	Lat, Lon         float64
+	HasPosition      bool
+	VerticalRate     int
+}
+
+// ParseSBS parses one BaseStation CSV line.
+func ParseSBS(line string) (SBSRecord, error) {
+	parts := strings.Split(strings.TrimSpace(line), ",")
+	if len(parts) < 17 {
+		return SBSRecord{}, fmt.Errorf("dump1090: SBS line has %d fields", len(parts))
+	}
+	if parts[0] != "MSG" {
+		return SBSRecord{}, fmt.Errorf("dump1090: unsupported SBS message %q", parts[0])
+	}
+	var rec SBSRecord
+	tt, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return SBSRecord{}, fmt.Errorf("dump1090: bad transmission type %q", parts[1])
+	}
+	rec.TransmissionType = tt
+	var icao uint32
+	if _, err := fmt.Sscanf(parts[4], "%06X", &icao); err != nil {
+		return SBSRecord{}, fmt.Errorf("dump1090: bad ICAO %q", parts[4])
+	}
+	rec.ICAO = modes.ICAO(icao)
+	if at, err := time.Parse("2006/01/02 15:04:05.000", parts[6]+" "+parts[7]); err == nil {
+		rec.At = at.UTC()
+	}
+	rec.Callsign = strings.TrimSpace(parts[10])
+	if parts[11] != "" {
+		if v, err := strconv.Atoi(parts[11]); err == nil {
+			rec.AltitudeFt, rec.HasAltitude = v, true
+		}
+	}
+	if parts[12] != "" && parts[13] != "" {
+		gs, err1 := strconv.ParseFloat(parts[12], 64)
+		tk, err2 := strconv.ParseFloat(parts[13], 64)
+		if err1 == nil && err2 == nil {
+			rec.GroundSpeedKt, rec.TrackDeg, rec.HasVelocity = gs, tk, true
+		}
+	}
+	if parts[14] != "" && parts[15] != "" {
+		lat, err1 := strconv.ParseFloat(parts[14], 64)
+		lon, err2 := strconv.ParseFloat(parts[15], 64)
+		if err1 == nil && err2 == nil {
+			rec.Lat, rec.Lon, rec.HasPosition = lat, lon, true
+		}
+	}
+	if parts[16] != "" {
+		if v, err := strconv.Atoi(parts[16]); err == nil {
+			rec.VerticalRate = v
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,243 @@
+package dump1090
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"sensorcal/internal/geo"
+	"sensorcal/internal/modes"
+)
+
+var sbsAt = time.Date(2026, 7, 6, 12, 34, 56, 789e6, time.UTC)
+
+func TestSBSIdentificationRoundTrip(t *testing.T) {
+	f := frame(t, 0x4840D6, &modes.Identification{TC: 4, Callsign: "KLM1023"})
+	line, ok := SBSLine(sbsAt, f, nil)
+	if !ok {
+		t.Fatal("identification should render")
+	}
+	if !strings.HasPrefix(line, "MSG,1,1,1,4840D6,1,2026/07/06,12:34:56.789") {
+		t.Fatalf("line = %s", line)
+	}
+	if got := strings.Count(line, ","); got != 21 {
+		t.Errorf("field separators = %d, want 21", got)
+	}
+	rec, err := ParseSBS(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TransmissionType != 1 || rec.ICAO != 0x4840D6 || rec.Callsign != "KLM1023" {
+		t.Errorf("record = %+v", rec)
+	}
+	if !rec.At.Equal(sbsAt.Truncate(time.Millisecond)) {
+		t.Errorf("timestamp = %v", rec.At)
+	}
+}
+
+func TestSBSPositionCarriesTrackState(t *testing.T) {
+	icao := modes.ICAO(0x111111)
+	pos := &modes.AirbornePosition{TC: 11, AltValid: true, AltitudeFt: 35000,
+		CPR: modes.EncodeCPR(37.9, -122.3, false)}
+	f := frame(t, icao, pos)
+	trk := &Track{ICAO: icao, Position: geo.Point{Lat: 37.9, Lon: -122.3}, PositionValid: true}
+	line, ok := SBSLine(sbsAt, f, trk)
+	if !ok {
+		t.Fatal("position should render")
+	}
+	rec, err := ParseSBS(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TransmissionType != 3 || !rec.HasAltitude || rec.AltitudeFt != 35000 {
+		t.Errorf("record = %+v", rec)
+	}
+	if !rec.HasPosition || math.Abs(rec.Lat-37.9) > 1e-4 || math.Abs(rec.Lon-(-122.3)) > 1e-4 {
+		t.Errorf("position = %v,%v (has=%v)", rec.Lat, rec.Lon, rec.HasPosition)
+	}
+	// Without a track the position fields stay empty but the line is
+	// still valid MSG,3.
+	line2, ok := SBSLine(sbsAt, f, nil)
+	if !ok {
+		t.Fatal("positionless MSG,3 should render")
+	}
+	rec2, err := ParseSBS(line2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.HasPosition {
+		t.Error("no track should mean no position")
+	}
+}
+
+func TestSBSVelocity(t *testing.T) {
+	f := frame(t, 0x222222, &modes.Velocity{GroundSpeedKt: 412, TrackDeg: 87, VerticalRateFtMin: -640})
+	line, ok := SBSLine(sbsAt, f, nil)
+	if !ok {
+		t.Fatal("velocity should render")
+	}
+	rec, err := ParseSBS(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TransmissionType != 4 || !rec.HasVelocity {
+		t.Fatalf("record = %+v", rec)
+	}
+	if math.Abs(rec.GroundSpeedKt-412) > 1.5 || math.Abs(rec.TrackDeg-87) > 1.5 {
+		t.Errorf("velocity = %v @ %v", rec.GroundSpeedKt, rec.TrackDeg)
+	}
+	if rec.VerticalRate != -640 {
+		t.Errorf("vertical rate = %d", rec.VerticalRate)
+	}
+}
+
+func TestSBSUnsupportedMessage(t *testing.T) {
+	f := frame(t, 0x333333, &modes.OperationalStatus{Version: 2, NACp: 8, SIL: 2})
+	if _, ok := SBSLine(sbsAt, f, nil); ok {
+		t.Error("operational status has no SBS mapping")
+	}
+}
+
+func TestParseSBSErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"MSG,1,1",
+		"AIR,1,1,1,ABCDEF,1,2026/07/06,12:00:00.000,2026/07/06,12:00:00.000,,,,,,,,,,,,",
+		"MSG,x,1,1,ABCDEF,1,2026/07/06,12:00:00.000,2026/07/06,12:00:00.000,,,,,,,,,,,,",
+		"MSG,1,1,1,ZZZZZZ,1,2026/07/06,12:00:00.000,2026/07/06,12:00:00.000,,,,,,,,,,,,",
+	}
+	for _, line := range bad {
+		if _, err := ParseSBS(line); err == nil {
+			t.Errorf("line %q should fail", line)
+		}
+	}
+	// Malformed numeric fields degrade to absent, not errors.
+	ok := "MSG,3,1,1,ABCDEF,1,2026/07/06,12:00:00.000,2026/07/06,12:00:00.000,,notanum,,,xx,yy,zz,,,,,"
+	rec, err := ParseSBS(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.HasAltitude || rec.HasPosition || rec.VerticalRate != 0 {
+		t.Errorf("malformed fields should be absent: %+v", rec)
+	}
+}
+
+// TestSBSFromLivePipeline renders a real pipeline's output as an SBS feed
+// and parses it back — the interop loop a downstream aggregator performs.
+func TestSBSFromLivePipeline(t *testing.T) {
+	tr := NewTracker()
+	icao := modes.ICAO(0xA0B1C2)
+	lat, lon := 37.95, -122.35
+	msgs := []modes.Message{
+		&modes.Identification{TC: 4, Callsign: "SIM0042"},
+		&modes.AirbornePosition{TC: 11, AltValid: true, AltitudeFt: 12000, CPR: modes.EncodeCPR(lat, lon, false)},
+		&modes.AirbornePosition{TC: 11, AltValid: true, AltitudeFt: 12000, CPR: modes.EncodeCPR(lat, lon, true)},
+		&modes.Velocity{GroundSpeedKt: 300, TrackDeg: 200},
+	}
+	var feed []string
+	for i, m := range msgs {
+		f := frame(t, icao, m)
+		at := sbsAt.Add(time.Duration(i) * 400 * time.Millisecond)
+		tr.Feed(at, f, -30)
+		trk, _ := tr.Track(icao)
+		if line, ok := SBSLine(at, f, trk); ok {
+			feed = append(feed, line)
+		}
+	}
+	if len(feed) != 4 {
+		t.Fatalf("feed lines = %d", len(feed))
+	}
+	var sawPosition bool
+	for _, line := range feed {
+		rec, err := ParseSBS(line)
+		if err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+		if rec.ICAO != icao {
+			t.Error("ICAO lost in feed")
+		}
+		if rec.HasPosition {
+			sawPosition = true
+			if math.Abs(rec.Lat-lat) > 0.01 || math.Abs(rec.Lon-lon) > 0.01 {
+				t.Errorf("feed position %v,%v", rec.Lat, rec.Lon)
+			}
+		}
+	}
+	if !sawPosition {
+		t.Error("feed never carried a decoded position")
+	}
+}
+
+func TestAVRRoundTrip(t *testing.T) {
+	wire, err := (&modes.Frame{ICAO: 0x4840D6, Capability: 5, Msg: &modes.Identification{TC: 4, Callsign: "KLM1023"}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := FormatAVR(wire)
+	if !strings.HasPrefix(line, "*8D4840D6") || !strings.HasSuffix(line, ";") {
+		t.Fatalf("AVR line = %s", line)
+	}
+	raw, err := ParseAVR(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wire {
+		if raw[i] != wire[i] {
+			t.Fatal("AVR round trip corrupted the frame")
+		}
+	}
+}
+
+func TestParseAVRErrors(t *testing.T) {
+	for _, line := range []string{"", "8D4840D6;", "*8D4840D6", "*xyz;", "*8D48;", "*;"} {
+		if _, err := ParseAVR(line); err == nil {
+			t.Errorf("%q should fail", line)
+		}
+	}
+}
+
+func TestReplayAVRFeed(t *testing.T) {
+	lat, lon := 37.95, -122.35
+	mk := func(m modes.Message) string {
+		wire, err := (&modes.Frame{ICAO: 0xABC001, Msg: m}).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatAVR(wire)
+	}
+	// Include the textbook KLM frame, a short DF11, a corrupted frame and
+	// a garbage line.
+	df11, err := modes.EncodeAllCall(modes.AllCall{Capability: 5, ICAO: 0x4840D6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt, _ := (&modes.Frame{ICAO: 0xABC001, Msg: &modes.Identification{TC: 4, Callsign: "X"}}).Encode()
+	modes.BitError(corrupt, 3)
+	lines := []string{
+		mk(&modes.Identification{TC: 4, Callsign: "SIM0001"}),
+		mk(&modes.AirbornePosition{TC: 11, AltValid: true, AltitudeFt: 10000, CPR: modes.EncodeCPR(lat, lon, false)}),
+		mk(&modes.AirbornePosition{TC: 11, AltValid: true, AltitudeFt: 10000, CPR: modes.EncodeCPR(lat, lon, true)}),
+		FormatAVR(df11),
+		FormatAVR(corrupt),
+		"not an avr line",
+	}
+	p := NewPipeline()
+	decoded, err := p.ReplayAVR(lines)
+	if err == nil {
+		t.Error("garbage line should surface an error")
+	}
+	if decoded != 3 {
+		t.Errorf("decoded = %d, want 3", decoded)
+	}
+	if p.DecodeErrors != 1 {
+		t.Errorf("decode errors = %d, want 1 (the corrupted frame)", p.DecodeErrors)
+	}
+	trk, ok := p.Tracker.Track(0xABC001)
+	if !ok || trk.Callsign != "SIM0001" || !trk.PositionValid {
+		t.Fatalf("replayed track = %+v", trk)
+	}
+	if geo.GroundDistance(trk.Position, geo.Point{Lat: lat, Lon: lon}) > 300 {
+		t.Errorf("replayed position %v", trk.Position)
+	}
+}

@@ -1,0 +1,172 @@
+// Package figures regenerates the paper's evaluation figures from the
+// simulated testbed. Each function returns the data series behind one
+// figure; the cmd/figures binary and the repository benchmarks both build
+// on it, so the numbers in EXPERIMENTS.md, the benches and the CLI always
+// agree.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sensorcal/internal/calib"
+	"sensorcal/internal/flightsim"
+	"sensorcal/internal/fr24"
+	"sensorcal/internal/world"
+)
+
+// Epoch is the fixed simulation time base used by every figure.
+var Epoch = time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+
+// DefaultAircraft is the traffic level used for Figure 1.
+const DefaultAircraft = 60
+
+// SiteByName returns one of the three testbed sites.
+func SiteByName(name string) (*world.Site, error) {
+	for _, s := range world.Sites() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("figures: unknown site %q (want rooftop, window or indoor)", name)
+}
+
+// Figure1 runs the §3.1 directional experiment at a site and returns the
+// observation set (one point per ground-truth aircraft).
+func Figure1(siteName string, aircraft int, seed int64) (*calib.ObservationSet, error) {
+	site, err := SiteByName(siteName)
+	if err != nil {
+		return nil, err
+	}
+	if aircraft <= 0 {
+		aircraft = DefaultAircraft
+	}
+	fleet, err := flightsim.NewFleet(Epoch, flightsim.Config{
+		Center: world.BuildingOrigin,
+		Radius: 100_000,
+		Count:  aircraft,
+		Seed:   seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return calib.RunDirectional(calib.DirectionalConfig{
+		Site:  site,
+		Fleet: fleet,
+		Truth: fr24.NewService(fleet),
+		Start: Epoch,
+		Seed:  seed,
+	})
+}
+
+// Figure3 runs the cellular RSRP sweep at every site and returns
+// site → tower readings, in paper order (rooftop, window, indoor).
+func Figure3(seed int64) (map[string][]calib.TowerReading, error) {
+	out := make(map[string][]calib.TowerReading, 3)
+	for _, site := range world.Sites() {
+		rep, err := calib.RunFrequency(calib.FrequencyConfig{
+			Site:   site,
+			Towers: world.Towers(),
+			Seed:   seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[site.Name] = rep.Towers
+	}
+	return out, nil
+}
+
+// Figure4 runs the broadcast-TV sweep at every site and returns
+// site → channel readings.
+func Figure4(seed int64) (map[string][]calib.TVReading, error) {
+	out := make(map[string][]calib.TVReading, 3)
+	for _, site := range world.Sites() {
+		rep, err := calib.RunFrequency(calib.FrequencyConfig{
+			Site: site,
+			TV:   world.TVStations(),
+			Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[site.Name] = rep.TV
+	}
+	return out, nil
+}
+
+// SiteOrder is the paper's presentation order.
+var SiteOrder = []string{"rooftop", "window", "indoor"}
+
+// RenderFigure1 prints the observation series and summary statistics.
+func RenderFigure1(obs *calib.ObservationSet, plot bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 1 — ADS-B directionality at %s (%d aircraft in ground truth)\n",
+		obs.Site, len(obs.Observations))
+	fmt.Fprintf(&sb, "%-7s %-9s %8s %8s %8s\n", "ICAO", "CALLSIGN", "BRG(°)", "RNG(km)", "RECEIVED")
+	sorted := append([]calib.Observation(nil), obs.Observations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].BearingDeg < sorted[j].BearingDeg })
+	for _, o := range sorted {
+		mark := "·"
+		if o.Observed {
+			mark = "●"
+		}
+		fmt.Fprintf(&sb, "%-7s %-9s %8.1f %8.1f %8s\n", o.ICAO, o.Callsign, o.BearingDeg, o.RangeKm, mark)
+	}
+	fmt.Fprintf(&sb, "observed %d/%d, max range %.0f km, estimated FoV %v\n",
+		len(obs.Observed()), len(obs.Observations),
+		obs.MaxObservedRangeKm(nil), calib.SectorOccupancyFoV{}.Estimate(obs))
+	if plot {
+		sb.WriteString("\n")
+		sb.WriteString(obs.PolarPlot(100, 61))
+	}
+	return sb.String()
+}
+
+// RenderFigure3 prints the RSRP bar table.
+func RenderFigure3(data map[string][]calib.TowerReading) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3 — Cellular RSRP (dBm) by tower and installation; '—' = not decodable\n")
+	fmt.Fprintf(&sb, "%-10s", "")
+	for _, t := range world.Towers() {
+		fmt.Fprintf(&sb, "  %-8s", t.Name)
+	}
+	fmt.Fprintf(&sb, "\n%-10s", "freq MHz")
+	for _, t := range world.Towers() {
+		fmt.Fprintf(&sb, "  %-8.0f", t.DownlinkHz/1e6)
+	}
+	sb.WriteString("\n")
+	for _, site := range SiteOrder {
+		fmt.Fprintf(&sb, "%-10s", site)
+		for _, tr := range data[site] {
+			if tr.Result.Decoded {
+				fmt.Fprintf(&sb, "  %-8.1f", tr.Result.RSRPDBm)
+			} else {
+				fmt.Fprintf(&sb, "  %-8s", "—")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// RenderFigure4 prints the TV band-power table.
+func RenderFigure4(data map[string][]calib.TVReading) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4 — Broadcast TV received signal strength (dBFS)\n")
+	fmt.Fprintf(&sb, "%-10s", "")
+	for _, st := range world.TVStations() {
+		fmt.Fprintf(&sb, "  %4.0fMHz", st.CenterHz/1e6)
+	}
+	sb.WriteString("\n")
+	for _, site := range SiteOrder {
+		fmt.Fprintf(&sb, "%-10s", site)
+		for _, tv := range data[site] {
+			fmt.Fprintf(&sb, "  %7.1f", tv.Measurement.PowerDBFS)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

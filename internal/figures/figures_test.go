@@ -1,0 +1,77 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSiteByName(t *testing.T) {
+	for _, name := range SiteOrder {
+		s, err := SiteByName(name)
+		if err != nil || s.Name != name {
+			t.Errorf("SiteByName(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := SiteByName("basement"); err == nil {
+		t.Error("unknown site should error")
+	}
+}
+
+func TestFigure1Render(t *testing.T) {
+	obs, err := Figure1("rooftop", 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderFigure1(obs, true)
+	for _, want := range []string{"Figure 1", "rooftop", "RECEIVED", "estimated FoV", "●"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	// Default aircraft count kicks in for non-positive values.
+	obs2, err := Figure1("rooftop", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs2.Observations) < 30 {
+		t.Errorf("default population produced only %d aircraft", len(obs2.Observations))
+	}
+	if _, err := Figure1("basement", 10, 1); err == nil {
+		t.Error("unknown site should error")
+	}
+}
+
+func TestFigure3Render(t *testing.T) {
+	data, err := Figure3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 3 {
+		t.Fatalf("sites = %d", len(data))
+	}
+	out := RenderFigure3(data)
+	for _, want := range []string{"Figure 3", "Tower 1", "rooftop", "window", "indoor", "—"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4Render(t *testing.T) {
+	data, err := Figure4(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderFigure4(data)
+	for _, want := range []string{"Figure 4", "dBFS", "521MHz", "indoor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Every site row has six readings.
+	for _, site := range SiteOrder {
+		if len(data[site]) != 6 {
+			t.Errorf("%s has %d TV readings", site, len(data[site]))
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package flightsim simulates the air traffic around a sensor site: a
+// deterministic fleet of aircraft on straight-line tracks, each carrying a
+// Mode S transponder that broadcasts ADS-B position, velocity and
+// identification squitters on the schedule real transponders use (position
+// and velocity at 2 Hz each, identification every 5 s).
+//
+// The paper's §3.1 procedure receives "airplanes within a 100 km range"
+// for 30 seconds; NewFleet spawns exactly that population. Aircraft state
+// is a pure function of time, so ground truth (the fr24 service) and the
+// RF simulation always agree without shared mutable state.
+package flightsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sensorcal/internal/geo"
+	"sensorcal/internal/modes"
+	"sensorcal/internal/rfmath"
+)
+
+// Aircraft is one simulated airframe. All fields are immutable after
+// creation; position is computed from elapsed time.
+type Aircraft struct {
+	ICAO     modes.ICAO
+	Callsign string
+	// Initial state at the fleet epoch.
+	Start      geo.Point
+	TrackDeg   float64
+	SpeedKt    float64
+	ClimbFtMin float64
+	// TxPowerW is the transponder output power; the paper notes the
+	// 75–500 W spread that makes raw RSSI unreliable for calibration.
+	TxPowerW float64
+	// phase staggers this aircraft's transmission schedule.
+	phase time.Duration
+}
+
+// knots to meters/second.
+const ktToMS = 0.514444
+
+// PositionAt returns the aircraft position at elapsed time since the
+// fleet epoch.
+func (a *Aircraft) PositionAt(elapsed time.Duration) geo.Point {
+	dt := elapsed.Seconds()
+	p := geo.Destination(a.Start, a.TrackDeg, a.SpeedKt*ktToMS*dt)
+	p.Alt = a.Start.Alt + a.ClimbFtMin*0.3048/60*dt
+	if p.Alt < 300 {
+		p.Alt = 300
+	}
+	if p.Alt > 13500 {
+		p.Alt = 13500
+	}
+	return p
+}
+
+// AltitudeFtAt returns the barometric altitude in feet at elapsed time.
+func (a *Aircraft) AltitudeFtAt(elapsed time.Duration) int {
+	return int(a.PositionAt(elapsed).Alt / 0.3048)
+}
+
+// EIRPDBm returns the transponder EIRP (omnidirectional blade antenna).
+func (a *Aircraft) EIRPDBm() float64 { return rfmath.WattsToDBm(a.TxPowerW) }
+
+// Fleet is a set of aircraft sharing an epoch.
+type Fleet struct {
+	Epoch    time.Time
+	Aircraft []*Aircraft
+}
+
+// Config controls fleet generation.
+type Config struct {
+	Center geo.Point // sensor site the population surrounds
+	Radius float64   // meters, paper uses 100 km
+	Count  int       // number of aircraft
+	Seed   int64
+}
+
+// NewFleet spawns a deterministic aircraft population: uniform in area
+// over the disk, altitudes 2–12.5 km, speeds 250–480 kt, random tracks,
+// a sprinkling of climbers and descenders, and transponder powers spread
+// across the legal 75–500 W range.
+func NewFleet(epoch time.Time, cfg Config) (*Fleet, error) {
+	if cfg.Count < 0 {
+		return nil, fmt.Errorf("flightsim: negative count")
+	}
+	if cfg.Radius <= 0 {
+		return nil, fmt.Errorf("flightsim: radius must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Fleet{Epoch: epoch}
+	for i := 0; i < cfg.Count; i++ {
+		// Uniform over the disk: r ~ R*sqrt(u).
+		r := cfg.Radius * math.Sqrt(rng.Float64())
+		brg := rng.Float64() * 360
+		pos := geo.Destination(cfg.Center, brg, r)
+		pos.Alt = 2000 + rng.Float64()*10500
+		climb := 0.0
+		switch rng.Intn(5) {
+		case 0:
+			climb = 500 + rng.Float64()*1500
+		case 1:
+			climb = -500 - rng.Float64()*1500
+		}
+		a := &Aircraft{
+			ICAO:       modes.ICAO(0xA00000 + uint32(i)*0x111 + uint32(rng.Intn(0x100))),
+			Callsign:   fmt.Sprintf("SIM%04d", i),
+			Start:      pos,
+			TrackDeg:   rng.Float64() * 360,
+			SpeedKt:    250 + rng.Float64()*230,
+			ClimbFtMin: climb,
+			TxPowerW:   75 + rng.Float64()*425,
+			phase:      time.Duration(rng.Int63n(int64(time.Second))),
+		}
+		f.Aircraft = append(f.Aircraft, a)
+	}
+	return f, nil
+}
+
+// Transmission is one scheduled squitter.
+type Transmission struct {
+	At       time.Time
+	Aircraft *Aircraft
+	Frame    []byte // encoded DF17 wire bytes
+	Position geo.Point
+}
+
+// squitter intervals per DO-260B.
+const (
+	positionInterval = 500 * time.Millisecond
+	velocityInterval = 500 * time.Millisecond
+	identInterval    = 5 * time.Second
+	statusInterval   = 2500 * time.Millisecond
+)
+
+// TransmissionsBetween returns every squitter the fleet emits in the
+// half-open interval [from, to), sorted by time. Position messages
+// alternate even/odd CPR, as real transponders do.
+func (f *Fleet) TransmissionsBetween(from, to time.Time) ([]Transmission, error) {
+	if to.Before(from) {
+		return nil, fmt.Errorf("flightsim: inverted interval")
+	}
+	var out []Transmission
+	for _, a := range f.Aircraft {
+		if err := f.emitSchedule(a, from, to, positionInterval, a.phase, f.positionFrame, &out); err != nil {
+			return nil, err
+		}
+		if err := f.emitSchedule(a, from, to, velocityInterval, a.phase+137*time.Millisecond, f.velocityFrame, &out); err != nil {
+			return nil, err
+		}
+		if err := f.emitSchedule(a, from, to, identInterval, a.phase+291*time.Millisecond, f.identFrame, &out); err != nil {
+			return nil, err
+		}
+		if err := f.emitSchedule(a, from, to, statusInterval, a.phase+433*time.Millisecond, f.statusFrame, &out); err != nil {
+			return nil, err
+		}
+	}
+	sortTransmissions(out)
+	return out, nil
+}
+
+type framer func(a *Aircraft, elapsed time.Duration, seq int64) ([]byte, error)
+
+func (f *Fleet) emitSchedule(a *Aircraft, from, to time.Time, interval, phase time.Duration, mk framer, out *[]Transmission) error {
+	// First emission at epoch+phase, then every interval.
+	startOffset := from.Sub(f.Epoch)
+	var k int64
+	if startOffset > phase {
+		k = int64((startOffset - phase + interval - 1) / interval)
+	}
+	for {
+		at := f.Epoch.Add(phase + time.Duration(k)*interval)
+		if !at.Before(to) {
+			return nil
+		}
+		if !at.Before(from) {
+			elapsed := at.Sub(f.Epoch)
+			frame, err := mk(a, elapsed, k)
+			if err != nil {
+				return err
+			}
+			*out = append(*out, Transmission{
+				At:       at,
+				Aircraft: a,
+				Frame:    frame,
+				Position: a.PositionAt(elapsed),
+			})
+		}
+		k++
+	}
+}
+
+func (f *Fleet) positionFrame(a *Aircraft, elapsed time.Duration, seq int64) ([]byte, error) {
+	p := a.PositionAt(elapsed)
+	alt := a.AltitudeFtAt(elapsed)
+	if alt > 50175 {
+		alt = 50175
+	}
+	fr := &modes.Frame{
+		ICAO: a.ICAO,
+		Msg: &modes.AirbornePosition{
+			TC:         11,
+			AltitudeFt: alt,
+			AltValid:   true,
+			CPR:        modes.EncodeCPR(p.Lat, p.Lon, seq%2 == 1),
+		},
+	}
+	return fr.Encode()
+}
+
+func (f *Fleet) velocityFrame(a *Aircraft, _ time.Duration, _ int64) ([]byte, error) {
+	fr := &modes.Frame{
+		ICAO: a.ICAO,
+		Msg: &modes.Velocity{
+			GroundSpeedKt:     a.SpeedKt,
+			TrackDeg:          a.TrackDeg,
+			VerticalRateFtMin: int(a.ClimbFtMin),
+		},
+	}
+	return fr.Encode()
+}
+
+func (f *Fleet) identFrame(a *Aircraft, _ time.Duration, _ int64) ([]byte, error) {
+	fr := &modes.Frame{
+		ICAO: a.ICAO,
+		Msg:  &modes.Identification{TC: 4, Category: 3, Callsign: a.Callsign},
+	}
+	return fr.Encode()
+}
+
+func (f *Fleet) statusFrame(a *Aircraft, _ time.Duration, _ int64) ([]byte, error) {
+	fr := &modes.Frame{
+		ICAO: a.ICAO,
+		Msg:  &modes.OperationalStatus{Version: 2, NACp: 9, SIL: 3},
+	}
+	return fr.Encode()
+}
+
+// StatesAt returns the position of every aircraft at time t, for ground
+// truth services.
+func (f *Fleet) StatesAt(t time.Time) []State {
+	elapsed := t.Sub(f.Epoch)
+	out := make([]State, 0, len(f.Aircraft))
+	for _, a := range f.Aircraft {
+		out = append(out, State{
+			ICAO:     a.ICAO,
+			Callsign: a.Callsign,
+			Position: a.PositionAt(elapsed),
+			TrackDeg: a.TrackDeg,
+			SpeedKt:  a.SpeedKt,
+		})
+	}
+	return out
+}
+
+// State is a snapshot of one aircraft.
+type State struct {
+	ICAO     modes.ICAO
+	Callsign string
+	Position geo.Point
+	TrackDeg float64
+	SpeedKt  float64
+}
+
+func sortTransmissions(ts []Transmission) {
+	// Insertion-friendly ordering: the schedules are already nearly
+	// sorted per aircraft, so use sort.Slice from stdlib.
+	sort.Slice(ts, func(i, j int) bool { return ts[i].At.Before(ts[j].At) })
+}

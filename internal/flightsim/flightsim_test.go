@@ -1,0 +1,253 @@
+package flightsim
+
+import (
+	"testing"
+	"time"
+
+	"sensorcal/internal/geo"
+	"sensorcal/internal/modes"
+)
+
+var epoch = time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+
+func testFleet(t *testing.T, n int) *Fleet {
+	t.Helper()
+	f, err := NewFleet(epoch, Config{
+		Center: geo.Point{Lat: 37.8716, Lon: -122.2727},
+		Radius: 100_000,
+		Count:  n,
+		Seed:   42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFleetPopulation(t *testing.T) {
+	f := testFleet(t, 50)
+	if len(f.Aircraft) != 50 {
+		t.Fatalf("fleet size = %d", len(f.Aircraft))
+	}
+	center := geo.Point{Lat: 37.8716, Lon: -122.2727}
+	seen := map[modes.ICAO]bool{}
+	for _, a := range f.Aircraft {
+		if seen[a.ICAO] {
+			t.Errorf("duplicate ICAO %s", a.ICAO)
+		}
+		seen[a.ICAO] = true
+		if d := geo.GroundDistance(center, a.Start); d > 100_000 {
+			t.Errorf("%s spawned %v m out", a.ICAO, d)
+		}
+		if a.Start.Alt < 2000 || a.Start.Alt > 12500 {
+			t.Errorf("%s altitude %v outside 2–12.5 km", a.ICAO, a.Start.Alt)
+		}
+		if a.SpeedKt < 250 || a.SpeedKt > 480 {
+			t.Errorf("%s speed %v outside 250–480 kt", a.ICAO, a.SpeedKt)
+		}
+		if a.TxPowerW < 75 || a.TxPowerW > 500 {
+			t.Errorf("%s power %v outside the paper's 75–500 W", a.ICAO, a.TxPowerW)
+		}
+	}
+}
+
+func TestNewFleetErrors(t *testing.T) {
+	if _, err := NewFleet(epoch, Config{Radius: 1, Count: -1}); err == nil {
+		t.Error("negative count should error")
+	}
+	if _, err := NewFleet(epoch, Config{Radius: 0, Count: 1}); err == nil {
+		t.Error("zero radius should error")
+	}
+}
+
+func TestFleetDeterminism(t *testing.T) {
+	a := testFleet(t, 10)
+	b := testFleet(t, 10)
+	for i := range a.Aircraft {
+		if a.Aircraft[i].ICAO != b.Aircraft[i].ICAO ||
+			a.Aircraft[i].Start != b.Aircraft[i].Start ||
+			a.Aircraft[i].TxPowerW != b.Aircraft[i].TxPowerW {
+			t.Fatal("same seed must reproduce the fleet")
+		}
+	}
+}
+
+func TestPositionAtMovesAlongTrack(t *testing.T) {
+	f := testFleet(t, 1)
+	a := f.Aircraft[0]
+	p0 := a.PositionAt(0)
+	p60 := a.PositionAt(time.Minute)
+	d := geo.GroundDistance(p0, p60)
+	want := a.SpeedKt * ktToMS * 60
+	if d < want*0.99 || d > want*1.01 {
+		t.Errorf("moved %v m in 60 s, want %v", d, want)
+	}
+	brg := geo.InitialBearing(p0, p60)
+	if geo.AngularDiff(brg, a.TrackDeg) > 1 {
+		t.Errorf("moved on bearing %v, track %v", brg, a.TrackDeg)
+	}
+}
+
+func TestAltitudeClamping(t *testing.T) {
+	a := &Aircraft{Start: geo.Point{Lat: 37, Lon: -122, Alt: 3000}, ClimbFtMin: -4000, SpeedKt: 300}
+	if alt := a.PositionAt(time.Hour).Alt; alt != 300 {
+		t.Errorf("descending aircraft should clamp at 300 m, got %v", alt)
+	}
+	a.ClimbFtMin = 4000
+	if alt := a.PositionAt(time.Hour).Alt; alt != 13500 {
+		t.Errorf("climbing aircraft should clamp at 13.5 km, got %v", alt)
+	}
+}
+
+func TestTransmissionSchedule(t *testing.T) {
+	f := testFleet(t, 1)
+	window := 10 * time.Second
+	ts, err := f.TransmissionsBetween(epoch, epoch.Add(window))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per 10 s: 20 position + 20 velocity + 2 ident + 4 status = 46
+	// (±2 for phase alignment).
+	if len(ts) < 44 || len(ts) > 48 {
+		t.Errorf("transmissions in 10 s = %d, want ≈46", len(ts))
+	}
+	// Sorted by time.
+	for i := 1; i < len(ts); i++ {
+		if ts[i].At.Before(ts[i-1].At) {
+			t.Fatal("transmissions not sorted")
+		}
+	}
+	// Every frame decodes and carries the right ICAO.
+	var pos, vel, id, status int
+	var lastOdd *bool
+	for _, tx := range ts {
+		fr, err := modes.Decode(tx.Frame)
+		if err != nil {
+			t.Fatalf("emitted frame does not decode: %v", err)
+		}
+		if fr.ICAO != f.Aircraft[0].ICAO {
+			t.Fatal("wrong ICAO in frame")
+		}
+		switch m := fr.Msg.(type) {
+		case *modes.AirbornePosition:
+			pos++
+			if lastOdd != nil && *lastOdd == m.CPR.Odd {
+				t.Error("position frames should alternate even/odd CPR")
+			}
+			odd := m.CPR.Odd
+			lastOdd = &odd
+		case *modes.Velocity:
+			vel++
+		case *modes.Identification:
+			id++
+			if m.Callsign != f.Aircraft[0].Callsign {
+				t.Errorf("callsign %q, want %q", m.Callsign, f.Aircraft[0].Callsign)
+			}
+		case *modes.OperationalStatus:
+			status++
+			if m.Version != 2 {
+				t.Errorf("ADS-B version %d, want 2", m.Version)
+			}
+		}
+	}
+	if pos < 19 || pos > 21 {
+		t.Errorf("position frames = %d, want ≈20 (the paper's ≥2/s)", pos)
+	}
+	if vel < 19 || vel > 21 {
+		t.Errorf("velocity frames = %d, want ≈20", vel)
+	}
+	if id != 2 {
+		t.Errorf("ident frames = %d, want 2", id)
+	}
+	if status < 3 || status > 5 {
+		t.Errorf("status frames = %d, want ≈4", status)
+	}
+}
+
+func TestTransmissionsWindowing(t *testing.T) {
+	f := testFleet(t, 3)
+	full, err := f.TransmissionsBetween(epoch, epoch.Add(4*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := f.TransmissionsBetween(epoch, epoch.Add(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.TransmissionsBetween(epoch.Add(2*time.Second), epoch.Add(4*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a)+len(b) != len(full) {
+		t.Errorf("windows should partition: %d + %d != %d", len(a), len(b), len(full))
+	}
+	for _, tx := range b {
+		if tx.At.Before(epoch.Add(2 * time.Second)) {
+			t.Error("transmission before window start")
+		}
+	}
+	if _, err := f.TransmissionsBetween(epoch.Add(time.Second), epoch); err == nil {
+		t.Error("inverted interval should error")
+	}
+}
+
+func TestPositionFramesDecodeToTruePosition(t *testing.T) {
+	f := testFleet(t, 1)
+	a := f.Aircraft[0]
+	ts, err := f.TransmissionsBetween(epoch, epoch.Add(3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect an even/odd CPR pair and globally decode it.
+	var even, odd *modes.AirbornePosition
+	var evenPos geo.Point
+	for _, tx := range ts {
+		fr, err := modes.Decode(tx.Frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p, ok := fr.Msg.(*modes.AirbornePosition); ok {
+			if !p.CPR.Odd && even == nil {
+				even = p
+				evenPos = tx.Position
+			} else if p.CPR.Odd && even != nil && odd == nil {
+				odd = p
+			}
+		}
+	}
+	if even == nil || odd == nil {
+		t.Fatal("did not capture an even/odd pair")
+	}
+	lat, lon, err := modes.DecodeCPRGlobal(even.CPR, odd.CPR, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.GroundDistance(geo.Point{Lat: lat, Lon: lon}, evenPos) > 500 {
+		t.Errorf("decoded position %v,%v too far from truth %v", lat, lon, evenPos)
+	}
+	_ = a
+}
+
+func TestStatesAt(t *testing.T) {
+	f := testFleet(t, 5)
+	states := f.StatesAt(epoch.Add(15 * time.Second))
+	if len(states) != 5 {
+		t.Fatalf("states = %d", len(states))
+	}
+	for i, s := range states {
+		if s.ICAO != f.Aircraft[i].ICAO {
+			t.Error("state order should match fleet order")
+		}
+		want := f.Aircraft[i].PositionAt(15 * time.Second)
+		if s.Position != want {
+			t.Error("state position mismatch")
+		}
+	}
+}
+
+func TestEIRP(t *testing.T) {
+	a := &Aircraft{TxPowerW: 250}
+	if e := a.EIRPDBm(); e < 53.9 || e > 54.1 {
+		t.Errorf("250 W = %v dBm, want ≈54", e)
+	}
+}

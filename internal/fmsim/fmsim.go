@@ -1,0 +1,161 @@
+// Package fmsim extends the calibration system with another signal of
+// opportunity, as the paper's §5 proposes ("there exists a wide range of
+// other RF sources that can contribute to the evaluation process"): FM
+// broadcast stations.
+//
+// FM broadcasting (87.5–108 MHz) sits far below the paper's 700–2700 MHz
+// antenna, so these measurements primarily characterize the node's
+// out-of-band roll-off — useful for catching antennas whose claimed range
+// does not match reality. An FM carrier is constant-envelope with most of
+// its power concentrated near the carrier; the simulator models it as a
+// strong carrier plus modulation sidebands, and the receiver detects a
+// station by carrier prominence inside the 200 kHz channel.
+package fmsim
+
+import (
+	"fmt"
+	"math"
+
+	"sensorcal/internal/dsp"
+	"sensorcal/internal/iq"
+	"sensorcal/internal/sdr"
+)
+
+// ChannelWidthHz is the FM broadcast channel spacing (200 kHz in ITU
+// region 2).
+const ChannelWidthHz = 200e3
+
+// CarrierFraction is the share of received power in the residual carrier
+// component of our simplified constant-envelope model.
+const CarrierFraction = 0.35
+
+// Station is one FM broadcaster.
+type Station struct {
+	CallSign string
+	CenterHz float64
+}
+
+// Validate checks the station sits in the FM broadcast band on a valid
+// 200 kHz raster (odd 100 kHz multiples in region 2).
+func (s Station) Validate() error {
+	if s.CenterHz < 87.5e6 || s.CenterHz > 108e6 {
+		return fmt.Errorf("fmsim: %s at %.1f MHz outside the FM band", s.CallSign, s.CenterHz/1e6)
+	}
+	return nil
+}
+
+// Emission renders the station at rxPowerDBm for a device tuned to
+// tunedHz: a carrier tone plus modulation-sideband noise across ~180 kHz.
+func (s Station) Emission(tunedHz, sampleRate, rxPowerDBm float64) ([]sdr.Emission, bool) {
+	offset := s.CenterHz - tunedHz
+	if math.Abs(offset)-ChannelWidthHz/2 > sampleRate/2 {
+		return nil, false
+	}
+	carrier := sdr.Tone{
+		OffsetHz: offset,
+		PowerDBm: rxPowerDBm + 10*math.Log10(CarrierFraction),
+	}
+	sidebands := sdr.NoiseBand{
+		CenterOffsetHz: offset,
+		BandwidthHz:    180e3,
+		PowerDBm:       rxPowerDBm + 10*math.Log10(1-CarrierFraction),
+	}
+	return []sdr.Emission{carrier, sidebands}, true
+}
+
+// Scene supplies receivable stations, mirroring the other substrates.
+type Scene interface {
+	EmissionsFor(tunedHz, sampleRate float64, samples int) ([]sdr.Emission, error)
+}
+
+// ActiveStation pairs a station with its received power.
+type ActiveStation struct {
+	Station    Station
+	RxPowerDBm float64
+}
+
+// StaticScene is a fixed station list.
+type StaticScene []ActiveStation
+
+// EmissionsFor implements Scene.
+func (ss StaticScene) EmissionsFor(tunedHz, sampleRate float64, _ int) ([]sdr.Emission, error) {
+	var out []sdr.Emission
+	for _, as := range ss {
+		if ems, ok := as.Station.Emission(tunedHz, sampleRate, as.RxPowerDBm); ok {
+			out = append(out, ems...)
+		}
+	}
+	return out, nil
+}
+
+// Measurement is one FM channel reading.
+type Measurement struct {
+	CenterHz float64
+	// PowerDBFS / PowerDBm: in-channel power, as in the TV receiver.
+	PowerDBFS float64
+	PowerDBm  float64
+	// CarrierDB is the carrier's prominence over the channel's spectral
+	// floor; CarrierDetected gates station presence.
+	CarrierDB       float64
+	CarrierDetected bool
+	NoiseFloorDBFS  float64
+}
+
+// MarginDB returns the measurement's height above the noise floor.
+func (m Measurement) MarginDB() float64 { return m.PowerDBFS - m.NoiseFloorDBFS }
+
+// Receiver measures FM channels.
+type Receiver struct {
+	Dev *sdr.Device
+	// SampleRateHz for captures.
+	SampleRateHz float64
+	// CaptureSamples per measurement.
+	CaptureSamples int
+	// CarrierThresholdDB is the prominence needed to declare a carrier.
+	CarrierThresholdDB float64
+}
+
+// NewReceiver returns an FM receiver with sensible defaults.
+func NewReceiver(dev *sdr.Device) *Receiver {
+	return &Receiver{
+		Dev:                dev,
+		SampleRateHz:       1e6,
+		CaptureSamples:     1 << 15,
+		CarrierThresholdDB: 10,
+	}
+}
+
+// MeasureChannel measures one FM channel's power and carrier presence.
+func (r *Receiver) MeasureChannel(scene Scene, centerHz float64) (Measurement, error) {
+	if err := r.Dev.Tune(centerHz); err != nil {
+		return Measurement{}, fmt.Errorf("fmsim: %w", err)
+	}
+	rate := math.Min(r.SampleRateHz, r.Dev.Profile().MaxSampleRate)
+	if err := r.Dev.SetSampleRate(rate); err != nil {
+		return Measurement{}, err
+	}
+	ems, err := scene.EmissionsFor(centerHz, rate, r.CaptureSamples)
+	if err != nil {
+		return Measurement{}, err
+	}
+	buf, err := r.Dev.Capture(r.CaptureSamples, ems)
+	if err != nil {
+		return Measurement{}, err
+	}
+	p, err := dsp.BandPowerTimeDomain(buf.Samples, rate, 0, ChannelWidthHz, 129, r.CaptureSamples/2)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m := Measurement{CenterHz: centerHz, PowerDBFS: iq.PowerToDBFS(p)}
+	m.PowerDBm = r.Dev.DBFSToDBm(m.PowerDBFS)
+	m.NoiseFloorDBFS = r.Dev.NoiseFloorDBFS(290) + 10*math.Log10(ChannelWidthHz/rate)
+	// Carrier check: Goertzel at the channel center versus 70 kHz out
+	// (inside the sidebands but away from the carrier).
+	at := dsp.Goertzel(buf.Samples, rate, 0)
+	ref := dsp.Goertzel(buf.Samples, rate, 70e3)
+	if ref > 0 {
+		m.CarrierDB = 10 * math.Log10(at/ref)
+	}
+	m.CarrierDetected = m.CarrierDB >= r.CarrierThresholdDB
+	return m, nil
+}

@@ -1,0 +1,154 @@
+// Package fr24 simulates the flight-tracking service the paper queries for
+// ground truth (FlightRadar24): a radius query returning every aircraft
+// near a point, with the service's characteristic reporting latency.
+//
+// The paper: "We query the FlightRadar24 website through an API to acquire
+// the ground truth ... FlightRadar24 reports a latency of 10 s, meaning
+// reported aircraft are within 2.5 km of reported location, sufficient for
+// our purpose." Service.Query applies exactly that latency; the HTTP
+// server and client expose the same contract over JSON for the distributed
+// deployment.
+package fr24
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sensorcal/internal/flightsim"
+	"sensorcal/internal/geo"
+)
+
+// DefaultLatency is the reporting delay the paper attributes to
+// FlightRadar24.
+const DefaultLatency = 10 * time.Second
+
+// Flight is one ground-truth aircraft report.
+type Flight struct {
+	ICAO     string    `json:"icao"`
+	Callsign string    `json:"callsign"`
+	Lat      float64   `json:"lat"`
+	Lon      float64   `json:"lon"`
+	AltM     float64   `json:"alt_m"`
+	TrackDeg float64   `json:"track_deg"`
+	SpeedKt  float64   `json:"speed_kt"`
+	SeenAt   time.Time `json:"seen_at"` // the (stale) timestamp of the fix
+}
+
+// Position returns the report's geodetic position.
+func (f Flight) Position() geo.Point {
+	return geo.Point{Lat: f.Lat, Lon: f.Lon, Alt: f.AltM}
+}
+
+// Service answers radius queries against a simulated fleet.
+type Service struct {
+	Fleet   *flightsim.Fleet
+	Latency time.Duration
+}
+
+// NewService returns a ground-truth service with the default latency.
+func NewService(fleet *flightsim.Fleet) *Service {
+	return &Service{Fleet: fleet, Latency: DefaultLatency}
+}
+
+// Query returns all aircraft within radius meters of center, as the
+// service would have reported them at time at — i.e. using positions from
+// at-Latency.
+func (s *Service) Query(at time.Time, center geo.Point, radius float64) ([]Flight, error) {
+	if radius <= 0 {
+		return nil, fmt.Errorf("fr24: radius must be positive")
+	}
+	staleAt := at.Add(-s.Latency)
+	var out []Flight
+	for _, st := range s.Fleet.StatesAt(staleAt) {
+		if geo.GroundDistance(center, st.Position) > radius {
+			continue
+		}
+		out = append(out, Flight{
+			ICAO:     st.ICAO.String(),
+			Callsign: st.Callsign,
+			Lat:      st.Position.Lat,
+			Lon:      st.Position.Lon,
+			AltM:     st.Position.Alt,
+			TrackDeg: st.TrackDeg,
+			SpeedKt:  st.SpeedKt,
+			SeenAt:   staleAt,
+		})
+	}
+	return out, nil
+}
+
+// Handler returns the HTTP API: GET /api/flights?lat=&lon=&radius_km=&t=RFC3339.
+// Omitting t queries "now" per the server clock function.
+func (s *Service) Handler(now func() time.Time) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/flights", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		lat, err1 := strconv.ParseFloat(q.Get("lat"), 64)
+		lon, err2 := strconv.ParseFloat(q.Get("lon"), 64)
+		radKM, err3 := strconv.ParseFloat(q.Get("radius_km"), 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			http.Error(w, "lat, lon and radius_km are required", http.StatusBadRequest)
+			return
+		}
+		at := now()
+		if ts := q.Get("t"); ts != "" {
+			at, err1 = time.Parse(time.RFC3339Nano, ts)
+			if err1 != nil {
+				http.Error(w, "bad t timestamp", http.StatusBadRequest)
+				return
+			}
+		}
+		flights, err := s.Query(at, geo.Point{Lat: lat, Lon: lon}, radKM*1000)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(flights); err != nil {
+			// Too late for an error status; the client sees a broken body.
+			return
+		}
+	})
+	return mux
+}
+
+// Client queries a remote fr24 server.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 10 * time.Second}}
+}
+
+// Flights performs the radius query at a given timestamp (zero time means
+// the server's now).
+func (c *Client) Flights(ctx context.Context, center geo.Point, radiusKM float64, at time.Time) ([]Flight, error) {
+	url := fmt.Sprintf("%s/api/flights?lat=%v&lon=%v&radius_km=%v", c.BaseURL, center.Lat, center.Lon, radiusKM)
+	if !at.IsZero() {
+		url += "&t=" + at.UTC().Format(time.RFC3339Nano)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fr24: query: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fr24: server returned %s", resp.Status)
+	}
+	var flights []Flight
+	if err := json.NewDecoder(resp.Body).Decode(&flights); err != nil {
+		return nil, fmt.Errorf("fr24: decode response: %w", err)
+	}
+	return flights, nil
+}

@@ -1,0 +1,190 @@
+package fr24
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sensorcal/internal/flightsim"
+	"sensorcal/internal/geo"
+)
+
+var (
+	epoch  = time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	center = geo.Point{Lat: 37.8716, Lon: -122.2727}
+)
+
+func testService(t *testing.T, n int) *Service {
+	t.Helper()
+	fleet, err := flightsim.NewFleet(epoch, flightsim.Config{Center: center, Radius: 90_000, Count: n, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewService(fleet)
+}
+
+func TestQueryReturnsFleet(t *testing.T) {
+	s := testService(t, 25)
+	flights, err := s.Query(epoch.Add(15*time.Second), center, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flights) != 25 {
+		t.Errorf("got %d flights, want all 25 within a generous radius", len(flights))
+	}
+	for _, f := range flights {
+		if f.ICAO == "" || f.Callsign == "" {
+			t.Error("flight missing identity")
+		}
+	}
+}
+
+func TestQueryRadiusFilters(t *testing.T) {
+	s := testService(t, 40)
+	all, _ := s.Query(epoch, center, 150_000)
+	near, err := s.Query(epoch, center, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(near) >= len(all) {
+		t.Errorf("20 km query returned %d of %d — radius not applied", len(near), len(all))
+	}
+	for _, f := range near {
+		if d := geo.GroundDistance(center, f.Position()); d > 20_000 {
+			t.Errorf("flight at %v m inside a 20 km query", d)
+		}
+	}
+}
+
+func TestQueryAppliesLatency(t *testing.T) {
+	s := testService(t, 1)
+	at := epoch.Add(30 * time.Second)
+	flights, err := s.Query(at, center, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flights) != 1 {
+		t.Fatalf("flights = %d", len(flights))
+	}
+	// Reported position must match the fleet at t-10s, not t.
+	truthStale := s.Fleet.Aircraft[0].PositionAt(20 * time.Second)
+	truthNow := s.Fleet.Aircraft[0].PositionAt(30 * time.Second)
+	got := flights[0].Position()
+	if geo.GroundDistance(got, truthStale) > 1 {
+		t.Errorf("reported position should be 10 s stale")
+	}
+	if geo.GroundDistance(got, truthNow) < 1 {
+		t.Errorf("reported position suspiciously fresh")
+	}
+	// Staleness bound the paper cites: within ~2.5 km of current position.
+	if d := geo.GroundDistance(got, truthNow); d > 2500 {
+		t.Errorf("10 s staleness moved the aircraft %v m, paper says ≤2.5 km", d)
+	}
+	if !flights[0].SeenAt.Equal(at.Add(-10 * time.Second)) {
+		t.Error("SeenAt should carry the stale timestamp")
+	}
+}
+
+func TestQueryRejectsBadRadius(t *testing.T) {
+	s := testService(t, 1)
+	if _, err := s.Query(epoch, center, 0); err == nil {
+		t.Error("zero radius should error")
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	s := testService(t, 10)
+	srv := httptest.NewServer(s.Handler(func() time.Time { return epoch.Add(15 * time.Second) }))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	flights, err := c.Flights(context.Background(), center, 150, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flights) != 10 {
+		t.Errorf("HTTP query returned %d flights, want 10", len(flights))
+	}
+	// Explicit timestamp form.
+	flights2, err := c.Flights(context.Background(), center, 150, epoch.Add(15*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flights2) != len(flights) {
+		t.Error("explicit-timestamp query should match server-now query")
+	}
+	if flights[0].ICAO != flights2[0].ICAO {
+		t.Error("flight identity mismatch between query forms")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	s := testService(t, 1)
+	srv := httptest.NewServer(s.Handler(func() time.Time { return epoch }))
+	defer srv.Close()
+
+	for _, path := range []string{
+		"/api/flights",
+		"/api/flights?lat=x&lon=0&radius_km=10",
+		"/api/flights?lat=0&lon=0&radius_km=10&t=notatime",
+		"/api/flights?lat=0&lon=0&radius_km=-5",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestClientErrorsOnDownServer(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1") // nothing listens here
+	if _, err := c.Flights(context.Background(), center, 100, time.Time{}); err == nil {
+		t.Error("unreachable server should error")
+	}
+}
+
+func TestClientRejectsCorruptResponse(t *testing.T) {
+	// A server that answers 200 with a garbage body must produce a clean
+	// decode error, not a panic or silent empty result.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"this is": not json`))
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	if _, err := c.Flights(context.Background(), center, 100, time.Time{}); err == nil {
+		t.Error("corrupt body should error")
+	}
+}
+
+func TestClientSurfacesServerError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	if _, err := c.Flights(context.Background(), center, 100, time.Time{}); err == nil {
+		t.Error("500 should error")
+	}
+}
+
+func TestClientHonorsContextCancel(t *testing.T) {
+	blocked := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-blocked
+	}))
+	defer srv.Close()
+	defer close(blocked)
+	c := NewClient(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c.Flights(ctx, center, 100, time.Time{}); err == nil {
+		t.Error("cancelled context should error")
+	}
+}

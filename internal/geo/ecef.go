@@ -1,0 +1,85 @@
+package geo
+
+import "math"
+
+// ECEF/ENU conversions. The polar plots and sector math work in
+// bearing/range space, but antenna-pattern evaluation and some FoV
+// estimators want local Cartesian coordinates; these helpers provide the
+// standard Earth-centered Earth-fixed and local east-north-up frames on
+// the WGS-84 ellipsoid.
+
+// WGS-84 ellipsoid constants.
+const (
+	wgs84A  = 6378137.0         // semi-major axis, meters
+	wgs84F  = 1 / 298.257223563 // flattening
+	wgs84E2 = wgs84F * (2 - wgs84F)
+)
+
+// ECEF is an Earth-centered Earth-fixed position in meters.
+type ECEF struct {
+	X, Y, Z float64
+}
+
+// ENU is a local east-north-up vector in meters.
+type ENU struct {
+	E, N, U float64
+}
+
+// ToECEF converts a geodetic point to ECEF.
+func ToECEF(p Point) ECEF {
+	lat := Radians(p.Lat)
+	lon := Radians(p.Lon)
+	sinLat, cosLat := math.Sin(lat), math.Cos(lat)
+	n := wgs84A / math.Sqrt(1-wgs84E2*sinLat*sinLat)
+	return ECEF{
+		X: (n + p.Alt) * cosLat * math.Cos(lon),
+		Y: (n + p.Alt) * cosLat * math.Sin(lon),
+		Z: (n*(1-wgs84E2) + p.Alt) * sinLat,
+	}
+}
+
+// FromECEF converts ECEF back to geodetic coordinates using Bowring's
+// iteration (converges to sub-millimeter in a few rounds).
+func FromECEF(e ECEF) Point {
+	lon := math.Atan2(e.Y, e.X)
+	pr := math.Hypot(e.X, e.Y)
+	lat := math.Atan2(e.Z, pr*(1-wgs84E2))
+	var alt float64
+	for i := 0; i < 6; i++ {
+		sinLat := math.Sin(lat)
+		n := wgs84A / math.Sqrt(1-wgs84E2*sinLat*sinLat)
+		alt = pr/math.Cos(lat) - n
+		lat = math.Atan2(e.Z, pr*(1-wgs84E2*n/(n+alt)))
+	}
+	return Point{Lat: Degrees(lat), Lon: Degrees(lon), Alt: alt}
+}
+
+// ToENU expresses target relative to origin in the origin's local
+// east-north-up frame.
+func ToENU(origin, target Point) ENU {
+	o := ToECEF(origin)
+	t := ToECEF(target)
+	dx, dy, dz := t.X-o.X, t.Y-o.Y, t.Z-o.Z
+	lat := Radians(origin.Lat)
+	lon := Radians(origin.Lon)
+	sinLat, cosLat := math.Sin(lat), math.Cos(lat)
+	sinLon, cosLon := math.Sin(lon), math.Cos(lon)
+	return ENU{
+		E: -sinLon*dx + cosLon*dy,
+		N: -sinLat*cosLon*dx - sinLat*sinLon*dy + cosLat*dz,
+		U: cosLat*cosLon*dx + cosLat*sinLon*dy + sinLat*dz,
+	}
+}
+
+// Range returns the vector's length.
+func (v ENU) Range() float64 { return math.Sqrt(v.E*v.E + v.N*v.N + v.U*v.U) }
+
+// Bearing returns the compass bearing of the vector's horizontal
+// component.
+func (v ENU) Bearing() float64 { return NormalizeBearing(Degrees(math.Atan2(v.E, v.N))) }
+
+// Elevation returns the elevation angle above the local horizontal.
+func (v ENU) Elevation() float64 {
+	h := math.Hypot(v.E, v.N)
+	return Degrees(math.Atan2(v.U, h))
+}

@@ -1,0 +1,89 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestECEFKnownPoints(t *testing.T) {
+	// Equator/prime meridian at sea level: (a, 0, 0).
+	e := ToECEF(Point{Lat: 0, Lon: 0, Alt: 0})
+	if math.Abs(e.X-6378137) > 0.001 || math.Abs(e.Y) > 0.001 || math.Abs(e.Z) > 0.001 {
+		t.Errorf("equator ECEF = %+v", e)
+	}
+	// North pole: (0, 0, b) with b ≈ 6356752.3.
+	p := ToECEF(Point{Lat: 90, Lon: 0, Alt: 0})
+	if math.Abs(p.Z-6356752.314) > 0.01 || math.Hypot(p.X, p.Y) > 0.01 {
+		t.Errorf("pole ECEF = %+v", p)
+	}
+	// 90°E on the equator: (0, a, 0).
+	q := ToECEF(Point{Lat: 0, Lon: 90, Alt: 0})
+	if math.Abs(q.Y-6378137) > 0.001 || math.Abs(q.X) > 0.001 {
+		t.Errorf("90E ECEF = %+v", q)
+	}
+}
+
+func TestECEFRoundTripProperty(t *testing.T) {
+	f := func(latSeed, lonSeed, altSeed uint16) bool {
+		p := Point{
+			Lat: float64(latSeed)/65535*178 - 89,
+			Lon: float64(lonSeed)/65535*360 - 180,
+			Alt: float64(altSeed)/65535*20000 - 100,
+		}
+		got := FromECEF(ToECEF(p))
+		return math.Abs(got.Lat-p.Lat) < 1e-9 &&
+			math.Abs(NormalizeBearing(got.Lon)-NormalizeBearing(p.Lon)) < 1e-9 &&
+			math.Abs(got.Alt-p.Alt) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestENUBasisDirections(t *testing.T) {
+	origin := Point{Lat: 37.8716, Lon: -122.2727, Alt: 0}
+	// A point 1 km east. Destination() walks the spherical Earth while
+	// ENU lives on the WGS-84 ellipsoid, so allow the ~0.25% radius
+	// mismatch.
+	east := ToENU(origin, Destination(origin, 90, 1000))
+	if math.Abs(east.E-1000) > 4 || math.Abs(east.N) > 2 {
+		t.Errorf("east vector = %+v", east)
+	}
+	if AngularDiff(east.Bearing(), 90) > 0.2 {
+		t.Errorf("east bearing = %v", east.Bearing())
+	}
+	// A point 1 km north.
+	north := ToENU(origin, Destination(origin, 0, 1000))
+	if math.Abs(north.N-1000) > 4 || math.Abs(north.E) > 2 {
+		t.Errorf("north vector = %+v", north)
+	}
+	// Directly above.
+	up := origin
+	up.Alt = 500
+	v := ToENU(origin, up)
+	if math.Abs(v.U-500) > 0.01 || math.Abs(v.E) > 0.01 || math.Abs(v.N) > 0.01 {
+		t.Errorf("up vector = %+v", v)
+	}
+	if math.Abs(v.Elevation()-90) > 0.01 {
+		t.Errorf("up elevation = %v", v.Elevation())
+	}
+}
+
+func TestENUAgreesWithSphericalGeometry(t *testing.T) {
+	// ENU range/bearing/elevation should agree with the spherical-Earth
+	// helpers for aircraft-scale geometry.
+	origin := Point{Lat: 37.8716, Lon: -122.2727, Alt: 20}
+	target := Destination(origin, 123, 40_000)
+	target.Alt = 10_000
+	v := ToENU(origin, target)
+	if math.Abs(v.Range()-SlantRange(origin, target)) > SlantRange(origin, target)*0.005 {
+		t.Errorf("ENU range %v vs slant %v", v.Range(), SlantRange(origin, target))
+	}
+	if AngularDiff(v.Bearing(), InitialBearing(origin, target)) > 0.5 {
+		t.Errorf("ENU bearing %v vs spherical %v", v.Bearing(), InitialBearing(origin, target))
+	}
+	if math.Abs(v.Elevation()-ElevationAngle(origin, target)) > 0.3 {
+		t.Errorf("ENU elevation %v vs spherical %v", v.Elevation(), ElevationAngle(origin, target))
+	}
+}

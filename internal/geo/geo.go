@@ -1,0 +1,143 @@
+// Package geo implements the geodesic arithmetic the calibration system is
+// built on: positions of sensors, aircraft, cell towers and TV transmitters,
+// ranges and bearings between them, and azimuth-sector bookkeeping for
+// field-of-view analysis.
+//
+// A spherical Earth model (mean radius) is used throughout. At the scales
+// the paper works with — aircraft within 100 km, towers within 50 km — the
+// spherical error is far below the 2.5 km position staleness the paper
+// already tolerates from FlightRadar24.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the IUGG mean Earth radius.
+const EarthRadiusMeters = 6371008.8
+
+// Point is a geodetic position. Altitude is meters above mean sea level.
+type Point struct {
+	Lat float64 // degrees, north positive
+	Lon float64 // degrees, east positive
+	Alt float64 // meters AMSL
+}
+
+func (p Point) String() string {
+	return fmt.Sprintf("(%.5f,%.5f,%.0fm)", p.Lat, p.Lon, p.Alt)
+}
+
+// Valid reports whether the point is a plausible geodetic coordinate.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Alt) && !math.IsInf(p.Alt, 0)
+}
+
+// Radians converts degrees to radians.
+func Radians(deg float64) float64 { return deg * math.Pi / 180 }
+
+// Degrees converts radians to degrees.
+func Degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// NormalizeBearing maps any angle in degrees into [0, 360).
+func NormalizeBearing(deg float64) float64 {
+	m := math.Mod(deg, 360)
+	if m < 0 {
+		m += 360
+	}
+	return m
+}
+
+// GroundDistance returns the great-circle surface distance in meters
+// between a and b, ignoring altitude (haversine formula).
+func GroundDistance(a, b Point) float64 {
+	la1, lo1 := Radians(a.Lat), Radians(a.Lon)
+	la2, lo2 := Radians(b.Lat), Radians(b.Lon)
+	dla := la2 - la1
+	dlo := lo2 - lo1
+	s := math.Sin(dla/2)*math.Sin(dla/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dlo/2)*math.Sin(dlo/2)
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// SlantRange returns the straight-line distance in meters between a and b
+// including the altitude difference. For the ranges involved a flat
+// chord+height approximation is accurate to well under 0.1%.
+func SlantRange(a, b Point) float64 {
+	g := GroundDistance(a, b)
+	dh := b.Alt - a.Alt
+	return math.Hypot(g, dh)
+}
+
+// InitialBearing returns the initial great-circle bearing in degrees
+// (0 = north, 90 = east) from a toward b.
+func InitialBearing(a, b Point) float64 {
+	la1, lo1 := Radians(a.Lat), Radians(a.Lon)
+	la2, lo2 := Radians(b.Lat), Radians(b.Lon)
+	dlo := lo2 - lo1
+	y := math.Sin(dlo) * math.Cos(la2)
+	x := math.Cos(la1)*math.Sin(la2) - math.Sin(la1)*math.Cos(la2)*math.Cos(dlo)
+	return NormalizeBearing(Degrees(math.Atan2(y, x)))
+}
+
+// ElevationAngle returns the elevation angle in degrees from a to b:
+// the angle above a's local horizontal at which b appears.
+func ElevationAngle(a, b Point) float64 {
+	g := GroundDistance(a, b)
+	dh := b.Alt - a.Alt
+	if g == 0 {
+		if dh > 0 {
+			return 90
+		}
+		if dh < 0 {
+			return -90
+		}
+		return 0
+	}
+	// Include the Earth-curvature drop of the target below the local
+	// horizontal plane; it matters at aircraft ranges (≈0.8° at 100 km).
+	drop := g * g / (2 * EarthRadiusMeters)
+	return Degrees(math.Atan2(dh-drop, g))
+}
+
+// Destination returns the point reached by travelling dist meters from p on
+// the initial bearing deg, keeping p's altitude.
+func Destination(p Point, bearingDeg, dist float64) Point {
+	la1, lo1 := Radians(p.Lat), Radians(p.Lon)
+	br := Radians(bearingDeg)
+	ad := dist / EarthRadiusMeters
+	la2 := math.Asin(math.Sin(la1)*math.Cos(ad) + math.Cos(la1)*math.Sin(ad)*math.Cos(br))
+	lo2 := lo1 + math.Atan2(math.Sin(br)*math.Sin(ad)*math.Cos(la1),
+		math.Cos(ad)-math.Sin(la1)*math.Sin(la2))
+	// Normalize longitude to [-180, 180).
+	lon := math.Mod(Degrees(lo2)+540, 360) - 180
+	return Point{Lat: Degrees(la2), Lon: lon, Alt: p.Alt}
+}
+
+// RadioHorizon returns the 4/3-Earth radio horizon distance in meters for
+// two antennas at heights hTx and hRx meters above ground. Beyond this
+// range a line-of-sight VHF/UHF link (such as ADS-B) is blocked by the
+// Earth itself regardless of local obstructions.
+func RadioHorizon(hTx, hRx float64) float64 {
+	const k = 4.0 / 3.0
+	r := k * EarthRadiusMeters
+	d := 0.0
+	if hTx > 0 {
+		d += math.Sqrt(2 * r * hTx)
+	}
+	if hRx > 0 {
+		d += math.Sqrt(2 * r * hRx)
+	}
+	return d
+}
+
+// AngularDiff returns the smallest absolute difference in degrees between
+// two bearings, in [0, 180].
+func AngularDiff(a, b float64) float64 {
+	d := math.Abs(NormalizeBearing(a) - NormalizeBearing(b))
+	if d > 180 {
+		d = 360 - d
+	}
+	return d
+}

@@ -1,0 +1,142 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func near(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+func TestGroundDistanceKnown(t *testing.T) {
+	// Berkeley campus to SFO, roughly 30.5 km.
+	berkeley := Point{Lat: 37.8719, Lon: -122.2585}
+	sfo := Point{Lat: 37.6213, Lon: -122.3790}
+	d := GroundDistance(berkeley, sfo)
+	if d < 29000 || d > 32000 {
+		t.Errorf("Berkeley->SFO distance = %.0f m, want ~30.5 km", d)
+	}
+}
+
+func TestGroundDistanceZero(t *testing.T) {
+	p := Point{Lat: 37.87, Lon: -122.26, Alt: 30}
+	if d := GroundDistance(p, p); d != 0 {
+		t.Errorf("distance to self = %v, want 0", d)
+	}
+}
+
+func TestSlantRangeIncludesAltitude(t *testing.T) {
+	ground := Point{Lat: 37.87, Lon: -122.26, Alt: 0}
+	above := Point{Lat: 37.87, Lon: -122.26, Alt: 10000}
+	near(t, SlantRange(ground, above), 10000, 1, "vertical slant range")
+
+	// A 3-4-5 style check: ~40 km ground, 30 km altitude -> 50 km slant.
+	far := Destination(ground, 90, 40000)
+	far.Alt = 30000
+	near(t, SlantRange(ground, far), 50000, 100, "3-4-5 slant range")
+}
+
+func TestInitialBearingCardinal(t *testing.T) {
+	origin := Point{Lat: 0, Lon: 0}
+	near(t, InitialBearing(origin, Point{Lat: 1, Lon: 0}), 0, 0.01, "north bearing")
+	near(t, InitialBearing(origin, Point{Lat: 0, Lon: 1}), 90, 0.01, "east bearing")
+	near(t, InitialBearing(origin, Point{Lat: -1, Lon: 0}), 180, 0.01, "south bearing")
+	near(t, InitialBearing(origin, Point{Lat: 0, Lon: -1}), 270, 0.01, "west bearing")
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	origin := Point{Lat: 37.87, Lon: -122.26, Alt: 100}
+	for _, br := range []float64{0, 45, 133.7, 270, 359} {
+		for _, dist := range []float64{100, 5_000, 50_000, 100_000} {
+			dst := Destination(origin, br, dist)
+			near(t, GroundDistance(origin, dst), dist, dist*1e-3+0.5, "round-trip distance")
+			near(t, AngularDiff(InitialBearing(origin, dst), br), 0, 0.5, "round-trip bearing")
+		}
+	}
+}
+
+func TestDestinationPropertyDistancePreserved(t *testing.T) {
+	f := func(latSeed, lonSeed, brSeed, distSeed uint16) bool {
+		lat := float64(latSeed)/65535*120 - 60 // stay away from poles
+		lon := float64(lonSeed)/65535*360 - 180
+		br := float64(brSeed) / 65535 * 360
+		dist := 100 + float64(distSeed)/65535*100_000
+		origin := Point{Lat: lat, Lon: lon}
+		dst := Destination(origin, br, dist)
+		if !dst.Valid() {
+			return false
+		}
+		return math.Abs(GroundDistance(origin, dst)-dist) < dist*1e-2+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElevationAngle(t *testing.T) {
+	ground := Point{Lat: 37.87, Lon: -122.26, Alt: 0}
+	// Aircraft at 10 km altitude, 10 km ground range: ~45° minus a whisker
+	// of Earth curvature.
+	ac := Destination(ground, 10, 10_000)
+	ac.Alt = 10_000
+	e := ElevationAngle(ground, ac)
+	if e < 44 || e > 45.1 {
+		t.Errorf("elevation = %.2f°, want ≈45°", e)
+	}
+	// Directly overhead.
+	over := ground
+	over.Alt = 5000
+	near(t, ElevationAngle(ground, over), 90, 0.01, "overhead elevation")
+	// Curvature makes distant low targets dip below the horizontal.
+	low := Destination(ground, 0, 100_000)
+	low.Alt = 100
+	if ElevationAngle(ground, low) > 0 {
+		t.Errorf("distant low target should be below local horizontal, got %.3f°", ElevationAngle(ground, low))
+	}
+}
+
+func TestRadioHorizon(t *testing.T) {
+	// Aircraft at 10 km altitude seen from a ground antenna at 10 m:
+	// about 412 + 13 = ~425 km with 4/3-Earth.
+	d := RadioHorizon(10_000, 10)
+	if d < 400_000 || d > 450_000 {
+		t.Errorf("radio horizon = %.0f m, want ~425 km", d)
+	}
+	if RadioHorizon(0, 0) != 0 {
+		t.Errorf("zero heights should give zero horizon")
+	}
+}
+
+func TestNormalizeBearing(t *testing.T) {
+	cases := map[float64]float64{0: 0, 360: 0, 361: 1, -1: 359, 725: 5, -725: 355}
+	for in, want := range cases {
+		near(t, NormalizeBearing(in), want, 1e-9, "normalize")
+	}
+}
+
+func TestAngularDiff(t *testing.T) {
+	near(t, AngularDiff(350, 10), 20, 1e-9, "wrap diff")
+	near(t, AngularDiff(10, 350), 20, 1e-9, "wrap diff reversed")
+	near(t, AngularDiff(0, 180), 180, 1e-9, "opposite")
+	near(t, AngularDiff(90, 90), 0, 1e-9, "same")
+}
+
+func TestPointValid(t *testing.T) {
+	if !(Point{Lat: 37, Lon: -122, Alt: 10}).Valid() {
+		t.Error("normal point should be valid")
+	}
+	bad := []Point{
+		{Lat: 91}, {Lat: -91}, {Lon: 181}, {Lon: -181},
+		{Alt: math.NaN()}, {Alt: math.Inf(1)},
+	}
+	for _, p := range bad {
+		if p.Valid() {
+			t.Errorf("point %+v should be invalid", p)
+		}
+	}
+}

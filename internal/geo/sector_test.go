@@ -1,0 +1,158 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSectorContains(t *testing.T) {
+	s := Sector{From: 250, To: 290} // the paper's "open to the west" rooftop
+	for _, deg := range []float64{250, 270, 289.9} {
+		if !s.Contains(deg) {
+			t.Errorf("%v should contain %v", s, deg)
+		}
+	}
+	for _, deg := range []float64{290, 249.9, 0, 90} {
+		if s.Contains(deg) {
+			t.Errorf("%v should not contain %v", s, deg)
+		}
+	}
+}
+
+func TestSectorWrapsNorth(t *testing.T) {
+	s := Sector{From: 350, To: 20}
+	if got := s.Width(); math.Abs(got-30) > 1e-9 {
+		t.Errorf("width = %v, want 30", got)
+	}
+	for _, deg := range []float64{350, 0, 10, 19.9} {
+		if !s.Contains(deg) {
+			t.Errorf("wrap sector should contain %v", deg)
+		}
+	}
+	if s.Contains(20) || s.Contains(180) {
+		t.Error("wrap sector contains out-of-range bearing")
+	}
+	if got := s.Midpoint(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("midpoint = %v, want 5", got)
+	}
+}
+
+func TestSectorFullCircle(t *testing.T) {
+	s := Sector{From: 90, To: 90}
+	if got := s.Width(); got != 360 {
+		t.Errorf("width = %v, want 360", got)
+	}
+}
+
+func TestSectorSetCoverage(t *testing.T) {
+	cases := []struct {
+		set  SectorSet
+		want float64
+	}{
+		{nil, 0},
+		{SectorSet{{0, 90}}, 90},
+		{SectorSet{{0, 90}, {45, 135}}, 135},   // overlap counted once
+		{SectorSet{{350, 20}, {10, 30}}, 40},   // wrap + overlap
+		{SectorSet{{0, 180}, {180, 360}}, 360}, // full circle
+		{SectorSet{{0, 120}, {240, 360}}, 240}, // disjoint
+	}
+	for _, c := range cases {
+		if got := c.set.Coverage(); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("coverage(%v) = %v, want %v", c.set, got, c.want)
+		}
+	}
+}
+
+func TestSectorSetContainsMatchesMembers(t *testing.T) {
+	f := func(fromSeed, widthSeed, probeSeed uint16) bool {
+		from := float64(fromSeed) / 65535 * 360
+		width := 1 + float64(widthSeed)/65535*358
+		probe := float64(probeSeed) / 65535 * 360
+		s := Sector{From: from, To: NormalizeBearing(from + width)}
+		set := SectorSet{s}
+		return set.Contains(probe) == s.Contains(probe)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(36)
+	if h.BinWidth() != 10 {
+		t.Fatalf("bin width = %v, want 10", h.BinWidth())
+	}
+	h.Add(5, 1)
+	h.Add(9.99, 1)
+	h.Add(10, 1)
+	h.Add(359.999, 1)
+	if h.Count(0) != 2 {
+		t.Errorf("bin 0 = %v, want 2", h.Count(0))
+	}
+	if h.Count(1) != 1 {
+		t.Errorf("bin 1 = %v, want 1", h.Count(1))
+	}
+	if h.Count(35) != 1 {
+		t.Errorf("bin 35 = %v, want 1", h.Count(35))
+	}
+	if h.Max() != 2 {
+		t.Errorf("max = %v, want 2", h.Max())
+	}
+}
+
+func TestHistogramOccupiedSectorsSimple(t *testing.T) {
+	h := NewHistogram(36)
+	// Occupy 260°..290° (bins 26, 27, 28).
+	h.Add(265, 3)
+	h.Add(275, 3)
+	h.Add(285, 3)
+	set := h.OccupiedSectors(1)
+	if len(set) != 1 {
+		t.Fatalf("sectors = %v, want one merged sector", set)
+	}
+	if set[0].From != 260 || set[0].To != 290 {
+		t.Errorf("sector = %v, want [260,290)", set[0])
+	}
+}
+
+func TestHistogramOccupiedSectorsWrap(t *testing.T) {
+	h := NewHistogram(36)
+	// Occupy 350°..360° and 0°..20° — a single wedge through north.
+	h.Add(355, 1)
+	h.Add(5, 1)
+	h.Add(15, 1)
+	set := h.OccupiedSectors(1)
+	if len(set) != 1 {
+		t.Fatalf("sectors = %v, want one wrap-merged sector", set)
+	}
+	if set[0].From != 350 || math.Abs(set[0].To-20) > 1e-9 {
+		t.Errorf("sector = %v, want [350,20)", set[0])
+	}
+	if math.Abs(set[0].Width()-30) > 1e-9 {
+		t.Errorf("width = %v, want 30", set[0].Width())
+	}
+}
+
+func TestHistogramOccupiedSectorsEdgeCases(t *testing.T) {
+	h := NewHistogram(12)
+	if set := h.OccupiedSectors(1); set != nil {
+		t.Errorf("empty histogram gave sectors %v", set)
+	}
+	for i := 0; i < 12; i++ {
+		h.Add(float64(i)*30+1, 5)
+	}
+	set := h.OccupiedSectors(1)
+	if len(set) != 1 || set[0].Width() != 360 {
+		t.Errorf("fully occupied histogram gave %v, want full circle", set)
+	}
+}
+
+func TestHistogramPanicsOnBadBins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram(0) should panic")
+		}
+	}()
+	NewHistogram(0)
+}

@@ -1,0 +1,217 @@
+// Package iq provides complex-baseband sample buffers and the basic
+// operations every simulated receiver in this repository needs: power
+// measurement, dBFS conversion, additive white Gaussian noise, frequency
+// shifting and simple resampling.
+//
+// Samples are complex128 at a caller-chosen sample rate. Full scale is
+// defined as a magnitude of 1.0; a full-scale sine has power 1.0 = 0 dBFS,
+// which matches how the paper reports TV measurements ("Received Signal
+// Strength (dBFS)") from a fixed-gain SDR.
+package iq
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// Buffer is a block of complex baseband samples with its sample rate.
+type Buffer struct {
+	Samples    []complex128
+	SampleRate float64 // Hz
+}
+
+// New returns a zeroed buffer of n samples at the given rate.
+func New(n int, sampleRate float64) *Buffer {
+	return &Buffer{Samples: make([]complex128, n), SampleRate: sampleRate}
+}
+
+// Duration returns the time span of the buffer in seconds.
+func (b *Buffer) Duration() float64 {
+	if b.SampleRate <= 0 {
+		return 0
+	}
+	return float64(len(b.Samples)) / b.SampleRate
+}
+
+// Power returns the mean sample power (linear, relative to full scale).
+func (b *Buffer) Power() float64 {
+	if len(b.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range b.Samples {
+		sum += real(s)*real(s) + imag(s)*imag(s)
+	}
+	return sum / float64(len(b.Samples))
+}
+
+// PowerDBFS returns the mean power in dB relative to full scale.
+func (b *Buffer) PowerDBFS() float64 { return PowerToDBFS(b.Power()) }
+
+// PowerToDBFS converts a linear full-scale-relative power to dBFS.
+func PowerToDBFS(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(p)
+}
+
+// DBFSToPower converts dBFS to linear power.
+func DBFSToPower(db float64) float64 { return math.Pow(10, db/10) }
+
+// Scale multiplies every sample by g (amplitude, not power).
+func (b *Buffer) Scale(g float64) {
+	for i := range b.Samples {
+		b.Samples[i] *= complex(g, 0)
+	}
+}
+
+// Add mixes other into b sample-by-sample. The buffers must have the same
+// sample rate; b is extended if other is longer.
+func (b *Buffer) Add(other *Buffer) error {
+	if b.SampleRate != other.SampleRate {
+		return fmt.Errorf("iq: sample rate mismatch %v != %v", b.SampleRate, other.SampleRate)
+	}
+	if len(other.Samples) > len(b.Samples) {
+		grown := make([]complex128, len(other.Samples))
+		copy(grown, b.Samples)
+		b.Samples = grown
+	}
+	for i, s := range other.Samples {
+		b.Samples[i] += s
+	}
+	return nil
+}
+
+// AddAt mixes other into b starting at sample offset, growing b as needed.
+func (b *Buffer) AddAt(other *Buffer, offset int) error {
+	if b.SampleRate != other.SampleRate {
+		return fmt.Errorf("iq: sample rate mismatch %v != %v", b.SampleRate, other.SampleRate)
+	}
+	if offset < 0 {
+		return fmt.Errorf("iq: negative offset %d", offset)
+	}
+	need := offset + len(other.Samples)
+	if need > len(b.Samples) {
+		grown := make([]complex128, need)
+		copy(grown, b.Samples)
+		b.Samples = grown
+	}
+	for i, s := range other.Samples {
+		b.Samples[offset+i] += s
+	}
+	return nil
+}
+
+// FrequencyShift rotates the buffer by offsetHz, moving a signal at
+// baseband frequency f to f+offsetHz.
+func (b *Buffer) FrequencyShift(offsetHz float64) {
+	if b.SampleRate <= 0 {
+		return
+	}
+	w := 2 * math.Pi * offsetHz / b.SampleRate
+	for i := range b.Samples {
+		b.Samples[i] *= cmplx.Exp(complex(0, w*float64(i)))
+	}
+}
+
+// NoiseSource generates reproducible complex AWGN.
+type NoiseSource struct {
+	rng *rand.Rand
+}
+
+// NewNoiseSource returns a seeded noise source.
+func NewNoiseSource(seed int64) *NoiseSource {
+	return &NoiseSource{rng: rand.New(rand.NewSource(seed))}
+}
+
+// AddNoise adds circular complex Gaussian noise with total power
+// noisePower (linear full-scale units) to the buffer.
+func (n *NoiseSource) AddNoise(b *Buffer, noisePower float64) {
+	if noisePower <= 0 {
+		return
+	}
+	sigma := math.Sqrt(noisePower / 2)
+	for i := range b.Samples {
+		b.Samples[i] += complex(n.rng.NormFloat64()*sigma, n.rng.NormFloat64()*sigma)
+	}
+}
+
+// Fill overwrites the buffer with noise of the given power.
+func (n *NoiseSource) Fill(b *Buffer, noisePower float64) {
+	for i := range b.Samples {
+		b.Samples[i] = 0
+	}
+	n.AddNoise(b, noisePower)
+}
+
+// Tone writes a complex exponential of amplitude amp at frequency hz into
+// a new buffer of n samples.
+func Tone(n int, sampleRate, hz, amp float64) *Buffer {
+	b := New(n, sampleRate)
+	w := 2 * math.Pi * hz / sampleRate
+	for i := range b.Samples {
+		b.Samples[i] = complex(amp*math.Cos(w*float64(i)), amp*math.Sin(w*float64(i)))
+	}
+	return b
+}
+
+// Quantize applies ADC quantization with the given number of bits,
+// clipping at full scale. It models the SDR's finite dynamic range.
+func (b *Buffer) Quantize(bits int) {
+	if bits <= 0 || bits >= 31 {
+		return
+	}
+	levels := float64(int64(1) << (bits - 1))
+	q := func(x float64) float64 {
+		if x > 1 {
+			x = 1
+		}
+		if x < -1 {
+			x = -1
+		}
+		return math.Round(x*levels) / levels
+	}
+	for i := range b.Samples {
+		b.Samples[i] = complex(q(real(b.Samples[i])), q(imag(b.Samples[i])))
+	}
+}
+
+// Decimate keeps every factor-th sample, reducing the sample rate. The
+// caller is responsible for anti-alias filtering first.
+func (b *Buffer) Decimate(factor int) error {
+	if factor <= 0 {
+		return fmt.Errorf("iq: bad decimation factor %d", factor)
+	}
+	if factor == 1 {
+		return nil
+	}
+	out := b.Samples[:0]
+	for i := 0; i < len(b.Samples); i += factor {
+		out = append(out, b.Samples[i])
+	}
+	b.Samples = out
+	b.SampleRate /= float64(factor)
+	return nil
+}
+
+// Magnitudes returns |s| for each sample (envelope), reusing dst if it has
+// capacity.
+func (b *Buffer) Magnitudes(dst []float64) []float64 {
+	dst = dst[:0]
+	for _, s := range b.Samples {
+		dst = append(dst, math.Hypot(real(s), imag(s)))
+	}
+	return dst
+}
+
+// MagSquared returns |s|² for each sample (instantaneous power).
+func (b *Buffer) MagSquared(dst []float64) []float64 {
+	dst = dst[:0]
+	for _, s := range b.Samples {
+		dst = append(dst, real(s)*real(s)+imag(s)*imag(s))
+	}
+	return dst
+}

@@ -1,0 +1,226 @@
+// Package market implements the spectrum-sensing marketplace the paper
+// motivates (§1–2): "node operators offer spectrum sensing as a service
+// and users pay to rent these services from operators. A key problem
+// hindering the realization of this idea is how users can trust the
+// quality of data offered by each operator."
+//
+// A listing couples a node with its automatic calibration report and its
+// consensus trust score; a renter expresses requirements (band quality,
+// field-of-view direction, placement, trust floor) and the market matches
+// and prices. Everything a renter filters on comes from the calibration
+// system — no self-reported claims are consulted.
+package market
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"sensorcal/internal/calib"
+	"sensorcal/internal/geo"
+	"sensorcal/internal/trust"
+)
+
+// Listing is one rentable node.
+type Listing struct {
+	Node   trust.NodeID
+	Report *calib.Report
+	Trust  trust.Score
+	// PricePerHour in arbitrary credits; zero means "price me".
+	PricePerHour float64
+}
+
+// bandScore returns the listing's calibrated score for a band class.
+func (l Listing) bandScore(cls calib.BandClass) (float64, bool) {
+	if l.Report == nil {
+		return 0, false
+	}
+	for _, b := range l.Report.Bands {
+		if b.Class == cls {
+			return b.Score, true
+		}
+	}
+	return 0, false
+}
+
+// Requirement is what a renter asks for.
+type Requirement struct {
+	// Band and MinBandScore bound the reception quality in the band the
+	// renter wants monitored.
+	Band         calib.BandClass
+	MinBandScore float64
+	// Direction, when set, must be covered by the node's measured field
+	// of view (e.g. "I need eyes toward the airport").
+	Direction *geo.Sector
+	// RequireOutdoor filters on the *classified* placement, not the
+	// operator's claim.
+	RequireOutdoor bool
+	// MinTrust floors the consensus trust score.
+	MinTrust trust.Score
+	// MaxPricePerHour caps spend (0 = unlimited).
+	MaxPricePerHour float64
+}
+
+// Qualifies reports whether the listing satisfies the requirement, with a
+// reason when it does not.
+func (r Requirement) Qualifies(l Listing) (bool, string) {
+	if l.Trust < r.MinTrust {
+		return false, fmt.Sprintf("trust %.2f below floor %.2f", float64(l.Trust), float64(r.MinTrust))
+	}
+	if l.Report == nil {
+		return false, "no calibration report"
+	}
+	if score, ok := l.bandScore(r.Band); !ok || score < r.MinBandScore {
+		return false, fmt.Sprintf("band %v score %.2f below %.2f", r.Band, score, r.MinBandScore)
+	}
+	if r.RequireOutdoor && l.Report.Placement.Placement != calib.PlacementOutdoor {
+		return false, fmt.Sprintf("classified %v, outdoor required", l.Report.Placement.Placement)
+	}
+	if r.Direction != nil {
+		covered := coveredWidth(l.Report.FieldOfView, *r.Direction)
+		if covered < r.Direction.Width()*0.8 {
+			return false, fmt.Sprintf("field of view covers only %.0f° of the requested %.0f° sector",
+				covered, r.Direction.Width())
+		}
+	}
+	if r.MaxPricePerHour > 0 && l.PricePerHour > r.MaxPricePerHour {
+		return false, fmt.Sprintf("price %.1f above cap %.1f", l.PricePerHour, r.MaxPricePerHour)
+	}
+	return true, ""
+}
+
+// coveredWidth returns how many degrees of the wanted sector the field of
+// view covers.
+func coveredWidth(fov geo.SectorSet, want geo.Sector) float64 {
+	covered := 0.0
+	w := want.Width()
+	for d := 0.5; d < w; d++ {
+		if fov.Contains(geo.NormalizeBearing(want.From + d)) {
+			covered++
+		}
+	}
+	return covered
+}
+
+// SuggestPrice derives an hourly price from calibration quality and
+// trust: a grade-A, fully trusted rooftop node earns the base rate; each
+// deficiency discounts multiplicatively.
+func SuggestPrice(l Listing, baseRate float64) float64 {
+	if l.Report == nil {
+		return 0
+	}
+	price := baseRate * l.Report.Overall * float64(l.Trust)
+	if l.Report.Placement.Placement != calib.PlacementOutdoor {
+		price *= 0.7
+	}
+	return math.Round(price*100) / 100
+}
+
+// Market is a concurrent-safe listing registry with a rental ledger.
+type Market struct {
+	mu       sync.Mutex
+	listings map[trust.NodeID]Listing
+	rentals  []Rental
+}
+
+// Rental records one booking.
+type Rental struct {
+	Node    trust.NodeID
+	Renter  string
+	Start   time.Time
+	Hours   float64
+	Credits float64
+}
+
+// NewMarket returns an empty market.
+func NewMarket() *Market {
+	return &Market{listings: map[trust.NodeID]Listing{}}
+}
+
+// List upserts a node's listing.
+func (m *Market) List(l Listing) error {
+	if l.Node == "" {
+		return fmt.Errorf("market: listing needs a node")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.listings[l.Node] = l
+	return nil
+}
+
+// Match returns qualifying listings ordered by value for money
+// (band score × trust per credit), best first.
+func (m *Market) Match(r Requirement) []Listing {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Listing
+	for _, l := range m.listings {
+		if ok, _ := r.Qualifies(l); ok {
+			out = append(out, l)
+		}
+	}
+	value := func(l Listing) float64 {
+		score, _ := l.bandScore(r.Band)
+		v := score * float64(l.Trust)
+		if l.PricePerHour > 0 {
+			v /= l.PricePerHour
+		}
+		return v
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, vj := value(out[i]), value(out[j])
+		if vi != vj {
+			return vi > vj
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// Explain returns the disqualification reason for every listing that does
+// not match — the feedback an operator needs to improve an installation.
+func (m *Market) Explain(r Requirement) map[trust.NodeID]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[trust.NodeID]string{}
+	for id, l := range m.listings {
+		if ok, why := r.Qualifies(l); !ok {
+			out[id] = why
+		}
+	}
+	return out
+}
+
+// Book records a rental against a listed node.
+func (m *Market) Book(node trust.NodeID, renter string, start time.Time, hours float64) (Rental, error) {
+	if hours <= 0 {
+		return Rental{}, fmt.Errorf("market: rental needs positive hours")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.listings[node]
+	if !ok {
+		return Rental{}, fmt.Errorf("market: node %s not listed", node)
+	}
+	rental := Rental{
+		Node: node, Renter: renter, Start: start, Hours: hours,
+		Credits: l.PricePerHour * hours,
+	}
+	m.rentals = append(m.rentals, rental)
+	return rental, nil
+}
+
+// Earnings sums a node's booked credits.
+func (m *Market) Earnings(node trust.NodeID) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum float64
+	for _, r := range m.rentals {
+		if r.Node == node {
+			sum += r.Credits
+		}
+	}
+	return sum
+}

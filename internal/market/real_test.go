@@ -1,0 +1,35 @@
+package market
+
+import (
+	"time"
+
+	"sensorcal/internal/calib"
+	"sensorcal/internal/figures"
+	"sensorcal/internal/trust"
+	"sensorcal/internal/world"
+)
+
+// Builders that run the actual calibration pipeline at the testbed sites,
+// used by the end-to-end market test.
+
+func realListing(name string, site *world.Site) Listing {
+	obs, err := figures.Figure1(site.Name, 60, 171)
+	if err != nil {
+		panic(err)
+	}
+	freq, err := calib.RunFrequency(calib.FrequencyConfig{
+		Site:   site,
+		Towers: world.Towers(),
+		TV:     world.TVStations(),
+		Seed:   171,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rep := calib.BuildReport(name, time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC), obs, freq)
+	return Listing{Node: trust.NodeID("real-" + site.Name), Report: rep, Trust: 0.9}
+}
+
+func realRooftop() Listing { return realListing("real-rooftop", world.RooftopSite()) }
+func realWindow() Listing  { return realListing("real-window", world.WindowSite()) }
+func realIndoor() Listing  { return realListing("real-indoor", world.IndoorSite()) }

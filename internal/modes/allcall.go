@@ -1,0 +1,50 @@
+package modes
+
+import "fmt"
+
+// DF11 all-call reply support. Real Mode S transponders emit 56-bit DF11
+// acquisition squitters roughly once per second; dump1090 uses them to
+// acquire aircraft before any DF17 arrives. They carry only the downlink
+// format, capability and ICAO address, protected by the same CRC-24 (the
+// PI field, interrogator ID zero for spontaneous squitters).
+
+// DF11 is the all-call downlink format number.
+const DF11 = 11
+
+// AllCall is a decoded DF11 acquisition squitter.
+type AllCall struct {
+	Capability int
+	ICAO       ICAO
+}
+
+// EncodeAllCall produces the 7-byte DF11 frame.
+func EncodeAllCall(ac AllCall) ([]byte, error) {
+	if ac.Capability < 0 || ac.Capability > 7 {
+		return nil, fmt.Errorf("modes: capability %d out of range", ac.Capability)
+	}
+	out := make([]byte, ShortFrameLength)
+	out[0] = byte(DF11)<<3 | byte(ac.Capability)
+	out[1] = byte(ac.ICAO >> 16)
+	out[2] = byte(ac.ICAO >> 8)
+	out[3] = byte(ac.ICAO)
+	AttachParity(out)
+	return out, nil
+}
+
+// DecodeAllCall parses a 7-byte frame as DF11, verifying parity.
+func DecodeAllCall(frame []byte) (AllCall, error) {
+	if len(frame) < ShortFrameLength {
+		return AllCall{}, ErrShortFrame
+	}
+	frame = frame[:ShortFrameLength]
+	if df := int(frame[0] >> 3); df != DF11 {
+		return AllCall{}, fmt.Errorf("modes: DF%d is not an all-call", df)
+	}
+	if !CheckParity(frame) {
+		return AllCall{}, ErrBadParity
+	}
+	return AllCall{
+		Capability: int(frame[0] & 0x7),
+		ICAO:       ICAO(uint32(frame[1])<<16 | uint32(frame[2])<<8 | uint32(frame[3])),
+	}, nil
+}

@@ -1,0 +1,154 @@
+package modes
+
+import (
+	"fmt"
+	"math"
+)
+
+// Compact Position Reporting (CPR) encodes latitude/longitude into 17-bit
+// fields. Positions alternate between an "even" and an "odd" zone grid; a
+// receiver combines one of each (global decode) or uses a known reference
+// position (local decode). Implementation follows RTCA DO-260B as
+// described in Sun, "The 1090 Megahertz Riddle" (2nd ed.).
+
+// cprNZ is the number of latitude zones between the equator and a pole.
+const cprNZ = 15
+
+// cprScale is 2^17, the CPR fraction scale.
+const cprScale = 131072
+
+// positive modulo.
+func pmod(a, b float64) float64 {
+	m := math.Mod(a, b)
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+// cprNL returns the number of longitude zones at a latitude (the "NL"
+// function from the standard).
+func cprNL(lat float64) int {
+	a := math.Abs(lat)
+	switch {
+	case a == 0:
+		return 59
+	case a == 87:
+		return 2
+	case a > 87:
+		return 1
+	}
+	x := 1 - math.Cos(math.Pi/(2*cprNZ))
+	c := math.Cos(math.Pi / 180 * a)
+	v := 1 - x/(c*c)
+	if v < -1 {
+		v = -1
+	}
+	return int(math.Floor(2 * math.Pi / math.Acos(v)))
+}
+
+// CPRPosition is one encoded CPR fix.
+type CPRPosition struct {
+	LatCPR uint32 // 17-bit encoded latitude
+	LonCPR uint32 // 17-bit encoded longitude
+	Odd    bool   // CPR format flag (F bit)
+}
+
+// EncodeCPR encodes a latitude/longitude into the even (odd=false) or odd
+// (odd=true) CPR format for airborne position messages.
+func EncodeCPR(lat, lon float64, odd bool) CPRPosition {
+	i := 0.0
+	if odd {
+		i = 1
+	}
+	dlat := 360.0 / (4*cprNZ - i)
+	yz := math.Floor(cprScale*pmod(lat, dlat)/dlat + 0.5)
+	rlat := dlat * (yz/cprScale + math.Floor(lat/dlat))
+	nl := float64(cprNL(rlat))
+	dlon := 360.0
+	if nl-i > 0 {
+		dlon = 360.0 / (nl - i)
+	}
+	xz := math.Floor(cprScale*pmod(lon, dlon)/dlon + 0.5)
+	return CPRPosition{
+		LatCPR: uint32(pmod(yz, cprScale)),
+		LonCPR: uint32(pmod(xz, cprScale)),
+		Odd:    odd,
+	}
+}
+
+// DecodeCPRGlobal recovers an unambiguous position from an even/odd pair
+// of CPR fixes. latestOdd selects which of the two fixes is the more
+// recent one (the decoded position corresponds to it). It fails when the
+// two fixes straddle a longitude-zone boundary, exactly as a real decoder
+// does; callers simply wait for the next pair.
+func DecodeCPRGlobal(even, odd CPRPosition, latestOdd bool) (lat, lon float64, err error) {
+	if even.Odd || !odd.Odd {
+		return 0, 0, fmt.Errorf("modes: global decode needs one even and one odd fix")
+	}
+	latE := float64(even.LatCPR) / cprScale
+	latO := float64(odd.LatCPR) / cprScale
+	dlatE := 360.0 / (4 * cprNZ)
+	dlatO := 360.0 / (4*cprNZ - 1)
+
+	j := math.Floor(59*latE - 60*latO + 0.5)
+	rlatE := dlatE * (pmod(j, 60) + latE)
+	rlatO := dlatO * (pmod(j, 59) + latO)
+	if rlatE >= 270 {
+		rlatE -= 360
+	}
+	if rlatO >= 270 {
+		rlatO -= 360
+	}
+	if cprNL(rlatE) != cprNL(rlatO) {
+		return 0, 0, fmt.Errorf("modes: CPR fixes straddle a zone boundary")
+	}
+
+	var rlat, lonCPR float64
+	var i float64
+	nl := cprNL(rlatE)
+	if latestOdd {
+		rlat = rlatO
+		lonCPR = float64(odd.LonCPR) / cprScale
+		i = 1
+	} else {
+		rlat = rlatE
+		lonCPR = float64(even.LonCPR) / cprScale
+		i = 0
+	}
+	ni := math.Max(float64(nl)-i, 1)
+	dlon := 360.0 / ni
+	lonE := float64(even.LonCPR) / cprScale
+	lonO := float64(odd.LonCPR) / cprScale
+	m := math.Floor(lonE*(float64(nl)-1) - lonO*float64(nl) + 0.5)
+	lon = dlon * (pmod(m, ni) + lonCPR)
+	if lon >= 180 {
+		lon -= 360
+	}
+	return rlat, lon, nil
+}
+
+// DecodeCPRLocal recovers a position from a single CPR fix using a
+// reference position known to be within about 180 NM of the target
+// (typically the aircraft's last decoded position, or the receiver site
+// for nearby traffic).
+func DecodeCPRLocal(fix CPRPosition, refLat, refLon float64) (lat, lon float64) {
+	i := 0.0
+	if fix.Odd {
+		i = 1
+	}
+	dlat := 360.0 / (4*cprNZ - i)
+	latCPR := float64(fix.LatCPR) / cprScale
+	j := math.Floor(refLat/dlat) + math.Floor(0.5+pmod(refLat, dlat)/dlat-latCPR)
+	lat = dlat * (j + latCPR)
+
+	nl := float64(cprNL(lat))
+	dlon := 360.0
+	if nl-i > 0 {
+		dlon = 360.0 / (nl - i)
+	}
+	lonCPR := float64(fix.LonCPR) / cprScale
+	m := math.Floor(refLon/dlon) + math.Floor(0.5+pmod(refLon, dlon)/dlon-lonCPR)
+	lon = dlon * (m + lonCPR)
+	return lat, lon
+}

@@ -1,0 +1,177 @@
+package modes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCprNLKnownValues(t *testing.T) {
+	// Expected values follow the DO-260B transition-latitude table: e.g.
+	// NL=47 for latitudes in [36.85025108, 38.41241892).
+	cases := []struct {
+		lat  float64
+		want int
+	}{
+		{0, 59}, {5, 59}, {10.2, 59}, {12, 58}, {30, 51}, {37.87, 47},
+		{52.2572, 36}, {80, 10}, {87, 2}, {88, 1}, {90, 1}, {-37.87, 47}, {-88, 1},
+	}
+	for _, c := range cases {
+		if got := cprNL(c.lat); got != c.want {
+			t.Errorf("NL(%v) = %d, want %d", c.lat, got, c.want)
+		}
+	}
+}
+
+func TestCprNLMonotoneNonIncreasing(t *testing.T) {
+	prev := 60
+	for lat := 0.0; lat <= 90; lat += 0.1 {
+		nl := cprNL(lat)
+		if nl > prev {
+			t.Fatalf("NL increased at lat %v: %d after %d", lat, nl, prev)
+		}
+		prev = nl
+	}
+}
+
+func TestGlobalDecodeRiddleReference(t *testing.T) {
+	// The classic worked example from "The 1090 MHz Riddle": the two KLM
+	// frames decode to (52.2572, 3.91937).
+	even := CPRPosition{LatCPR: 93000, LonCPR: 51372, Odd: false}
+	odd := CPRPosition{LatCPR: 74158, LonCPR: 50194, Odd: true}
+	lat, lon, err := DecodeCPRGlobal(even, odd, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lat-52.2572) > 0.001 || math.Abs(lon-3.91937) > 0.001 {
+		t.Errorf("decoded (%v, %v), want (52.2572, 3.91937)", lat, lon)
+	}
+}
+
+func TestGlobalDecodeRoundTrip(t *testing.T) {
+	positions := []struct{ lat, lon float64 }{
+		{37.8716, -122.2727}, // the testbed building
+		{52.2572, 3.91937},
+		{-33.94, 151.18},
+		{0.01, 0.01},
+		{64.5, -21.9},
+		{-45.0, 170.5},
+	}
+	for _, p := range positions {
+		even := EncodeCPR(p.lat, p.lon, false)
+		odd := EncodeCPR(p.lat, p.lon, true)
+		lat, lon, err := DecodeCPRGlobal(even, odd, false)
+		if err != nil {
+			t.Errorf("(%v,%v): %v", p.lat, p.lon, err)
+			continue
+		}
+		// CPR airborne resolution is about 5 m; allow 1e-3 degrees.
+		if math.Abs(lat-p.lat) > 1e-3 || math.Abs(lon-p.lon) > 1e-3 {
+			t.Errorf("round trip (%v,%v) -> (%v,%v)", p.lat, p.lon, lat, lon)
+		}
+	}
+}
+
+func TestGlobalDecodeRoundTripProperty(t *testing.T) {
+	f := func(latSeed, lonSeed uint32) bool {
+		lat := float64(latSeed)/math.MaxUint32*160 - 80 // avoid zone-edge poles
+		lon := float64(lonSeed)/math.MaxUint32*360 - 180
+		even := EncodeCPR(lat, lon, false)
+		odd := EncodeCPR(lat, lon, true)
+		glat, glon, err := DecodeCPRGlobal(even, odd, true)
+		if err != nil {
+			// Zone straddle is legitimate only when lat sits within one
+			// CPR quantum of a zone boundary; for a same-position pair it
+			// should essentially never happen.
+			return false
+		}
+		dlon := math.Abs(glon - lon)
+		if dlon > 180 {
+			dlon = 360 - dlon
+		}
+		return math.Abs(glat-lat) < 1e-3 && dlon < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalDecodeRejectsSameParity(t *testing.T) {
+	e := EncodeCPR(37, -122, false)
+	if _, _, err := DecodeCPRGlobal(e, e, false); err == nil {
+		t.Error("two even fixes should be rejected")
+	}
+	o := EncodeCPR(37, -122, true)
+	if _, _, err := DecodeCPRGlobal(o, o, false); err == nil {
+		t.Error("swapped parity should be rejected")
+	}
+}
+
+func TestGlobalDecodeZoneStraddleFails(t *testing.T) {
+	// Raw CPR words crafted so the reconstructed even latitude (36.84°)
+	// and odd latitude (36.86°) straddle the NL 48→47 transition at
+	// 36.85025108° — the decoder must refuse the pair.
+	even := CPRPosition{LatCPR: 18350, LonCPR: 1000, Odd: false} // rlatE ≈ 36.84
+	odd := CPRPosition{LatCPR: 5367, LonCPR: 1000, Odd: true}    // rlatO ≈ 36.86
+	if _, _, err := DecodeCPRGlobal(even, odd, false); err == nil {
+		t.Error("fixes straddling a zone boundary should fail")
+	}
+}
+
+func TestLocalDecodeRoundTrip(t *testing.T) {
+	ref := struct{ lat, lon float64 }{37.8716, -122.2727}
+	// Aircraft positions within ~180 NM of the reference.
+	offsets := []struct{ dlat, dlon float64 }{
+		{0, 0}, {0.5, 0.5}, {-0.9, 1.2}, {1.5, -1.5}, {0.01, -0.01},
+	}
+	for _, off := range offsets {
+		lat := ref.lat + off.dlat
+		lon := ref.lon + off.dlon
+		for _, odd := range []bool{false, true} {
+			fix := EncodeCPR(lat, lon, odd)
+			glat, glon := DecodeCPRLocal(fix, ref.lat, ref.lon)
+			if math.Abs(glat-lat) > 1e-3 || math.Abs(glon-lon) > 1e-3 {
+				t.Errorf("local decode odd=%v (%v,%v) -> (%v,%v)", odd, lat, lon, glat, glon)
+			}
+		}
+	}
+}
+
+func TestLocalDecodeProperty(t *testing.T) {
+	f := func(latSeed, lonSeed, dSeed uint16) bool {
+		refLat := float64(latSeed)/65535*140 - 70
+		refLon := float64(lonSeed)/65535*360 - 180
+		// Offset within ±1 degree: well inside the local-decode region.
+		dLat := float64(dSeed)/65535*2 - 1
+		dLon := float64(dSeed%97)/97*2 - 1
+		lat, lon := refLat+dLat, refLon+dLon
+		if lon > 180 {
+			lon -= 360
+		}
+		if lon < -180 {
+			lon += 360
+		}
+		fix := EncodeCPR(lat, lon, dSeed%2 == 0)
+		glat, glon := DecodeCPRLocal(fix, refLat, refLon)
+		dlon := math.Abs(glon - lon)
+		if dlon > 180 {
+			dlon = 360 - dlon
+		}
+		return math.Abs(glat-lat) < 1e-3 && dlon < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeCPRFieldsWithinRange(t *testing.T) {
+	f := func(latSeed, lonSeed uint32, odd bool) bool {
+		lat := float64(latSeed)/math.MaxUint32*180 - 90
+		lon := float64(lonSeed)/math.MaxUint32*360 - 180
+		p := EncodeCPR(lat, lon, odd)
+		return p.LatCPR < cprScale && p.LonCPR < cprScale && p.Odd == odd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

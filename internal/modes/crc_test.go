@@ -1,0 +1,99 @@
+package modes
+
+import (
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// Reference frame from Sun, "The 1090 MHz Riddle": a KLM 1023 airborne
+// position squitter with valid parity.
+const riddlePositionFrame = "8D40621D58C382D690C8AC2863A7"
+
+// Reference identification frame from the same source ("KLM1023 ").
+const riddleIdentFrame = "8D4840D6202CC371C32CE0576098"
+
+func mustHex(t testing.TB, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestChecksumAgainstRealFrames(t *testing.T) {
+	for _, s := range []string{riddlePositionFrame, riddleIdentFrame} {
+		frame := mustHex(t, s)
+		if !CheckParity(frame) {
+			t.Errorf("real-world frame %s should pass parity", s)
+		}
+	}
+}
+
+func TestAttachParityRoundTrip(t *testing.T) {
+	f := func(payload [11]byte) bool {
+		frame := make([]byte, FrameLength)
+		copy(frame, payload[:])
+		AttachParity(frame)
+		return CheckParity(frame)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleBitErrorsAlwaysDetected(t *testing.T) {
+	frame := mustHex(t, riddlePositionFrame)
+	for bit := 0; bit < FrameLength*8; bit++ {
+		corrupted := make([]byte, FrameLength)
+		copy(corrupted, frame)
+		BitError(corrupted, bit)
+		if CheckParity(corrupted) {
+			t.Errorf("single bit error at %d not detected", bit)
+		}
+	}
+}
+
+func TestDoubleBitErrorsDetected(t *testing.T) {
+	frame := mustHex(t, riddlePositionFrame)
+	// CRC-24 with this polynomial detects all 2-bit errors within the
+	// 112-bit frame; spot-check a grid of pairs.
+	for a := 0; a < FrameLength*8; a += 7 {
+		for b := a + 1; b < FrameLength*8; b += 13 {
+			corrupted := make([]byte, FrameLength)
+			copy(corrupted, frame)
+			BitError(corrupted, a)
+			BitError(corrupted, b)
+			if CheckParity(corrupted) {
+				t.Errorf("double bit error at (%d,%d) not detected", a, b)
+			}
+		}
+	}
+}
+
+func TestBitErrorBounds(t *testing.T) {
+	frame := mustHex(t, riddlePositionFrame)
+	orig := make([]byte, len(frame))
+	copy(orig, frame)
+	BitError(frame, -1)
+	BitError(frame, FrameLength*8)
+	for i := range frame {
+		if frame[i] != orig[i] {
+			t.Fatal("out-of-range BitError must not modify the frame")
+		}
+	}
+}
+
+func TestCheckParityShortInput(t *testing.T) {
+	if CheckParity([]byte{1, 2, 3}) {
+		t.Error("3-byte input should fail")
+	}
+	AttachParity([]byte{1, 2, 3}) // must not panic
+}
+
+func TestChecksumEmpty(t *testing.T) {
+	if Checksum(nil) != 0 {
+		t.Error("empty checksum should be 0")
+	}
+}

@@ -1,0 +1,101 @@
+package modes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ICAO is a 24-bit airframe address.
+type ICAO uint32
+
+func (a ICAO) String() string { return fmt.Sprintf("%06X", uint32(a)&0xFFFFFF) }
+
+// callsignCharset maps 6-bit codes to the ADS-B identification alphabet
+// (DO-260B table): '#' marks invalid codes.
+const callsignCharset = "#ABCDEFGHIJKLMNOPQRSTUVWXYZ##### ###############0123456789######"
+
+// EncodeCallsign packs an up-to-8-character callsign into 48 bits (eight
+// 6-bit characters, space padded). Characters outside the alphabet are an
+// error.
+func EncodeCallsign(cs string) (uint64, error) {
+	if len(cs) > 8 {
+		return 0, fmt.Errorf("modes: callsign %q longer than 8 characters", cs)
+	}
+	padded := cs + strings.Repeat(" ", 8-len(cs))
+	var out uint64
+	for _, ch := range padded {
+		idx := strings.IndexRune(callsignCharset, ch)
+		if idx < 0 || callsignCharset[idx] == '#' {
+			return 0, fmt.Errorf("modes: invalid callsign character %q", ch)
+		}
+		out = out<<6 | uint64(idx)
+	}
+	return out, nil
+}
+
+// DecodeCallsign unpacks 48 bits into the callsign string, trimming
+// trailing spaces. Invalid codes decode to '#', as dump1090 displays them.
+func DecodeCallsign(bits uint64) string {
+	var sb strings.Builder
+	for i := 7; i >= 0; i-- {
+		code := (bits >> (6 * uint(i))) & 0x3F
+		sb.WriteByte(callsignCharset[code])
+	}
+	return strings.TrimRight(sb.String(), " ")
+}
+
+// EncodeAltitude packs a barometric altitude in feet into the 12-bit
+// AC field of an airborne position message using the Q-bit (25 ft) format,
+// which covers −1000 to +50175 ft.
+func EncodeAltitude(feet int) (uint16, error) {
+	if feet < -1000 || feet > 50175 {
+		return 0, fmt.Errorf("modes: altitude %d ft outside Q-bit range", feet)
+	}
+	n := (feet + 1000) / 25
+	// The 12-bit field is [N(7 bits) Q=1 N(4 bits)]: bit 5 (from MSB,
+	// 0-indexed bit 7 of the field counting from bit 11) is the Q bit.
+	high := uint16(n>>4) & 0x7F
+	low := uint16(n) & 0x0F
+	return high<<5 | 1<<4 | low, nil
+}
+
+// DecodeAltitude unpacks the 12-bit AC field. Only the Q-bit format is
+// supported (all airborne ADS-B transponders in this simulator use it);
+// a zero field means "altitude unavailable".
+func DecodeAltitude(field uint16) (feet int, ok bool) {
+	field &= 0xFFF
+	if field == 0 {
+		return 0, false
+	}
+	if field&0x10 == 0 {
+		// Gillham-coded 100 ft altitudes: not emitted by this simulator.
+		return 0, false
+	}
+	n := int(field>>5)<<4 | int(field&0x0F)
+	return n*25 - 1000, true
+}
+
+// TypeCode classifies the ME payload of a DF17 squitter.
+type TypeCode int
+
+// Type code groups used by this implementation.
+const (
+	TCIdentificationMin TypeCode = 1
+	TCIdentificationMax TypeCode = 4
+	TCAirbornePosMin    TypeCode = 9
+	TCAirbornePosMax    TypeCode = 18
+	TCVelocity          TypeCode = 19
+)
+
+// IsIdentification reports whether tc is an aircraft identification code.
+func (tc TypeCode) IsIdentification() bool {
+	return tc >= TCIdentificationMin && tc <= TCIdentificationMax
+}
+
+// IsAirbornePosition reports whether tc is an airborne position code.
+func (tc TypeCode) IsAirbornePosition() bool {
+	return tc >= TCAirbornePosMin && tc <= TCAirbornePosMax
+}
+
+// IsVelocity reports whether tc is an airborne velocity code.
+func (tc TypeCode) IsVelocity() bool { return tc == TCVelocity }

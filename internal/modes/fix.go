@@ -1,0 +1,104 @@
+package modes
+
+import "sync"
+
+// CRC-based error repair, as implemented by dump1090's --fix option.
+//
+// The Mode S CRC-24 is a linear code: flipping bit i of a frame XORs a
+// fixed syndrome S(i) into the checksum residual. A single bit error is
+// therefore repairable by looking the residual up in a syndrome table,
+// and a two-bit error by searching pairs whose syndromes XOR to the
+// residual. Repair trades undetected-error risk for sensitivity — real
+// receivers enable one-bit repair by default and two-bit repair only on
+// strong signals — so both are optional here and benchmarked as an
+// ablation.
+
+// syndromeTable maps the CRC residual produced by a single bit flip at
+// position i (MSB-first across the 112-bit frame) back to i.
+var (
+	syndromeOnce  sync.Once
+	syndromeByBit [FrameLength * 8]uint32
+	bitBySyndrome map[uint32]int
+)
+
+func initSyndromes() {
+	bitBySyndrome = make(map[uint32]int, FrameLength*8)
+	zero := make([]byte, FrameLength)
+	base := Checksum(zero[:FrameLength-3])
+	for bit := 0; bit < FrameLength*8; bit++ {
+		frame := make([]byte, FrameLength)
+		BitError(frame, bit)
+		var syn uint32
+		if bit < (FrameLength-3)*8 {
+			// Flip in the data part changes the computed CRC.
+			syn = Checksum(frame[:FrameLength-3]) ^ base
+		} else {
+			// Flip in the parity field changes the stored CRC.
+			syn = uint32(frame[FrameLength-3])<<16 |
+				uint32(frame[FrameLength-2])<<8 |
+				uint32(frame[FrameLength-1])
+		}
+		syndromeByBit[bit] = syn
+		bitBySyndrome[syn] = bit
+	}
+}
+
+// residual returns stored-CRC XOR computed-CRC; zero means parity passes.
+func residual(frame []byte) uint32 {
+	stored := uint32(frame[FrameLength-3])<<16 |
+		uint32(frame[FrameLength-2])<<8 |
+		uint32(frame[FrameLength-1])
+	return stored ^ Checksum(frame[:FrameLength-3])
+}
+
+// FixSingleBit attempts to repair one flipped bit in a 14-byte frame. It
+// returns the corrected bit position and true on success; the frame is
+// modified in place. Frames that already pass parity return (-1, true).
+func FixSingleBit(frame []byte) (bit int, ok bool) {
+	if len(frame) != FrameLength {
+		return -1, false
+	}
+	syndromeOnce.Do(initSyndromes)
+	r := residual(frame)
+	if r == 0 {
+		return -1, true
+	}
+	b, found := bitBySyndrome[r]
+	if !found {
+		return -1, false
+	}
+	BitError(frame, b)
+	return b, true
+}
+
+// FixTwoBits attempts to repair up to two flipped bits. Single-bit repair
+// is tried first. The two-bit search is O(n) using the syndrome table:
+// for each candidate first bit, the required second-bit syndrome is the
+// residual XOR the first syndrome. Returns the repaired bit positions
+// (second may be -1 if only one flip was needed).
+func FixTwoBits(frame []byte) (bits [2]int, ok bool) {
+	bits = [2]int{-1, -1}
+	if len(frame) != FrameLength {
+		return bits, false
+	}
+	syndromeOnce.Do(initSyndromes)
+	r := residual(frame)
+	if r == 0 {
+		return bits, true
+	}
+	if b, found := bitBySyndrome[r]; found {
+		BitError(frame, b)
+		bits[0] = b
+		return bits, true
+	}
+	for b1 := 0; b1 < FrameLength*8; b1++ {
+		need := r ^ syndromeByBit[b1]
+		if b2, found := bitBySyndrome[need]; found && b2 > b1 {
+			BitError(frame, b1)
+			BitError(frame, b2)
+			bits[0], bits[1] = b1, b2
+			return bits, true
+		}
+	}
+	return bits, false
+}

@@ -1,0 +1,314 @@
+package modes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FrameLength is the byte length of an extended squitter (112 bits).
+const FrameLength = 14
+
+// ShortFrameLength is the byte length of a 56-bit Mode S reply; the
+// demodulator recognizes both, but only extended squitters carry ADS-B.
+const ShortFrameLength = 7
+
+// DF17 is the downlink format number of the ADS-B extended squitter.
+const DF17 = 17
+
+// Errors returned by the decoder.
+var (
+	ErrShortFrame  = errors.New("modes: frame too short")
+	ErrBadParity   = errors.New("modes: CRC mismatch")
+	ErrNotDF17     = errors.New("modes: not an extended squitter")
+	ErrUnknownType = errors.New("modes: unsupported type code")
+)
+
+// Message is the interface implemented by every decoded ME payload,
+// following the gopacket DecodingLayer style: decode from wire bits,
+// serialize back to wire bits.
+type Message interface {
+	// TypeCode returns the ME type code.
+	TypeCode() TypeCode
+	// appendME writes the 7-byte ME field.
+	appendME(me []byte) error
+	// decodeME parses the 7-byte ME field.
+	decodeME(me []byte) error
+}
+
+// Frame is a decoded DF17 extended squitter.
+type Frame struct {
+	DF         int  // downlink format (17)
+	Capability int  // CA field
+	ICAO       ICAO // airframe address
+	Msg        Message
+}
+
+// bit field helpers over the 56-bit ME payload.
+
+func meBits(me []byte, start, width uint) uint64 {
+	var v uint64
+	for i := uint(0); i < width; i++ {
+		bit := start + i
+		v = v<<1 | uint64(me[bit/8]>>(7-bit%8)&1)
+	}
+	return v
+}
+
+func meSetBits(me []byte, start, width uint, val uint64) {
+	for i := uint(0); i < width; i++ {
+		bit := start + width - 1 - i
+		if val>>i&1 != 0 {
+			me[bit/8] |= 1 << (7 - bit%8)
+		} else {
+			me[bit/8] &^= 1 << (7 - bit%8)
+		}
+	}
+}
+
+// Identification is a TC 1–4 aircraft identification message.
+type Identification struct {
+	TC       TypeCode // 1..4 (aircraft category class)
+	Category int      // 3-bit emitter category
+	Callsign string
+}
+
+// TypeCode implements Message.
+func (m *Identification) TypeCode() TypeCode { return m.TC }
+
+func (m *Identification) appendME(me []byte) error {
+	if !m.TC.IsIdentification() {
+		return fmt.Errorf("modes: identification with TC %d", m.TC)
+	}
+	cs, err := EncodeCallsign(m.Callsign)
+	if err != nil {
+		return err
+	}
+	meSetBits(me, 0, 5, uint64(m.TC))
+	meSetBits(me, 5, 3, uint64(m.Category))
+	meSetBits(me, 8, 48, cs)
+	return nil
+}
+
+func (m *Identification) decodeME(me []byte) error {
+	m.TC = TypeCode(meBits(me, 0, 5))
+	m.Category = int(meBits(me, 5, 3))
+	m.Callsign = DecodeCallsign(meBits(me, 8, 48))
+	return nil
+}
+
+// AirbornePosition is a TC 9–18 airborne position message carrying a CPR
+// fix and barometric altitude.
+type AirbornePosition struct {
+	TC            TypeCode
+	SurvStatus    int
+	SingleAntenna bool
+	AltitudeFt    int
+	AltValid      bool
+	UTCSync       bool
+	CPR           CPRPosition
+}
+
+// TypeCode implements Message.
+func (m *AirbornePosition) TypeCode() TypeCode { return m.TC }
+
+func (m *AirbornePosition) appendME(me []byte) error {
+	if !m.TC.IsAirbornePosition() {
+		return fmt.Errorf("modes: airborne position with TC %d", m.TC)
+	}
+	meSetBits(me, 0, 5, uint64(m.TC))
+	meSetBits(me, 5, 2, uint64(m.SurvStatus))
+	if m.SingleAntenna {
+		meSetBits(me, 7, 1, 1)
+	}
+	if m.AltValid {
+		alt, err := EncodeAltitude(m.AltitudeFt)
+		if err != nil {
+			return err
+		}
+		meSetBits(me, 8, 12, uint64(alt))
+	}
+	if m.UTCSync {
+		meSetBits(me, 20, 1, 1)
+	}
+	if m.CPR.Odd {
+		meSetBits(me, 21, 1, 1)
+	}
+	meSetBits(me, 22, 17, uint64(m.CPR.LatCPR))
+	meSetBits(me, 39, 17, uint64(m.CPR.LonCPR))
+	return nil
+}
+
+func (m *AirbornePosition) decodeME(me []byte) error {
+	m.TC = TypeCode(meBits(me, 0, 5))
+	m.SurvStatus = int(meBits(me, 5, 2))
+	m.SingleAntenna = meBits(me, 7, 1) == 1
+	m.AltitudeFt, m.AltValid = DecodeAltitude(uint16(meBits(me, 8, 12)))
+	m.UTCSync = meBits(me, 20, 1) == 1
+	m.CPR = CPRPosition{
+		Odd:    meBits(me, 21, 1) == 1,
+		LatCPR: uint32(meBits(me, 22, 17)),
+		LonCPR: uint32(meBits(me, 39, 17)),
+	}
+	return nil
+}
+
+// Velocity is a TC 19 subtype 1 ground-speed message.
+type Velocity struct {
+	// GroundSpeedKt and TrackDeg describe the horizontal velocity.
+	GroundSpeedKt float64
+	TrackDeg      float64
+	// VerticalRateFtMin is positive climbing.
+	VerticalRateFtMin int
+}
+
+// TypeCode implements Message.
+func (m *Velocity) TypeCode() TypeCode { return TCVelocity }
+
+func (m *Velocity) appendME(me []byte) error {
+	meSetBits(me, 0, 5, uint64(TCVelocity))
+	meSetBits(me, 5, 3, 1) // subtype 1: ground speed, subsonic
+	rad := m.TrackDeg * math.Pi / 180
+	vew := m.GroundSpeedKt * math.Sin(rad)
+	vns := m.GroundSpeedKt * math.Cos(rad)
+	encodeComponent := func(v float64, signBit, valBit uint) error {
+		mag := int(math.Round(math.Abs(v)))
+		if mag > 1021 {
+			return fmt.Errorf("modes: velocity component %d kt exceeds subsonic encoding", mag)
+		}
+		if v < 0 {
+			meSetBits(me, signBit, 1, 1)
+		}
+		meSetBits(me, valBit, 10, uint64(mag+1))
+		return nil
+	}
+	// Direction bits per DO-260B: 1 = toward west / toward south, so the
+	// sign bit is simply the sign of the east/north component.
+	if err := encodeComponent(vew, 13, 14); err != nil {
+		return err
+	}
+	if err := encodeComponent(vns, 24, 25); err != nil {
+		return err
+	}
+	// Vertical rate: 9 bits in 64 ft/min units, sign bit 1 = down.
+	vr := m.VerticalRateFtMin
+	srBit := uint64(0)
+	if vr < 0 {
+		srBit = 1
+		vr = -vr
+	}
+	units := vr / 64
+	if units > 510 {
+		units = 510
+	}
+	meSetBits(me, 35, 1, 0) // VR source: geometric
+	meSetBits(me, 36, 1, srBit)
+	meSetBits(me, 37, 9, uint64(units+1))
+	return nil
+}
+
+func (m *Velocity) decodeME(me []byte) error {
+	st := meBits(me, 5, 3)
+	if st != 1 && st != 2 {
+		return fmt.Errorf("modes: velocity subtype %d unsupported", st)
+	}
+	decodeComponent := func(signBit, valBit uint) (float64, bool) {
+		raw := meBits(me, valBit, 10)
+		if raw == 0 {
+			return 0, false
+		}
+		v := float64(raw - 1)
+		if meBits(me, signBit, 1) == 1 {
+			v = -v
+		}
+		return v, true
+	}
+	vew, ok1 := decodeComponent(13, 14) // positive = east (sign bit means west)
+	vns, ok2 := decodeComponent(24, 25) // positive = north (sign bit means south)
+	if !ok1 || !ok2 {
+		return fmt.Errorf("modes: velocity components unavailable")
+	}
+	m.GroundSpeedKt = math.Hypot(vew, vns)
+	m.TrackDeg = math.Atan2(vew, vns) * 180 / math.Pi
+	if m.TrackDeg < 0 {
+		m.TrackDeg += 360
+	}
+	vrRaw := meBits(me, 37, 9)
+	if vrRaw > 0 {
+		vr := int(vrRaw-1) * 64
+		if meBits(me, 36, 1) == 1 {
+			vr = -vr
+		}
+		m.VerticalRateFtMin = vr
+	}
+	return nil
+}
+
+// Encode serializes the frame into a 14-byte DF17 extended squitter with
+// valid parity.
+func (f *Frame) Encode() ([]byte, error) {
+	if f.Msg == nil {
+		return nil, fmt.Errorf("modes: frame has no message")
+	}
+	out := make([]byte, FrameLength)
+	df := f.DF
+	if df == 0 {
+		df = DF17
+	}
+	out[0] = byte(df)<<3 | byte(f.Capability&0x7)
+	out[1] = byte(f.ICAO >> 16)
+	out[2] = byte(f.ICAO >> 8)
+	out[3] = byte(f.ICAO)
+	if err := f.Msg.appendME(out[4:11]); err != nil {
+		return nil, err
+	}
+	AttachParity(out)
+	return out, nil
+}
+
+// Decode parses a 14-byte extended squitter, checking parity and
+// dispatching on the type code.
+func Decode(frame []byte) (*Frame, error) {
+	if len(frame) < FrameLength {
+		return nil, ErrShortFrame
+	}
+	frame = frame[:FrameLength]
+	df := int(frame[0] >> 3)
+	if df != DF17 {
+		return nil, fmt.Errorf("%w: DF%d", ErrNotDF17, df)
+	}
+	if !CheckParity(frame) {
+		return nil, ErrBadParity
+	}
+	f := &Frame{
+		DF:         df,
+		Capability: int(frame[0] & 0x7),
+		ICAO:       ICAO(uint32(frame[1])<<16 | uint32(frame[2])<<8 | uint32(frame[3])),
+	}
+	me := frame[4:11]
+	tc := TypeCode(meBits(me, 0, 5))
+	var msg Message
+	switch {
+	case tc.IsIdentification():
+		msg = &Identification{}
+	case tc.IsSurfacePosition():
+		msg = &SurfacePosition{}
+	case tc.IsAirbornePosition():
+		msg = &AirbornePosition{}
+	case tc.IsVelocity():
+		msg = &Velocity{}
+	case tc == TCOperationalStatus:
+		msg = &OperationalStatus{}
+	default:
+		return nil, fmt.Errorf("%w: TC %d", ErrUnknownType, tc)
+	}
+	if err := msg.decodeME(me); err != nil {
+		return nil, err
+	}
+	f.Msg = msg
+	return f, nil
+}
+
+func (f *Frame) String() string {
+	return fmt.Sprintf("DF%d %s TC%d %T", f.DF, f.ICAO, f.Msg.TypeCode(), f.Msg)
+}

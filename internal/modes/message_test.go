@@ -1,0 +1,341 @@
+package modes
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeRealIdentificationFrame(t *testing.T) {
+	f, err := Decode(mustHex(t, riddleIdentFrame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ICAO.String() != "4840D6" {
+		t.Errorf("ICAO = %s, want 4840D6", f.ICAO)
+	}
+	id, ok := f.Msg.(*Identification)
+	if !ok {
+		t.Fatalf("message type %T, want Identification", f.Msg)
+	}
+	if id.Callsign != "KLM1023" {
+		t.Errorf("callsign = %q, want KLM1023", id.Callsign)
+	}
+}
+
+func TestDecodeRealPositionFrame(t *testing.T) {
+	f, err := Decode(mustHex(t, riddlePositionFrame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, ok := f.Msg.(*AirbornePosition)
+	if !ok {
+		t.Fatalf("message type %T, want AirbornePosition", f.Msg)
+	}
+	if !pos.AltValid || pos.AltitudeFt != 38000 {
+		t.Errorf("altitude = %d (valid=%v), want 38000", pos.AltitudeFt, pos.AltValid)
+	}
+	if pos.TC != 11 {
+		t.Errorf("TC = %d, want 11", pos.TC)
+	}
+}
+
+func TestIdentificationRoundTrip(t *testing.T) {
+	for _, cs := range []string{"UAL123", "N172SP", "KLM1023", "A", "ABCDEFGH", ""} {
+		in := &Frame{ICAO: 0xABCDEF, Capability: 5, Msg: &Identification{TC: 4, Category: 3, Callsign: cs}}
+		wire, err := in.Encode()
+		if err != nil {
+			t.Fatalf("%q: %v", cs, err)
+		}
+		out, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("%q: %v", cs, err)
+		}
+		if out.ICAO != 0xABCDEF || out.Capability != 5 {
+			t.Errorf("%q: header fields lost", cs)
+		}
+		id := out.Msg.(*Identification)
+		if id.Callsign != cs || id.TC != 4 || id.Category != 3 {
+			t.Errorf("%q: decoded %+v", cs, id)
+		}
+	}
+}
+
+func TestCallsignRejectsInvalid(t *testing.T) {
+	if _, err := EncodeCallsign("lower"); err == nil {
+		t.Error("lowercase should be rejected")
+	}
+	if _, err := EncodeCallsign("TOOLONG123"); err == nil {
+		t.Error("9+ characters should be rejected")
+	}
+	if _, err := EncodeCallsign("AB-1"); err == nil {
+		t.Error("dash should be rejected")
+	}
+}
+
+func TestCallsignPropertyRoundTrip(t *testing.T) {
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	f := func(seed uint64, n uint8) bool {
+		ln := int(n % 9)
+		var sb strings.Builder
+		for i := 0; i < ln; i++ {
+			sb.WriteByte(alphabet[(seed>>uint(i*4))%uint64(len(alphabet))])
+		}
+		cs := sb.String()
+		bits, err := EncodeCallsign(cs)
+		if err != nil {
+			return false
+		}
+		return DecodeCallsign(bits) == cs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAltitudeRoundTrip(t *testing.T) {
+	for _, ft := range []int{-1000, -975, 0, 1000, 10000, 38000, 50175} {
+		field, err := EncodeAltitude(ft)
+		if err != nil {
+			t.Fatalf("%d ft: %v", ft, err)
+		}
+		got, ok := DecodeAltitude(field)
+		if !ok || got != ft {
+			t.Errorf("altitude %d -> field %03X -> %d (ok=%v)", ft, field, got, ok)
+		}
+	}
+}
+
+func TestAltitudeQuantizesTo25ft(t *testing.T) {
+	field, err := EncodeAltitude(10012) // not a multiple of 25 above -1000
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := DecodeAltitude(field)
+	if got != 10000 {
+		t.Errorf("10012 ft should truncate to 10000, got %d", got)
+	}
+}
+
+func TestAltitudeRange(t *testing.T) {
+	if _, err := EncodeAltitude(-1025); err == nil {
+		t.Error("below -1000 should error")
+	}
+	if _, err := EncodeAltitude(50200); err == nil {
+		t.Error("above 50175 should error")
+	}
+	if _, ok := DecodeAltitude(0); ok {
+		t.Error("zero field means unavailable")
+	}
+	if _, ok := DecodeAltitude(0x20); ok { // Q-bit clear
+		t.Error("Gillham altitude should be unsupported")
+	}
+}
+
+func TestAirbornePositionRoundTrip(t *testing.T) {
+	lat, lon := 37.9, -122.1
+	for _, odd := range []bool{false, true} {
+		in := &Frame{
+			ICAO: 0xA1B2C3,
+			Msg: &AirbornePosition{
+				TC: 11, SurvStatus: 0, AltitudeFt: 35000, AltValid: true,
+				CPR: EncodeCPR(lat, lon, odd),
+			},
+		}
+		wire, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wire) != FrameLength {
+			t.Fatalf("wire length %d", len(wire))
+		}
+		out, err := Decode(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := out.Msg.(*AirbornePosition)
+		if pos.CPR != in.Msg.(*AirbornePosition).CPR {
+			t.Errorf("CPR fields differ: %+v vs %+v", pos.CPR, in.Msg.(*AirbornePosition).CPR)
+		}
+		if pos.AltitudeFt != 35000 || !pos.AltValid {
+			t.Errorf("altitude lost: %+v", pos)
+		}
+	}
+}
+
+func TestPositionPairDecodesEndToEnd(t *testing.T) {
+	// Full pipeline: encode even+odd position frames, decode both, run
+	// CPR global decode, recover the position.
+	lat, lon := 37.8716, -122.2727
+	mk := func(odd bool) CPRPosition {
+		f := &Frame{ICAO: 0x123456, Msg: &AirbornePosition{TC: 10, AltitudeFt: 12000, AltValid: true, CPR: EncodeCPR(lat, lon, odd)}}
+		wire, err := f.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Decode(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Msg.(*AirbornePosition).CPR
+	}
+	glat, glon, err := DecodeCPRGlobal(mk(false), mk(true), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(glat-lat) > 1e-3 || math.Abs(glon-lon) > 1e-3 {
+		t.Errorf("end-to-end position (%v,%v), want (%v,%v)", glat, glon, lat, lon)
+	}
+}
+
+func TestVelocityRoundTrip(t *testing.T) {
+	cases := []Velocity{
+		{GroundSpeedKt: 450, TrackDeg: 45, VerticalRateFtMin: 1280},
+		{GroundSpeedKt: 120, TrackDeg: 0, VerticalRateFtMin: -640},
+		{GroundSpeedKt: 300, TrackDeg: 270, VerticalRateFtMin: 0},
+		{GroundSpeedKt: 250, TrackDeg: 359, VerticalRateFtMin: 64},
+		{GroundSpeedKt: 500, TrackDeg: 180.0, VerticalRateFtMin: 3200},
+	}
+	for _, v := range cases {
+		in := &Frame{ICAO: 0x7C4321, Msg: &v}
+		wire, err := in.Encode()
+		if err != nil {
+			t.Fatalf("%+v: %v", v, err)
+		}
+		out, err := Decode(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := out.Msg.(*Velocity)
+		if math.Abs(got.GroundSpeedKt-v.GroundSpeedKt) > 1.5 {
+			t.Errorf("speed %v -> %v", v.GroundSpeedKt, got.GroundSpeedKt)
+		}
+		dt := math.Abs(got.TrackDeg - v.TrackDeg)
+		if dt > 180 {
+			dt = 360 - dt
+		}
+		if dt > 1 {
+			t.Errorf("track %v -> %v", v.TrackDeg, got.TrackDeg)
+		}
+		if got.VerticalRateFtMin != v.VerticalRateFtMin {
+			t.Errorf("vrate %v -> %v", v.VerticalRateFtMin, got.VerticalRateFtMin)
+		}
+	}
+}
+
+func TestVelocityPropertyRoundTrip(t *testing.T) {
+	f := func(spdSeed, trkSeed uint16) bool {
+		v := Velocity{
+			GroundSpeedKt: float64(spdSeed % 900),
+			TrackDeg:      float64(trkSeed) / 65535 * 360,
+		}
+		in := &Frame{ICAO: 1, Msg: &v}
+		wire, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		out, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		got := out.Msg.(*Velocity)
+		if math.Abs(got.GroundSpeedKt-v.GroundSpeedKt) > 1.5 {
+			return false
+		}
+		if v.GroundSpeedKt > 5 { // track undefined at very low speed
+			dt := math.Abs(got.TrackDeg - v.TrackDeg)
+			if dt > 180 {
+				dt = 360 - dt
+			}
+			// 1 kt component quantization bounds the track error by
+			// roughly atan(1/speed); scale the tolerance accordingly.
+			if dt > 2+120/v.GroundSpeedKt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVelocityRejectsSupersonicComponent(t *testing.T) {
+	v := Velocity{GroundSpeedKt: 1500, TrackDeg: 90}
+	if _, err := (&Frame{ICAO: 1, Msg: &v}).Encode(); err == nil {
+		t.Error("1500 kt east component should exceed subsonic encoding")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil frame should error")
+	}
+	if _, err := Decode(make([]byte, 5)); err == nil {
+		t.Error("short frame should error")
+	}
+	// DF4 frame (not DF17).
+	notDF17 := make([]byte, FrameLength)
+	notDF17[0] = 4 << 3
+	AttachParity(notDF17)
+	if _, err := Decode(notDF17); err == nil {
+		t.Error("non-DF17 should error")
+	}
+	// Corrupted parity.
+	bad := mustHex(t, riddleIdentFrame)
+	bad[5] ^= 0xFF
+	if _, err := Decode(bad); err != ErrBadParity {
+		t.Errorf("corrupted frame error = %v, want ErrBadParity", err)
+	}
+	// Unknown type code (TC 28 = aircraft status; unsupported).
+	unk := &Frame{ICAO: 1, Msg: &Identification{TC: 1, Callsign: "X"}}
+	wire, err := unk.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire[4] = 28 << 3
+	AttachParity(wire)
+	if _, err := Decode(wire); err == nil {
+		t.Error("unsupported TC should error")
+	}
+}
+
+func TestEncodeRejectsBadMessages(t *testing.T) {
+	if _, err := (&Frame{ICAO: 1}).Encode(); err == nil {
+		t.Error("nil message should error")
+	}
+	if _, err := (&Frame{ICAO: 1, Msg: &Identification{TC: 9, Callsign: "A"}}).Encode(); err == nil {
+		t.Error("identification with position TC should error")
+	}
+	if _, err := (&Frame{ICAO: 1, Msg: &AirbornePosition{TC: 1, AltValid: true, AltitudeFt: 100}}).Encode(); err == nil {
+		t.Error("position with identification TC should error")
+	}
+	if _, err := (&Frame{ICAO: 1, Msg: &AirbornePosition{TC: 9, AltValid: true, AltitudeFt: 99999}}).Encode(); err == nil {
+		t.Error("out-of-range altitude should error")
+	}
+}
+
+func TestMeBitsHelpers(t *testing.T) {
+	f := func(val uint32, startSeed, widthSeed uint8) bool {
+		start := uint(startSeed) % 40
+		width := uint(widthSeed)%17 + 1
+		me := make([]byte, 7)
+		v := uint64(val) & (1<<width - 1)
+		meSetBits(me, start, width, v)
+		return meBits(me, start, width) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f, err := Decode(mustHex(t, riddleIdentFrame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.String() == "" {
+		t.Error("frame should format")
+	}
+}

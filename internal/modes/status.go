@@ -1,0 +1,65 @@
+package modes
+
+import "fmt"
+
+// OperationalStatus is a TC 31 aircraft operational status message
+// (subtype 0, airborne). The calibration network uses the advertised
+// ADS-B version and accuracy categories as part of capability
+// verification: a node that claims to decode DO-260B traffic should be
+// producing version-2 status messages with plausible NACp/SIL values.
+type OperationalStatus struct {
+	// Version is the ADS-B version (0, 1 or 2).
+	Version int
+	// NICSupplementA augments the navigation integrity category.
+	NICSupplementA bool
+	// NACp is the navigation accuracy category for position (0–11).
+	NACp int
+	// SIL is the source integrity level (0–3).
+	SIL int
+	// CapabilityClass and OperationalMode are carried opaquely.
+	CapabilityClass uint16
+	OperationalMode uint16
+}
+
+// TCOperationalStatus is the type code for operational status messages.
+const TCOperationalStatus TypeCode = 31
+
+// TypeCode implements Message.
+func (m *OperationalStatus) TypeCode() TypeCode { return TCOperationalStatus }
+
+func (m *OperationalStatus) appendME(me []byte) error {
+	if m.Version < 0 || m.Version > 2 {
+		return fmt.Errorf("modes: ADS-B version %d out of range", m.Version)
+	}
+	if m.NACp < 0 || m.NACp > 11 {
+		return fmt.Errorf("modes: NACp %d out of range", m.NACp)
+	}
+	if m.SIL < 0 || m.SIL > 3 {
+		return fmt.Errorf("modes: SIL %d out of range", m.SIL)
+	}
+	meSetBits(me, 0, 5, uint64(TCOperationalStatus))
+	meSetBits(me, 5, 3, 0) // subtype 0: airborne
+	meSetBits(me, 8, 16, uint64(m.CapabilityClass))
+	meSetBits(me, 24, 16, uint64(m.OperationalMode))
+	meSetBits(me, 40, 3, uint64(m.Version))
+	if m.NICSupplementA {
+		meSetBits(me, 43, 1, 1)
+	}
+	meSetBits(me, 44, 4, uint64(m.NACp))
+	meSetBits(me, 50, 2, uint64(m.SIL))
+	return nil
+}
+
+func (m *OperationalStatus) decodeME(me []byte) error {
+	st := meBits(me, 5, 3)
+	if st != 0 {
+		return fmt.Errorf("modes: operational status subtype %d unsupported", st)
+	}
+	m.CapabilityClass = uint16(meBits(me, 8, 16))
+	m.OperationalMode = uint16(meBits(me, 24, 16))
+	m.Version = int(meBits(me, 40, 3))
+	m.NICSupplementA = meBits(me, 43, 1) == 1
+	m.NACp = int(meBits(me, 44, 4))
+	m.SIL = int(meBits(me, 50, 2))
+	return nil
+}

@@ -1,0 +1,193 @@
+package modes
+
+import (
+	"fmt"
+	"math"
+)
+
+// Surface position messages (TC 5–8) report taxiing aircraft: a CPR fix
+// on a finer 90° grid, a non-linearly quantized ground speed ("movement")
+// and the ground track. The calibration system benefits from them because
+// airport surface traffic provides dense, slow-moving, low-elevation
+// signal sources — a harsh test of a sensor's horizon visibility.
+
+// SurfacePosition is a TC 5–8 surface position message.
+type SurfacePosition struct {
+	TC TypeCode // 5..8
+	// GroundSpeedKt is the decoded movement (NaN when unavailable).
+	GroundSpeedKt float64
+	// TrackDeg is the ground track; TrackValid gates it.
+	TrackDeg   float64
+	TrackValid bool
+	CPR        CPRPosition
+}
+
+// IsSurfacePosition reports whether tc is a surface position code.
+func (tc TypeCode) IsSurfacePosition() bool { return tc >= 5 && tc <= 8 }
+
+// TypeCode implements Message.
+func (m *SurfacePosition) TypeCode() TypeCode { return m.TC }
+
+// movement field encoding per DO-260B table 2-6: a piecewise-linear
+// quantization from 0.125 kt steps near zero to 5 kt steps at speed.
+type movementBand struct {
+	firstCode int
+	lastCode  int
+	baseKt    float64
+	stepKt    float64
+}
+
+var movementBands = []movementBand{
+	{2, 8, 0.125, 0.125},
+	{9, 12, 1.0, 0.25},
+	{13, 38, 2.0, 0.5},
+	{39, 93, 15.0, 1.0},
+	{94, 108, 70.0, 2.0},
+	{109, 123, 100.0, 5.0},
+}
+
+// EncodeMovement quantizes a ground speed in knots into the 7-bit
+// movement field. Speeds at or above 175 kt saturate at code 124.
+func EncodeMovement(kt float64) (uint8, error) {
+	switch {
+	case math.IsNaN(kt):
+		return 0, nil // information unavailable
+	case kt < 0:
+		return 0, fmt.Errorf("modes: negative ground speed %v", kt)
+	case kt < 0.125:
+		return 1, nil // stopped
+	case kt >= 175:
+		return 124, nil
+	}
+	for _, b := range movementBands {
+		top := b.baseKt + float64(b.lastCode-b.firstCode+1)*b.stepKt
+		if kt < top {
+			code := b.firstCode + int((kt-b.baseKt)/b.stepKt)
+			if code < b.firstCode {
+				code = b.firstCode
+			}
+			if code > b.lastCode {
+				code = b.lastCode
+			}
+			return uint8(code), nil
+		}
+	}
+	return 124, nil
+}
+
+// DecodeMovement returns the speed in knots for a movement code (the
+// band's lower edge, as receivers conventionally report). ok is false for
+// code 0 (no information) and reserved codes.
+func DecodeMovement(code uint8) (kt float64, ok bool) {
+	switch {
+	case code == 0:
+		return math.NaN(), false
+	case code == 1:
+		return 0, true
+	case code == 124:
+		return 175, true
+	case code > 124:
+		return math.NaN(), false
+	}
+	for _, b := range movementBands {
+		if int(code) >= b.firstCode && int(code) <= b.lastCode {
+			return b.baseKt + float64(int(code)-b.firstCode)*b.stepKt, true
+		}
+	}
+	return math.NaN(), false
+}
+
+func (m *SurfacePosition) appendME(me []byte) error {
+	if !m.TC.IsSurfacePosition() {
+		return fmt.Errorf("modes: surface position with TC %d", m.TC)
+	}
+	mov, err := EncodeMovement(m.GroundSpeedKt)
+	if err != nil {
+		return err
+	}
+	meSetBits(me, 0, 5, uint64(m.TC))
+	meSetBits(me, 5, 7, uint64(mov))
+	if m.TrackValid {
+		meSetBits(me, 12, 1, 1)
+		trk := uint64(math.Round(NormalizeTrack(m.TrackDeg)/360*128)) % 128
+		meSetBits(me, 13, 7, trk)
+	}
+	if m.CPR.Odd {
+		meSetBits(me, 21, 1, 1)
+	}
+	meSetBits(me, 22, 17, uint64(m.CPR.LatCPR))
+	meSetBits(me, 39, 17, uint64(m.CPR.LonCPR))
+	return nil
+}
+
+func (m *SurfacePosition) decodeME(me []byte) error {
+	m.TC = TypeCode(meBits(me, 0, 5))
+	kt, _ := DecodeMovement(uint8(meBits(me, 5, 7)))
+	m.GroundSpeedKt = kt
+	m.TrackValid = meBits(me, 12, 1) == 1
+	if m.TrackValid {
+		m.TrackDeg = float64(meBits(me, 13, 7)) * 360 / 128
+	}
+	m.CPR = CPRPosition{
+		Odd:    meBits(me, 21, 1) == 1,
+		LatCPR: uint32(meBits(me, 22, 17)),
+		LonCPR: uint32(meBits(me, 39, 17)),
+	}
+	return nil
+}
+
+// NormalizeTrack maps any angle into [0, 360).
+func NormalizeTrack(deg float64) float64 {
+	m := math.Mod(deg, 360)
+	if m < 0 {
+		m += 360
+	}
+	return m
+}
+
+// EncodeCPRSurface encodes a position in the surface CPR format, which
+// uses a 90° latitude span (4× finer than airborne).
+func EncodeCPRSurface(lat, lon float64, odd bool) CPRPosition {
+	i := 0.0
+	if odd {
+		i = 1
+	}
+	dlat := 90.0 / (4*cprNZ - i)
+	yz := math.Floor(cprScale*pmod(lat, dlat)/dlat + 0.5)
+	rlat := dlat * (yz/cprScale + math.Floor(lat/dlat))
+	nl := float64(cprNL(rlat))
+	dlon := 90.0
+	if nl-i > 0 {
+		dlon = 90.0 / (nl - i)
+	}
+	xz := math.Floor(cprScale*pmod(lon, dlon)/dlon + 0.5)
+	return CPRPosition{
+		LatCPR: uint32(pmod(yz, cprScale)),
+		LonCPR: uint32(pmod(xz, cprScale)),
+		Odd:    odd,
+	}
+}
+
+// DecodeCPRSurfaceLocal decodes a surface CPR fix against a reference
+// position known to be within about 45 NM (the receiver location — always
+// true for surface traffic the sensor can hear).
+func DecodeCPRSurfaceLocal(fix CPRPosition, refLat, refLon float64) (lat, lon float64) {
+	i := 0.0
+	if fix.Odd {
+		i = 1
+	}
+	dlat := 90.0 / (4*cprNZ - i)
+	latCPR := float64(fix.LatCPR) / cprScale
+	j := math.Floor(refLat/dlat) + math.Floor(0.5+pmod(refLat, dlat)/dlat-latCPR)
+	lat = dlat * (j + latCPR)
+
+	nl := float64(cprNL(lat))
+	dlon := 90.0
+	if nl-i > 0 {
+		dlon = 90.0 / (nl - i)
+	}
+	lonCPR := float64(fix.LonCPR) / cprScale
+	m := math.Floor(refLon/dlon) + math.Floor(0.5+pmod(refLon, dlon)/dlon-lonCPR)
+	lon = dlon * (m + lonCPR)
+	return lat, lon
+}

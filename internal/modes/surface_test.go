@@ -1,0 +1,258 @@
+package modes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMovementEncodeKnownValues(t *testing.T) {
+	cases := []struct {
+		kt   float64
+		code uint8
+	}{
+		{0, 1}, {0.1, 1}, {0.125, 2}, {0.5, 5}, {1.0, 9}, {1.75, 12},
+		{2.0, 13}, {15, 39}, {69, 93}, {70, 94}, {99, 108}, {100, 109},
+		{170, 123}, {175, 124}, {500, 124},
+	}
+	for _, c := range cases {
+		got, err := EncodeMovement(c.kt)
+		if err != nil {
+			t.Fatalf("%v kt: %v", c.kt, err)
+		}
+		if got != c.code {
+			t.Errorf("EncodeMovement(%v) = %d, want %d", c.kt, got, c.code)
+		}
+	}
+	if _, err := EncodeMovement(-1); err == nil {
+		t.Error("negative speed should error")
+	}
+	if code, err := EncodeMovement(math.NaN()); err != nil || code != 0 {
+		t.Error("NaN should encode as no-information")
+	}
+}
+
+func TestMovementDecodeBoundaries(t *testing.T) {
+	if _, ok := DecodeMovement(0); ok {
+		t.Error("code 0 is no-information")
+	}
+	if kt, ok := DecodeMovement(1); !ok || kt != 0 {
+		t.Error("code 1 is stopped")
+	}
+	if kt, ok := DecodeMovement(124); !ok || kt != 175 {
+		t.Error("code 124 is ≥175 kt")
+	}
+	if _, ok := DecodeMovement(125); ok {
+		t.Error("code 125 is reserved")
+	}
+}
+
+func TestMovementRoundTripProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		kt := float64(seed) / 65535 * 180
+		code, err := EncodeMovement(kt)
+		if err != nil {
+			return false
+		}
+		got, ok := DecodeMovement(code)
+		if !ok {
+			return false
+		}
+		// The decode returns the band's lower edge; error is bounded by
+		// the band's step (≤5 kt).
+		return got <= kt+1e-9 && kt-got <= 5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSurfaceCPRRoundTrip(t *testing.T) {
+	ref := struct{ lat, lon float64 }{37.8716, -122.2727}
+	for _, off := range []struct{ dlat, dlon float64 }{
+		{0, 0}, {0.02, -0.03}, {-0.1, 0.1}, {0.3, 0.3},
+	} {
+		lat, lon := ref.lat+off.dlat, ref.lon+off.dlon
+		for _, odd := range []bool{false, true} {
+			fix := EncodeCPRSurface(lat, lon, odd)
+			glat, glon := DecodeCPRSurfaceLocal(fix, ref.lat, ref.lon)
+			if math.Abs(glat-lat) > 3e-4 || math.Abs(glon-lon) > 3e-4 {
+				t.Errorf("surface CPR odd=%v (%v,%v) -> (%v,%v)", odd, lat, lon, glat, glon)
+			}
+		}
+	}
+}
+
+func TestSurfaceCPRFinerThanAirborne(t *testing.T) {
+	// The surface grid is 4× finer: a small position change must move the
+	// surface-encoded value ~4× more than the airborne one.
+	lat, lon := 37.8716, -122.2727
+	d := 0.00005
+	air1 := EncodeCPR(lat, lon, false)
+	air2 := EncodeCPR(lat+d, lon, false)
+	surf1 := EncodeCPRSurface(lat, lon, false)
+	surf2 := EncodeCPRSurface(lat+d, lon, false)
+	airStep := int(air2.LatCPR) - int(air1.LatCPR)
+	surfStep := int(surf2.LatCPR) - int(surf1.LatCPR)
+	if surfStep < airStep*3 {
+		t.Errorf("surface quantization not finer: air %d vs surface %d", airStep, surfStep)
+	}
+}
+
+func TestSurfacePositionRoundTrip(t *testing.T) {
+	ref := struct{ lat, lon float64 }{37.6213, -122.3790} // airport
+	in := &Frame{
+		ICAO: 0xAD0001,
+		Msg: &SurfacePosition{
+			TC:            5,
+			GroundSpeedKt: 17,
+			TrackDeg:      273,
+			TrackValid:    true,
+			CPR:           EncodeCPRSurface(ref.lat+0.004, ref.lon-0.002, false),
+		},
+	}
+	wire, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, ok := out.Msg.(*SurfacePosition)
+	if !ok {
+		t.Fatalf("decoded %T", out.Msg)
+	}
+	if sp.TC != 5 {
+		t.Errorf("TC = %d", sp.TC)
+	}
+	if math.Abs(sp.GroundSpeedKt-17) > 0.5 {
+		t.Errorf("speed = %v, want ≈17", sp.GroundSpeedKt)
+	}
+	if !sp.TrackValid || math.Abs(sp.TrackDeg-273) > 360.0/128 {
+		t.Errorf("track = %v (valid=%v), want ≈273", sp.TrackDeg, sp.TrackValid)
+	}
+	lat, lon := DecodeCPRSurfaceLocal(sp.CPR, ref.lat, ref.lon)
+	if math.Abs(lat-(ref.lat+0.004)) > 3e-4 || math.Abs(lon-(ref.lon-0.002)) > 3e-4 {
+		t.Errorf("position (%v,%v)", lat, lon)
+	}
+}
+
+func TestSurfacePositionNoTrack(t *testing.T) {
+	in := &Frame{
+		ICAO: 0xAD0002,
+		Msg: &SurfacePosition{
+			TC: 6, GroundSpeedKt: math.NaN(),
+			CPR: EncodeCPRSurface(37.62, -122.38, true),
+		},
+	}
+	wire, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := out.Msg.(*SurfacePosition)
+	if sp.TrackValid {
+		t.Error("track should be invalid")
+	}
+	if !math.IsNaN(sp.GroundSpeedKt) {
+		t.Errorf("speed = %v, want NaN", sp.GroundSpeedKt)
+	}
+	if !sp.CPR.Odd {
+		t.Error("odd flag lost")
+	}
+}
+
+func TestSurfacePositionRejectsWrongTC(t *testing.T) {
+	in := &Frame{ICAO: 1, Msg: &SurfacePosition{TC: 9, CPR: EncodeCPRSurface(0, 0, false)}}
+	if _, err := in.Encode(); err == nil {
+		t.Error("TC 9 is not a surface position")
+	}
+}
+
+func TestOperationalStatusRoundTrip(t *testing.T) {
+	in := &Frame{
+		ICAO: 0xC0FFEE,
+		Msg: &OperationalStatus{
+			Version: 2, NICSupplementA: true, NACp: 9, SIL: 3,
+			CapabilityClass: 0x1234, OperationalMode: 0x00C4,
+		},
+	}
+	wire, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os, ok := out.Msg.(*OperationalStatus)
+	if !ok {
+		t.Fatalf("decoded %T", out.Msg)
+	}
+	if *os != *in.Msg.(*OperationalStatus) {
+		t.Errorf("round trip: %+v != %+v", os, in.Msg)
+	}
+}
+
+func TestOperationalStatusValidation(t *testing.T) {
+	bad := []*OperationalStatus{
+		{Version: 3}, {Version: -1}, {NACp: 12}, {SIL: 4}, {NACp: -1}, {SIL: -1},
+	}
+	for _, m := range bad {
+		if _, err := (&Frame{ICAO: 1, Msg: m}).Encode(); err == nil {
+			t.Errorf("%+v should fail validation", m)
+		}
+	}
+}
+
+func TestNormalizeTrack(t *testing.T) {
+	cases := map[float64]float64{0: 0, 360: 0, -10: 350, 725: 5}
+	for in, want := range cases {
+		if got := NormalizeTrack(in); math.Abs(got-want) > 1e-12 {
+			t.Errorf("NormalizeTrack(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestAllCallRoundTrip(t *testing.T) {
+	in := AllCall{Capability: 5, ICAO: 0xA1B2C3}
+	wire, err := EncodeAllCall(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != ShortFrameLength {
+		t.Fatalf("frame length %d", len(wire))
+	}
+	out, err := DecodeAllCall(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip %+v != %+v", out, in)
+	}
+}
+
+func TestAllCallErrors(t *testing.T) {
+	if _, err := EncodeAllCall(AllCall{Capability: 8}); err == nil {
+		t.Error("capability 8 should error")
+	}
+	if _, err := DecodeAllCall([]byte{1, 2}); err == nil {
+		t.Error("short input should error")
+	}
+	wire, _ := EncodeAllCall(AllCall{Capability: 5, ICAO: 1})
+	wire[2] ^= 0xFF
+	if _, err := DecodeAllCall(wire); err != ErrBadParity {
+		t.Errorf("corrupted frame error = %v", err)
+	}
+	// A DF17 first byte is not an all-call.
+	df17 := make([]byte, ShortFrameLength)
+	df17[0] = 17 << 3
+	AttachParity(df17)
+	if _, err := DecodeAllCall(df17); err == nil {
+		t.Error("DF17 should be rejected")
+	}
+}

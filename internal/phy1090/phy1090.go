@@ -1,0 +1,212 @@
+// Package phy1090 implements the Mode S downlink physical layer: 1090 MHz
+// pulse-position modulation at the classic 2 MS/s dump1090 sample rate,
+// preamble detection, demodulation and RSSI estimation.
+//
+// Wire format (RTCA DO-260B): an 8 µs preamble with pulses at 0, 1, 3.5 and
+// 4.5 µs, followed by 112 data bits of 1 µs each. Each bit is PPM-encoded:
+// a pulse in the first half-microsecond is a 1, in the second half a 0. At
+// 2 MS/s every half-microsecond is exactly one sample, so a full extended
+// squitter spans 16 + 224 = 240 samples.
+package phy1090
+
+import (
+	"fmt"
+	"math"
+
+	"sensorcal/internal/iq"
+	"sensorcal/internal/modes"
+)
+
+// SampleRate is the PHY sample rate in Hz (two samples per microsecond).
+const SampleRate = 2e6
+
+// PreambleSamples is the preamble length in samples (8 µs).
+const PreambleSamples = 16
+
+// FrameSamples is the total length of a modulated extended squitter.
+const FrameSamples = PreambleSamples + 2*8*modes.FrameLength
+
+// preamblePulses lists the half-microsecond slots carrying preamble
+// energy: 0 µs, 1 µs, 3.5 µs, 4.5 µs.
+var preamblePulses = [4]int{0, 2, 7, 9}
+
+// Modulate produces the baseband burst for a Mode S frame with the given
+// pulse amplitude (1.0 = full scale). The output holds only the burst
+// itself; callers place it into a longer capture with iq.Buffer.AddAt.
+func Modulate(frame []byte, amplitude float64) (*iq.Buffer, error) {
+	if len(frame) != modes.FrameLength && len(frame) != modes.ShortFrameLength {
+		return nil, fmt.Errorf("phy1090: frame length %d not a Mode S frame", len(frame))
+	}
+	n := PreambleSamples + 2*8*len(frame)
+	b := iq.New(n, SampleRate)
+	a := complex(amplitude, 0)
+	for _, p := range preamblePulses {
+		b.Samples[p] = a
+	}
+	for bit := 0; bit < len(frame)*8; bit++ {
+		v := frame[bit/8] >> (7 - uint(bit%8)) & 1
+		base := PreambleSamples + 2*bit
+		if v == 1 {
+			b.Samples[base] = a
+		} else {
+			b.Samples[base+1] = a
+		}
+	}
+	return b, nil
+}
+
+// Decoded is one demodulated frame candidate.
+type Decoded struct {
+	Frame    []byte  // raw frame bytes (parity not yet verified)
+	Offset   int     // sample index where the preamble begins
+	RSSIDBFS float64 // mean pulse power in dBFS
+	ParityOK bool    // result of the Mode S CRC check
+	Repaired bool    // frame passed parity only after CRC repair
+}
+
+// Demodulator scans sample buffers for Mode S bursts. It is stateless
+// between buffers; callers keep overlap if frames may straddle block
+// boundaries.
+type Demodulator struct {
+	// PreambleThresholdDB is the minimum ratio between preamble pulse
+	// power and the surrounding quiet slots, in dB. dump1090 uses ~3 dB
+	// by default; higher values trade sensitivity for false-positive rate.
+	PreambleThresholdDB float64
+	// LongFramesOnly skips 56-bit short replies (the paper's pipeline
+	// only consumes DF17 extended squitters).
+	LongFramesOnly bool
+	// ErrorCorrection selects CRC-based repair of demodulated frames:
+	// 0 disables it, 1 repairs single bit flips (dump1090's default
+	// --fix), 2 additionally repairs two-bit errors (--aggressive).
+	ErrorCorrection int
+}
+
+// NewDemodulator returns a demodulator with dump1090-like defaults
+// (single-bit repair enabled, as dump1090 ships).
+func NewDemodulator() *Demodulator {
+	return &Demodulator{PreambleThresholdDB: 3, LongFramesOnly: true, ErrorCorrection: 1}
+}
+
+// looksLikePreamble applies the classic dump1090 preamble shape test on
+// the power series m starting at i, returning the mean pulse power if the
+// shape matches.
+func (d *Demodulator) looksLikePreamble(m []float64, i int) (float64, bool) {
+	// Pulses must dominate their immediate neighbours.
+	if !(m[i] > m[i+1] && m[i+2] > m[i+1] && m[i+2] > m[i+3] &&
+		m[i+7] > m[i+6] && m[i+9] > m[i+8]) {
+		return 0, false
+	}
+	pulse := (m[i] + m[i+2] + m[i+7] + m[i+9]) / 4
+	// Quiet slots: 4.5–8 µs region (samples 11..15) plus slots 3..6.
+	quiet := (m[i+3] + m[i+4] + m[i+5] + m[i+6] + m[i+11] + m[i+12] + m[i+13] + m[i+14] + m[i+15]) / 9
+	ratio := rfSafeRatio(pulse, quiet)
+	if 10*math.Log10(ratio) < d.PreambleThresholdDB {
+		return 0, false
+	}
+	return pulse, true
+}
+
+func rfSafeRatio(a, b float64) float64 {
+	if b <= 0 {
+		b = 1e-30
+	}
+	return a / b
+}
+
+// Process scans the buffer and returns every decodable frame candidate
+// whose parity checks, in order of appearance. The buffer must be at
+// SampleRate.
+func (d *Demodulator) Process(b *iq.Buffer) []Decoded {
+	if b.SampleRate != SampleRate {
+		return nil
+	}
+	m := b.MagSquared(nil)
+	var out []Decoded
+	i := 0
+	for i+FrameSamples <= len(m) {
+		pulse, ok := d.looksLikePreamble(m, i)
+		if !ok {
+			i++
+			continue
+		}
+		dec, ok := d.decodeAt(m, i, pulse)
+		if !ok {
+			i++
+			continue
+		}
+		out = append(out, dec)
+		// Skip past the decoded frame.
+		i += PreambleSamples + 2*8*len(dec.Frame)
+	}
+	return out
+}
+
+// decodeAt slices 112 bits starting after the preamble at i and validates
+// parity (falling back to a 56-bit short frame when allowed).
+func (d *Demodulator) decodeAt(m []float64, i int, pulse float64) (Decoded, bool) {
+	bits := make([]byte, modes.FrameLength)
+	var pulsePower float64
+	for bit := 0; bit < modes.FrameLength*8; bit++ {
+		e1 := m[i+PreambleSamples+2*bit]
+		e2 := m[i+PreambleSamples+2*bit+1]
+		if e1 > e2 {
+			bits[bit/8] |= 1 << (7 - uint(bit%8))
+			pulsePower += e1
+		} else {
+			pulsePower += e2
+		}
+	}
+	pulsePower /= float64(modes.FrameLength * 8)
+	rssi := iq.PowerToDBFS((pulsePower + pulse) / 2)
+	if modes.CheckParity(bits) {
+		return Decoded{Frame: bits, Offset: i, RSSIDBFS: rssi, ParityOK: true}, true
+	}
+	switch d.ErrorCorrection {
+	case 1:
+		if _, ok := modes.FixSingleBit(bits); ok {
+			return Decoded{Frame: bits, Offset: i, RSSIDBFS: rssi, ParityOK: true, Repaired: true}, true
+		}
+	case 2:
+		if _, ok := modes.FixTwoBits(bits); ok {
+			return Decoded{Frame: bits, Offset: i, RSSIDBFS: rssi, ParityOK: true, Repaired: true}, true
+		}
+	}
+	if !d.LongFramesOnly && modes.CheckParity(bits[:modes.ShortFrameLength]) {
+		short := make([]byte, modes.ShortFrameLength)
+		copy(short, bits)
+		return Decoded{Frame: short, Offset: i, RSSIDBFS: rssi, ParityOK: true}, true
+	}
+	return Decoded{}, false
+}
+
+// DemodulateBurst is the fast path used by the burst-level simulator: the
+// buffer is known to contain exactly one frame whose preamble starts
+// within the first maxSearch samples. It returns the decoded frame and
+// measured RSSI, or ok=false when the noise defeated the demodulator.
+func (d *Demodulator) DemodulateBurst(b *iq.Buffer, maxSearch int) (Decoded, bool) {
+	if b.SampleRate != SampleRate {
+		return Decoded{}, false
+	}
+	m := b.MagSquared(nil)
+	if maxSearch < 1 {
+		maxSearch = 1
+	}
+	for i := 0; i < maxSearch && i+FrameSamples <= len(m); i++ {
+		pulse, ok := d.looksLikePreamble(m, i)
+		if !ok {
+			continue
+		}
+		if dec, ok := d.decodeAt(m, i, pulse); ok {
+			return dec, true
+		}
+	}
+	return Decoded{}, false
+}
+
+// SNRToAmplitude converts a link SNR (dB, over the 2 MHz channel at the
+// demodulator input) and a noise power (linear full-scale units) into the
+// pulse amplitude to pass to Modulate. Mode S pulses are on half the time,
+// so the mean signal power during a pulse is amplitude².
+func SNRToAmplitude(snrDB, noisePower float64) float64 {
+	return math.Sqrt(noisePower * math.Pow(10, snrDB/10))
+}

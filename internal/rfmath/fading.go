@@ -1,0 +1,65 @@
+package rfmath
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Fader draws fading realizations from a seeded source so that every
+// simulated measurement campaign is reproducible. The channel model is the
+// standard composite of log-normal shadowing (large scale) and Rayleigh or
+// Rician fast fading (small scale).
+type Fader struct {
+	rng *rand.Rand
+}
+
+// NewFader returns a fader driven by the given seed.
+func NewFader(seed int64) *Fader {
+	return &Fader{rng: rand.New(rand.NewSource(seed))}
+}
+
+// ShadowingDB returns a log-normal shadowing term in dB with the given
+// standard deviation (positive values mean extra loss).
+func (f *Fader) ShadowingDB(sigmaDB float64) float64 {
+	return f.rng.NormFloat64() * sigmaDB
+}
+
+// RayleighFadeDB returns the instantaneous fade depth in dB relative to the
+// mean power for a Rayleigh (NLOS) channel. The returned value is a loss:
+// positive when faded below the mean, negative on constructive peaks.
+func (f *Fader) RayleighFadeDB() float64 {
+	// |h|^2 with E[|h|^2]=1 is exponential(1).
+	u := f.rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	p := -math.Log(u)
+	return -DB(p)
+}
+
+// RicianFadeDB returns the instantaneous fade depth in dB for a Rician
+// channel with K-factor kDB (ratio of LOS to scattered power). Large K
+// approaches no fading; K → -inf approaches Rayleigh.
+func (f *Fader) RicianFadeDB(kDB float64) float64 {
+	k := Linear(kDB)
+	// LOS component amplitude s, scattered variance sigma^2 per dimension.
+	s := math.Sqrt(k / (k + 1))
+	sigma := math.Sqrt(1 / (2 * (k + 1)))
+	x := s + sigma*f.rng.NormFloat64()
+	y := sigma * f.rng.NormFloat64()
+	p := x*x + y*y
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return -DB(p)
+}
+
+// Uint64 exposes raw random bits for components that need auxiliary
+// randomness tied to the same seed stream.
+func (f *Fader) Uint64() uint64 { return f.rng.Uint64() }
+
+// Float64 returns a uniform draw in [0,1).
+func (f *Fader) Float64() float64 { return f.rng.Float64() }
+
+// NormFloat64 returns a standard normal draw.
+func (f *Fader) NormFloat64() float64 { return f.rng.NormFloat64() }

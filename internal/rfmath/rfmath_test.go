@@ -1,0 +1,249 @@
+package rfmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func near(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	f := func(seed uint16) bool {
+		db := float64(seed)/65535*200 - 100
+		return math.Abs(DB(Linear(db))-db) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if !math.IsInf(DB(0), -1) || !math.IsInf(DB(-1), -1) {
+		t.Error("DB of non-positive ratio should be -Inf")
+	}
+}
+
+func TestDBmWatts(t *testing.T) {
+	near(t, DBmToWatts(0), 1e-3, 1e-12, "0 dBm")
+	near(t, DBmToWatts(30), 1, 1e-9, "30 dBm")
+	near(t, WattsToDBm(250), 53.979, 0.001, "250 W (ADS-B max class)")
+	near(t, WattsToDBm(75), 48.75, 0.01, "75 W (ADS-B min per paper)")
+	if !math.IsInf(WattsToDBm(0), -1) {
+		t.Error("WattsToDBm(0) should be -Inf")
+	}
+}
+
+func TestFSPLKnownValues(t *testing.T) {
+	// 1 km at 1090 MHz is ~93.2 dB.
+	near(t, FSPL(1000, 1090e6), 93.2, 0.1, "FSPL 1km@1090MHz")
+	// 100 km at 1090 MHz is ~133.2 dB (+40 dB for two decades of distance).
+	near(t, FSPL(100_000, 1090e6), 133.2, 0.1, "FSPL 100km@1090MHz")
+	// Doubling frequency adds 6.02 dB.
+	near(t, FSPL(5000, 2e9)-FSPL(5000, 1e9), 6.02, 0.01, "frequency doubling")
+}
+
+func TestFSPLNearFieldClamp(t *testing.T) {
+	// Below one wavelength the loss must not keep shrinking.
+	hz := 100e6 // lambda ~3 m
+	if FSPL(0.01, hz) != FSPL(Wavelength(hz), hz) {
+		t.Error("sub-wavelength distances should clamp to one-wavelength loss")
+	}
+	if FSPL(1, 0) != math.Inf(1) {
+		t.Error("zero frequency should give +Inf loss")
+	}
+}
+
+func TestLogDistanceReducesToFSPL(t *testing.T) {
+	near(t, LogDistancePathLoss(500, 1e9, 1, 2), FSPL(500, 1e9), 0.01, "n=2 equals FSPL")
+	// Higher exponent adds loss beyond d0.
+	if LogDistancePathLoss(500, 1e9, 1, 3.5) <= FSPL(500, 1e9) {
+		t.Error("n=3.5 should exceed free space loss")
+	}
+	// Inside d0 the loss equals the d0 loss.
+	near(t, LogDistancePathLoss(0.5, 1e9, 10, 3), LogDistancePathLoss(10, 1e9, 10, 3), 1e-9, "inside d0")
+}
+
+func TestKnifeEdgeMonotone(t *testing.T) {
+	if KnifeEdgeDiffraction(-2) != 0 {
+		t.Error("fully clear path should have zero diffraction loss")
+	}
+	// Loss should increase with v.
+	prev := -1.0
+	for v := -1.0; v <= 5; v += 0.25 {
+		l := KnifeEdgeDiffraction(v)
+		if l < prev-0.3 { // allow tiny piecewise seams
+			t.Errorf("diffraction loss decreased at v=%v: %v after %v", v, l, prev)
+		}
+		prev = l
+	}
+	// Grazing incidence (v=0) is the classic 6 dB.
+	near(t, KnifeEdgeDiffraction(0), 6.02, 0.1, "grazing loss")
+}
+
+func TestFresnelV(t *testing.T) {
+	// Obstacle on the direct path midway between endpoints.
+	v := FresnelV(10, 500, 500, 1090e6)
+	if v <= 0 {
+		t.Errorf("positive excess height should give positive v, got %v", v)
+	}
+	// Below the path: negative v.
+	if FresnelV(-10, 500, 500, 1090e6) >= 0 {
+		t.Error("negative excess height should give negative v")
+	}
+	if !math.IsInf(FresnelV(1, 0, 100, 1e9), 1) {
+		t.Error("degenerate geometry should give +Inf")
+	}
+}
+
+func TestPenetrationLossFrequencyTrend(t *testing.T) {
+	// The paper's central frequency-dependence claim: loss at 2.6 GHz
+	// must exceed loss at 700 MHz for every real material.
+	for _, m := range []Material{MaterialGlass, MaterialDrywall, MaterialBrick, MaterialConcrete, MaterialReinforcedConcrete} {
+		low := PenetrationLossDB(m, 700e6)
+		high := PenetrationLossDB(m, 2600e6)
+		if high <= low {
+			t.Errorf("%v: loss at 2.6GHz (%v) should exceed 700MHz (%v)", m, high, low)
+		}
+	}
+	if PenetrationLossDB(MaterialNone, 1e9) != 0 {
+		t.Error("free space should have zero penetration loss")
+	}
+	// Ordering: concrete worse than brick worse than drywall worse than glass.
+	hz := 1090e6
+	if !(PenetrationLossDB(MaterialGlass, hz) < PenetrationLossDB(MaterialDrywall, hz) &&
+		PenetrationLossDB(MaterialDrywall, hz) < PenetrationLossDB(MaterialBrick, hz) &&
+		PenetrationLossDB(MaterialBrick, hz) < PenetrationLossDB(MaterialConcrete, hz) &&
+		PenetrationLossDB(MaterialConcrete, hz) < PenetrationLossDB(MaterialReinforcedConcrete, hz)) {
+		t.Error("material penetration losses out of order at 1090 MHz")
+	}
+	// Unknown material falls back to concrete, never zero.
+	if PenetrationLossDB(Material(99), 1e9) <= 0 {
+		t.Error("unknown material should fall back to a lossy default")
+	}
+	// Floor clamps at low frequency.
+	if PenetrationLossDB(MaterialCoatedGlass, 1e6) < 10 {
+		t.Error("coated glass loss should clamp at its floor")
+	}
+}
+
+func TestNoiseFloor(t *testing.T) {
+	// kTB at 290 K over 1 Hz is -174 dBm.
+	near(t, NoiseFloorDBm(1, 290, 0), -174, 0.2, "1 Hz noise floor")
+	// 2 MHz ADS-B channel with 6 dB NF: about -105 dBm.
+	near(t, NoiseFloorDBm(2e6, 290, 6), -104.9, 0.5, "ADS-B noise floor")
+	if !math.IsInf(NoiseFloorDBm(0, 290, 0), -1) {
+		t.Error("zero bandwidth should give -Inf")
+	}
+}
+
+func TestLinkBudget(t *testing.T) {
+	lb := LinkBudget{
+		TxPowerDBm:    WattsToDBm(250), // ~54 dBm ADS-B
+		TxGainDBi:     0,
+		RxGainDBi:     2,
+		PathLossDB:    FSPL(50_000, 1090e6),
+		ObstacleDB:    0,
+		NoiseFloorDBm: NoiseFloorDBm(2e6, 290, 6),
+	}
+	// 50 km line of sight should be comfortably decodable.
+	if !lb.Decodable(10) {
+		t.Errorf("50 km LOS ADS-B should close: %v", lb)
+	}
+	// Add 40 dB of building loss: link should fail.
+	lb.ObstacleDB = 40
+	if lb.Decodable(10) {
+		t.Errorf("heavily obstructed link should not close: %v", lb)
+	}
+	// SNR identity.
+	near(t, lb.SNRDB(), lb.ReceivedPowerDBm()-lb.NoiseFloorDBm, 1e-12, "SNR identity")
+	if lb.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestFaderDeterminism(t *testing.T) {
+	a, b := NewFader(42), NewFader(42)
+	for i := 0; i < 100; i++ {
+		if a.ShadowingDB(8) != b.ShadowingDB(8) {
+			t.Fatal("same seed must give identical shadowing sequence")
+		}
+		if a.RayleighFadeDB() != b.RayleighFadeDB() {
+			t.Fatal("same seed must give identical Rayleigh sequence")
+		}
+	}
+	c := NewFader(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different sequences")
+	}
+}
+
+func TestRayleighFadeStatistics(t *testing.T) {
+	f := NewFader(7)
+	n := 200000
+	sum := 0.0
+	deep := 0
+	for i := 0; i < n; i++ {
+		fade := f.RayleighFadeDB()
+		sum += Linear(-fade) // power relative to mean
+		if fade > 10 {
+			deep++
+		}
+	}
+	// Mean power should be ~1.
+	near(t, sum/float64(n), 1, 0.02, "Rayleigh mean power")
+	// P(fade > 10 dB) = 1 - exp(-0.1) ≈ 0.095.
+	p := float64(deep) / float64(n)
+	near(t, p, 0.095, 0.01, "Rayleigh 10dB fade probability")
+}
+
+func TestRicianApproachesNoFading(t *testing.T) {
+	f := NewFader(9)
+	var maxAbs float64
+	for i := 0; i < 1000; i++ {
+		fade := math.Abs(f.RicianFadeDB(30)) // K=30 dB: nearly pure LOS
+		if fade > maxAbs {
+			maxAbs = fade
+		}
+	}
+	if maxAbs > 3 {
+		t.Errorf("K=30dB Rician fades should be small, saw %.2f dB", maxAbs)
+	}
+}
+
+func TestShadowingStatistics(t *testing.T) {
+	f := NewFader(11)
+	n := 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		s := f.ShadowingDB(8)
+		sum += s
+		sumSq += s * s
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumSq/float64(n) - mean*mean)
+	near(t, mean, 0, 0.15, "shadowing mean")
+	near(t, std, 8, 0.15, "shadowing std dev")
+}
+
+func TestMaterialString(t *testing.T) {
+	if MaterialConcrete.String() != "concrete" {
+		t.Errorf("got %q", MaterialConcrete.String())
+	}
+	if Material(42).String() == "" {
+		t.Error("unknown material should still format")
+	}
+}
+
+func TestWavelength(t *testing.T) {
+	near(t, Wavelength(1090e6), 0.275, 0.001, "ADS-B wavelength")
+	near(t, Wavelength(300e6), 1, 0.01, "300 MHz wavelength")
+}

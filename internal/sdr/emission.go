@@ -1,0 +1,149 @@
+package sdr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sensorcal/internal/dsp"
+	"sensorcal/internal/iq"
+)
+
+// NoiseBand is a band-limited noise-like emission — the shape of a digital
+// TV or OFDM downlink as seen by a power detector. An optional coherent
+// pilot tone rides PilotOffsetHz above the lower band edge, as in ATSC
+// 8VSB.
+type NoiseBand struct {
+	// CenterOffsetHz is the emission center relative to the tuner center.
+	CenterOffsetHz float64
+	BandwidthHz    float64
+	// PowerDBm is the total received power at the antenna connector.
+	PowerDBm float64
+	// PilotFraction is the fraction of total power in the pilot (0 for
+	// none; ATSC puts roughly 7% of its power in the pilot).
+	PilotFraction float64
+	// PilotOffsetHz is the pilot position relative to the lower band edge.
+	PilotOffsetHz float64
+}
+
+// RenderInto implements Emission by lowpass-filtering white noise with a
+// windowed-sinc FIR (sharp skirts keep adjacent 6 MHz TV channels from
+// leaking into each other), then translating the band and adding the
+// pilot.
+func (nb NoiseBand) RenderInto(b *iq.Buffer, scale func(float64) float64, rng *rand.Rand) error {
+	fs := b.SampleRate
+	if nb.BandwidthHz <= 0 {
+		return fmt.Errorf("sdr: noise band width %v Hz", nb.BandwidthHz)
+	}
+	total := scale(nb.PowerDBm)
+	pilotPower := total * nb.PilotFraction
+	noisePower := total - pilotPower
+
+	// Model the receiver's anti-alias filter: only the part of the band
+	// inside the Nyquist zone reaches the ADC. Out-of-zone energy is
+	// discarded (never folded), and the rendered power is scaled by the
+	// retained fraction of the band.
+	nyq := fs / 2 * 0.98
+	lo := nb.CenterOffsetHz - nb.BandwidthHz/2
+	hi := nb.CenterOffsetHz + nb.BandwidthHz/2
+	clippedLo := math.Max(lo, -nyq)
+	clippedHi := math.Min(hi, nyq)
+	if clippedHi <= clippedLo {
+		return nil // entirely outside the capture passband
+	}
+	fraction := (clippedHi - clippedLo) / (hi - lo)
+	center := (clippedHi + clippedLo) / 2
+	width := clippedHi - clippedLo
+
+	lp, err := dsp.DesignLowpass(width/2, fs, 127)
+	if err != nil {
+		return fmt.Errorf("sdr: shaping filter: %w", err)
+	}
+	n := len(b.Samples)
+	raw := make([]complex128, n)
+	for i := range raw {
+		raw[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	shaped := lp.Apply(raw)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += real(shaped[i])*real(shaped[i]) + imag(shaped[i])*imag(shaped[i])
+	}
+	gain := 0.0
+	if sum > 0 {
+		gain = math.Sqrt(noisePower * fraction / (sum / float64(n)))
+	}
+	w := 2 * math.Pi * center / fs
+	for i := 0; i < n; i++ {
+		c, s := math.Cos(w*float64(i)), math.Sin(w*float64(i))
+		b.Samples[i] += shaped[i] * complex(gain*c, gain*s)
+	}
+	if pilotPower > 0 {
+		pilotHz := lo + nb.PilotOffsetHz
+		if pilotHz >= -nyq && pilotHz <= nyq {
+			amp := math.Sqrt(pilotPower)
+			wp := 2 * math.Pi * pilotHz / fs
+			phase := rng.Float64() * 2 * math.Pi
+			for i := 0; i < n; i++ {
+				ph := wp*float64(i) + phase
+				b.Samples[i] += complex(amp*math.Cos(ph), amp*math.Sin(ph))
+			}
+		}
+	}
+	return nil
+}
+
+// Tone is a pure carrier emission.
+type Tone struct {
+	OffsetHz float64
+	PowerDBm float64
+}
+
+// RenderInto implements Emission.
+func (t Tone) RenderInto(b *iq.Buffer, scale func(float64) float64, rng *rand.Rand) error {
+	amp := math.Sqrt(scale(t.PowerDBm))
+	w := 2 * math.Pi * t.OffsetHz / b.SampleRate
+	phase := rng.Float64() * 2 * math.Pi
+	for i := range b.Samples {
+		ph := w*float64(i) + phase
+		b.Samples[i] += complex(amp*math.Cos(ph), amp*math.Sin(ph))
+	}
+	return nil
+}
+
+// Waveform places pre-generated unit-power samples at a given offset with
+// a given absolute power — how modulated bursts (Mode S frames, cellular
+// sync sequences) enter a capture.
+type Waveform struct {
+	// Samples at the capture sample rate, nominally unit mean power over
+	// their active portion.
+	Samples []complex128
+	// StartSample is the placement offset within the capture.
+	StartSample int
+	// PowerDBm sets the burst's mean power at the antenna connector.
+	PowerDBm float64
+	// FrequencyOffsetHz rotates the waveform before placement (carrier
+	// offset within the passband).
+	FrequencyOffsetHz float64
+}
+
+// RenderInto implements Emission.
+func (w Waveform) RenderInto(b *iq.Buffer, scale func(float64) float64, _ *rand.Rand) error {
+	if w.StartSample < 0 {
+		return fmt.Errorf("sdr: waveform start %d", w.StartSample)
+	}
+	amp := math.Sqrt(scale(w.PowerDBm))
+	rot := 2 * math.Pi * w.FrequencyOffsetHz / b.SampleRate
+	for i, s := range w.Samples {
+		j := w.StartSample + i
+		if j >= len(b.Samples) {
+			break
+		}
+		if rot != 0 {
+			c, sn := math.Cos(rot*float64(i)), math.Sin(rot*float64(i))
+			s = s * complex(c, sn)
+		}
+		b.Samples[j] += s * complex(amp, 0)
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package sdr simulates the software-defined-radio front end of a sensor
+// node: a tuner with a finite frequency range, adjustable gain, a noise
+// figure, ADC quantization, and a defined full-scale input power so that
+// dBFS measurements map back to absolute dBm exactly the way a fixed-gain
+// hardware measurement would.
+//
+// The paper's nodes use a BladeRF xA9 (47 MHz–6 GHz); the profile here
+// reproduces its envelope. A cheaper RTL-SDR profile is included for the
+// crowd-sourced-network experiments where node hardware varies.
+package sdr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sensorcal/internal/iq"
+	"sensorcal/internal/rfmath"
+)
+
+// Profile describes a device model's hardware envelope.
+type Profile struct {
+	Name          string
+	MinHz         float64
+	MaxHz         float64
+	MaxSampleRate float64
+	ADCBits       int
+	NoiseFigureDB float64
+	// FullScaleDBm is the input power that reaches ADC full scale at
+	// 0 dB gain setting.
+	FullScaleDBm float64
+	// MaxGainDB is the largest gain setting.
+	MaxGainDB float64
+}
+
+// BladeRFxA9 returns the profile of the paper's SDR.
+func BladeRFxA9() Profile {
+	return Profile{
+		Name:          "bladeRF 2.0 micro xA9",
+		MinHz:         47e6,
+		MaxHz:         6e9,
+		MaxSampleRate: 61.44e6,
+		ADCBits:       12,
+		NoiseFigureDB: 6,
+		FullScaleDBm:  10,
+		MaxGainDB:     60,
+	}
+}
+
+// RTLSDR returns the profile of the ubiquitous low-cost dongle used by
+// crowd-sourced networks such as Electrosense.
+func RTLSDR() Profile {
+	return Profile{
+		Name:          "RTL-SDR v3",
+		MinHz:         24e6,
+		MaxHz:         1.766e9,
+		MaxSampleRate: 2.4e6,
+		ADCBits:       8,
+		NoiseFigureDB: 8,
+		FullScaleDBm:  0,
+		MaxGainDB:     49.6,
+	}
+}
+
+// Emission is a signal that can be rendered into a capture buffer. The
+// scale function converts an absolute power at the antenna connector (dBm)
+// into linear full-scale units for the current gain setting.
+type Emission interface {
+	RenderInto(b *iq.Buffer, scale func(dbm float64) float64, rng *rand.Rand) error
+}
+
+// Device is a simulated SDR.
+type Device struct {
+	profile    Profile
+	centerHz   float64
+	sampleRate float64
+	gainDB     float64
+	rng        *rand.Rand
+	// DisableQuantization bypasses the ADC model (useful in unit tests
+	// that check exact arithmetic).
+	DisableQuantization bool
+}
+
+// New returns a device with the given profile and noise seed, tuned
+// nowhere in particular (callers must Tune before capturing).
+func New(p Profile, seed int64) *Device {
+	return &Device{
+		profile:    p,
+		sampleRate: math.Min(2e6, p.MaxSampleRate),
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Profile returns the hardware profile.
+func (d *Device) Profile() Profile { return d.profile }
+
+// Tune sets the center frequency.
+func (d *Device) Tune(hz float64) error {
+	if hz < d.profile.MinHz || hz > d.profile.MaxHz {
+		return fmt.Errorf("sdr: %s cannot tune to %.3f MHz (range %.0f–%.0f MHz)",
+			d.profile.Name, hz/1e6, d.profile.MinHz/1e6, d.profile.MaxHz/1e6)
+	}
+	d.centerHz = hz
+	return nil
+}
+
+// CenterHz returns the tuned center frequency.
+func (d *Device) CenterHz() float64 { return d.centerHz }
+
+// SetSampleRate selects the capture sample rate.
+func (d *Device) SetSampleRate(hz float64) error {
+	if hz <= 0 || hz > d.profile.MaxSampleRate {
+		return fmt.Errorf("sdr: sample rate %v out of range (max %v)", hz, d.profile.MaxSampleRate)
+	}
+	d.sampleRate = hz
+	return nil
+}
+
+// SampleRate returns the current sample rate.
+func (d *Device) SampleRate() float64 { return d.sampleRate }
+
+// SetGain sets the front-end gain in dB. The paper's TV measurement
+// explicitly fixes the gain "to prevent measurement differences from
+// automatic gain control"; there is deliberately no AGC in this simulator.
+func (d *Device) SetGain(db float64) error {
+	if db < 0 || db > d.profile.MaxGainDB {
+		return fmt.Errorf("sdr: gain %v dB out of range [0, %v]", db, d.profile.MaxGainDB)
+	}
+	d.gainDB = db
+	return nil
+}
+
+// GainDB returns the gain setting.
+func (d *Device) GainDB() float64 { return d.gainDB }
+
+// scale converts dBm at the antenna connector to linear full-scale power.
+func (d *Device) scale(dbm float64) float64 {
+	return math.Pow(10, (dbm+d.gainDB-d.profile.FullScaleDBm)/10)
+}
+
+// DBFSToDBm converts a measured dBFS power back to absolute dBm at the
+// antenna connector under the current gain — how a calibrated measurement
+// pipeline reports absolute power.
+func (d *Device) DBFSToDBm(dbfs float64) float64 {
+	return dbfs - d.gainDB + d.profile.FullScaleDBm
+}
+
+// NoiseFloorDBFS returns the thermal noise floor across the current
+// sample-rate bandwidth in dBFS.
+func (d *Device) NoiseFloorDBFS(tempK float64) float64 {
+	dbm := rfmath.NoiseFloorDBm(d.sampleRate, tempK, d.profile.NoiseFigureDB)
+	return iq.PowerToDBFS(d.scale(dbm))
+}
+
+// Capture produces n samples containing the thermal noise floor plus all
+// emissions, quantized by the ADC.
+func (d *Device) Capture(n int, emissions []Emission) (*iq.Buffer, error) {
+	if d.centerHz == 0 {
+		return nil, fmt.Errorf("sdr: device not tuned")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("sdr: capture length %d", n)
+	}
+	b := iq.New(n, d.sampleRate)
+	noiseDBm := rfmath.NoiseFloorDBm(d.sampleRate, 290, d.profile.NoiseFigureDB)
+	ns := iq.NewNoiseSource(d.rng.Int63())
+	ns.AddNoise(b, d.scale(noiseDBm))
+	for _, e := range emissions {
+		if err := e.RenderInto(b, d.scale, d.rng); err != nil {
+			return nil, err
+		}
+	}
+	if !d.DisableQuantization {
+		b.Quantize(d.profile.ADCBits)
+	}
+	return b, nil
+}

@@ -1,0 +1,286 @@
+package sdr
+
+import (
+	"math"
+	"testing"
+
+	"sensorcal/internal/dsp"
+	"sensorcal/internal/iq"
+)
+
+func TestTuneRange(t *testing.T) {
+	d := New(BladeRFxA9(), 1)
+	if err := d.Tune(1090e6); err != nil {
+		t.Fatal(err)
+	}
+	if d.CenterHz() != 1090e6 {
+		t.Error("center frequency not stored")
+	}
+	if err := d.Tune(10e6); err == nil {
+		t.Error("below range should fail")
+	}
+	if err := d.Tune(7e9); err == nil {
+		t.Error("above range should fail")
+	}
+	// RTL-SDR cannot reach 2.6 GHz — the hardware-diversity case for the
+	// crowd-sourced network.
+	r := New(RTLSDR(), 1)
+	if err := r.Tune(2.66e9); err == nil {
+		t.Error("RTL-SDR should not tune to 2.66 GHz")
+	}
+	if err := r.Tune(605e6); err != nil {
+		t.Errorf("RTL-SDR should tune to TV band: %v", err)
+	}
+}
+
+func TestSampleRateAndGainLimits(t *testing.T) {
+	d := New(BladeRFxA9(), 1)
+	if err := d.SetSampleRate(20e6); err != nil {
+		t.Fatal(err)
+	}
+	if d.SampleRate() != 20e6 {
+		t.Error("sample rate not stored")
+	}
+	if err := d.SetSampleRate(100e6); err == nil {
+		t.Error("above max sample rate should fail")
+	}
+	if err := d.SetSampleRate(0); err == nil {
+		t.Error("zero sample rate should fail")
+	}
+	if err := d.SetGain(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetGain(-1); err == nil || d.SetGain(99) == nil {
+		t.Error("out-of-range gain should fail")
+	}
+}
+
+func TestCaptureRequiresTuning(t *testing.T) {
+	d := New(BladeRFxA9(), 1)
+	if _, err := d.Capture(100, nil); err == nil {
+		t.Error("untuned capture should fail")
+	}
+	if err := d.Tune(1e9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Capture(0, nil); err == nil {
+		t.Error("zero-length capture should fail")
+	}
+}
+
+func TestNoiseFloorMatchesTheory(t *testing.T) {
+	d := New(BladeRFxA9(), 2)
+	d.DisableQuantization = true
+	if err := d.Tune(600e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetSampleRate(2e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetGain(40); err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Capture(200_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.PowerDBFS()
+	want := d.NoiseFloorDBFS(290)
+	if math.Abs(got-want) > 0.3 {
+		t.Errorf("capture noise floor = %v dBFS, predicted %v", got, want)
+	}
+	// Convert back to dBm: should match kTB + NF over 2 MHz ≈ -104.9 dBm.
+	dbm := d.DBFSToDBm(got)
+	if math.Abs(dbm-(-104.9)) > 0.5 {
+		t.Errorf("noise floor = %v dBm, want ≈ -104.9", dbm)
+	}
+}
+
+func TestToneEmissionPowerAccuracy(t *testing.T) {
+	d := New(BladeRFxA9(), 3)
+	d.DisableQuantization = true
+	_ = d.Tune(600e6)
+	_ = d.SetSampleRate(2e6)
+	_ = d.SetGain(20)
+	// A -40 dBm tone at 20 dB gain with +10 dBm full scale → -30 dBFS,
+	// far above the thermal floor.
+	b, err := d.Capture(100_000, []Emission{Tone{OffsetHz: 250e3, PowerDBm: -40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.PowerDBFS()
+	if math.Abs(got-(-30)) > 0.3 {
+		t.Errorf("tone capture = %v dBFS, want ≈ -30", got)
+	}
+	// Round-trip to absolute power.
+	if dbm := d.DBFSToDBm(got); math.Abs(dbm-(-40)) > 0.3 {
+		t.Errorf("recovered %v dBm, want -40", dbm)
+	}
+}
+
+func TestNoiseBandShapeAndPower(t *testing.T) {
+	d := New(BladeRFxA9(), 4)
+	d.DisableQuantization = true
+	_ = d.Tune(545e6)
+	_ = d.SetSampleRate(20e6)
+	_ = d.SetGain(10)
+	nb := NoiseBand{CenterOffsetHz: 3e6, BandwidthHz: 6e6, PowerDBm: -30, PilotFraction: 0.07, PilotOffsetHz: 310e3}
+	b, err := d.Capture(1<<16, []Emission{nb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total in-band power via the paper's method should recover -30 dBm
+	// (±1 dB for shaping spill).
+	p, err := dsp.BandPowerTimeDomain(b.Samples, 20e6, 3e6, 6e6, 129, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbm := d.DBFSToDBm(iq.PowerToDBFS(p))
+	if math.Abs(dbm-(-30)) > 1.5 {
+		t.Errorf("in-band power = %v dBm, want -30", dbm)
+	}
+	// A channel 8 MHz away must see far less of it than the in-band
+	// measurement (the comb shaping has slow skirts; 15 dB is enough to
+	// keep adjacent TV channels from biasing each other).
+	pOff, err := dsp.BandPowerTimeDomain(b.Samples, 20e6, -5.5e6, 5e6, 129, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := 10 * math.Log10(p/pOff); ratio < 15 {
+		t.Errorf("adjacent-band rejection = %v dB, want ≥ 15", ratio)
+	}
+}
+
+func TestNoiseBandPilotVisible(t *testing.T) {
+	d := New(BladeRFxA9(), 5)
+	d.DisableQuantization = true
+	_ = d.Tune(521e6)
+	_ = d.SetSampleRate(20e6)
+	_ = d.SetGain(10)
+	nb := NoiseBand{CenterOffsetHz: 0, BandwidthHz: 6e6, PowerDBm: -30, PilotFraction: 0.07, PilotOffsetHz: 310e3}
+	b, err := d.Capture(1<<16, []Emission{nb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pilotHz := -3e6 + 310e3
+	at := dsp.Goertzel(b.Samples, 20e6, pilotHz)
+	off := dsp.Goertzel(b.Samples, 20e6, pilotHz+1.7e6)
+	if at < 10*off {
+		t.Errorf("pilot %v should stand out over in-band noise %v", at, off)
+	}
+}
+
+func TestNoiseBandWiderThanCaptureClips(t *testing.T) {
+	// A 6 MHz band seen through a 2 MS/s front end: the anti-alias model
+	// keeps only the in-passband slice, so the captured power is the
+	// covered fraction of the total (≈ 2/6 of -30 dBm ≈ -34.8 dBm).
+	d := New(BladeRFxA9(), 6)
+	d.DisableQuantization = true
+	_ = d.Tune(500e6)
+	_ = d.SetSampleRate(2e6)
+	_ = d.SetGain(20)
+	b, err := d.Capture(1<<15, []Emission{NoiseBand{BandwidthHz: 6e6, PowerDBm: -30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.DBFSToDBm(b.PowerDBFS())
+	want := -30 + 10*math.Log10(2.0*0.98/6)
+	if math.Abs(got-want) > 1.5 {
+		t.Errorf("clipped capture power = %v dBm, want ≈ %v", got, want)
+	}
+	if _, err := d.Capture(64, []Emission{NoiseBand{BandwidthHz: 0, PowerDBm: -30}}); err == nil {
+		t.Error("zero width should fail")
+	}
+}
+
+func TestWaveformPlacementAndPower(t *testing.T) {
+	d := New(BladeRFxA9(), 7)
+	d.DisableQuantization = true
+	_ = d.Tune(1090e6)
+	_ = d.SetSampleRate(2e6)
+	_ = d.SetGain(0)
+	// Unit-power waveform: constant magnitude 1.
+	wf := make([]complex128, 1000)
+	for i := range wf {
+		wf[i] = 1
+	}
+	b, err := d.Capture(3000, []Emission{Waveform{Samples: wf, StartSample: 1000, PowerDBm: -20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Power inside the burst ≈ -30 dBFS (-20 dBm at FS +10 dBm).
+	seg := &iq.Buffer{Samples: b.Samples[1000:2000], SampleRate: 2e6}
+	if got := seg.PowerDBFS(); math.Abs(got-(-30)) > 0.5 {
+		t.Errorf("burst power = %v dBFS, want -30", got)
+	}
+	// Before the burst: only the (much lower) noise floor.
+	pre := &iq.Buffer{Samples: b.Samples[:1000], SampleRate: 2e6}
+	if pre.PowerDBFS() > -60 {
+		t.Errorf("pre-burst power = %v dBFS, want noise floor", pre.PowerDBFS())
+	}
+	// Truncation past the end must not panic.
+	if _, err := d.Capture(500, []Emission{Waveform{Samples: wf, StartSample: 200, PowerDBm: -20}}); err != nil {
+		t.Errorf("truncated waveform: %v", err)
+	}
+	if _, err := d.Capture(500, []Emission{Waveform{Samples: wf, StartSample: -1, PowerDBm: -20}}); err == nil {
+		t.Error("negative start should fail")
+	}
+}
+
+func TestWaveformFrequencyOffset(t *testing.T) {
+	d := New(BladeRFxA9(), 8)
+	d.DisableQuantization = true
+	_ = d.Tune(1e9)
+	_ = d.SetSampleRate(2e6)
+	wf := make([]complex128, 4096)
+	for i := range wf {
+		wf[i] = 1 // DC waveform
+	}
+	b, err := d.Capture(4096, []Emission{Waveform{Samples: wf, PowerDBm: -20, FrequencyOffsetHz: 400e3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := dsp.Goertzel(b.Samples, 2e6, 400e3)
+	dc := dsp.Goertzel(b.Samples, 2e6, 0)
+	if at < 100*dc {
+		t.Errorf("offset waveform should sit at 400 kHz (at=%v dc=%v)", at, dc)
+	}
+}
+
+func TestQuantizationAppliesByDefault(t *testing.T) {
+	d := New(RTLSDR(), 9)
+	_ = d.Tune(600e6)
+	_ = d.SetSampleRate(2e6)
+	_ = d.SetGain(40)
+	b, err := d.Capture(1000, []Emission{Tone{OffsetHz: 100e3, PowerDBm: -30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All sample components must be multiples of the 8-bit LSB.
+	lsb := 1.0 / 128
+	for _, s := range b.Samples[:32] {
+		r := real(s) / lsb
+		if math.Abs(r-math.Round(r)) > 1e-9 {
+			t.Fatalf("sample %v not quantized to 8 bits", s)
+		}
+	}
+}
+
+func TestCaptureDeterministicPerSeed(t *testing.T) {
+	mk := func(seed int64) *iq.Buffer {
+		d := New(BladeRFxA9(), seed)
+		_ = d.Tune(1e9)
+		_ = d.SetSampleRate(2e6)
+		b, err := d.Capture(256, []Emission{Tone{OffsetHz: 10e3, PowerDBm: -50}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := mk(11), mk(11)
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("same seed must give identical captures")
+		}
+	}
+}

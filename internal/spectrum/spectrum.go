@@ -1,0 +1,211 @@
+// Package spectrum implements the service the calibrated sensors actually
+// sell: spectrum monitoring. The paper's §2 describes the node-side
+// processing — "signal detection or computing the Fast Fourier Transform,
+// before transmitting the data to the cloud" — and this package provides
+// exactly that pipeline:
+//
+//   - averaged-periodogram PSD frames from raw IQ (the FFT the host
+//     computes before upload);
+//   - robust noise-floor estimation from the PSD itself (median of the
+//     quietest bins), so occupancy thresholds need no manual calibration;
+//   - energy-detection occupancy: which bins, and which configured
+//     channels, carry signal above the floor;
+//   - duty-cycle accumulation across frames, the quantity regulators and
+//     renters ask for.
+//
+// Everything here is what the calibration system protects: a sensor with
+// an unknown field of view or a dead band produces confidently wrong
+// occupancy data, which is why nodes carry calib.Report grades.
+package spectrum
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sensorcal/internal/dsp"
+	"sensorcal/internal/iq"
+)
+
+// Frame is one averaged PSD snapshot.
+type Frame struct {
+	CenterHz   float64
+	SampleRate float64
+	// BinsDB holds the power per bin in dBFS, ordered from the lowest
+	// frequency (center − rate/2) upward.
+	BinsDB []float64
+}
+
+// BinHz returns the absolute frequency of bin i.
+func (f *Frame) BinHz(i int) float64 {
+	n := len(f.BinsDB)
+	return f.CenterHz - f.SampleRate/2 + (float64(i)+0.5)*f.SampleRate/float64(n)
+}
+
+// BinWidth returns the frequency span of one bin.
+func (f *Frame) BinWidth() float64 { return f.SampleRate / float64(len(f.BinsDB)) }
+
+// Analyzer converts IQ captures into PSD frames.
+type Analyzer struct {
+	// FFTSize is the periodogram length (power of two).
+	FFTSize int
+	// Window shapes each segment.
+	Window dsp.WindowFunc
+}
+
+// NewAnalyzer returns an analyzer with Electrosense-like defaults
+// (1024-bin Hann-windowed Welch PSD).
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{FFTSize: 1024, Window: dsp.Hann}
+}
+
+// Analyze computes a PSD frame from a capture taken at centerHz.
+func (a *Analyzer) Analyze(buf *iq.Buffer, centerHz float64) (*Frame, error) {
+	if len(buf.Samples) < a.FFTSize {
+		return nil, fmt.Errorf("spectrum: capture shorter than FFT size")
+	}
+	psd, err := dsp.WelchPSD(buf.Samples, buf.SampleRate, a.FFTSize, a.Window)
+	if err != nil {
+		return nil, err
+	}
+	n := len(psd.Density)
+	frame := &Frame{CenterHz: centerHz, SampleRate: buf.SampleRate, BinsDB: make([]float64, n)}
+	binWidth := buf.SampleRate / float64(n)
+	// Reorder FFT bins (DC first) into ascending frequency and convert
+	// to per-bin power in dBFS.
+	for i := 0; i < n; i++ {
+		srcIdx := (i + n/2) % n // bin 0 of the frame is −fs/2
+		p := psd.Density[srcIdx] * binWidth
+		frame.BinsDB[i] = iq.PowerToDBFS(p)
+	}
+	return frame, nil
+}
+
+// NoiseFloorDB estimates the frame's noise floor as the median of the
+// quietest fraction of bins — robust to any number of active signals as
+// long as some of the band is quiet.
+func (f *Frame) NoiseFloorDB(quietFraction float64) float64 {
+	if quietFraction <= 0 || quietFraction > 1 {
+		quietFraction = 0.25
+	}
+	sorted := append([]float64(nil), f.BinsDB...)
+	sort.Float64s(sorted)
+	k := int(float64(len(sorted)) * quietFraction)
+	if k < 1 {
+		k = 1
+	}
+	return sorted[k/2]
+}
+
+// Occupancy marks each bin above the noise floor by at least marginDB.
+func (f *Frame) Occupancy(marginDB float64) []bool {
+	floor := f.NoiseFloorDB(0.25)
+	out := make([]bool, len(f.BinsDB))
+	for i, p := range f.BinsDB {
+		out[i] = p >= floor+marginDB
+	}
+	return out
+}
+
+// Channel is a named frequency span of interest to a renter.
+type Channel struct {
+	Name   string
+	LowHz  float64
+	HighHz float64
+}
+
+// ChannelReport is the occupancy verdict for one channel in one frame.
+type ChannelReport struct {
+	Channel Channel
+	// PowerDB is the channel's integrated power in dBFS.
+	PowerDB float64
+	// OccupiedFraction is the share of the channel's bins above threshold.
+	OccupiedFraction float64
+	// Occupied applies the conventional >50% bin rule.
+	Occupied bool
+}
+
+// ChannelOccupancy evaluates the configured channels against a frame.
+// Channels outside the frame's span are skipped.
+func ChannelOccupancy(f *Frame, marginDB float64, channels []Channel) []ChannelReport {
+	occ := f.Occupancy(marginDB)
+	var out []ChannelReport
+	lo := f.CenterHz - f.SampleRate/2
+	hi := f.CenterHz + f.SampleRate/2
+	for _, ch := range channels {
+		if ch.HighHz <= lo || ch.LowHz >= hi || ch.HighHz <= ch.LowHz {
+			continue
+		}
+		var sum float64
+		var bins, hit int
+		for i := range f.BinsDB {
+			hz := f.BinHz(i)
+			if hz < ch.LowHz || hz >= ch.HighHz {
+				continue
+			}
+			bins++
+			sum += iq.DBFSToPower(f.BinsDB[i])
+			if occ[i] {
+				hit++
+			}
+		}
+		if bins == 0 {
+			continue
+		}
+		r := ChannelReport{
+			Channel:          ch,
+			PowerDB:          iq.PowerToDBFS(sum),
+			OccupiedFraction: float64(hit) / float64(bins),
+		}
+		r.Occupied = r.OccupiedFraction > 0.5
+		out = append(out, r)
+	}
+	return out
+}
+
+// DutyCycle accumulates per-channel occupancy across frames — the
+// longitudinal statistic spectrum renters pay for.
+type DutyCycle struct {
+	counts map[string]int
+	hits   map[string]int
+}
+
+// NewDutyCycle returns an empty accumulator.
+func NewDutyCycle() *DutyCycle {
+	return &DutyCycle{counts: map[string]int{}, hits: map[string]int{}}
+}
+
+// Add folds one frame's channel reports in.
+func (d *DutyCycle) Add(reports []ChannelReport) {
+	for _, r := range reports {
+		d.counts[r.Channel.Name]++
+		if r.Occupied {
+			d.hits[r.Channel.Name]++
+		}
+	}
+}
+
+// Fraction returns the observed duty cycle for a channel and the number
+// of frames it was measured in.
+func (d *DutyCycle) Fraction(name string) (float64, int) {
+	n := d.counts[name]
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(d.hits[name]) / float64(n), n
+}
+
+// Peak returns the strongest bin in the frame and its frequency: the
+// quick "what is that carrier" primitive.
+func (f *Frame) Peak() (hz, db float64) {
+	best := 0
+	for i, p := range f.BinsDB {
+		if p > f.BinsDB[best] {
+			best = i
+		}
+	}
+	if len(f.BinsDB) == 0 {
+		return 0, math.Inf(-1)
+	}
+	return f.BinHz(best), f.BinsDB[best]
+}

@@ -1,0 +1,244 @@
+package spectrum
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"sensorcal/internal/iq"
+	"sensorcal/internal/sdr"
+)
+
+// capture synthesizes a frame from the given emissions.
+func capture(t *testing.T, seed int64, centerHz, rate float64, ems []sdr.Emission) *Frame {
+	t.Helper()
+	dev := sdr.New(sdr.BladeRFxA9(), seed)
+	dev.DisableQuantization = true
+	if err := dev.Tune(centerHz); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.SetSampleRate(rate); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.SetGain(30); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := dev.Capture(1<<15, ems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := NewAnalyzer().Analyze(buf, centerHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestAnalyzeBinGeometry(t *testing.T) {
+	f := capture(t, 1, 600e6, 8e6, nil)
+	if len(f.BinsDB) != 1024 {
+		t.Fatalf("bins = %d", len(f.BinsDB))
+	}
+	if math.Abs(f.BinWidth()-8e6/1024) > 1e-9 {
+		t.Errorf("bin width = %v", f.BinWidth())
+	}
+	// First bin sits at center − fs/2, last just below center + fs/2.
+	if f.BinHz(0) < 596e6 || f.BinHz(0) > 596.1e6 {
+		t.Errorf("bin 0 at %v", f.BinHz(0))
+	}
+	if f.BinHz(1023) < 603.9e6 || f.BinHz(1023) > 604e6 {
+		t.Errorf("last bin at %v", f.BinHz(1023))
+	}
+}
+
+func TestAnalyzeRejectsShortCapture(t *testing.T) {
+	buf := iq.New(100, 1e6)
+	if _, err := NewAnalyzer().Analyze(buf, 1e9); err == nil {
+		t.Error("short capture should error")
+	}
+}
+
+func TestPeakFindsTone(t *testing.T) {
+	// A -40 dBm tone at +1.5 MHz from a 600 MHz center.
+	f := capture(t, 2, 600e6, 8e6, []sdr.Emission{sdr.Tone{OffsetHz: 1.5e6, PowerDBm: -40}})
+	hz, db := f.Peak()
+	if math.Abs(hz-601.5e6) > 2*f.BinWidth() {
+		t.Errorf("peak at %v, want ≈601.5 MHz", hz)
+	}
+	// -40 dBm at gain 30 with +10 dBm FS → -20 dBFS concentrated in one
+	// bin (plus windowing spread).
+	if db < -26 || db > -18 {
+		t.Errorf("peak power = %v dBFS", db)
+	}
+}
+
+func TestNoiseFloorTracksDeviceFloor(t *testing.T) {
+	f := capture(t, 3, 600e6, 8e6, nil)
+	floor := f.NoiseFloorDB(0.25)
+	// Thermal floor: -174+10log10(8e6/1024 bins... per-bin bandwidth)
+	// ≈ -174 + 38.9 + 6 NF + 30 gain - 10 FS ≈ -109 dBFS per bin.
+	if floor < -114 || floor > -104 {
+		t.Errorf("noise floor = %v dBFS per bin", floor)
+	}
+	// Estimation must be robust to a strong signal occupying some band.
+	withSig := capture(t, 3, 600e6, 8e6, []sdr.Emission{
+		sdr.NoiseBand{CenterOffsetHz: -2e6, BandwidthHz: 2e6, PowerDBm: -30},
+	})
+	floor2 := withSig.NoiseFloorDB(0.25)
+	if math.Abs(floor2-floor) > 2 {
+		t.Errorf("floor moved from %v to %v with a signal present", floor, floor2)
+	}
+	// Bad fraction falls back to the default rather than panicking.
+	_ = f.NoiseFloorDB(-1)
+	_ = f.NoiseFloorDB(2)
+}
+
+func TestOccupancyMarksSignalBins(t *testing.T) {
+	f := capture(t, 4, 600e6, 8e6, []sdr.Emission{
+		sdr.NoiseBand{CenterOffsetHz: 1e6, BandwidthHz: 1e6, PowerDBm: -40},
+	})
+	occ := f.Occupancy(6)
+	inBand, outBand := 0, 0
+	for i, o := range occ {
+		hz := f.BinHz(i)
+		if hz > 600.6e6 && hz < 601.4e6 {
+			if o {
+				inBand++
+			}
+		} else if hz < 599e6 || hz > 603e6 {
+			if o {
+				outBand++
+			}
+		}
+	}
+	if inBand < 90 {
+		t.Errorf("in-band occupied bins = %d, want most of ~102", inBand)
+	}
+	if outBand > 8 {
+		t.Errorf("out-of-band occupied bins = %d, want ≈0", outBand)
+	}
+}
+
+func TestChannelOccupancy(t *testing.T) {
+	f := capture(t, 5, 600e6, 8e6, []sdr.Emission{
+		sdr.NoiseBand{CenterOffsetHz: -1.5e6, BandwidthHz: 1e6, PowerDBm: -45},
+	})
+	channels := []Channel{
+		{Name: "busy", LowHz: 598e6, HighHz: 599e6},
+		{Name: "quiet", LowHz: 601e6, HighHz: 602e6},
+		{Name: "outside", LowHz: 700e6, HighHz: 701e6},
+		{Name: "degenerate", LowHz: 602e6, HighHz: 601e6},
+	}
+	reports := ChannelOccupancy(f, 6, channels)
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2 (outside and degenerate skipped)", len(reports))
+	}
+	if !reports[0].Occupied || reports[0].OccupiedFraction < 0.8 {
+		t.Errorf("busy channel: %+v", reports[0])
+	}
+	if reports[1].Occupied {
+		t.Errorf("quiet channel occupied: %+v", reports[1])
+	}
+	if reports[0].PowerDB <= reports[1].PowerDB {
+		t.Error("busy channel should out-power quiet channel")
+	}
+	// Integrated power ≈ -45 dBm at 30 dB gain / +10 FS → -25 dBFS.
+	if math.Abs(reports[0].PowerDB-(-25)) > 2 {
+		t.Errorf("busy channel power = %v dBFS, want ≈ -25", reports[0].PowerDB)
+	}
+}
+
+func TestDutyCycleAccumulates(t *testing.T) {
+	d := NewDutyCycle()
+	ch := Channel{Name: "x", LowHz: 0, HighHz: 1}
+	for i := 0; i < 10; i++ {
+		d.Add([]ChannelReport{{Channel: ch, Occupied: i < 3}})
+	}
+	frac, n := d.Fraction("x")
+	if n != 10 || math.Abs(frac-0.3) > 1e-9 {
+		t.Errorf("duty cycle = %v over %d", frac, n)
+	}
+	if frac, n := d.Fraction("missing"); frac != 0 || n != 0 {
+		t.Error("unknown channel should be zeros")
+	}
+}
+
+// TestOccupancyMatchesGroundTruthDutyCycle runs a bursty transmitter at
+// 40% duty cycle across 20 frames and checks the measured duty cycle.
+func TestOccupancyMatchesGroundTruthDutyCycle(t *testing.T) {
+	d := NewDutyCycle()
+	ch := Channel{Name: "burst", LowHz: 599.5e6, HighHz: 600.5e6}
+	active := 0
+	for i := 0; i < 20; i++ {
+		var ems []sdr.Emission
+		if i%5 < 2 { // 40% of frames
+			active++
+			ems = append(ems, sdr.NoiseBand{CenterOffsetHz: 0, BandwidthHz: 1e6, PowerDBm: -45})
+		}
+		f := capture(t, int64(100+i), 600e6, 8e6, ems)
+		d.Add(ChannelOccupancy(f, 6, []Channel{ch}))
+	}
+	frac, n := d.Fraction("burst")
+	if n != 20 {
+		t.Fatalf("frames = %d", n)
+	}
+	want := float64(active) / 20
+	if math.Abs(frac-want) > 0.05 {
+		t.Errorf("duty cycle = %v, truth %v", frac, want)
+	}
+}
+
+func TestUploadRoundTrip(t *testing.T) {
+	f := capture(t, 7, 600e6, 8e6, []sdr.Emission{
+		sdr.NoiseBand{CenterOffsetHz: 1e6, BandwidthHz: 1e6, PowerDBm: -50},
+	})
+	u, err := Pack("node-1", time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := u.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Node != "node-1" || back.CenterHz != 600e6 {
+		t.Errorf("header lost: %+v", back)
+	}
+	got, err := back.Unpack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.BinsDB) != len(f.BinsDB) {
+		t.Fatalf("bin count %d vs %d", len(got.BinsDB), len(f.BinsDB))
+	}
+	for i := range got.BinsDB {
+		if math.Abs(got.BinsDB[i]-f.BinsDB[i]) > quantStep/2+1e-9 {
+			t.Fatalf("bin %d: %v vs %v exceeds the quantization bound", i, got.BinsDB[i], f.BinsDB[i])
+		}
+	}
+	// The reconstructed frame carries the same occupancy verdicts.
+	a := ChannelOccupancy(f, 6, []Channel{{Name: "sig", LowHz: 600.6e6, HighHz: 601.4e6}})
+	b := ChannelOccupancy(got, 6, []Channel{{Name: "sig", LowHz: 600.6e6, HighHz: 601.4e6}})
+	if a[0].Occupied != b[0].Occupied {
+		t.Error("occupancy verdict changed through upload quantization")
+	}
+}
+
+func TestUploadErrors(t *testing.T) {
+	if _, err := Pack("n", time.Now(), &Frame{}); err == nil {
+		t.Error("empty frame should not pack")
+	}
+	if _, err := (&UploadFrame{}).Unpack(); err == nil {
+		t.Error("empty upload should not unpack")
+	}
+	if _, err := (&UploadFrame{Q: []int16{1}, StepDB: 0}).Unpack(); err == nil {
+		t.Error("zero step should not unpack")
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte("{bad"))); err == nil {
+		t.Error("garbage JSON should error")
+	}
+}

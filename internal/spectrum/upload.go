@@ -1,0 +1,93 @@
+package spectrum
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Cloud upload format. The paper's §2: the host processes IQ locally and
+// transmits the results "to the cloud for storage and further
+// processing". Frames travel as JSON with quantized bins — 0.5 dB steps
+// carried as int16 deltas keep a 1024-bin frame around 2–3 KB after
+// transport compression, versus ~20 KB of raw float64s.
+
+// UploadFrame is the serialized form of a Frame.
+type UploadFrame struct {
+	Node       string    `json:"node"`
+	At         time.Time `json:"at"`
+	CenterHz   float64   `json:"center_hz"`
+	SampleRate float64   `json:"sample_rate"`
+	// RefDB is the reference level; bins are reconstructed as
+	// RefDB + Q*step.
+	RefDB float64 `json:"ref_db"`
+	// StepDB is the quantization step (0.5 dB).
+	StepDB float64 `json:"step_db"`
+	// Q holds the quantized offsets from RefDB.
+	Q []int16 `json:"q"`
+}
+
+// quantStep is the bin quantization in dB.
+const quantStep = 0.5
+
+// Pack converts a frame into its upload form.
+func Pack(node string, at time.Time, f *Frame) (*UploadFrame, error) {
+	if len(f.BinsDB) == 0 {
+		return nil, fmt.Errorf("spectrum: empty frame")
+	}
+	ref := f.BinsDB[0]
+	for _, v := range f.BinsDB {
+		if v < ref {
+			ref = v
+		}
+	}
+	u := &UploadFrame{
+		Node: node, At: at.UTC(),
+		CenterHz: f.CenterHz, SampleRate: f.SampleRate,
+		RefDB: ref, StepDB: quantStep,
+		Q: make([]int16, len(f.BinsDB)),
+	}
+	for i, v := range f.BinsDB {
+		q := math.Round((v - ref) / quantStep)
+		if q > math.MaxInt16 {
+			q = math.MaxInt16
+		}
+		u.Q[i] = int16(q)
+	}
+	return u, nil
+}
+
+// Unpack reconstructs the frame (bins within ±StepDB/2 of the original).
+func (u *UploadFrame) Unpack() (*Frame, error) {
+	if len(u.Q) == 0 {
+		return nil, fmt.Errorf("spectrum: empty upload frame")
+	}
+	if u.StepDB <= 0 {
+		return nil, fmt.Errorf("spectrum: invalid step %v", u.StepDB)
+	}
+	f := &Frame{
+		CenterHz:   u.CenterHz,
+		SampleRate: u.SampleRate,
+		BinsDB:     make([]float64, len(u.Q)),
+	}
+	for i, q := range u.Q {
+		f.BinsDB[i] = u.RefDB + float64(q)*u.StepDB
+	}
+	return f, nil
+}
+
+// WriteJSON streams the upload frame to w.
+func (u *UploadFrame) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(u)
+}
+
+// ReadJSON parses one upload frame from r.
+func ReadJSON(r io.Reader) (*UploadFrame, error) {
+	var u UploadFrame
+	if err := json.NewDecoder(r).Decode(&u); err != nil {
+		return nil, fmt.Errorf("spectrum: decoding upload: %w", err)
+	}
+	return &u, nil
+}

@@ -1,0 +1,223 @@
+package trust
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Reading is one node's measurement of a shared reference signal (a TV
+// channel or cellular carrier every node in the area can hear).
+type Reading struct {
+	Node     NodeID
+	SignalID string // e.g. "tv-521MHz"
+	PowerDBm float64
+	At       time.Time
+}
+
+// Epoch groups simultaneous readings of one signal across nodes.
+type Epoch struct {
+	SignalID string
+	At       time.Time
+	Readings map[NodeID]float64 // node → reported dBm
+}
+
+// Anomaly is a consensus violation.
+type Anomaly struct {
+	Node     NodeID
+	SignalID string
+	Kind     string
+	Detail   string
+	// Severity in [0,1]: 1 is a flagrant violation.
+	Severity float64
+}
+
+func (a Anomaly) String() string {
+	return fmt.Sprintf("%s/%s %s: %s (severity %.2f)", a.Node, a.SignalID, a.Kind, a.Detail, a.Severity)
+}
+
+// Detector runs the consensus checks.
+type Detector struct {
+	// UpperBoundMarginDB: a node may read at most this much above the
+	// neighborhood's maximum plausible (median + spread) power.
+	// Obstructions attenuate; nothing in a passive deployment amplifies.
+	UpperBoundMarginDB float64
+	// MinCorrelation: across epochs an honest node's readings must
+	// correlate with the consensus trend at least this much.
+	MinCorrelation float64
+	// MinEpochs before the correlation test applies.
+	MinEpochs int
+}
+
+// NewDetector returns a detector with defaults tuned for ±2 dB honest
+// measurement noise.
+func NewDetector() *Detector {
+	return &Detector{
+		UpperBoundMarginDB: 6,
+		MinCorrelation:     0.3,
+		MinEpochs:          8,
+	}
+}
+
+// CheckEpoch applies the upper-bound test to one epoch. The test is
+// one-sided by design: obstructions only attenuate, so an honest node can
+// read arbitrarily low but never meaningfully above its peers. Each node
+// is therefore compared against the maximum of the *other* nodes'
+// readings (leave-one-out, so a fabricator cannot raise its own bound)
+// plus a noise margin. A symmetric median±MAD bound would not work here:
+// legitimate indoor nodes stretch the MAD downward, inflating the upward
+// tolerance exactly where fraud hides.
+func (d *Detector) CheckEpoch(e Epoch) []Anomaly {
+	if len(e.Readings) < 3 {
+		return nil // no meaningful consensus
+	}
+	var out []Anomaly
+	for id, v := range e.Readings {
+		maxOther := math.Inf(-1)
+		for other, ov := range e.Readings {
+			if other != id && ov > maxOther {
+				maxOther = ov
+			}
+		}
+		bound := maxOther + d.UpperBoundMarginDB
+		if v > bound {
+			excess := v - bound
+			out = append(out, Anomaly{
+				Node:     id,
+				SignalID: e.SignalID,
+				Kind:     "over-consensus-power",
+				Detail:   fmt.Sprintf("reported %.1f dBm, peers' maximum %.1f dBm", v, maxOther),
+				Severity: math.Min(1, excess/10),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// CheckCorrelation applies the temporal test over a series of epochs of
+// the same signal: the consensus (median) power fluctuates with the real
+// transmitter and propagation conditions, and every honest node's series
+// tracks those fluctuations up to an additive offset. A fabricated series
+// doesn't know the fluctuations and decorrelates.
+func (d *Detector) CheckCorrelation(epochs []Epoch) []Anomaly {
+	if len(epochs) < d.MinEpochs {
+		return nil
+	}
+	// Per-node series, plus the set of participating nodes.
+	perNode := map[NodeID][]float64{}
+	for i, e := range epochs {
+		for id, v := range e.Readings {
+			series, ok := perNode[id]
+			if !ok {
+				series = make([]float64, len(epochs))
+				for k := range series {
+					series[k] = math.NaN()
+				}
+			}
+			series[i] = v
+			perNode[id] = series
+		}
+	}
+	// Leave-one-out consensus: when scoring node X, the reference median
+	// excludes X's own readings so a fabricator cannot drag the consensus
+	// toward itself.
+	looConsensus := func(exclude NodeID) []float64 {
+		out := make([]float64, len(epochs))
+		for i, e := range epochs {
+			vals := make([]float64, 0, len(e.Readings))
+			for id, v := range e.Readings {
+				if id == exclude {
+					continue
+				}
+				vals = append(vals, v)
+			}
+			med, _ := mad(vals)
+			out[i] = med
+		}
+		return out
+	}
+	var out []Anomaly
+	ids := make([]NodeID, 0, len(perNode))
+	for id := range perNode {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		series := perNode[id]
+		r, n := pearson(series, looConsensus(id))
+		if n < d.MinEpochs {
+			continue
+		}
+		if r < d.MinCorrelation {
+			// Zero or negative correlation is a hard fabrication signal;
+			// just-under-threshold correlation is weak evidence.
+			sev := (d.MinCorrelation - r) / d.MinCorrelation
+			if sev > 1 {
+				sev = 1
+			}
+			if sev < 0.25 {
+				sev = 0.25
+			}
+			out = append(out, Anomaly{
+				Node:     id,
+				SignalID: epochs[0].SignalID,
+				Kind:     "uncorrelated-with-consensus",
+				Detail:   fmt.Sprintf("correlation %.2f over %d epochs", r, n),
+				Severity: sev,
+			})
+		}
+	}
+	return out
+}
+
+// pearson computes the correlation of two series, skipping NaN entries in
+// a. It returns the coefficient and the number of points used.
+func pearson(a, b []float64) (float64, int) {
+	var sa, sb, saa, sbb, sab float64
+	n := 0
+	for i := range a {
+		if math.IsNaN(a[i]) {
+			continue
+		}
+		n++
+		sa += a[i]
+		sb += b[i]
+		saa += a[i] * a[i]
+		sbb += b[i] * b[i]
+		sab += a[i] * b[i]
+	}
+	if n < 2 {
+		return 0, n
+	}
+	fn := float64(n)
+	cov := sab/fn - sa/fn*sb/fn
+	va := saa/fn - sa/fn*sa/fn
+	vb := sbb/fn - sb/fn*sb/fn
+	if va <= 1e-12 || vb <= 1e-12 {
+		// A perfectly flat series carries no information; treat as
+		// uncorrelated (fabricators often submit constants).
+		return 0, n
+	}
+	return cov / math.Sqrt(va*vb), n
+}
+
+// Apply folds anomalies into the ledger: each flagged node records a
+// verdict scaled by severity; unflagged participants of the epochs record
+// a clean verdict.
+func Apply(l *Ledger, participants []NodeID, anomalies []Anomaly) {
+	flagged := map[NodeID]float64{}
+	for _, a := range anomalies {
+		if a.Severity > flagged[a.Node] {
+			flagged[a.Node] = a.Severity
+		}
+	}
+	for _, id := range participants {
+		if sev, ok := flagged[id]; ok {
+			l.Record(id, 1-sev)
+		} else {
+			l.Record(id, 1)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package trust
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Ledger persistence. spectrumd restarts must not reset every operator to
+// the initial score — a fabricator could launder its history by bouncing
+// the collector. The snapshot carries nodes and scores; pending epochs
+// are deliberately not persisted (they re-accumulate within one window).
+
+// ledgerSnapshot is the serialized ledger.
+type ledgerSnapshot struct {
+	SavedAt time.Time      `json:"saved_at"`
+	Nodes   []nodeSnapshot `json:"nodes"`
+}
+
+type nodeSnapshot struct {
+	Node
+	Score Score `json:"score"`
+}
+
+// Save writes the ledger state as JSON.
+func (l *Ledger) Save(w io.Writer, now time.Time) error {
+	l.mu.RLock()
+	snap := ledgerSnapshot{SavedAt: now.UTC()}
+	for id, n := range l.nodes {
+		snap.Nodes = append(snap.Nodes, nodeSnapshot{Node: *n, Score: l.scores[id]})
+	}
+	l.mu.RUnlock()
+	sort.Slice(snap.Nodes, func(i, j int) bool { return snap.Nodes[i].ID < snap.Nodes[j].ID })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Load restores a snapshot into an empty ledger. Loading over existing
+// registrations is refused to avoid silent merges.
+func (l *Ledger) Load(r io.Reader) error {
+	var snap ledgerSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("trust: decoding ledger snapshot: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.nodes) != 0 {
+		return fmt.Errorf("trust: refusing to load into a non-empty ledger")
+	}
+	for _, ns := range snap.Nodes {
+		if ns.ID == "" {
+			return fmt.Errorf("trust: snapshot contains a node without an ID")
+		}
+		if ns.Score < 0 || ns.Score > 1 {
+			return fmt.Errorf("trust: snapshot score %v for %s out of range", ns.Score, ns.ID)
+		}
+		n := ns.Node
+		l.nodes[ns.ID] = &n
+		l.scores[ns.ID] = ns.Score
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package trust
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Collector is the cloud side of the crowd-sourced network: nodes register
+// and stream readings of shared reference signals; the collector groups
+// them into epochs, runs the consensus checks, and maintains the trust
+// ledger.
+type Collector struct {
+	Ledger   *Ledger
+	Detector *Detector
+	// EpochWindow groups readings of a signal whose timestamps fall in
+	// the same window.
+	EpochWindow time.Duration
+
+	mu      sync.Mutex
+	pending map[string]map[time.Time]*Epoch // signal → window start → epoch
+	history map[string][]Epoch              // closed epochs per signal
+}
+
+// NewCollector returns a collector with a fresh ledger.
+func NewCollector() *Collector {
+	return &Collector{
+		Ledger:      NewLedger(),
+		Detector:    NewDetector(),
+		EpochWindow: time.Minute,
+		pending:     make(map[string]map[time.Time]*Epoch),
+		history:     make(map[string][]Epoch),
+	}
+}
+
+// Submit ingests one reading.
+func (c *Collector) Submit(r Reading) error {
+	if _, ok := c.Ledger.Node(r.Node); !ok {
+		return fmt.Errorf("trust: node %s not registered", r.Node)
+	}
+	if r.SignalID == "" {
+		return fmt.Errorf("trust: reading needs a signal ID")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	window := r.At.Truncate(c.EpochWindow)
+	byWindow, ok := c.pending[r.SignalID]
+	if !ok {
+		byWindow = make(map[time.Time]*Epoch)
+		c.pending[r.SignalID] = byWindow
+	}
+	e, ok := byWindow[window]
+	if !ok {
+		e = &Epoch{SignalID: r.SignalID, At: window, Readings: map[NodeID]float64{}}
+		byWindow[window] = e
+	}
+	e.Readings[r.Node] = r.PowerDBm
+	return nil
+}
+
+// CloseEpochs finalizes every pending epoch that started before the
+// cutoff: runs the upper-bound check, archives the epoch, runs the
+// correlation check over the signal's history, and updates the ledger.
+// It returns all anomalies found.
+func (c *Collector) CloseEpochs(cutoff time.Time) []Anomaly {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var all []Anomaly
+	signals := make([]string, 0, len(c.pending))
+	for sig := range c.pending {
+		signals = append(signals, sig)
+	}
+	sort.Strings(signals)
+	for _, sig := range signals {
+		byWindow := c.pending[sig]
+		var windows []time.Time
+		for w := range byWindow {
+			if w.Before(cutoff) {
+				windows = append(windows, w)
+			}
+		}
+		sort.Slice(windows, func(i, j int) bool { return windows[i].Before(windows[j]) })
+		for _, w := range windows {
+			e := byWindow[w]
+			delete(byWindow, w)
+			anomalies := c.Detector.CheckEpoch(*e)
+			c.history[sig] = append(c.history[sig], *e)
+			var participants []NodeID
+			for id := range e.Readings {
+				participants = append(participants, id)
+			}
+			sort.Slice(participants, func(i, j int) bool { return participants[i] < participants[j] })
+			// Correlation check over the accumulated history.
+			anomalies = append(anomalies, c.Detector.CheckCorrelation(c.history[sig])...)
+			Apply(c.Ledger, participants, anomalies)
+			all = append(all, anomalies...)
+		}
+	}
+	return all
+}
+
+// History returns the closed epochs for a signal.
+func (c *Collector) History(signal string) []Epoch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Epoch(nil), c.history[signal]...)
+}
+
+// HTTP API types.
+
+type registerRequest struct {
+	ID             string  `json:"id"`
+	Operator       string  `json:"operator"`
+	Lat            float64 `json:"lat"`
+	Lon            float64 `json:"lon"`
+	ClaimedOutdoor bool    `json:"claimed_outdoor"`
+	Hardware       string  `json:"hardware"`
+}
+
+type submitRequest struct {
+	Node     string    `json:"node"`
+	SignalID string    `json:"signal_id"`
+	PowerDBm float64   `json:"power_dbm"`
+	At       time.Time `json:"at"`
+}
+
+type trustResponse struct {
+	Node   string  `json:"node"`
+	Score  float64 `json:"score"`
+	Rating string  `json:"rating"`
+}
+
+// Handler exposes the collector over HTTP:
+//
+//	POST /api/register  — enroll a node
+//	POST /api/readings  — submit a reading
+//	GET  /api/trust?node=ID — query a trust score
+func (c *Collector) Handler(now func() time.Time) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/register", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req registerRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		err := c.Ledger.Register(Node{
+			ID: NodeID(req.ID), Operator: req.Operator,
+			Lat: req.Lat, Lon: req.Lon,
+			ClaimedOutdoor: req.ClaimedOutdoor, Hardware: req.Hardware,
+			Registered: now(),
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("/api/readings", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req submitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		at := req.At
+		if at.IsZero() {
+			at = now()
+		}
+		err := c.Submit(Reading{Node: NodeID(req.Node), SignalID: req.SignalID, PowerDBm: req.PowerDBm, At: at})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("/api/trust", func(w http.ResponseWriter, r *http.Request) {
+		id := NodeID(r.URL.Query().Get("node"))
+		if _, ok := c.Ledger.Node(id); !ok {
+			http.Error(w, "unknown node", http.StatusNotFound)
+			return
+		}
+		s := c.Ledger.Trust(id)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(trustResponse{Node: string(id), Score: float64(s), Rating: s.Quantize()})
+	})
+	return mux
+}

@@ -1,0 +1,192 @@
+package trust
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+
+func TestCollectorEndToEnd(t *testing.T) {
+	c := NewCollector()
+	for _, id := range []NodeID{"a", "b", "c", "d", "cheater"} {
+		if err := c.Ledger.Register(Node{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One epoch with an inflated reading.
+	for id, p := range map[NodeID]float64{"a": -50, "b": -53, "c": -51, "d": -55, "cheater": -15} {
+		if err := c.Submit(Reading{Node: id, SignalID: "tv-521", PowerDBm: p, At: t0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	anomalies := c.CloseEpochs(t0.Add(2 * time.Minute))
+	if len(anomalies) != 1 || anomalies[0].Node != "cheater" {
+		t.Fatalf("anomalies = %v", anomalies)
+	}
+	if c.Ledger.Trust("cheater") >= c.Ledger.Trust("a") {
+		t.Error("cheater should have lost trust relative to honest nodes")
+	}
+	if len(c.History("tv-521")) != 1 {
+		t.Error("epoch not archived")
+	}
+}
+
+func TestCollectorRejectsUnknownNode(t *testing.T) {
+	c := NewCollector()
+	if err := c.Submit(Reading{Node: "ghost", SignalID: "x", At: t0}); err == nil {
+		t.Error("unregistered node should be rejected")
+	}
+	_ = c.Ledger.Register(Node{ID: "a"})
+	if err := c.Submit(Reading{Node: "a", At: t0}); err == nil {
+		t.Error("missing signal ID should be rejected")
+	}
+}
+
+func TestCollectorEpochWindowing(t *testing.T) {
+	c := NewCollector()
+	for _, id := range []NodeID{"a", "b", "c"} {
+		_ = c.Ledger.Register(Node{ID: id})
+	}
+	// Two windows, 1 minute apart.
+	for i := 0; i < 2; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		for _, id := range []NodeID{"a", "b", "c"} {
+			_ = c.Submit(Reading{Node: id, SignalID: "s", PowerDBm: -50, At: at})
+		}
+	}
+	// Close only the first window.
+	c.CloseEpochs(t0.Add(time.Minute))
+	if got := len(c.History("s")); got != 1 {
+		t.Errorf("closed epochs = %d, want 1", got)
+	}
+	c.CloseEpochs(t0.Add(time.Hour))
+	if got := len(c.History("s")); got != 2 {
+		t.Errorf("closed epochs = %d, want 2", got)
+	}
+}
+
+func TestHTTPAPIRoundTrip(t *testing.T) {
+	c := NewCollector()
+	srv := httptest.NewServer(c.Handler(func() time.Time { return t0 }))
+	defer srv.Close()
+
+	post := func(path string, body interface{}) int {
+		t.Helper()
+		buf, _ := json.Marshal(body)
+		resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/api/register", registerRequest{ID: "n1", Operator: "alice", Hardware: "bladeRF"}); code != 201 {
+		t.Fatalf("register status %d", code)
+	}
+	if code := post("/api/register", registerRequest{ID: "n1"}); code != 409 {
+		t.Errorf("duplicate register status %d, want 409", code)
+	}
+	if code := post("/api/readings", submitRequest{Node: "n1", SignalID: "tv-521", PowerDBm: -50}); code != 202 {
+		t.Errorf("submit status %d, want 202", code)
+	}
+	if code := post("/api/readings", submitRequest{Node: "ghost", SignalID: "tv-521"}); code != 400 {
+		t.Errorf("unknown-node submit status %d, want 400", code)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/api/trust?node=n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("trust status %d", resp.StatusCode)
+	}
+	var tr trustResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Node != "n1" || tr.Score != 0.5 || tr.Rating == "" {
+		t.Errorf("trust response %+v", tr)
+	}
+	// Unknown node 404s.
+	r2, err := srv.Client().Get(srv.URL + "/api/trust?node=ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != 404 {
+		t.Errorf("unknown trust status %d", r2.StatusCode)
+	}
+	// Method enforcement.
+	r3, err := srv.Client().Get(srv.URL + "/api/register")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != 405 {
+		t.Errorf("GET register status %d, want 405", r3.StatusCode)
+	}
+}
+
+func TestCollectorCorrelationOverHTTPWindows(t *testing.T) {
+	// Long-run scenario through the collector: honest nodes track the
+	// trend, a replay node loses trust via the correlation check.
+	c := NewCollector()
+	for _, id := range []NodeID{"h1", "h2", "h3", "replay"} {
+		_ = c.Ledger.Register(Node{ID: id})
+	}
+	for i := 0; i < 20; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		trend := 5.0
+		if i%6 >= 3 {
+			trend = -5
+		}
+		_ = c.Submit(Reading{Node: "h1", SignalID: "s", PowerDBm: -50 + trend, At: at})
+		_ = c.Submit(Reading{Node: "h2", SignalID: "s", PowerDBm: -54 + trend, At: at})
+		_ = c.Submit(Reading{Node: "h3", SignalID: "s", PowerDBm: -57 + trend, At: at})
+		_ = c.Submit(Reading{Node: "replay", SignalID: "s", PowerDBm: -52, At: at})
+	}
+	c.CloseEpochs(t0.Add(time.Hour))
+	if c.Ledger.Trust("replay") >= c.Ledger.Trust("h1") {
+		t.Errorf("replay trust %v should be below honest %v",
+			c.Ledger.Trust("replay"), c.Ledger.Trust("h1"))
+	}
+}
+
+func TestCollectorConcurrentSubmissions(t *testing.T) {
+	c := NewCollector()
+	ids := []NodeID{"a", "b", "c", "d"}
+	for _, id := range ids {
+		_ = c.Ledger.Register(Node{ID: id})
+	}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id NodeID) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				at := t0.Add(time.Duration(i) * time.Minute)
+				if err := c.Submit(Reading{Node: id, SignalID: "s", PowerDBm: -50, At: at}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	c.CloseEpochs(t0.Add(time.Hour * 2))
+	if got := len(c.History("s")); got != 50 {
+		t.Errorf("closed epochs = %d, want 50", got)
+	}
+	// Every epoch saw all four nodes.
+	for _, e := range c.History("s") {
+		if len(e.Readings) != 4 {
+			t.Fatalf("epoch %v has %d readings", e.At, len(e.Readings))
+		}
+	}
+}

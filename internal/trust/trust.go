@@ -1,0 +1,183 @@
+// Package trust implements the crowd-sourced network layer the paper's
+// calibration feeds (§1, §2, §5 "Establishing trust"): a registry of
+// volunteer-operated sensor nodes, a ledger of per-node trust scores, and
+// consensus-based fabrication detection over shared signals of
+// opportunity.
+//
+// The economic setting from the paper: operators are paid for sensing, so
+// they have an incentive to submit fabricated or low-quality data. The
+// defenses here are (a) the automatic calibration report itself, (b) an
+// upper-bound test — obstructions only attenuate, so a node reporting more
+// power than the neighborhood consensus supports is lying — and (c) a
+// temporal-correlation test: honest nodes track the real fluctuations of
+// shared transmitters; fabricated streams do not.
+package trust
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeID identifies a registered sensor node.
+type NodeID string
+
+// Node is a registry entry.
+type Node struct {
+	ID       NodeID
+	Operator string
+	// Lat/Lon of the claimed installation.
+	Lat, Lon float64
+	// ClaimedOutdoor is the operator's self-reported placement.
+	ClaimedOutdoor bool
+	// Hardware is the advertised SDR model.
+	Hardware string
+	// Registered is the enrollment time.
+	Registered time.Time
+}
+
+// Score is a trust value in [0,1].
+type Score float64
+
+// Ledger tracks node trust with exponentially weighted updates. It is safe
+// for concurrent use.
+type Ledger struct {
+	mu     sync.RWMutex
+	nodes  map[NodeID]*Node
+	scores map[NodeID]Score
+	// Alpha is the update weight for new evidence (0..1).
+	Alpha float64
+	// Initial is the score assigned at registration.
+	Initial Score
+}
+
+// NewLedger returns a ledger with conventional defaults: new nodes start
+// at 0.5 and each piece of evidence moves the score 20% of the way toward
+// its verdict.
+func NewLedger() *Ledger {
+	return &Ledger{
+		nodes:   make(map[NodeID]*Node),
+		scores:  make(map[NodeID]Score),
+		Alpha:   0.2,
+		Initial: 0.5,
+	}
+}
+
+// Register adds a node. Re-registering an existing ID is an error (a new
+// operator must enroll a fresh identity, preserving score history).
+func (l *Ledger) Register(n Node) error {
+	if n.ID == "" {
+		return fmt.Errorf("trust: node needs an ID")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.nodes[n.ID]; ok {
+		return fmt.Errorf("trust: node %s already registered", n.ID)
+	}
+	copy := n
+	l.nodes[n.ID] = &copy
+	l.scores[n.ID] = l.Initial
+	return nil
+}
+
+// Node returns a registered node.
+func (l *Ledger) Node(id NodeID) (Node, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n, ok := l.nodes[id]
+	if !ok {
+		return Node{}, false
+	}
+	return *n, true
+}
+
+// Trust returns the node's current score (0 for unknown nodes).
+func (l *Ledger) Trust(id NodeID) Score {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.scores[id]
+}
+
+// Record applies one piece of evidence: verdict 1.0 is fully consistent
+// behaviour, 0.0 is detected fabrication. Unknown nodes are ignored.
+func (l *Ledger) Record(id NodeID, verdict float64) {
+	if verdict < 0 {
+		verdict = 0
+	}
+	if verdict > 1 {
+		verdict = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s, ok := l.scores[id]
+	if !ok {
+		return
+	}
+	l.scores[id] = Score(float64(s)*(1-l.Alpha) + verdict*l.Alpha)
+}
+
+// Trusted returns node IDs whose score meets the threshold, sorted by
+// descending score (ties by ID for determinism).
+func (l *Ledger) Trusted(threshold Score) []NodeID {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var ids []NodeID
+	for id, s := range l.scores {
+		if s >= threshold {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if l.scores[ids[i]] != l.scores[ids[j]] {
+			return l.scores[ids[i]] > l.scores[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// Len returns the number of registered nodes.
+func (l *Ledger) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.nodes)
+}
+
+// Quantize maps a trust score to a coarse rating for marketplace display.
+func (s Score) Quantize() string {
+	switch {
+	case s >= 0.8:
+		return "trusted"
+	case s >= 0.55:
+		return "established"
+	case s >= 0.35:
+		return "provisional"
+	default:
+		return "suspect"
+	}
+}
+
+// mad returns the median and median-absolute-deviation of xs.
+func mad(xs []float64) (median, dev float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	median = s[len(s)/2]
+	if len(s)%2 == 0 {
+		median = (s[len(s)/2-1] + s[len(s)/2]) / 2
+	}
+	devs := make([]float64, len(s))
+	for i, x := range s {
+		devs[i] = math.Abs(x - median)
+	}
+	sort.Float64s(devs)
+	dev = devs[len(devs)/2]
+	if len(devs)%2 == 0 {
+		dev = (devs[len(devs)/2-1] + devs[len(devs)/2]) / 2
+	}
+	return median, dev
+}

@@ -1,0 +1,131 @@
+package tvsim
+
+import (
+	"math"
+	"testing"
+
+	"sensorcal/internal/sdr"
+)
+
+func testDevice(seed int64) *sdr.Device {
+	d := sdr.New(sdr.BladeRFxA9(), seed)
+	_ = d.SetGain(30) // fixed gain, per the paper — no AGC
+	return d
+}
+
+func TestMeasureStrongChannel(t *testing.T) {
+	st := Station{CallSign: "KSIM-26", CenterHz: 545e6}
+	scene := StaticScene{{Station: st, RxPowerDBm: -50}}
+	r := NewReceiver(testDevice(1))
+	m, err := r.MeasureChannel(scene, 545e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -50 dBm at 30 dB gain with +10 dBm full scale → -30 dBFS.
+	if math.Abs(m.PowerDBFS-(-30)) > 1.5 {
+		t.Errorf("power = %v dBFS, want ≈ -30", m.PowerDBFS)
+	}
+	if math.Abs(m.PowerDBm-(-50)) > 1.5 {
+		t.Errorf("absolute power = %v dBm, want ≈ -50", m.PowerDBm)
+	}
+	if !m.PilotDetected {
+		t.Errorf("pilot not detected (prominence %v dB)", m.PilotDB)
+	}
+	if m.MarginDB() < 20 {
+		t.Errorf("margin = %v dB, want strong", m.MarginDB())
+	}
+}
+
+func TestMeasureEmptyChannelSitsAtNoiseFloor(t *testing.T) {
+	r := NewReceiver(testDevice(2))
+	m, err := r.MeasureChannel(StaticScene{}, 473e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MarginDB() > 3 {
+		t.Errorf("empty channel margin = %v dB, want ≈0", m.MarginDB())
+	}
+	if m.PilotDetected {
+		t.Error("empty channel must not show a pilot")
+	}
+}
+
+func TestMeasurementTracksReceivedPower(t *testing.T) {
+	st := Station{CallSign: "K", CenterHz: 605e6}
+	r := NewReceiver(testDevice(3))
+	var prev float64 = math.Inf(-1)
+	for _, dbm := range []float64{-80, -65, -50} {
+		m, err := r.MeasureChannel(StaticScene{{Station: st, RxPowerDBm: dbm}}, 605e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.PowerDBFS <= prev {
+			t.Errorf("power should increase with rx power: %v after %v", m.PowerDBFS, prev)
+		}
+		prev = m.PowerDBFS
+		if math.Abs(m.PowerDBm-dbm) > 2 {
+			t.Errorf("measured %v dBm for a %v dBm signal", m.PowerDBm, dbm)
+		}
+	}
+}
+
+func TestAdjacentChannelIsolation(t *testing.T) {
+	// A strong station on 545 MHz must not leak into the 551 MHz
+	// measurement (adjacent 6 MHz channel).
+	st := Station{CallSign: "K26", CenterHz: 545e6}
+	scene := StaticScene{{Station: st, RxPowerDBm: -40}}
+	r := NewReceiver(testDevice(4))
+	on, err := r.MeasureChannel(scene, 545e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := r.MeasureChannel(scene, 551e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.PowerDBFS-adj.PowerDBFS < 25 {
+		t.Errorf("adjacent-channel rejection = %v dB, want ≥ 25", on.PowerDBFS-adj.PowerDBFS)
+	}
+}
+
+func TestMeasureAllOrdersResults(t *testing.T) {
+	centers := []float64{473e6, 521e6, 605e6}
+	scene := StaticScene{
+		{Station: Station{CallSign: "A", CenterHz: 473e6}, RxPowerDBm: -55},
+		{Station: Station{CallSign: "B", CenterHz: 521e6}, RxPowerDBm: -60},
+	}
+	r := NewReceiver(testDevice(5))
+	ms, err := r.MeasureAll(scene, centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+	if ms[0].CenterHz != 473e6 || ms[2].CenterHz != 605e6 {
+		t.Error("order not preserved")
+	}
+	// 605 MHz is empty: it must be the weakest.
+	if !(ms[2].PowerDBFS < ms[0].PowerDBFS && ms[2].PowerDBFS < ms[1].PowerDBFS) {
+		t.Errorf("empty channel should be weakest: %+v", ms)
+	}
+}
+
+func TestEmissionOutsidePassband(t *testing.T) {
+	st := Station{CallSign: "far", CenterHz: 213e6}
+	if _, ok := st.Emission(545e6, 8e6, -40); ok {
+		t.Error("station 330 MHz away should render nothing")
+	}
+	if _, ok := st.Emission(213e6, 8e6, -40); !ok {
+		t.Error("co-tuned station should render")
+	}
+}
+
+func TestMeasureChannelTuneError(t *testing.T) {
+	d := sdr.New(sdr.RTLSDR(), 6)
+	_ = d.SetGain(20)
+	r := NewReceiver(d)
+	if _, err := r.MeasureChannel(StaticScene{}, 2.6e9); err == nil {
+		t.Error("untunable channel should error")
+	}
+}

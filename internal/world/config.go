@@ -1,0 +1,112 @@
+package world
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sensorcal/internal/geo"
+	"sensorcal/internal/rfmath"
+)
+
+// JSON site configuration. Operators describing their own installations
+// (and test rigs describing synthetic ones) load sites from a JSON
+// document instead of recompiling the presets.
+
+// siteConfig is the serialized form of a Site.
+type siteConfig struct {
+	Name          string              `json:"name"`
+	Lat           float64             `json:"lat"`
+	Lon           float64             `json:"lon"`
+	AltMeters     float64             `json:"alt_m"`
+	Outdoor       bool                `json:"outdoor"`
+	ShadowSigmaDB float64             `json:"shadow_sigma_db"`
+	Obstructions  []obstructionConfig `json:"obstructions"`
+}
+
+type obstructionConfig struct {
+	FromDeg     float64 `json:"from_deg"`
+	ToDeg       float64 `json:"to_deg"`
+	Material    string  `json:"material"`
+	Layers      int     `json:"layers"`
+	ExtraLossDB float64 `json:"extra_loss_db"`
+	MinElevDeg  float64 `json:"min_elev_deg"`
+	MaxElevDeg  float64 `json:"max_elev_deg"`
+	Label       string  `json:"label"`
+}
+
+// materialNames maps config strings to materials.
+var materialsByName = map[string]rfmath.Material{
+	"none":                rfmath.MaterialNone,
+	"glass":               rfmath.MaterialGlass,
+	"coated-glass":        rfmath.MaterialCoatedGlass,
+	"drywall":             rfmath.MaterialDrywall,
+	"brick":               rfmath.MaterialBrick,
+	"concrete":            rfmath.MaterialConcrete,
+	"reinforced-concrete": rfmath.MaterialReinforcedConcrete,
+}
+
+// LoadSite reads one site definition from JSON.
+func LoadSite(r io.Reader) (*Site, error) {
+	var cfg siteConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("world: parsing site config: %w", err)
+	}
+	s := &Site{
+		Name:          cfg.Name,
+		Position:      geo.Point{Lat: cfg.Lat, Lon: cfg.Lon, Alt: cfg.AltMeters},
+		Outdoor:       cfg.Outdoor,
+		ShadowSigmaDB: cfg.ShadowSigmaDB,
+	}
+	for _, o := range cfg.Obstructions {
+		m, ok := materialsByName[o.Material]
+		if !ok {
+			return nil, fmt.Errorf("world: unknown material %q (want one of none, glass, coated-glass, drywall, brick, concrete, reinforced-concrete)", o.Material)
+		}
+		s.Obstructions = append(s.Obstructions, Obstruction{
+			Sector:          geo.Sector{From: o.FromDeg, To: o.ToDeg},
+			Material:        m,
+			Layers:          o.Layers,
+			ExtraLossDB:     o.ExtraLossDB,
+			MinElevationDeg: o.MinElevDeg,
+			MaxElevationDeg: o.MaxElevDeg,
+			Label:           o.Label,
+		})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SaveSite writes the site as JSON (the inverse of LoadSite).
+func SaveSite(w io.Writer, s *Site) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	cfg := siteConfig{
+		Name:          s.Name,
+		Lat:           s.Position.Lat,
+		Lon:           s.Position.Lon,
+		AltMeters:     s.Position.Alt,
+		Outdoor:       s.Outdoor,
+		ShadowSigmaDB: s.ShadowSigmaDB,
+	}
+	for _, o := range s.Obstructions {
+		cfg.Obstructions = append(cfg.Obstructions, obstructionConfig{
+			FromDeg:     o.Sector.From,
+			ToDeg:       o.Sector.To,
+			Material:    o.Material.String(),
+			Layers:      o.Layers,
+			ExtraLossDB: o.ExtraLossDB,
+			MinElevDeg:  o.MinElevationDeg,
+			MaxElevDeg:  o.MaxElevationDeg,
+			Label:       o.Label,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfg)
+}

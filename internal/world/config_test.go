@@ -1,0 +1,84 @@
+package world
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSiteConfigRoundTrip(t *testing.T) {
+	for _, site := range append(Sites(), MastSite(), BasementSite()) {
+		var buf bytes.Buffer
+		if err := SaveSite(&buf, site); err != nil {
+			t.Fatalf("%s: %v", site.Name, err)
+		}
+		got, err := LoadSite(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", site.Name, err)
+		}
+		if got.Name != site.Name || got.Position != site.Position ||
+			got.Outdoor != site.Outdoor || got.ShadowSigmaDB != site.ShadowSigmaDB {
+			t.Errorf("%s: header fields differ: %+v vs %+v", site.Name, got, site)
+		}
+		if len(got.Obstructions) != len(site.Obstructions) {
+			t.Fatalf("%s: obstruction count %d vs %d", site.Name, len(got.Obstructions), len(site.Obstructions))
+		}
+		for i := range got.Obstructions {
+			if got.Obstructions[i] != site.Obstructions[i] {
+				t.Errorf("%s obstruction %d: %+v vs %+v", site.Name, i, got.Obstructions[i], site.Obstructions[i])
+			}
+		}
+		// Behavioural equality: loss in a few probe directions.
+		for _, b := range []float64{0, 135, 270} {
+			if got.ObstructionLossDB(b, 5, 1090e6) != site.ObstructionLossDB(b, 5, 1090e6) {
+				t.Errorf("%s: loss differs at bearing %v", site.Name, b)
+			}
+		}
+	}
+}
+
+func TestLoadSiteFromHandWrittenJSON(t *testing.T) {
+	doc := `{
+		"name": "attic",
+		"lat": 37.9, "lon": -122.3, "alt_m": 9,
+		"outdoor": false,
+		"shadow_sigma_db": 3,
+		"obstructions": [
+			{"from_deg": 0, "to_deg": 360, "material": "brick",
+			 "layers": 1, "extra_loss_db": 4, "max_elev_deg": 90,
+			 "label": "roof tiles"}
+		]
+	}`
+	s, err := LoadSite(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "attic" || len(s.Obstructions) != 1 {
+		t.Fatalf("site = %+v", s)
+	}
+	if l := s.ObstructionLossDB(90, 10, 1090e6); l < 8 || l > 20 {
+		t.Errorf("attic loss = %v dB", l)
+	}
+}
+
+func TestLoadSiteErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":          `{not json`,
+		"unknown material": `{"name":"x","lat":0,"lon":0,"obstructions":[{"from_deg":0,"to_deg":90,"material":"adamantium","max_elev_deg":10}]}`,
+		"unknown field":    `{"name":"x","lat":0,"lon":0,"frobnicate":1}`,
+		"invalid site":     `{"name":"","lat":0,"lon":0}`,
+		"bad elevation":    `{"name":"x","lat":0,"lon":0,"obstructions":[{"from_deg":0,"to_deg":90,"material":"brick","max_elev_deg":120}]}`,
+	}
+	for what, doc := range cases {
+		if _, err := LoadSite(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s should fail", what)
+		}
+	}
+}
+
+func TestSaveSiteRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveSite(&buf, &Site{}); err == nil {
+		t.Error("invalid site should not serialize")
+	}
+}

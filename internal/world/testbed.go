@@ -1,0 +1,297 @@
+package world
+
+import (
+	"sensorcal/internal/geo"
+	"sensorcal/internal/rfmath"
+)
+
+// The testbed reproduces the paper's Figure 2 scenario: a mid-rise
+// apartment building with three candidate sensor installations and a set
+// of transmitters of opportunity around it — five 4G/5G towers 450–1000 m
+// away and six broadcast-TV stations up to 50 km away.
+//
+// Compass conventions in this preset:
+//   - the rooftop (Location ①) has an open field of view to the WEST,
+//     sector [230°, 310°), matching the paper's yellow shaded area;
+//   - the window (Location ②) faces SOUTHEAST with a narrow field of view,
+//     sector [115°, 160°);
+//   - Location ③ is deep inside the building with no field of view.
+//
+// The cellular towers sit west of the building (visible from the rooftop),
+// and five of the six TV stations do too; the 521 MHz TV station sits
+// southeast inside the window's field of view, producing the paper's
+// "very strong signal behind the window" exception.
+
+// BuildingOrigin is the geodetic anchor of the testbed building.
+var BuildingOrigin = geo.Point{Lat: 37.8716, Lon: -122.2727, Alt: 0}
+
+// Heights of the three installations above ground, in meters.
+const (
+	RooftopHeight = 20 // 6th-floor roof deck
+	WindowHeight  = 16 // 5th floor, behind glass
+	IndoorHeight  = 16 // 5th floor, ≥8 m from any window
+)
+
+// RooftopSite returns Location ①: roof deck with an open westward view;
+// roof structures (elevator machine room, stair heads) block the
+// low-elevation horizon in all other directions but clear overhead
+// traffic, so nearby high-elevation aircraft are received from any
+// direction.
+func RooftopSite() *Site {
+	pos := BuildingOrigin
+	pos.Alt = RooftopHeight
+	return &Site{
+		Name:     "rooftop",
+		Position: pos,
+		Outdoor:  true,
+		Obstructions: []Obstruction{
+			{
+				Sector:          geo.Sector{From: 310, To: 230}, // everything except the west wedge
+				Material:        rfmath.MaterialConcrete,
+				Layers:          2,
+				ExtraLossDB:     14,
+				MaxElevationDeg: 25,
+				Label:           "roof structures",
+			},
+		},
+		ShadowSigmaDB: 2,
+	}
+}
+
+// WindowSite returns Location ②: behind a southeast-facing 5th-floor
+// window. The glass pane passes signal nearly unattenuated inside the
+// narrow view wedge; everywhere else the signal must penetrate the
+// building shell.
+func WindowSite() *Site {
+	pos := BuildingOrigin
+	pos.Alt = WindowHeight
+	return &Site{
+		Name:     "window",
+		Position: pos,
+		Outdoor:  false,
+		Obstructions: []Obstruction{
+			{
+				Sector:          geo.Sector{From: 115, To: 160},
+				Material:        rfmath.MaterialGlass,
+				Layers:          1,
+				MaxElevationDeg: 35,
+				Label:           "window glass",
+			},
+			{
+				Sector:          geo.Sector{From: 115, To: 160},
+				Material:        rfmath.MaterialConcrete,
+				Layers:          1,
+				ExtraLossDB:     23.5,
+				MinElevationDeg: 35,
+				MaxElevationDeg: 90,
+				Label:           "wall above window",
+			},
+			{
+				Sector:          geo.Sector{From: 160, To: 115}, // wraps: everything but the window
+				Material:        rfmath.MaterialConcrete,
+				Layers:          1,
+				ExtraLossDB:     23.5,
+				MaxElevationDeg: 90,
+				Label:           "building shell",
+			},
+		},
+		ShadowSigmaDB: 3,
+	}
+}
+
+// IndoorSite returns Location ③: at least 8 m inside the building on the
+// 5th floor, with no field of view in any direction.
+func IndoorSite() *Site {
+	pos := BuildingOrigin
+	pos.Alt = IndoorHeight
+	return &Site{
+		Name:     "indoor",
+		Position: pos,
+		Outdoor:  false,
+		Obstructions: []Obstruction{
+			{
+				Sector:          geo.Sector{From: 0, To: 360},
+				Material:        rfmath.MaterialConcrete,
+				Layers:          2,
+				ExtraLossDB:     14,
+				MaxElevationDeg: 90,
+				Label:           "building interior",
+			},
+		},
+		ShadowSigmaDB: 4,
+	}
+}
+
+// Sites returns the three paper locations in order ①②③.
+func Sites() []*Site {
+	return []*Site{RooftopSite(), WindowSite(), IndoorSite()}
+}
+
+// CellTower describes one cellular site of the Figure 2/3 experiment.
+type CellTower struct {
+	ID           int
+	Name         string
+	DownlinkHz   float64
+	EARFCN       int // channel number (as listed on cellmapper-style DBs)
+	Band         string
+	EIRPDBm      float64
+	BandwidthHz  float64
+	BearingDeg   float64 // from the building
+	RangeMeters  float64
+	HeightMeters float64
+}
+
+// Position returns the tower's geodetic position relative to the building.
+func (t CellTower) Position() geo.Point {
+	p := geo.Destination(BuildingOrigin, t.BearingDeg, t.RangeMeters)
+	p.Alt = t.HeightMeters
+	return p
+}
+
+// Transmitter converts the tower into a generic transmitter.
+func (t CellTower) Transmitter() Transmitter {
+	return Transmitter{
+		Name:        t.Name,
+		Position:    t.Position(),
+		EIRPDBm:     t.EIRPDBm,
+		FrequencyHz: t.DownlinkHz,
+		BandwidthHz: t.BandwidthHz,
+	}
+}
+
+// Towers returns the five towers of Figure 3 with the paper's downlink
+// frequencies (731, 1970, 2145, 2660, 2680 MHz), placed 450–1000 m west of
+// the building so the rooftop has line of sight to all of them.
+func Towers() []CellTower {
+	return []CellTower{
+		{ID: 1, Name: "Tower 1", DownlinkHz: 731e6, EARFCN: 5110, Band: "B12 (700 MHz)", EIRPDBm: 62, BandwidthHz: 10e6, BearingDeg: 250, RangeMeters: 800, HeightMeters: 32},
+		{ID: 2, Name: "Tower 2", DownlinkHz: 1970e6, EARFCN: 700, Band: "B2 (1900 PCS)", EIRPDBm: 60, BandwidthHz: 20e6, BearingDeg: 265, RangeMeters: 400, HeightMeters: 30},
+		{ID: 3, Name: "Tower 3", DownlinkHz: 2145e6, EARFCN: 2175, Band: "B4 (AWS)", EIRPDBm: 61, BandwidthHz: 20e6, BearingDeg: 280, RangeMeters: 400, HeightMeters: 28},
+		{ID: 4, Name: "Tower 4", DownlinkHz: 2660e6, EARFCN: 3050, Band: "B7 (2600)", EIRPDBm: 60, BandwidthHz: 20e6, BearingDeg: 295, RangeMeters: 900, HeightMeters: 35},
+		{ID: 5, Name: "Tower 5", DownlinkHz: 2680e6, EARFCN: 3248, Band: "B7 (2600)", EIRPDBm: 60, BandwidthHz: 20e6, BearingDeg: 240, RangeMeters: 1000, HeightMeters: 35},
+	}
+}
+
+// TVStation describes one broadcast station of the Figure 4 experiment.
+type TVStation struct {
+	CallSign     string
+	RFChannel    int
+	CenterHz     float64
+	EIRPDBm      float64
+	BearingDeg   float64
+	RangeMeters  float64
+	HeightMeters float64
+}
+
+// Position returns the station's geodetic position.
+func (s TVStation) Position() geo.Point {
+	p := geo.Destination(BuildingOrigin, s.BearingDeg, s.RangeMeters)
+	p.Alt = s.HeightMeters
+	return p
+}
+
+// Transmitter converts the station into a generic transmitter with the
+// 6 MHz ATSC channel bandwidth.
+func (s TVStation) Transmitter() Transmitter {
+	return Transmitter{
+		Name:        s.CallSign,
+		Position:    s.Position(),
+		EIRPDBm:     s.EIRPDBm,
+		FrequencyHz: s.CenterHz,
+		BandwidthHz: 6e6,
+	}
+}
+
+// TVStations returns the six channels of Figure 4 (213, 473, 521, 545,
+// 587, 605 MHz). The 521 MHz station sits southeast, inside the window
+// site's field of view; the rest are west, toward the TV farm.
+func TVStations() []TVStation {
+	return []TVStation{
+		{CallSign: "KSIM-13", RFChannel: 13, CenterHz: 213e6, EIRPDBm: 83, BearingDeg: 260, RangeMeters: 40_000, HeightMeters: 450},
+		{CallSign: "KSIM-14", RFChannel: 14, CenterHz: 473e6, EIRPDBm: 88, BearingDeg: 285, RangeMeters: 35_000, HeightMeters: 480},
+		{CallSign: "KSIM-22", RFChannel: 22, CenterHz: 521e6, EIRPDBm: 87, BearingDeg: 135, RangeMeters: 15_000, HeightMeters: 420},
+		{CallSign: "KSIM-26", RFChannel: 26, CenterHz: 545e6, EIRPDBm: 88, BearingDeg: 250, RangeMeters: 30_000, HeightMeters: 460},
+		{CallSign: "KSIM-33", RFChannel: 33, CenterHz: 587e6, EIRPDBm: 88.5, BearingDeg: 270, RangeMeters: 45_000, HeightMeters: 500},
+		{CallSign: "KSIM-36", RFChannel: 36, CenterHz: 605e6, EIRPDBm: 88, BearingDeg: 295, RangeMeters: 50_000, HeightMeters: 500},
+	}
+}
+
+// FMStation describes one FM broadcaster for the §5 "other RF sources"
+// extension.
+type FMStation struct {
+	CallSign     string
+	CenterHz     float64
+	EIRPDBm      float64
+	BearingDeg   float64
+	RangeMeters  float64
+	HeightMeters float64
+}
+
+// Position returns the station's geodetic position.
+func (s FMStation) Position() geo.Point {
+	p := geo.Destination(BuildingOrigin, s.BearingDeg, s.RangeMeters)
+	p.Alt = s.HeightMeters
+	return p
+}
+
+// Transmitter converts the station into a generic transmitter with the
+// 200 kHz FM channel bandwidth.
+func (s FMStation) Transmitter() Transmitter {
+	return Transmitter{
+		Name:        s.CallSign,
+		Position:    s.Position(),
+		EIRPDBm:     s.EIRPDBm,
+		FrequencyHz: s.CenterHz,
+		BandwidthHz: 200e3,
+	}
+}
+
+// FMStations returns three FM broadcasters on the same western TV farm.
+// They sit far below the testbed antenna's 700 MHz band edge, so their
+// readings mostly measure the node's out-of-band roll-off.
+func FMStations() []FMStation {
+	return []FMStation{
+		{CallSign: "KSIM-FM1", CenterHz: 94.9e6, EIRPDBm: 72, BearingDeg: 265, RangeMeters: 38_000, HeightMeters: 450},
+		{CallSign: "KSIM-FM2", CenterHz: 98.1e6, EIRPDBm: 73, BearingDeg: 270, RangeMeters: 42_000, HeightMeters: 470},
+		{CallSign: "KSIM-FM3", CenterHz: 106.5e6, EIRPDBm: 71, BearingDeg: 255, RangeMeters: 35_000, HeightMeters: 440},
+	}
+}
+
+// MastSite returns an idealized reference installation: an antenna on a
+// free-standing mast with zero obstructions. Useful as the upper anchor
+// when validating classifiers and market scoring.
+func MastSite() *Site {
+	pos := BuildingOrigin
+	pos.Alt = 30
+	return &Site{
+		Name:          "mast",
+		Position:      pos,
+		Outdoor:       true,
+		ShadowSigmaDB: 1,
+	}
+}
+
+// BasementSite returns the pathological installation: below grade,
+// surrounded by reinforced concrete in every direction. Nothing decodes;
+// the calibration system must grade it F rather than report silence as
+// clean spectrum.
+func BasementSite() *Site {
+	pos := BuildingOrigin
+	pos.Alt = -3
+	return &Site{
+		Name:     "basement",
+		Position: pos,
+		Outdoor:  false,
+		Obstructions: []Obstruction{
+			{
+				Sector:          geo.Sector{From: 0, To: 360},
+				Material:        rfmath.MaterialReinforcedConcrete,
+				Layers:          3,
+				ExtraLossDB:     20,
+				MaxElevationDeg: 90,
+				Label:           "below grade",
+			},
+		},
+		ShadowSigmaDB: 5,
+	}
+}

@@ -1,0 +1,236 @@
+// Package world models the physical environment of a sensor deployment:
+// where the sensor sits, which azimuth sectors around it are obstructed and
+// by what, and where the transmitters of opportunity (aircraft, cellular
+// towers, TV stations) are.
+//
+// The central abstraction is the obstruction sector. The paper's three
+// experiment sites differ only in their obstruction geometry:
+//
+//	Location ① — rooftop, open field of view to the west, roof structures
+//	             blocking the low-elevation horizon elsewhere;
+//	Location ② — behind a 5th-floor window facing southeast, narrow field
+//	             of view through glass, building walls elsewhere;
+//	Location ③ — deep inside the building (≥8 m from windows), walls in
+//	             every direction.
+//
+// An obstruction attenuates a link by a frequency-dependent penetration
+// loss (see rfmath.PenetrationLossDB); signals arriving above the
+// obstruction's elevation mask pass unhindered. That single mechanism
+// produces all three of the paper's observations: distant aircraft are
+// blocked while nearby (high-elevation) aircraft are received from any
+// direction, 700 MHz cellular penetrates where 2.6 GHz dies, and sub-600
+// MHz TV remains usable indoors with attenuation.
+package world
+
+import (
+	"fmt"
+	"math"
+
+	"sensorcal/internal/geo"
+	"sensorcal/internal/rfmath"
+)
+
+// Obstruction is an azimuth wedge blocked by building material up to an
+// elevation mask.
+type Obstruction struct {
+	Sector geo.Sector
+	// Material and Layers define the through-penetration loss.
+	Material rfmath.Material
+	Layers   int
+	// ExtraLossDB is added on top of material penetration: interior
+	// clutter, oblique incidence, multiple reflections.
+	ExtraLossDB float64
+	// MinElevationDeg and MaxElevationDeg bound the elevation band the
+	// obstruction covers: links with elevation angle outside
+	// [Min, Max] clear it. Roof structures use Max≈25° (overhead aircraft
+	// clear them); a wall above a window uses Min=35°, Max=90°. A zero
+	// MinElevationDeg together with a positive MaxElevationDeg is treated
+	// as "from the horizon down", i.e. -90°, since transmitters slightly
+	// below the local horizontal (ground towers seen from a roof) must
+	// still be blocked.
+	MinElevationDeg float64
+	MaxElevationDeg float64
+	// Label describes the obstruction in reports.
+	Label string
+}
+
+// LossDB returns the obstruction's attenuation for a link at the given
+// frequency and elevation angle.
+func (o Obstruction) LossDB(hz, elevationDeg float64) float64 {
+	min := o.MinElevationDeg
+	if min == 0 && o.MaxElevationDeg > 0 {
+		min = -90
+	}
+	if elevationDeg > o.MaxElevationDeg || elevationDeg < min {
+		return 0
+	}
+	return float64(o.Layers)*rfmath.PenetrationLossDB(o.Material, hz) + o.ExtraLossDB
+}
+
+func (o Obstruction) String() string {
+	return fmt.Sprintf("%s %v %dx%v+%.0fdB el<%.0f°", o.Label, o.Sector, o.Layers, o.Material, o.ExtraLossDB, o.MaxElevationDeg)
+}
+
+// Site is a sensor installation: a position plus its obstruction map.
+type Site struct {
+	Name         string
+	Position     geo.Point
+	Obstructions []Obstruction
+	// Outdoor records ground truth about the installation (used only to
+	// score the indoor/outdoor classifier, never by the classifier).
+	Outdoor bool
+	// ShadowSigmaDB is the log-normal shadowing standard deviation applied
+	// to obstructed links at this site.
+	ShadowSigmaDB float64
+}
+
+// ObstructionLossDB returns the total obstruction loss toward a bearing and
+// elevation at a frequency. Overlapping obstructions stack (signal must
+// cross each), which models a window wall in front of an interior wall.
+func (s *Site) ObstructionLossDB(bearingDeg, elevationDeg, hz float64) float64 {
+	total := 0.0
+	for _, o := range s.Obstructions {
+		if o.Sector.Contains(bearingDeg) {
+			total += o.LossDB(hz, elevationDeg)
+		}
+	}
+	return total
+}
+
+// ClearSectors returns the azimuth sectors that are effectively open at
+// horizon level — the geometric field of view, i.e. the ground truth
+// against which FoV estimators are scored. A few dB of glass does not
+// close a field of view, so losses under 3 dB count as clear.
+func (s *Site) ClearSectors() geo.SectorSet {
+	const step = 1.0
+	const clearDB = 3.0
+	h := geo.NewHistogram(360)
+	for b := 0.5; b < 360; b += step {
+		if s.ObstructionLossDB(b, 0, 1090e6) < clearDB {
+			h.Add(b, 1)
+		}
+	}
+	return h.OccupiedSectors(1)
+}
+
+// Transmitter is anything that radiates a signal the calibration system can
+// exploit: an aircraft transponder, a cell, a TV station.
+type Transmitter struct {
+	Name     string
+	Position geo.Point
+	// EIRPDBm is the effective isotropic radiated power toward the sensor.
+	EIRPDBm float64
+	// FrequencyHz is the carrier frequency.
+	FrequencyHz float64
+	// BandwidthHz is the occupied bandwidth (used for the noise floor).
+	BandwidthHz float64
+}
+
+// PropagationModel selects how distance-dependent loss is computed.
+type PropagationModel int
+
+const (
+	// ModelFreeSpace is pure Friis free-space loss — appropriate for
+	// air-to-ground ADS-B links.
+	ModelFreeSpace PropagationModel = iota
+	// ModelUrban is log-distance with exponent 2.6 beyond 50 m —
+	// appropriate for terrestrial cellular and TV paths.
+	ModelUrban
+)
+
+// PathLossDB computes the distance-dependent loss for a model.
+func PathLossDB(m PropagationModel, distanceMeters, hz float64) float64 {
+	switch m {
+	case ModelUrban:
+		return rfmath.LogDistancePathLoss(distanceMeters, hz, 50, 2.6)
+	default:
+		return rfmath.FSPL(distanceMeters, hz)
+	}
+}
+
+// RxConfig describes the receiving side of a link evaluation.
+type RxConfig struct {
+	// GainDBi is the receive antenna gain toward the transmitter at the
+	// link frequency (query the antenna model before calling).
+	GainDBi float64
+	// NoiseFigureDB of the receiver front end.
+	NoiseFigureDB float64
+	// TempK is the antenna temperature, usually 290.
+	TempK float64
+}
+
+// Link computes the full link budget from a transmitter to a sensor at the
+// site, including obstruction loss. fade is an extra dB loss term drawn by
+// the caller (0 for the median link).
+func (s *Site) Link(tx Transmitter, model PropagationModel, rx RxConfig, fadeDB float64) rfmath.LinkBudget {
+	dist := geo.SlantRange(s.Position, tx.Position)
+	bearing := geo.InitialBearing(s.Position, tx.Position)
+	elev := geo.ElevationAngle(s.Position, tx.Position)
+	temp := rx.TempK
+	if temp <= 0 {
+		temp = 290
+	}
+	lb := rfmath.LinkBudget{
+		TxPowerDBm:    tx.EIRPDBm,
+		RxGainDBi:     rx.GainDBi,
+		PathLossDB:    PathLossDB(model, dist, tx.FrequencyHz),
+		ObstacleDB:    s.ObstructionLossDB(bearing, elev, tx.FrequencyHz),
+		FadeDB:        fadeDB,
+		NoiseFloorDBm: rfmath.NoiseFloorDBm(tx.BandwidthHz, temp, rx.NoiseFigureDB),
+	}
+	// Earth curvature: beyond the radio horizon the link is dead no matter
+	// what. Matters only for distant aircraft at low altitude.
+	if dist > geo.RadioHorizon(tx.Position.Alt, s.Position.Alt+2) {
+		lb.ObstacleDB += 60
+	}
+	return lb
+}
+
+// Geometry summarizes the geometric relation from the site to a
+// transmitter, for plotting and reports.
+type Geometry struct {
+	RangeMeters  float64
+	BearingDeg   float64
+	ElevationDeg float64
+}
+
+// GeometryTo returns the site→transmitter geometry.
+func (s *Site) GeometryTo(p geo.Point) Geometry {
+	return Geometry{
+		RangeMeters:  geo.SlantRange(s.Position, p),
+		BearingDeg:   geo.InitialBearing(s.Position, p),
+		ElevationDeg: geo.ElevationAngle(s.Position, p),
+	}
+}
+
+func (s *Site) String() string {
+	return fmt.Sprintf("site %q at %v (%d obstructions, outdoor=%v)", s.Name, s.Position, len(s.Obstructions), s.Outdoor)
+}
+
+// Validate checks site invariants.
+func (s *Site) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("world: site has no name")
+	}
+	if !s.Position.Valid() {
+		return fmt.Errorf("world: site %q position %v invalid", s.Name, s.Position)
+	}
+	for _, o := range s.Obstructions {
+		if o.Layers < 0 {
+			return fmt.Errorf("world: site %q obstruction %q has negative layers", s.Name, o.Label)
+		}
+		if o.ExtraLossDB < 0 {
+			return fmt.Errorf("world: site %q obstruction %q has negative extra loss", s.Name, o.Label)
+		}
+		if o.MaxElevationDeg < 0 || o.MaxElevationDeg > 90 {
+			return fmt.Errorf("world: site %q obstruction %q elevation mask %v out of range", s.Name, o.Label, o.MaxElevationDeg)
+		}
+		if o.MinElevationDeg < -90 || o.MinElevationDeg > o.MaxElevationDeg {
+			return fmt.Errorf("world: site %q obstruction %q min elevation %v out of range", s.Name, o.Label, o.MinElevationDeg)
+		}
+		if w := o.Sector.Width(); w <= 0 || math.IsNaN(w) {
+			return fmt.Errorf("world: site %q obstruction %q has degenerate sector", s.Name, o.Label)
+		}
+	}
+	return nil
+}

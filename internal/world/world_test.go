@@ -1,0 +1,334 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"sensorcal/internal/geo"
+	"sensorcal/internal/rfmath"
+)
+
+// adsbRx is the receive configuration used across ADS-B link checks:
+// the paper's wideband antenna (≈2 dBi at 1090 MHz) and a 6 dB NF front
+// end over the 2 MHz Mode S channel.
+var adsbRx = RxConfig{GainDBi: 2, NoiseFigureDB: 6, TempK: 290}
+
+// adsbTx returns an aircraft transponder transmitter at the given bearing,
+// ground range and altitude relative to the building.
+func adsbTx(bearing, rangeM, altM float64) Transmitter {
+	p := geo.Destination(BuildingOrigin, bearing, rangeM)
+	p.Alt = altM
+	return Transmitter{
+		Name:        "aircraft",
+		Position:    p,
+		EIRPDBm:     rfmath.WattsToDBm(250), // mid-class ADS-B transponder
+		FrequencyHz: 1090e6,
+		BandwidthHz: 2e6,
+	}
+}
+
+const decodeSNR = 10 // dB required by the Mode S demodulator
+
+func TestPresetSitesValidate(t *testing.T) {
+	for _, s := range Sites() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadSites(t *testing.T) {
+	cases := []*Site{
+		{Name: "", Position: BuildingOrigin},
+		{Name: "badpos", Position: geo.Point{Lat: 99}},
+		{Name: "neglayers", Position: BuildingOrigin, Obstructions: []Obstruction{{Sector: geo.Sector{From: 0, To: 90}, Layers: -1, MaxElevationDeg: 10}}},
+		{Name: "negextra", Position: BuildingOrigin, Obstructions: []Obstruction{{Sector: geo.Sector{From: 0, To: 90}, ExtraLossDB: -5, MaxElevationDeg: 10}}},
+		{Name: "badelev", Position: BuildingOrigin, Obstructions: []Obstruction{{Sector: geo.Sector{From: 0, To: 90}, MaxElevationDeg: 100}}},
+		{Name: "badminelev", Position: BuildingOrigin, Obstructions: []Obstruction{{Sector: geo.Sector{From: 0, To: 90}, MinElevationDeg: -100, MaxElevationDeg: 20}}},
+	}
+	for _, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("site %q should fail validation", s.Name)
+		}
+	}
+}
+
+func TestRooftopClearSectors(t *testing.T) {
+	set := RooftopSite().ClearSectors()
+	if len(set) != 1 {
+		t.Fatalf("rooftop clear sectors = %v, want one wedge", set)
+	}
+	if math.Abs(set[0].From-230) > 1.5 || math.Abs(set[0].To-310) > 1.5 {
+		t.Errorf("rooftop FoV = %v, want ≈[230,310)", set[0])
+	}
+}
+
+func TestWindowClearSectors(t *testing.T) {
+	set := WindowSite().ClearSectors()
+	if len(set) != 1 {
+		t.Fatalf("window clear sectors = %v, want one wedge", set)
+	}
+	if math.Abs(set[0].From-115) > 1.5 || math.Abs(set[0].To-160) > 1.5 {
+		t.Errorf("window FoV = %v, want ≈[115,160)", set[0])
+	}
+}
+
+func TestIndoorHasNoClearSectors(t *testing.T) {
+	if set := IndoorSite().ClearSectors(); set != nil {
+		t.Errorf("indoor clear sectors = %v, want none", set)
+	}
+}
+
+func TestRooftopObstructionElevationMask(t *testing.T) {
+	s := RooftopSite()
+	// North at horizon: blocked.
+	if l := s.ObstructionLossDB(0, 0, 1090e6); l < 30 {
+		t.Errorf("north horizon loss = %v, want heavy", l)
+	}
+	// North at 30° elevation: clears the roof structures.
+	if l := s.ObstructionLossDB(0, 30, 1090e6); l != 0 {
+		t.Errorf("north 30° loss = %v, want 0", l)
+	}
+	// West at horizon: open.
+	if l := s.ObstructionLossDB(270, 0, 1090e6); l != 0 {
+		t.Errorf("west horizon loss = %v, want 0", l)
+	}
+	// Slightly below the horizon (ground towers seen from the roof) is
+	// still blocked outside the west wedge.
+	if l := s.ObstructionLossDB(0, -0.5, 1090e6); l < 30 {
+		t.Errorf("north below-horizon loss = %v, want heavy", l)
+	}
+}
+
+func TestWindowObstructionGeometry(t *testing.T) {
+	s := WindowSite()
+	inFoV := s.ObstructionLossDB(135, 5, 1090e6)
+	offFoV := s.ObstructionLossDB(315, 5, 1090e6)
+	if inFoV >= offFoV {
+		t.Errorf("in-FoV loss %v should be far below off-FoV loss %v", inFoV, offFoV)
+	}
+	if inFoV > 5 {
+		t.Errorf("glass loss = %v dB, want a few dB at most", inFoV)
+	}
+	// Above the window (high elevation in the FoV bearing) the wall blocks.
+	above := s.ObstructionLossDB(135, 50, 1090e6)
+	if above <= inFoV {
+		t.Errorf("above-window loss %v should exceed glass loss %v", above, inFoV)
+	}
+}
+
+func TestIndoorBlocksAllDirections(t *testing.T) {
+	s := IndoorSite()
+	for b := 0.0; b < 360; b += 15 {
+		for _, el := range []float64{-1, 0, 30, 80} {
+			if l := s.ObstructionLossDB(b, el, 1090e6); l < 30 {
+				t.Errorf("indoor loss at bearing %v el %v = %v, want ≥30 dB", b, el, l)
+			}
+		}
+	}
+}
+
+func TestObstructionFrequencyTrend(t *testing.T) {
+	s := IndoorSite()
+	low := s.ObstructionLossDB(0, 0, 731e6)
+	high := s.ObstructionLossDB(0, 0, 2660e6)
+	if high-low < 3 {
+		t.Errorf("indoor loss spread 731MHz→2.66GHz = %v dB, want several dB", high-low)
+	}
+}
+
+// TestADSBDecodeMatrix verifies the link-budget behaviour that Figure 1 is
+// built on, site by site.
+func TestADSBDecodeMatrix(t *testing.T) {
+	cases := []struct {
+		site    *Site
+		bearing float64
+		rangeM  float64
+		altM    float64
+		decode  bool
+		why     string
+	}{
+		// Rooftop: open west to ~95 km.
+		{RooftopSite(), 270, 95_000, 10_000, true, "rooftop distant west aircraft"},
+		{RooftopSite(), 0, 60_000, 10_000, false, "rooftop distant north aircraft blocked"},
+		{RooftopSite(), 90, 15_000, 10_000, true, "rooftop close east aircraft clears roofline"},
+		// Window: narrow SE wedge to long range; elsewhere only close-in.
+		{WindowSite(), 135, 80_000, 10_000, true, "window distant SE aircraft through glass"},
+		{WindowSite(), 315, 60_000, 10_000, false, "window distant NW aircraft blocked"},
+		{WindowSite(), 315, 8_000, 5_000, true, "window close NW aircraft penetrates"},
+		// Indoor: only very close aircraft.
+		{IndoorSite(), 200, 5_000, 3_000, true, "indoor very close aircraft"},
+		{IndoorSite(), 200, 60_000, 10_000, false, "indoor distant aircraft"},
+		{IndoorSite(), 45, 40_000, 10_000, false, "indoor mid-range aircraft"},
+	}
+	for _, c := range cases {
+		lb := c.site.Link(adsbTx(c.bearing, c.rangeM, c.altM), ModelFreeSpace, adsbRx, 0)
+		if got := lb.Decodable(decodeSNR); got != c.decode {
+			t.Errorf("%s (%s): decodable=%v want %v (%v)", c.why, c.site.Name, got, c.decode, lb)
+		}
+	}
+}
+
+func TestRadioHorizonKillsDistantLowAircraft(t *testing.T) {
+	s := RooftopSite()
+	// 300 km west at 2000 m altitude: far beyond the radio horizon.
+	lb := s.Link(adsbTx(270, 300_000, 2_000), ModelFreeSpace, adsbRx, 0)
+	if lb.Decodable(decodeSNR) {
+		t.Errorf("beyond-horizon aircraft should not decode: %v", lb)
+	}
+}
+
+func TestPathLossModels(t *testing.T) {
+	d, f := 5000.0, 1e9
+	if PathLossDB(ModelUrban, d, f) <= PathLossDB(ModelFreeSpace, d, f) {
+		t.Error("urban model should exceed free space at range")
+	}
+	// At the 50 m reference they agree.
+	if math.Abs(PathLossDB(ModelUrban, 50, f)-PathLossDB(ModelFreeSpace, 50, f)) > 0.01 {
+		t.Error("urban model should equal free space at the reference distance")
+	}
+}
+
+func TestTowerGeometry(t *testing.T) {
+	towers := Towers()
+	if len(towers) != 5 {
+		t.Fatalf("want 5 towers, got %d", len(towers))
+	}
+	wantHz := []float64{731e6, 1970e6, 2145e6, 2660e6, 2680e6}
+	site := RooftopSite()
+	for i, tw := range towers {
+		if tw.DownlinkHz != wantHz[i] {
+			t.Errorf("tower %d downlink = %v, want %v", tw.ID, tw.DownlinkHz, wantHz[i])
+		}
+		g := site.GeometryTo(tw.Position())
+		if math.Abs(g.RangeMeters-tw.RangeMeters) > tw.RangeMeters*0.01+30 {
+			t.Errorf("tower %d range = %v, want %v", tw.ID, g.RangeMeters, tw.RangeMeters)
+		}
+		if geo.AngularDiff(g.BearingDeg, tw.BearingDeg) > 1 {
+			t.Errorf("tower %d bearing = %v, want %v", tw.ID, g.BearingDeg, tw.BearingDeg)
+		}
+		// Per the paper: towers are 500–1000 m from the site (±ε for our
+		// 450 m tower 3).
+		if tw.RangeMeters < 400 || tw.RangeMeters > 1000 {
+			t.Errorf("tower %d range %v outside paper's setup", tw.ID, tw.RangeMeters)
+		}
+		// All towers must be visible from the rooftop (inside the west
+		// wedge) so Figure 3's rooftop bars are unobstructed.
+		if loss := site.ObstructionLossDB(g.BearingDeg, g.ElevationDeg, tw.DownlinkHz); loss != 0 {
+			t.Errorf("tower %d obstructed from rooftop by %v dB", tw.ID, loss)
+		}
+	}
+}
+
+func TestTVStationGeometry(t *testing.T) {
+	stations := TVStations()
+	if len(stations) != 6 {
+		t.Fatalf("want 6 stations, got %d", len(stations))
+	}
+	wantHz := []float64{213e6, 473e6, 521e6, 545e6, 587e6, 605e6}
+	window := WindowSite()
+	var inFoV int
+	for i, st := range stations {
+		if st.CenterHz != wantHz[i] {
+			t.Errorf("station %s center = %v, want %v", st.CallSign, st.CenterHz, wantHz[i])
+		}
+		if st.RangeMeters > 50_000 {
+			t.Errorf("station %s beyond the paper's 50 km", st.CallSign)
+		}
+		g := window.GeometryTo(st.Position())
+		if window.ObstructionLossDB(g.BearingDeg, g.ElevationDeg, st.CenterHz) < 3 {
+			inFoV++
+			if st.CenterHz != 521e6 {
+				t.Errorf("station %s unexpectedly in window FoV", st.CallSign)
+			}
+		}
+	}
+	if inFoV != 1 {
+		t.Errorf("%d stations in window FoV, want exactly 1 (the 521 MHz tower)", inFoV)
+	}
+}
+
+func TestLinkUsesDefaultTemperature(t *testing.T) {
+	s := RooftopSite()
+	lbDefault := s.Link(adsbTx(270, 10_000, 10_000), ModelFreeSpace, RxConfig{GainDBi: 2, NoiseFigureDB: 6}, 0)
+	lb290 := s.Link(adsbTx(270, 10_000, 10_000), ModelFreeSpace, adsbRx, 0)
+	if lbDefault.NoiseFloorDBm != lb290.NoiseFloorDBm {
+		t.Error("zero TempK should default to 290 K")
+	}
+}
+
+func TestFadeTermAppliesDirectly(t *testing.T) {
+	s := RooftopSite()
+	tx := adsbTx(270, 50_000, 10_000)
+	base := s.Link(tx, ModelFreeSpace, adsbRx, 0)
+	faded := s.Link(tx, ModelFreeSpace, adsbRx, 7.5)
+	if math.Abs((base.SNRDB()-faded.SNRDB())-7.5) > 1e-9 {
+		t.Error("fade term should subtract directly from SNR")
+	}
+}
+
+func TestSiteOutdoorFlags(t *testing.T) {
+	if !RooftopSite().Outdoor {
+		t.Error("rooftop should be outdoor")
+	}
+	if WindowSite().Outdoor || IndoorSite().Outdoor {
+		t.Error("window and indoor sites should be indoor")
+	}
+}
+
+func TestSiteString(t *testing.T) {
+	if RooftopSite().String() == "" || Towers()[0].Name == "" {
+		t.Error("names should render")
+	}
+	o := RooftopSite().Obstructions[0]
+	if o.String() == "" {
+		t.Error("obstruction should render")
+	}
+}
+
+func TestExtraSitePresets(t *testing.T) {
+	mast, basement := MastSite(), BasementSite()
+	for _, s := range []*Site{mast, basement} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	if !mast.Outdoor || basement.Outdoor {
+		t.Error("outdoor flags wrong")
+	}
+	if len(mast.ClearSectors()) != 1 || mast.ClearSectors().Coverage() != 360 {
+		t.Errorf("mast FoV = %v, want full circle", mast.ClearSectors())
+	}
+	if basement.ClearSectors() != nil {
+		t.Error("basement should have no clear sectors")
+	}
+	// Basement blocks even close-in high-power aircraft.
+	lb := basement.Link(adsbTx(0, 3_000, 2_000), ModelFreeSpace, adsbRx, 0)
+	if lb.Decodable(decodeSNR) {
+		t.Errorf("basement decoded a close aircraft: %v", lb)
+	}
+}
+
+func TestFMStationGeometry(t *testing.T) {
+	stations := FMStations()
+	if len(stations) != 3 {
+		t.Fatalf("FM stations = %d", len(stations))
+	}
+	for _, st := range stations {
+		if st.CenterHz < 87.5e6 || st.CenterHz > 108e6 {
+			t.Errorf("%s at %v Hz outside the FM band", st.CallSign, st.CenterHz)
+		}
+		tx := st.Transmitter()
+		if tx.BandwidthHz != 200e3 {
+			t.Errorf("%s bandwidth %v", st.CallSign, tx.BandwidthHz)
+		}
+		g := RooftopSite().GeometryTo(st.Position())
+		if geo.AngularDiff(g.BearingDeg, st.BearingDeg) > 1 {
+			t.Errorf("%s bearing %v vs %v", st.CallSign, g.BearingDeg, st.BearingDeg)
+		}
+		// All on the western farm: visible from the rooftop.
+		if loss := RooftopSite().ObstructionLossDB(g.BearingDeg, g.ElevationDeg, st.CenterHz); loss != 0 {
+			t.Errorf("%s obstructed from rooftop by %v dB", st.CallSign, loss)
+		}
+	}
+}
