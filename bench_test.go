@@ -6,6 +6,7 @@
 package sensorcal
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -123,7 +124,7 @@ func BenchmarkIndoorOutdoor(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			freq, err := calib.RunFrequency(calib.FrequencyConfig{
+			freq, err := calib.RunFrequency(context.Background(), calib.FrequencyConfig{
 				Site:   site,
 				Towers: world.Towers(),
 				TV:     world.TVStations(),

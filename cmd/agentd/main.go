@@ -8,10 +8,16 @@
 // measurement day finishes in seconds; pass -realtime to pace the windows
 // on the wall clock (for demonstration alongside fr24d/spectrumd).
 //
+// The admin server on -admin exposes the node's health: GET /metrics
+// (campaign stage durations, decode counters, scheduler decisions in
+// Prometheus text format), GET /debug/traces (span ring as JSON) and
+// GET /debug/pprof/* (runtime profiles).
+//
 // Usage:
 //
 //	agentd [-site rooftop] [-node node-1] [-days 1] [-windows 4]
 //	       [-collector http://host:8025] [-realtime] [-seed 1]
+//	       [-admin :8026] [-log-level info]
 package main
 
 import (
@@ -20,12 +26,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"time"
 
 	"sensorcal/internal/agent"
 	"sensorcal/internal/clock"
+	"sensorcal/internal/obs"
 	"sensorcal/internal/trust"
 	"sensorcal/internal/world"
 )
@@ -34,6 +40,26 @@ import (
 type httpCollector struct {
 	base string
 	hc   *http.Client
+}
+
+// register enrolls the node with the collector. A Conflict response means
+// the node is already in the ledger (a daemon restart) and is fine.
+func (c *httpCollector) register(node trust.NodeID, site string) error {
+	body, err := json.Marshal(map[string]interface{}{
+		"id": string(node), "operator": "agentd", "hardware": site,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+"/api/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("agentd: register: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("agentd: collector returned %s to register", resp.Status)
+	}
+	return nil
 }
 
 func (c *httpCollector) Submit(r trust.Reading) error {
@@ -56,8 +82,7 @@ func (c *httpCollector) Submit(r trust.Reading) error {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("agentd: ")
+	logger := obs.NewLogger("agentd")
 	var (
 		siteName  = flag.String("site", "rooftop", "installation: rooftop, window or indoor")
 		nodeID    = flag.String("node", "node-1", "node identity at the collector")
@@ -66,8 +91,15 @@ func main() {
 		collector = flag.String("collector", "", "spectrumd base URL (empty: no submission)")
 		realtime  = flag.Bool("realtime", false, "pace windows on the wall clock")
 		seed      = flag.Int64("seed", 1, "simulation seed")
+		admin     = flag.String("admin", ":8026", "admin listen address for /metrics, /debug/traces and /debug/pprof (empty: disabled)")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	logger.SetLevel(lv)
 
 	var site *world.Site
 	for _, s := range world.Sites() {
@@ -76,12 +108,27 @@ func main() {
 		}
 	}
 	if site == nil {
-		log.Fatalf("unknown site %q", *siteName)
+		logger.Fatalf("unknown site %q", *siteName)
+	}
+
+	if *admin != "" {
+		srv := &http.Server{Addr: *admin, Handler: obs.AdminMux(nil, nil)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Warnf("admin server: %v", err)
+			}
+		}()
+		logger.Infof("admin endpoints on %s (/metrics, /debug/traces, /debug/pprof)", *admin)
 	}
 
 	var col agent.Collector
 	if *collector != "" {
-		col = &httpCollector{base: *collector, hc: &http.Client{Timeout: 10 * time.Second}}
+		hcol := &httpCollector{base: *collector, hc: &http.Client{Timeout: 10 * time.Second}}
+		if err := hcol.register(trust.NodeID(*nodeID), *siteName); err != nil {
+			logger.Fatalf("%v", err)
+		}
+		logger.Infof("registered %s with collector %s", *nodeID, *collector)
+		col = hcol
 	}
 
 	start := time.Now().Truncate(time.Hour)
@@ -108,7 +155,7 @@ func main() {
 		Seed:          *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 
 	if sim != nil {
@@ -123,9 +170,9 @@ func main() {
 
 	for d := 0; d < *days; d++ {
 		from := start.Add(time.Duration(d) * 24 * time.Hour)
-		log.Printf("planning day %d from %s", d+1, from.Format(time.RFC3339))
+		logger.Infof("planning day %d from %s", d+1, from.Format(time.RFC3339))
 		if err := a.RunDay(context.Background(), from); err != nil {
-			log.Fatal(err)
+			logger.Fatalf("%v", err)
 		}
 		rep := a.LatestReport()
 		rep.AttachPowerCalibration(site, nil)
@@ -137,6 +184,6 @@ func main() {
 				n++
 			}
 		}
-		log.Printf("sector coverage: %d/12", n)
+		logger.Log(obs.LevelInfo, "sector coverage", "covered", n, "of", 12)
 	}
 }

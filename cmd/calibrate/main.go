@@ -11,21 +11,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"time"
 
 	"sensorcal/internal/calib"
 	"sensorcal/internal/flightsim"
 	"sensorcal/internal/fr24"
+	"sensorcal/internal/obs"
 	"sensorcal/internal/world"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("calibrate: ")
+	logger := obs.NewLogger("calibrate")
 	var (
 		siteName = flag.String("site", "rooftop", "installation to evaluate: rooftop, window or indoor")
 		siteFile = flag.String("site-file", "", "JSON site definition (overrides -site; see internal/world.LoadSite)")
@@ -35,19 +35,25 @@ func main() {
 		plot     = flag.Bool("plot", false, "print the Figure 1 style polar scatter")
 		claim    = flag.Bool("claim-outdoor", false, "verify an operator claim of an outdoor installation")
 		withFM   = flag.Bool("fm", false, "include the FM broadcast sweep (antenna roll-off probe)")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	logger.SetLevel(lv)
 
 	var site *world.Site
 	if *siteFile != "" {
 		f, err := os.Open(*siteFile)
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatalf("%v", err)
 		}
 		site, err = world.LoadSite(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatalf("%v", err)
 		}
 	} else {
 		for _, s := range world.Sites() {
@@ -56,23 +62,23 @@ func main() {
 			}
 		}
 		if site == nil {
-			log.Fatalf("unknown site %q (want rooftop, window or indoor)", *siteName)
+			logger.Fatalf("unknown site %q (want rooftop, window or indoor)", *siteName)
 		}
 	}
 
 	epoch := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
-	fleet, err := flightsim.NewFleet(epoch, flightsim.Config{
+	fleet, ferr := flightsim.NewFleet(epoch, flightsim.Config{
 		Center: world.BuildingOrigin,
 		Radius: 100_000,
 		Count:  *aircraft,
 		Seed:   *seed,
 	})
-	if err != nil {
-		log.Fatal(err)
+	if ferr != nil {
+		logger.Fatalf("%v", ferr)
 	}
 
-	fmt.Fprintf(os.Stderr, "running %s ADS-B capture at %s...\n", *duration, site.Name)
-	obs, err := calib.RunDirectional(calib.DirectionalConfig{
+	logger.Infof("running %s ADS-B capture at %s", *duration, site.Name)
+	set, err := calib.RunDirectional(context.Background(), calib.DirectionalConfig{
 		Site:     site,
 		Fleet:    fleet,
 		Truth:    fr24.NewService(fleet),
@@ -81,10 +87,10 @@ func main() {
 		Seed:     *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 
-	fmt.Fprintf(os.Stderr, "running cellular + TV frequency sweep...\n")
+	logger.Infof("running cellular + TV frequency sweep")
 	fcfg := calib.FrequencyConfig{
 		Site:   site,
 		Towers: world.Towers(),
@@ -94,20 +100,20 @@ func main() {
 	if *withFM {
 		fcfg.FM = world.FMStations()
 	}
-	freq, err := calib.RunFrequency(fcfg)
+	freq, err := calib.RunFrequency(context.Background(), fcfg)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 
-	report := calib.BuildReport(site.Name, epoch, obs, freq)
+	report := calib.BuildReport(site.Name, epoch, set, freq)
 	report.AttachPowerCalibration(site, nil)
 	fmt.Print(report.Render())
 	if *plot {
 		fmt.Println()
-		fmt.Print(obs.PolarPlot(100, 61))
+		fmt.Print(set.PolarPlot(100, 61))
 	}
 	if *claim {
-		check := calib.VerifyClaim(true, obs, freq)
+		check := calib.VerifyClaim(true, set, freq)
 		fmt.Printf("\nOperator claims OUTDOOR: consistent=%v — %v\n", check.Consistent, check.Verdict)
 		if !check.Consistent {
 			os.Exit(2)

@@ -11,7 +11,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"time"
 
 	"sensorcal/internal/antenna"
@@ -19,14 +18,14 @@ import (
 	"sensorcal/internal/flightsim"
 	"sensorcal/internal/iq"
 	"sensorcal/internal/modes"
+	"sensorcal/internal/obs"
 	"sensorcal/internal/phy1090"
 	"sensorcal/internal/rfmath"
 	"sensorcal/internal/world"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("dump1090sim: ")
+	logger := obs.NewLogger("dump1090sim")
 	var (
 		siteName = flag.String("site", "rooftop", "receive site: rooftop, window or indoor")
 		aircraft = flag.Int("aircraft", 40, "aircraft population within 100 km")
@@ -43,7 +42,7 @@ func main() {
 		}
 	}
 	if site == nil {
-		log.Fatalf("unknown site %q", *siteName)
+		logger.Fatalf("unknown site %q", *siteName)
 	}
 
 	epoch := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
@@ -51,11 +50,11 @@ func main() {
 		Center: world.BuildingOrigin, Radius: 100_000, Count: *aircraft, Seed: *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 	txs, err := fleet.TransmissionsBetween(epoch, epoch.Add(*duration))
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 
 	pipe := dump1090.NewPipeline()
@@ -80,7 +79,7 @@ func main() {
 		}
 		burst, err := phy1090.Modulate(tx.Frame, phy1090.SNRToAmplitude(snr, noise))
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatalf("%v", err)
 		}
 		capBuf := iq.New(phy1090.FrameSamples+8, phy1090.SampleRate)
 		_ = capBuf.AddAt(burst, 4)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	fr24d [-addr :8024] [-aircraft 60] [-seed 1] [-latency 10s]
+//	      [-log-level info]
 //
 // Endpoints:
 //
@@ -13,25 +14,30 @@ package main
 
 import (
 	"flag"
-	"log"
 	"net/http"
 	"time"
 
 	"sensorcal/internal/flightsim"
 	"sensorcal/internal/fr24"
+	"sensorcal/internal/obs"
 	"sensorcal/internal/world"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("fr24d: ")
+	logger := obs.NewLogger("fr24d")
 	var (
 		addr     = flag.String("addr", ":8024", "listen address")
 		aircraft = flag.Int("aircraft", 60, "simulated aircraft population")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		latency  = flag.Duration("latency", fr24.DefaultLatency, "reporting latency")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	logger.SetLevel(lv)
 
 	fleet, err := flightsim.NewFleet(time.Now(), flightsim.Config{
 		Center: world.BuildingOrigin,
@@ -40,13 +46,13 @@ func main() {
 		Seed:   *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 	svc := fr24.NewService(fleet)
 	svc.Latency = *latency
 
-	log.Printf("serving %d simulated aircraft on %s (latency %s)", *aircraft, *addr, *latency)
+	logger.Infof("serving %d simulated aircraft on %s (latency %s)", *aircraft, *addr, *latency)
 	if err := http.ListenAndServe(*addr, svc.Handler(time.Now)); err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 }

@@ -5,84 +5,172 @@
 //
 // Usage:
 //
-//	spectrumd [-addr :8025] [-epoch 1m]
+//	spectrumd [-addr :8025] [-epoch 1m] [-state ledger.json] [-log-level info]
 //
 // Endpoints:
 //
 //	POST /api/register — {"id","operator","lat","lon","claimed_outdoor","hardware"}
 //	POST /api/readings — {"node","signal_id","power_dbm","at"}
 //	GET  /api/trust?node=ID
+//	GET  /metrics       — Prometheus text exposition (trust_* series)
+//	GET  /debug/traces  — span ring buffer as JSON
+//	GET  /debug/pprof/* — runtime profiles
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the HTTP server drains,
+// every pending epoch is closed through the consensus checks, and the
+// ledger is saved one final time so no trust evidence is lost.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"sensorcal/internal/clock"
+	"sensorcal/internal/obs"
 	"sensorcal/internal/trust"
 )
 
+// daemon is the testable core of spectrumd: the epoch-closing loop and
+// ledger persistence run against an injectable clock, so tests drive a
+// clock.Simulated through hours of collector time in microseconds the
+// same way the agent tests do.
+type daemon struct {
+	col       *trust.Collector
+	clk       clock.Clock
+	statePath string
+	epoch     time.Duration
+	log       *obs.Logger
+}
+
+// loadState restores the ledger snapshot, tolerating a missing file.
+func (d *daemon) loadState() error {
+	if d.statePath == "" {
+		return nil
+	}
+	f, err := os.Open(d.statePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	if err := d.col.Ledger.Load(f); err != nil {
+		return err
+	}
+	d.log.Infof("restored %d nodes from %s", d.col.Ledger.Len(), d.statePath)
+	return nil
+}
+
+// saveState writes the ledger snapshot atomically (write + rename).
+func (d *daemon) saveState() {
+	if d.statePath == "" {
+		return
+	}
+	tmp := d.statePath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		d.log.Errorf("saving ledger: %v", err)
+		return
+	}
+	if err := d.col.Ledger.Save(f, d.clk.Now()); err != nil {
+		d.log.Errorf("saving ledger: %v", err)
+		f.Close()
+		return
+	}
+	f.Close()
+	if err := os.Rename(tmp, d.statePath); err != nil {
+		d.log.Errorf("saving ledger: %v", err)
+	}
+}
+
+// closeEpochs finalizes every epoch before cutoff and snapshots the
+// ledger.
+func (d *daemon) closeEpochs(cutoff time.Time) {
+	for _, a := range d.col.CloseEpochs(cutoff) {
+		d.log.Warnf("anomaly: %v", a)
+	}
+	d.saveState()
+}
+
+// epochLoop closes matured epochs once per window until ctx is done.
+func (d *daemon) epochLoop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-d.clk.After(d.epoch):
+			d.closeEpochs(d.clk.Now().Add(-d.epoch))
+		}
+	}
+}
+
+// shutdown drains the HTTP server, then flushes every remaining epoch —
+// including the still-maturing one — and saves the ledger. Losing the
+// trailing window's evidence on restart would let a fabricator launder
+// its history by timing a crash.
+func (d *daemon) shutdown(srv *http.Server) {
+	sdCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		d.log.Warnf("http shutdown: %v", err)
+	}
+	d.closeEpochs(d.clk.Now().Add(d.epoch))
+	d.log.Infof("ledger saved, exiting")
+}
+
+// handler mounts the collector API onto the obs admin surface.
+func (d *daemon) handler() http.Handler {
+	mux := obs.AdminMux(nil, nil)
+	mux.Handle("/api/", d.col.Handler(d.clk.Now))
+	return mux
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("spectrumd: ")
+	logger := obs.NewLogger("spectrumd")
 	var (
-		addr  = flag.String("addr", ":8025", "listen address")
-		epoch = flag.Duration("epoch", time.Minute, "consensus epoch window")
-		state = flag.String("state", "", "ledger snapshot file (loaded at boot, saved every epoch)")
+		addr     = flag.String("addr", ":8025", "listen address")
+		epoch    = flag.Duration("epoch", time.Minute, "consensus epoch window")
+		state    = flag.String("state", "", "ledger snapshot file (loaded at boot, saved every epoch)")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	logger.SetLevel(lv)
 
-	c := trust.NewCollector()
+	c := trust.NewCollector().Instrument(obs.Default())
 	c.EpochWindow = *epoch
-
-	if *state != "" {
-		if f, err := os.Open(*state); err == nil {
-			if err := c.Ledger.Load(f); err != nil {
-				log.Fatalf("loading %s: %v", *state, err)
-			}
-			f.Close()
-			log.Printf("restored %d nodes from %s", c.Ledger.Len(), *state)
-		} else if !os.IsNotExist(err) {
-			log.Fatal(err)
-		}
-	}
-	saveState := func() {
-		if *state == "" {
-			return
-		}
-		tmp := *state + ".tmp"
-		f, err := os.Create(tmp)
-		if err != nil {
-			log.Printf("saving ledger: %v", err)
-			return
-		}
-		if err := c.Ledger.Save(f, time.Now()); err != nil {
-			log.Printf("saving ledger: %v", err)
-			f.Close()
-			return
-		}
-		f.Close()
-		if err := os.Rename(tmp, *state); err != nil {
-			log.Printf("saving ledger: %v", err)
-		}
+	d := &daemon{col: c, clk: clock.System{}, statePath: *state, epoch: *epoch, log: logger}
+	if err := d.loadState(); err != nil {
+		logger.Fatalf("loading %s: %v", *state, err)
 	}
 
-	// Close matured epochs in the background.
-	go func() {
-		t := time.NewTicker(*epoch)
-		defer t.Stop()
-		for range t.C {
-			for _, a := range c.CloseEpochs(time.Now().Add(-*epoch)) {
-				log.Printf("anomaly: %v", a)
-			}
-			saveState()
-		}
-	}()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go d.epochLoop(ctx)
 
-	log.Printf("collector listening on %s (epoch window %s)", *addr, *epoch)
-	if err := http.ListenAndServe(*addr, c.Handler(time.Now)); err != nil {
-		log.Fatal(err)
+	srv := &http.Server{Addr: *addr, Handler: d.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Infof("collector listening on %s (epoch window %s)", *addr, *epoch)
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatalf("%v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Infof("signal received, shutting down")
+		d.shutdown(srv)
 	}
 }

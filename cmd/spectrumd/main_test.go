@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sensorcal/internal/clock"
+	"sensorcal/internal/obs"
+	"sensorcal/internal/trust"
+)
+
+func quietLogger() *obs.Logger {
+	l := obs.NewLogger("spectrumd-test")
+	l.SetOutput(io.Discard)
+	return l
+}
+
+// newTestDaemon builds a daemon on a simulated clock starting at start.
+func newTestDaemon(t *testing.T, start time.Time, statePath string) (*daemon, *clock.Simulated) {
+	t.Helper()
+	sim := clock.NewSimulated(start)
+	c := trust.NewCollector()
+	c.EpochWindow = time.Minute
+	d := &daemon{
+		col:       c,
+		clk:       sim,
+		statePath: statePath,
+		epoch:     time.Minute,
+		log:       quietLogger(),
+	}
+	return d, sim
+}
+
+func register(t *testing.T, c *trust.Collector, ids ...trust.NodeID) {
+	t.Helper()
+	for _, id := range ids {
+		if err := c.Ledger.Register(trust.Node{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEpochLoopSimulatedClock drives the epoch-closing loop entirely on a
+// simulated clock: readings submitted in window w close once the clock
+// advances two windows past w, without any wall-clock sleeping.
+func TestEpochLoopSimulatedClock(t *testing.T) {
+	start := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	d, sim := newTestDaemon(t, start, "")
+	register(t, d.col, "a", "b", "c")
+	for _, id := range []trust.NodeID{"a", "b", "c"} {
+		err := d.col.Submit(trust.Reading{Node: id, SignalID: "tv-521MHz", PowerDBm: -60, At: start.Add(5 * time.Second)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.col.PendingEpochs(); got != 1 {
+		t.Fatalf("pending epochs = %d, want 1", got)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		d.epochLoop(ctx)
+		close(done)
+	}()
+
+	// The loop wakes at +1m with cutoff start (window not yet matured) and
+	// at +2m with cutoff +1m, which closes the start window.
+	deadline := time.Now().Add(5 * time.Second)
+	for d.col.PendingEpochs() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("epoch never closed; pending = %d", d.col.PendingEpochs())
+		}
+		sim.Advance(time.Minute)
+		time.Sleep(time.Millisecond)
+	}
+	if got := len(d.col.History("tv-521MHz")); got != 1 {
+		t.Fatalf("closed epochs = %d, want 1", got)
+	}
+
+	cancel()
+	sim.Advance(time.Minute) // release a loop blocked in clk.After
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("epochLoop did not stop on ctx cancellation")
+	}
+}
+
+// TestSaveAndLoadState round-trips the ledger snapshot through the
+// daemon's persistence paths using the simulated clock for timestamps.
+func TestSaveAndLoadState(t *testing.T) {
+	start := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	d, _ := newTestDaemon(t, start, path)
+	register(t, d.col, "n1", "n2")
+	d.col.Ledger.Record("n1", 1)
+
+	d.saveState()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+
+	d2, _ := newTestDaemon(t, start.Add(time.Hour), path)
+	if err := d2.loadState(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d2.col.Ledger.Len(), 2; got != want {
+		t.Fatalf("restored %d nodes, want %d", got, want)
+	}
+	if got, want := d2.col.Ledger.Trust("n1"), d.col.Ledger.Trust("n1"); got != want {
+		t.Fatalf("restored trust %v, want %v", got, want)
+	}
+}
+
+// TestShutdownFlushesPendingEpochs verifies the graceful path: shutdown
+// closes even the immature trailing window and persists the ledger, so a
+// restart cannot launder pending consensus evidence.
+func TestShutdownFlushesPendingEpochs(t *testing.T) {
+	start := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	d, _ := newTestDaemon(t, start, path)
+	register(t, d.col, "a", "b", "c")
+	// An over-consensus fabrication inside the still-open window.
+	for _, r := range []trust.Reading{
+		{Node: "a", SignalID: "tv-521MHz", PowerDBm: -60},
+		{Node: "b", SignalID: "tv-521MHz", PowerDBm: -61},
+		{Node: "c", SignalID: "tv-521MHz", PowerDBm: -30},
+	} {
+		r.At = start.Add(10 * time.Second)
+		if err := d.col.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := &http.Server{Addr: "127.0.0.1:0", Handler: d.handler()}
+	d.shutdown(srv)
+
+	if got := d.col.PendingEpochs(); got != 0 {
+		t.Fatalf("pending epochs after shutdown = %d, want 0", got)
+	}
+	if d.col.Ledger.Trust("c") >= d.col.Ledger.Trust("a") {
+		t.Fatalf("fabricator score %v not below honest score %v after final close",
+			d.col.Ledger.Trust("c"), d.col.Ledger.Trust("a"))
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("final snapshot not written: %v", err)
+	}
+}

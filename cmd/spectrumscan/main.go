@@ -10,12 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 
 	"sensorcal/internal/antenna"
 	"sensorcal/internal/calib"
+	"sensorcal/internal/obs"
 	"sensorcal/internal/rfmath"
 	"sensorcal/internal/sdr"
 	"sensorcal/internal/spectrum"
@@ -23,8 +24,7 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("spectrumscan: ")
+	logger := obs.NewLogger("spectrumscan")
 	var (
 		siteName = flag.String("site", "rooftop", "installation: rooftop, window or indoor")
 		frames   = flag.Int("frames", 8, "PSD frames per tuning")
@@ -39,7 +39,7 @@ func main() {
 		}
 	}
 	if site == nil {
-		log.Fatalf("unknown site %q", *siteName)
+		logger.Fatalf("unknown site %q", *siteName)
 	}
 
 	scene := &calib.WorldScene{
@@ -78,30 +78,30 @@ func main() {
 	duty := spectrum.NewDutyCycle()
 	dev := sdr.New(sdr.BladeRFxA9(), *seed)
 	if err := dev.SetGain(30); err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 
 	fmt.Printf("spectrum scan at %s (%d frames per tuning)\n\n", site.Name, *frames)
 	for _, tn := range tunings {
 		if err := dev.Tune(tn.centerHz); err != nil {
-			log.Fatal(err)
+			logger.Fatalf("%v", err)
 		}
 		if err := dev.SetSampleRate(tn.rate); err != nil {
-			log.Fatal(err)
+			logger.Fatalf("%v", err)
 		}
 		var last []spectrum.ChannelReport
 		for fIdx := 0; fIdx < *frames; fIdx++ {
 			ems, err := scene.EmissionsFor(tn.centerHz, tn.rate, 1<<15)
 			if err != nil {
-				log.Fatal(err)
+				logger.Fatalf("%v", err)
 			}
 			buf, err := dev.Capture(1<<15, ems)
 			if err != nil {
-				log.Fatal(err)
+				logger.Fatalf("%v", err)
 			}
 			frame, err := analyzer.Analyze(buf, tn.centerHz)
 			if err != nil {
-				log.Fatal(err)
+				logger.Fatalf("%v", err)
 			}
 			last = spectrum.ChannelOccupancy(frame, 6, tn.channels)
 			duty.Add(last)
@@ -114,11 +114,11 @@ func main() {
 	}
 
 	// Qualify the data with the node's calibration grades.
-	rep, err := calib.RunFrequency(calib.FrequencyConfig{
+	rep, err := calib.RunFrequency(context.Background(), calib.FrequencyConfig{
 		Site: site, Towers: world.Towers(), TV: world.TVStations(), Seed: *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 	fmt.Println("\ncalibration grades qualifying this data:")
 	for _, b := range rep.BandScores() {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -44,7 +45,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			obs, err := calib.RunDirectional(calib.DirectionalConfig{
+			obs, err := calib.RunDirectional(context.Background(), calib.DirectionalConfig{
 				Site:  site,
 				Fleet: fleet,
 				Truth: fr24.NewService(fleet),

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,7 +38,7 @@ func main() {
 	// verdict per site.
 	fmt.Println("Placement deduction (no ADS-B evidence, frequency sweep only):")
 	for _, site := range world.Sites() {
-		rep, err := calib.RunFrequency(calib.FrequencyConfig{
+		rep, err := calib.RunFrequency(context.Background(), calib.FrequencyConfig{
 			Site:   site,
 			Towers: world.Towers(),
 			TV:     world.TVStations(),

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -31,7 +32,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		freq, err := calib.RunFrequency(calib.FrequencyConfig{
+		freq, err := calib.RunFrequency(context.Background(), calib.FrequencyConfig{
 			Site: site, Towers: world.Towers(), TV: world.TVStations(), Seed: 77,
 		})
 		if err != nil {

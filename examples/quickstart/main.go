@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -39,7 +40,7 @@ func main() {
 	}
 
 	// 3. The paper's §3.1 procedure: 30 s of ADS-B, ground truth at 15 s.
-	obs, err := calib.RunDirectional(calib.DirectionalConfig{
+	obs, err := calib.RunDirectional(context.Background(), calib.DirectionalConfig{
 		Site:  site,
 		Fleet: fleet,
 		Truth: fr24.NewService(fleet),
@@ -53,7 +54,7 @@ func main() {
 		len(obs.Observed()), len(obs.Observations), obs.MaxObservedRangeKm(nil))
 
 	// 4. The §3.2 frequency sweep: five cellular towers + six TV channels.
-	freq, err := calib.RunFrequency(calib.FrequencyConfig{
+	freq, err := calib.RunFrequency(context.Background(), calib.FrequencyConfig{
 		Site:   site,
 		Towers: world.Towers(),
 		TV:     world.TVStations(),

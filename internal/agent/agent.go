@@ -20,6 +20,7 @@ import (
 	"sensorcal/internal/flightsim"
 	"sensorcal/internal/fr24"
 	"sensorcal/internal/geo"
+	"sensorcal/internal/obs"
 	"sensorcal/internal/trust"
 	"sensorcal/internal/world"
 )
@@ -82,7 +83,10 @@ type Config struct {
 	// FrequencyEvery runs the cellular+TV sweep every n-th window (the
 	// sweep is slow and its observables change little).
 	FrequencyEvery int
-	Seed           int64
+	// Metrics is the registry the agent's instrumentation lands on; nil
+	// means the process-wide obs default.
+	Metrics *obs.Registry
+	Seed    int64
 }
 
 // Round is the outcome of one measurement window.
@@ -96,6 +100,7 @@ type Round struct {
 // Agent is a running node daemon.
 type Agent struct {
 	cfg Config
+	m   *agentMetrics
 
 	mu       sync.Mutex
 	rounds   []Round
@@ -124,10 +129,13 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.Forecast.HourlyDensity == [24]float64{} {
 		cfg.Forecast = calib.TypicalAirportForecast()
 	}
-	return &Agent{
+	a := &Agent{
 		cfg:   cfg,
+		m:     newAgentMetrics(cfg.Metrics),
 		accum: &calib.ObservationSet{Site: cfg.Site.Name},
-	}, nil
+	}
+	a.registerCoverage(cfg.Metrics)
+	return a, nil
 }
 
 // Rounds returns a copy of the completed rounds.
@@ -156,6 +164,8 @@ func (a *Agent) LatestReport() *calib.Report {
 // blocks on the agent's clock between windows (drive a simulated clock
 // from another goroutine in tests) and stops early if ctx is cancelled.
 func (a *Agent) RunDay(ctx context.Context, from time.Time) error {
+	ctx, span := obs.StartSpan(ctx, "agent.day")
+	defer span.End()
 	a.mu.Lock()
 	covered := a.covered
 	a.mu.Unlock()
@@ -169,6 +179,10 @@ func (a *Agent) RunDay(ctx context.Context, from time.Time) error {
 	if err != nil {
 		return err
 	}
+	a.m.windowsPlanned.Add(float64(len(plan)))
+	for _, w := range plan {
+		a.m.infoGain.Observe(w.InfoGain)
+	}
 	for i, w := range plan {
 		if err := a.waitUntil(ctx, w.Start); err != nil {
 			return err
@@ -176,11 +190,18 @@ func (a *Agent) RunDay(ctx context.Context, from time.Time) error {
 		if err := a.measure(ctx, i, w); err != nil {
 			return err
 		}
+		a.m.windowsExecuted.Inc()
 	}
 	return nil
 }
 
 func (a *Agent) waitUntil(ctx context.Context, at time.Time) error {
+	start := a.cfg.Clock.Now()
+	defer func() {
+		// Clock time, not wall time: on a simulated clock this still
+		// reports how far ahead the scheduler placed the window.
+		a.m.waitSeconds.Observe(a.cfg.Clock.Now().Sub(start).Seconds())
+	}()
 	for {
 		now := a.cfg.Clock.Now()
 		if !now.Before(at) {
@@ -195,11 +216,13 @@ func (a *Agent) waitUntil(ctx context.Context, at time.Time) error {
 }
 
 func (a *Agent) measure(ctx context.Context, index int, w calib.MeasurementWindow) error {
+	ctx, span := obs.StartSpan(ctx, "agent.window")
+	defer span.End()
 	fleet, truth, err := a.cfg.Traffic.At(w.Start)
 	if err != nil {
 		return fmt.Errorf("agent: traffic for round %d: %w", index, err)
 	}
-	obs, err := calib.RunDirectional(calib.DirectionalConfig{
+	set, err := calib.RunDirectional(ctx, calib.DirectionalConfig{
 		Site:     a.cfg.Site,
 		Fleet:    fleet,
 		Truth:    truth,
@@ -210,10 +233,10 @@ func (a *Agent) measure(ctx context.Context, index int, w calib.MeasurementWindo
 	if err != nil {
 		return fmt.Errorf("agent: directional round %d: %w", index, err)
 	}
-	round := Round{Window: w, Directional: obs}
+	round := Round{Window: w, Directional: set}
 
 	if index%a.cfg.FrequencyEvery == 0 && (len(a.cfg.Towers) > 0 || len(a.cfg.TV) > 0) {
-		freq, err := calib.RunFrequency(calib.FrequencyConfig{
+		freq, err := calib.RunFrequency(ctx, calib.FrequencyConfig{
 			Site:   a.cfg.Site,
 			Towers: a.cfg.Towers,
 			TV:     a.cfg.TV,
@@ -232,14 +255,16 @@ func (a *Agent) measure(ctx context.Context, index int, w calib.MeasurementWindo
 					At:       w.Start,
 				}
 				if err := a.cfg.Collector.Submit(r); err != nil {
+					a.m.submitErrors.Inc()
 					return fmt.Errorf("agent: submitting %s: %w", r.SignalID, err)
 				}
+				a.m.submitted.Inc()
 			}
 		}
 	}
 
 	a.mu.Lock()
-	a.accum.Observations = append(a.accum.Observations, obs.Observations...)
+	a.accum.Observations = append(a.accum.Observations, set.Observations...)
 	if round.Frequency != nil {
 		a.lastFreq = round.Frequency
 	}
@@ -247,6 +272,7 @@ func (a *Agent) measure(ctx context.Context, index int, w calib.MeasurementWindo
 	round.Report = calib.BuildReport(string(a.cfg.Node), w.Start, a.accum, a.lastFreq)
 	a.rounds = append(a.rounds, round)
 	a.mu.Unlock()
+	a.m.rounds.Inc()
 
 	select {
 	case <-ctx.Done():

@@ -1,0 +1,63 @@
+package agent
+
+import (
+	"sensorcal/internal/obs"
+)
+
+// Agent instrumentation. Metrics land on the registry from Config.Metrics
+// (the process-wide default when nil), so agentd's admin mux exposes them
+// without extra wiring.
+
+type agentMetrics struct {
+	windowsPlanned  *obs.Counter
+	windowsExecuted *obs.Counter
+	rounds          *obs.Counter
+	submitted       *obs.Counter
+	submitErrors    *obs.Counter
+	infoGain        *obs.Histogram
+	waitSeconds     *obs.Histogram
+}
+
+func newAgentMetrics(reg *obs.Registry) *agentMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &agentMetrics{
+		windowsPlanned: reg.Counter("agent_windows_planned_total",
+			"Measurement windows produced by the traffic-aware scheduler."),
+		windowsExecuted: reg.Counter("agent_windows_executed_total",
+			"Measurement windows actually run to completion."),
+		rounds: reg.Counter("agent_rounds_total",
+			"Completed measurement rounds (directional, optionally + frequency)."),
+		submitted: reg.Counter("agent_readings_submitted_total",
+			"Shared-signal readings submitted to the collector."),
+		submitErrors: reg.Counter("agent_submit_errors_total",
+			"Failed submissions to the collector."),
+		infoGain: reg.Histogram("agent_scheduler_info_gain",
+			"Scheduler objective value of each chosen window.",
+			[]float64{0.5, 1, 2, 5, 10, 20, 40, 80}),
+		waitSeconds: reg.Histogram("agent_window_wait_seconds",
+			"Clock time spent waiting for the next scheduled window.",
+			obs.ExpBuckets(1, 4, 10)),
+	}
+}
+
+// registerCoverage exports the agent's sector coverage as a scrape-time
+// callback (calib_fov_sectors_covered of 12).
+func (a *Agent) registerCoverage(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.GaugeFunc("calib_fov_sectors_covered",
+		"30-degree bearing sectors the agent considers confidently measured (of 12).",
+		func() float64 {
+			covered := a.CoveredSectors()
+			n := 0
+			for _, c := range covered {
+				if c {
+					n++
+				}
+			}
+			return float64(n)
+		})
+}

@@ -1,12 +1,14 @@
 package calib
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"sensorcal/internal/flightsim"
 	"sensorcal/internal/fr24"
 	"sensorcal/internal/geo"
+	"sensorcal/internal/obs"
 	"sensorcal/internal/world"
 )
 
@@ -50,7 +52,9 @@ func (r *CampaignResult) ObservedFraction() float64 {
 }
 
 // RunCampaign executes the repeated procedure with fresh traffic per run.
-func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+// The context carries the obs span hierarchy (each run becomes a child
+// span of "calib.campaign") and cancels the campaign between runs.
+func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
 	if cfg.Site == nil {
 		return nil, fmt.Errorf("calib: campaign needs a site")
 	}
@@ -69,8 +73,17 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	if cfg.Spacing <= 0 {
 		cfg.Spacing = time.Hour
 	}
+	ctx, span := obs.StartSpan(ctx, "calib.campaign")
+	defer span.End()
+	cm := metrics()
+	stageStart := time.Now()
+	defer func() { cm.observeStage("campaign", time.Since(stageStart)) }()
+
 	res := &CampaignResult{Aggregate: &ObservationSet{Site: cfg.Site.Name, Start: cfg.Start}}
 	for r := 0; r < cfg.Runs; r++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		start := cfg.Start.Add(time.Duration(r) * cfg.Spacing)
 		fleet, err := flightsim.NewFleet(start, flightsim.Config{
 			Center: cfg.Center,
@@ -81,7 +94,7 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		obs, err := RunDirectional(DirectionalConfig{
+		set, err := RunDirectional(ctx, DirectionalConfig{
 			Site:  cfg.Site,
 			Fleet: fleet,
 			Truth: fr24.NewService(fleet),
@@ -91,8 +104,9 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("calib: campaign run %d: %w", r, err)
 		}
-		res.PerRun = append(res.PerRun, obs)
-		res.Aggregate.Observations = append(res.Aggregate.Observations, obs.Observations...)
+		res.PerRun = append(res.PerRun, set)
+		res.Aggregate.Observations = append(res.Aggregate.Observations, set.Observations...)
 	}
+	cm.campaigns.Inc()
 	return res, nil
 }

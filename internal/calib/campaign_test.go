@@ -1,6 +1,7 @@
 package calib
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -8,7 +9,7 @@ import (
 )
 
 func TestCampaignAggregates(t *testing.T) {
-	res, err := RunCampaign(CampaignConfig{
+	res, err := RunCampaign(context.Background(), CampaignConfig{
 		Site:     world.RooftopSite(),
 		Aircraft: 40,
 		Runs:     4,
@@ -53,7 +54,7 @@ func TestCampaignAggregates(t *testing.T) {
 }
 
 func TestCampaignDefaults(t *testing.T) {
-	res, err := RunCampaign(CampaignConfig{
+	res, err := RunCampaign(context.Background(), CampaignConfig{
 		Site:     world.IndoorSite(),
 		Runs:     2,
 		Aircraft: 20,
@@ -66,7 +67,7 @@ func TestCampaignDefaults(t *testing.T) {
 	if res.Aggregate.Site != "indoor" {
 		t.Errorf("site = %s", res.Aggregate.Site)
 	}
-	if _, err := RunCampaign(CampaignConfig{}); err == nil {
+	if _, err := RunCampaign(context.Background(), CampaignConfig{}); err == nil {
 		t.Error("missing site should error")
 	}
 }

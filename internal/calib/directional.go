@@ -15,6 +15,7 @@
 package calib
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -27,6 +28,7 @@ import (
 	"sensorcal/internal/geo"
 	"sensorcal/internal/iq"
 	"sensorcal/internal/modes"
+	"sensorcal/internal/obs"
 	"sensorcal/internal/phy1090"
 	"sensorcal/internal/rfmath"
 	"sensorcal/internal/world"
@@ -150,7 +152,9 @@ const snrSkipDB = -3.0
 // RunDirectional executes the paper's §3.1 procedure: run the dump1090
 // pipeline over every transmission in the window, query ground truth at
 // the configured offset, and match decoded ICAO addresses against it.
-func RunDirectional(cfg DirectionalConfig) (*ObservationSet, error) {
+// The context carries the obs span hierarchy and cancels the capture
+// between bursts.
+func RunDirectional(ctx context.Context, cfg DirectionalConfig) (*ObservationSet, error) {
 	cfg.defaults()
 	if cfg.Site == nil || cfg.Fleet == nil || cfg.Truth == nil {
 		return nil, fmt.Errorf("calib: directional config needs a site, fleet and ground truth")
@@ -158,6 +162,11 @@ func RunDirectional(cfg DirectionalConfig) (*ObservationSet, error) {
 	if err := cfg.Site.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, span := obs.StartSpan(ctx, "calib.directional")
+	defer span.End()
+	cm := metrics()
+	stageStart := time.Now()
+	defer func() { cm.observeStage("directional", time.Since(stageStart)) }()
 
 	fader := rfmath.NewFader(cfg.Seed)
 	noisePower := iq.DBFSToPower(simNoiseDBFS)
@@ -174,7 +183,10 @@ func RunDirectional(cfg DirectionalConfig) (*ObservationSet, error) {
 		return nil, err
 	}
 	rx := world.RxConfig{NoiseFigureDB: cfg.NoiseFigureDB, TempK: 290}
-	for _, tx := range txs {
+	for i, tx := range txs {
+		if i%256 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		g := cfg.Site.GeometryTo(tx.Position)
 		rx.GainDBi = cfg.Antenna.GainDBi(g.BearingDeg, g.ElevationDeg, adsbFreq)
 		sh, ok := shadow[tx.Aircraft.ICAO]
@@ -222,7 +234,9 @@ func RunDirectional(cfg DirectionalConfig) (*ObservationSet, error) {
 	}
 
 	// Ground truth snapshot, exactly as the paper takes it.
+	_, truthSpan := obs.StartSpan(ctx, "calib.groundtruth")
 	flights, err := cfg.Truth.Query(cfg.Start.Add(cfg.TruthQueryOffset), cfg.Site.Position, cfg.RadiusKm*1000)
+	truthSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("calib: ground truth query: %w", err)
 	}
@@ -254,6 +268,8 @@ func RunDirectional(cfg DirectionalConfig) (*ObservationSet, error) {
 	sort.Slice(set.Observations, func(i, j int) bool {
 		return set.Observations[i].ICAO < set.Observations[j].ICAO
 	})
+	cm.recordPipeline(pipe, pipe.Demod.Stat)
+	cm.recordObservations(set)
 	return set, nil
 }
 

@@ -1,6 +1,7 @@
 package calib
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -31,7 +32,7 @@ func testScenario(t *testing.T, count int, seed int64) (*flightsim.Fleet, *fr24.
 func runSite(t *testing.T, site *world.Site, count int, seed int64) *ObservationSet {
 	t.Helper()
 	fleet, truth := testScenario(t, count, seed)
-	obs, err := RunDirectional(DirectionalConfig{
+	obs, err := RunDirectional(context.Background(), DirectionalConfig{
 		Site:  site,
 		Fleet: fleet,
 		Truth: truth,
@@ -45,7 +46,7 @@ func runSite(t *testing.T, site *world.Site, count int, seed int64) *Observation
 }
 
 func TestDirectionalRequiresInputs(t *testing.T) {
-	if _, err := RunDirectional(DirectionalConfig{}); err == nil {
+	if _, err := RunDirectional(context.Background(), DirectionalConfig{}); err == nil {
 		t.Error("empty config should error")
 	}
 }

@@ -1,12 +1,15 @@
 package calib
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"sensorcal/internal/antenna"
 	"sensorcal/internal/cellsim"
 	"sensorcal/internal/fmsim"
+	"sensorcal/internal/obs"
 	"sensorcal/internal/rfmath"
 	"sensorcal/internal/sdr"
 	"sensorcal/internal/tvsim"
@@ -143,8 +146,9 @@ func (r *FrequencyReport) DecodedTowers() int {
 	return n
 }
 
-// RunFrequency executes the cellular and TV sweeps at a site.
-func RunFrequency(cfg FrequencyConfig) (*FrequencyReport, error) {
+// RunFrequency executes the cellular and TV sweeps at a site. The context
+// carries the obs span hierarchy and cancels the sweep between channels.
+func RunFrequency(ctx context.Context, cfg FrequencyConfig) (*FrequencyReport, error) {
 	cfg.defaults()
 	if cfg.Site == nil {
 		return nil, fmt.Errorf("calib: frequency config needs a site")
@@ -152,6 +156,11 @@ func RunFrequency(cfg FrequencyConfig) (*FrequencyReport, error) {
 	if err := cfg.Site.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, span := obs.StartSpan(ctx, "calib.frequency")
+	defer span.End()
+	cm := metrics()
+	stageStart := time.Now()
+	defer func() { cm.observeStage("frequency", time.Since(stageStart)) }()
 	scene := &WorldScene{
 		Site:    cfg.Site,
 		Antenna: cfg.Antenna,
@@ -169,6 +178,9 @@ func RunFrequency(cfg FrequencyConfig) (*FrequencyReport, error) {
 	}
 	scanner := cellsim.NewScanner(dev)
 	for _, tw := range cfg.Towers {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		res, err := scanner.ScanChannel(scene, TowerCell(tw))
 		if err != nil {
 			return nil, fmt.Errorf("calib: tower %d: %w", tw.ID, err)
@@ -184,6 +196,9 @@ func RunFrequency(cfg FrequencyConfig) (*FrequencyReport, error) {
 	}
 	rxr := tvsim.NewReceiver(tvDev)
 	for _, st := range cfg.TV {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		m, err := rxr.MeasureChannel(scene, st.CenterHz)
 		if err != nil {
 			return nil, fmt.Errorf("calib: station %s: %w", st.CallSign, err)
@@ -206,6 +221,7 @@ func RunFrequency(cfg FrequencyConfig) (*FrequencyReport, error) {
 			report.FM = append(report.FM, FMReading{Station: st, Measurement: m})
 		}
 	}
+	cm.recordFrequency(report)
 	return report, nil
 }
 

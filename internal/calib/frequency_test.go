@@ -1,6 +1,7 @@
 package calib
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func runFrequency(t *testing.T, site *world.Site, seed int64) *FrequencyReport {
 	t.Helper()
-	rep, err := RunFrequency(FrequencyConfig{
+	rep, err := RunFrequency(context.Background(), FrequencyConfig{
 		Site:   site,
 		Towers: world.Towers(),
 		TV:     world.TVStations(),
@@ -23,7 +24,7 @@ func runFrequency(t *testing.T, site *world.Site, seed int64) *FrequencyReport {
 }
 
 func TestFrequencyRequiresSite(t *testing.T) {
-	if _, err := RunFrequency(FrequencyConfig{}); err == nil {
+	if _, err := RunFrequency(context.Background(), FrequencyConfig{}); err == nil {
 		t.Error("empty config should error")
 	}
 }
@@ -194,7 +195,7 @@ func TestRTLSDRCannotCoverMidBand(t *testing.T) {
 	// tune the 2.6 GHz towers at all, so they report undecoded even on
 	// the rooftop.
 	p := sdr.RTLSDR()
-	rep, err := RunFrequency(FrequencyConfig{
+	rep, err := RunFrequency(context.Background(), FrequencyConfig{
 		Site:          world.RooftopSite(),
 		Towers:        world.Towers(),
 		DeviceProfile: &p,
@@ -219,7 +220,7 @@ func TestRTLSDRCannotCoverMidBand(t *testing.T) {
 // relative to TV, grading the FM band far below the TV band and thereby
 // exposing the antenna's true lower range.
 func TestFMExtension(t *testing.T) {
-	rep, err := RunFrequency(FrequencyConfig{
+	rep, err := RunFrequency(context.Background(), FrequencyConfig{
 		Site: world.RooftopSite(),
 		TV:   world.TVStations(),
 		FM:   world.FMStations(),

@@ -1,0 +1,131 @@
+package calib
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sensorcal/internal/dump1090"
+	"sensorcal/internal/obs"
+	"sensorcal/internal/phy1090"
+)
+
+// Instrumentation for the calibration pipeline. The metrics live on the
+// process-wide obs registry so every binary that runs a calibration stage
+// (agentd, calibrate, spectrumscan) exposes the same series from its
+// admin mux without plumbing a registry through each config struct.
+//
+// The decoder counters are exported once per window, after the capture
+// finishes — the demodulator's per-sample loop stays atomic-free.
+
+type calibMetrics struct {
+	stageDuration *obs.HistogramVec // calib_stage_duration_seconds{stage}
+
+	aircraftObserved *obs.Counter
+	aircraftMissed   *obs.Counter
+	framesPerWindow  *obs.Histogram
+
+	framesDemodulated *obs.Counter
+	framesDecoded     *obs.Counter
+	decodeErrors      *obs.Counter
+
+	samplesScanned    *obs.Counter
+	preamblesDetected *obs.Counter
+	crcPass           *obs.Counter
+	crcFail           *obs.Counter
+	crcRepaired       *obs.Counter
+
+	tvPower   *obs.GaugeVec // calib_tv_power_dbm{station}
+	towerRSRP *obs.GaugeVec // calib_tower_rsrp_dbm{tower}
+	campaigns *obs.Counter
+}
+
+var (
+	metricsOnce sync.Once
+	metricsInst *calibMetrics
+)
+
+func metrics() *calibMetrics {
+	metricsOnce.Do(func() {
+		r := obs.Default()
+		metricsInst = &calibMetrics{
+			stageDuration: r.HistogramVec("calib_stage_duration_seconds",
+				"Wall-clock duration of calibration pipeline stages.",
+				obs.DurationBuckets, "stage"),
+			aircraftObserved: r.Counter("adsb_aircraft_observed_total",
+				"Ground-truth aircraft whose messages the sensor decoded (Figure 1 filled dots)."),
+			aircraftMissed: r.Counter("adsb_aircraft_missed_total",
+				"Ground-truth aircraft the sensor never decoded (Figure 1 FoV gaps)."),
+			framesPerWindow: r.Histogram("dump1090_frames_per_window",
+				"Decoded Mode S frames per measurement window.",
+				[]float64{0, 1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}),
+			framesDemodulated: r.Counter("dump1090_frames_demodulated_total",
+				"Frames emitted by the PHY demodulator."),
+			framesDecoded: r.Counter("dump1090_frames_decoded_total",
+				"Frames decoded into tracker messages."),
+			decodeErrors: r.Counter("dump1090_decode_errors_total",
+				"Demodulated frames the Mode S decoder rejected."),
+			samplesScanned: r.Counter("phy1090_samples_scanned_total",
+				"Power samples examined for a preamble."),
+			preamblesDetected: r.Counter("phy1090_preambles_detected_total",
+				"Sample windows passing the preamble shape test."),
+			crcPass: r.Counter("phy1090_crc_pass_total",
+				"Demodulated frames passing Mode S parity (incl. repaired)."),
+			crcFail: r.Counter("phy1090_crc_fail_total",
+				"Demodulated frames failing parity even after repair."),
+			crcRepaired: r.Counter("phy1090_crc_repaired_total",
+				"Frames passing parity only after CRC repair."),
+			tvPower: r.GaugeVec("calib_tv_power_dbm",
+				"Latest measured TV channel band power (Figure 4 bars).", "station"),
+			towerRSRP: r.GaugeVec("calib_tower_rsrp_dbm",
+				"Latest decoded cellular RSRP per tower (Figure 3 bars).", "tower"),
+			campaigns: r.Counter("calib_campaigns_total",
+				"Completed repeated-measurement campaigns."),
+		}
+	})
+	return metricsInst
+}
+
+// observeStage records one stage execution.
+func (m *calibMetrics) observeStage(stage string, d time.Duration) {
+	m.stageDuration.With(stage).Observe(d.Seconds())
+}
+
+// recordPipeline exports a finished window's decoder counters.
+func (m *calibMetrics) recordPipeline(p *dump1090.Pipeline, st phy1090.Stats) {
+	m.framesDemodulated.Add(float64(p.FramesDemodulated))
+	m.framesDecoded.Add(float64(p.FramesDecoded))
+	m.decodeErrors.Add(float64(p.DecodeErrors))
+	m.framesPerWindow.Observe(float64(p.FramesDecoded))
+	m.samplesScanned.Add(float64(st.SamplesScanned))
+	m.preamblesDetected.Add(float64(st.PreamblesDetected))
+	m.crcPass.Add(float64(st.CRCPass))
+	m.crcFail.Add(float64(st.CRCFail))
+	m.crcRepaired.Add(float64(st.Repaired))
+}
+
+// recordObservations exports the observed/missed split of one window.
+func (m *calibMetrics) recordObservations(set *ObservationSet) {
+	var seen, missed float64
+	for _, o := range set.Observations {
+		if o.Observed {
+			seen++
+		} else {
+			missed++
+		}
+	}
+	m.aircraftObserved.Add(seen)
+	m.aircraftMissed.Add(missed)
+}
+
+// recordFrequency exports the sweep's per-signal powers.
+func (m *calibMetrics) recordFrequency(rep *FrequencyReport) {
+	for _, t := range rep.Towers {
+		if t.Result.Decoded {
+			m.towerRSRP.With(t.Tower.Name).Set(t.Result.RSRPDBm)
+		}
+	}
+	for _, tv := range rep.TV {
+		m.tvPower.With(fmt.Sprintf("tv-%.0fMHz", tv.Station.CenterHz/1e6)).Set(tv.Measurement.PowerDBm)
+	}
+}

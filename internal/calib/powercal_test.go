@@ -1,6 +1,7 @@
 package calib
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestUsable(t *testing.T) {
 func TestPowerCalibrationEndToEnd(t *testing.T) {
 	site := world.RooftopSite()
 	// The node runs its sweep at an actual gain of 30 dB...
-	report, err := RunFrequency(FrequencyConfig{
+	report, err := RunFrequency(context.Background(), FrequencyConfig{
 		Site:   site,
 		TV:     world.TVStations(),
 		GainDB: 30,
@@ -101,7 +102,7 @@ func TestPowerCalibrationEndToEnd(t *testing.T) {
 
 func TestPowerCalibrationSkipsPilotlessChannels(t *testing.T) {
 	site := world.IndoorSite()
-	report, err := RunFrequency(FrequencyConfig{
+	report, err := RunFrequency(context.Background(), FrequencyConfig{
 		Site:   site,
 		TV:     world.TVStations(),
 		Seed:   103,
@@ -131,7 +132,7 @@ func TestPowerCalibrationAcrossDevices(t *testing.T) {
 	// method only needs consistent references.
 	p := sdr.RTLSDR()
 	site := world.RooftopSite()
-	report, err := RunFrequency(FrequencyConfig{
+	report, err := RunFrequency(context.Background(), FrequencyConfig{
 		Site:          site,
 		TV:            world.TVStations(),
 		DeviceProfile: &p,

@@ -6,6 +6,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -52,7 +53,7 @@ func Figure1(siteName string, aircraft int, seed int64) (*calib.ObservationSet, 
 	if err != nil {
 		return nil, err
 	}
-	return calib.RunDirectional(calib.DirectionalConfig{
+	return calib.RunDirectional(context.Background(), calib.DirectionalConfig{
 		Site:  site,
 		Fleet: fleet,
 		Truth: fr24.NewService(fleet),
@@ -66,7 +67,7 @@ func Figure1(siteName string, aircraft int, seed int64) (*calib.ObservationSet, 
 func Figure3(seed int64) (map[string][]calib.TowerReading, error) {
 	out := make(map[string][]calib.TowerReading, 3)
 	for _, site := range world.Sites() {
-		rep, err := calib.RunFrequency(calib.FrequencyConfig{
+		rep, err := calib.RunFrequency(context.Background(), calib.FrequencyConfig{
 			Site:   site,
 			Towers: world.Towers(),
 			Seed:   seed,
@@ -84,7 +85,7 @@ func Figure3(seed int64) (map[string][]calib.TowerReading, error) {
 func Figure4(seed int64) (map[string][]calib.TVReading, error) {
 	out := make(map[string][]calib.TVReading, 3)
 	for _, site := range world.Sites() {
-		rep, err := calib.RunFrequency(calib.FrequencyConfig{
+		rep, err := calib.RunFrequency(context.Background(), calib.FrequencyConfig{
 			Site: site,
 			TV:   world.TVStations(),
 			Seed: seed,

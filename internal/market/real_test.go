@@ -1,6 +1,7 @@
 package market
 
 import (
+	"context"
 	"time"
 
 	"sensorcal/internal/calib"
@@ -17,7 +18,7 @@ func realListing(name string, site *world.Site) Listing {
 	if err != nil {
 		panic(err)
 	}
-	freq, err := calib.RunFrequency(calib.FrequencyConfig{
+	freq, err := calib.RunFrequency(context.Background(), calib.FrequencyConfig{
 		Site:   site,
 		Towers: world.Towers(),
 		TV:     world.TVStations(),

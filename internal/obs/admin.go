@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminMux assembles the standard daemon admin surface:
+//
+//	GET /metrics       — reg in Prometheus text exposition format
+//	GET /debug/traces  — tr's span ring as JSON
+//	GET /debug/pprof/* — net/http/pprof profiles
+//
+// Nil reg or tr default to the process-wide instances, so a daemon that
+// only uses default instrumentation can call AdminMux(nil, nil).
+func AdminMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	if reg == nil {
+		reg = Default()
+	}
+	if tr == nil {
+		tr = DefaultTracer()
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/traces", tr.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

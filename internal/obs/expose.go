@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition format, version 0.0.4:
+//
+//	# HELP name help text
+//	# TYPE name counter
+//	name{label="value"} 42
+//
+// Histograms render cumulative _bucket series with an le label plus _sum
+// and _count. Families sort by name and children by label values, so
+// scrapes are deterministic and diffable in tests.
+
+// WritePrometheus renders every registered family to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for name, f := range r.families {
+		names = append(names, name)
+		fams[name] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		if err := fams[name].write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry in exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func (f *family) write(w io.Writer) error {
+	f.mu.Lock()
+	fn := f.fn
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	children := make(map[string]interface{}, len(f.children))
+	for k, c := range f.children {
+		children[k] = c
+	}
+	buckets := f.buckets
+	f.mu.Unlock()
+	sort.Strings(keys)
+
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+		return err
+	}
+	if fn != nil {
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(fn()))
+		return err
+	}
+	for _, key := range keys {
+		var values []string
+		if key != "" || len(f.labels) > 0 {
+			values = strings.Split(key, "\xff")
+		}
+		switch m := children[key].(type) {
+		case *Counter:
+			if err := writeSample(w, f.name, f.labels, values, "", "", m.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if err := writeSample(w, f.name, f.labels, values, "", "", m.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			var cum uint64
+			for i, ub := range buckets {
+				cum += m.counts[i].Load()
+				if err := writeSample(w, f.name+"_bucket", f.labels, values, "le", formatFloat(ub), float64(cum)); err != nil {
+					return err
+				}
+			}
+			if err := writeSample(w, f.name+"_bucket", f.labels, values, "le", "+Inf", float64(m.Count())); err != nil {
+				return err
+			}
+			if err := writeSample(w, f.name+"_sum", f.labels, values, "", "", m.Sum()); err != nil {
+				return err
+			}
+			if err := writeSample(w, f.name+"_count", f.labels, values, "", "", float64(m.Count())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample renders one line: name{labels...} value. extraName/extraValue
+// append a synthetic label (histograms' le).
+func writeSample(w io.Writer, name string, labels, values []string, extraName, extraValue string, v float64) error {
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(values[i]))
+			sb.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(extraName)
+			sb.WriteString(`="`)
+			sb.WriteString(extraValue)
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", sb.String(), formatFloat(v))
+	return err
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes help text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

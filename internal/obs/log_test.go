@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedLogger(buf *strings.Builder) *Logger {
+	l := NewLogger("testcomp")
+	l.SetOutput(buf)
+	l.SetTimeFunc(func() time.Time {
+		return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	})
+	return l
+}
+
+func TestLogFormat(t *testing.T) {
+	var buf strings.Builder
+	l := fixedLogger(&buf)
+	l.Infof("epoch closed: %d anomalies", 2)
+	want := "2026-08-05T12:00:00.000Z INFO  testcomp: epoch closed: 2 anomalies\n"
+	if buf.String() != want {
+		t.Fatalf("line = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestLogLevels(t *testing.T) {
+	var buf strings.Builder
+	l := fixedLogger(&buf)
+	l.SetLevel(LevelWarn)
+	l.Debugf("hidden")
+	l.Infof("hidden")
+	l.Warnf("shown-warn")
+	l.Errorf("shown-error")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("suppressed levels leaked: %q", out)
+	}
+	if !strings.Contains(out, "WARN  testcomp: shown-warn") ||
+		!strings.Contains(out, "ERROR testcomp: shown-error") {
+		t.Fatalf("enabled levels missing: %q", out)
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Fatal("Enabled disagrees with SetLevel")
+	}
+}
+
+func TestLogKeyValues(t *testing.T) {
+	var buf strings.Builder
+	l := fixedLogger(&buf)
+	l.Log(LevelInfo, "readings", "node", "n1", "count", 3)
+	if !strings.Contains(buf.String(), "readings node=n1 count=3") {
+		t.Fatalf("kv rendering wrong: %q", buf.String())
+	}
+	buf.Reset()
+	l.Log(LevelInfo, "odd", "dangling")
+	if !strings.Contains(buf.String(), "odd !MISSING=dangling") {
+		t.Fatalf("odd kv rendering wrong: %q", buf.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "Warning": LevelWarn,
+		"error": LevelError, "": LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestFatalfUsesInjectedExit(t *testing.T) {
+	var buf strings.Builder
+	l := fixedLogger(&buf)
+	code := -1
+	l.mu.Lock()
+	l.exit = func(c int) { code = c }
+	l.mu.Unlock()
+	l.Fatalf("boom: %v", "cause")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(buf.String(), "ERROR testcomp: boom: cause") {
+		t.Fatalf("fatal line missing: %q", buf.String())
+	}
+}

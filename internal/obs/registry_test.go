@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total", "Events.")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-10) // counters only go up
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "Depth.")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits_total", "Hits.")
+	b := r.Counter("hits_total", "Hits.")
+	a.Inc()
+	b.Inc()
+	if a != b {
+		t.Fatal("re-registering the same counter returned a different instance")
+	}
+	if got := a.Value(); got != 2 {
+		t.Fatalf("shared counter = %v, want 2", got)
+	}
+}
+
+func TestRegisterMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.")
+	for name, f := range map[string]func(){
+		"type change":  func() { r.Gauge("x_total", "X.") },
+		"label change": func() { r.CounterVec("x_total", "X.", "kind") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: re-registration did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("bad-name", "Dashes are not in the grammar.")
+}
+
+func TestVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("frames_total", "Frames.", "kind")
+	v.With("good").Add(3)
+	v.With("bad").Inc()
+	if got := v.With("good").Value(); got != 3 {
+		t.Fatalf(`With("good") = %v, want 3`, got)
+	}
+	if got := v.With("bad").Value(); got != 1 {
+		t.Fatalf(`With("bad") = %v, want 1`, got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	v.With("a", "b")
+}
+
+// TestHistogramBucketBoundaries pins down the le semantics: an
+// observation exactly on an upper bound counts into that bucket
+// (le is inclusive), and one beyond the last bound lands only in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 5, 6} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 16 {
+		t.Fatalf("sum = %v, want 16", got)
+	}
+	// Non-cumulative per-bucket counts: (..1]=2, (1..2]=2, (2..5]=1, rest +Inf.
+	want := []uint64{2, 2, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d count = %d, want %d", i, got, w)
+		}
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="2"} 4`,
+		`latency_seconds_bucket{le="5"} 5`,
+		`latency_seconds_bucket{le="+Inf"} 6`,
+		`latency_seconds_count 6`,
+	} {
+		if !strings.Contains(sb.String(), line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, sb.String())
+		}
+	}
+}
+
+func TestNormalizeBuckets(t *testing.T) {
+	got := normalizeBuckets([]float64{5, 1, 2, 2, math.Inf(1), 1})
+	want := []float64{1, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("normalizeBuckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("normalizeBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExpAndLinearBuckets(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	for i, w := range []float64{1, 2, 4, 8} {
+		if exp[i] != w {
+			t.Fatalf("ExpBuckets = %v", exp)
+		}
+	}
+	lin := LinearBuckets(10, 5, 3)
+	for i, w := range []float64{10, 15, 20} {
+		if lin[i] != w {
+			t.Fatalf("LinearBuckets = %v", lin)
+		}
+	}
+}
+
+// TestExpositionGolden locks the exposition byte-for-byte: families sort
+// by name, children by label value, histograms render cumulative buckets.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "Sorts last.").Add(2)
+	r.Gauge("queue_depth", "Items waiting.").Set(3)
+	v := r.CounterVec("frames_total", "Frames by result.", "result")
+	v.With("ok").Add(9)
+	v.With("bad").Inc()
+	h := r.Histogram("wait_seconds", "Wait time.", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(30)
+	r.GaugeFunc("nodes", "Callback metric.", func() float64 { return 4 })
+
+	const want = `# HELP frames_total Frames by result.
+# TYPE frames_total counter
+frames_total{result="bad"} 1
+frames_total{result="ok"} 9
+# HELP nodes Callback metric.
+# TYPE nodes gauge
+nodes 4
+# HELP queue_depth Items waiting.
+# TYPE queue_depth gauge
+queue_depth 3
+# HELP wait_seconds Wait time.
+# TYPE wait_seconds histogram
+wait_seconds_bucket{le="1"} 1
+wait_seconds_bucket{le="10"} 1
+wait_seconds_bucket{le="+Inf"} 2
+wait_seconds_sum 30.5
+wait_seconds_count 2
+# HELP zz_total Sorts last.
+# TYPE zz_total counter
+zz_total 2
+`
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("g", "G.", "path").With(`a"b\c` + "\n").Set(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `g{path="a\"b\\c\n"} 1`
+	if !strings.Contains(sb.String(), want+"\n") {
+		t.Fatalf("escaped sample %q missing from:\n%s", want, sb.String())
+	}
+}
+
+// TestConcurrentAccess exercises every writer path alongside scrapes; it
+// exists to run under -race, and checks the totals add up afterwards.
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "C.")
+	g := r.Gauge("g", "G.")
+	v := r.CounterVec("v_total", "V.", "worker")
+	h := r.Histogram("h", "H.", []float64{1, 10, 100})
+
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				v.With(label).Inc()
+				h.Observe(float64(i % 200))
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %v, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	for w := 0; w < workers; w++ {
+		if got := v.With(string(rune('a' + w))).Value(); got != iters {
+			t.Fatalf("vec child %d = %v, want %d", w, got, iters)
+		}
+	}
+}

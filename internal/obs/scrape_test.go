@@ -1,0 +1,129 @@
+package obs_test
+
+// An end-to-end scrape: a trust.Collector instrumented against a private
+// registry, exercised through real consensus work, then read back over
+// HTTP from the admin mux the daemons serve. Lives in package obs_test so
+// it can import trust (which itself imports obs).
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sensorcal/internal/obs"
+	"sensorcal/internal/trust"
+)
+
+// sampleLine matches one exposition sample: name{labels} value.
+var sampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[0-9eE.+-]+)$`)
+
+func TestScrapeInstrumentedCollector(t *testing.T) {
+	reg := obs.NewRegistry()
+	col := trust.NewCollector().Instrument(reg)
+	col.EpochWindow = time.Minute
+
+	for _, id := range []trust.NodeID{"honest-1", "honest-2", "fabricator"} {
+		if err := col.Ledger.Register(trust.Node{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	at := time.Date(2026, 8, 5, 12, 0, 10, 0, time.UTC)
+	for _, r := range []trust.Reading{
+		{Node: "honest-1", SignalID: "tv-521MHz", PowerDBm: -60, At: at},
+		{Node: "honest-2", SignalID: "tv-521MHz", PowerDBm: -61, At: at},
+		{Node: "fabricator", SignalID: "tv-521MHz", PowerDBm: -25, At: at},
+	} {
+		if err := col.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := col.Submit(trust.Reading{Node: "ghost", SignalID: "tv-521MHz", PowerDBm: -60, At: at}); err == nil {
+		t.Fatal("unregistered node accepted")
+	}
+	col.CloseEpochs(at.Add(2 * time.Minute))
+
+	srv := httptest.NewServer(obs.AdminMux(reg, obs.NewTracer(8)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"trust_readings_total 3",
+		"trust_reading_errors_total 1",
+		"trust_epochs_closed_total 1",
+		`trust_anomalies_total{kind="over-consensus-power"}`,
+		`trust_anomalies_total{kind="uncorrelated-with-consensus"}`,
+		`trust_node_score{node="fabricator"}`,
+		`trust_node_score{node="honest-1"}`,
+		"trust_nodes_registered 3",
+		"trust_pending_epochs 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape body:\n%s", body)
+		t.FailNow()
+	}
+
+	// The fabricator's gauge must sit below the honest nodes' after the
+	// consensus round penalised it.
+	score := func(node string) float64 {
+		m := regexp.MustCompile(`trust_node_score\{node="` + node + `"\} ([0-9.eE+-]+)`).FindStringSubmatch(body)
+		if m == nil {
+			t.Fatalf("no trust_node_score for %s", node)
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if score("fabricator") >= score("honest-1") {
+		t.Fatalf("fabricator score %v not below honest %v", score("fabricator"), score("honest-1"))
+	}
+
+	// Every non-comment line must be a well-formed sample.
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+
+	// The rest of the admin surface answers too.
+	for _, path := range []string{"/debug/traces", "/debug/pprof/"} {
+		r2, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, r2.Status)
+		}
+	}
+}

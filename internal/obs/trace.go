@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Lightweight in-process tracing: StartSpan records a named span whose
+// duration and parent land in a fixed-size ring buffer when the span
+// ends. The ring is dumpable as JSON from the admin mux — enough to see
+// how a measurement day decomposes into campaign stages without dragging
+// in a tracing stack.
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	ID       uint64        `json:"id"`
+	ParentID uint64        `json:"parent_id,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Tracer collects finished spans into a ring buffer. The zero value is
+// not usable; call NewTracer.
+type Tracer struct {
+	ids atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	full bool
+}
+
+// DefaultTraceCapacity is the default ring size.
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer retaining the last capacity finished spans
+// (DefaultTraceCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]SpanRecord, capacity)}
+}
+
+// defaultTracer is the process-wide tracer the daemons expose.
+var defaultTracer = NewTracer(DefaultTraceCapacity)
+
+// DefaultTracer returns the process-wide tracer.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// Span is an in-flight operation. End it exactly once.
+type Span struct {
+	tracer *Tracer
+	rec    SpanRecord
+	ended  atomic.Bool
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+)
+
+// WithTracer returns a context routing StartSpan to t instead of the
+// default tracer.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// StartSpan begins a span named name. The span's parent is the span
+// already in ctx, if any; the returned context carries the new span so
+// children nest. Pass a nil ctx for a root span on the default tracer.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t := defaultTracer
+	if v, ok := ctx.Value(tracerKey).(*Tracer); ok {
+		t = v
+	}
+	s := &Span{tracer: t}
+	s.rec.ID = t.ids.Add(1)
+	s.rec.Name = name
+	s.rec.Start = time.Now()
+	if parent, ok := ctx.Value(spanKey).(*Span); ok {
+		s.rec.ParentID = parent.rec.ID
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// End finishes the span, recording it into the tracer's ring. Duplicate
+// Ends are ignored.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.rec.Duration = time.Since(s.rec.Start)
+	t := s.tracer
+	t.mu.Lock()
+	t.ring[t.next] = s.rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (t *Tracer) Snapshot() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanRecord
+	if t.full {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Handler serves the retained spans as a JSON array (newest data is at
+// the end). Useful as GET /debug/traces on the admin mux.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		spans := t.Snapshot()
+		if spans == nil {
+			spans = []SpanRecord{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(spans)
+	})
+}

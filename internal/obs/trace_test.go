@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(16)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, parent := StartSpan(ctx, "campaign")
+	cctx, child := StartSpan(ctx, "stage")
+	child.End()
+	// A sibling started from the parent context shares the same parent.
+	_, sib := StartSpan(ctx, "stage2")
+	sib.End()
+	parent.End()
+	_ = cctx
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("snapshot holds %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	root := byName["campaign"]
+	if root.ParentID != 0 {
+		t.Fatalf("root span has parent %d", root.ParentID)
+	}
+	for _, name := range []string{"stage", "stage2"} {
+		if got := byName[name].ParentID; got != root.ID {
+			t.Fatalf("%s parent = %d, want %d", name, got, root.ID)
+		}
+	}
+	// Children end before the parent, so they land in the ring first.
+	if spans[2].Name != "campaign" {
+		t.Fatalf("last-ended span is %q, want campaign", spans[2].Name)
+	}
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	tr := NewTracer(8)
+	_, s := StartSpan(WithTracer(context.Background(), tr), "once")
+	s.End()
+	s.End()
+	if got := len(tr.Snapshot()); got != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", got)
+	}
+	var nilSpan *Span
+	nilSpan.End() // must not panic
+}
+
+func TestNilContextRoot(t *testing.T) {
+	ctx, s := StartSpan(nil, "root")
+	if ctx == nil || s == nil {
+		t.Fatal("StartSpan(nil) returned nils")
+	}
+	s.End() // lands on the default tracer; just must not panic
+}
+
+func TestRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 6; i++ {
+		_, s := StartSpan(ctx, fmt.Sprintf("span-%d", i))
+		s.End()
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("snapshot holds %d spans, want capacity 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := fmt.Sprintf("span-%d", i+2); s.Name != want {
+			t.Fatalf("span[%d] = %q, want %q (oldest first)", i, s.Name, want)
+		}
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := WithTracer(context.Background(), tr)
+	_, s := StartSpan(ctx, "handler-span")
+	s.End()
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var got []SpanRecord
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("response is not a JSON span array: %v\n%s", err, rec.Body.String())
+	}
+	if len(got) != 1 || got[0].Name != "handler-span" {
+		t.Fatalf("decoded spans = %+v", got)
+	}
+
+	// An empty tracer serves [] rather than null.
+	rec = httptest.NewRecorder()
+	NewTracer(2).Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var empty []SpanRecord
+	if err := json.Unmarshal(rec.Body.Bytes(), &empty); err != nil || empty == nil {
+		t.Fatalf("empty tracer served %q, want []", rec.Body.String())
+	}
+}

@@ -64,6 +64,31 @@ type Decoded struct {
 	Repaired bool    // frame passed parity only after CRC repair
 }
 
+// Stats are the demodulator's running pipeline counters. They are plain
+// fields — the demodulator is single-goroutine by design, and keeping the
+// hot loop free of atomics is the point; export them to an obs registry
+// between buffers (calib.RunDirectional does).
+type Stats struct {
+	// SamplesScanned counts power samples examined for a preamble.
+	SamplesScanned int64
+	// PreamblesDetected counts windows passing the preamble shape test.
+	PreamblesDetected int64
+	// CRCPass counts frames whose Mode S parity checked (including after
+	// repair), CRCFail those rejected even after the configured repair.
+	CRCPass, CRCFail int64
+	// Repaired counts frames that passed parity only after CRC repair.
+	Repaired int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.SamplesScanned += other.SamplesScanned
+	s.PreamblesDetected += other.PreamblesDetected
+	s.CRCPass += other.CRCPass
+	s.CRCFail += other.CRCFail
+	s.Repaired += other.Repaired
+}
+
 // Demodulator scans sample buffers for Mode S bursts. It is stateless
 // between buffers; callers keep overlap if frames may straddle block
 // boundaries.
@@ -79,6 +104,8 @@ type Demodulator struct {
 	// 0 disables it, 1 repairs single bit flips (dump1090's default
 	// --fix), 2 additionally repairs two-bit errors (--aggressive).
 	ErrorCorrection int
+	// Stat accumulates pipeline counters across calls.
+	Stat Stats
 }
 
 // NewDemodulator returns a demodulator with dump1090-like defaults
@@ -124,11 +151,13 @@ func (d *Demodulator) Process(b *iq.Buffer) []Decoded {
 	var out []Decoded
 	i := 0
 	for i+FrameSamples <= len(m) {
+		d.Stat.SamplesScanned++
 		pulse, ok := d.looksLikePreamble(m, i)
 		if !ok {
 			i++
 			continue
 		}
+		d.Stat.PreamblesDetected++
 		dec, ok := d.decodeAt(m, i, pulse)
 		if !ok {
 			i++
@@ -159,24 +188,36 @@ func (d *Demodulator) decodeAt(m []float64, i int, pulse float64) (Decoded, bool
 	pulsePower /= float64(modes.FrameLength * 8)
 	rssi := iq.PowerToDBFS((pulsePower + pulse) / 2)
 	if modes.CheckParity(bits) {
+		d.Stat.CRCPass++
 		return Decoded{Frame: bits, Offset: i, RSSIDBFS: rssi, ParityOK: true}, true
 	}
 	switch d.ErrorCorrection {
 	case 1:
 		if _, ok := modes.FixSingleBit(bits); ok {
+			d.Stat.CRCPass++
+			d.Stat.Repaired++
 			return Decoded{Frame: bits, Offset: i, RSSIDBFS: rssi, ParityOK: true, Repaired: true}, true
 		}
 	case 2:
 		if _, ok := modes.FixTwoBits(bits); ok {
+			d.Stat.CRCPass++
+			d.Stat.Repaired++
 			return Decoded{Frame: bits, Offset: i, RSSIDBFS: rssi, ParityOK: true, Repaired: true}, true
 		}
 	}
 	if !d.LongFramesOnly && modes.CheckParity(bits[:modes.ShortFrameLength]) {
-		short := make([]byte, modes.ShortFrameLength)
-		copy(short, bits)
-		return Decoded{Frame: short, Offset: i, RSSIDBFS: rssi, ParityOK: true}, true
+		d.Stat.CRCPass++
+		return Decoded{Frame: short(bits), Offset: i, RSSIDBFS: rssi, ParityOK: true}, true
 	}
+	d.Stat.CRCFail++
 	return Decoded{}, false
+}
+
+// short copies the leading short-frame bytes out of a long-frame buffer.
+func short(bits []byte) []byte {
+	out := make([]byte, modes.ShortFrameLength)
+	copy(out, bits)
+	return out
 }
 
 // DemodulateBurst is the fast path used by the burst-level simulator: the
@@ -192,10 +233,12 @@ func (d *Demodulator) DemodulateBurst(b *iq.Buffer, maxSearch int) (Decoded, boo
 		maxSearch = 1
 	}
 	for i := 0; i < maxSearch && i+FrameSamples <= len(m); i++ {
+		d.Stat.SamplesScanned++
 		pulse, ok := d.looksLikePreamble(m, i)
 		if !ok {
 			continue
 		}
+		d.Stat.PreamblesDetected++
 		if dec, ok := d.decodeAt(m, i, pulse); ok {
 			return dec, true
 		}

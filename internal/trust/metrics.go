@@ -1,0 +1,99 @@
+package trust
+
+import (
+	"sensorcal/internal/obs"
+)
+
+// Collector instrumentation. A collector is only metered after
+// Instrument is called, so library users (and most tests) pay nothing;
+// spectrumd instruments its collector against the registry its admin mux
+// serves. All methods tolerate a nil receiver.
+
+type collectorMetrics struct {
+	readings      *obs.Counter
+	readingErrors *obs.Counter
+	epochsClosed  *obs.Counter
+	anomalies     *obs.CounterVec // kind
+	nodeScore     *obs.GaugeVec   // node
+	httpRequests  *obs.CounterVec // endpoint, code
+}
+
+// Instrument registers the collector's metrics on reg (the process-wide
+// default when nil) and starts recording. It returns c for chaining.
+//
+// Exposed series:
+//
+//	trust_readings_total         — readings accepted into epochs
+//	trust_reading_errors_total   — readings rejected (unknown node, bad payload)
+//	trust_epochs_closed_total    — consensus epochs finalized
+//	trust_anomalies_total{kind}  — consensus violations by detector kind
+//	trust_node_score{node}       — current ledger trust score per node
+//	trust_nodes_registered       — ledger size (scrape-time callback)
+//	trust_pending_epochs         — open epochs awaiting closure (callback)
+//	trust_http_requests_total{endpoint} — API traffic
+func (c *Collector) Instrument(reg *obs.Registry) *Collector {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	m := &collectorMetrics{
+		readings: reg.Counter("trust_readings_total",
+			"Shared-signal readings accepted into consensus epochs."),
+		readingErrors: reg.Counter("trust_reading_errors_total",
+			"Readings rejected before reaching an epoch."),
+		epochsClosed: reg.Counter("trust_epochs_closed_total",
+			"Consensus epochs finalized by the collector."),
+		anomalies: reg.CounterVec("trust_anomalies_total",
+			"Consensus violations detected, by detector kind.", "kind"),
+		nodeScore: reg.GaugeVec("trust_node_score",
+			"Current trust ledger score per node (0 = fabricator, 1 = clean).", "node"),
+		httpRequests: reg.CounterVec("trust_http_requests_total",
+			"Collector API requests served, by endpoint.", "endpoint"),
+	}
+	// Pre-seed the detector kinds so the series exist at zero instead of
+	// appearing only after the first violation.
+	m.anomalies.With("over-consensus-power")
+	m.anomalies.With("uncorrelated-with-consensus")
+	reg.GaugeFunc("trust_nodes_registered",
+		"Nodes enrolled in the trust ledger.",
+		func() float64 { return float64(c.Ledger.Len()) })
+	reg.GaugeFunc("trust_pending_epochs",
+		"Open consensus epochs not yet past the closing cutoff.",
+		func() float64 { return float64(c.PendingEpochs()) })
+	c.metrics = m
+	return c
+}
+
+func (m *collectorMetrics) recordSubmit(err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.readingErrors.Inc()
+		return
+	}
+	m.readings.Inc()
+}
+
+func (m *collectorMetrics) recordEpochClosed(anomalies []Anomaly) {
+	if m == nil {
+		return
+	}
+	m.epochsClosed.Inc()
+	for _, a := range anomalies {
+		m.anomalies.With(a.Kind).Inc()
+	}
+}
+
+func (m *collectorMetrics) setNodeScore(id NodeID, s Score) {
+	if m == nil {
+		return
+	}
+	m.nodeScore.With(string(id)).Set(float64(s))
+}
+
+func (m *collectorMetrics) recordRequest(endpoint string) {
+	if m == nil {
+		return
+	}
+	m.httpRequests.With(endpoint).Inc()
+}

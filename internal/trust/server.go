@@ -23,6 +23,9 @@ type Collector struct {
 	mu      sync.Mutex
 	pending map[string]map[time.Time]*Epoch // signal → window start → epoch
 	history map[string][]Epoch              // closed epochs per signal
+
+	// metrics is non-nil only after Instrument; see metrics.go.
+	metrics *collectorMetrics
 }
 
 // NewCollector returns a collector with a fresh ledger.
@@ -37,7 +40,8 @@ func NewCollector() *Collector {
 }
 
 // Submit ingests one reading.
-func (c *Collector) Submit(r Reading) error {
+func (c *Collector) Submit(r Reading) (err error) {
+	defer func() { c.metrics.recordSubmit(err) }()
 	if _, ok := c.Ledger.Node(r.Node); !ok {
 		return fmt.Errorf("trust: node %s not registered", r.Node)
 	}
@@ -96,10 +100,25 @@ func (c *Collector) CloseEpochs(cutoff time.Time) []Anomaly {
 			// Correlation check over the accumulated history.
 			anomalies = append(anomalies, c.Detector.CheckCorrelation(c.history[sig])...)
 			Apply(c.Ledger, participants, anomalies)
+			c.metrics.recordEpochClosed(anomalies)
+			for _, id := range participants {
+				c.metrics.setNodeScore(id, c.Ledger.Trust(id))
+			}
 			all = append(all, anomalies...)
 		}
 	}
 	return all
+}
+
+// PendingEpochs returns how many epochs are open and awaiting closure.
+func (c *Collector) PendingEpochs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, byWindow := range c.pending {
+		n += len(byWindow)
+	}
+	return n
 }
 
 // History returns the closed epochs for a signal.
@@ -141,6 +160,7 @@ type trustResponse struct {
 func (c *Collector) Handler(now func() time.Time) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/register", func(w http.ResponseWriter, r *http.Request) {
+		c.metrics.recordRequest("register")
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
@@ -160,9 +180,11 @@ func (c *Collector) Handler(now func() time.Time) http.Handler {
 			http.Error(w, err.Error(), http.StatusConflict)
 			return
 		}
+		c.metrics.setNodeScore(NodeID(req.ID), c.Ledger.Trust(NodeID(req.ID)))
 		w.WriteHeader(http.StatusCreated)
 	})
 	mux.HandleFunc("/api/readings", func(w http.ResponseWriter, r *http.Request) {
+		c.metrics.recordRequest("readings")
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
@@ -184,6 +206,7 @@ func (c *Collector) Handler(now func() time.Time) http.Handler {
 		w.WriteHeader(http.StatusAccepted)
 	})
 	mux.HandleFunc("/api/trust", func(w http.ResponseWriter, r *http.Request) {
+		c.metrics.recordRequest("trust")
 		id := NodeID(r.URL.Query().Get("node"))
 		if _, ok := c.Ledger.Node(id); !ok {
 			http.Error(w, "unknown node", http.StatusNotFound)
