@@ -4,82 +4,48 @@
 // shared-signal readings to a spectrumd collector (when configured), and
 // prints the evolving calibration report after every round.
 //
+// Submission is store-and-forward: readings land in a durable spool
+// (-spool) first and a background drain loop ships them in batches
+// through a retrier and a circuit breaker, so a collector outage — or an
+// agentd crash — loses nothing. Restarting the daemon replays whatever
+// the spool still holds; idempotency keys keep replays from
+// double-counting at the collector.
+//
 // By default it runs against an accelerated simulated clock so a full
 // measurement day finishes in seconds; pass -realtime to pace the windows
 // on the wall clock (for demonstration alongside fr24d/spectrumd).
 //
 // The admin server on -admin exposes the node's health: GET /metrics
-// (campaign stage durations, decode counters, scheduler decisions in
-// Prometheus text format), GET /debug/traces (span ring as JSON) and
-// GET /debug/pprof/* (runtime profiles).
+// (campaign stage durations, decode counters, scheduler decisions,
+// resilience_* retry/breaker/spool series in Prometheus text format),
+// GET /debug/traces (span ring as JSON) and GET /debug/pprof/* (runtime
+// profiles).
 //
 // Usage:
 //
 //	agentd [-site rooftop] [-node node-1] [-days 1] [-windows 4]
-//	       [-collector http://host:8025] [-realtime] [-seed 1]
+//	       [-collector http://host:8025] [-spool agentd.spool.jsonl]
+//	       [-drain 2s] [-realtime] [-seed 1]
 //	       [-admin :8026] [-log-level info]
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sensorcal/internal/agent"
 	"sensorcal/internal/clock"
 	"sensorcal/internal/obs"
+	"sensorcal/internal/resilience"
 	"sensorcal/internal/trust"
 	"sensorcal/internal/world"
 )
-
-// httpCollector submits readings to a remote spectrumd.
-type httpCollector struct {
-	base string
-	hc   *http.Client
-}
-
-// register enrolls the node with the collector. A Conflict response means
-// the node is already in the ledger (a daemon restart) and is fine.
-func (c *httpCollector) register(node trust.NodeID, site string) error {
-	body, err := json.Marshal(map[string]interface{}{
-		"id": string(node), "operator": "agentd", "hardware": site,
-	})
-	if err != nil {
-		return err
-	}
-	resp, err := c.hc.Post(c.base+"/api/register", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("agentd: register: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
-		return fmt.Errorf("agentd: collector returned %s to register", resp.Status)
-	}
-	return nil
-}
-
-func (c *httpCollector) Submit(r trust.Reading) error {
-	body, err := json.Marshal(map[string]interface{}{
-		"node": string(r.Node), "signal_id": r.SignalID,
-		"power_dbm": r.PowerDBm, "at": r.At,
-	})
-	if err != nil {
-		return err
-	}
-	resp, err := c.hc.Post(c.base+"/api/readings", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("agentd: submit: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("agentd: collector returned %s", resp.Status)
-	}
-	return nil
-}
 
 func main() {
 	logger := obs.NewLogger("agentd")
@@ -89,6 +55,8 @@ func main() {
 		days      = flag.Int("days", 1, "measurement days to run")
 		windows   = flag.Int("windows", 4, "measurement windows per day")
 		collector = flag.String("collector", "", "spectrumd base URL (empty: no submission)")
+		spoolPath = flag.String("spool", "agentd.spool.jsonl", "store-and-forward WAL for readings awaiting delivery")
+		drainIv   = flag.Duration("drain", 2*time.Second, "spool drain interval")
 		realtime  = flag.Bool("realtime", false, "pace windows on the wall clock")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		admin     = flag.String("admin", ":8026", "admin listen address for /metrics, /debug/traces and /debug/pprof (empty: disabled)")
@@ -121,14 +89,48 @@ func main() {
 		logger.Infof("admin endpoints on %s (/metrics, /debug/traces, /debug/pprof)", *admin)
 	}
 
+	// Ctrl-C / SIGTERM cancels the measurement loop; the deferred spool
+	// flush below still runs so buffered readings survive the shutdown.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var col agent.Collector
+	var tc *trust.Client
 	if *collector != "" {
-		hcol := &httpCollector{base: *collector, hc: &http.Client{Timeout: 10 * time.Second}}
-		if err := hcol.register(trust.NodeID(*nodeID), *siteName); err != nil {
+		spool, err := resilience.OpenSpool(*spoolPath)
+		if err != nil {
+			logger.Fatalf("opening spool: %v", err)
+		}
+		spool.Instrument(nil)
+		defer spool.Close()
+		if n := spool.Len(); n > 0 {
+			logger.Infof("spool %s holds %d undelivered readings from a previous run", *spoolPath, n)
+		}
+		tc, err = trust.NewClient(trust.ClientConfig{
+			BaseURL: *collector,
+			Spool:   spool,
+			Retrier: resilience.NewRetrier(resilience.Policy{
+				MaxAttempts: 5,
+				BaseDelay:   100 * time.Millisecond,
+				MaxDelay:    5 * time.Second,
+				Seed:        *seed,
+			}).Instrument(nil),
+			Breaker: resilience.NewBreaker(resilience.BreakerConfig{
+				Name:             "collector",
+				FailureThreshold: 5,
+				OpenFor:          15 * time.Second,
+			}).Instrument(nil),
+			Logger: logger,
+		})
+		if err != nil {
 			logger.Fatalf("%v", err)
 		}
+		if err := tc.Register(ctx, trust.NodeID(*nodeID), "agentd", *siteName); err != nil {
+			logger.Fatalf("registering with collector: %v", err)
+		}
 		logger.Infof("registered %s with collector %s", *nodeID, *collector)
-		col = hcol
+		go tc.Run(ctx, *drainIv)
+		col = tc
 	}
 
 	start := time.Now().Truncate(time.Hour)
@@ -171,7 +173,8 @@ func main() {
 	for d := 0; d < *days; d++ {
 		from := start.Add(time.Duration(d) * 24 * time.Hour)
 		logger.Infof("planning day %d from %s", d+1, from.Format(time.RFC3339))
-		if err := a.RunDay(context.Background(), from); err != nil {
+		if err := a.RunDay(ctx, from); err != nil {
+			flushSpool(tc, logger)
 			logger.Fatalf("%v", err)
 		}
 		rep := a.LatestReport()
@@ -186,4 +189,21 @@ func main() {
 		}
 		logger.Log(obs.LevelInfo, "sector coverage", "covered", n, "of", 12)
 	}
+	flushSpool(tc, logger)
+}
+
+// flushSpool makes a final bounded delivery attempt so a clean exit does
+// not strand readings until the next run. Failure is fine — the spool is
+// durable and the next start replays it.
+func flushSpool(tc *trust.Client, logger *obs.Logger) {
+	if tc == nil || tc.SpoolDepth() == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := tc.Drain(ctx); err != nil {
+		logger.Warnf("final drain: %v (%d readings stay spooled for next run)", err, tc.SpoolDepth())
+		return
+	}
+	logger.Infof("spool drained")
 }

@@ -33,6 +33,7 @@ import (
 
 	"sensorcal/internal/clock"
 	"sensorcal/internal/obs"
+	"sensorcal/internal/resilience"
 	"sensorcal/internal/trust"
 )
 
@@ -46,6 +47,12 @@ type daemon struct {
 	statePath string
 	epoch     time.Duration
 	log       *obs.Logger
+	// saveRetry retries transient filesystem errors during ledger saves
+	// (nil: single attempt). saveFailures counts saves that failed even
+	// after retrying (nil: uncounted) — each one is a window of consensus
+	// evidence that a crash would lose.
+	saveRetry    *resilience.Retrier
+	saveFailures *obs.Counter
 }
 
 // loadState restores the ledger snapshot, tolerating a missing file.
@@ -68,24 +75,40 @@ func (d *daemon) loadState() error {
 	return nil
 }
 
-// saveState writes the ledger snapshot atomically (write + rename).
+// saveState writes the ledger snapshot atomically (write + rename),
+// retrying transient filesystem errors: a full disk or a slow NFS mount
+// recovers, and losing a snapshot over it would let a fabricator launder
+// its history by crashing the collector at the right moment.
 func (d *daemon) saveState() {
 	if d.statePath == "" {
 		return
 	}
-	tmp := d.statePath + ".tmp"
-	f, err := os.Create(tmp)
+	attempt := func() error {
+		tmp := d.statePath + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if err := d.col.Ledger.Save(f, d.clk.Now()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp, d.statePath)
+	}
+	var err error
+	if d.saveRetry != nil {
+		err = d.saveRetry.Do(context.Background(), "ledger_save",
+			func(context.Context) error { return attempt() })
+	} else {
+		err = attempt()
+	}
 	if err != nil {
-		d.log.Errorf("saving ledger: %v", err)
-		return
-	}
-	if err := d.col.Ledger.Save(f, d.clk.Now()); err != nil {
-		d.log.Errorf("saving ledger: %v", err)
-		f.Close()
-		return
-	}
-	f.Close()
-	if err := os.Rename(tmp, d.statePath); err != nil {
+		if d.saveFailures != nil {
+			d.saveFailures.Inc()
+		}
 		d.log.Errorf("saving ledger: %v", err)
 	}
 }
@@ -125,10 +148,13 @@ func (d *daemon) shutdown(srv *http.Server) {
 	d.log.Infof("ledger saved, exiting")
 }
 
-// handler mounts the collector API onto the obs admin surface.
+// handler mounts the collector API — wrapped in the load-shedding and
+// per-request-timeout middleware — onto the obs admin surface. The debug
+// endpoints stay outside the timeout: a CPU profile legitimately takes
+// longer than any API request should.
 func (d *daemon) handler() http.Handler {
 	mux := obs.AdminMux(nil, nil)
-	mux.Handle("/api/", d.col.Handler(d.clk.Now))
+	mux.Handle("/api/", trust.Harden(d.col.Handler(d.clk.Now), trust.HardenConfig{}))
 	return mux
 }
 
@@ -149,7 +175,16 @@ func main() {
 
 	c := trust.NewCollector().Instrument(obs.Default())
 	c.EpochWindow = *epoch
-	d := &daemon{col: c, clk: clock.System{}, statePath: *state, epoch: *epoch, log: logger}
+	d := &daemon{
+		col: c, clk: clock.System{}, statePath: *state, epoch: *epoch, log: logger,
+		saveRetry: resilience.NewRetrier(resilience.Policy{
+			MaxAttempts: 3,
+			BaseDelay:   50 * time.Millisecond,
+			MaxDelay:    500 * time.Millisecond,
+		}).Instrument(nil),
+		saveFailures: obs.Default().Counter("trust_ledger_save_failures_total",
+			"Ledger snapshot saves that failed even after retrying."),
+	}
 	if err := d.loadState(); err != nil {
 		logger.Fatalf("loading %s: %v", *state, err)
 	}

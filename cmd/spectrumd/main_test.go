@@ -11,6 +11,7 @@ import (
 
 	"sensorcal/internal/clock"
 	"sensorcal/internal/obs"
+	"sensorcal/internal/resilience"
 	"sensorcal/internal/trust"
 )
 
@@ -154,5 +155,34 @@ func TestShutdownFlushesPendingEpochs(t *testing.T) {
 	}
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("final snapshot not written: %v", err)
+	}
+}
+
+// TestSaveStateRetriesAndCountsFailures drives the ledger save through a
+// path that cannot succeed (parent directory missing): the retrier burns
+// its attempts and the failure counter records exactly one lost save.
+func TestSaveStateRetriesAndCountsFailures(t *testing.T) {
+	start := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	path := filepath.Join(t.TempDir(), "no-such-dir", "ledger.json")
+	d, _ := newTestDaemon(t, start, path)
+	reg := obs.NewRegistry()
+	d.saveRetry = resilience.NewRetrier(resilience.Policy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 1,
+	})
+	d.saveFailures = reg.Counter("trust_ledger_save_failures_total", "test")
+	d.saveState()
+	if got := d.saveFailures.Value(); got != 1 {
+		t.Fatalf("save failures = %v, want 1", got)
+	}
+	// A healthy path succeeds through the same retry plumbing and leaves
+	// the counter alone.
+	d.statePath = filepath.Join(t.TempDir(), "ledger.json")
+	register(t, d.col, "n1")
+	d.saveState()
+	if _, err := os.Stat(d.statePath); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if got := d.saveFailures.Value(); got != 1 {
+		t.Fatalf("save failures after success = %v, want still 1", got)
 	}
 }

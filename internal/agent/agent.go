@@ -265,6 +265,9 @@ func (a *Agent) measure(ctx context.Context, index int, w calib.MeasurementWindo
 
 	a.mu.Lock()
 	a.accum.Observations = append(a.accum.Observations, set.Observations...)
+	if set.GroundTruthStale {
+		a.accum.GroundTruthStale = true
+	}
 	if round.Frequency != nil {
 		a.lastFreq = round.Frequency
 	}

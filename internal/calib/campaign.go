@@ -106,6 +106,12 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignResult, erro
 		}
 		res.PerRun = append(res.PerRun, set)
 		res.Aggregate.Observations = append(res.Aggregate.Observations, set.Observations...)
+		if set.GroundTruthStale {
+			// One degraded run taints the aggregate: its observed-only
+			// entries cannot contribute misses, so FoV conclusions drawn
+			// from the aggregate carry the same caveat.
+			res.Aggregate.GroundTruthStale = true
+		}
 	}
 	cm.campaigns.Inc()
 	return res, nil

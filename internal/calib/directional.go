@@ -30,6 +30,7 @@ import (
 	"sensorcal/internal/modes"
 	"sensorcal/internal/obs"
 	"sensorcal/internal/phy1090"
+	"sensorcal/internal/resilience"
 	"sensorcal/internal/rfmath"
 	"sensorcal/internal/world"
 )
@@ -63,6 +64,13 @@ type ObservationSet struct {
 	// FramesDecoded counts all decoded frames, including aircraft that
 	// ground truth did not report.
 	FramesDecoded int
+	// GroundTruthStale marks a degraded measurement: the flight-tracking
+	// service was unreachable after retries, so Observations holds only
+	// the aircraft the sensor itself decoded (observed-only, no misses).
+	// Such a set still extends the observed field of view but cannot
+	// shrink it — absence of evidence is not evidence of absence without
+	// ground truth.
+	GroundTruthStale bool
 }
 
 // Observed returns the observations that were received.
@@ -117,6 +125,11 @@ type DirectionalConfig struct {
 	NoiseFigureDB float64
 	// Seed drives fading and PHY noise.
 	Seed int64
+	// TruthRetry wraps the ground-truth query. Nil means a short default
+	// (3 attempts, 50 ms base). After the retrier gives up the
+	// measurement degrades to an observed-only set instead of failing —
+	// see ObservationSet.GroundTruthStale.
+	TruthRetry *resilience.Retrier
 }
 
 // defaults fills the paper's procedure values.
@@ -135,6 +148,14 @@ func (c *DirectionalConfig) defaults() {
 	}
 	if c.Antenna == nil {
 		c.Antenna = antenna.PaperAntenna()
+	}
+	if c.TruthRetry == nil {
+		c.TruthRetry = resilience.NewRetrier(resilience.Policy{
+			MaxAttempts: 3,
+			BaseDelay:   50 * time.Millisecond,
+			MaxDelay:    500 * time.Millisecond,
+			Seed:        c.Seed + 1,
+		})
 	}
 }
 
@@ -233,12 +254,28 @@ func RunDirectional(ctx context.Context, cfg DirectionalConfig) (*ObservationSet
 		pipe.ProcessBurst(tx.At, capBuf, 8)
 	}
 
-	// Ground truth snapshot, exactly as the paper takes it.
-	_, truthSpan := obs.StartSpan(ctx, "calib.groundtruth")
-	flights, err := cfg.Truth.Query(cfg.Start.Add(cfg.TruthQueryOffset), cfg.Site.Position, cfg.RadiusKm*1000)
+	// Ground truth snapshot, exactly as the paper takes it — retried,
+	// because FlightRadar24 is a third-party service on somebody else's
+	// uptime budget.
+	truthCtx, truthSpan := obs.StartSpan(ctx, "calib.groundtruth")
+	var flights []fr24.Flight
+	err = cfg.TruthRetry.Do(truthCtx, "groundtruth", func(context.Context) error {
+		var qerr error
+		flights, qerr = cfg.Truth.Query(cfg.Start.Add(cfg.TruthQueryOffset), cfg.Site.Position, cfg.RadiusKm*1000)
+		return qerr
+	})
 	truthSpan.End()
 	if err != nil {
-		return nil, fmt.Errorf("calib: ground truth query: %w", err)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		// Graceful degradation: the sensor-side capture succeeded, only
+		// the reference data is missing. Return what the sensor saw —
+		// flagged stale — so a campaign keeps its cadence through a
+		// ground-truth outage instead of aborting (§5: volunteer nodes
+		// must degrade, not fail hard).
+		cm.recordGroundTruthStale()
+		return degradedSet(cfg, pipe), nil
 	}
 
 	set := &ObservationSet{
@@ -271,6 +308,42 @@ func RunDirectional(ctx context.Context, cfg DirectionalConfig) (*ObservationSet
 	cm.recordPipeline(pipe, pipe.Demod.Stat)
 	cm.recordObservations(set)
 	return set, nil
+}
+
+// degradedSet builds the observed-only observation set used when ground
+// truth is unavailable: every decoded track with a position fix becomes
+// an Observed entry; aircraft the sensor missed are unknowable without
+// the reference, so no missed entries exist and the set is flagged.
+func degradedSet(cfg DirectionalConfig, pipe *dump1090.Pipeline) *ObservationSet {
+	set := &ObservationSet{
+		Site:             cfg.Site.Name,
+		Start:            cfg.Start,
+		Duration:         cfg.Duration,
+		FramesDecoded:    pipe.FramesDecoded,
+		GroundTruthStale: true,
+	}
+	for _, trk := range pipe.Tracker.Tracks() {
+		if !trk.PositionValid {
+			continue
+		}
+		g := cfg.Site.GeometryTo(trk.Position)
+		set.Observations = append(set.Observations, Observation{
+			ICAO:       trk.ICAO.String(),
+			Callsign:   trk.Callsign,
+			BearingDeg: g.BearingDeg,
+			RangeKm:    g.RangeMeters / 1000,
+			Observed:   true,
+			Messages:   trk.Messages,
+			MeanRSSI:   trk.MeanRSSI(),
+		})
+	}
+	sort.Slice(set.Observations, func(i, j int) bool {
+		return set.Observations[i].ICAO < set.Observations[j].ICAO
+	})
+	cm := metrics()
+	cm.recordPipeline(pipe, pipe.Demod.Stat)
+	cm.recordObservations(set)
+	return set
 }
 
 // PolarPlot renders the observation set as an ASCII polar scatter — the

@@ -2,6 +2,7 @@ package calib
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"sensorcal/internal/flightsim"
 	"sensorcal/internal/fr24"
 	"sensorcal/internal/geo"
+	"sensorcal/internal/resilience"
 	"sensorcal/internal/world"
 )
 
@@ -217,5 +219,67 @@ func TestPolarPlotRenders(t *testing.T) {
 	lines := strings.Split(plot, "\n")
 	if len(lines) < 40 {
 		t.Errorf("plot has %d lines", len(lines))
+	}
+}
+
+// failingTruth counts queries and always fails — a ground-truth outage.
+type failingTruth struct{ calls int }
+
+func (f *failingTruth) Query(time.Time, geo.Point, float64) ([]fr24.Flight, error) {
+	f.calls++
+	return nil, fmt.Errorf("fr24: service unavailable")
+}
+
+// TestDirectionalDegradesWithoutGroundTruth asserts the §5 failure
+// behavior: when the flight-tracking service stays down through every
+// retry, the measurement returns the sensor's own observations flagged
+// stale instead of erroring out.
+func TestDirectionalDegradesWithoutGroundTruth(t *testing.T) {
+	fleet, _ := testScenario(t, 40, 17)
+	truth := &failingTruth{}
+	set, err := RunDirectional(context.Background(), DirectionalConfig{
+		Site:  world.RooftopSite(),
+		Fleet: fleet,
+		Truth: truth,
+		Start: epoch,
+		Seed:  17,
+		TruthRetry: resilience.NewRetrier(resilience.Policy{
+			MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 1,
+		}),
+	})
+	if err != nil {
+		t.Fatalf("degraded run should not error: %v", err)
+	}
+	if truth.calls != 3 {
+		t.Errorf("ground truth queried %d times, want 3 (retried)", truth.calls)
+	}
+	if !set.GroundTruthStale {
+		t.Fatal("set should be flagged GroundTruthStale")
+	}
+	if len(set.Missed()) != 0 {
+		t.Errorf("degraded set has %d misses; misses are unknowable without ground truth", len(set.Missed()))
+	}
+	if len(set.Observed()) == 0 {
+		t.Error("degraded set should still carry the sensor's own observations")
+	}
+	if set.FramesDecoded == 0 {
+		t.Error("capture side should have decoded frames")
+	}
+	// The degraded evidence still feeds a report, with the caveat printed.
+	rep := BuildReport("node-1", epoch, set, nil)
+	if !strings.Contains(rep.Render(), "ground truth was unreachable") {
+		t.Error("report should surface the stale-ground-truth warning")
+	}
+	// A cancelled context beats degradation: the caller asked to stop.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunDirectional(ctx, DirectionalConfig{
+		Site:  world.RooftopSite(),
+		Fleet: fleet,
+		Truth: truth,
+		Start: epoch,
+		Seed:  17,
+	}); err == nil {
+		t.Error("cancelled context should return an error, not a degraded set")
 	}
 }

@@ -35,9 +35,10 @@ type calibMetrics struct {
 	crcFail           *obs.Counter
 	crcRepaired       *obs.Counter
 
-	tvPower   *obs.GaugeVec // calib_tv_power_dbm{station}
-	towerRSRP *obs.GaugeVec // calib_tower_rsrp_dbm{tower}
-	campaigns *obs.Counter
+	tvPower          *obs.GaugeVec // calib_tv_power_dbm{station}
+	towerRSRP        *obs.GaugeVec // calib_tower_rsrp_dbm{tower}
+	campaigns        *obs.Counter
+	groundTruthStale *obs.Counter
 }
 
 var (
@@ -81,6 +82,8 @@ func metrics() *calibMetrics {
 				"Latest decoded cellular RSRP per tower (Figure 3 bars).", "tower"),
 			campaigns: r.Counter("calib_campaigns_total",
 				"Completed repeated-measurement campaigns."),
+			groundTruthStale: r.Counter("calib_groundtruth_stale_total",
+				"Directional windows degraded to observed-only because ground truth was unreachable."),
 		}
 	})
 	return metricsInst
@@ -116,6 +119,12 @@ func (m *calibMetrics) recordObservations(set *ObservationSet) {
 	}
 	m.aircraftObserved.Add(seen)
 	m.aircraftMissed.Add(missed)
+}
+
+// recordGroundTruthStale counts a window that fell back to an
+// observed-only set because the flight-tracking service was down.
+func (m *calibMetrics) recordGroundTruthStale() {
+	m.groundTruthStale.Inc()
 }
 
 // recordFrequency exports the sweep's per-signal powers.

@@ -110,6 +110,10 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&sb, "ADS-B: %d/%d aircraft observed, FoV %s (%.0f° coverage), max range %.0f km\n",
 			obs, len(r.Directional.Observations), r.FieldOfView, r.FoVCoverage,
 			r.Directional.MaxObservedRangeKm(nil))
+		if r.Directional.GroundTruthStale {
+			sb.WriteString("  WARNING: ground truth was unreachable for part of the data — " +
+				"observed-only evidence, FoV may be underestimated and misses are unknown\n")
+		}
 	}
 	if r.Frequency != nil {
 		fmt.Fprintf(&sb, "Cellular: %d/%d towers decoded\n", r.Frequency.DecodedTowers(), len(r.Frequency.Towers))

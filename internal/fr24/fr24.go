@@ -14,8 +14,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"sensorcal/internal/flightsim"
@@ -144,11 +146,36 @@ func (c *Client) Flights(ctx context.Context, center geo.Point, radiusKM float64
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("fr24: server returned %s", resp.Status)
+		// Carry the status and a body snippet: a 500 with an error page
+		// and a refused connection need different operator responses, and
+		// a bare "query failed" hides which one happened.
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, &StatusError{Status: resp.Status, Code: resp.StatusCode, Body: strings.TrimSpace(string(snippet))}
 	}
 	var flights []Flight
 	if err := json.NewDecoder(resp.Body).Decode(&flights); err != nil {
 		return nil, fmt.Errorf("fr24: decode response: %w", err)
 	}
 	return flights, nil
+}
+
+// StatusError is a non-200 response from the fr24 server, preserving the
+// HTTP status and a snippet of the body for diagnosis.
+type StatusError struct {
+	Status string
+	Code   int
+	Body   string
+}
+
+func (e *StatusError) Error() string {
+	if e.Body == "" {
+		return fmt.Sprintf("fr24: server returned %s", e.Status)
+	}
+	return fmt.Sprintf("fr24: server returned %s: %s", e.Status, e.Body)
+}
+
+// Snapshot is Flights bound to "now" per the server clock — the common
+// case for live ground-truth queries.
+func (c *Client) Snapshot(ctx context.Context, center geo.Point, radiusKM float64) ([]Flight, error) {
+	return c.Flights(ctx, center, radiusKM, time.Time{})
 }

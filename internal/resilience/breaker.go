@@ -1,0 +1,198 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sensorcal/internal/clock"
+)
+
+// BreakerState is the circuit's position.
+type BreakerState int
+
+// The three classic states.
+const (
+	// Closed: requests flow; consecutive failures are counted.
+	Closed BreakerState = iota
+	// Open: requests fail fast until the open interval elapses.
+	Open
+	// HalfOpen: a limited number of probes are let through; success
+	// closes the circuit, failure re-opens it.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// ErrOpen is returned by Allow while the circuit is open (and by Do,
+// wrapped). Callers treat it as "the dependency is known-down; don't try".
+var ErrOpen = errors.New("resilience: circuit open")
+
+// BreakerConfig configures a Breaker.
+type BreakerConfig struct {
+	// Name labels the breaker's metrics.
+	Name string
+	// FailureThreshold is how many consecutive failures trip the circuit
+	// open. Zero means 5.
+	FailureThreshold int
+	// OpenFor is how long the circuit stays open before allowing
+	// half-open probes. Zero means 30 s.
+	OpenFor time.Duration
+	// ProbeSuccesses is how many consecutive half-open successes close
+	// the circuit again. Zero means 1.
+	ProbeSuccesses int
+	// Clock drives the open-interval timing; nil means the wall clock.
+	Clock clock.Clock
+}
+
+// Breaker is a three-state circuit breaker. It is safe for concurrent
+// use. The usual pattern:
+//
+//	if err := b.Allow(); err != nil { return err }
+//	err := doTheCall()
+//	b.Record(err)
+type Breaker struct {
+	cfg BreakerConfig
+	clk clock.Clock
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int // consecutive failures while closed
+	successes int // consecutive successes while half-open
+	probing   int // in-flight half-open probes
+	openedAt  time.Time
+
+	m *breakerMetrics
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = 30 * time.Second
+	}
+	if cfg.ProbeSuccesses <= 0 {
+		cfg.ProbeSuccesses = 1
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System{}
+	}
+	if cfg.Name == "" {
+		cfg.Name = "default"
+	}
+	return &Breaker{cfg: cfg, clk: clk}
+}
+
+// State returns the current state, applying the open→half-open transition
+// if the open interval has elapsed.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	return b.state
+}
+
+// Allow reports whether a request may proceed. It returns ErrOpen when
+// the circuit is open, or when it is half-open and a probe is already in
+// flight (one probe at a time keeps a recovering dependency from being
+// dogpiled).
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	switch b.state {
+	case Open:
+		b.m.recordRejected(b.cfg.Name)
+		return ErrOpen
+	case HalfOpen:
+		if b.probing > 0 {
+			b.m.recordRejected(b.cfg.Name)
+			return ErrOpen
+		}
+		b.probing++
+	}
+	return nil
+}
+
+// Record reports the outcome of a request previously admitted by Allow.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if err == nil {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.tripLocked()
+		}
+	case HalfOpen:
+		if b.probing > 0 {
+			b.probing--
+		}
+		if err != nil {
+			b.tripLocked()
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.ProbeSuccesses {
+			b.toLocked(Closed)
+			b.failures = 0
+		}
+	case Open:
+		// A straggler finishing after the trip; nothing to learn.
+	}
+}
+
+// Do combines Allow/Record around fn.
+func (b *Breaker) Do(fn func() error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := fn()
+	b.Record(err)
+	return err
+}
+
+// tripLocked opens the circuit and stamps the interval start.
+func (b *Breaker) tripLocked() {
+	b.toLocked(Open)
+	b.openedAt = b.clk.Now()
+	b.successes = 0
+	b.probing = 0
+}
+
+// maybeHalfOpenLocked moves open→half-open once the interval elapses.
+func (b *Breaker) maybeHalfOpenLocked() {
+	if b.state == Open && b.clk.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.toLocked(HalfOpen)
+		b.successes = 0
+		b.probing = 0
+	}
+}
+
+// toLocked transitions state and updates the gauge.
+func (b *Breaker) toLocked(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	b.m.setState(b.cfg.Name, s)
+}

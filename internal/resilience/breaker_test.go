@@ -1,0 +1,107 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sensorcal/internal/clock"
+	"sensorcal/internal/obs"
+)
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	sim := clock.NewSimulated(time.Unix(0, 0))
+	b := NewBreaker(BreakerConfig{Name: "c", FailureThreshold: 3, OpenFor: time.Minute, Clock: sim}).
+		Instrument(obs.NewRegistry())
+	down := errors.New("down")
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("Allow before trip: %v", err)
+		}
+		b.Record(down)
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %v, want open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow while open = %v, want ErrOpen", err)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3})
+	down := errors.New("down")
+	b.Record(down)
+	b.Record(down)
+	b.Record(nil) // resets the streak
+	b.Record(down)
+	b.Record(down)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want closed (streak was reset)", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	sim := clock.NewSimulated(time.Unix(0, 0))
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: time.Minute, ProbeSuccesses: 2, Clock: sim})
+	b.Record(errors.New("down"))
+	if b.State() != Open {
+		t.Fatalf("breaker should be open")
+	}
+	sim.Advance(time.Minute)
+	if b.State() != HalfOpen {
+		t.Fatalf("breaker should be half-open after the interval")
+	}
+	// Only one probe at a time.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("first probe refused: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second concurrent probe admitted")
+	}
+	b.Record(nil)
+	if b.State() != HalfOpen {
+		t.Fatalf("one success should not close a 2-probe breaker")
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatalf("breaker should close after %d probe successes", 2)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	sim := clock.NewSimulated(time.Unix(0, 0))
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: time.Minute, Clock: sim})
+	b.Record(errors.New("down"))
+	sim.Advance(time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	b.Record(errors.New("still down"))
+	if b.State() != Open {
+		t.Fatalf("failed probe should re-open the circuit")
+	}
+	// And the interval restarts: still open just before it elapses.
+	sim.Advance(time.Minute - time.Second)
+	if b.State() != Open {
+		t.Fatalf("interval did not restart on re-open")
+	}
+	sim.Advance(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("breaker should probe again after the restarted interval")
+	}
+}
+
+func TestBreakerDo(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: time.Hour})
+	down := errors.New("down")
+	if err := b.Do(func() error { return down }); !errors.Is(err, down) {
+		t.Fatalf("Do = %v, want the fn error", err)
+	}
+	if err := b.Do(func() error { return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Do while open = %v, want ErrOpen", err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package chaos is the fault-injection harness for the resilience layer:
+// deterministic, seeded wrappers that make the network edges of the
+// system misbehave on demand. Tests use it to prove the paper's §5
+// crowd-sourced deployment story end to end — a campaign run over a 30%
+// lossy link must converge to the same trust scores and field-of-view
+// report as a clean run.
+//
+// Everything here is seeded and mutex-guarded: the same seed produces the
+// same fault schedule, so a chaos test failure replays exactly.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"sensorcal/internal/fr24"
+	"sensorcal/internal/geo"
+)
+
+// Faults configures the per-request fault probabilities of a Transport.
+// Rates are independent probabilities in [0,1], checked in the field
+// order below; at most one fault fires per request.
+type Faults struct {
+	// DropBefore fails the request before it reaches the server — the
+	// classic lost-uplink packet. The server never sees it.
+	DropBefore float64
+	// DropAfter delivers the request, then loses the response — the case
+	// that turns naive retries into duplicates and is exactly what
+	// idempotency keys exist for.
+	DropAfter float64
+	// Err503 returns a synthesized 503 with a Retry-After header without
+	// contacting the server (an overloaded proxy).
+	Err503 float64
+	// Delay stalls the request by a uniform duration in [0, MaxDelay]
+	// before sending it (bufferbloat on a home link). The request still
+	// goes through.
+	Delay float64
+	// MaxDelay bounds injected delays; zero means 50 ms.
+	MaxDelay time.Duration
+}
+
+// errDropped is the injected network failure.
+type errDropped struct{ phase string }
+
+func (e errDropped) Error() string { return fmt.Sprintf("chaos: request dropped (%s)", e.phase) }
+
+// Timeout marks the error as a timeout so net-aware retry classifiers
+// treat it like a real lost packet.
+func (e errDropped) Timeout() bool   { return true }
+func (e errDropped) Temporary() bool { return true }
+
+// Transport is a fault-injecting http.RoundTripper. Wrap a client's
+// transport with it to put a misbehaving network between the client and
+// any server, real or httptest.
+type Transport struct {
+	// Base performs the real round trips; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+	// Faults is the fault schedule.
+	Faults Faults
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	requests int
+	injected int
+}
+
+// NewTransport returns a fault-injecting transport with a deterministic
+// schedule drawn from seed.
+func NewTransport(base http.RoundTripper, seed int64, f Faults) *Transport {
+	if f.MaxDelay <= 0 {
+		f.MaxDelay = 50 * time.Millisecond
+	}
+	return &Transport{Base: base, Faults: f, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats reports how many requests the transport saw and how many had a
+// fault injected.
+func (t *Transport) Stats() (requests, injected int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requests, t.injected
+}
+
+// roll draws the fault decision for one request under the lock, keeping
+// the schedule deterministic even when requests race.
+func (t *Transport) roll() (fault string, delay time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.requests++
+	switch f := &t.Faults; {
+	case t.rng.Float64() < f.DropBefore:
+		fault = "drop-before"
+	case t.rng.Float64() < f.DropAfter:
+		fault = "drop-after"
+	case t.rng.Float64() < f.Err503:
+		fault = "503"
+	case t.rng.Float64() < f.Delay:
+		fault = "delay"
+		delay = time.Duration(t.rng.Int63n(int64(f.MaxDelay) + 1))
+	}
+	if fault != "" {
+		t.injected++
+	}
+	return fault, delay
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	fault, delay := t.roll()
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	switch fault {
+	case "drop-before":
+		// The body must be consumed per the RoundTripper contract.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, errDropped{phase: "before server"}
+	case "drop-after":
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, errDropped{phase: "response lost"}
+	case "503":
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      req.Proto, ProtoMajor: req.ProtoMajor, ProtoMinor: req.ProtoMinor,
+			Header:  http.Header{"Retry-After": []string{"1"}},
+			Body:    io.NopCloser(bytes.NewReader(nil)),
+			Request: req,
+		}, nil
+	case "delay":
+		time.Sleep(delay)
+	}
+	return base.RoundTrip(req)
+}
+
+// FlakyGroundTruth wraps a ground-truth source (fr24.Service or an HTTP
+// client adapter) and fails a seeded fraction of queries — the
+// FlightRadar24 outage case that graceful degradation in calib handles.
+type FlakyGroundTruth struct {
+	// Inner answers the queries that are allowed through.
+	Inner interface {
+		Query(at time.Time, center geo.Point, radius float64) ([]fr24.Flight, error)
+	}
+	// FailRate is the probability a query fails.
+	FailRate float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewFlakyGroundTruth wraps inner with a seeded failure schedule.
+func NewFlakyGroundTruth(inner interface {
+	Query(at time.Time, center geo.Point, radius float64) ([]fr24.Flight, error)
+}, seed int64, failRate float64) *FlakyGroundTruth {
+	return &FlakyGroundTruth{Inner: inner, FailRate: failRate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Query implements calib.GroundTruth.
+func (f *FlakyGroundTruth) Query(at time.Time, center geo.Point, radius float64) ([]fr24.Flight, error) {
+	f.mu.Lock()
+	fail := f.rng.Float64() < f.FailRate
+	f.mu.Unlock()
+	if fail {
+		return nil, errDropped{phase: "ground truth"}
+	}
+	return f.Inner.Query(at, center, radius)
+}

@@ -1,0 +1,161 @@
+package chaos
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sensorcal/internal/flightsim"
+	"sensorcal/internal/fr24"
+	"sensorcal/internal/geo"
+	"sensorcal/internal/iq"
+	"sensorcal/internal/sdr"
+)
+
+func TestTransportDeterministicBySeed(t *testing.T) {
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	run := func(seed int64) (outcomes []string, reached int64) {
+		served.Store(0)
+		tr := NewTransport(nil, seed, Faults{DropBefore: 0.2, DropAfter: 0.1, Err503: 0.1})
+		client := &http.Client{Transport: tr}
+		for i := 0; i < 100; i++ {
+			resp, err := client.Get(srv.URL)
+			switch {
+			case err != nil:
+				outcomes = append(outcomes, "err")
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				outcomes = append(outcomes, "503")
+				resp.Body.Close()
+			default:
+				outcomes = append(outcomes, "ok")
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return outcomes, served.Load()
+	}
+
+	a, reachedA := run(7)
+	b, reachedB := run(7)
+	c, _ := run(8)
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length")
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if !same || reachedA != reachedB {
+		t.Fatalf("same seed produced different fault schedules")
+	}
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatalf("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestTransportRatesRoughlyHonored(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	tr := NewTransport(nil, 1, Faults{DropBefore: 0.3})
+	client := &http.Client{Transport: tr}
+	fails := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			fails++
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	frac := float64(fails) / n
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("30%% drop rate produced %.0f%% failures", frac*100)
+	}
+	reqs, injected := tr.Stats()
+	if reqs != n || injected != fails {
+		t.Fatalf("Stats = (%d, %d), want (%d, %d)", reqs, injected, n, fails)
+	}
+}
+
+func TestTransportDropAfterReachesServer(t *testing.T) {
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+	}))
+	defer srv.Close()
+	tr := NewTransport(nil, 3, Faults{DropAfter: 1})
+	client := &http.Client{Transport: tr}
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatalf("drop-after should surface an error to the client")
+	}
+	if served.Load() != 1 {
+		t.Fatalf("drop-after request never reached the server")
+	}
+}
+
+func TestFlakyGroundTruth(t *testing.T) {
+	fleet, err := flightsim.NewFleet(time.Unix(0, 0), flightsim.Config{
+		Center: geo.Point{Lat: 46.5, Lon: 6.6}, Radius: 50_000, Count: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	flaky := NewFlakyGroundTruth(fr24.NewService(fleet), 1, 0.5)
+	fails, oks := 0, 0
+	for i := 0; i < 200; i++ {
+		_, err := flaky.Query(time.Unix(60, 0), geo.Point{Lat: 46.5, Lon: 6.6}, 100_000)
+		if err != nil {
+			fails++
+		} else {
+			oks++
+		}
+	}
+	if fails == 0 || oks == 0 {
+		t.Fatalf("50%% flaky source gave fails=%d oks=%d", fails, oks)
+	}
+}
+
+func TestFlakyEmission(t *testing.T) {
+	dev := sdr.New(sdr.RTLSDR(), 1)
+	if err := dev.Tune(100e6); err != nil {
+		t.Fatalf("tune: %v", err)
+	}
+	if err := dev.SetSampleRate(2.4e6); err != nil {
+		t.Fatalf("sample rate: %v", err)
+	}
+	flaky := NewFlakyEmission(silence{}, 2, 1)
+	if _, err := dev.Capture(1024, []sdr.Emission{flaky}); err == nil {
+		t.Fatalf("always-failing emission should fail the capture")
+	}
+	ok := NewFlakyEmission(silence{}, 2, 0)
+	if _, err := dev.Capture(1024, []sdr.Emission{ok}); err != nil {
+		t.Fatalf("never-failing emission broke the capture: %v", err)
+	}
+}
+
+// silence is an emission that adds nothing.
+type silence struct{}
+
+func (silence) RenderInto(*iq.Buffer, func(float64) float64, *rand.Rand) error { return nil }

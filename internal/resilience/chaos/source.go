@@ -1,0 +1,37 @@
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+
+	"sensorcal/internal/iq"
+	"sensorcal/internal/sdr"
+)
+
+// FlakyEmission wraps an SDR emission and fails a seeded fraction of
+// renders — a USB hiccup or sample-drop on cheap dongle hardware. Capture
+// paths that tolerate it skip the affected emission; paths that don't
+// surface the error to their retry layer.
+type FlakyEmission struct {
+	Inner    sdr.Emission
+	FailRate float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewFlakyEmission wraps inner with a seeded failure schedule.
+func NewFlakyEmission(inner sdr.Emission, seed int64, failRate float64) *FlakyEmission {
+	return &FlakyEmission{Inner: inner, FailRate: failRate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// RenderInto implements sdr.Emission.
+func (f *FlakyEmission) RenderInto(b *iq.Buffer, scale func(dbm float64) float64, rng *rand.Rand) error {
+	f.mu.Lock()
+	fail := f.rng.Float64() < f.FailRate
+	f.mu.Unlock()
+	if fail {
+		return errDropped{phase: "sdr capture"}
+	}
+	return f.Inner.RenderInto(b, scale, rng)
+}

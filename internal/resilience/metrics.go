@@ -1,0 +1,185 @@
+package resilience
+
+import (
+	"sensorcal/internal/obs"
+)
+
+// Instrumentation. As elsewhere in the codebase, metrics are opt-in:
+// a Retrier/Breaker/Spool records nothing until Instrument is called, and
+// every record method tolerates a nil receiver so library users and most
+// tests pay a single nil check.
+
+type retrierMetrics struct {
+	attempts *obs.CounterVec // op
+	retries  *obs.CounterVec // op
+	giveups  *obs.CounterVec // op
+}
+
+// Instrument registers the retrier's metrics on reg (the process-wide
+// default when nil) and returns r for chaining.
+//
+// Exposed series:
+//
+//	resilience_attempts_total{op} — individual attempts started
+//	resilience_retries_total{op}  — backoff sleeps taken (attempts − firsts − giveups)
+//	resilience_giveups_total{op}  — operations abandoned (exhausted, permanent error, budget)
+func (r *Retrier) Instrument(reg *obs.Registry) *Retrier {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	r.m = &retrierMetrics{
+		attempts: reg.CounterVec("resilience_attempts_total",
+			"Individual attempts started under a retry policy, by operation.", "op"),
+		retries: reg.CounterVec("resilience_retries_total",
+			"Retries taken after a failed attempt, by operation.", "op"),
+		giveups: reg.CounterVec("resilience_giveups_total",
+			"Operations abandoned after exhausting the retry policy, by operation.", "op"),
+	}
+	return r
+}
+
+func (m *retrierMetrics) recordAttempt(op string) {
+	if m == nil {
+		return
+	}
+	m.attempts.With(op).Inc()
+}
+
+func (m *retrierMetrics) recordRetry(op string) {
+	if m == nil {
+		return
+	}
+	m.retries.With(op).Inc()
+}
+
+func (m *retrierMetrics) recordGiveUp(op string) {
+	if m == nil {
+		return
+	}
+	m.giveups.With(op).Inc()
+}
+
+type breakerMetrics struct {
+	state    *obs.GaugeVec   // name
+	rejected *obs.CounterVec // name
+}
+
+// Instrument registers the breaker's metrics on reg (the process-wide
+// default when nil) and returns b for chaining.
+//
+// Exposed series:
+//
+//	resilience_breaker_state{name}          — 0 closed, 1 open, 2 half-open
+//	resilience_breaker_rejected_total{name} — requests failed fast by the open circuit
+func (b *Breaker) Instrument(reg *obs.Registry) *Breaker {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	b.m = &breakerMetrics{
+		state: reg.GaugeVec("resilience_breaker_state",
+			"Circuit breaker position: 0 closed, 1 open, 2 half-open.", "name"),
+		rejected: reg.CounterVec("resilience_breaker_rejected_total",
+			"Requests rejected fast while the circuit was open.", "name"),
+	}
+	b.m.setState(b.cfg.Name, b.state)
+	return b
+}
+
+// stateValue maps states to stable gauge values (documented above).
+func stateValue(s BreakerState) float64 {
+	switch s {
+	case Open:
+		return 1
+	case HalfOpen:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func (m *breakerMetrics) setState(name string, s BreakerState) {
+	if m == nil {
+		return
+	}
+	m.state.With(name).Set(stateValue(s))
+}
+
+func (m *breakerMetrics) recordRejected(name string) {
+	if m == nil {
+		return
+	}
+	m.rejected.With(name).Inc()
+}
+
+type spoolMetrics struct {
+	depth    *obs.GaugeVec   // name
+	appends  *obs.CounterVec // name
+	acks     *obs.CounterVec // name
+	replayed *obs.CounterVec // name
+	dropped  *obs.CounterVec // name
+}
+
+// Instrument registers the spool's metrics on reg (the process-wide
+// default when nil) and returns s for chaining.
+//
+// Exposed series:
+//
+//	resilience_spool_depth{name}          — records appended but not yet acked
+//	resilience_spool_appends_total{name}  — records durably appended
+//	resilience_spool_acks_total{name}     — records acknowledged (drained)
+//	resilience_spool_replayed_total{name} — records recovered from the WAL at open
+//	resilience_spool_dropped_total{name}  — corrupt/truncated WAL lines discarded at open
+func (s *Spool) Instrument(reg *obs.Registry) *Spool {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	s.m = &spoolMetrics{
+		depth: reg.GaugeVec("resilience_spool_depth",
+			"Store-and-forward records awaiting acknowledgement.", "name"),
+		appends: reg.CounterVec("resilience_spool_appends_total",
+			"Records durably appended to the spool WAL.", "name"),
+		acks: reg.CounterVec("resilience_spool_acks_total",
+			"Spool records acknowledged after successful delivery.", "name"),
+		replayed: reg.CounterVec("resilience_spool_replayed_total",
+			"Unacked records recovered from the WAL at open.", "name"),
+		dropped: reg.CounterVec("resilience_spool_dropped_total",
+			"Corrupt or truncated WAL lines discarded during recovery.", "name"),
+	}
+	s.m.setDepth(s.name, s.Len())
+	return s
+}
+
+func (m *spoolMetrics) setDepth(name string, n int) {
+	if m == nil {
+		return
+	}
+	m.depth.With(name).Set(float64(n))
+}
+
+func (m *spoolMetrics) addAppends(name string, n int) {
+	if m == nil {
+		return
+	}
+	m.appends.With(name).Add(float64(n))
+}
+
+func (m *spoolMetrics) addAcks(name string, n int) {
+	if m == nil {
+		return
+	}
+	m.acks.With(name).Add(float64(n))
+}
+
+func (m *spoolMetrics) addReplayed(name string, n int) {
+	if m == nil {
+		return
+	}
+	m.replayed.With(name).Add(float64(n))
+}
+
+func (m *spoolMetrics) addDropped(name string, n int) {
+	if m == nil {
+		return
+	}
+	m.dropped.With(name).Add(float64(n))
+}

@@ -1,0 +1,188 @@
+// Package resilience is the robustness layer for the crowd-sourced
+// network's distributed edges. The paper's §5 deployment story — volunteer
+// nodes on home links feeding a cloud collector — lives or dies on how the
+// system behaves when those links misbehave: every mechanism here exists
+// so that a dropped packet, a collector restart, or a full disk degrades
+// the pipeline instead of corrupting it.
+//
+// The package is dependency-free (stdlib + internal/obs + internal/clock)
+// and provides three primitives:
+//
+//   - Retrier: exponential backoff with full jitter, per-attempt timeouts,
+//     an overall attempt budget, and context-deadline awareness.
+//   - Breaker: a three-state circuit breaker with half-open probes, so a
+//     hard-down collector costs one probe per interval instead of a
+//     retry storm from every node.
+//   - Spool: a durable store-and-forward JSONL write-ahead log with
+//     idempotency keys, so readings survive collector outages and daemon
+//     restarts (spool.go).
+//
+// Fault injection for tests lives in the chaos subpackage.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sensorcal/internal/clock"
+)
+
+// Policy configures a Retrier.
+type Policy struct {
+	// MaxAttempts bounds the total tries (first call included). Zero
+	// means the default of 5.
+	MaxAttempts int
+	// BaseDelay is the backoff unit: attempt n waits a uniformly random
+	// duration in [0, min(MaxDelay, BaseDelay·2ⁿ)] — "full jitter",
+	// which desynchronizes a fleet of nodes that all saw the same
+	// collector outage. Zero means 100 ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep. Zero means 10 s.
+	MaxDelay time.Duration
+	// Budget caps the total time spent inside Do, sleeps included. Zero
+	// means no budget: attempts stop only via MaxAttempts or context.
+	Budget time.Duration
+	// PerAttempt bounds each individual attempt via a derived context.
+	// Zero means attempts run under the caller's context unmodified.
+	PerAttempt time.Duration
+	// Retryable classifies errors; returning false stops immediately.
+	// Nil treats every error as retryable.
+	Retryable func(error) bool
+	// Seed makes the jitter deterministic for tests. Zero seeds from the
+	// wall clock.
+	Seed int64
+	// Clock drives the backoff sleeps; nil means the wall clock. Tests
+	// pass clock.Simulated so retry schedules replay instantly.
+	Clock clock.Clock
+}
+
+// Retrier executes operations under a retry Policy. It is safe for
+// concurrent use; all mutable state is the jitter RNG, which is locked.
+type Retrier struct {
+	p   Policy
+	clk clock.Clock
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	m *retrierMetrics
+}
+
+// NewRetrier validates the policy and returns a Retrier.
+func NewRetrier(p Policy) *Retrier {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 10 * time.Second
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	clk := p.Clock
+	if clk == nil {
+		clk = clock.System{}
+	}
+	return &Retrier{p: p, clk: clk, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Permanent wraps err so the Retrier stops immediately regardless of the
+// policy's Retryable classifier.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return permanentError{err}
+}
+
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+func (e permanentError) Unwrap() error { return e.err }
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var p permanentError
+	return errors.As(err, &p)
+}
+
+// Do runs fn until it succeeds, a non-retryable error occurs, attempts or
+// budget run out, or ctx is done. The error returned after exhaustion
+// wraps the last attempt's error.
+func (r *Retrier) Do(ctx context.Context, op string, fn func(context.Context) error) error {
+	start := r.clk.Now()
+	var last error
+	for attempt := 0; attempt < r.p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		actx := ctx
+		var cancel context.CancelFunc
+		if r.p.PerAttempt > 0 {
+			actx, cancel = context.WithTimeout(ctx, r.p.PerAttempt)
+		}
+		r.m.recordAttempt(op)
+		last = fn(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if last == nil {
+			return nil
+		}
+		if IsPermanent(last) || (r.p.Retryable != nil && !r.p.Retryable(last)) {
+			r.m.recordGiveUp(op)
+			return last
+		}
+		if attempt == r.p.MaxAttempts-1 {
+			break
+		}
+		delay := r.backoff(attempt)
+		if !r.withinBudget(start, delay) {
+			r.m.recordGiveUp(op)
+			return fmt.Errorf("resilience: %s: retry budget exhausted after %d attempts: %w", op, attempt+1, last)
+		}
+		if deadline, ok := ctx.Deadline(); ok && r.clk.Now().Add(delay).After(deadline) {
+			// The next attempt could not even start before the caller's
+			// deadline; surface the real failure instead of sleeping into
+			// a guaranteed DeadlineExceeded.
+			r.m.recordGiveUp(op)
+			return fmt.Errorf("resilience: %s: context deadline before next retry: %w", op, last)
+		}
+		r.m.recordRetry(op)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-r.clk.After(delay):
+		}
+	}
+	r.m.recordGiveUp(op)
+	return fmt.Errorf("resilience: %s: %d attempts failed: %w", op, r.p.MaxAttempts, last)
+}
+
+// backoff returns the full-jitter delay for the given attempt index.
+func (r *Retrier) backoff(attempt int) time.Duration {
+	ceil := r.p.BaseDelay << uint(attempt)
+	if ceil > r.p.MaxDelay || ceil <= 0 { // <=0: shift overflow
+		ceil = r.p.MaxDelay
+	}
+	r.mu.Lock()
+	d := time.Duration(r.rng.Int63n(int64(ceil) + 1))
+	r.mu.Unlock()
+	return d
+}
+
+// withinBudget reports whether sleeping delay still fits the total budget.
+func (r *Retrier) withinBudget(start time.Time, delay time.Duration) bool {
+	if r.p.Budget <= 0 {
+		return true
+	}
+	return r.clk.Now().Add(delay).Sub(start) <= r.p.Budget
+}

@@ -1,0 +1,223 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sensorcal/internal/clock"
+	"sensorcal/internal/obs"
+)
+
+// driveClock advances a simulated clock in small steps from a goroutine
+// until stop is closed, unblocking backoff sleeps.
+func driveClock(sim *clock.Simulated, step time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				sim.Advance(step)
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+func TestRetrierSucceedsAfterFailures(t *testing.T) {
+	sim := clock.NewSimulated(time.Unix(0, 0))
+	stop := driveClock(sim, time.Second)
+	defer stop()
+	r := NewRetrier(Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, Seed: 1, Clock: sim}).
+		Instrument(obs.NewRegistry())
+	calls := 0
+	err := r.Do(context.Background(), "op", func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetrierExhaustsAttempts(t *testing.T) {
+	sim := clock.NewSimulated(time.Unix(0, 0))
+	stop := driveClock(sim, time.Second)
+	defer stop()
+	r := NewRetrier(Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 1, Clock: sim})
+	calls := 0
+	sentinel := errors.New("still down")
+	err := r.Do(context.Background(), "op", func(context.Context) error {
+		calls++
+		return sentinel
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestRetrierPermanentErrorStopsImmediately(t *testing.T) {
+	r := NewRetrier(Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 1})
+	calls := 0
+	sentinel := errors.New("bad request")
+	err := r.Do(context.Background(), "op", func(context.Context) error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if !IsPermanent(err) {
+		t.Fatalf("err should carry the permanent marker")
+	}
+}
+
+func TestRetrierRetryableClassifier(t *testing.T) {
+	r := NewRetrier(Policy{
+		MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 1,
+		Retryable: func(err error) bool { return false },
+	})
+	calls := 0
+	err := r.Do(context.Background(), "op", func(context.Context) error {
+		calls++
+		return errors.New("nope")
+	})
+	if calls != 1 || err == nil {
+		t.Fatalf("calls = %d err = %v, want 1 attempt and an error", calls, err)
+	}
+}
+
+func TestRetrierBudgetCap(t *testing.T) {
+	sim := clock.NewSimulated(time.Unix(0, 0))
+	// Attempts consume simulated time via the clock-driving goroutine;
+	// with a 1 s budget and ≥1 s backoff ceiling the second sleep cannot
+	// fit.
+	stop := driveClock(sim, 500*time.Millisecond)
+	defer stop()
+	r := NewRetrier(Policy{
+		MaxAttempts: 100,
+		BaseDelay:   time.Second,
+		MaxDelay:    time.Second,
+		Budget:      time.Second,
+		Seed:        1,
+		Clock:       sim,
+	})
+	calls := 0
+	err := r.Do(context.Background(), "op", func(context.Context) error {
+		calls++
+		return errors.New("down")
+	})
+	if err == nil {
+		t.Fatalf("want budget-exhausted error")
+	}
+	if calls >= 100 {
+		t.Fatalf("budget did not bound attempts (calls = %d)", calls)
+	}
+}
+
+func TestRetrierContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRetrier(Policy{MaxAttempts: 50, BaseDelay: time.Hour, MaxDelay: time.Hour, Seed: 1})
+	errc := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		errc <- r.Do(ctx, "op", func(context.Context) error {
+			select {
+			case <-started:
+			default:
+				close(started)
+			}
+			return errors.New("down")
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Do did not return after cancel")
+	}
+}
+
+func TestRetrierDeadlineAwareness(t *testing.T) {
+	// Backoff would be up to 1 h; the context expires in 10 ms. The
+	// retrier must return the attempt error promptly instead of sleeping
+	// into the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	r := NewRetrier(Policy{MaxAttempts: 5, BaseDelay: time.Hour, MaxDelay: time.Hour, Seed: 1})
+	sentinel := errors.New("down")
+	start := time.Now()
+	err := r.Do(ctx, "op", func(context.Context) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped attempt error", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("retrier slept into the deadline")
+	}
+}
+
+func TestRetrierPerAttemptTimeout(t *testing.T) {
+	r := NewRetrier(Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, PerAttempt: 20 * time.Millisecond, Seed: 1})
+	var sawDeadline bool
+	_ = r.Do(context.Background(), "op", func(ctx context.Context) error {
+		select {
+		case <-ctx.Done():
+			sawDeadline = true
+			return ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil
+		}
+	})
+	if !sawDeadline {
+		t.Fatalf("per-attempt context never expired")
+	}
+}
+
+func TestRetrierBackoffCeilingGrows(t *testing.T) {
+	r := NewRetrier(Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Seed: 42})
+	// Full jitter: each delay is uniform in [0, ceil(attempt)]. Check the
+	// ceiling sequence by sampling many draws.
+	for attempt, wantCeil := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	} {
+		max := time.Duration(0)
+		for i := 0; i < 200; i++ {
+			d := r.backoff(attempt)
+			if d > max {
+				max = d
+			}
+			if d > wantCeil {
+				t.Fatalf("attempt %d: delay %v above ceiling %v", attempt, d, wantCeil)
+			}
+		}
+		if max < wantCeil/4 {
+			t.Fatalf("attempt %d: max sampled delay %v suspiciously far below ceiling %v", attempt, max, wantCeil)
+		}
+	}
+}

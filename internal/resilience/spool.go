@@ -1,0 +1,361 @@
+package resilience
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store-and-forward spool: a durable JSONL write-ahead log that sits
+// between a producer (the agent's measurement loop) and an unreliable
+// consumer (the HTTP path to the collector). Records are appended with an
+// idempotency key and fsynced before Append returns; a drainer reads
+// batches with Peek and removes them with Ack once the remote end has
+// acknowledged them. Both operations are WAL entries, so a crash at any
+// byte offset loses at most the entry being written: recovery discards a
+// truncated tail line and replays everything before it.
+//
+// WAL grammar (one JSON object per line):
+//
+//	{"op":"put","key":"...","payload":{...}}
+//	{"op":"ack","keys":["...","..."]}
+
+// Record is one spooled payload.
+type Record struct {
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// walEntry is the on-disk line format.
+type walEntry struct {
+	Op      string          `json:"op"`
+	Key     string          `json:"key,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Keys    []string        `json:"keys,omitempty"`
+}
+
+// compactAfterAcks is how many acked WAL lines accumulate before Ack
+// rewrites the log down to its live records.
+const compactAfterAcks = 512
+
+// Spool is a durable FIFO of keyed records. It is safe for concurrent
+// use: producers Append while a drainer goroutine Peeks and Acks.
+type Spool struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	name    string
+	pending []Record            // FIFO of unacked records
+	index   map[string]struct{} // pending keys
+	acked   int                 // ack entries written since last compact
+
+	m *spoolMetrics
+}
+
+// OpenSpool opens (or creates) the WAL at path and replays it. Truncated
+// or corrupt trailing lines are discarded — the file is truncated back to
+// the last fully parseable entry, exactly the state before the interrupted
+// write.
+func OpenSpool(path string) (*Spool, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("resilience: spool dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: opening spool: %w", err)
+	}
+	s := &Spool{
+		f:     f,
+		path:  path,
+		name:  filepath.Base(path),
+		index: make(map[string]struct{}),
+	}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// replay scans the WAL, rebuilds the pending set, and truncates any
+// unparseable tail.
+func (s *Spool) replay() error {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("resilience: spool seek: %w", err)
+	}
+	var (
+		good    int64 // byte offset after the last good line
+		dropped int
+	)
+	sc := bufio.NewScanner(s.f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var e walEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// A torn write: everything from here on is the interrupted
+			// tail. (A corrupt middle line would also land here; spools
+			// are single-writer append-only, so mid-file corruption means
+			// the tail after it is unordered noise anyway.)
+			dropped++
+			break
+		}
+		good += int64(len(line)) + 1
+		switch e.Op {
+		case "put":
+			s.putLocked(Record{Key: e.Key, Payload: e.Payload})
+		case "ack":
+			for _, k := range e.Keys {
+				s.removeLocked(k)
+			}
+			s.acked++
+		default:
+			// Unknown ops are skipped but their bytes are kept: a newer
+			// version's entries must survive a rollback.
+		}
+	}
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+		return fmt.Errorf("resilience: spool scan: %w", err)
+	}
+	st, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("resilience: spool stat: %w", err)
+	}
+	if good < st.Size() {
+		// The file does not end on a good line boundary (torn final
+		// write, or no trailing newline). Truncate back to clean state.
+		if err := s.f.Truncate(good); err != nil {
+			return fmt.Errorf("resilience: truncating torn spool tail: %w", err)
+		}
+		if dropped == 0 {
+			dropped = 1
+		}
+	}
+	if _, err := s.f.Seek(good, io.SeekStart); err != nil {
+		return fmt.Errorf("resilience: spool seek: %w", err)
+	}
+	s.m.addReplayed(s.name, len(s.pending))
+	s.m.addDropped(s.name, dropped)
+	return nil
+}
+
+// putLocked adds a record to the pending set unless its key is already
+// there (duplicate appends are idempotent).
+func (s *Spool) putLocked(r Record) {
+	if _, ok := s.index[r.Key]; ok {
+		return
+	}
+	s.index[r.Key] = struct{}{}
+	s.pending = append(s.pending, r)
+}
+
+// removeLocked drops a key from the pending set, preserving FIFO order.
+func (s *Spool) removeLocked(key string) {
+	if _, ok := s.index[key]; !ok {
+		return
+	}
+	delete(s.index, key)
+	for i, r := range s.pending {
+		if r.Key == key {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+}
+
+// Append durably stores payload under key. The entry is fsynced before
+// Append returns: once the producer sees nil, a crash cannot lose the
+// record. Appending an already-pending key is a no-op (nil error), which
+// makes producer retries harmless.
+func (s *Spool) Append(key string, payload interface{}) error {
+	if key == "" {
+		return fmt.Errorf("resilience: spool record needs a key")
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("resilience: marshaling spool payload: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("resilience: spool is closed")
+	}
+	if _, ok := s.index[key]; ok {
+		return nil
+	}
+	if err := s.writeLocked(walEntry{Op: "put", Key: key, Payload: raw}); err != nil {
+		return err
+	}
+	s.putLocked(Record{Key: key, Payload: raw})
+	s.m.addAppends(s.name, 1)
+	s.m.setDepth(s.name, len(s.pending))
+	return nil
+}
+
+// Peek returns up to max pending records in arrival order (all of them
+// when max <= 0). The returned slice is a copy; records stay pending
+// until Ack.
+func (s *Spool) Peek(max int) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.pending)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Record, n)
+	copy(out, s.pending[:n])
+	return out
+}
+
+// Ack durably marks keys as delivered; they will not replay after a
+// restart. Unknown keys are ignored (acking an already-acked batch is
+// idempotent).
+func (s *Spool) Ack(keys ...string) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("resilience: spool is closed")
+	}
+	live := keys[:0:0]
+	for _, k := range keys {
+		if _, ok := s.index[k]; ok {
+			live = append(live, k)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if err := s.writeLocked(walEntry{Op: "ack", Keys: live}); err != nil {
+		return err
+	}
+	for _, k := range live {
+		s.removeLocked(k)
+	}
+	s.acked++
+	s.m.addAcks(s.name, len(live))
+	s.m.setDepth(s.name, len(s.pending))
+	if s.acked >= compactAfterAcks {
+		// Best-effort: a failed compaction leaves the (valid, longer) WAL
+		// in place and the next Ack tries again.
+		if err := s.compactLocked(); err == nil {
+			s.acked = 0
+		}
+	}
+	return nil
+}
+
+// writeLocked appends one WAL line and fsyncs.
+func (s *Spool) writeLocked(e walEntry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("resilience: marshaling WAL entry: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("resilience: appending to spool: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("resilience: syncing spool: %w", err)
+	}
+	return nil
+}
+
+// Compact rewrites the WAL down to its live records, reclaiming the space
+// of acked entries.
+func (s *Spool) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("resilience: spool is closed")
+	}
+	if err := s.compactLocked(); err != nil {
+		return err
+	}
+	s.acked = 0
+	return nil
+}
+
+// compactLocked writes pending records to a temp file and renames it over
+// the WAL (the same atomic-save shape spectrumd uses for the ledger).
+func (s *Spool) compactLocked() error {
+	tmp := s.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("resilience: compacting spool: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range s.pending {
+		line, err := json.Marshal(walEntry{Op: "put", Key: r.Key, Payload: r.Payload})
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("resilience: compacting spool: %w", err)
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("resilience: compacting spool: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("resilience: compacting spool: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("resilience: compacting spool: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("resilience: compacting spool: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("resilience: compacting spool: %w", err)
+	}
+	old := s.f
+	nf, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		// The rename succeeded but we lost our handle; the spool is
+		// unusable until reopened.
+		s.f = nil
+		old.Close()
+		return fmt.Errorf("resilience: reopening compacted spool: %w", err)
+	}
+	s.f = nf
+	old.Close()
+	return nil
+}
+
+// Len returns the number of pending (unacked) records.
+func (s *Spool) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Path returns the WAL location.
+func (s *Spool) Path() string { return s.path }
+
+// Close releases the WAL file handle. Pending records stay on disk and
+// replay at the next OpenSpool.
+func (s *Spool) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -14,6 +14,11 @@ type Reading struct {
 	SignalID string // e.g. "tv-521MHz"
 	PowerDBm float64
 	At       time.Time
+	// Key is an optional idempotency key. A reading whose key was already
+	// accepted is silently dropped, so a client retrying over a lossy
+	// link (the response was lost, not the request) cannot double-count
+	// consensus evidence. Empty means no deduplication.
+	Key string
 }
 
 // Epoch groups simultaneous readings of one signal across nodes.

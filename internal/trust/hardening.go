@@ -1,0 +1,83 @@
+package trust
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sensorcal/internal/obs"
+)
+
+// Server-side hardening for the collector API. The crowd-sourced regime
+// (§5) means thousands of retrying agents behind flaky links: a collector
+// that accepts unbounded concurrent work amplifies every transient
+// slowdown into a pile-up. Harden wraps the API with the two standard
+// guards — a bounded in-flight limiter that sheds load with 429 +
+// Retry-After (which the agents' retriers honor as a signal to back off),
+// and a per-request timeout so one stuck handler cannot pin a connection
+// forever.
+
+// HardenConfig configures the protective middleware.
+type HardenConfig struct {
+	// MaxInFlight bounds concurrently served requests; excess requests
+	// get 429 immediately. Zero means 64.
+	MaxInFlight int
+	// RequestTimeout bounds one request's handling time (503 on expiry).
+	// Zero means 10 s.
+	RequestTimeout time.Duration
+	// RetryAfter is the backoff hint attached to 429 responses. Zero
+	// means 1 s.
+	RetryAfter time.Duration
+	// Registry receives the middleware's metrics; nil means the
+	// process-wide default.
+	Registry *obs.Registry
+}
+
+// Harden wraps h with the in-flight limiter and per-request timeout.
+//
+// Exposed series:
+//
+//	trust_http_inflight        — requests currently being served
+//	trust_http_throttled_total — requests shed with 429
+func Harden(h http.Handler, cfg HardenConfig) http.Handler {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	inflight := reg.Gauge("trust_http_inflight",
+		"Collector API requests currently being served.")
+	throttled := reg.Counter("trust_http_throttled_total",
+		"Collector API requests shed with 429 by the in-flight limiter.")
+
+	slots := make(chan struct{}, cfg.MaxInFlight)
+	inner := http.TimeoutHandler(h, cfg.RequestTimeout,
+		fmt.Sprintf("collector: request exceeded %s", cfg.RequestTimeout))
+	retryAfter := strconv.Itoa(int((cfg.RetryAfter + time.Second - 1) / time.Second))
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case slots <- struct{}{}:
+		default:
+			throttled.Inc()
+			w.Header().Set("Retry-After", retryAfter)
+			http.Error(w, "collector overloaded, retry later", http.StatusTooManyRequests)
+			return
+		}
+		inflight.Add(1)
+		defer func() {
+			<-slots
+			inflight.Add(-1)
+		}()
+		inner.ServeHTTP(w, r)
+	})
+}

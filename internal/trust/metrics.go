@@ -12,6 +12,7 @@ import (
 type collectorMetrics struct {
 	readings      *obs.Counter
 	readingErrors *obs.Counter
+	duplicates    *obs.Counter
 	epochsClosed  *obs.Counter
 	anomalies     *obs.CounterVec // kind
 	nodeScore     *obs.GaugeVec   // node
@@ -25,6 +26,7 @@ type collectorMetrics struct {
 //
 //	trust_readings_total         — readings accepted into epochs
 //	trust_reading_errors_total   — readings rejected (unknown node, bad payload)
+//	trust_duplicate_readings_total — retried readings dropped by idempotency-key dedup
 //	trust_epochs_closed_total    — consensus epochs finalized
 //	trust_anomalies_total{kind}  — consensus violations by detector kind
 //	trust_node_score{node}       — current ledger trust score per node
@@ -40,6 +42,8 @@ func (c *Collector) Instrument(reg *obs.Registry) *Collector {
 			"Shared-signal readings accepted into consensus epochs."),
 		readingErrors: reg.Counter("trust_reading_errors_total",
 			"Readings rejected before reaching an epoch."),
+		duplicates: reg.Counter("trust_duplicate_readings_total",
+			"Retried readings dropped by idempotency-key deduplication."),
 		epochsClosed: reg.Counter("trust_epochs_closed_total",
 			"Consensus epochs finalized by the collector."),
 		anomalies: reg.CounterVec("trust_anomalies_total",
@@ -63,15 +67,18 @@ func (c *Collector) Instrument(reg *obs.Registry) *Collector {
 	return c
 }
 
-func (m *collectorMetrics) recordSubmit(err error) {
+func (m *collectorMetrics) recordSubmit(duplicate bool, err error) {
 	if m == nil {
 		return
 	}
-	if err != nil {
+	switch {
+	case err != nil:
 		m.readingErrors.Inc()
-		return
+	case duplicate:
+		m.duplicates.Inc()
+	default:
+		m.readings.Inc()
 	}
-	m.readings.Inc()
 }
 
 func (m *collectorMetrics) recordEpochClosed(anomalies []Anomaly) {

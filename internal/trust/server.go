@@ -1,8 +1,10 @@
 package trust
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -20,9 +22,15 @@ type Collector struct {
 	// the same window.
 	EpochWindow time.Duration
 
-	mu      sync.Mutex
-	pending map[string]map[time.Time]*Epoch // signal → window start → epoch
-	history map[string][]Epoch              // closed epochs per signal
+	// DedupCap bounds the idempotency-key memory (oldest keys are
+	// forgotten first). Zero means the default of 65536.
+	DedupCap int
+
+	mu       sync.Mutex
+	pending  map[string]map[time.Time]*Epoch // signal → window start → epoch
+	history  map[string][]Epoch              // closed epochs per signal
+	seen     map[string]struct{}             // accepted idempotency keys
+	seenFIFO []string                        // eviction order for seen
 
 	// metrics is non-nil only after Instrument; see metrics.go.
 	metrics *collectorMetrics
@@ -36,20 +44,36 @@ func NewCollector() *Collector {
 		EpochWindow: time.Minute,
 		pending:     make(map[string]map[time.Time]*Epoch),
 		history:     make(map[string][]Epoch),
+		seen:        make(map[string]struct{}),
 	}
 }
 
 // Submit ingests one reading.
-func (c *Collector) Submit(r Reading) (err error) {
-	defer func() { c.metrics.recordSubmit(err) }()
+func (c *Collector) Submit(r Reading) error {
+	_, err := c.SubmitDedup(r)
+	return err
+}
+
+// SubmitDedup ingests one reading and reports whether it was dropped as a
+// duplicate of an already-accepted idempotency key. Duplicates are not an
+// error: from a retrying client's point of view the reading has been
+// delivered.
+func (c *Collector) SubmitDedup(r Reading) (duplicate bool, err error) {
+	defer func() { c.metrics.recordSubmit(duplicate, err) }()
 	if _, ok := c.Ledger.Node(r.Node); !ok {
-		return fmt.Errorf("trust: node %s not registered", r.Node)
+		return false, fmt.Errorf("trust: node %s not registered", r.Node)
 	}
 	if r.SignalID == "" {
-		return fmt.Errorf("trust: reading needs a signal ID")
+		return false, fmt.Errorf("trust: reading needs a signal ID")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if r.Key != "" {
+		if _, ok := c.seen[r.Key]; ok {
+			return true, nil
+		}
+		c.rememberLocked(r.Key)
+	}
 	window := r.At.Truncate(c.EpochWindow)
 	byWindow, ok := c.pending[r.SignalID]
 	if !ok {
@@ -62,7 +86,25 @@ func (c *Collector) Submit(r Reading) (err error) {
 		byWindow[window] = e
 	}
 	e.Readings[r.Node] = r.PowerDBm
-	return nil
+	return false, nil
+}
+
+// rememberLocked records an accepted idempotency key, evicting the oldest
+// once the memory is full. The cap trades perfect dedup for bounded
+// memory: a key must be retried within DedupCap accepted readings to be
+// caught, which at any plausible submission rate covers retry windows of
+// hours.
+func (c *Collector) rememberLocked(key string) {
+	cap := c.DedupCap
+	if cap <= 0 {
+		cap = 65536
+	}
+	for len(c.seenFIFO) >= cap {
+		delete(c.seen, c.seenFIFO[0])
+		c.seenFIFO = c.seenFIFO[1:]
+	}
+	c.seen[key] = struct{}{}
+	c.seenFIFO = append(c.seenFIFO, key)
 }
 
 // CloseEpochs finalizes every pending epoch that started before the
@@ -144,6 +186,26 @@ type submitRequest struct {
 	SignalID string    `json:"signal_id"`
 	PowerDBm float64   `json:"power_dbm"`
 	At       time.Time `json:"at"`
+	Key      string    `json:"key,omitempty"`
+}
+
+// reading converts the wire form, defaulting a zero timestamp to now.
+func (s submitRequest) reading(now func() time.Time) Reading {
+	at := s.At
+	if at.IsZero() {
+		at = now()
+	}
+	return Reading{Node: NodeID(s.Node), SignalID: s.SignalID, PowerDBm: s.PowerDBm, At: at, Key: s.Key}
+}
+
+// batchResponse summarizes a batch submission. Rejected readings are
+// permanently bad (unknown node, missing signal); retrying them cannot
+// succeed, so the client should ack and drop them.
+type batchResponse struct {
+	Accepted   int      `json:"accepted"`
+	Duplicates int      `json:"duplicates"`
+	Rejected   int      `json:"rejected"`
+	Errors     []string `json:"errors,omitempty"`
 }
 
 type trustResponse struct {
@@ -189,17 +251,48 @@ func (c *Collector) Handler(now func() time.Time) http.Handler {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
-		var req submitRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		at := req.At
-		if at.IsZero() {
-			at = now()
+		trimmed := bytes.TrimLeft(body, " \t\r\n")
+		if len(trimmed) > 0 && trimmed[0] == '[' {
+			// Batch form: a JSON array of readings, each individually
+			// accepted, deduplicated or rejected. The summary lets a
+			// store-and-forward client ack its whole batch: duplicates
+			// were already delivered, rejections can never succeed.
+			var reqs []submitRequest
+			if err := json.Unmarshal(trimmed, &reqs); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			var resp batchResponse
+			for _, req := range reqs {
+				dup, err := c.SubmitDedup(req.reading(now))
+				switch {
+				case err != nil:
+					resp.Rejected++
+					if len(resp.Errors) < 10 {
+						resp.Errors = append(resp.Errors, err.Error())
+					}
+				case dup:
+					resp.Duplicates++
+				default:
+					resp.Accepted++
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusAccepted)
+			_ = json.NewEncoder(w).Encode(resp)
+			return
 		}
-		err := c.Submit(Reading{Node: NodeID(req.Node), SignalID: req.SignalID, PowerDBm: req.PowerDBm, At: at})
-		if err != nil {
+		var req submitRequest
+		if err := json.Unmarshal(trimmed, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := c.Submit(req.reading(now)); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
