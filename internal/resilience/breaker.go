@@ -53,6 +53,12 @@ type BreakerConfig struct {
 	// ProbeSuccesses is how many consecutive half-open successes close
 	// the circuit again. Zero means 1.
 	ProbeSuccesses int
+	// ProbeTimeout is how long a half-open probe may stay in flight
+	// before its slot is reclaimed — insurance against a caller that
+	// never reports back (a panic, a lost Record), which would otherwise
+	// wedge the breaker in HalfOpen rejecting everything. Zero means
+	// OpenFor.
+	ProbeTimeout time.Duration
 	// Clock drives the open-interval timing; nil means the wall clock.
 	Clock clock.Clock
 }
@@ -73,6 +79,7 @@ type Breaker struct {
 	successes int // consecutive successes while half-open
 	probing   int // in-flight half-open probes
 	openedAt  time.Time
+	probedAt  time.Time // when the in-flight probe was admitted
 
 	m *breakerMetrics
 }
@@ -87,6 +94,9 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 	}
 	if cfg.ProbeSuccesses <= 0 {
 		cfg.ProbeSuccesses = 1
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.OpenFor
 	}
 	clk := cfg.Clock
 	if clk == nil {
@@ -120,11 +130,17 @@ func (b *Breaker) Allow() error {
 		b.m.recordRejected(b.cfg.Name)
 		return ErrOpen
 	case HalfOpen:
+		if b.probing > 0 && b.clk.Now().Sub(b.probedAt) >= b.cfg.ProbeTimeout {
+			// The probe's outcome was never reported (panicked caller,
+			// missed Record); reclaim the slot rather than reject forever.
+			b.probing = 0
+		}
 		if b.probing > 0 {
 			b.m.recordRejected(b.cfg.Name)
 			return ErrOpen
 		}
 		b.probing++
+		b.probedAt = b.clk.Now()
 	}
 	return nil
 }
@@ -161,11 +177,30 @@ func (b *Breaker) Record(err error) {
 	}
 }
 
-// Do combines Allow/Record around fn.
+// Cancel releases a probe admitted by Allow without recording an
+// outcome. Use it when the caller fails locally before the dependency
+// is ever contacted: nothing was learned about its health, so neither
+// closing the circuit nor re-opening it would be honest.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen && b.probing > 0 {
+		b.probing--
+	}
+}
+
+// Do combines Allow/Record around fn. A panic in fn is recorded as a
+// failure (releasing any half-open probe slot) and re-raised.
 func (b *Breaker) Do(fn func() error) error {
 	if err := b.Allow(); err != nil {
 		return err
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			b.Record(fmt.Errorf("resilience: panic in breaker call: %v", r))
+			panic(r)
+		}
+	}()
 	err := fn()
 	b.Record(err)
 	return err

@@ -105,3 +105,86 @@ func TestBreakerDo(t *testing.T) {
 		t.Fatalf("Do while open = %v, want ErrOpen", err)
 	}
 }
+
+// TestBreakerDoPanicReleasesProbe: a panic inside Do must count as a
+// failure and release the half-open probe slot, not leave `probing`
+// stuck at 1 rejecting every future request.
+func TestBreakerDoPanicReleasesProbe(t *testing.T) {
+	sim := clock.NewSimulated(time.Unix(0, 0))
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: time.Minute, Clock: sim})
+	b.Record(errors.New("down"))
+	sim.Advance(time.Minute) // open → half-open
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("Do swallowed the panic")
+			}
+		}()
+		b.Do(func() error { panic("boom") })
+	}()
+	if b.State() != Open {
+		t.Fatalf("state after panicking probe = %v, want open (panic is a failure)", b.State())
+	}
+	// The probe slot was released: after the interval, a new probe runs.
+	sim.Advance(time.Minute)
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("probe after panic recovery: %v", err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+// TestBreakerStaleProbeExpires: a half-open probe whose caller never
+// reports back must not wedge the breaker — the slot is reclaimed after
+// ProbeTimeout.
+func TestBreakerStaleProbeExpires(t *testing.T) {
+	sim := clock.NewSimulated(time.Unix(0, 0))
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1, OpenFor: time.Minute, ProbeTimeout: 30 * time.Second, Clock: sim,
+	})
+	b.Record(errors.New("down"))
+	sim.Advance(time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	// The probe's Record never arrives. Before the timeout: rejected.
+	sim.Advance(29 * time.Second)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow before probe timeout = %v, want ErrOpen", err)
+	}
+	// After the timeout the lost probe's slot is reclaimed.
+	sim.Advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow after probe timeout = %v, want admitted", err)
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+// TestBreakerCancelReleasesProbe: Cancel frees the probe slot without
+// counting a success or failure — the dependency was never contacted.
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	sim := clock.NewSimulated(time.Unix(0, 0))
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: time.Minute, Clock: sim})
+	b.Record(errors.New("down"))
+	sim.Advance(time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	b.Cancel()
+	if b.State() != HalfOpen {
+		t.Fatalf("Cancel changed state to %v, want half-open (no outcome learned)", b.State())
+	}
+	// The slot is free again immediately.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow after Cancel = %v, want admitted", err)
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}

@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -82,44 +83,55 @@ func OpenSpool(path string) (*Spool, error) {
 }
 
 // replay scans the WAL, rebuilds the pending set, and truncates any
-// unparseable tail.
+// unparseable tail. Byte offsets are derived from the bytes actually
+// read (not len(line)+1), so a final line that parses but lost its
+// trailing newline — a torn write cut exactly at the delimiter — cannot
+// push the append offset past EOF; that line is kept and its missing
+// newline is written back before any new entry is appended.
 func (s *Spool) replay() error {
 	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("resilience: spool seek: %w", err)
 	}
 	var (
-		good    int64 // byte offset after the last good line
-		dropped int
+		good      int64 // byte offset after the last good line
+		dropped   int
+		missingNL bool // last good line reached EOF without a '\n'
 	)
-	sc := bufio.NewScanner(s.f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		var e walEntry
-		if err := json.Unmarshal(line, &e); err != nil {
-			// A torn write: everything from here on is the interrupted
-			// tail. (A corrupt middle line would also land here; spools
-			// are single-writer append-only, so mid-file corruption means
-			// the tail after it is unordered noise anyway.)
-			dropped++
+	rd := bufio.NewReaderSize(s.f, 64*1024)
+	for {
+		line, rerr := rd.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return fmt.Errorf("resilience: spool scan: %w", rerr)
+		}
+		if len(line) > 0 {
+			trimmed := bytes.TrimRight(line, "\r\n")
+			var e walEntry
+			if len(trimmed) == 0 || json.Unmarshal(trimmed, &e) != nil {
+				// A torn write: everything from here on is the interrupted
+				// tail. (A corrupt middle line would also land here; spools
+				// are single-writer append-only, so mid-file corruption means
+				// the tail after it is unordered noise anyway.)
+				dropped++
+				break
+			}
+			good += int64(len(line))
+			missingNL = rerr == io.EOF
+			switch e.Op {
+			case "put":
+				s.putLocked(Record{Key: e.Key, Payload: e.Payload})
+			case "ack":
+				for _, k := range e.Keys {
+					s.removeLocked(k)
+				}
+				s.acked++
+			default:
+				// Unknown ops are skipped but their bytes are kept: a newer
+				// version's entries must survive a rollback.
+			}
+		}
+		if rerr == io.EOF {
 			break
 		}
-		good += int64(len(line)) + 1
-		switch e.Op {
-		case "put":
-			s.putLocked(Record{Key: e.Key, Payload: e.Payload})
-		case "ack":
-			for _, k := range e.Keys {
-				s.removeLocked(k)
-			}
-			s.acked++
-		default:
-			// Unknown ops are skipped but their bytes are kept: a newer
-			// version's entries must survive a rollback.
-		}
-	}
-	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
-		return fmt.Errorf("resilience: spool scan: %w", err)
 	}
 	st, err := s.f.Stat()
 	if err != nil {
@@ -127,7 +139,7 @@ func (s *Spool) replay() error {
 	}
 	if good < st.Size() {
 		// The file does not end on a good line boundary (torn final
-		// write, or no trailing newline). Truncate back to clean state.
+		// write). Truncate back to clean state.
 		if err := s.f.Truncate(good); err != nil {
 			return fmt.Errorf("resilience: truncating torn spool tail: %w", err)
 		}
@@ -137,6 +149,16 @@ func (s *Spool) replay() error {
 	}
 	if _, err := s.f.Seek(good, io.SeekStart); err != nil {
 		return fmt.Errorf("resilience: spool seek: %w", err)
+	}
+	if missingNL {
+		// The final line is complete JSON but its newline never hit disk;
+		// restore the delimiter so the next Append starts a fresh line.
+		if _, err := s.f.Write([]byte{'\n'}); err != nil {
+			return fmt.Errorf("resilience: repairing spool delimiter: %w", err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("resilience: syncing spool: %w", err)
+		}
 	}
 	s.m.addReplayed(s.name, len(s.pending))
 	s.m.addDropped(s.name, dropped)

@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -126,6 +127,43 @@ func TestSpoolCrashMidAppendRecovery(t *testing.T) {
 	defer s3.Close()
 	if got := s3.Peek(0); len(got) != 3 || got[2].Key != "k2" {
 		t.Fatalf("after post-recovery append: %+v, want k0,k1,k2", got)
+	}
+}
+
+// TestSpoolReplayMissingTrailingNewline: a torn write cut exactly at the
+// newline leaves a final line that is complete JSON with no delimiter.
+// Replay must keep that record, repair the delimiter, and leave the
+// append offset at true EOF — not one byte past it, which would bury the
+// next append behind a NUL hole and silently lose it on the reopen after.
+func TestSpoolReplayMissingTrailingNewline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spool.jsonl")
+	if err := os.WriteFile(path, []byte(`{"op":"put","key":"k0","payload":{"n":0}}`), 0o644); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	s, err := OpenSpool(path)
+	if err != nil {
+		t.Fatalf("OpenSpool: %v", err)
+	}
+	if got := s.Peek(0); len(got) != 1 || got[0].Key != "k0" {
+		t.Fatalf("replayed %+v, want k0", got)
+	}
+	mustAppend(t, s, "k1", 1)
+	s.Close()
+
+	s2, err := OpenSpool(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.Peek(0); len(got) != 2 || got[0].Key != "k0" || got[1].Key != "k1" {
+		t.Fatalf("after reopen: %+v, want k0,k1", got)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read WAL: %v", err)
+	}
+	if i := bytes.IndexByte(raw, 0); i >= 0 {
+		t.Fatalf("WAL contains a NUL hole at offset %d", i)
 	}
 }
 

@@ -205,7 +205,9 @@ func (c *Client) DrainOnce(ctx context.Context) (acked int, more bool, err error
 	}
 	body, err := json.Marshal(payload)
 	if err != nil {
-		c.breaker.Record(nil) // local fault, not the collector's
+		// Local fault: the collector was never contacted, so release the
+		// probe without judging the dependency's health either way.
+		c.breaker.Cancel()
 		return 0, true, resilience.Permanent(err)
 	}
 	var summary batchResponse
@@ -217,11 +219,13 @@ func (c *Client) DrainOnce(ctx context.Context) (acked int, more bool, err error
 		if resp.StatusCode != http.StatusAccepted {
 			return errorFromResponse("drain", resp)
 		}
-		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&summary); err != nil {
+		var got batchResponse
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&got); err != nil {
 			resp.Body.Close()
 			return fmt.Errorf("trust: drain: decoding batch response: %w", err)
 		}
 		drainBody(resp)
+		summary = got
 		return nil
 	})
 	c.breaker.Record(err)
