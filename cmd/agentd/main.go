@@ -1,8 +1,13 @@
 // Command agentd runs a sensor node as a long-lived daemon: the paper's
-// §5 end-to-end system. It plans traffic-aware measurement windows, runs
-// the ADS-B and frequency measurements at the scheduled times, submits
-// shared-signal readings to a spectrumd collector (when configured), and
-// prints the evolving calibration report after every round.
+// §5 end-to-end system. In its default free-running mode it plans its
+// own traffic-aware measurement windows per day; pointed at a schedd
+// fleet scheduler (-scheduler) it instead polls for leased measurement
+// tasks — the scheduler decides when this node measures, the agent
+// executes the windows and acknowledges completion (idempotently, so
+// retried acks are safe). Either way it runs the ADS-B and frequency
+// measurements at the chosen times, submits shared-signal readings to a
+// spectrumd collector (when configured), and prints the evolving
+// calibration report.
 //
 // Submission is store-and-forward: readings land in a durable spool
 // (-spool) first and a background drain loop ships them in batches
@@ -13,17 +18,18 @@
 //
 // By default it runs against an accelerated simulated clock so a full
 // measurement day finishes in seconds; pass -realtime to pace the windows
-// on the wall clock (for demonstration alongside fr24d/spectrumd).
+// on the wall clock (for demonstration alongside fr24d/spectrumd/schedd).
 //
 // The admin server on -admin exposes the node's health: GET /metrics
 // (campaign stage durations, decode counters, scheduler decisions,
-// resilience_* retry/breaker/spool series in Prometheus text format),
-// GET /debug/traces (span ring as JSON) and GET /debug/pprof/* (runtime
-// profiles).
+// agent_tasks_* lease/complete counters, resilience_* retry/breaker/spool
+// series in Prometheus text format), GET /debug/traces (span ring as
+// JSON) and GET /debug/pprof/* (runtime profiles).
 //
 // Usage:
 //
 //	agentd [-site rooftop] [-node node-1] [-days 1] [-windows 4]
+//	       [-scheduler http://host:8027] [-poll 30s] [-tasks 0]
 //	       [-collector http://host:8025] [-spool agentd.spool.jsonl]
 //	       [-drain 2s] [-realtime] [-seed 1]
 //	       [-admin :8026] [-log-level info]
@@ -43,6 +49,7 @@ import (
 	"sensorcal/internal/clock"
 	"sensorcal/internal/obs"
 	"sensorcal/internal/resilience"
+	"sensorcal/internal/sched"
 	"sensorcal/internal/trust"
 	"sensorcal/internal/world"
 )
@@ -52,8 +59,11 @@ func main() {
 	var (
 		siteName  = flag.String("site", "rooftop", "installation: rooftop, window or indoor")
 		nodeID    = flag.String("node", "node-1", "node identity at the collector")
-		days      = flag.Int("days", 1, "measurement days to run")
-		windows   = flag.Int("windows", 4, "measurement windows per day")
+		days      = flag.Int("days", 1, "measurement days to run (free-running mode)")
+		windows   = flag.Int("windows", 4, "measurement windows per day (free-running mode)")
+		scheduler = flag.String("scheduler", "", "schedd base URL; set to lease measurement tasks instead of free-running")
+		poll      = flag.Duration("poll", 30*time.Second, "lease poll interval when the queue is empty (scheduled mode)")
+		maxTasks  = flag.Int("tasks", 0, "stop after completing this many scheduled tasks (0: run until signalled)")
 		collector = flag.String("collector", "", "spectrumd base URL (empty: no submission)")
 		spoolPath = flag.String("spool", "agentd.spool.jsonl", "store-and-forward WAL for readings awaiting delivery")
 		drainIv   = flag.Duration("drain", 2*time.Second, "spool drain interval")
@@ -95,7 +105,7 @@ func main() {
 	defer stop()
 
 	var col agent.Collector
-	var tc *trust.Client
+	delivery := &agent.Delivery{Log: logger}
 	if *collector != "" {
 		spool, err := resilience.OpenSpool(*spoolPath)
 		if err != nil {
@@ -106,7 +116,7 @@ func main() {
 		if n := spool.Len(); n > 0 {
 			logger.Infof("spool %s holds %d undelivered readings from a previous run", *spoolPath, n)
 		}
-		tc, err = trust.NewClient(trust.ClientConfig{
+		tc, err := trust.NewClient(trust.ClientConfig{
 			BaseURL: *collector,
 			Spool:   spool,
 			Retrier: resilience.NewRetrier(resilience.Policy{
@@ -131,6 +141,7 @@ func main() {
 		logger.Infof("registered %s with collector %s", *nodeID, *collector)
 		go tc.Run(ctx, *drainIv)
 		col = tc
+		delivery.D = tc
 	}
 
 	start := time.Now().Truncate(time.Hour)
@@ -170,40 +181,69 @@ func main() {
 		}()
 	}
 
+	if *scheduler != "" {
+		runScheduled(ctx, a, site, *scheduler, *poll, *maxTasks, *seed, delivery, logger)
+		return
+	}
+
 	for d := 0; d < *days; d++ {
 		from := start.Add(time.Duration(d) * 24 * time.Hour)
 		logger.Infof("planning day %d from %s", d+1, from.Format(time.RFC3339))
 		if err := a.RunDay(ctx, from); err != nil {
-			flushSpool(tc, logger)
+			delivery.FinalFlush()
 			logger.Fatalf("%v", err)
 		}
-		rep := a.LatestReport()
-		rep.AttachPowerCalibration(site, nil)
-		fmt.Printf("\n=== after day %d (%d rounds) ===\n%s", d+1, len(a.Rounds()), rep.Render())
-		covered := a.CoveredSectors()
-		n := 0
-		for _, c := range covered {
-			if c {
-				n++
-			}
-		}
-		logger.Log(obs.LevelInfo, "sector coverage", "covered", n, "of", 12)
+		printReport(a, site, fmt.Sprintf("day %d", d+1), logger)
 	}
-	flushSpool(tc, logger)
+	delivery.FinalFlush()
 }
 
-// flushSpool makes a final bounded delivery attempt so a clean exit does
-// not strand readings until the next run. Failure is fine — the spool is
-// durable and the next start replays it.
-func flushSpool(tc *trust.Client, logger *obs.Logger) {
-	if tc == nil || tc.SpoolDepth() == 0 {
-		return
+// runScheduled is the fleet-scheduler mode: poll schedd for leased
+// measurement windows, execute them, acknowledge completion. The sched
+// client carries its own retrier and circuit breaker, so transient
+// scheduler outages are absorbed the same way collector outages are.
+func runScheduled(ctx context.Context, a *agent.Agent, site *world.Site,
+	schedURL string, poll time.Duration, maxTasks int, seed int64,
+	delivery *agent.Delivery, logger *obs.Logger) {
+	sc, err := sched.NewClient(sched.ClientConfig{
+		BaseURL: schedURL,
+		Retrier: resilience.NewRetrier(resilience.Policy{
+			MaxAttempts: 5,
+			BaseDelay:   100 * time.Millisecond,
+			MaxDelay:    5 * time.Second,
+			Seed:        seed,
+		}).Instrument(nil),
+		Breaker: resilience.NewBreaker(resilience.BreakerConfig{
+			Name:             "scheduler",
+			FailureThreshold: 5,
+			OpenFor:          15 * time.Second,
+		}).Instrument(nil),
+		Logger: logger,
+	})
+	if err != nil {
+		logger.Fatalf("%v", err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := tc.Drain(ctx); err != nil {
-		logger.Warnf("final drain: %v (%d readings stay spooled for next run)", err, tc.SpoolDepth())
-		return
+	logger.Infof("leasing measurement tasks from %s (poll %s)", schedURL, poll)
+	err = a.RunScheduled(ctx, sc, agent.ScheduledOptions{Poll: poll, MaxTasks: maxTasks})
+	if err != nil && ctx.Err() == nil {
+		delivery.FinalFlush()
+		logger.Fatalf("%v", err)
 	}
-	logger.Infof("spool drained")
+	printReport(a, site, fmt.Sprintf("%d scheduled rounds", len(a.Rounds())), logger)
+	delivery.FinalFlush()
+}
+
+// printReport renders the accumulated calibration state.
+func printReport(a *agent.Agent, site *world.Site, label string, logger *obs.Logger) {
+	rep := a.LatestReport()
+	rep.AttachPowerCalibration(site, nil)
+	fmt.Printf("\n=== after %s (%d rounds) ===\n%s", label, len(a.Rounds()), rep.Render())
+	covered := a.CoveredSectors()
+	n := 0
+	for _, c := range covered {
+		if c {
+			n++
+		}
+	}
+	logger.Log(obs.LevelInfo, "sector coverage", "covered", n, "of", 12)
 }

@@ -1,0 +1,96 @@
+package agent
+
+import (
+	"context"
+	"time"
+
+	"sensorcal/internal/clock"
+	"sensorcal/internal/obs"
+)
+
+// Drainer is the store-and-forward delivery surface the agent drains:
+// trust.Client implements it (spool → batched HTTP submit), and tests
+// substitute fakes to exercise the loop without a network.
+type Drainer interface {
+	// Drain attempts to deliver everything currently spooled.
+	Drain(ctx context.Context) error
+	// SpoolDepth reports how many readings still await delivery.
+	SpoolDepth() int
+}
+
+// Delivery runs the background drain loop and the final bounded flush
+// that agentd used to inline. Extracting it makes the shutdown-delivery
+// contract unit-testable: the loop skips empty spools, logs (but does
+// not abort on) transient failures, and the final flush is nil-safe so
+// call sites need no collector-configured guard.
+type Delivery struct {
+	// D is the drain target; nil disables everything (both Loop and
+	// FinalFlush become no-ops).
+	D Drainer
+	// Log receives drain outcomes; nil uses the obs default logger.
+	Log *obs.Logger
+	// FlushTimeout bounds FinalFlush (default 10s).
+	FlushTimeout time.Duration
+	// Clock paces the loop; nil means the system clock.
+	Clock clock.Clock
+}
+
+var fallbackLog = obs.NewLogger("agent")
+
+func (d *Delivery) logger() *obs.Logger {
+	if d.Log != nil {
+		return d.Log
+	}
+	return fallbackLog
+}
+
+// Loop drains every interval until ctx is cancelled. Iterations with an
+// empty spool skip the drain call entirely (no pointless requests when
+// there is nothing to ship); failures are logged at debug level and
+// retried next tick — the spool is durable, so urgency is low.
+func (d *Delivery) Loop(ctx context.Context, interval time.Duration) {
+	if d.D == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	clk := d.Clock
+	if clk == nil {
+		clk = clock.System{}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-clk.After(interval):
+		}
+		if d.D.SpoolDepth() == 0 {
+			continue
+		}
+		if err := d.D.Drain(ctx); err != nil {
+			d.logger().Debugf("drain: %v (%d readings spooled)", err, d.D.SpoolDepth())
+		}
+	}
+}
+
+// FinalFlush makes one bounded delivery attempt so a clean exit does not
+// strand readings until the next run. Failure is fine — the spool is
+// durable and the next start replays it. Safe to call with a nil
+// receiver or nil Drainer.
+func (d *Delivery) FinalFlush() {
+	if d == nil || d.D == nil || d.D.SpoolDepth() == 0 {
+		return
+	}
+	timeout := d.FlushTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := d.D.Drain(ctx); err != nil {
+		d.logger().Warnf("final drain: %v (%d readings stay spooled for next run)", err, d.D.SpoolDepth())
+		return
+	}
+	d.logger().Infof("spool drained")
+}

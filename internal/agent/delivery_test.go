@@ -1,0 +1,125 @@
+package agent
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sensorcal/internal/clock"
+)
+
+// fakeDrainer counts drains and serves a scripted depth/error sequence.
+type fakeDrainer struct {
+	mu     sync.Mutex
+	depth  int
+	drains int
+	err    error
+}
+
+func (f *fakeDrainer) Drain(ctx context.Context) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.drains++
+	if f.err != nil {
+		return f.err
+	}
+	f.depth = 0
+	return nil
+}
+
+func (f *fakeDrainer) SpoolDepth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.depth
+}
+
+func (f *fakeDrainer) drainCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.drains
+}
+
+func TestDeliveryLoopSkipsEmptySpool(t *testing.T) {
+	sim := clock.NewSimulated(time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC))
+	fd := &fakeDrainer{depth: 0}
+	d := &Delivery{D: fd, Clock: sim}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { d.Loop(ctx, time.Second); close(done) }()
+
+	for i := 0; i < 5; i++ {
+		sim.Advance(time.Second)
+		time.Sleep(time.Millisecond)
+	}
+	if n := fd.drainCount(); n != 0 {
+		t.Fatalf("empty spool drained %d times, want 0", n)
+	}
+
+	// Readings arrive; the next tick ships them.
+	fd.mu.Lock()
+	fd.depth = 3
+	fd.mu.Unlock()
+	for i := 0; i < 50 && fd.drainCount() == 0; i++ {
+		sim.Advance(time.Second)
+		time.Sleep(time.Millisecond)
+	}
+	if n := fd.drainCount(); n == 0 {
+		t.Fatalf("non-empty spool never drained")
+	}
+	cancel()
+	sim.Advance(time.Second)
+	<-done
+}
+
+func TestDeliveryLoopSurvivesDrainErrors(t *testing.T) {
+	sim := clock.NewSimulated(time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC))
+	fd := &fakeDrainer{depth: 2, err: fmt.Errorf("collector down")}
+	d := &Delivery{D: fd, Clock: sim}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { d.Loop(ctx, time.Second); close(done) }()
+
+	for i := 0; i < 50 && fd.drainCount() < 3; i++ {
+		sim.Advance(time.Second)
+		time.Sleep(time.Millisecond)
+	}
+	// The loop keeps retrying across failures instead of giving up.
+	if n := fd.drainCount(); n < 3 {
+		t.Fatalf("loop retried only %d times through errors", n)
+	}
+	cancel()
+	sim.Advance(time.Second)
+	<-done
+}
+
+func TestFinalFlush(t *testing.T) {
+	// Nil-safe: no delivery configured is a no-op, not a panic.
+	var nilDelivery *Delivery
+	nilDelivery.FinalFlush()
+	(&Delivery{}).FinalFlush()
+
+	// Empty spool: no drain call.
+	fd := &fakeDrainer{depth: 0}
+	(&Delivery{D: fd}).FinalFlush()
+	if fd.drainCount() != 0 {
+		t.Fatalf("empty spool flushed %d times", fd.drainCount())
+	}
+
+	// Pending readings: one bounded attempt.
+	fd = &fakeDrainer{depth: 4}
+	(&Delivery{D: fd}).FinalFlush()
+	if fd.drainCount() != 1 || fd.SpoolDepth() != 0 {
+		t.Fatalf("flush = %d drains, depth %d; want 1 drain emptying the spool", fd.drainCount(), fd.SpoolDepth())
+	}
+
+	// Failure leaves the spool for the next run — no retry storm.
+	fd = &fakeDrainer{depth: 4, err: fmt.Errorf("still down")}
+	(&Delivery{D: fd}).FinalFlush()
+	if fd.drainCount() != 1 || fd.SpoolDepth() != 4 {
+		t.Fatalf("failed flush = %d drains, depth %d; want 1 drain, spool intact", fd.drainCount(), fd.SpoolDepth())
+	}
+}

@@ -14,6 +14,10 @@ type agentMetrics struct {
 	rounds          *obs.Counter
 	submitted       *obs.Counter
 	submitErrors    *obs.Counter
+	tasksLeased     *obs.Counter
+	tasksCompleted  *obs.Counter
+	completeErrors  *obs.Counter
+	leaseErrors     *obs.Counter
 	infoGain        *obs.Histogram
 	waitSeconds     *obs.Histogram
 }
@@ -33,6 +37,14 @@ func newAgentMetrics(reg *obs.Registry) *agentMetrics {
 			"Shared-signal readings submitted to the collector."),
 		submitErrors: reg.Counter("agent_submit_errors_total",
 			"Failed submissions to the collector."),
+		tasksLeased: reg.Counter("agent_tasks_leased_total",
+			"Measurement tasks leased from the fleet scheduler."),
+		tasksCompleted: reg.Counter("agent_tasks_completed_total",
+			"Measurement tasks acknowledged back to the scheduler."),
+		completeErrors: reg.Counter("agent_task_complete_errors_total",
+			"Failed completion acknowledgements (task will be re-offered)."),
+		leaseErrors: reg.Counter("agent_lease_errors_total",
+			"Failed lease polls against the scheduler."),
 		infoGain: reg.Histogram("agent_scheduler_info_gain",
 			"Scheduler objective value of each chosen window.",
 			[]float64{0.5, 1, 2, 5, 10, 20, 40, 80}),

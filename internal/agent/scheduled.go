@@ -1,0 +1,130 @@
+package agent
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sensorcal/internal/calib"
+	"sensorcal/internal/obs"
+	"sensorcal/internal/sched"
+	"sensorcal/internal/trust"
+)
+
+// TaskSource is where a scheduled agent gets its work: schedd over HTTP
+// (sched.Client) or an in-process queue (sched.LocalSource) in tests and
+// single-binary demos.
+type TaskSource interface {
+	// Lease claims up to max tasks for the node.
+	Lease(ctx context.Context, node trust.NodeID, max int) ([]sched.Lease, error)
+	// Complete acknowledges a finished task. Duplicate acknowledgements
+	// succeed (completion is idempotent); a stale token is an error.
+	Complete(ctx context.Context, taskID, token string) error
+}
+
+// ScheduledOptions tunes RunScheduled.
+type ScheduledOptions struct {
+	// Poll is how long to wait between lease attempts when the queue has
+	// nothing for us (default 30s of agent-clock time).
+	Poll time.Duration
+	// MaxTasks stops the loop after completing this many tasks; 0 runs
+	// until ctx is cancelled.
+	MaxTasks int
+	// LeaseBatch is how many tasks to claim per poll (default 1 — the
+	// fleet shares the queue, so hoarding starves other nodes).
+	LeaseBatch int
+}
+
+// RunScheduled replaces the free-running RunDay loop with the fleet
+// scheduler's poll→lease→measure→complete cycle: the agent asks the
+// queue for work, sleeps until each task's window opens, measures, and
+// acknowledges. Measurement results still flow through the agent's
+// normal accumulation (reports, coverage, collector submission), so the
+// calibration output is identical to free-running mode — only *when* the
+// windows happen is decided elsewhere.
+//
+// Completion is acknowledged only after the measurement succeeds, so a
+// crash mid-measurement leaves the lease to expire and the task to be
+// re-offered (at-least-once execution; the queue dedupes the completion).
+func (a *Agent) RunScheduled(ctx context.Context, src TaskSource, opts ScheduledOptions) error {
+	if src == nil {
+		return fmt.Errorf("agent: scheduled mode needs a task source")
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 30 * time.Second
+	}
+	if opts.LeaseBatch <= 0 {
+		opts.LeaseBatch = 1
+	}
+	ctx, span := obs.StartSpan(ctx, "agent.scheduled")
+	defer span.End()
+
+	done := 0
+	index := 0
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		leases, err := src.Lease(ctx, a.cfg.Node, opts.LeaseBatch)
+		if err != nil {
+			a.m.leaseErrors.Inc()
+			// The source carries its own retry/breaker; by the time an
+			// error surfaces here the scheduler is genuinely unreachable.
+			// Back off one poll interval and try again — measurement
+			// windows missed while the scheduler is down are simply
+			// re-planned later.
+			if werr := a.sleep(ctx, opts.Poll); werr != nil {
+				return werr
+			}
+			continue
+		}
+		if len(leases) == 0 {
+			if werr := a.sleep(ctx, opts.Poll); werr != nil {
+				return werr
+			}
+			continue
+		}
+		for _, lease := range leases {
+			a.m.tasksLeased.Inc()
+			t := lease.Task
+			if err := a.waitUntil(ctx, t.Start); err != nil {
+				return err
+			}
+			w := calib.MeasurementWindow{
+				Start:            t.Start,
+				Duration:         t.Duration,
+				ExpectedAircraft: t.ExpectedAircraft,
+				InfoGain:         t.Priority,
+			}
+			if err := a.measure(ctx, index, w); err != nil {
+				return err
+			}
+			index++
+			a.m.windowsExecuted.Inc()
+			if err := src.Complete(ctx, t.ID, lease.Token); err != nil {
+				a.m.completeErrors.Inc()
+				// The measurement itself succeeded and is in the
+				// accumulator; losing the ack only means the task will be
+				// re-offered and some other node re-measures the window.
+				// Not fatal — but worth a visible warning.
+				fallbackLog.Warnf("completing task %s: %v", t.ID, err)
+			} else {
+				a.m.tasksCompleted.Inc()
+			}
+			done++
+			if opts.MaxTasks > 0 && done >= opts.MaxTasks {
+				return nil
+			}
+		}
+	}
+}
+
+// sleep blocks for d of agent-clock time or until ctx is cancelled.
+func (a *Agent) sleep(ctx context.Context, d time.Duration) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-a.cfg.Clock.After(d):
+		return nil
+	}
+}

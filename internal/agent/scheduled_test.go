@@ -1,0 +1,144 @@
+package agent
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sensorcal/internal/clock"
+	"sensorcal/internal/obs"
+	"sensorcal/internal/sched"
+	"sensorcal/internal/world"
+)
+
+// TestRunScheduledExecutesLeasedWindows drives the poll→lease→measure→
+// complete cycle against an in-process queue: the agent must execute
+// exactly the windows the scheduler granted, acknowledge each exactly
+// once, and accumulate the same calibration state the free-running loop
+// would.
+func TestRunScheduledExecutesLeasedWindows(t *testing.T) {
+	day := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	sim := clock.NewSimulated(day)
+	q := sched.NewQueue(sched.QueueConfig{
+		LeaseTTL: 5 * time.Minute,
+		Clock:    sim,
+		Metrics:  obs.NewRegistry(),
+	})
+	tasks := []sched.Task{
+		{
+			ID: sched.TaskID("node-1", day.Add(2*time.Hour)), Node: "node-1", Site: "rooftop",
+			Start: day.Add(2 * time.Hour), Duration: 30 * time.Second, Runs: 1,
+			ExpectedAircraft: 35, Priority: 35,
+		},
+		{
+			ID: sched.TaskID("node-1", day.Add(6*time.Hour)), Node: "node-1", Site: "rooftop",
+			Start: day.Add(6 * time.Hour), Duration: 30 * time.Second, Runs: 1,
+			ExpectedAircraft: 40, Priority: 40,
+		},
+	}
+	if _, err := q.Add(tasks...); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := New(Config{
+		Node:    "node-1",
+		Site:    world.RooftopSite(),
+		Traffic: SimTraffic{Center: world.BuildingOrigin, Radius: 100_000, Count: 40, Seed: 7},
+		Clock:   sim,
+		Metrics: obs.NewRegistry(),
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- a.RunScheduled(context.Background(), sched.LocalSource{Q: q},
+			ScheduledOptions{Poll: time.Minute, MaxTasks: 2, LeaseBatch: 2})
+	}()
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("RunScheduled: %v", err)
+			}
+			goto finished
+		default:
+			sim.Advance(5 * time.Minute)
+			time.Sleep(time.Millisecond)
+		}
+	}
+finished:
+	rounds := a.Rounds()
+	if len(rounds) != 2 {
+		t.Fatalf("executed %d rounds, want 2", len(rounds))
+	}
+	// The windows ran at the scheduled times, in execution order.
+	if !rounds[0].Window.Start.Equal(tasks[0].Start) || !rounds[1].Window.Start.Equal(tasks[1].Start) {
+		t.Fatalf("windows ran at %s, %s; want the scheduled starts", rounds[0].Window.Start, rounds[1].Window.Start)
+	}
+	// Both completions are acknowledged — nothing left in flight.
+	if st := q.Stats(); st.Done != 2 || st.Pending != 0 || st.Leased != 0 {
+		t.Fatalf("queue stats = %+v, want both tasks done", st)
+	}
+	// The measurements fed the normal calibration accumulation.
+	if rep := a.LatestReport(); rep.Directional == nil || len(rep.Directional.Observations) == 0 {
+		t.Fatalf("scheduled rounds produced no observations")
+	}
+}
+
+// TestRunScheduledPollsThroughEmptyQueue proves the idle path: an empty
+// queue costs one poll-interval sleep per attempt, and work enqueued
+// later is still picked up.
+func TestRunScheduledPollsThroughEmptyQueue(t *testing.T) {
+	day := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	sim := clock.NewSimulated(day)
+	q := sched.NewQueue(sched.QueueConfig{
+		LeaseTTL: 5 * time.Minute,
+		Clock:    sim,
+		Metrics:  obs.NewRegistry(),
+	})
+	a, err := New(Config{
+		Node:    "node-1",
+		Site:    world.RooftopSite(),
+		Traffic: SimTraffic{Center: world.BuildingOrigin, Radius: 100_000, Count: 20, Seed: 3},
+		Clock:   sim,
+		Metrics: obs.NewRegistry(),
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- a.RunScheduled(context.Background(), sched.LocalSource{Q: q},
+			ScheduledOptions{Poll: time.Minute, MaxTasks: 1})
+	}()
+
+	// Let the agent poll an empty queue a few times, then enqueue.
+	time.Sleep(5 * time.Millisecond)
+	sim.Advance(3 * time.Minute)
+	task := sched.Task{
+		ID: sched.TaskID("node-1", day.Add(time.Hour)), Node: "node-1", Site: "rooftop",
+		Start: day.Add(time.Hour), Duration: 30 * time.Second, Runs: 1,
+	}
+	if _, err := q.Add(task); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("RunScheduled: %v", err)
+			}
+			if len(a.Rounds()) != 1 {
+				t.Fatalf("executed %d rounds, want 1", len(a.Rounds()))
+			}
+			return
+		default:
+			sim.Advance(time.Minute)
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

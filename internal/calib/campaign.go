@@ -34,6 +34,29 @@ type CampaignConfig struct {
 	Seed    int64
 }
 
+// Validate rejects campaign parameters that cannot describe a runnable
+// campaign: non-positive Runs, Spacing, Aircraft or RadiusM. Callers
+// that construct configs programmatically — the measurement scheduler
+// does — should validate before dispatch so a bad fleet configuration
+// fails fast instead of burning measurement windows. (RunCampaign still
+// substitutes conventional defaults for fields left at zero; Validate is
+// for configs meant to be complete.)
+func (c CampaignConfig) Validate() error {
+	if c.Runs <= 0 {
+		return fmt.Errorf("calib: campaign needs a positive run count, got %d", c.Runs)
+	}
+	if c.Spacing <= 0 {
+		return fmt.Errorf("calib: campaign needs a positive run spacing, got %s", c.Spacing)
+	}
+	if c.Aircraft <= 0 {
+		return fmt.Errorf("calib: campaign needs a positive aircraft count, got %d", c.Aircraft)
+	}
+	if c.RadiusM <= 0 {
+		return fmt.Errorf("calib: campaign needs a positive traffic radius, got %g m", c.RadiusM)
+	}
+	return nil
+}
+
 // CampaignResult aggregates a campaign.
 type CampaignResult struct {
 	// Aggregate holds every run's observations concatenated.
@@ -58,20 +81,27 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignResult, erro
 	if cfg.Site == nil {
 		return nil, fmt.Errorf("calib: campaign needs a site")
 	}
-	if cfg.Runs <= 0 {
+	if cfg.Runs == 0 {
 		cfg.Runs = 10
 	}
-	if cfg.Aircraft <= 0 {
+	if cfg.Aircraft == 0 {
 		cfg.Aircraft = 60
 	}
-	if cfg.RadiusM <= 0 {
+	if cfg.RadiusM == 0 {
 		cfg.RadiusM = 100_000
 	}
 	if (cfg.Center == geo.Point{}) {
 		cfg.Center = cfg.Site.Position
 	}
-	if cfg.Spacing <= 0 {
+	if cfg.Spacing == 0 {
 		cfg.Spacing = time.Hour
+	}
+	// Zeros mean "use the convention" and were just repaired; anything
+	// still non-positive was explicitly wrong (a negative count from bad
+	// arithmetic somewhere) and fails fast instead of silently running a
+	// different campaign than the caller asked for.
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	ctx, span := obs.StartSpan(ctx, "calib.campaign")
 	defer span.End()

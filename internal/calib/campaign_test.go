@@ -2,6 +2,7 @@ package calib
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -69,5 +70,57 @@ func TestCampaignDefaults(t *testing.T) {
 	}
 	if _, err := RunCampaign(context.Background(), CampaignConfig{}); err == nil {
 		t.Error("missing site should error")
+	}
+}
+
+func TestCampaignConfigValidate(t *testing.T) {
+	valid := CampaignConfig{Runs: 10, Spacing: time.Hour, Aircraft: 60, RadiusM: 100_000}
+	cases := []struct {
+		name   string
+		mutate func(*CampaignConfig)
+		wantIn string // substring of the error; empty means valid
+	}{
+		{"complete config", func(c *CampaignConfig) {}, ""},
+		{"zero runs", func(c *CampaignConfig) { c.Runs = 0 }, "run count"},
+		{"negative runs", func(c *CampaignConfig) { c.Runs = -3 }, "run count"},
+		{"zero spacing", func(c *CampaignConfig) { c.Spacing = 0 }, "spacing"},
+		{"negative spacing", func(c *CampaignConfig) { c.Spacing = -time.Minute }, "spacing"},
+		{"zero aircraft", func(c *CampaignConfig) { c.Aircraft = 0 }, "aircraft"},
+		{"negative aircraft", func(c *CampaignConfig) { c.Aircraft = -1 }, "aircraft"},
+		{"zero radius", func(c *CampaignConfig) { c.RadiusM = 0 }, "radius"},
+		{"negative radius", func(c *CampaignConfig) { c.RadiusM = -5 }, "radius"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantIn == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantIn) {
+				t.Fatalf("error %q does not name the bad field (%q)", err, tc.wantIn)
+			}
+		})
+	}
+}
+
+func TestRunCampaignFailsFastOnNegativeParameters(t *testing.T) {
+	// Zeros mean "use the convention" (TestCampaignDefaults above);
+	// explicit negatives are programming errors and must not silently
+	// run a repaired campaign.
+	_, err := RunCampaign(context.Background(), CampaignConfig{
+		Site:  world.IndoorSite(),
+		Runs:  -2,
+		Start: epoch,
+	})
+	if err == nil {
+		t.Fatal("negative run count must fail the campaign")
 	}
 }

@@ -2,6 +2,7 @@ package calib
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -27,6 +28,23 @@ func GradeFor(score float64) Grade {
 	default:
 		return "F"
 	}
+}
+
+// DefaultMaxReportAge is the conventional bound on calibration report
+// age: past this, the marketplace stops trusting the report
+// (market.Requirement.MaxReportAge) and the measurement scheduler treats
+// the node as fully stale when prioritizing windows — the two consumers
+// share one definition of "too old" so a node falls out of listings at
+// the same moment it rises to the top of the measurement queue.
+const DefaultMaxReportAge = 24 * time.Hour
+
+// ReportAge returns how stale a report is at now. A nil or undated
+// report is infinitely stale.
+func ReportAge(r *Report, now time.Time) time.Duration {
+	if r == nil || r.Generated.IsZero() {
+		return time.Duration(math.MaxInt64)
+	}
+	return now.Sub(r.Generated)
 }
 
 // Report is the full calibration output for one node: the product a

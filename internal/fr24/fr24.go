@@ -45,6 +45,18 @@ func (f Flight) Position() geo.Point {
 	return geo.Point{Lat: f.Lat, Lon: f.Lon, Alt: f.AltM}
 }
 
+// BearingFrom returns the initial compass bearing from origin to the
+// reported position — the sector key a flight-density histogram bins on.
+func (f Flight) BearingFrom(origin geo.Point) float64 {
+	return geo.InitialBearing(origin, f.Position())
+}
+
+// GroundRangeFrom returns the great-circle ground distance in meters
+// from origin to the reported position.
+func (f Flight) GroundRangeFrom(origin geo.Point) float64 {
+	return geo.GroundDistance(origin, f.Position())
+}
+
 // Service answers radius queries against a simulated fleet.
 type Service struct {
 	Fleet   *flightsim.Fleet

@@ -2,6 +2,7 @@ package fr24
 
 import (
 	"context"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -186,5 +187,27 @@ func TestClientHonorsContextCancel(t *testing.T) {
 	defer cancel()
 	if _, err := c.Flights(ctx, center, 100, time.Time{}); err == nil {
 		t.Error("cancelled context should error")
+	}
+}
+
+func TestFlightBearingAndRange(t *testing.T) {
+	// An aircraft placed 40 km due east must report back the bearing and
+	// distance it was placed at — these helpers feed the scheduler's
+	// flight-density histogram, so a sector mix-up would mis-bin traffic.
+	for _, bearing := range []float64{0, 90, 135, 270} {
+		p := geo.Destination(center, bearing, 40_000)
+		f := Flight{ICAO: "AB1234", Lat: p.Lat, Lon: p.Lon, AltM: 9000}
+		gotB := f.BearingFrom(center)
+		diff := math.Abs(gotB - bearing)
+		if diff > 180 {
+			diff = 360 - diff
+		}
+		if diff > 1 {
+			t.Errorf("BearingFrom at %v° = %v°, want within 1°", bearing, gotB)
+		}
+		gotR := f.GroundRangeFrom(center)
+		if math.Abs(gotR-40_000) > 500 {
+			t.Errorf("GroundRangeFrom at %v° = %v m, want ≈40000", bearing, gotR)
+		}
 	}
 }

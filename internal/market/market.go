@@ -61,6 +61,15 @@ type Requirement struct {
 	MinTrust trust.Score
 	// MaxPricePerHour caps spend (0 = unlimited).
 	MaxPricePerHour float64
+	// MaxReportAge rejects listings whose calibration report is older
+	// than this (0 = any age). calib.DefaultMaxReportAge is the
+	// conventional bound, shared with the measurement scheduler's
+	// staleness priority so a node drops out of listings at the same
+	// moment the scheduler starts favouring it for re-measurement.
+	MaxReportAge time.Duration
+	// AsOf is the evaluation time for MaxReportAge; zero means
+	// time.Now().
+	AsOf time.Time
 }
 
 // Qualifies reports whether the listing satisfies the requirement, with a
@@ -71,6 +80,15 @@ func (r Requirement) Qualifies(l Listing) (bool, string) {
 	}
 	if l.Report == nil {
 		return false, "no calibration report"
+	}
+	if r.MaxReportAge > 0 {
+		now := r.AsOf
+		if now.IsZero() {
+			now = time.Now()
+		}
+		if age := calib.ReportAge(l.Report, now); age > r.MaxReportAge {
+			return false, fmt.Sprintf("calibration report %s old, max %s", age, r.MaxReportAge)
+		}
 	}
 	if score, ok := l.bandScore(r.Band); !ok || score < r.MinBandScore {
 		return false, fmt.Sprintf("band %v score %.2f below %.2f", r.Band, score, r.MinBandScore)

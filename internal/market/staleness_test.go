@@ -1,0 +1,85 @@
+package market
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sensorcal/internal/calib"
+)
+
+// The marketplace's MaxReportAge requirement shares its definition of
+// "too old" with the measurement scheduler (calib.DefaultMaxReportAge):
+// a listing drops out at the same moment the scheduler starts favouring
+// the node for re-measurement.
+
+func agedListing(generated time.Time) Listing {
+	l := roofListing()
+	l.Report.Generated = generated
+	return l
+}
+
+func TestMaxReportAgeRejectsExpiredReports(t *testing.T) {
+	now := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	req := Requirement{
+		Band:         calib.BandMid,
+		MaxReportAge: calib.DefaultMaxReportAge,
+		AsOf:         now,
+	}
+
+	// Fresh report qualifies.
+	if ok, why := req.Qualifies(agedListing(now.Add(-time.Hour))); !ok {
+		t.Fatalf("fresh report rejected: %s", why)
+	}
+	// A report exactly at the bound still qualifies (age must exceed).
+	if ok, why := req.Qualifies(agedListing(now.Add(-calib.DefaultMaxReportAge))); !ok {
+		t.Fatalf("at-bound report rejected: %s", why)
+	}
+	// Past the bound it is rejected with an age-naming reason.
+	ok, why := req.Qualifies(agedListing(now.Add(-25 * time.Hour)))
+	if ok {
+		t.Fatalf("expired report qualified")
+	}
+	if !strings.Contains(why, "calibration report") || !strings.Contains(why, "old") {
+		t.Fatalf("reason %q should name the report age", why)
+	}
+	// MaxReportAge zero means any age is fine.
+	req.MaxReportAge = 0
+	if ok, why := req.Qualifies(agedListing(now.Add(-1000 * time.Hour))); !ok {
+		t.Fatalf("age-unbounded requirement rejected old report: %s", why)
+	}
+}
+
+func TestMaxReportAgeNilAndUndatedReports(t *testing.T) {
+	now := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	req := Requirement{
+		Band:         calib.BandMid,
+		MaxReportAge: calib.DefaultMaxReportAge,
+		AsOf:         now,
+	}
+
+	// No report at all: rejected before the age check even runs.
+	l := roofListing()
+	l.Report = nil
+	ok, why := req.Qualifies(l)
+	if ok || why != "no calibration report" {
+		t.Fatalf("nil report: (%v, %q)", ok, why)
+	}
+
+	// A report with no Generated timestamp is infinitely stale
+	// (calib.ReportAge), so any age bound rejects it.
+	if ok, why := req.Qualifies(agedListing(time.Time{})); ok {
+		t.Fatalf("undated report qualified: %s", why)
+	}
+}
+
+func TestReportAgeSemantics(t *testing.T) {
+	now := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	if age := calib.ReportAge(nil, now); age < 1000*time.Hour {
+		t.Fatalf("nil report age = %v, want effectively infinite", age)
+	}
+	r := &calib.Report{Generated: now.Add(-3 * time.Hour)}
+	if age := calib.ReportAge(r, now); age != 3*time.Hour {
+		t.Fatalf("age = %v, want 3h", age)
+	}
+}

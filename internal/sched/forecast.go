@@ -1,0 +1,204 @@
+package sched
+
+import (
+	"sync"
+	"time"
+
+	"sensorcal/internal/calib"
+	"sensorcal/internal/fr24"
+	"sensorcal/internal/geo"
+)
+
+// ForecastConfig configures a Forecaster.
+type ForecastConfig struct {
+	// Retain is the sliding window: snapshots older than this (relative
+	// to the newest snapshot per site) are evicted. Zero means 7 days —
+	// long enough to see every hour of the weekly schedule several times,
+	// short enough to track seasonal timetable changes.
+	Retain time.Duration
+}
+
+// Forecaster folds traffic snapshots into per-site sliding-window
+// histograms keyed by hour of day and 30° bearing sector, and predicts
+// the expected aircraft yield of a candidate measurement window. It is
+// safe for concurrent use: schedd's plan loop observes while the HTTP
+// handlers read.
+type Forecaster struct {
+	retain time.Duration
+
+	mu    sync.Mutex
+	sites map[string]*siteHistogram
+}
+
+// siteHistogram is one site's sliding window of snapshots plus running
+// per-hour aggregates, so Predict is O(1) instead of rescanning samples.
+type siteHistogram struct {
+	samples []snapshot
+	newest  time.Time
+
+	hourN      [24]int
+	hourSum    [24]float64
+	sectorSum  [24][12]float64
+	totalN     int
+	totalSum   float64
+	sectorsAll [12]float64
+}
+
+// snapshot is one observed traffic sample.
+type snapshot struct {
+	at      time.Time
+	hour    int
+	total   float64
+	sectors [12]float64
+}
+
+// NewForecaster returns an empty forecaster.
+func NewForecaster(cfg ForecastConfig) *Forecaster {
+	if cfg.Retain <= 0 {
+		cfg.Retain = 7 * 24 * time.Hour
+	}
+	return &Forecaster{retain: cfg.Retain, sites: make(map[string]*siteHistogram)}
+}
+
+// Observe folds one traffic snapshot — the aircraft a ground-truth query
+// (fr24 live, fr24d, or a flightsim fleet behind fr24.NewService)
+// reported near center at time at — into the site's histogram.
+func (f *Forecaster) Observe(site string, at time.Time, center geo.Point, flights []fr24.Flight) {
+	s := snapshot{at: at, hour: at.Hour()}
+	for _, fl := range flights {
+		s.total++
+		b := int(geo.NormalizeBearing(fl.BearingFrom(center))/30) % 12
+		s.sectors[b]++
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h, ok := f.sites[site]
+	if !ok {
+		h = &siteHistogram{}
+		f.sites[site] = h
+	}
+	h.add(s)
+	h.evict(f.retain)
+}
+
+func (h *siteHistogram) add(s snapshot) {
+	h.samples = append(h.samples, s)
+	if s.at.After(h.newest) {
+		h.newest = s.at
+	}
+	h.hourN[s.hour]++
+	h.hourSum[s.hour] += s.total
+	h.totalN++
+	h.totalSum += s.total
+	for b, c := range s.sectors {
+		h.sectorSum[s.hour][b] += c
+		h.sectorsAll[b] += c
+	}
+}
+
+// evict drops samples that slid out of the retention window.
+func (h *siteHistogram) evict(retain time.Duration) {
+	cutoff := h.newest.Add(-retain)
+	keep := h.samples[:0]
+	for _, s := range h.samples {
+		if s.at.Before(cutoff) {
+			h.hourN[s.hour]--
+			h.hourSum[s.hour] -= s.total
+			h.totalN--
+			h.totalSum -= s.total
+			for b, c := range s.sectors {
+				h.sectorSum[s.hour][b] -= c
+				h.sectorsAll[b] -= c
+			}
+			continue
+		}
+		keep = append(keep, s)
+	}
+	h.samples = keep
+}
+
+// Yield is the forecast for one candidate measurement window.
+type Yield struct {
+	// ExpectedAircraft is the predicted count of distinct aircraft within
+	// ground-truth range during the window — the paper's "flight density"
+	// signal: a 30 s capture can only observe what is overhead.
+	ExpectedAircraft float64
+	// PerSector splits the expectation across 30° bearing sectors.
+	PerSector [12]float64
+	// Samples is how many snapshots back the hour-of-day estimate; zero
+	// means Fallback.
+	Samples int
+	// Fallback marks a prediction built from the site-wide mean (or
+	// nothing at all) because the hour has no history yet.
+	Fallback bool
+}
+
+// Predict returns the expected yield of a window starting at the given
+// time at the given site. An hour with no history falls back to the
+// site-wide mean; an unknown site predicts zero with Fallback set.
+func (f *Forecaster) Predict(site string, at time.Time) Yield {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h, ok := f.sites[site]
+	if !ok || h.totalN == 0 {
+		return Yield{Fallback: true}
+	}
+	hour := at.Hour()
+	if n := h.hourN[hour]; n > 0 {
+		y := Yield{ExpectedAircraft: h.hourSum[hour] / float64(n), Samples: n}
+		for b := range y.PerSector {
+			y.PerSector[b] = h.sectorSum[hour][b] / float64(n)
+		}
+		return y
+	}
+	y := Yield{ExpectedAircraft: h.totalSum / float64(h.totalN), Fallback: true}
+	for b := range y.PerSector {
+		y.PerSector[b] = h.sectorsAll[b] / float64(h.totalN)
+	}
+	return y
+}
+
+// Samples returns how many snapshots the site's sliding window currently
+// holds.
+func (f *Forecaster) Samples(site string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h, ok := f.sites[site]
+	if !ok {
+		return 0
+	}
+	return len(h.samples)
+}
+
+// TrafficForecast exports the site's histogram in calib's forecast shape,
+// bridging the learned density to the existing free-running scheduler
+// (calib.PlanMeasurements): HourlyDensity from the per-hour means,
+// SectorBias from the normalized sector split of each hour with data.
+func (f *Forecaster) TrafficForecast(site string) calib.TrafficForecast {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out calib.TrafficForecast
+	h, ok := f.sites[site]
+	if !ok {
+		return out
+	}
+	for hour := 0; hour < 24; hour++ {
+		n := h.hourN[hour]
+		if n == 0 {
+			continue
+		}
+		out.HourlyDensity[hour] = h.hourSum[hour] / float64(n)
+		if h.hourSum[hour] <= 0 {
+			continue
+		}
+		var bias [12]float64
+		for b := range bias {
+			bias[b] = h.sectorSum[hour][b] / h.hourSum[hour]
+		}
+		if out.SectorBias == nil {
+			out.SectorBias = make(map[int][12]float64)
+		}
+		out.SectorBias[hour] = bias
+	}
+	return out
+}

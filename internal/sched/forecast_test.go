@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"sensorcal/internal/fr24"
+	"sensorcal/internal/geo"
+)
+
+var testCenter = geo.Point{Lat: 46.95, Lon: 7.44}
+
+// flightsAt fabricates one ground-truth snapshot with an aircraft at
+// each given bearing, 30 km out.
+func flightsAt(center geo.Point, bearings ...float64) []fr24.Flight {
+	var out []fr24.Flight
+	for i, b := range bearings {
+		p := geo.Destination(center, b, 30_000)
+		out = append(out, fr24.Flight{
+			ICAO: fmt.Sprintf("AC%04d", i),
+			Lat:  p.Lat, Lon: p.Lon, AltM: 10_000,
+		})
+	}
+	return out
+}
+
+func TestForecasterHourHistogram(t *testing.T) {
+	f := NewForecaster(ForecastConfig{})
+	day := time.Date(2026, 7, 6, 8, 0, 0, 0, time.UTC)
+	// Three mornings with four aircraft each, all due east.
+	for d := 0; d < 3; d++ {
+		at := day.Add(time.Duration(d) * 24 * time.Hour)
+		f.Observe("rooftop", at, testCenter, flightsAt(testCenter, 88, 89, 91, 92))
+	}
+
+	y := f.Predict("rooftop", day.Add(72*time.Hour)) // another 08:00
+	if y.Fallback {
+		t.Fatalf("hour with 3 samples should not fall back: %+v", y)
+	}
+	if y.Samples != 3 {
+		t.Fatalf("Samples = %d, want 3", y.Samples)
+	}
+	if math.Abs(y.ExpectedAircraft-4) > 1e-9 {
+		t.Fatalf("ExpectedAircraft = %v, want 4", y.ExpectedAircraft)
+	}
+	// 88–92° all land in sector 2 or 3 (60–90°, 90–120°); the mass must
+	// be on the eastern sectors and nowhere else.
+	var east, rest float64
+	for b, c := range y.PerSector {
+		if b == 2 || b == 3 {
+			east += c
+		} else {
+			rest += c
+		}
+	}
+	if math.Abs(east-4) > 1e-9 || rest != 0 {
+		t.Fatalf("sector split east=%v rest=%v, want 4/0 (%v)", east, rest, y.PerSector)
+	}
+}
+
+func TestForecasterFallbacks(t *testing.T) {
+	f := NewForecaster(ForecastConfig{})
+	at := time.Date(2026, 7, 6, 8, 0, 0, 0, time.UTC)
+	f.Observe("rooftop", at, testCenter, flightsAt(testCenter, 10, 20, 30, 40))
+
+	// An hour with no history uses the site-wide mean.
+	y := f.Predict("rooftop", at.Add(5*time.Hour))
+	if !y.Fallback {
+		t.Fatalf("unseen hour should fall back")
+	}
+	if math.Abs(y.ExpectedAircraft-4) > 1e-9 {
+		t.Fatalf("site-mean fallback = %v, want 4", y.ExpectedAircraft)
+	}
+
+	// An unknown site predicts nothing, flagged.
+	y = f.Predict("basement", at)
+	if !y.Fallback || y.ExpectedAircraft != 0 {
+		t.Fatalf("unknown site: %+v, want zero fallback", y)
+	}
+}
+
+func TestForecasterSlidingWindowEviction(t *testing.T) {
+	f := NewForecaster(ForecastConfig{Retain: 48 * time.Hour})
+	at := time.Date(2026, 7, 6, 8, 0, 0, 0, time.UTC)
+	f.Observe("rooftop", at, testCenter, flightsAt(testCenter, 90, 90, 90, 90, 90, 90, 90, 90))
+	// Ten days later one quiet snapshot arrives; the busy one slides out.
+	f.Observe("rooftop", at.Add(10*24*time.Hour), testCenter, flightsAt(testCenter, 90))
+
+	if n := f.Samples("rooftop"); n != 1 {
+		t.Fatalf("Samples = %d after eviction, want 1", n)
+	}
+	y := f.Predict("rooftop", at)
+	if math.Abs(y.ExpectedAircraft-1) > 1e-9 {
+		t.Fatalf("post-eviction prediction = %v, want 1 (old sample must not linger)", y.ExpectedAircraft)
+	}
+}
+
+func TestForecasterTrafficForecastBridge(t *testing.T) {
+	f := NewForecaster(ForecastConfig{})
+	at := time.Date(2026, 7, 6, 8, 0, 0, 0, time.UTC)
+	f.Observe("rooftop", at, testCenter, flightsAt(testCenter, 90, 90, 270))
+
+	tf := f.TrafficForecast("rooftop")
+	if math.Abs(tf.HourlyDensity[8]-3) > 1e-9 {
+		t.Fatalf("HourlyDensity[8] = %v, want 3", tf.HourlyDensity[8])
+	}
+	bias, ok := tf.SectorBias[8]
+	if !ok {
+		t.Fatalf("hour 8 should carry a sector bias")
+	}
+	var sum float64
+	for _, b := range bias {
+		sum += b
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sector bias must normalize to 1, got %v", sum)
+	}
+}

@@ -1,0 +1,240 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sensorcal/internal/calib"
+	"sensorcal/internal/world"
+)
+
+// Campaign materializes the repeated directional procedure for a leased
+// task at a concrete site. The scheduler constructs campaign configs
+// programmatically, so the parameters are validated here — a task that
+// would produce a zero-run or zero-radius campaign fails fast instead of
+// burning the node's duty budget on a no-op.
+func (t Task) Campaign(site *world.Site, aircraft int, radiusM float64, seed int64) (calib.CampaignConfig, error) {
+	runs := t.Runs
+	if runs == 0 {
+		runs = 1
+	}
+	cfg := calib.CampaignConfig{
+		Site:     site,
+		Aircraft: aircraft,
+		RadiusM:  radiusM,
+		Runs:     runs,
+		Start:    t.Start,
+		Spacing:  t.Duration,
+		Seed:     seed,
+	}
+	if err := cfg.Validate(); err != nil {
+		return calib.CampaignConfig{}, fmt.Errorf("sched: task %s: %w", t.ID, err)
+	}
+	return cfg, nil
+}
+
+// PlanConfig controls one planning pass.
+type PlanConfig struct {
+	// Now anchors staleness computations and the start of the horizon.
+	Now time.Time
+	// Horizon is how far ahead to plan; candidate windows are the full
+	// hours in [Now, Now+Horizon). Zero means 24 h.
+	Horizon time.Duration
+	// WindowLength is each measurement window's duration (paper: 30 s).
+	WindowLength time.Duration
+	// MaxTasksPerNode caps windows assigned to one node per pass. Zero
+	// means 4.
+	MaxTasksPerNode int
+	// StaleAfter is the age at which a node's calibration counts as fully
+	// stale; staleness saturates there. Zero means
+	// calib.DefaultMaxReportAge — the same bound the marketplace uses to
+	// stop trusting a report.
+	StaleAfter time.Duration
+	// MinYield drops candidate windows whose discounted yield falls
+	// below it: measuring an empty sky wastes the duty budget.
+	MinYield float64
+	// TaskGrace is how long past its window start a task stays
+	// executable before the queue expires it. Zero means one hour.
+	TaskGrace time.Duration
+	// Campaign is the per-task measurement template. The planner
+	// constructs campaign configs programmatically, so it fails fast on
+	// nonsense parameters via CampaignConfig.Validate instead of letting
+	// a misconfigured fleet burn measurement windows. Zero fields get
+	// conventional defaults (1 run, WindowLength spacing, 60 aircraft,
+	// 100 km radius).
+	Campaign calib.CampaignConfig
+}
+
+// Plan turns fleet state plus the forecast into prioritized measurement
+// tasks: every node gets its highest-yield windows (discounted for
+// sectors it already covered), bounded by its duty budget, and the
+// result is ordered by priority — staleness × yield — so the stalest
+// node's best windows dispatch first. The output is deterministic for a
+// fixed forecaster state and fleet.
+func Plan(f *Forecaster, nodes []NodeState, cfg PlanConfig) ([]Task, error) {
+	if cfg.Now.IsZero() {
+		return nil, fmt.Errorf("sched: plan needs an anchor time")
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 24 * time.Hour
+	}
+	if cfg.WindowLength <= 0 {
+		cfg.WindowLength = 30 * time.Second
+	}
+	if cfg.MaxTasksPerNode <= 0 {
+		cfg.MaxTasksPerNode = 4
+	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = calib.DefaultMaxReportAge
+	}
+	if cfg.TaskGrace <= 0 {
+		cfg.TaskGrace = time.Hour
+	}
+	campaign := cfg.Campaign
+	if campaign.Runs == 0 {
+		campaign.Runs = 1
+	}
+	if campaign.Spacing == 0 {
+		campaign.Spacing = cfg.WindowLength
+	}
+	if campaign.Aircraft == 0 {
+		campaign.Aircraft = 60
+	}
+	if campaign.RadiusM == 0 {
+		campaign.RadiusM = 100_000
+	}
+	if err := campaign.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: campaign template: %w", err)
+	}
+
+	// Candidate slots: the full hours inside the horizon.
+	var slots []time.Time
+	for t := cfg.Now.Truncate(time.Hour); t.Before(cfg.Now.Add(cfg.Horizon)); t = t.Add(time.Hour) {
+		if t.Before(cfg.Now) {
+			continue
+		}
+		slots = append(slots, t)
+	}
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("sched: horizon %s from %s contains no full hours", cfg.Horizon, cfg.Now)
+	}
+
+	// Sort the fleet by node ID so ties resolve identically across runs.
+	ordered := append([]NodeState(nil), nodes...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Node < ordered[j].Node })
+
+	var tasks []Task
+	for _, n := range ordered {
+		stale := stalenessFactor(n, cfg.Now, cfg.StaleAfter)
+		type cand struct {
+			start time.Time
+			yield Yield
+			eff   float64
+		}
+		var cands []cand
+		for _, s := range slots {
+			y := f.Predict(n.Site, s)
+			eff := discountCovered(y, n.Covered)
+			if eff < cfg.MinYield {
+				continue
+			}
+			cands = append(cands, cand{start: s, yield: y, eff: eff})
+		}
+		// Best yield first; earlier start breaks ties so a flat forecast
+		// still schedules promptly.
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].eff != cands[j].eff {
+				return cands[i].eff > cands[j].eff
+			}
+			return cands[i].start.Before(cands[j].start)
+		})
+		budget := n.DutyBudget
+		limited := n.DutyBudget > 0
+		taken := 0
+		for _, c := range cands {
+			if taken >= cfg.MaxTasksPerNode {
+				break
+			}
+			cost := time.Duration(campaign.Runs) * cfg.WindowLength
+			if limited && cost > budget {
+				break
+			}
+			tasks = append(tasks, Task{
+				ID:               TaskID(n.Node, c.start),
+				Node:             n.Node,
+				Site:             n.Site,
+				Start:            c.start,
+				Duration:         cfg.WindowLength,
+				Runs:             campaign.Runs,
+				ExpectedAircraft: c.yield.ExpectedAircraft,
+				Priority:         stale * c.eff,
+				NotAfter:         c.start.Add(cfg.WindowLength + cfg.TaskGrace),
+			})
+			taken++
+			if limited {
+				budget -= cost
+			}
+		}
+	}
+	// Global dispatch order: stalest-node × highest-yield first, with
+	// deterministic tie-breaks.
+	sort.Slice(tasks, func(i, j int) bool {
+		if tasks[i].Priority != tasks[j].Priority {
+			return tasks[i].Priority > tasks[j].Priority
+		}
+		if tasks[i].Node != tasks[j].Node {
+			return tasks[i].Node < tasks[j].Node
+		}
+		return tasks[i].Start.Before(tasks[j].Start)
+	})
+	return tasks, nil
+}
+
+// stalenessFactor maps a node's calibration age onto [0.1, 1]: fresh
+// nodes keep a floor (coverage still decays) while nodes at or past
+// StaleAfter — or that never reported at all — saturate at 1 and
+// dominate the dispatch order.
+func stalenessFactor(n NodeState, now time.Time, staleAfter time.Duration) float64 {
+	age := staleAfter // "never" is fully stale
+	if !n.LastReport.IsZero() {
+		age = now.Sub(n.LastReport)
+	}
+	if !n.LastReading.IsZero() {
+		if ra := now.Sub(n.LastReading); n.LastReport.IsZero() || ra > age {
+			age = ra
+		}
+	}
+	frac := float64(age) / float64(staleAfter)
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return 0.1 + 0.9*frac
+}
+
+// discountCovered reduces a window's yield by the share of its traffic
+// flying through sectors the node already measured confidently (the same
+// 0.8 discount calib.PlanMeasurements applies).
+func discountCovered(y Yield, covered [12]bool) float64 {
+	var total, coveredShare float64
+	for b, c := range y.PerSector {
+		total += c
+		if covered[b] {
+			coveredShare += c
+		}
+	}
+	if total <= 0 {
+		// No sector detail: fall back to the covered-count fraction.
+		n := 0
+		for _, c := range covered {
+			if c {
+				n++
+			}
+		}
+		return y.ExpectedAircraft * (1 - 0.8*float64(n)/12)
+	}
+	return y.ExpectedAircraft * (1 - 0.8*coveredShare/total)
+}

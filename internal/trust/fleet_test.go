@@ -1,0 +1,88 @@
+package trust
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// The fleet endpoint is the staleness signal the measurement scheduler
+// polls: every registered node with its score and the timestamp of the
+// newest reading the collector has accepted from it.
+
+func TestCollectorFleetTracksReadingFreshness(t *testing.T) {
+	c := NewCollector()
+	for _, id := range []NodeID{"a", "b"} {
+		if err := c.Ledger.Register(Node{ID: id, Registered: t0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node a delivers twice; the newest reading time wins. Node b stays
+	// silent — zero LastReading means never.
+	for _, at := range []time.Time{t0.Add(time.Hour), t0.Add(3 * time.Hour)} {
+		if _, err := c.SubmitDedup(Reading{Node: "a", SignalID: "tv-521", PowerDBm: -50, At: at}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fleet := c.Fleet()
+	if len(fleet) != 2 || fleet[0].Node != "a" || fleet[1].Node != "b" {
+		t.Fatalf("fleet = %+v, want a then b", fleet)
+	}
+	if !fleet[0].LastReading.Equal(t0.Add(3 * time.Hour)) {
+		t.Fatalf("a.LastReading = %s, want the newest reading time", fleet[0].LastReading)
+	}
+	if !fleet[1].LastReading.IsZero() {
+		t.Fatalf("silent node got LastReading %s, want zero", fleet[1].LastReading)
+	}
+
+	// A replayed (older) reading must not rewind freshness: spool
+	// replays carry old timestamps and would otherwise fake staleness.
+	if _, err := c.SubmitDedup(Reading{Node: "a", SignalID: "tv-521", PowerDBm: -50, At: t0.Add(2 * time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Fleet()[0].LastReading; !got.Equal(t0.Add(3 * time.Hour)) {
+		t.Fatalf("replay rewound LastReading to %s", got)
+	}
+}
+
+func TestFleetEndpoint(t *testing.T) {
+	c := NewCollector()
+	if err := c.Ledger.Register(Node{ID: "node-1", Registered: t0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitDedup(Reading{Node: "node-1", SignalID: "tv-521", PowerDBm: -50, At: t0.Add(time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler(func() time.Time { return t0 }))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/api/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var entries []struct {
+		Node          string    `json:"node"`
+		Score         float64   `json:"score"`
+		Rating        string    `json:"rating"`
+		RegisteredAt  time.Time `json:"registered_at"`
+		LastReadingAt time.Time `json:"last_reading_at"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("got %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Node != "node-1" || e.Score != 0.5 || e.Rating == "" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if !e.LastReadingAt.Equal(t0.Add(time.Hour)) || !e.RegisteredAt.Equal(t0) {
+		t.Fatalf("timestamps = %+v", e)
+	}
+}

@@ -31,6 +31,7 @@ type Collector struct {
 	history  map[string][]Epoch              // closed epochs per signal
 	seen     map[string]struct{}             // accepted idempotency keys
 	seenFIFO []string                        // eviction order for seen
+	lastSeen map[NodeID]time.Time            // newest reading timestamp per node
 
 	// metrics is non-nil only after Instrument; see metrics.go.
 	metrics *collectorMetrics
@@ -45,6 +46,7 @@ func NewCollector() *Collector {
 		pending:     make(map[string]map[time.Time]*Epoch),
 		history:     make(map[string][]Epoch),
 		seen:        make(map[string]struct{}),
+		lastSeen:    make(map[NodeID]time.Time),
 	}
 }
 
@@ -73,6 +75,12 @@ func (c *Collector) SubmitDedup(r Reading) (duplicate bool, err error) {
 			return true, nil
 		}
 		c.rememberLocked(r.Key)
+	}
+	// The staleness signal the measurement scheduler plans from: the
+	// newest evidence timestamp per node. Reading time, not arrival time,
+	// so a spool replay of old readings does not fake freshness.
+	if r.At.After(c.lastSeen[r.Node]) {
+		c.lastSeen[r.Node] = r.At
 	}
 	window := r.At.Truncate(c.EpochWindow)
 	byWindow, ok := c.pending[r.SignalID]
@@ -152,6 +160,34 @@ func (c *Collector) CloseEpochs(cutoff time.Time) []Anomaly {
 	return all
 }
 
+// NodeActivity is one fleet member's staleness signal: the consensus
+// score plus when the collector last saw evidence from the node. A zero
+// LastReading means never.
+type NodeActivity struct {
+	Node        NodeID
+	Score       Score
+	Registered  time.Time
+	LastReading time.Time
+}
+
+// Fleet returns every registered node with its activity, sorted by ID —
+// the planner input a measurement scheduler polls for.
+func (c *Collector) Fleet() []NodeActivity {
+	nodes := c.Ledger.Nodes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeActivity, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, NodeActivity{
+			Node:        n.ID,
+			Score:       c.Ledger.Trust(n.ID),
+			Registered:  n.Registered,
+			LastReading: c.lastSeen[n.ID],
+		})
+	}
+	return out
+}
+
 // PendingEpochs returns how many epochs are open and awaiting closure.
 func (c *Collector) PendingEpochs() int {
 	c.mu.Lock()
@@ -214,11 +250,21 @@ type trustResponse struct {
 	Rating string  `json:"rating"`
 }
 
+// fleetEntry is the /api/fleet wire form (sched.FleetEntry mirrors it).
+type fleetEntry struct {
+	Node          string    `json:"node"`
+	Score         float64   `json:"score"`
+	Rating        string    `json:"rating"`
+	RegisteredAt  time.Time `json:"registered_at"`
+	LastReadingAt time.Time `json:"last_reading_at"`
+}
+
 // Handler exposes the collector over HTTP:
 //
 //	POST /api/register  — enroll a node
 //	POST /api/readings  — submit a reading
 //	GET  /api/trust?node=ID — query a trust score
+//	GET  /api/fleet     — every node's score + staleness (scheduler input)
 func (c *Collector) Handler(now func() time.Time) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/register", func(w http.ResponseWriter, r *http.Request) {
@@ -297,6 +343,22 @@ func (c *Collector) Handler(now func() time.Time) http.Handler {
 			return
 		}
 		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("/api/fleet", func(w http.ResponseWriter, r *http.Request) {
+		c.metrics.recordRequest("fleet")
+		fleet := c.Fleet()
+		out := make([]fleetEntry, 0, len(fleet))
+		for _, n := range fleet {
+			out = append(out, fleetEntry{
+				Node:          string(n.Node),
+				Score:         float64(n.Score),
+				Rating:        n.Score.Quantize(),
+				RegisteredAt:  n.Registered,
+				LastReadingAt: n.LastReading,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
 	})
 	mux.HandleFunc("/api/trust", func(w http.ResponseWriter, r *http.Request) {
 		c.metrics.recordRequest("trust")

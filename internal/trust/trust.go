@@ -93,6 +93,18 @@ func (l *Ledger) Node(id NodeID) (Node, bool) {
 	return *n, true
 }
 
+// Nodes returns every registered node, sorted by ID.
+func (l *Ledger) Nodes() []Node {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Node, 0, len(l.nodes))
+	for _, n := range l.nodes {
+		out = append(out, *n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Trust returns the node's current score (0 for unknown nodes).
 func (l *Ledger) Trust(id NodeID) Score {
 	l.mu.RLock()
