@@ -31,7 +31,7 @@
 //	agentd [-site rooftop] [-node node-1] [-days 1] [-windows 4]
 //	       [-scheduler http://host:8027] [-poll 30s] [-tasks 0]
 //	       [-collector http://host:8025] [-spool agentd.spool.jsonl]
-//	       [-drain 2s] [-realtime] [-seed 1]
+//	       [-drain 2s] [-realtime] [-parallel 0] [-seed 1]
 //	       [-admin :8026] [-log-level info]
 package main
 
@@ -68,6 +68,7 @@ func main() {
 		spoolPath = flag.String("spool", "agentd.spool.jsonl", "store-and-forward WAL for readings awaiting delivery")
 		drainIv   = flag.Duration("drain", 2*time.Second, "spool drain interval")
 		realtime  = flag.Bool("realtime", false, "pace windows on the wall clock")
+		parallel  = flag.Int("parallel", 0, "measurement units run concurrently (0: GOMAXPROCS, 1: serial; results identical)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		admin     = flag.String("admin", ":8026", "admin listen address for /metrics, /debug/traces and /debug/pprof (empty: disabled)")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -166,6 +167,7 @@ func main() {
 		Collector:     col,
 		WindowsPerDay: *windows,
 		Seed:          *seed,
+		Parallelism:   *parallel,
 	})
 	if err != nil {
 		logger.Fatalf("%v", err)

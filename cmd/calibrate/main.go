@@ -35,6 +35,7 @@ func main() {
 		plot     = flag.Bool("plot", false, "print the Figure 1 style polar scatter")
 		claim    = flag.Bool("claim-outdoor", false, "verify an operator claim of an outdoor installation")
 		withFM   = flag.Bool("fm", false, "include the FM broadcast sweep (antenna roll-off probe)")
+		parallel = flag.Int("parallel", 0, "measurement units run concurrently (0: GOMAXPROCS, 1: serial; results identical)")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
@@ -92,10 +93,11 @@ func main() {
 
 	logger.Infof("running cellular + TV frequency sweep")
 	fcfg := calib.FrequencyConfig{
-		Site:   site,
-		Towers: world.Towers(),
-		TV:     world.TVStations(),
-		Seed:   *seed,
+		Site:        site,
+		Towers:      world.Towers(),
+		TV:          world.TVStations(),
+		Seed:        *seed,
+		Parallelism: *parallel,
 	}
 	if *withFM {
 		fcfg.FM = world.FMStations()

@@ -21,6 +21,7 @@ import (
 	"sensorcal/internal/fr24"
 	"sensorcal/internal/geo"
 	"sensorcal/internal/obs"
+	"sensorcal/internal/pipeline"
 	"sensorcal/internal/trust"
 	"sensorcal/internal/world"
 )
@@ -87,6 +88,11 @@ type Config struct {
 	// means the process-wide obs default.
 	Metrics *obs.Registry
 	Seed    int64
+	// Parallelism bounds how many measurement units (the directional
+	// capture, the frequency sweep, and the sweep's individual channels)
+	// run concurrently. 0 means GOMAXPROCS, 1 forces serial execution;
+	// results are identical either way.
+	Parallelism int
 }
 
 // Round is the outcome of one measurement window.
@@ -222,44 +228,69 @@ func (a *Agent) measure(ctx context.Context, index int, w calib.MeasurementWindo
 	if err != nil {
 		return fmt.Errorf("agent: traffic for round %d: %w", index, err)
 	}
-	set, err := calib.RunDirectional(ctx, calib.DirectionalConfig{
-		Site:     a.cfg.Site,
-		Fleet:    fleet,
-		Truth:    truth,
-		Start:    w.Start,
-		Duration: w.Duration,
-		Seed:     a.cfg.Seed + int64(index),
-	})
-	if err != nil {
-		return fmt.Errorf("agent: directional round %d: %w", index, err)
-	}
-	round := Round{Window: w, Directional: set}
 
-	if index%a.cfg.FrequencyEvery == 0 && (len(a.cfg.Towers) > 0 || len(a.cfg.TV) > 0) {
-		freq, err := calib.RunFrequency(ctx, calib.FrequencyConfig{
-			Site:   a.cfg.Site,
-			Towers: a.cfg.Towers,
-			TV:     a.cfg.TV,
-			Seed:   a.cfg.Seed + int64(index),
+	// The directional capture and the frequency sweep touch disjoint
+	// state and carry independent seeds, so they run as two pipeline
+	// units; the sweep additionally fans its channels internally. Unit 0
+	// is the directional capture, so its error wins ties — the same
+	// precedence the old serial code had.
+	wantFreq := index%a.cfg.FrequencyEvery == 0 && (len(a.cfg.Towers) > 0 || len(a.cfg.TV) > 0)
+	var (
+		set  *calib.ObservationSet
+		freq *calib.FrequencyReport
+	)
+	units := 1
+	if wantFreq {
+		units = 2
+	}
+	exec := pipeline.New(pipeline.Config{Workers: a.cfg.Parallelism})
+	err = exec.Run(ctx, units, func(ctx context.Context, u int) error {
+		if u == 0 {
+			s, err := calib.RunDirectional(ctx, calib.DirectionalConfig{
+				Site:     a.cfg.Site,
+				Fleet:    fleet,
+				Truth:    truth,
+				Start:    w.Start,
+				Duration: w.Duration,
+				Seed:     a.cfg.Seed + int64(index),
+			})
+			if err != nil {
+				return fmt.Errorf("agent: directional round %d: %w", index, err)
+			}
+			set = s
+			return nil
+		}
+		f, err := calib.RunFrequency(ctx, calib.FrequencyConfig{
+			Site:        a.cfg.Site,
+			Towers:      a.cfg.Towers,
+			TV:          a.cfg.TV,
+			Seed:        a.cfg.Seed + int64(index),
+			Parallelism: a.cfg.Parallelism,
 		})
 		if err != nil {
 			return fmt.Errorf("agent: frequency round %d: %w", index, err)
 		}
-		round.Frequency = freq
-		if a.cfg.Collector != nil {
-			for _, tv := range freq.TV {
-				r := trust.Reading{
-					Node:     a.cfg.Node,
-					SignalID: fmt.Sprintf("tv-%.0fMHz", tv.Station.CenterHz/1e6),
-					PowerDBm: tv.Measurement.PowerDBm,
-					At:       w.Start,
-				}
-				if err := a.cfg.Collector.Submit(r); err != nil {
-					a.m.submitErrors.Inc()
-					return fmt.Errorf("agent: submitting %s: %w", r.SignalID, err)
-				}
-				a.m.submitted.Inc()
+		freq = f
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	round := Round{Window: w, Directional: set, Frequency: freq}
+
+	if freq != nil && a.cfg.Collector != nil {
+		for _, tv := range freq.TV {
+			r := trust.Reading{
+				Node:     a.cfg.Node,
+				SignalID: fmt.Sprintf("tv-%.0fMHz", tv.Station.CenterHz/1e6),
+				PowerDBm: tv.Measurement.PowerDBm,
+				At:       w.Start,
 			}
+			if err := a.cfg.Collector.Submit(r); err != nil {
+				a.m.submitErrors.Inc()
+				return fmt.Errorf("agent: submitting %s: %w", r.SignalID, err)
+			}
+			a.m.submitted.Inc()
 		}
 	}
 

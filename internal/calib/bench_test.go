@@ -1,0 +1,35 @@
+package calib
+
+import (
+	"context"
+	"testing"
+
+	"sensorcal/internal/world"
+)
+
+// Campaign benchmarks: the serial/parallel pair measures the pipeline
+// speedup on the same workload (CI uploads the comparison as an
+// artifact). Results are byte-identical between the two — see
+// parallel_test.go — so this is purely a wall-clock comparison.
+
+func benchCampaign(b *testing.B, workers int) {
+	b.Helper()
+	cfg := CampaignConfig{
+		Site:        world.RooftopSite(),
+		Aircraft:    30,
+		Runs:        4,
+		Start:       epoch,
+		Seed:        1201,
+		Parallelism: workers,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCampaign(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignSerial(b *testing.B)   { benchCampaign(b, 1) }
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, 0) }

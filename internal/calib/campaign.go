@@ -9,6 +9,7 @@ import (
 	"sensorcal/internal/fr24"
 	"sensorcal/internal/geo"
 	"sensorcal/internal/obs"
+	"sensorcal/internal/pipeline"
 	"sensorcal/internal/world"
 )
 
@@ -32,6 +33,11 @@ type CampaignConfig struct {
 	Start   time.Time
 	Spacing time.Duration
 	Seed    int64
+	// Parallelism bounds how many runs execute concurrently (0 means
+	// GOMAXPROCS, 1 forces the serial reference path). Every run owns its
+	// fleet, fader and demodulator and is seeded independently of the
+	// others, so the result is byte-identical at any worker count.
+	Parallelism int
 }
 
 // Validate rejects campaign parameters that cannot describe a runnable
@@ -109,11 +115,12 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignResult, erro
 	stageStart := time.Now()
 	defer func() { cm.observeStage("campaign", time.Since(stageStart)) }()
 
-	res := &CampaignResult{Aggregate: &ObservationSet{Site: cfg.Site.Name, Start: cfg.Start}}
-	for r := 0; r < cfg.Runs; r++ {
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
+	// Runs fan across the worker pool. Each run already derives its own
+	// seeds from the run index, so only the merge order below decides the
+	// output — and Collect returns runs in submission order regardless of
+	// which worker finished first.
+	exec := pipeline.New(pipeline.Config{Workers: cfg.Parallelism})
+	perRun, err := pipeline.Collect(ctx, exec, cfg.Runs, func(ctx context.Context, r int) (*ObservationSet, error) {
 		start := cfg.Start.Add(time.Duration(r) * cfg.Spacing)
 		fleet, err := flightsim.NewFleet(start, flightsim.Config{
 			Center: cfg.Center,
@@ -134,6 +141,14 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignResult, erro
 		if err != nil {
 			return nil, fmt.Errorf("calib: campaign run %d: %w", r, err)
 		}
+		return set, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CampaignResult{Aggregate: &ObservationSet{Site: cfg.Site.Name, Start: cfg.Start}}
+	for _, set := range perRun {
 		res.PerRun = append(res.PerRun, set)
 		res.Aggregate.Observations = append(res.Aggregate.Observations, set.Observations...)
 		if set.GroundTruthStale {

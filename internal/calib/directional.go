@@ -204,6 +204,10 @@ func RunDirectional(ctx context.Context, cfg DirectionalConfig) (*ObservationSet
 		return nil, err
 	}
 	rx := world.RxConfig{NoiseFigureDB: cfg.NoiseFigureDB, TempK: 290}
+	// One burst and one capture buffer serve every transmission in the
+	// window; the pipeline's steady-state demod loop allocates nothing.
+	burst := iq.New(0, phy1090.SampleRate)
+	capBuf := iq.New(phy1090.FrameSamples+8, phy1090.SampleRate)
 	for i, tx := range txs {
 		if i%256 == 0 && ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -242,11 +246,10 @@ func RunDirectional(ctx context.Context, cfg DirectionalConfig) (*ObservationSet
 		if snr < snrSkipDB {
 			continue
 		}
-		burst, err := phy1090.Modulate(tx.Frame, phy1090.SNRToAmplitude(snr, noisePower))
-		if err != nil {
+		if err := phy1090.ModulateInto(burst, tx.Frame, phy1090.SNRToAmplitude(snr, noisePower)); err != nil {
 			return nil, err
 		}
-		capBuf := iq.New(phy1090.FrameSamples+8, phy1090.SampleRate)
+		capBuf.Resize(phy1090.FrameSamples + 8)
 		if err := capBuf.AddAt(burst, 4); err != nil {
 			return nil, err
 		}

@@ -10,6 +10,7 @@ import (
 	"sensorcal/internal/cellsim"
 	"sensorcal/internal/fmsim"
 	"sensorcal/internal/obs"
+	"sensorcal/internal/pipeline"
 	"sensorcal/internal/rfmath"
 	"sensorcal/internal/sdr"
 	"sensorcal/internal/tvsim"
@@ -112,6 +113,11 @@ type FrequencyConfig struct {
 	// GainDB is the fixed front-end gain (paper: fixed, no AGC).
 	GainDB float64
 	Seed   int64
+	// Parallelism bounds how many channels are measured concurrently
+	// (0 means GOMAXPROCS, 1 forces the serial reference path). Each
+	// channel owns a freshly seeded device and fader, so the report is
+	// byte-identical at any worker count.
+	Parallelism int
 }
 
 func (c *FrequencyConfig) defaults() {
@@ -161,64 +167,88 @@ func RunFrequency(ctx context.Context, cfg FrequencyConfig) (*FrequencyReport, e
 	cm := metrics()
 	stageStart := time.Now()
 	defer func() { cm.observeStage("frequency", time.Since(stageStart)) }()
-	scene := &WorldScene{
-		Site:    cfg.Site,
-		Antenna: cfg.Antenna,
-		Towers:  cfg.Towers,
-		TV:      cfg.TV,
-		FM:      cfg.FM,
-		Fader:   rfmath.NewFader(cfg.Seed),
-	}
+
+	// Every channel — tower, TV station, FM station — is one pipeline
+	// unit. A unit owns a freshly seeded device and a private fader: the
+	// pre-parallel code shared one rand.Rand across the whole sweep, which
+	// both raced under concurrency and made each channel's noise depend on
+	// its predecessors. Deriving both seeds from the unit index makes the
+	// report a pure function of (config, seed) at any worker count.
+	nTowers, nTV := len(cfg.Towers), len(cfg.TV)
+	units := nTowers + nTV + len(cfg.FM)
 	report := &FrequencyReport{Site: cfg.Site.Name}
-
-	// Cellular sweep (srsUE role).
-	dev := sdr.New(*cfg.DeviceProfile, cfg.Seed+1)
-	if err := dev.SetGain(cfg.GainDB); err != nil {
-		return nil, err
+	if units == 0 {
+		cm.recordFrequency(report)
+		return report, nil
 	}
-	scanner := cellsim.NewScanner(dev)
-	for _, tw := range cfg.Towers {
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
+	unitScene := func(u int) *WorldScene {
+		return &WorldScene{
+			Site:    cfg.Site,
+			Antenna: cfg.Antenna,
+			Towers:  cfg.Towers,
+			TV:      cfg.TV,
+			FM:      cfg.FM,
+			Fader:   rfmath.NewFader(pipeline.SplitSeed(cfg.Seed, uint64(2*u))),
 		}
-		res, err := scanner.ScanChannel(scene, TowerCell(tw))
-		if err != nil {
-			return nil, fmt.Errorf("calib: tower %d: %w", tw.ID, err)
-		}
-		report.Towers = append(report.Towers, TowerReading{Tower: tw, Result: res})
 	}
-
-	// TV sweep (GNU Radio role) with a fresh device at the same fixed
-	// gain.
-	tvDev := sdr.New(*cfg.DeviceProfile, cfg.Seed+2)
-	if err := tvDev.SetGain(cfg.GainDB); err != nil {
-		return nil, err
-	}
-	rxr := tvsim.NewReceiver(tvDev)
-	for _, st := range cfg.TV {
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		m, err := rxr.MeasureChannel(scene, st.CenterHz)
-		if err != nil {
-			return nil, fmt.Errorf("calib: station %s: %w", st.CallSign, err)
-		}
-		report.TV = append(report.TV, TVReading{Station: st, Measurement: m})
-	}
-
-	// FM sweep (§5 extension), same fixed gain.
-	if len(cfg.FM) > 0 {
-		fmDev := sdr.New(*cfg.DeviceProfile, cfg.Seed+3)
-		if err := fmDev.SetGain(cfg.GainDB); err != nil {
+	unitDevice := func(u int) (*sdr.Device, error) {
+		dev := sdr.New(*cfg.DeviceProfile, pipeline.SplitSeed(cfg.Seed, uint64(2*u+1)))
+		if err := dev.SetGain(cfg.GainDB); err != nil {
 			return nil, err
 		}
-		fmr := fmsim.NewReceiver(fmDev)
-		for _, st := range cfg.FM {
-			m, err := fmr.MeasureChannel(scene, st.CenterHz)
+		return dev, nil
+	}
+
+	type channelReading struct {
+		tower *TowerReading
+		tv    *TVReading
+		fm    *FMReading
+	}
+	exec := pipeline.New(pipeline.Config{Workers: cfg.Parallelism})
+	readings, err := pipeline.Collect(ctx, exec, units, func(ctx context.Context, u int) (channelReading, error) {
+		dev, err := unitDevice(u)
+		if err != nil {
+			return channelReading{}, err
+		}
+		scene := unitScene(u)
+		switch {
+		case u < nTowers:
+			// Cellular scan (srsUE role).
+			tw := cfg.Towers[u]
+			res, err := cellsim.NewScanner(dev).ScanChannel(scene, TowerCell(tw))
 			if err != nil {
-				return nil, fmt.Errorf("calib: FM station %s: %w", st.CallSign, err)
+				return channelReading{}, fmt.Errorf("calib: tower %d: %w", tw.ID, err)
 			}
-			report.FM = append(report.FM, FMReading{Station: st, Measurement: m})
+			return channelReading{tower: &TowerReading{Tower: tw, Result: res}}, nil
+		case u < nTowers+nTV:
+			// TV band-power measurement (GNU Radio role).
+			st := cfg.TV[u-nTowers]
+			m, err := tvsim.NewReceiver(dev).MeasureChannel(scene, st.CenterHz)
+			if err != nil {
+				return channelReading{}, fmt.Errorf("calib: station %s: %w", st.CallSign, err)
+			}
+			return channelReading{tv: &TVReading{Station: st, Measurement: m}}, nil
+		default:
+			// FM measurement (§5 extension).
+			st := cfg.FM[u-nTowers-nTV]
+			m, err := fmsim.NewReceiver(dev).MeasureChannel(scene, st.CenterHz)
+			if err != nil {
+				return channelReading{}, fmt.Errorf("calib: FM station %s: %w", st.CallSign, err)
+			}
+			return channelReading{fm: &FMReading{Station: st, Measurement: m}}, nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range readings {
+		switch {
+		case r.tower != nil:
+			report.Towers = append(report.Towers, *r.tower)
+		case r.tv != nil:
+			report.TV = append(report.TV, *r.tv)
+		case r.fm != nil:
+			report.FM = append(report.FM, *r.fm)
 		}
 	}
 	cm.recordFrequency(report)

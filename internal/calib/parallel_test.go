@@ -1,0 +1,76 @@
+package calib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"sensorcal/internal/world"
+)
+
+// The parallel pipeline's contract is not "statistically similar" but
+// byte-identical: every unit draws from its own seeded RNG stream and
+// results merge in submission order, so worker count must never show up
+// in the output. These tests pin that by marshalling whole reports from
+// a serial run and a maximally parallel run and comparing the bytes.
+
+func marshalT(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCampaignSerialParallelIdentical(t *testing.T) {
+	cfg := CampaignConfig{
+		Site:     world.RooftopSite(),
+		Aircraft: 20,
+		Runs:     3,
+		Start:    epoch,
+		Seed:     977,
+	}
+	serial := cfg
+	serial.Parallelism = 1
+	parallel := cfg
+	parallel.Parallelism = 8
+
+	a, err := RunCampaign(context.Background(), serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaign(context.Background(), parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalT(t, a), marshalT(t, b)) {
+		t.Error("campaign result differs between 1 and 8 workers")
+	}
+}
+
+func TestFrequencySerialParallelIdentical(t *testing.T) {
+	cfg := FrequencyConfig{
+		Site:   world.WindowSite(),
+		Towers: world.Towers(),
+		TV:     world.TVStations(),
+		Seed:   977,
+	}
+	serial := cfg
+	serial.Parallelism = 1
+	parallel := cfg
+	parallel.Parallelism = 8
+
+	a, err := RunFrequency(context.Background(), serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFrequency(context.Background(), parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalT(t, a), marshalT(t, b)) {
+		t.Error("frequency report differs between 1 and 8 workers")
+	}
+}

@@ -79,9 +79,20 @@ func DesignBandpass(lowHz, highHz, sampleRate float64, taps int) (*FIR, error) {
 // Apply filters x, returning a slice of the same length (zero-padded
 // edges, i.e. "same" convolution).
 func (f *FIR) Apply(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	f.ApplyTo(out, x)
+	return out
+}
+
+// ApplyTo filters x into dst (same-length "same" convolution), letting
+// hot paths reuse pooled scratch instead of allocating per call. dst and
+// x must not overlap. Panics if len(dst) != len(x).
+func (f *FIR) ApplyTo(dst, x []complex128) {
 	n := len(x)
+	if len(dst) != n {
+		panic("dsp: FIR.ApplyTo length mismatch")
+	}
 	m := len(f.Taps)
-	out := make([]complex128, n)
 	half := m / 2
 	for i := 0; i < n; i++ {
 		var acc complex128
@@ -91,9 +102,8 @@ func (f *FIR) Apply(x []complex128) []complex128 {
 				acc += x[j] * complex(f.Taps[k], 0)
 			}
 		}
-		out[i] = acc
+		dst[i] = acc
 	}
-	return out
 }
 
 // Response returns the filter's magnitude response (linear) at frequency
@@ -124,6 +134,17 @@ func NewMovingAverage(length int) (*MovingAverage, error) {
 		return nil, fmt.Errorf("dsp: moving average length %d", length)
 	}
 	return &MovingAverage{window: make([]float64, length)}, nil
+}
+
+// Reset rebinds the averager to a caller-provided window (typically from
+// GetFloat), zeroing it — the allocation-free counterpart of
+// NewMovingAverage for pooled hot paths.
+func (m *MovingAverage) Reset(window []float64) {
+	for i := range window {
+		window[i] = 0
+	}
+	m.window = window
+	m.sum, m.idx, m.filled = 0, 0, 0
 }
 
 // Push adds a sample and returns the current mean over the (partially

@@ -1,0 +1,95 @@
+package dsp
+
+import "sync"
+
+// Scratch pools for the measurement hot path. A campaign measures the
+// same channel plan over and over, so every band-power call wants the
+// same three buffers: a frequency-shift scratch, a FIR output, and a
+// moving-average window. Pooling them makes the steady-state pipeline
+// allocation-free and, unlike per-caller scratch structs, works
+// unchanged when the pipeline fans units across workers — sync.Pool is
+// per-P, so parallel units never contend.
+//
+// Contract: Get* returns a slice of exactly n elements with undefined
+// contents; callers that need zeros must clear it. Put* recycles the
+// backing array; the caller must not retain the slice afterwards.
+
+var (
+	complexPool = sync.Pool{New: func() interface{} { return new([]complex128) }}
+	floatPool   = sync.Pool{New: func() interface{} { return new([]float64) }}
+)
+
+// GetComplex returns a pooled []complex128 of length n (contents
+// undefined).
+func GetComplex(n int) []complex128 {
+	p := complexPool.Get().(*[]complex128)
+	if cap(*p) < n {
+		*p = make([]complex128, n)
+	}
+	return (*p)[:n]
+}
+
+// PutComplex recycles a slice obtained from GetComplex.
+func PutComplex(s []complex128) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	complexPool.Put(&s)
+}
+
+// GetFloat returns a pooled []float64 of length n (contents undefined).
+func GetFloat(n int) []float64 {
+	p := floatPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	return (*p)[:n]
+}
+
+// PutFloat recycles a slice obtained from GetFloat.
+func PutFloat(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	floatPool.Put(&s)
+}
+
+// lowpassKey identifies one lowpass design; the campaign uses a handful
+// of (cutoff, rate, taps) combinations thousands of times each.
+type lowpassKey struct {
+	cutoffHz   float64
+	sampleRate float64
+	taps       int
+}
+
+var (
+	lowpassMu    sync.RWMutex
+	lowpassCache = map[lowpassKey]*FIR{}
+)
+
+// CachedLowpass returns a shared lowpass FIR for the given parameters,
+// designing it on first use. The returned filter is immutable — callers
+// must not modify Taps.
+func CachedLowpass(cutoffHz, sampleRate float64, taps int) (*FIR, error) {
+	k := lowpassKey{cutoffHz, sampleRate, taps}
+	lowpassMu.RLock()
+	f := lowpassCache[k]
+	lowpassMu.RUnlock()
+	if f != nil {
+		return f, nil
+	}
+	f, err := DesignLowpass(cutoffHz, sampleRate, taps)
+	if err != nil {
+		return nil, err
+	}
+	lowpassMu.Lock()
+	if prev, ok := lowpassCache[k]; ok {
+		f = prev // another goroutine designed it first; share theirs
+	} else {
+		lowpassCache[k] = f
+	}
+	lowpassMu.Unlock()
+	return f, nil
+}

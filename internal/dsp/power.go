@@ -23,26 +23,36 @@ func BandPowerTimeDomain(x []complex128, sampleRate, centerHz, widthHz float64, 
 	}
 	// Translate the channel to DC, lowpass at half the channel width,
 	// then measure |y|² through the moving average. This is the
-	// translate-filter form of the paper's bandpass.
-	shifted := make([]complex128, len(x))
+	// translate-filter form of the paper's bandpass. All scratch comes
+	// from the package pools so repeated channel measurements (the
+	// campaign steady state) allocate nothing.
+	shifted := GetComplex(len(x))
+	defer PutComplex(shifted)
 	w := -2 * math.Pi * centerHz / sampleRate
 	for i, s := range x {
 		c, sn := math.Cos(w*float64(i)), math.Sin(w*float64(i))
 		shifted[i] = s * complex(c, sn)
 	}
-	lp, err := DesignLowpass(widthHz/2, sampleRate, taps)
+	lp, err := CachedLowpass(widthHz/2, sampleRate, taps)
 	if err != nil {
 		return 0, err
 	}
-	y := lp.Apply(shifted)
-	ma, err := NewMovingAverage(avgLen)
-	if err != nil {
-		return 0, err
-	}
-	// Skip the filter's warm-up transient at the edges.
-	skip := len(lp.Taps)
+	y := GetComplex(len(shifted))
+	defer PutComplex(y)
+	lp.ApplyTo(y, shifted)
+	win := GetFloat(avgLen)
+	defer PutFloat(win)
+	var ma MovingAverage
+	ma.Reset(win)
+	// Skip the filter's warm-up transient: "same" convolution zero-pads
+	// the edges, so the first and last taps/2 output samples mix real
+	// signal with zero-filled history and would bias the average low.
+	// On captures too short to discard the full transient, trim as much
+	// as possible while keeping at least one sample, rather than
+	// (as before) giving up and averaging the biased edges too.
+	skip := len(lp.Taps) / 2
 	if skip*2 >= len(y) {
-		skip = 0
+		skip = (len(y) - 1) / 2
 	}
 	var last float64
 	for _, s := range y[skip : len(y)-skip] {
@@ -90,7 +100,8 @@ func WelchPSD(x []complex128, sampleRate float64, segment int, window WindowFunc
 	w := window(segment)
 	gain := windowPowerGain(w)
 	density := make([]float64, segment)
-	buf := make([]complex128, segment)
+	buf := GetComplex(segment)
+	defer PutComplex(buf)
 	hop := segment / 2
 	segments := 0
 	for start := 0; start+segment <= len(x); start += hop {

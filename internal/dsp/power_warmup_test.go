@@ -1,0 +1,95 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// tone fills n samples with a unit-circle complex exponential scaled to
+// amplitude amp (power amp²).
+func tone(n int, fs, hz, amp float64) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		ph := 2 * math.Pi * hz * float64(i) / fs
+		x[i] = complex(amp*math.Cos(ph), amp*math.Sin(ph))
+	}
+	return x
+}
+
+// TestBandPowerShortCaptureWarmupUnbiased is the regression for the
+// moving-average warm-up bug: on captures shorter than twice the tap
+// count the old code stopped skipping the FIR warm-up transient
+// entirely, so the zero-padded edges dragged the first window's band
+// power low. A constant-power tone must measure its true power even on
+// a short capture.
+func TestBandPowerShortCaptureWarmupUnbiased(t *testing.T) {
+	fs := 20e6
+	const taps = 65
+	// 120 samples < 2×65 taps: the pre-fix code fell back to skip=0 here.
+	x := tone(120, fs, 0, 1)
+	got, err := BandPowerTimeDomain(x, fs, 0, 6e6, taps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 0.02 {
+		t.Errorf("short-capture band power = %v, want 1.0 (warm-up bias back?)", got)
+	}
+}
+
+// TestBandPowerShortAgreesWithLongCapture checks the same deterministic
+// signal measured over a short capture and a long one: with the
+// transient properly skipped the two estimates agree, because every
+// averaged sample is steady-state in both.
+func TestBandPowerShortAgreesWithLongCapture(t *testing.T) {
+	fs := 20e6
+	const taps = 129
+	long := tone(1<<15, fs, 1e6, 0.5)
+	short := long[:250] // < 2×129 taps: the pre-fix skip=0 regime
+	pLong, err := BandPowerTimeDomain(long, fs, 1e6, 6e6, taps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pShort, err := BandPowerTimeDomain(short, fs, 1e6, 6e6, taps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(10 * math.Log10(pShort/pLong)); diff > 0.1 {
+		t.Errorf("short %.4f vs long %.4f differ by %.2f dB", pShort, pLong, diff)
+	}
+}
+
+// TestBandPowerTinyCaptureStillMeasures pins the degenerate clamp: when
+// the capture cannot cover even one transient, as much edge as possible
+// is trimmed while keeping at least one sample, and the call still
+// returns a finite value rather than erroring or reading only zeros.
+func TestBandPowerTinyCaptureStillMeasures(t *testing.T) {
+	x := tone(20, 20e6, 0, 1)
+	got, err := BandPowerTimeDomain(x, 20e6, 0, 6e6, 65, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 || math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("tiny-capture band power = %v", got)
+	}
+}
+
+// TestBandPowerPooledScratchIsClean runs band-power measurements of very
+// different lengths back to back: pooled scratch from the first call
+// must not leak into the second call's result.
+func TestBandPowerPooledScratchIsClean(t *testing.T) {
+	fs := 20e6
+	big := tone(1<<14, fs, 1e6, 1)
+	if _, err := BandPowerTimeDomain(big, fs, 1e6, 6e6, 129, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The quiet channel of a smaller capture must still read ≈0 even
+	// though its pooled buffers just held full-scale samples.
+	small := tone(1<<12, fs, 1e6, 0.001)
+	got, err := BandPowerTimeDomain(small, fs, -8e6, 4e6, 129, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1e-8 {
+		t.Errorf("quiet channel = %v; pooled scratch leaked", got)
+	}
+}

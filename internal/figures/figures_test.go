@@ -75,3 +75,46 @@ func TestFigure4Render(t *testing.T) {
 		}
 	}
 }
+
+// TestFigure4PinnedValues pins the broadcast-TV band powers at seed 1 —
+// the numbers behind the Figure 4 bars. The tolerance is loose enough
+// for cross-platform float noise but far tighter than the biases this
+// guards against: the moving-average warm-up bug and accidental changes
+// to the per-channel seed derivation both move readings by whole dB.
+func TestFigure4PinnedValues(t *testing.T) {
+	want := map[string]map[string]float64{ // site → callsign → PowerDBm
+		"rooftop": {
+			"KSIM-13": -64.09, "KSIM-14": -50.81, "KSIM-22": -74.15,
+			"KSIM-26": -47.71, "KSIM-33": -51.13, "KSIM-36": -52.55,
+		},
+		"window": {
+			"KSIM-13": -90.18, "KSIM-14": -85.52, "KSIM-22": -42.14,
+			"KSIM-26": -81.54, "KSIM-33": -85.00, "KSIM-36": -84.77,
+		},
+		"indoor": {
+			"KSIM-13": -86.02, "KSIM-14": -85.95, "KSIM-22": -73.04,
+			"KSIM-26": -82.06, "KSIM-33": -85.88, "KSIM-36": -85.21,
+		},
+	}
+	data, err := Figure4(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tolDB = 0.5
+	for site, channels := range want {
+		got := map[string]float64{}
+		for _, r := range data[site] {
+			got[r.Station.CallSign] = r.Measurement.PowerDBm
+		}
+		for call, w := range channels {
+			g, ok := got[call]
+			if !ok {
+				t.Errorf("%s: channel %s missing from sweep", site, call)
+				continue
+			}
+			if diff := g - w; diff > tolDB || diff < -tolDB {
+				t.Errorf("%s %s = %.2f dBm, pinned %.2f (Δ %.2f dB)", site, call, g, w, diff)
+			}
+		}
+	}
+}

@@ -27,6 +27,26 @@ func New(n int, sampleRate float64) *Buffer {
 	return &Buffer{Samples: make([]complex128, n), SampleRate: sampleRate}
 }
 
+// Resize sets the buffer to exactly n zeroed samples, reusing the
+// existing backing array when it is large enough. It exists for hot
+// loops that recycle one capture buffer across bursts instead of
+// allocating per burst.
+func (b *Buffer) Resize(n int) {
+	if cap(b.Samples) < n {
+		b.Samples = make([]complex128, n)
+		return
+	}
+	b.Samples = b.Samples[:n]
+	b.Zero()
+}
+
+// Zero clears the samples in place.
+func (b *Buffer) Zero() {
+	for i := range b.Samples {
+		b.Samples[i] = 0
+	}
+}
+
 // Duration returns the time span of the buffer in seconds.
 func (b *Buffer) Duration() float64 {
 	if b.SampleRate <= 0 {

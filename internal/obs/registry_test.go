@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"io"
 	"math"
 	"strings"
 	"sync"
@@ -255,6 +256,63 @@ func TestConcurrentAccess(t *testing.T) {
 	for w := 0; w < workers; w++ {
 		if got := v.With(string(rune('a' + w))).Value(); got != iters {
 			t.Fatalf("vec child %d = %v, want %d", w, got, iters)
+		}
+	}
+}
+
+// TestRegistryConcurrentRegisterAndScrape hammers one registry from
+// registering, writing and scraping goroutines at once — the shape the
+// parallel measurement pipeline produces, where worker goroutines
+// lazily register families while the admin server scrapes. Run under
+// -race this guards the registry's locking discipline.
+func TestRegistryConcurrentRegisterAndScrape(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	names := []string{"con_a_total", "con_b_total", "con_c", "con_d"}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				// Check stop only after at least one registration, so the
+				// final-scrape assertion holds even if the scraping loop
+				// wins every timeslice on a single-CPU machine.
+				if i > 0 {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				switch g % 4 {
+				case 0:
+					r.Counter(names[0], "help").Inc()
+				case 1:
+					r.CounterVec(names[1], "help", "op").With("x").Add(2)
+				case 2:
+					r.Gauge(names[2], "help").Set(float64(i))
+				default:
+					r.Histogram(names[3], "help", DefBuckets).Observe(float64(i % 10))
+				}
+			}
+		}(g)
+	}
+	for s := 0; s < 50; s++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if !strings.Contains(sb.String(), n) {
+			t.Errorf("scrape missing %s", n)
 		}
 	}
 }

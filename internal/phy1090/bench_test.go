@@ -1,0 +1,52 @@
+package phy1090
+
+import (
+	"testing"
+
+	"sensorcal/internal/iq"
+)
+
+// BenchmarkDemodSteadyState measures the per-burst scan path the
+// parallel campaign hammers: magnitude series, preamble shape test,
+// reject. The capture is pure noise so no frame decodes — this is the
+// steady state, and it must stay at zero allocations per operation
+// (the magnitude scratch lives on the demodulator; only a successful
+// decode allocates, for the frame that escapes into the tracker).
+func BenchmarkDemodSteadyState(b *testing.B) {
+	d := NewDemodulator()
+	capBuf := iq.New(FrameSamples+8, SampleRate)
+	iq.NewNoiseSource(7).Fill(capBuf, 1e-4)
+	// Warm the scratch so the first-call grow isn't counted.
+	d.DemodulateBurst(capBuf, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.DemodulateBurst(capBuf, 8); ok {
+			b.Fatal("noise decoded as a frame")
+		}
+	}
+}
+
+// BenchmarkDemodDecode is the companion number for a successful decode:
+// modulate once, demodulate repeatedly. Allocations here are the decoded
+// frame itself (which escapes to the caller) — reported for context, not
+// pinned at zero.
+func BenchmarkDemodDecode(b *testing.B) {
+	f := testFrame(b)
+	burst := iq.New(0, SampleRate)
+	if err := ModulateInto(burst, f, 0.5); err != nil {
+		b.Fatal(err)
+	}
+	capBuf := iq.New(FrameSamples+8, SampleRate)
+	if err := capBuf.AddAt(burst, 4); err != nil {
+		b.Fatal(err)
+	}
+	d := NewDemodulator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.DemodulateBurst(capBuf, 8); !ok {
+			b.Fatal("clean burst failed to decode")
+		}
+	}
+}

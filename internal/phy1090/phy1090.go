@@ -34,25 +34,37 @@ var preamblePulses = [4]int{0, 2, 7, 9}
 // pulse amplitude (1.0 = full scale). The output holds only the burst
 // itself; callers place it into a longer capture with iq.Buffer.AddAt.
 func Modulate(frame []byte, amplitude float64) (*iq.Buffer, error) {
-	if len(frame) != modes.FrameLength && len(frame) != modes.ShortFrameLength {
-		return nil, fmt.Errorf("phy1090: frame length %d not a Mode S frame", len(frame))
+	b := iq.New(0, SampleRate)
+	if err := ModulateInto(b, frame, amplitude); err != nil {
+		return nil, err
 	}
-	n := PreambleSamples + 2*8*len(frame)
-	b := iq.New(n, SampleRate)
+	return b, nil
+}
+
+// ModulateInto writes the baseband burst for frame into dst, reusing
+// dst's sample storage (resized to the burst length and zeroed first).
+// It is the allocation-free counterpart of Modulate for hot loops that
+// modulate thousands of bursts through one scratch buffer.
+func ModulateInto(dst *iq.Buffer, frame []byte, amplitude float64) error {
+	if len(frame) != modes.FrameLength && len(frame) != modes.ShortFrameLength {
+		return fmt.Errorf("phy1090: frame length %d not a Mode S frame", len(frame))
+	}
+	dst.SampleRate = SampleRate
+	dst.Resize(PreambleSamples + 2*8*len(frame))
 	a := complex(amplitude, 0)
 	for _, p := range preamblePulses {
-		b.Samples[p] = a
+		dst.Samples[p] = a
 	}
 	for bit := 0; bit < len(frame)*8; bit++ {
 		v := frame[bit/8] >> (7 - uint(bit%8)) & 1
 		base := PreambleSamples + 2*bit
 		if v == 1 {
-			b.Samples[base] = a
+			dst.Samples[base] = a
 		} else {
-			b.Samples[base+1] = a
+			dst.Samples[base+1] = a
 		}
 	}
-	return b, nil
+	return nil
 }
 
 // Decoded is one demodulated frame candidate.
@@ -106,6 +118,13 @@ type Demodulator struct {
 	ErrorCorrection int
 	// Stat accumulates pipeline counters across calls.
 	Stat Stats
+
+	// mag is the power-series scratch reused across calls; it grows to
+	// the largest buffer seen and keeps the scan loop allocation-free.
+	mag []float64
+	// bits is decodeAt's frame scratch: CRC-failing candidates (the
+	// common case on noise) decode into it without allocating.
+	bits []byte
 }
 
 // NewDemodulator returns a demodulator with dump1090-like defaults
@@ -147,7 +166,8 @@ func (d *Demodulator) Process(b *iq.Buffer) []Decoded {
 	if b.SampleRate != SampleRate {
 		return nil
 	}
-	m := b.MagSquared(nil)
+	m := b.MagSquared(d.mag)
+	d.mag = m
 	var out []Decoded
 	i := 0
 	for i+FrameSamples <= len(m) {
@@ -173,7 +193,17 @@ func (d *Demodulator) Process(b *iq.Buffer) []Decoded {
 // decodeAt slices 112 bits starting after the preamble at i and validates
 // parity (falling back to a 56-bit short frame when allowed).
 func (d *Demodulator) decodeAt(m []float64, i int, pulse float64) (Decoded, bool) {
-	bits := make([]byte, modes.FrameLength)
+	// Decode into the demodulator-held scratch: most candidates fail CRC
+	// (noise that shaped like a preamble), and those must not allocate.
+	// Only a successful decode copies the frame out, because Decoded.Frame
+	// escapes into the tracker.
+	if d.bits == nil {
+		d.bits = make([]byte, modes.FrameLength)
+	}
+	bits := d.bits
+	for j := range bits {
+		bits[j] = 0
+	}
 	var pulsePower float64
 	for bit := 0; bit < modes.FrameLength*8; bit++ {
 		e1 := m[i+PreambleSamples+2*bit]
@@ -189,20 +219,20 @@ func (d *Demodulator) decodeAt(m []float64, i int, pulse float64) (Decoded, bool
 	rssi := iq.PowerToDBFS((pulsePower + pulse) / 2)
 	if modes.CheckParity(bits) {
 		d.Stat.CRCPass++
-		return Decoded{Frame: bits, Offset: i, RSSIDBFS: rssi, ParityOK: true}, true
+		return Decoded{Frame: frameCopy(bits), Offset: i, RSSIDBFS: rssi, ParityOK: true}, true
 	}
 	switch d.ErrorCorrection {
 	case 1:
 		if _, ok := modes.FixSingleBit(bits); ok {
 			d.Stat.CRCPass++
 			d.Stat.Repaired++
-			return Decoded{Frame: bits, Offset: i, RSSIDBFS: rssi, ParityOK: true, Repaired: true}, true
+			return Decoded{Frame: frameCopy(bits), Offset: i, RSSIDBFS: rssi, ParityOK: true, Repaired: true}, true
 		}
 	case 2:
 		if _, ok := modes.FixTwoBits(bits); ok {
 			d.Stat.CRCPass++
 			d.Stat.Repaired++
-			return Decoded{Frame: bits, Offset: i, RSSIDBFS: rssi, ParityOK: true, Repaired: true}, true
+			return Decoded{Frame: frameCopy(bits), Offset: i, RSSIDBFS: rssi, ParityOK: true, Repaired: true}, true
 		}
 	}
 	if !d.LongFramesOnly && modes.CheckParity(bits[:modes.ShortFrameLength]) {
@@ -211,6 +241,13 @@ func (d *Demodulator) decodeAt(m []float64, i int, pulse float64) (Decoded, bool
 	}
 	d.Stat.CRCFail++
 	return Decoded{}, false
+}
+
+// frameCopy copies a decoded frame out of the scratch buffer.
+func frameCopy(bits []byte) []byte {
+	out := make([]byte, len(bits))
+	copy(out, bits)
+	return out
 }
 
 // short copies the leading short-frame bytes out of a long-frame buffer.
@@ -228,7 +265,8 @@ func (d *Demodulator) DemodulateBurst(b *iq.Buffer, maxSearch int) (Decoded, boo
 	if b.SampleRate != SampleRate {
 		return Decoded{}, false
 	}
-	m := b.MagSquared(nil)
+	m := b.MagSquared(d.mag)
+	d.mag = m
 	if maxSearch < 1 {
 		maxSearch = 1
 	}

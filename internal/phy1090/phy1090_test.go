@@ -9,7 +9,7 @@ import (
 	"sensorcal/internal/modes"
 )
 
-func testFrame(t *testing.T) []byte {
+func testFrame(t testing.TB) []byte {
 	t.Helper()
 	f := &modes.Frame{
 		ICAO: 0xA0B1C2,

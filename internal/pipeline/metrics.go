@@ -1,0 +1,58 @@
+package pipeline
+
+import (
+	"sync"
+
+	"sensorcal/internal/obs"
+)
+
+// Pipeline instrumentation on the process-wide registry: queue depth,
+// worker busy time and throughput, so an operator can tell whether a
+// node is starved for work (scheduler problem) or saturated (pipeline
+// problem). Registered lazily on first Run so importing the package has
+// no side effects.
+
+type pipelineMetrics struct {
+	unitsDone      *obs.Counter
+	unitFailures   *obs.Counter
+	unitsSkipped   *obs.Counter
+	batches        *obs.Counter
+	busySeconds    *obs.Counter
+	queueDepth     *obs.Gauge
+	workersBusy    *obs.Gauge
+	unitsPerSecond *obs.Gauge
+	unitDuration   *obs.Histogram
+}
+
+var (
+	metricsOnce sync.Once
+	metricsVal  *pipelineMetrics
+)
+
+func metrics() *pipelineMetrics {
+	metricsOnce.Do(func() {
+		reg := obs.Default()
+		metricsVal = &pipelineMetrics{
+			unitsDone: reg.Counter("pipeline_units_total",
+				"Measurement units completed by the worker pool."),
+			unitFailures: reg.Counter("pipeline_unit_failures_total",
+				"Measurement units that returned an error."),
+			unitsSkipped: reg.Counter("pipeline_units_skipped_total",
+				"Queued units abandoned after a batch failure or cancellation."),
+			batches: reg.Counter("pipeline_batches_total",
+				"Completed Run batches."),
+			busySeconds: reg.Counter("pipeline_worker_busy_seconds_total",
+				"Cumulative wall time workers spent executing units."),
+			queueDepth: reg.Gauge("pipeline_queue_depth",
+				"Units waiting for a free worker."),
+			workersBusy: reg.Gauge("pipeline_workers_busy",
+				"Workers currently executing a unit."),
+			unitsPerSecond: reg.Gauge("pipeline_units_per_second",
+				"Throughput of the most recently completed batch."),
+			unitDuration: reg.Histogram("pipeline_unit_duration_seconds",
+				"Per-unit execution time.",
+				obs.DurationBuckets),
+		}
+	})
+	return metricsVal
+}

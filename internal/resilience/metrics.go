@@ -27,14 +27,16 @@ func (r *Retrier) Instrument(reg *obs.Registry) *Retrier {
 	if reg == nil {
 		reg = obs.Default()
 	}
-	r.m = &retrierMetrics{
+	// Atomic store: Instrument may run while another goroutine is inside
+	// Do (the race detector flagged the previous plain write).
+	r.m.Store(&retrierMetrics{
 		attempts: reg.CounterVec("resilience_attempts_total",
 			"Individual attempts started under a retry policy, by operation.", "op"),
 		retries: reg.CounterVec("resilience_retries_total",
 			"Retries taken after a failed attempt, by operation.", "op"),
 		giveups: reg.CounterVec("resilience_giveups_total",
 			"Operations abandoned after exhausting the retry policy, by operation.", "op"),
-	}
+	})
 	return r
 }
 
@@ -75,13 +77,18 @@ func (b *Breaker) Instrument(reg *obs.Registry) *Breaker {
 	if reg == nil {
 		reg = obs.Default()
 	}
-	b.m = &breakerMetrics{
+	// b.m and b.state are guarded by b.mu everywhere else (Allow, Record,
+	// setState); writing them unlocked here raced with in-flight calls.
+	m := &breakerMetrics{
 		state: reg.GaugeVec("resilience_breaker_state",
 			"Circuit breaker position: 0 closed, 1 open, 2 half-open.", "name"),
 		rejected: reg.CounterVec("resilience_breaker_rejected_total",
 			"Requests rejected fast while the circuit was open.", "name"),
 	}
-	b.m.setState(b.cfg.Name, b.state)
+	b.mu.Lock()
+	b.m = m
+	m.setState(b.cfg.Name, b.state)
+	b.mu.Unlock()
 	return b
 }
 
@@ -133,7 +140,9 @@ func (s *Spool) Instrument(reg *obs.Registry) *Spool {
 	if reg == nil {
 		reg = obs.Default()
 	}
-	s.m = &spoolMetrics{
+	// s.m is read under s.mu by every record path; the depth snapshot
+	// reads len(s.pending) directly (s.Len() would self-deadlock here).
+	m := &spoolMetrics{
 		depth: reg.GaugeVec("resilience_spool_depth",
 			"Store-and-forward records awaiting acknowledgement.", "name"),
 		appends: reg.CounterVec("resilience_spool_appends_total",
@@ -145,7 +154,10 @@ func (s *Spool) Instrument(reg *obs.Registry) *Spool {
 		dropped: reg.CounterVec("resilience_spool_dropped_total",
 			"Corrupt or truncated WAL lines discarded during recovery.", "name"),
 	}
-	s.m.setDepth(s.name, s.Len())
+	s.mu.Lock()
+	s.m = m
+	m.setDepth(s.name, len(s.pending))
+	s.mu.Unlock()
 	return s
 }
 

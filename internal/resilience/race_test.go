@@ -1,0 +1,96 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sensorcal/internal/obs"
+)
+
+// Regression tests for the Instrument-during-use data races the race
+// detector surfaced when the measurement pipeline went concurrent:
+// agentd instruments its retrier/breaker/spool while drain loops and
+// measurement goroutines are already driving them. Run under -race
+// these fail on the old unsynchronized metrics-pointer writes.
+
+func TestRetrierInstrumentDuringDo(t *testing.T) {
+	r := NewRetrier(Policy{MaxAttempts: 2, BaseDelay: 1, Seed: 7})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = r.Do(context.Background(), "op", func(context.Context) error {
+				return errors.New("always fails")
+			})
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		r.Instrument(obs.NewRegistry())
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestBreakerInstrumentDuringUse(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Name: "race", FailureThreshold: 3})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if b.Allow() == nil {
+				b.Record(errors.New("fail"))
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		b.Instrument(obs.NewRegistry())
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestSpoolInstrumentDuringAppend(t *testing.T) {
+	s, err := OpenSpool(filepath.Join(t.TempDir(), "race.spool.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = s.Append(string(rune('a'+i%26))+"-key", map[string]int{"i": i})
+			i++
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		s.Instrument(obs.NewRegistry())
+	}
+	close(done)
+	wg.Wait()
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sensorcal/internal/clock"
@@ -61,7 +62,9 @@ type Policy struct {
 }
 
 // Retrier executes operations under a retry Policy. It is safe for
-// concurrent use; all mutable state is the jitter RNG, which is locked.
+// concurrent use; the mutable state is the jitter RNG (locked) and the
+// metrics pointer (atomic, because Instrument may race with in-flight
+// Do calls — agentd instruments its clients while the drain loop runs).
 type Retrier struct {
 	p   Policy
 	clk clock.Clock
@@ -69,7 +72,7 @@ type Retrier struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	m *retrierMetrics
+	m atomic.Pointer[retrierMetrics]
 }
 
 // NewRetrier validates the policy and returns a Retrier.
@@ -118,6 +121,9 @@ func IsPermanent(err error) bool {
 // budget run out, or ctx is done. The error returned after exhaustion
 // wraps the last attempt's error.
 func (r *Retrier) Do(ctx context.Context, op string, fn func(context.Context) error) error {
+	// One load for the whole operation: instrumenting mid-flight applies
+	// from the next Do.
+	m := r.m.Load()
 	start := r.clk.Now()
 	var last error
 	for attempt := 0; attempt < r.p.MaxAttempts; attempt++ {
@@ -129,7 +135,7 @@ func (r *Retrier) Do(ctx context.Context, op string, fn func(context.Context) er
 		if r.p.PerAttempt > 0 {
 			actx, cancel = context.WithTimeout(ctx, r.p.PerAttempt)
 		}
-		r.m.recordAttempt(op)
+		m.recordAttempt(op)
 		last = fn(actx)
 		if cancel != nil {
 			cancel()
@@ -138,7 +144,7 @@ func (r *Retrier) Do(ctx context.Context, op string, fn func(context.Context) er
 			return nil
 		}
 		if IsPermanent(last) || (r.p.Retryable != nil && !r.p.Retryable(last)) {
-			r.m.recordGiveUp(op)
+			m.recordGiveUp(op)
 			return last
 		}
 		if attempt == r.p.MaxAttempts-1 {
@@ -146,24 +152,24 @@ func (r *Retrier) Do(ctx context.Context, op string, fn func(context.Context) er
 		}
 		delay := r.backoff(attempt)
 		if !r.withinBudget(start, delay) {
-			r.m.recordGiveUp(op)
+			m.recordGiveUp(op)
 			return fmt.Errorf("resilience: %s: retry budget exhausted after %d attempts: %w", op, attempt+1, last)
 		}
 		if deadline, ok := ctx.Deadline(); ok && r.clk.Now().Add(delay).After(deadline) {
 			// The next attempt could not even start before the caller's
 			// deadline; surface the real failure instead of sleeping into
 			// a guaranteed DeadlineExceeded.
-			r.m.recordGiveUp(op)
+			m.recordGiveUp(op)
 			return fmt.Errorf("resilience: %s: context deadline before next retry: %w", op, last)
 		}
-		r.m.recordRetry(op)
+		m.recordRetry(op)
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-r.clk.After(delay):
 		}
 	}
-	r.m.recordGiveUp(op)
+	m.recordGiveUp(op)
 	return fmt.Errorf("resilience: %s: %d attempts failed: %w", op, r.p.MaxAttempts, last)
 }
 
