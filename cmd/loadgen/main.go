@@ -1,0 +1,513 @@
+// Command loadgen is the collector ingest load generator: it drives a
+// trust collector — in-process or a live spectrumd — with a closed loop
+// of concurrent clients submitting reading batches, and reports
+// throughput plus p50/p99 latency for a single-lock baseline and a
+// sharded collector side by side. Results are written as a BENCH_5.json
+// record so CI keeps a bench trajectory next to the campaign benchmarks.
+//
+// Usage:
+//
+//	loadgen [-mode both] [-shards 16] [-baseline-shards 1] [-conns 8]
+//	        [-batch 64] [-nodes 256] [-signals 64] [-duration 3s]
+//	        [-dedup] [-target http://host:8025] [-out BENCH_5.json]
+//
+// Modes:
+//
+//	core — call Collector.SubmitDedup directly from -conns goroutines:
+//	       pure ingest-path throughput, no HTTP or JSON in the loop.
+//	http — POST /api/readings batches (streaming-decoded server side)
+//	       against an in-process listener, or -target if given.
+//	both — run core and http (default).
+//
+// Before any timed run, loadgen replays one deterministic workload into
+// collectors at the baseline and sharded stripe counts and verifies that
+// CloseEpochs anomalies, Fleet and History are identical — the merge-
+// determinism contract the sharding relies on. The bench record carries
+// the verdict in "equivalence_ok".
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sensorcal/internal/obs"
+	"sensorcal/internal/trust"
+)
+
+// config is everything a run needs; flags populate it in main and tests
+// populate it directly.
+type config struct {
+	Mode           string        `json:"mode"`
+	Shards         int           `json:"shards"`
+	BaselineShards int           `json:"baseline_shards"`
+	Conns          int           `json:"conns"`
+	Batch          int           `json:"batch"`
+	Nodes          int           `json:"nodes"`
+	Signals        int           `json:"signals"`
+	Duration       time.Duration `json:"-"`
+	DurationS      float64       `json:"duration_s"`
+	Dedup          bool          `json:"dedup"`
+	Target         string        `json:"target,omitempty"`
+	Out            string        `json:"-"`
+}
+
+// scenarioResult is one timed run of one collector configuration.
+type scenarioResult struct {
+	Name          string  `json:"name"`
+	Mode          string  `json:"mode"`
+	Shards        int     `json:"shards"`
+	Conns         int     `json:"conns"`
+	Batch         int     `json:"batch"`
+	Readings      int64   `json:"readings"`
+	Errors        int64   `json:"errors"`
+	ElapsedS      float64 `json:"elapsed_s"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Latency of one batch through the ingest path (the full request in
+	// http mode), milliseconds.
+	P50ms float64 `json:"p50_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+// benchOutput is the BENCH_5.json record. The "schema" field names the
+// layout so later BENCH_N.json files can evolve it detectably.
+type benchOutput struct {
+	Bench         int              `json:"bench"`
+	Schema        string           `json:"schema"`
+	GeneratedAt   time.Time        `json:"generated_at"`
+	GoVersion     string           `json:"go_version"`
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	NumCPU        int              `json:"num_cpu"`
+	Config        config           `json:"config"`
+	EquivalenceOK bool             `json:"equivalence_ok"`
+	Scenarios     []scenarioResult `json:"scenarios"`
+	// Speedup maps mode → sharded throughput / baseline throughput.
+	Speedup map[string]float64 `json:"speedup,omitempty"`
+}
+
+// splitmix is a tiny seedable PRNG so workers don't share rand state.
+type splitmix uint64
+
+func (s *splitmix) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+var benchBase = time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func nodeID(n int) trust.NodeID { return trust.NodeID("node-" + strconv.Itoa(n)) }
+func signalID(s int) string     { return "tv-" + strconv.Itoa(500+s) }
+
+// newCollector builds an in-process collector with the workload's nodes
+// registered.
+func newCollector(cfg config, shards int) (*trust.Collector, error) {
+	c := trust.NewShardedCollector(shards)
+	for n := 0; n < cfg.Nodes; n++ {
+		if err := c.Ledger.Register(trust.Node{ID: nodeID(n), Registered: benchBase}); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// reading synthesizes the i-th reading of worker w: nodes and signals
+// rotate so stripes are exercised evenly, timestamps cycle through four
+// epoch windows so pending state stays bounded however long the run is.
+func reading(cfg config, w, i int, rng *splitmix, key []byte) (trust.Reading, []byte) {
+	r := trust.Reading{
+		Node:     nodeID(int(rng.next() % uint64(cfg.Nodes))),
+		SignalID: signalID(int(rng.next() % uint64(cfg.Signals))),
+		PowerDBm: -60 + float64(rng.next()%16),
+		At:       benchBase.Add(time.Duration(i%4) * time.Minute),
+	}
+	if cfg.Dedup {
+		key = key[:0]
+		key = append(key, 'w')
+		key = strconv.AppendInt(key, int64(w), 10)
+		key = append(key, '-')
+		key = strconv.AppendInt(key, int64(i), 10)
+		r.Key = string(key)
+	}
+	return r, key
+}
+
+// runClosedLoop fans cfg.Conns workers over submit, each submitting
+// batches until the deadline, and merges counts and per-batch latencies.
+func runClosedLoop(cfg config, submit func(w int, batchIdx int, rng *splitmix) (int, error)) (int64, int64, []float64, float64) {
+	var (
+		readings atomic.Int64
+		errs     atomic.Int64
+		wg       sync.WaitGroup
+		latMu    sync.Mutex
+		lats     []float64
+	)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for w := 0; w < cfg.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := splitmix(0xfeed + uint64(w)*0x1234567)
+			var local []float64
+			for b := 0; time.Now().Before(deadline); b++ {
+				t0 := time.Now()
+				n, err := submit(w, b, &rng)
+				local = append(local, time.Since(t0).Seconds())
+				readings.Add(int64(n))
+				if err != nil {
+					errs.Add(1)
+				}
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return readings.Load(), errs.Load(), lats, time.Since(start).Seconds()
+}
+
+func percentileMS(lats []float64, p float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Float64s(lats)
+	idx := int(p*float64(len(lats)-1) + 0.5)
+	return lats[idx] * 1000
+}
+
+func result(name, mode string, cfg config, shards int, readings, errs int64, lats []float64, elapsed float64) scenarioResult {
+	r := scenarioResult{
+		Name: name, Mode: mode, Shards: shards,
+		Conns: cfg.Conns, Batch: cfg.Batch,
+		Readings: readings, Errors: errs, ElapsedS: elapsed,
+		P50ms: percentileMS(lats, 0.50), P99ms: percentileMS(lats, 0.99),
+	}
+	if elapsed > 0 {
+		r.ThroughputRPS = float64(readings) / elapsed
+	}
+	return r
+}
+
+// runCore times direct SubmitDedup calls — the ingest hot path with no
+// HTTP or JSON around it, where lock striping is the only variable.
+func runCore(cfg config, shards int) (scenarioResult, error) {
+	c, err := newCollector(cfg, shards)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	var keyPool sync.Pool // per-worker key scratch would do; pool is simplest
+	keyPool.New = func() interface{} { b := make([]byte, 0, 24); return &b }
+	readings, errs, lats, elapsed := runClosedLoop(cfg, func(w, b int, rng *splitmix) (int, error) {
+		kp := keyPool.Get().(*[]byte)
+		defer keyPool.Put(kp)
+		var firstErr error
+		for i := 0; i < cfg.Batch; i++ {
+			var r trust.Reading
+			r, *kp = reading(cfg, w, b*cfg.Batch+i, rng, *kp)
+			if _, err := c.SubmitDedup(r); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return cfg.Batch, firstErr
+	})
+	// Close everything once, untimed: proves the ingested state drains.
+	c.CloseEpochs(benchBase.Add(time.Hour))
+	name := fmt.Sprintf("core/shards=%d", shards)
+	return result(name, "core", cfg, shards, readings, errs, lats, elapsed), nil
+}
+
+// runHTTP times POST /api/readings batches. With no -target an
+// in-process httptest server hosts the collector, so the measurement
+// includes the streaming batch decoder and response encoding.
+func runHTTP(cfg config, shards int) (scenarioResult, error) {
+	base := cfg.Target
+	name := fmt.Sprintf("http/shards=%d", shards)
+	client := http.DefaultClient
+	if base == "" {
+		c, err := newCollector(cfg, shards)
+		if err != nil {
+			return scenarioResult{}, err
+		}
+		srv := httptest.NewServer(c.Handler(time.Now))
+		defer srv.Close()
+		base = srv.URL
+		client = srv.Client()
+	} else {
+		name = "http/target"
+		if err := registerRemote(base, cfg.Nodes); err != nil {
+			return scenarioResult{}, err
+		}
+	}
+	url := base + "/api/readings"
+	type wire struct {
+		Node     string    `json:"node"`
+		SignalID string    `json:"signal_id"`
+		PowerDBm float64   `json:"power_dbm"`
+		At       time.Time `json:"at"`
+		Key      string    `json:"key,omitempty"`
+	}
+	var bufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+	readings, errs, lats, elapsed := runClosedLoop(cfg, func(w, b int, rng *splitmix) (int, error) {
+		buf := bufPool.Get().(*bytes.Buffer)
+		defer bufPool.Put(buf)
+		buf.Reset()
+		var key []byte
+		batch := make([]wire, cfg.Batch)
+		for i := range batch {
+			var r trust.Reading
+			r, key = reading(cfg, w, b*cfg.Batch+i, rng, key)
+			batch[i] = wire{Node: string(r.Node), SignalID: r.SignalID, PowerDBm: r.PowerDBm, At: r.At, Key: r.Key}
+		}
+		if err := json.NewEncoder(buf).Encode(batch); err != nil {
+			return 0, err
+		}
+		resp, err := client.Post(url, "application/json", buf)
+		if err != nil {
+			return cfg.Batch, err
+		}
+		var summary struct {
+			Accepted   int `json:"accepted"`
+			Duplicates int `json:"duplicates"`
+			Rejected   int `json:"rejected"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&summary)
+		resp.Body.Close()
+		if err != nil {
+			return cfg.Batch, err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return cfg.Batch, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		if summary.Rejected > 0 {
+			return cfg.Batch, fmt.Errorf("%d readings rejected", summary.Rejected)
+		}
+		return cfg.Batch, nil
+	})
+	return result(name, "http", cfg, shards, readings, errs, lats, elapsed), nil
+}
+
+// registerRemote enrolls the workload nodes on a live collector,
+// tolerating 409 from earlier runs.
+func registerRemote(base string, nodes int) error {
+	for n := 0; n < nodes; n++ {
+		body, _ := json.Marshal(map[string]interface{}{
+			"id": string(nodeID(n)), "operator": "loadgen", "hardware": "synthetic",
+		})
+		resp, err := http.Post(base+"/api/register", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("registering %s: %w", nodeID(n), err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+			return fmt.Errorf("registering %s: status %d", nodeID(n), resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+// checkEquivalence replays one deterministic workload into collectors at
+// both stripe counts and compares every merge path. This is the runtime
+// re-statement of TestShardedCollectorEquivalence: the bench refuses to
+// claim a speedup for a collector that changed its answers.
+func checkEquivalence(cfg config) (bool, error) {
+	type outcome struct {
+		anomalies []trust.Anomaly
+		fleet     []trust.NodeActivity
+		history   map[string][]trust.Epoch
+	}
+	run := func(shards int) (outcome, error) {
+		c, err := newCollector(cfg, shards)
+		if err != nil {
+			return outcome{}, err
+		}
+		rng := splitmix(0xabcdef)
+		for w := 0; w < 6; w++ {
+			at := benchBase.Add(time.Duration(w) * time.Minute)
+			trend := float64(rng.next()%12) - 6
+			for s := 0; s < cfg.Signals; s++ {
+				for n := 0; n < cfg.Nodes; n++ {
+					p := -55 + trend + float64(rng.next()%5) - 2
+					if n == 0 {
+						p = -10 // flagrant over-consensus inflation
+					}
+					r := trust.Reading{
+						Node: nodeID(n), SignalID: signalID(s), PowerDBm: p, At: at,
+						Key: fmt.Sprintf("eq-%d-%d-%d", w, s, n),
+					}
+					if _, err := c.SubmitDedup(r); err != nil {
+						return outcome{}, err
+					}
+				}
+			}
+		}
+		o := outcome{
+			anomalies: c.CloseEpochs(benchBase.Add(time.Hour)),
+			fleet:     c.Fleet(),
+			history:   map[string][]trust.Epoch{},
+		}
+		for s := 0; s < cfg.Signals; s++ {
+			o.history[signalID(s)] = c.History(signalID(s))
+		}
+		return o, nil
+	}
+	// The deterministic replay needs identical submission order at both
+	// stripe counts, so it runs single-threaded by construction.
+	want, err := run(cfg.BaselineShards)
+	if err != nil {
+		return false, err
+	}
+	got, err := run(cfg.Shards)
+	if err != nil {
+		return false, err
+	}
+	ok := len(want.anomalies) > 0 &&
+		reflect.DeepEqual(want.anomalies, got.anomalies) &&
+		reflect.DeepEqual(want.fleet, got.fleet) &&
+		reflect.DeepEqual(want.history, got.history)
+	return ok, nil
+}
+
+// run executes the configured scenarios and returns the bench record.
+func run(cfg config) (*benchOutput, error) {
+	cfg.DurationS = cfg.Duration.Seconds()
+	out := &benchOutput{
+		Bench:       5,
+		Schema:      "sensorcal-bench/v1",
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Config:      cfg,
+		Speedup:     map[string]float64{},
+	}
+	// cfg with reduced sizes is built inside checkEquivalence.
+	eq, err := checkEquivalence(configForEquivalence(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("equivalence replay: %w", err)
+	}
+	out.EquivalenceOK = eq
+
+	type runner func(config, int) (scenarioResult, error)
+	modes := map[string]runner{}
+	switch cfg.Mode {
+	case "core":
+		modes["core"] = runCore
+	case "http":
+		modes["http"] = runHTTP
+	case "both":
+		modes["core"] = runCore
+		modes["http"] = runHTTP
+	default:
+		return nil, fmt.Errorf("unknown -mode %q (want core, http or both)", cfg.Mode)
+	}
+	for _, mode := range []string{"core", "http"} {
+		fn, ok := modes[mode]
+		if !ok {
+			continue
+		}
+		if mode == "http" && cfg.Target != "" {
+			// A live target decides its own shard count; one scenario.
+			res, err := fn(cfg, 0)
+			if err != nil {
+				return nil, err
+			}
+			out.Scenarios = append(out.Scenarios, res)
+			continue
+		}
+		baseline, err := fn(cfg, cfg.BaselineShards)
+		if err != nil {
+			return nil, err
+		}
+		sharded, err := fn(cfg, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		out.Scenarios = append(out.Scenarios, baseline, sharded)
+		if baseline.ThroughputRPS > 0 {
+			out.Speedup[mode] = sharded.ThroughputRPS / baseline.ThroughputRPS
+		}
+	}
+	return out, nil
+}
+
+// configForEquivalence shrinks the workload for the serial replay so it
+// stays fast at any -nodes/-signals setting.
+func configForEquivalence(cfg config) config {
+	if cfg.Nodes > 16 {
+		cfg.Nodes = 16
+	}
+	if cfg.Signals > 8 {
+		cfg.Signals = 8
+	}
+	return cfg
+}
+
+func writeOutput(path string, out *benchOutput) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func main() {
+	log := obs.NewLogger("loadgen")
+	cfg := config{}
+	flag.StringVar(&cfg.Mode, "mode", "both", "core, http or both")
+	flag.IntVar(&cfg.Shards, "shards", 16, "stripe count for the sharded scenario")
+	flag.IntVar(&cfg.BaselineShards, "baseline-shards", 1, "stripe count for the baseline scenario")
+	flag.IntVar(&cfg.Conns, "conns", 8, "concurrent client goroutines")
+	flag.IntVar(&cfg.Batch, "batch", 64, "readings per batch")
+	flag.IntVar(&cfg.Nodes, "nodes", 256, "registered nodes in the synthetic fleet")
+	flag.IntVar(&cfg.Signals, "signals", 64, "shared reference signals")
+	flag.DurationVar(&cfg.Duration, "duration", 3*time.Second, "timed duration per scenario")
+	flag.BoolVar(&cfg.Dedup, "dedup", true, "attach idempotency keys to every reading")
+	flag.StringVar(&cfg.Target, "target", "", "live collector base URL (http mode only; empty = in-process)")
+	flag.StringVar(&cfg.Out, "out", "BENCH_5.json", "bench record output path")
+	flag.Parse()
+
+	out, err := run(cfg)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	if !out.EquivalenceOK {
+		log.Errorf("EQUIVALENCE FAILED: sharded collector diverges from the single-lock baseline")
+	}
+	for _, s := range out.Scenarios {
+		log.Infof("%-18s %10.0f readings/s  p50 %.3fms  p99 %.3fms  (%d readings, %d errors)",
+			s.Name, s.ThroughputRPS, s.P50ms, s.P99ms, s.Readings, s.Errors)
+	}
+	for mode, sp := range out.Speedup {
+		log.Infof("%s speedup: %.2fx (shards=%d vs shards=%d)", mode, sp, cfg.Shards, cfg.BaselineShards)
+	}
+	if cfg.Out != "" {
+		if err := writeOutput(cfg.Out, out); err != nil {
+			log.Fatalf("writing %s: %v", cfg.Out, err)
+		}
+		log.Infof("bench record written to %s", cfg.Out)
+	}
+	if !out.EquivalenceOK {
+		os.Exit(1)
+	}
+}

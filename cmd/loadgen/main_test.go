@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// A short end-to-end run: both modes, both shard counts, equivalence
+// replay, and the BENCH_5.json record written and parseable.
+func TestLoadgenSmoke(t *testing.T) {
+	out, err := run(config{
+		Mode:           "both",
+		Shards:         4,
+		BaselineShards: 1,
+		Conns:          4,
+		Batch:          16,
+		Nodes:          16,
+		Signals:        8,
+		Duration:       150 * time.Millisecond,
+		Dedup:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.EquivalenceOK {
+		t.Fatal("sharded collector diverged from the single-lock baseline")
+	}
+	if len(out.Scenarios) != 4 {
+		t.Fatalf("got %d scenarios, want 4 (core+http × baseline+sharded)", len(out.Scenarios))
+	}
+	for _, s := range out.Scenarios {
+		if s.Readings == 0 {
+			t.Errorf("scenario %s submitted no readings", s.Name)
+		}
+		if s.Errors != 0 {
+			t.Errorf("scenario %s reported %d errored batches", s.Name, s.Errors)
+		}
+		if s.ThroughputRPS <= 0 {
+			t.Errorf("scenario %s throughput %v, want > 0", s.Name, s.ThroughputRPS)
+		}
+		if s.P99ms < s.P50ms {
+			t.Errorf("scenario %s p99 %v < p50 %v", s.Name, s.P99ms, s.P50ms)
+		}
+	}
+	if _, ok := out.Speedup["core"]; !ok {
+		t.Error("no core-mode speedup recorded")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_5.json")
+	if err := writeOutput(path, out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back benchOutput
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("bench record does not round-trip: %v", err)
+	}
+	if back.Bench != 5 || back.Schema != "sensorcal-bench/v1" {
+		t.Fatalf("bench record header = (%d, %q)", back.Bench, back.Schema)
+	}
+	if back.GOMAXPROCS <= 0 {
+		t.Error("bench record missing gomaxprocs")
+	}
+}
+
+// Dedup off must still flow — no idempotency keys means no dedup-stripe
+// traffic, a valid operating point for trusted pipelines.
+func TestLoadgenNoDedup(t *testing.T) {
+	out, err := run(config{
+		Mode:           "core",
+		Shards:         2,
+		BaselineShards: 1,
+		Conns:          2,
+		Batch:          8,
+		Nodes:          4,
+		Signals:        2,
+		Duration:       50 * time.Millisecond,
+		Dedup:          false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Scenarios) != 2 {
+		t.Fatalf("got %d scenarios, want 2", len(out.Scenarios))
+	}
+}
+
+func TestLoadgenRejectsUnknownMode(t *testing.T) {
+	if _, err := run(config{Mode: "tcp", Shards: 2, BaselineShards: 1,
+		Conns: 1, Batch: 1, Nodes: 2, Signals: 1, Duration: time.Millisecond}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	spectrumd [-addr :8025] [-epoch 1m] [-state ledger.json] [-log-level info]
+//	spectrumd [-addr :8025] [-epoch 1m] [-state ledger.json] [-shards 8]
+//	          [-profile-contention] [-log-level info]
+//
+// -shards sets the collector's ingest lock-stripe count (power of two;
+// 1 reproduces the classic single-lock collector). -profile-contention
+// enables the runtime mutex/block profilers so /debug/pprof/mutex and
+// /debug/pprof/block report where ingest actually waits.
 //
 // Endpoints:
 //
@@ -164,6 +170,8 @@ func main() {
 		addr     = flag.String("addr", ":8025", "listen address")
 		epoch    = flag.Duration("epoch", time.Minute, "consensus epoch window")
 		state    = flag.String("state", "", "ledger snapshot file (loaded at boot, saved every epoch)")
+		shards   = flag.Int("shards", 8, "collector ingest lock stripes (rounded up to a power of two; 1 = single-lock)")
+		profCont = flag.Bool("profile-contention", false, "enable runtime mutex/block profiling on /debug/pprof")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
@@ -172,8 +180,14 @@ func main() {
 		logger.Fatalf("%v", err)
 	}
 	logger.SetLevel(lv)
+	if *profCont {
+		// Sample every contended mutex event and blocking events ≥ 10 µs:
+		// cheap enough for a collector, detailed enough to see stripes.
+		obs.EnableContentionProfiling(1, 10_000)
+		logger.Infof("mutex/block contention profiling enabled")
+	}
 
-	c := trust.NewCollector().Instrument(obs.Default())
+	c := trust.NewShardedCollector(*shards).Instrument(obs.Default())
 	c.EpochWindow = *epoch
 	d := &daemon{
 		col: c, clk: clock.System{}, statePath: *state, epoch: *epoch, log: logger,
@@ -196,7 +210,7 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: d.handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Infof("collector listening on %s (epoch window %s)", *addr, *epoch)
+	logger.Infof("collector listening on %s (epoch window %s, %d ingest shards)", *addr, *epoch, c.Shards())
 
 	select {
 	case err := <-errc:

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // FFT computes the in-place radix-2 decimation-in-time fast Fourier
@@ -26,6 +27,72 @@ func FFT(x []complex128) error {
 // IFFT computes the inverse FFT of x in place, including the 1/N scaling.
 func IFFT(x []complex128) error {
 	return fftDir(x, true)
+}
+
+// twiddles holds the per-stage twiddle factors for one FFT size, both
+// directions, as concatenated per-stage tables (stage sizes 2, 4, …, n
+// contribute 1, 2, …, n/2 entries — n-1 in total). A campaign runs the
+// same FFT size millions of times, so the tables are cached per size the
+// same way CachedLowpass caches FIR designs.
+type twiddles struct {
+	fwd, inv []complex128
+}
+
+// maxCachedFFTSize bounds the twiddle cache: a table costs 32(n-1) bytes,
+// so everything up to 256k points (≈8 MiB worst case per direction) is
+// kept; larger one-off transforms build their tables per call.
+const maxCachedFFTSize = 1 << 18
+
+var (
+	twiddleMu    sync.RWMutex
+	twiddleCache = map[int]*twiddles{}
+)
+
+// buildTwiddles computes the tables with exactly the recurrence the
+// butterfly loop used inline (w starting at 1, repeatedly multiplied by
+// exp(±2πi/size)), so cached and pre-cache FFT outputs are bit-identical.
+func buildTwiddles(n int) *twiddles {
+	t := &twiddles{
+		fwd: make([]complex128, 0, n-1),
+		inv: make([]complex128, 0, n-1),
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := 2 * math.Pi / float64(size)
+		wFwd, wInv := complex(1, 0), complex(1, 0)
+		baseFwd := cmplx.Exp(complex(0, -step))
+		baseInv := cmplx.Exp(complex(0, step))
+		for k := 0; k < half; k++ {
+			t.fwd = append(t.fwd, wFwd)
+			t.inv = append(t.inv, wInv)
+			wFwd *= baseFwd
+			wInv *= baseInv
+		}
+	}
+	return t
+}
+
+// twiddlesFor returns the (cached) twiddle tables for an n-point FFT.
+func twiddlesFor(n int) *twiddles {
+	if n <= maxCachedFFTSize {
+		twiddleMu.RLock()
+		t := twiddleCache[n]
+		twiddleMu.RUnlock()
+		if t != nil {
+			return t
+		}
+	}
+	t := buildTwiddles(n)
+	if n <= maxCachedFFTSize {
+		twiddleMu.Lock()
+		if prev, ok := twiddleCache[n]; ok {
+			t = prev // another goroutine built it first; share theirs
+		} else {
+			twiddleCache[n] = t
+		}
+		twiddleMu.Unlock()
+	}
+	return t
 }
 
 func fftDir(x []complex128, inverse bool) error {
@@ -44,24 +111,23 @@ func fftDir(x []complex128, inverse bool) error {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	sign := -1.0
+	tab := twiddlesFor(n).fwd
 	if inverse {
-		sign = 1.0
+		tab = twiddlesFor(n).inv
 	}
+	off := 0
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
-		step := 2 * math.Pi / float64(size) * sign
-		wBase := cmplx.Exp(complex(0, step))
+		tw := tab[off : off+half]
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
 			for k := 0; k < half; k++ {
 				even := x[start+k]
-				odd := x[start+k+half] * w
+				odd := x[start+k+half] * tw[k]
 				x[start+k] = even + odd
 				x[start+k+half] = even - odd
-				w *= wBase
 			}
 		}
+		off += half
 	}
 	if inverse {
 		inv := complex(1/float64(n), 0)

@@ -1,0 +1,139 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// fftReference is the pre-twiddle-cache implementation, kept verbatim so
+// the cached path can be checked for bit-identical output and benchmarked
+// against its predecessor.
+func fftReference(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := 2 * math.Pi / float64(size) * sign
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				even := x[start+k]
+				odd := x[start+k+half] * w
+				x[start+k] = even + odd
+				x[start+k+half] = even - odd
+				w *= wBase
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	return nil
+}
+
+func randomComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+// TestFFTTwiddleCacheBitIdentical pins the cached-twiddle butterflies to
+// the reference implementation bit for bit, in both directions, so the
+// cache can never shift the calibration pipeline's pinned figures.
+func TestFFTTwiddleCacheBitIdentical(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64, 1024, 4096} {
+		for _, inverse := range []bool{false, true} {
+			got := randomComplex(n, int64(n))
+			want := append([]complex128(nil), got...)
+			if err := fftDir(got, inverse); err != nil {
+				t.Fatal(err)
+			}
+			if err := fftReference(want, inverse); err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d inverse=%v: bin %d = %v, reference %v", n, inverse, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTwiddleCacheOversize checks that transforms beyond the cache bound
+// still work (built per call, never cached).
+func TestTwiddleCacheOversize(t *testing.T) {
+	n := maxCachedFFTSize * 2
+	x := make([]complex128, n)
+	x[1] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	twiddleMu.RLock()
+	_, cached := twiddleCache[n]
+	twiddleMu.RUnlock()
+	if cached {
+		t.Fatalf("size %d should not be cached (bound %d)", n, maxCachedFFTSize)
+	}
+	// Every bin of a shifted impulse has unit magnitude.
+	for i, v := range x {
+		if math.Abs(cmplx.Abs(v)-1) > 1e-9 {
+			t.Fatalf("bin %d magnitude %v, want 1", i, cmplx.Abs(v))
+		}
+	}
+}
+
+// BenchmarkFFT compares the cached-twiddle path against the reference
+// that recomputes twiddles inline on every call. Welch PSD runs at 1024
+// points; the cellsim correlator uses larger transforms.
+func BenchmarkFFT(b *testing.B) {
+	for _, n := range []int{1024, 8192} {
+		src := randomComplex(n, 7)
+		scratch := make([]complex128, n)
+		b.Run(fmt.Sprintf("cached/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(scratch, src)
+				if err := FFT(scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("reference/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(scratch, src)
+				if err := fftReference(scratch, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -17,7 +17,22 @@ type collectorMetrics struct {
 	anomalies     *obs.CounterVec // kind
 	nodeScore     *obs.GaugeVec   // node
 	httpRequests  *obs.CounterVec // endpoint, code
+	submitSeconds *obs.Histogram  // per-reading ingest latency
+	// contention counters, one per stripe family, pre-resolved so the
+	// hot path never does a label lookup.
+	contention [stripeKinds]*obs.Counter
 }
+
+// Stripe families for contention accounting.
+const (
+	stripeEpoch = iota
+	stripeDedup
+	stripeFresh
+	stripeKinds
+)
+
+// stripeNames are the label values for collector_shard_contention_total.
+var stripeNames = [stripeKinds]string{"epoch", "dedup", "fresh"}
 
 // Instrument registers the collector's metrics on reg (the process-wide
 // default when nil) and starts recording. It returns c for chaining.
@@ -33,6 +48,10 @@ type collectorMetrics struct {
 //	trust_nodes_registered       — ledger size (scrape-time callback)
 //	trust_pending_epochs         — open epochs awaiting closure (callback)
 //	trust_http_requests_total{endpoint} — API traffic
+//	collector_submit_seconds     — per-reading ingest latency histogram
+//	collector_shards             — ingest lock-stripe count
+//	collector_shard_contention_total{stripe} — stripe lock acquisitions
+//	                               that found the lock held (TryLock miss)
 func (c *Collector) Instrument(reg *obs.Registry) *Collector {
 	if reg == nil {
 		reg = obs.Default()
@@ -52,7 +71,18 @@ func (c *Collector) Instrument(reg *obs.Registry) *Collector {
 			"Current trust ledger score per node (0 = fabricator, 1 = clean).", "node"),
 		httpRequests: reg.CounterVec("trust_http_requests_total",
 			"Collector API requests served, by endpoint.", "endpoint"),
+		submitSeconds: reg.Histogram("collector_submit_seconds",
+			"Latency of one reading through the collector ingest path.",
+			obs.ExpBuckets(250e-9, 4, 10)),
 	}
+	contention := reg.CounterVec("collector_shard_contention_total",
+		"Stripe lock acquisitions that found the lock held (fast-path TryLock miss), by stripe family.",
+		"stripe")
+	for i, name := range stripeNames {
+		m.contention[i] = contention.With(name)
+	}
+	reg.Gauge("collector_shards",
+		"Lock stripes in the collector ingest path.").Set(float64(c.Shards()))
 	// Pre-seed the detector kinds so the series exist at zero instead of
 	// appearing only after the first violation.
 	m.anomalies.With("over-consensus-power")
@@ -103,4 +133,11 @@ func (m *collectorMetrics) recordRequest(endpoint string) {
 		return
 	}
 	m.httpRequests.With(endpoint).Inc()
+}
+
+func (m *collectorMetrics) recordContention(which int) {
+	if m == nil {
+		return
+	}
+	m.contention[which].Inc()
 }

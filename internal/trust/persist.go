@@ -24,14 +24,19 @@ type nodeSnapshot struct {
 	Score Score `json:"score"`
 }
 
-// Save writes the ledger state as JSON.
+// Save writes the ledger state as JSON. Stripes are snapshotted one at a
+// time (writers to other stripes proceed), then merged into one sorted
+// node list so the snapshot bytes are deterministic.
 func (l *Ledger) Save(w io.Writer, now time.Time) error {
-	l.mu.RLock()
 	snap := ledgerSnapshot{SavedAt: now.UTC()}
-	for id, n := range l.nodes {
-		snap.Nodes = append(snap.Nodes, nodeSnapshot{Node: *n, Score: l.scores[id]})
+	for i := range l.stripes {
+		st := &l.stripes[i]
+		st.mu.RLock()
+		for id, n := range st.nodes {
+			snap.Nodes = append(snap.Nodes, nodeSnapshot{Node: *n, Score: st.scores[id]})
+		}
+		st.mu.RUnlock()
 	}
-	l.mu.RUnlock()
 	sort.Slice(snap.Nodes, func(i, j int) bool { return snap.Nodes[i].ID < snap.Nodes[j].ID })
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -39,15 +44,15 @@ func (l *Ledger) Save(w io.Writer, now time.Time) error {
 }
 
 // Load restores a snapshot into an empty ledger. Loading over existing
-// registrations is refused to avoid silent merges.
+// registrations is refused to avoid silent merges. Load runs at boot,
+// before the collector serves traffic, so the emptiness check does not
+// need to hold every stripe lock at once.
 func (l *Ledger) Load(r io.Reader) error {
 	var snap ledgerSnapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("trust: decoding ledger snapshot: %w", err)
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if len(l.nodes) != 0 {
+	if l.Len() != 0 {
 		return fmt.Errorf("trust: refusing to load into a non-empty ledger")
 	}
 	for _, ns := range snap.Nodes {
@@ -58,8 +63,11 @@ func (l *Ledger) Load(r io.Reader) error {
 			return fmt.Errorf("trust: snapshot score %v for %s out of range", ns.Score, ns.ID)
 		}
 		n := ns.Node
-		l.nodes[ns.ID] = &n
-		l.scores[ns.ID] = ns.Score
+		st := l.stripe(ns.ID)
+		st.mu.Lock()
+		st.nodes[ns.ID] = &n
+		st.scores[ns.ID] = ns.Score
+		st.mu.Unlock()
 	}
 	return nil
 }

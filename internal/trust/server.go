@@ -1,7 +1,7 @@
 package trust
 
 import (
-	"bytes"
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,7 +14,10 @@ import (
 // Collector is the cloud side of the crowd-sourced network: nodes register
 // and stream readings of shared reference signals; the collector groups
 // them into epochs, runs the consensus checks, and maintains the trust
-// ledger.
+// ledger. Ingest state is lock-striped (see shard.go): readings of
+// different signals from different nodes proceed on different locks, so
+// submit throughput scales with cores instead of serializing on one
+// mutex.
 type Collector struct {
 	Ledger   *Ledger
 	Detector *Detector
@@ -22,32 +25,61 @@ type Collector struct {
 	// the same window.
 	EpochWindow time.Duration
 
-	// DedupCap bounds the idempotency-key memory (oldest keys are
-	// forgotten first). Zero means the default of 65536.
+	// DedupCap bounds the idempotency-key memory across all stripes
+	// (oldest keys per stripe are forgotten first). Zero means the
+	// default of 65536.
 	DedupCap int
 
-	mu       sync.Mutex
-	pending  map[string]map[time.Time]*Epoch // signal → window start → epoch
-	history  map[string][]Epoch              // closed epochs per signal
-	seen     map[string]struct{}             // accepted idempotency keys
-	seenFIFO []string                        // eviction order for seen
-	lastSeen map[NodeID]time.Time            // newest reading timestamp per node
+	epochs []epochStripe // by signal ID hash
+	dedups []dedupStripe // by idempotency key hash
+	fresh  []freshStripe // by node ID hash
+	mask   uint64        // len(stripes)-1; stripe counts are powers of two
 
 	// metrics is non-nil only after Instrument; see metrics.go.
 	metrics *collectorMetrics
 }
 
-// NewCollector returns a collector with a fresh ledger.
-func NewCollector() *Collector {
-	return &Collector{
+// NewCollector returns a collector with a fresh ledger and a single
+// stripe — semantically the classic single-lock collector, including
+// exact global FIFO dedup eviction.
+func NewCollector() *Collector { return NewShardedCollector(1) }
+
+// NewShardedCollector returns a collector whose ingest state is split
+// across shards lock stripes (rounded up to a power of two). CloseEpochs,
+// Fleet and History results are identical at any shard count; only the
+// dedup eviction boundary is approximate (per-stripe FIFO rather than
+// global FIFO, with DedupCap split evenly across stripes).
+func NewShardedCollector(shards int) *Collector {
+	n := stripeCount(shards)
+	c := &Collector{
 		Ledger:      NewLedger(),
 		Detector:    NewDetector(),
 		EpochWindow: time.Minute,
-		pending:     make(map[string]map[time.Time]*Epoch),
-		history:     make(map[string][]Epoch),
-		seen:        make(map[string]struct{}),
-		lastSeen:    make(map[NodeID]time.Time),
+		epochs:      make([]epochStripe, n),
+		dedups:      make([]dedupStripe, n),
+		fresh:       make([]freshStripe, n),
+		mask:        uint64(n - 1),
 	}
+	for i := 0; i < n; i++ {
+		c.epochs[i].pending = make(map[string]map[time.Time]*Epoch)
+		c.epochs[i].history = make(map[string][]Epoch)
+		c.dedups[i].seen = make(map[string]struct{})
+		c.fresh[i].lastSeen = make(map[NodeID]time.Time)
+	}
+	return c
+}
+
+// Shards returns the stripe count the collector was built with.
+func (c *Collector) Shards() int { return len(c.epochs) }
+
+// dedupLimit splits DedupCap evenly across the dedup stripes, rounding
+// up so the aggregate capacity never falls below DedupCap.
+func (c *Collector) dedupLimit() int {
+	total := c.DedupCap
+	if total <= 0 {
+		total = 65536
+	}
+	return (total + len(c.dedups) - 1) / len(c.dedups)
 }
 
 // Submit ingests one reading.
@@ -62,31 +94,43 @@ func (c *Collector) Submit(r Reading) error {
 // delivered.
 func (c *Collector) SubmitDedup(r Reading) (duplicate bool, err error) {
 	defer func() { c.metrics.recordSubmit(duplicate, err) }()
+	if m := c.metrics; m != nil {
+		start := time.Now()
+		defer func() { m.submitSeconds.Observe(time.Since(start).Seconds()) }()
+	}
 	if _, ok := c.Ledger.Node(r.Node); !ok {
 		return false, fmt.Errorf("trust: node %s not registered", r.Node)
 	}
 	if r.SignalID == "" {
 		return false, fmt.Errorf("trust: reading needs a signal ID")
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if r.Key != "" {
-		if _, ok := c.seen[r.Key]; ok {
+		d := &c.dedups[fnv1a(r.Key)&c.mask]
+		c.lockCounted(&d.mu, stripeDedup)
+		if d.dup(r.Key) {
+			d.mu.Unlock()
 			return true, nil
 		}
-		c.rememberLocked(r.Key)
+		d.remember(r.Key, c.dedupLimit())
+		d.mu.Unlock()
 	}
 	// The staleness signal the measurement scheduler plans from: the
 	// newest evidence timestamp per node. Reading time, not arrival time,
 	// so a spool replay of old readings does not fake freshness.
-	if r.At.After(c.lastSeen[r.Node]) {
-		c.lastSeen[r.Node] = r.At
+	f := &c.fresh[fnv1a(string(r.Node))&c.mask]
+	c.lockCounted(&f.mu, stripeFresh)
+	if r.At.After(f.lastSeen[r.Node]) {
+		f.lastSeen[r.Node] = r.At
 	}
+	f.mu.Unlock()
 	window := r.At.Truncate(c.EpochWindow)
-	byWindow, ok := c.pending[r.SignalID]
+	st := &c.epochs[fnv1a(r.SignalID)&c.mask]
+	c.lockCounted(&st.mu, stripeEpoch)
+	defer st.mu.Unlock()
+	byWindow, ok := st.pending[r.SignalID]
 	if !ok {
 		byWindow = make(map[time.Time]*Epoch)
-		c.pending[r.SignalID] = byWindow
+		st.pending[r.SignalID] = byWindow
 	}
 	e, ok := byWindow[window]
 	if !ok {
@@ -97,39 +141,48 @@ func (c *Collector) SubmitDedup(r Reading) (duplicate bool, err error) {
 	return false, nil
 }
 
-// rememberLocked records an accepted idempotency key, evicting the oldest
-// once the memory is full. The cap trades perfect dedup for bounded
-// memory: a key must be retried within DedupCap accepted readings to be
-// caught, which at any plausible submission rate covers retry windows of
-// hours.
-func (c *Collector) rememberLocked(key string) {
-	cap := c.DedupCap
-	if cap <= 0 {
-		cap = 65536
+// lockCounted acquires mu, counting the acquisition as contended when a
+// fast-path TryLock fails. The counter makes shard pressure visible
+// without the cost of the mutex profiler in the steady state.
+func (c *Collector) lockCounted(mu *sync.Mutex, which int) {
+	if mu.TryLock() {
+		return
 	}
-	for len(c.seenFIFO) >= cap {
-		delete(c.seen, c.seenFIFO[0])
-		c.seenFIFO = c.seenFIFO[1:]
-	}
-	c.seen[key] = struct{}{}
-	c.seenFIFO = append(c.seenFIFO, key)
+	c.metrics.recordContention(which)
+	mu.Lock()
 }
 
 // CloseEpochs finalizes every pending epoch that started before the
 // cutoff: runs the upper-bound check, archives the epoch, runs the
 // correlation check over the signal's history, and updates the ledger.
 // It returns all anomalies found.
+//
+// Merge determinism: candidate signals are gathered from every stripe,
+// then processed in one globally sorted pass (signals ascending, windows
+// ascending within a signal) — the exact order the single-lock collector
+// used, so anomaly lists and ledger updates are identical at any stripe
+// count.
 func (c *Collector) CloseEpochs(cutoff time.Time) []Anomaly {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var all []Anomaly
-	signals := make([]string, 0, len(c.pending))
-	for sig := range c.pending {
-		signals = append(signals, sig)
+	var signals []string
+	for i := range c.epochs {
+		st := &c.epochs[i]
+		st.mu.Lock()
+		for sig, byWindow := range st.pending {
+			for w := range byWindow {
+				if w.Before(cutoff) {
+					signals = append(signals, sig)
+					break
+				}
+			}
+		}
+		st.mu.Unlock()
 	}
 	sort.Strings(signals)
+	var all []Anomaly
 	for _, sig := range signals {
-		byWindow := c.pending[sig]
+		st := &c.epochs[fnv1a(sig)&c.mask]
+		st.mu.Lock()
+		byWindow := st.pending[sig]
 		var windows []time.Time
 		for w := range byWindow {
 			if w.Before(cutoff) {
@@ -141,14 +194,14 @@ func (c *Collector) CloseEpochs(cutoff time.Time) []Anomaly {
 			e := byWindow[w]
 			delete(byWindow, w)
 			anomalies := c.Detector.CheckEpoch(*e)
-			c.history[sig] = append(c.history[sig], *e)
+			st.history[sig] = append(st.history[sig], *e)
 			var participants []NodeID
 			for id := range e.Readings {
 				participants = append(participants, id)
 			}
 			sort.Slice(participants, func(i, j int) bool { return participants[i] < participants[j] })
 			// Correlation check over the accumulated history.
-			anomalies = append(anomalies, c.Detector.CheckCorrelation(c.history[sig])...)
+			anomalies = append(anomalies, c.Detector.CheckCorrelation(st.history[sig])...)
 			Apply(c.Ledger, participants, anomalies)
 			c.metrics.recordEpochClosed(anomalies)
 			for _, id := range participants {
@@ -156,6 +209,10 @@ func (c *Collector) CloseEpochs(cutoff time.Time) []Anomaly {
 			}
 			all = append(all, anomalies...)
 		}
+		if len(byWindow) == 0 {
+			delete(st.pending, sig)
+		}
+		st.mu.Unlock()
 	}
 	return all
 }
@@ -174,15 +231,17 @@ type NodeActivity struct {
 // the planner input a measurement scheduler polls for.
 func (c *Collector) Fleet() []NodeActivity {
 	nodes := c.Ledger.Nodes()
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := make([]NodeActivity, 0, len(nodes))
 	for _, n := range nodes {
+		f := &c.fresh[fnv1a(string(n.ID))&c.mask]
+		f.mu.Lock()
+		last := f.lastSeen[n.ID]
+		f.mu.Unlock()
 		out = append(out, NodeActivity{
 			Node:        n.ID,
 			Score:       c.Ledger.Trust(n.ID),
 			Registered:  n.Registered,
-			LastReading: c.lastSeen[n.ID],
+			LastReading: last,
 		})
 	}
 	return out
@@ -190,20 +249,24 @@ func (c *Collector) Fleet() []NodeActivity {
 
 // PendingEpochs returns how many epochs are open and awaiting closure.
 func (c *Collector) PendingEpochs() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
-	for _, byWindow := range c.pending {
-		n += len(byWindow)
+	for i := range c.epochs {
+		st := &c.epochs[i]
+		st.mu.Lock()
+		for _, byWindow := range st.pending {
+			n += len(byWindow)
+		}
+		st.mu.Unlock()
 	}
 	return n
 }
 
 // History returns the closed epochs for a signal.
 func (c *Collector) History(signal string) []Epoch {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return append([]Epoch(nil), c.history[signal]...)
+	st := &c.epochs[fnv1a(signal)&c.mask]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]Epoch(nil), st.history[signal]...)
 }
 
 // HTTP API types.
@@ -259,6 +322,115 @@ type fleetEntry struct {
 	LastReadingAt time.Time `json:"last_reading_at"`
 }
 
+// maxReadingsBody bounds one /api/readings request body.
+const maxReadingsBody = 16 << 20
+
+// ingestScratch is the pooled per-request decode state for /api/readings:
+// a reusable buffered reader plus request/response structs, so the
+// steady-state ingest path allocates only what encoding/json needs for
+// one array element — never a second full-body copy.
+type ingestScratch struct {
+	br   *bufio.Reader
+	req  submitRequest
+	resp batchResponse
+}
+
+var ingestPool = sync.Pool{
+	New: func() interface{} {
+		return &ingestScratch{br: bufio.NewReaderSize(nil, 32<<10)}
+	},
+}
+
+// peekNonSpace returns the first non-whitespace byte without consuming
+// it, so the handler can dispatch between the single-object and batch
+// wire forms before streaming the body through one json.Decoder.
+func peekNonSpace(br *bufio.Reader) (byte, error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		if err := br.UnreadByte(); err != nil {
+			return 0, err
+		}
+		return b, nil
+	}
+}
+
+// serveReadings ingests the POST /api/readings body. The batch form (a
+// JSON array of readings) is decoded as a token stream — element by
+// element through one json.Decoder — so a 10k-reading batch is never
+// materialized as a []submitRequest and the body bytes are read exactly
+// once. Each element is individually accepted, deduplicated or rejected;
+// a malformed element aborts with 400 mid-stream, and the idempotency
+// keys on the already-ingested prefix make the client's retry safe.
+func (c *Collector) serveReadings(w http.ResponseWriter, r *http.Request, now func() time.Time) {
+	sc := ingestPool.Get().(*ingestScratch)
+	defer func() {
+		sc.br.Reset(nil)
+		ingestPool.Put(sc)
+	}()
+	sc.br.Reset(io.LimitReader(r.Body, maxReadingsBody))
+	first, err := peekNonSpace(sc.br)
+	if err != nil {
+		http.Error(w, "empty or unreadable body", http.StatusBadRequest)
+		return
+	}
+	dec := json.NewDecoder(sc.br)
+	if first != '[' {
+		// Single-object form.
+		sc.req = submitRequest{}
+		if err := dec.Decode(&sc.req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := c.Submit(sc.req.reading(now)); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		return
+	}
+	// Batch form: a JSON array of readings. The summary lets a
+	// store-and-forward client ack its whole batch: duplicates were
+	// already delivered, rejections can never succeed.
+	if _, err := dec.Token(); err != nil { // consume '['
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sc.resp = batchResponse{Errors: sc.resp.Errors[:0]}
+	for i := 0; dec.More(); i++ {
+		sc.req = submitRequest{}
+		if err := dec.Decode(&sc.req); err != nil {
+			http.Error(w, fmt.Sprintf("batch element %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		dup, err := c.SubmitDedup(sc.req.reading(now))
+		switch {
+		case err != nil:
+			sc.resp.Rejected++
+			if len(sc.resp.Errors) < 10 {
+				sc.resp.Errors = append(sc.resp.Errors, err.Error())
+			}
+		case dup:
+			sc.resp.Duplicates++
+		default:
+			sc.resp.Accepted++
+		}
+	}
+	if _, err := dec.Token(); err != nil { // consume ']'
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(&sc.resp)
+}
+
 // Handler exposes the collector over HTTP:
 //
 //	POST /api/register  — enroll a node
@@ -297,52 +469,7 @@ func (c *Collector) Handler(now func() time.Time) http.Handler {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		trimmed := bytes.TrimLeft(body, " \t\r\n")
-		if len(trimmed) > 0 && trimmed[0] == '[' {
-			// Batch form: a JSON array of readings, each individually
-			// accepted, deduplicated or rejected. The summary lets a
-			// store-and-forward client ack its whole batch: duplicates
-			// were already delivered, rejections can never succeed.
-			var reqs []submitRequest
-			if err := json.Unmarshal(trimmed, &reqs); err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			var resp batchResponse
-			for _, req := range reqs {
-				dup, err := c.SubmitDedup(req.reading(now))
-				switch {
-				case err != nil:
-					resp.Rejected++
-					if len(resp.Errors) < 10 {
-						resp.Errors = append(resp.Errors, err.Error())
-					}
-				case dup:
-					resp.Duplicates++
-				default:
-					resp.Accepted++
-				}
-			}
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusAccepted)
-			_ = json.NewEncoder(w).Encode(resp)
-			return
-		}
-		var req submitRequest
-		if err := json.Unmarshal(trimmed, &req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if err := c.Submit(req.reading(now)); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.WriteHeader(http.StatusAccepted)
+		c.serveReadings(w, r, now)
 	})
 	mux.HandleFunc("/api/fleet", func(w http.ResponseWriter, r *http.Request) {
 		c.metrics.recordRequest("fleet")

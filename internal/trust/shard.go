@@ -1,0 +1,118 @@
+package trust
+
+import (
+	"sync"
+	"time"
+)
+
+// Lock-striped collector state. The paper's endgame (§5) is a market fed
+// by many volunteer nodes streaming calibration evidence concurrently;
+// a single mutex in front of the pending-epoch, dedup and freshness maps
+// serializes every core the collector has. Each kind of state is keyed
+// by something different — epochs by signal ID, idempotency keys by the
+// key itself, freshness by node ID — so each gets its own array of
+// hash-selected stripes, each behind its own lock. Readings of different
+// signals from different nodes then never touch the same lock, and the
+// merge paths (CloseEpochs, Fleet, History) iterate stripes in a
+// globally sorted order so their results are byte-identical to the
+// single-lock collector at any stripe count.
+
+// stripeCount rounds n up to a power of two (minimum 1) so stripe
+// selection is a mask instead of a modulo.
+func stripeCount(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// fnv1a is the 64-bit FNV-1a hash, inlined so stripe selection does not
+// allocate a hash.Hash.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// epochStripe holds the open and closed epochs of every signal that
+// hashes to it. History lives next to pending under the same lock
+// because CloseEpochs runs the correlation check over a signal's history
+// in the same critical section that archives the epoch.
+type epochStripe struct {
+	mu      sync.Mutex
+	pending map[string]map[time.Time]*Epoch // signal → window start → epoch
+	history map[string][]Epoch              // closed epochs per signal
+	_       [24]byte                        // pad to a cache line against false sharing
+}
+
+// freshStripe holds the newest reading timestamp of every node that
+// hashes to it — the staleness signal the scheduler plans from.
+type freshStripe struct {
+	mu       sync.Mutex
+	lastSeen map[NodeID]time.Time
+	_        [48]byte
+}
+
+// dedupStripe remembers accepted idempotency keys in a fixed-size ring:
+// once limit keys are held the oldest is overwritten in place. The old
+// implementation shifted a slice (seenFIFO = seenFIFO[1:]), which pinned
+// the ever-growing backing array and reallocated on every append cycle;
+// the ring reuses one allocation forever.
+type dedupStripe struct {
+	mu   sync.Mutex
+	seen map[string]struct{}
+	ring []string // eviction ring, len == per-stripe limit once allocated
+	head int      // index of the oldest live key
+	n    int      // live keys in the ring
+}
+
+// dup reports whether key was already accepted. Caller holds mu.
+func (s *dedupStripe) dup(key string) bool {
+	_, ok := s.seen[key]
+	return ok
+}
+
+// remember records an accepted key, evicting the oldest once the stripe
+// holds limit keys. Caller holds mu.
+func (s *dedupStripe) remember(key string, limit int) {
+	if limit < 1 {
+		limit = 1
+	}
+	if len(s.ring) != limit {
+		s.resize(limit)
+	}
+	if s.n == len(s.ring) {
+		delete(s.seen, s.ring[s.head])
+		s.ring[s.head] = key
+		s.head = (s.head + 1) % len(s.ring)
+	} else {
+		s.ring[(s.head+s.n)%len(s.ring)] = key
+		s.n++
+	}
+	s.seen[key] = struct{}{}
+}
+
+// resize rebuilds the ring at a new limit, preserving FIFO order and
+// evicting the oldest keys that no longer fit. DedupCap is normally set
+// once before traffic, so this runs at most once per stripe.
+func (s *dedupStripe) resize(limit int) {
+	ordered := make([]string, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		k := s.ring[(s.head+i)%len(s.ring)]
+		if s.n-i > limit {
+			delete(s.seen, k) // oldest overflow
+			continue
+		}
+		ordered = append(ordered, k)
+	}
+	s.ring = make([]string, limit)
+	s.head = 0
+	s.n = copy(s.ring, ordered)
+}

@@ -41,12 +41,27 @@ type Node struct {
 // Score is a trust value in [0,1].
 type Score float64
 
-// Ledger tracks node trust with exponentially weighted updates. It is safe
-// for concurrent use.
-type Ledger struct {
+// ledgerStripes is the fixed stripe count of the ledger's node map. The
+// ledger sits on the collector's per-reading hot path (every submit
+// checks registration), so entries are lock-striped by node ID the same
+// way the collector's ingest maps are striped; 16 stripes keeps the
+// fast path uncontended well past the core counts we run on.
+const ledgerStripes = 16
+
+// ledgerStripe holds the nodes (and their scores) that hash to it.
+type ledgerStripe struct {
 	mu     sync.RWMutex
 	nodes  map[NodeID]*Node
 	scores map[NodeID]Score
+	_      [24]byte // pad to a cache line against false sharing
+}
+
+// Ledger tracks node trust with exponentially weighted updates. It is safe
+// for concurrent use; node entries are lock-striped so concurrent
+// registration checks and score reads from many ingest goroutines do not
+// serialize on one RWMutex.
+type Ledger struct {
+	stripes [ledgerStripes]ledgerStripe
 	// Alpha is the update weight for new evidence (0..1).
 	Alpha float64
 	// Initial is the score assigned at registration.
@@ -57,12 +72,17 @@ type Ledger struct {
 // at 0.5 and each piece of evidence moves the score 20% of the way toward
 // its verdict.
 func NewLedger() *Ledger {
-	return &Ledger{
-		nodes:   make(map[NodeID]*Node),
-		scores:  make(map[NodeID]Score),
-		Alpha:   0.2,
-		Initial: 0.5,
+	l := &Ledger{Alpha: 0.2, Initial: 0.5}
+	for i := range l.stripes {
+		l.stripes[i].nodes = make(map[NodeID]*Node)
+		l.stripes[i].scores = make(map[NodeID]Score)
 	}
+	return l
+}
+
+// stripe selects the stripe holding id.
+func (l *Ledger) stripe(id NodeID) *ledgerStripe {
+	return &l.stripes[fnv1a(string(id))&(ledgerStripes-1)]
 }
 
 // Register adds a node. Re-registering an existing ID is an error (a new
@@ -71,22 +91,24 @@ func (l *Ledger) Register(n Node) error {
 	if n.ID == "" {
 		return fmt.Errorf("trust: node needs an ID")
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, ok := l.nodes[n.ID]; ok {
+	st := l.stripe(n.ID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.nodes[n.ID]; ok {
 		return fmt.Errorf("trust: node %s already registered", n.ID)
 	}
 	copy := n
-	l.nodes[n.ID] = &copy
-	l.scores[n.ID] = l.Initial
+	st.nodes[n.ID] = &copy
+	st.scores[n.ID] = l.Initial
 	return nil
 }
 
 // Node returns a registered node.
 func (l *Ledger) Node(id NodeID) (Node, bool) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	n, ok := l.nodes[id]
+	st := l.stripe(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	n, ok := st.nodes[id]
 	if !ok {
 		return Node{}, false
 	}
@@ -95,11 +117,14 @@ func (l *Ledger) Node(id NodeID) (Node, bool) {
 
 // Nodes returns every registered node, sorted by ID.
 func (l *Ledger) Nodes() []Node {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	out := make([]Node, 0, len(l.nodes))
-	for _, n := range l.nodes {
-		out = append(out, *n)
+	out := make([]Node, 0, l.Len())
+	for i := range l.stripes {
+		st := &l.stripes[i]
+		st.mu.RLock()
+		for _, n := range st.nodes {
+			out = append(out, *n)
+		}
+		st.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -107,9 +132,10 @@ func (l *Ledger) Nodes() []Node {
 
 // Trust returns the node's current score (0 for unknown nodes).
 func (l *Ledger) Trust(id NodeID) Score {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.scores[id]
+	st := l.stripe(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.scores[id]
 }
 
 // Record applies one piece of evidence: verdict 1.0 is fully consistent
@@ -121,40 +147,57 @@ func (l *Ledger) Record(id NodeID, verdict float64) {
 	if verdict > 1 {
 		verdict = 1
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	s, ok := l.scores[id]
+	st := l.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.scores[id]
 	if !ok {
 		return
 	}
-	l.scores[id] = Score(float64(s)*(1-l.Alpha) + verdict*l.Alpha)
+	st.scores[id] = Score(float64(s)*(1-l.Alpha) + verdict*l.Alpha)
 }
 
 // Trusted returns node IDs whose score meets the threshold, sorted by
 // descending score (ties by ID for determinism).
 func (l *Ledger) Trusted(threshold Score) []NodeID {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	var ids []NodeID
-	for id, s := range l.scores {
-		if s >= threshold {
-			ids = append(ids, id)
-		}
+	type scored struct {
+		id NodeID
+		s  Score
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		if l.scores[ids[i]] != l.scores[ids[j]] {
-			return l.scores[ids[i]] > l.scores[ids[j]]
+	var keep []scored
+	for i := range l.stripes {
+		st := &l.stripes[i]
+		st.mu.RLock()
+		for id, s := range st.scores {
+			if s >= threshold {
+				keep = append(keep, scored{id, s})
+			}
 		}
-		return ids[i] < ids[j]
+		st.mu.RUnlock()
+	}
+	sort.Slice(keep, func(i, j int) bool {
+		if keep[i].s != keep[j].s {
+			return keep[i].s > keep[j].s
+		}
+		return keep[i].id < keep[j].id
 	})
+	ids := make([]NodeID, len(keep))
+	for i, k := range keep {
+		ids[i] = k.id
+	}
 	return ids
 }
 
 // Len returns the number of registered nodes.
 func (l *Ledger) Len() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return len(l.nodes)
+	n := 0
+	for i := range l.stripes {
+		st := &l.stripes[i]
+		st.mu.RLock()
+		n += len(st.nodes)
+		st.mu.RUnlock()
+	}
+	return n
 }
 
 // Quantize maps a trust score to a coarse rating for marketplace display.
