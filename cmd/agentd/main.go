@@ -33,6 +33,7 @@
 //	       [-collector http://host:8025] [-spool agentd.spool.jsonl]
 //	       [-drain 2s] [-realtime] [-parallel 0] [-seed 1]
 //	       [-admin :8026] [-log-level info]
+//	       [-trace-capacity 4096] [-trace-sample 1] [-trace-export spans.jsonl]
 package main
 
 import (
@@ -72,6 +73,10 @@ func main() {
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		admin     = flag.String("admin", ":8026", "admin listen address for /metrics, /debug/traces and /debug/pprof (empty: disabled)")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+
+		traceCap    = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "span ring capacity served on /debug/traces")
+		traceSample = flag.Float64("trace-sample", 1, "head-sampling ratio for traces rooted here, in [0,1]")
+		traceExport = flag.String("trace-export", "", "durable JSONL span spool path (empty: in-memory ring only)")
 	)
 	flag.Parse()
 	lv, err := obs.ParseLevel(*logLevel)
@@ -79,6 +84,11 @@ func main() {
 		logger.Fatalf("%v", err)
 	}
 	logger.SetLevel(lv)
+	traceCleanup, err := obs.ConfigureDefaultTracer(*traceCap, *traceSample, *traceExport)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	defer traceCleanup()
 
 	var site *world.Site
 	for _, s := range world.Sites() {

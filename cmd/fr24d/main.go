@@ -6,10 +6,12 @@
 //
 //	fr24d [-addr :8024] [-aircraft 60] [-seed 1] [-latency 10s]
 //	      [-log-level info]
+//	      [-trace-capacity 4096] [-trace-sample 1] [-trace-export spans.jsonl]
 //
 // Endpoints:
 //
 //	GET /api/flights?lat=&lon=&radius_km=[&t=RFC3339]
+//	GET /metrics, /debug/traces, /debug/slo, /debug/pprof/* — obs admin surface
 package main
 
 import (
@@ -31,6 +33,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		latency  = flag.Duration("latency", fr24.DefaultLatency, "reporting latency")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+
+		traceCap    = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "span ring capacity served on /debug/traces")
+		traceSample = flag.Float64("trace-sample", 1, "head-sampling ratio for traces rooted here, in [0,1]")
+		traceExport = flag.String("trace-export", "", "durable JSONL span spool path (empty: in-memory ring only)")
 	)
 	flag.Parse()
 	lv, err := obs.ParseLevel(*logLevel)
@@ -38,6 +44,11 @@ func main() {
 		logger.Fatalf("%v", err)
 	}
 	logger.SetLevel(lv)
+	traceCleanup, err := obs.ConfigureDefaultTracer(*traceCap, *traceSample, *traceExport)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	defer traceCleanup()
 
 	fleet, err := flightsim.NewFleet(time.Now(), flightsim.Config{
 		Center: world.BuildingOrigin,
@@ -51,8 +62,15 @@ func main() {
 	svc := fr24.NewService(fleet)
 	svc.Latency = *latency
 
+	// The ground-truth API joins the admin surface so fr24d exposes the
+	// same /metrics, /debug/traces and /debug/slo every other daemon does,
+	// with its flights route under the RED middleware.
+	mw := obs.NewMiddleware("fr24", nil, nil)
+	mux := obs.AdminMux(nil, nil)
+	mux.Handle("/api/", mw.WrapHandler("/api/flights", svc.Handler(time.Now)))
+
 	logger.Infof("serving %d simulated aircraft on %s (latency %s)", *aircraft, *addr, *latency)
-	if err := http.ListenAndServe(*addr, svc.Handler(time.Now)); err != nil {
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		logger.Fatalf("%v", err)
 	}
 }

@@ -2,22 +2,28 @@
 // trust collector — in-process or a live spectrumd — with a closed loop
 // of concurrent clients submitting reading batches, and reports
 // throughput plus p50/p99 latency for a single-lock baseline and a
-// sharded collector side by side. Results are written as a BENCH_5.json
+// sharded collector side by side. Results are written as a BENCH_6.json
 // record so CI keeps a bench trajectory next to the campaign benchmarks.
 //
 // Usage:
 //
 //	loadgen [-mode both] [-shards 16] [-baseline-shards 1] [-conns 8]
 //	        [-batch 64] [-nodes 256] [-signals 64] [-duration 3s]
-//	        [-dedup] [-target http://host:8025] [-out BENCH_5.json]
+//	        [-dedup] [-target http://host:8025] [-out BENCH_6.json]
 //
 // Modes:
 //
-//	core — call Collector.SubmitDedup directly from -conns goroutines:
-//	       pure ingest-path throughput, no HTTP or JSON in the loop.
-//	http — POST /api/readings batches (streaming-decoded server side)
-//	       against an in-process listener, or -target if given.
-//	both — run core and http (default).
+//	core  — call Collector.SubmitDedup directly from -conns goroutines:
+//	        pure ingest-path throughput, no HTTP or JSON in the loop.
+//	http  — POST /api/readings batches (streaming-decoded server side)
+//	        against an in-process listener, or -target if given.
+//	trace — the http ingest path with the RED middleware and tracer
+//	        attached, run at head-sampling ratios 0, 0.01 and 1: every
+//	        reading carries a traceparent whose sampled flag follows the
+//	        ratio, so the scenario prices span recording + export-path
+//	        bookkeeping. The record carries p50/p99 deltas vs the
+//	        sampling-disabled run in "trace_overhead_pct".
+//	both  — run core, http and trace (default).
 //
 // Before any timed run, loadgen replays one deterministic workload into
 // collectors at the baseline and sharded stripe counts and verifies that
@@ -80,7 +86,7 @@ type scenarioResult struct {
 	P99ms float64 `json:"p99_ms"`
 }
 
-// benchOutput is the BENCH_5.json record. The "schema" field names the
+// benchOutput is the BENCH_6.json record. The "schema" field names the
 // layout so later BENCH_N.json files can evolve it detectably.
 type benchOutput struct {
 	Bench         int              `json:"bench"`
@@ -94,6 +100,10 @@ type benchOutput struct {
 	Scenarios     []scenarioResult `json:"scenarios"`
 	// Speedup maps mode → sharded throughput / baseline throughput.
 	Speedup map[string]float64 `json:"speedup,omitempty"`
+	// TraceOverhead maps "p50@<ratio>"/"p99@<ratio>" → percent latency
+	// delta of the trace scenario at that sampling ratio vs sampling
+	// disabled (ratio 0). The SLO for this repo is p99@0.01 ≤ 5%.
+	TraceOverhead map[string]float64 `json:"trace_overhead_pct,omitempty"`
 }
 
 // splitmix is a tiny seedable PRNG so workers don't share rand state.
@@ -320,6 +330,185 @@ func registerRemote(base string, nodes int) error {
 	return nil
 }
 
+// traceRatios are the head-sampling ratios the trace-overhead scenario
+// prices: disabled, the production default (1%), and worst-case (all).
+var traceRatios = []float64{0, 0.01, 1}
+
+// traceRounds is how many interleaved rounds each sampling ratio runs.
+// One contiguous block per ratio would fold machine drift into the
+// deltas; round-robin rounds expose every ratio to the same drift, and
+// taking the median of per-round percentiles keeps one noisy round from
+// poisoning the tail comparison.
+const traceRounds = 5
+
+// traceSetup is one live collector+server pinned to a sampling ratio,
+// accumulating latencies across its interleaved rounds.
+type traceSetup struct {
+	ratio     float64
+	threshold uint64
+	srv       *httptest.Server
+	client    *http.Client
+	url       string
+
+	readings  int64
+	errs      int64
+	roundLats [][]float64
+	elapsed   float64
+}
+
+func newTraceSetup(cfg config, ratio float64) (*traceSetup, error) {
+	c, err := newCollector(cfg, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	c.Obs = obs.NewRegistry()
+	c.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	c.Tracer.Instrument(c.Obs)
+	srv := httptest.NewServer(c.Handler(time.Now))
+	s := &traceSetup{ratio: ratio, srv: srv, client: srv.Client(), url: srv.URL + "/api/readings"}
+	if ratio >= 1 {
+		s.threshold = ^uint64(0)
+	} else if ratio > 0 {
+		s.threshold = uint64(ratio * float64(^uint64(0)))
+	}
+	return s, nil
+}
+
+// round runs one timed closed loop against the setup and accumulates the
+// results. keyEpoch offsets idempotency keys so later rounds against the
+// same collector are not silently absorbed as dedup hits.
+func (s *traceSetup) round(cfg config, keyEpoch int) error {
+	type wire struct {
+		Node     string    `json:"node"`
+		SignalID string    `json:"signal_id"`
+		PowerDBm float64   `json:"power_dbm"`
+		At       time.Time `json:"at"`
+		Key      string    `json:"key,omitempty"`
+		Trace    string    `json:"trace,omitempty"`
+	}
+	var bufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+	readings, errs, lats, elapsed := runClosedLoop(cfg, func(w, b int, rng *splitmix) (int, error) {
+		buf := bufPool.Get().(*bytes.Buffer)
+		defer bufPool.Put(buf)
+		buf.Reset()
+		var key []byte
+		batch := make([]wire, cfg.Batch)
+		for i := range batch {
+			var r trust.Reading
+			r, key = reading(cfg, w, (keyEpoch<<24|b)*cfg.Batch+i, rng, key)
+			flags := "00"
+			if s.ratio >= 1 || (s.threshold > 0 && rng.next() < s.threshold) {
+				flags = "01"
+			}
+			batch[i] = wire{
+				Node: string(r.Node), SignalID: r.SignalID, PowerDBm: r.PowerDBm, At: r.At, Key: r.Key,
+				// |1 keeps the IDs nonzero, which the parser rejects.
+				Trace: fmt.Sprintf("00-%016x%016x-%016x-%s",
+					rng.next()|1, rng.next()|1, rng.next()|1, flags),
+			}
+		}
+		if err := json.NewEncoder(buf).Encode(batch); err != nil {
+			return 0, err
+		}
+		resp, err := s.client.Post(s.url, "application/json", buf)
+		if err != nil {
+			return cfg.Batch, err
+		}
+		var summary struct {
+			Rejected int `json:"rejected"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&summary)
+		resp.Body.Close()
+		if err != nil {
+			return cfg.Batch, err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return cfg.Batch, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		if summary.Rejected > 0 {
+			return cfg.Batch, fmt.Errorf("%d readings rejected", summary.Rejected)
+		}
+		return cfg.Batch, nil
+	})
+	s.readings += readings
+	s.errs += errs
+	s.roundLats = append(s.roundLats, lats)
+	s.elapsed += elapsed
+	return nil
+}
+
+// medianPercentileMS computes the percentile within each round, then
+// takes the median across rounds: robust to one round landing on a GC
+// pause or a noisy-neighbor burst.
+func medianPercentileMS(rounds [][]float64, p float64) float64 {
+	per := make([]float64, 0, len(rounds))
+	for _, lats := range rounds {
+		if len(lats) > 0 {
+			per = append(per, percentileMS(lats, p))
+		}
+	}
+	if len(per) == 0 {
+		return 0
+	}
+	sort.Float64s(per)
+	return per[len(per)/2]
+}
+
+// runTraceOverhead times the http ingest path with the RED middleware
+// and a live tracer at every sampling ratio. Every reading carries a
+// traceparent — as agent submissions do — whose sampled flag follows the
+// ratio, the same head decision agentd roots, so the collector pays for
+// remote-span recording on exactly that fraction of readings. Ratios run
+// in interleaved rounds; the pooled latencies yield percent p50/p99
+// deltas against the sampling-disabled run.
+func runTraceOverhead(cfg config, out *benchOutput) error {
+	setups := make([]*traceSetup, 0, len(traceRatios))
+	defer func() {
+		for _, s := range setups {
+			s.srv.Close()
+		}
+	}()
+	for _, ratio := range traceRatios {
+		s, err := newTraceSetup(cfg, ratio)
+		if err != nil {
+			return err
+		}
+		setups = append(setups, s)
+	}
+	for round := 0; round < traceRounds; round++ {
+		// Rotate the starting ratio so within-round drift (cache warmth,
+		// neighbor load ramping) doesn't always favor the same setup.
+		for j := range setups {
+			s := setups[(round+j)%len(setups)]
+			if err := s.round(cfg, round); err != nil {
+				return err
+			}
+		}
+	}
+	var base scenarioResult
+	for i, s := range setups {
+		res := result(fmt.Sprintf("trace/sample=%g", s.ratio), "trace",
+			cfg, cfg.Shards, s.readings, s.errs, nil, s.elapsed)
+		res.P50ms = medianPercentileMS(s.roundLats, 0.50)
+		res.P99ms = medianPercentileMS(s.roundLats, 0.99)
+		out.Scenarios = append(out.Scenarios, res)
+		if i == 0 {
+			base = res
+			continue
+		}
+		if out.TraceOverhead == nil {
+			out.TraceOverhead = map[string]float64{}
+		}
+		if base.P50ms > 0 {
+			out.TraceOverhead[fmt.Sprintf("p50@%g", s.ratio)] = 100 * (res.P50ms - base.P50ms) / base.P50ms
+		}
+		if base.P99ms > 0 {
+			out.TraceOverhead[fmt.Sprintf("p99@%g", s.ratio)] = 100 * (res.P99ms - base.P99ms) / base.P99ms
+		}
+	}
+	return nil
+}
+
 // checkEquivalence replays one deterministic workload into collectors at
 // both stripe counts and compares every merge path. This is the runtime
 // re-statement of TestShardedCollectorEquivalence: the bench refuses to
@@ -386,7 +575,7 @@ func checkEquivalence(cfg config) (bool, error) {
 func run(cfg config) (*benchOutput, error) {
 	cfg.DurationS = cfg.Duration.Seconds()
 	out := &benchOutput{
-		Bench:       5,
+		Bench:       6,
 		Schema:      "sensorcal-bench/v1",
 		GeneratedAt: time.Now().UTC(),
 		GoVersion:   runtime.Version(),
@@ -404,16 +593,20 @@ func run(cfg config) (*benchOutput, error) {
 
 	type runner func(config, int) (scenarioResult, error)
 	modes := map[string]runner{}
+	trace := false
 	switch cfg.Mode {
 	case "core":
 		modes["core"] = runCore
 	case "http":
 		modes["http"] = runHTTP
+	case "trace":
+		trace = true
 	case "both":
 		modes["core"] = runCore
 		modes["http"] = runHTTP
+		trace = true
 	default:
-		return nil, fmt.Errorf("unknown -mode %q (want core, http or both)", cfg.Mode)
+		return nil, fmt.Errorf("unknown -mode %q (want core, http, trace or both)", cfg.Mode)
 	}
 	for _, mode := range []string{"core", "http"} {
 		fn, ok := modes[mode]
@@ -440,6 +633,13 @@ func run(cfg config) (*benchOutput, error) {
 		out.Scenarios = append(out.Scenarios, baseline, sharded)
 		if baseline.ThroughputRPS > 0 {
 			out.Speedup[mode] = sharded.ThroughputRPS / baseline.ThroughputRPS
+		}
+	}
+	if trace {
+		// Always in-process: the scenario prices this build's middleware
+		// and tracer, not a remote daemon's.
+		if err := runTraceOverhead(cfg, out); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
@@ -474,7 +674,7 @@ func writeOutput(path string, out *benchOutput) error {
 func main() {
 	log := obs.NewLogger("loadgen")
 	cfg := config{}
-	flag.StringVar(&cfg.Mode, "mode", "both", "core, http or both")
+	flag.StringVar(&cfg.Mode, "mode", "both", "core, http, trace or both")
 	flag.IntVar(&cfg.Shards, "shards", 16, "stripe count for the sharded scenario")
 	flag.IntVar(&cfg.BaselineShards, "baseline-shards", 1, "stripe count for the baseline scenario")
 	flag.IntVar(&cfg.Conns, "conns", 8, "concurrent client goroutines")
@@ -484,8 +684,12 @@ func main() {
 	flag.DurationVar(&cfg.Duration, "duration", 3*time.Second, "timed duration per scenario")
 	flag.BoolVar(&cfg.Dedup, "dedup", true, "attach idempotency keys to every reading")
 	flag.StringVar(&cfg.Target, "target", "", "live collector base URL (http mode only; empty = in-process)")
-	flag.StringVar(&cfg.Out, "out", "BENCH_5.json", "bench record output path")
+	flag.StringVar(&cfg.Out, "out", "BENCH_6.json", "bench record output path")
+	maxprocs := flag.Int("gomaxprocs", 0, "pin runtime.GOMAXPROCS for the run (0: leave the runtime default)")
 	flag.Parse()
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
+	}
 
 	out, err := run(cfg)
 	if err != nil {
@@ -500,6 +704,14 @@ func main() {
 	}
 	for mode, sp := range out.Speedup {
 		log.Infof("%s speedup: %.2fx (shards=%d vs shards=%d)", mode, sp, cfg.Shards, cfg.BaselineShards)
+	}
+	keys := make([]string, 0, len(out.TraceOverhead))
+	for k := range out.TraceOverhead {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		log.Infof("trace overhead %s: %+.1f%% vs sampling disabled", k, out.TraceOverhead[k])
 	}
 	if cfg.Out != "" {
 		if err := writeOutput(cfg.Out, out); err != nil {

@@ -8,8 +8,9 @@ import (
 	"time"
 )
 
-// A short end-to-end run: both modes, both shard counts, equivalence
-// replay, and the BENCH_5.json record written and parseable.
+// A short end-to-end run: every mode, both shard counts, the three
+// trace sampling ratios, equivalence replay, and the BENCH_6.json
+// record written and parseable.
 func TestLoadgenSmoke(t *testing.T) {
 	out, err := run(config{
 		Mode:           "both",
@@ -19,7 +20,7 @@ func TestLoadgenSmoke(t *testing.T) {
 		Batch:          16,
 		Nodes:          16,
 		Signals:        8,
-		Duration:       150 * time.Millisecond,
+		Duration:       100 * time.Millisecond,
 		Dedup:          true,
 	})
 	if err != nil {
@@ -28,8 +29,15 @@ func TestLoadgenSmoke(t *testing.T) {
 	if !out.EquivalenceOK {
 		t.Fatal("sharded collector diverged from the single-lock baseline")
 	}
-	if len(out.Scenarios) != 4 {
-		t.Fatalf("got %d scenarios, want 4 (core+http × baseline+sharded)", len(out.Scenarios))
+	// core+http × baseline+sharded, plus one trace scenario per ratio.
+	want := 4 + len(traceRatios)
+	if len(out.Scenarios) != want {
+		t.Fatalf("got %d scenarios, want %d", len(out.Scenarios), want)
+	}
+	for _, key := range []string{"p50@0.01", "p99@0.01", "p50@1", "p99@1"} {
+		if _, ok := out.TraceOverhead[key]; !ok {
+			t.Errorf("trace_overhead_pct missing %q: %v", key, out.TraceOverhead)
+		}
 	}
 	for _, s := range out.Scenarios {
 		if s.Readings == 0 {
@@ -49,7 +57,7 @@ func TestLoadgenSmoke(t *testing.T) {
 		t.Error("no core-mode speedup recorded")
 	}
 
-	path := filepath.Join(t.TempDir(), "BENCH_5.json")
+	path := filepath.Join(t.TempDir(), "BENCH_6.json")
 	if err := writeOutput(path, out); err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +69,7 @@ func TestLoadgenSmoke(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatalf("bench record does not round-trip: %v", err)
 	}
-	if back.Bench != 5 || back.Schema != "sensorcal-bench/v1" {
+	if back.Bench != 6 || back.Schema != "sensorcal-bench/v1" {
 		t.Fatalf("bench record header = (%d, %q)", back.Bench, back.Schema)
 	}
 	if back.GOMAXPROCS <= 0 {

@@ -23,6 +23,7 @@
 //	       [-plan-every 10m] [-horizon 24h] [-window 30s] [-per-node 4]
 //	       [-duty 10m] [-lease-ttl 2m] [-radius-km 100] [-seed 42]
 //	       [-admin-off] [-log-level info]
+//	       [-trace-capacity 4096] [-trace-sample 1] [-trace-export spans.jsonl]
 //
 // Endpoints:
 //
@@ -201,6 +202,10 @@ func main() {
 		radiusKM  = flag.Float64("radius-km", 100, "traffic radius around the site")
 		seed      = flag.Int64("seed", 42, "simulation seed for the traffic fallback")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+
+		traceCap    = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "span ring capacity served on /debug/traces")
+		traceSample = flag.Float64("trace-sample", 1, "head-sampling ratio for traces rooted here, in [0,1]")
+		traceExport = flag.String("trace-export", "", "durable JSONL span spool path (empty: in-memory ring only)")
 	)
 	flag.Parse()
 	lv, err := obs.ParseLevel(*logLevel)
@@ -208,6 +213,11 @@ func main() {
 		logger.Fatalf("%v", err)
 	}
 	logger.SetLevel(lv)
+	traceCleanup, err := obs.ConfigureDefaultTracer(*traceCap, *traceSample, *traceExport)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	defer traceCleanup()
 
 	var site *world.Site
 	for _, s := range world.Sites() {

@@ -7,6 +7,7 @@
 //
 //	spectrumd [-addr :8025] [-epoch 1m] [-state ledger.json] [-shards 8]
 //	          [-profile-contention] [-log-level info]
+//	          [-trace-capacity 4096] [-trace-sample 1] [-trace-export spans.jsonl]
 //
 // -shards sets the collector's ingest lock-stripe count (power of two;
 // 1 reproduces the classic single-lock collector). -profile-contention
@@ -173,6 +174,10 @@ func main() {
 		shards   = flag.Int("shards", 8, "collector ingest lock stripes (rounded up to a power of two; 1 = single-lock)")
 		profCont = flag.Bool("profile-contention", false, "enable runtime mutex/block profiling on /debug/pprof")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+
+		traceCap    = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "span ring capacity served on /debug/traces")
+		traceSample = flag.Float64("trace-sample", 1, "head-sampling ratio for traces rooted here, in [0,1]")
+		traceExport = flag.String("trace-export", "", "durable JSONL span spool path (empty: in-memory ring only)")
 	)
 	flag.Parse()
 	lv, err := obs.ParseLevel(*logLevel)
@@ -180,6 +185,11 @@ func main() {
 		logger.Fatalf("%v", err)
 	}
 	logger.SetLevel(lv)
+	traceCleanup, err := obs.ConfigureDefaultTracer(*traceCap, *traceSample, *traceExport)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	defer traceCleanup()
 	if *profCont {
 		// Sample every contended mutex event and blocking events ≥ 10 µs:
 		// cheap enough for a collector, detailed enough to see stripes.

@@ -279,12 +279,18 @@ func (a *Agent) measure(ctx context.Context, index int, w calib.MeasurementWindo
 	round := Round{Window: w, Directional: set, Frequency: freq}
 
 	if freq != nil && a.cfg.Collector != nil {
+		// Each reading carries the measurement's traceparent: the
+		// Collector interface is deliberately context-free (submissions
+		// outlive this call in the spool), so the trace link travels in
+		// the reading itself and survives a store-and-forward replay.
+		trace := obs.TraceParent(ctx)
 		for _, tv := range freq.TV {
 			r := trust.Reading{
 				Node:     a.cfg.Node,
 				SignalID: fmt.Sprintf("tv-%.0fMHz", tv.Station.CenterHz/1e6),
 				PowerDBm: tv.Measurement.PowerDBm,
 				At:       w.Start,
+				Trace:    trace,
 			}
 			if err := a.cfg.Collector.Submit(r); err != nil {
 				a.m.submitErrors.Inc()

@@ -56,18 +56,24 @@ func (a *Agent) RunScheduled(ctx context.Context, src TaskSource, opts Scheduled
 	if opts.LeaseBatch <= 0 {
 		opts.LeaseBatch = 1
 	}
-	ctx, span := obs.StartSpan(ctx, "agent.scheduled")
-	defer span.End()
-
 	done := 0
 	index := 0
 	for {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		leases, err := src.Lease(ctx, a.cfg.Node, opts.LeaseBatch)
+		// Each poll cycle roots a fresh trace: the lease call, every
+		// measurement it granted, and the completion acks are one story —
+		// the distributed "where did this measurement's time go" the
+		// scheduler and collector spans attach to. Chaining cycles onto
+		// one process-lifetime ancestor would bury that.
+		cctx, cycle := obs.StartRootSpan(ctx, "agent.cycle")
+		cycle.SetAttr("node", string(a.cfg.Node))
+		leases, err := src.Lease(cctx, a.cfg.Node, opts.LeaseBatch)
 		if err != nil {
 			a.m.leaseErrors.Inc()
+			cycle.SetError(err)
+			cycle.End()
 			// The source carries its own retry/breaker; by the time an
 			// error surfaces here the scheduler is genuinely unreachable.
 			// Back off one poll interval and try again — measurement
@@ -78,7 +84,9 @@ func (a *Agent) RunScheduled(ctx context.Context, src TaskSource, opts Scheduled
 			}
 			continue
 		}
+		cycle.SetAttr("leases", fmt.Sprintf("%d", len(leases)))
 		if len(leases) == 0 {
+			cycle.End()
 			if werr := a.sleep(ctx, opts.Poll); werr != nil {
 				return werr
 			}
@@ -86,37 +94,57 @@ func (a *Agent) RunScheduled(ctx context.Context, src TaskSource, opts Scheduled
 		}
 		for _, lease := range leases {
 			a.m.tasksLeased.Inc()
-			t := lease.Task
-			if err := a.waitUntil(ctx, t.Start); err != nil {
-				return err
-			}
-			w := calib.MeasurementWindow{
-				Start:            t.Start,
-				Duration:         t.Duration,
-				ExpectedAircraft: t.ExpectedAircraft,
-				InfoGain:         t.Priority,
-			}
-			if err := a.measure(ctx, index, w); err != nil {
+			if err := a.runLease(cctx, src, lease, index); err != nil {
+				cycle.SetError(err)
+				cycle.End()
 				return err
 			}
 			index++
-			a.m.windowsExecuted.Inc()
-			if err := src.Complete(ctx, t.ID, lease.Token); err != nil {
-				a.m.completeErrors.Inc()
-				// The measurement itself succeeded and is in the
-				// accumulator; losing the ack only means the task will be
-				// re-offered and some other node re-measures the window.
-				// Not fatal — but worth a visible warning.
-				fallbackLog.Warnf("completing task %s: %v", t.ID, err)
-			} else {
-				a.m.tasksCompleted.Inc()
-			}
 			done++
 			if opts.MaxTasks > 0 && done >= opts.MaxTasks {
+				cycle.End()
 				return nil
 			}
 		}
+		cycle.End()
 	}
+}
+
+// runLease executes one leased task under its own span: wait for the
+// window, measure, acknowledge.
+func (a *Agent) runLease(ctx context.Context, src TaskSource, lease sched.Lease, index int) error {
+	t := lease.Task
+	ctx, span := obs.StartSpan(ctx, "agent.task")
+	defer span.End()
+	span.SetAttr("task", t.ID)
+	if err := a.waitUntil(ctx, t.Start); err != nil {
+		span.SetError(err)
+		return err
+	}
+	w := calib.MeasurementWindow{
+		Start:            t.Start,
+		Duration:         t.Duration,
+		ExpectedAircraft: t.ExpectedAircraft,
+		InfoGain:         t.Priority,
+	}
+	if err := a.measure(ctx, index, w); err != nil {
+		span.SetError(err)
+		return err
+	}
+	a.m.windowsExecuted.Inc()
+	if err := src.Complete(ctx, t.ID, lease.Token); err != nil {
+		a.m.completeErrors.Inc()
+		// The measurement itself succeeded and is in the accumulator;
+		// losing the ack only means the task will be re-offered and some
+		// other node re-measures the window. Not fatal — but worth a
+		// visible warning (and a span event, so the trace shows the
+		// wasted re-measurement coming).
+		span.Event("complete.lost", "task", t.ID, "err", err)
+		fallbackLog.Warnf("completing task %s: %v", t.ID, err)
+	} else {
+		a.m.tasksCompleted.Inc()
+	}
+	return nil
 }
 
 // sleep blocks for d of agent-clock time or until ctx is cancelled.

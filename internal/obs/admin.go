@@ -7,9 +7,10 @@ import (
 
 // AdminMux assembles the standard daemon admin surface:
 //
-//	GET /metrics       — reg in Prometheus text exposition format
-//	GET /debug/traces  — tr's span ring as JSON
-//	GET /debug/pprof/* — net/http/pprof profiles
+//	GET /metrics                  — reg in Prometheus text exposition format
+//	GET /debug/traces[?trace_id=] — tr's span ring as JSON, filterable
+//	GET /debug/slo                — per-route burn-rate report (samples on scrape)
+//	GET /debug/pprof/*            — net/http/pprof profiles
 //
 // Nil reg or tr default to the process-wide instances, so a daemon that
 // only uses default instrumentation can call AdminMux(nil, nil).
@@ -23,10 +24,33 @@ func AdminMux(reg *Registry, tr *Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/traces", tr.Handler())
+	mux.Handle("/debug/slo", NewSLO(SLOConfig{Registry: reg}).Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// ConfigureDefaultTracer applies the standard daemon trace flags
+// (-trace-capacity, -trace-sample, -trace-export) to the process-wide
+// tracer: ring capacity, head-sampling ratio, metrics, and the optional
+// durable JSONL span spool. The returned cleanup flushes and closes the
+// exporter; call it on shutdown.
+func ConfigureDefaultTracer(capacity int, sampleRatio float64, exportPath string) (cleanup func(), err error) {
+	tr := DefaultTracer()
+	tr.Resize(capacity)
+	tr.SetSampleRatio(sampleRatio)
+	tr.Instrument(nil)
+	cleanup = func() {}
+	if exportPath != "" {
+		exp, err := NewSpanExporter(ExporterConfig{Path: exportPath})
+		if err != nil {
+			return cleanup, err
+		}
+		tr.SetExporter(exp)
+		cleanup = func() { exp.Close() }
+	}
+	return cleanup, nil
 }

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// RED middleware: every HTTP hop in the pipeline — agent→schedd lease,
+// agent→spectrumd submit — gets the same treatment on both sides of the
+// wire. The server half extracts the incoming trace context, opens a
+// span, and observes rate/errors/duration into a per-route histogram;
+// the client half opens a child span, injects the context onward, and
+// observes the same shape from the caller's vantage. With both series a
+// dashboard separates "the collector is slow" from "the network to the
+// collector is slow" — the distinction §5's crowd-sourced regime turns
+// on, where the sensor's link is the least trustworthy component.
+
+// Middleware instruments HTTP servers and clients of one service with
+// tracing and RED metrics. The zero value is unusable; fields default
+// when constructed via NewMiddleware.
+type Middleware struct {
+	service string
+	tracer  *Tracer
+	server  *HistogramVec // http_server_request_seconds{service,route,code}
+	client  *HistogramVec // http_client_request_seconds{service,route,code}
+}
+
+// NewMiddleware returns middleware labelled with service. Nil reg or tr
+// default to the process-wide instances. The metric families are shared
+// across services (label-partitioned), so multiple daemons in one
+// process — the e2e test — do not collide.
+//
+// Exposed series:
+//
+//	http_server_request_seconds{service,route,code} — handler latency
+//	http_client_request_seconds{service,route,code} — outbound call latency
+//
+// code is the status class ("2xx".."5xx") or "error" for transport
+// failures that never yielded a status.
+func NewMiddleware(service string, reg *Registry, tr *Tracer) *Middleware {
+	if reg == nil {
+		reg = Default()
+	}
+	if tr == nil {
+		tr = DefaultTracer()
+	}
+	return &Middleware{
+		service: service,
+		tracer:  tr,
+		server: reg.HistogramVec("http_server_request_seconds",
+			"HTTP server request duration by route and status class.",
+			DefBuckets, "service", "route", "code"),
+		client: reg.HistogramVec("http_client_request_seconds",
+			"HTTP client request duration by route and status class.",
+			DefBuckets, "service", "route", "code"),
+	}
+}
+
+// codeClass collapses a status code to its class label.
+func codeClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	case code >= 200:
+		return "2xx"
+	default:
+		return "1xx"
+	}
+}
+
+// statusWriter records the status code a handler writes. A handler that
+// writes a body without calling WriteHeader has implicitly sent 200.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code, w.wrote = http.StatusOK, true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// flusher/hijacker shims: wrapping must not hide the optional interfaces
+// the stdlib feature-detects — a streaming handler that loses Flusher
+// silently stops streaming, and TimeoutHandler-style wrappers that lose
+// Hijacker break connection upgrades.
+type flushWriter struct{ *statusWriter }
+
+func (w flushWriter) Flush() { w.statusWriter.ResponseWriter.(http.Flusher).Flush() }
+
+type hijackWriter struct{ *statusWriter }
+
+func (w hijackWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	return w.statusWriter.ResponseWriter.(http.Hijacker).Hijack()
+}
+
+// wrapWriter picks the variant preserving the underlying writer's
+// optional interfaces.
+func wrapWriter(w http.ResponseWriter) (http.ResponseWriter, *statusWriter) {
+	sw := &statusWriter{ResponseWriter: w}
+	_, fl := w.(http.Flusher)
+	_, hj := w.(http.Hijacker)
+	switch {
+	case fl && hj:
+		return struct {
+			*statusWriter
+			http.Flusher
+			http.Hijacker
+		}{sw, flushWriter{sw}, hijackWriter{sw}}, sw
+	case fl:
+		return flushWriter{sw}, sw
+	case hj:
+		return hijackWriter{sw}, sw
+	default:
+		return sw, sw
+	}
+}
+
+// WrapHandler instruments h as route: extract the remote trace context,
+// run the handler inside a server span, observe the RED histogram. A
+// panicking handler is recorded as a 5xx with the panic on the span,
+// then re-panicked so net/http's recovery (connection reset) still
+// applies — swallowing it here would turn crashes into silent 200s.
+func (m *Middleware) WrapHandler(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := Extract(r.Context(), r.Header)
+		ctx = WithTracer(ctx, m.tracer)
+		ctx, span := StartSpan(ctx, "server "+route)
+		span.SetAttr("service", m.service)
+		span.SetAttr("route", route)
+		span.SetAttr("method", r.Method)
+		wrapped, sw := wrapWriter(w)
+		start := m.tracer.now()
+		defer func() {
+			code := sw.code
+			if !sw.wrote {
+				code = http.StatusOK // handler wrote nothing: net/http sends 200
+			}
+			if p := recover(); p != nil {
+				code = http.StatusInternalServerError
+				span.SetError(fmt.Errorf("panic: %v", p))
+				span.SetAttr("code", strconv.Itoa(code))
+				span.End()
+				m.server.With(m.service, route, codeClass(code)).
+					Observe(m.tracer.now().Sub(start).Seconds())
+				panic(p)
+			}
+			span.SetAttr("code", strconv.Itoa(code))
+			if code >= 500 {
+				span.SetError(fmt.Errorf("status %d", code))
+			}
+			span.End()
+			m.server.With(m.service, route, codeClass(code)).
+				Observe(m.tracer.now().Sub(start).Seconds())
+		}()
+		h.ServeHTTP(wrapped, r.WithContext(ctx))
+	})
+}
+
+// tracedTransport is the client half: child span, inject, observe.
+type tracedTransport struct {
+	m     *Middleware
+	route func(*http.Request) string
+	next  http.RoundTripper
+}
+
+func (t *tracedTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	route := t.route(req)
+	ctx, span := StartSpan(WithTracer(req.Context(), t.m.tracer), "client "+route)
+	span.SetAttr("service", t.m.service)
+	span.SetAttr("route", route)
+	span.SetAttr("method", req.Method)
+	// Per the RoundTripper contract the request must not be mutated;
+	// clone it to attach the propagation headers and the span context.
+	req = req.Clone(ctx)
+	Inject(ctx, req.Header)
+	start := t.m.tracer.now()
+	resp, err := t.next.RoundTrip(req)
+	elapsed := t.m.tracer.now().Sub(start).Seconds()
+	code := "error"
+	if err != nil {
+		span.SetError(err)
+	} else {
+		code = codeClass(resp.StatusCode)
+		span.SetAttr("code", strconv.Itoa(resp.StatusCode))
+	}
+	span.End()
+	t.m.client.With(t.m.service, route, code).Observe(elapsed)
+	return resp, err
+}
+
+// WrapTransport instruments rt (nil means http.DefaultTransport) with
+// client spans, traceparent injection and the client RED histogram.
+// route derives the metric label from the request; nil means URL path.
+// Routes must be low-cardinality: use the path template, not raw paths
+// with IDs in them.
+func (m *Middleware) WrapTransport(rt http.RoundTripper, route func(*http.Request) string) http.RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	if route == nil {
+		route = func(r *http.Request) string { return r.URL.Path }
+	}
+	return &tracedTransport{m: m, route: route, next: rt}
+}
+
+// WrapClient returns a copy of hc (nil means a fresh client) whose
+// transport is wrapped — callers' shared clients are never mutated.
+func (m *Middleware) WrapClient(hc *http.Client, route func(*http.Request) string) *http.Client {
+	var c http.Client
+	if hc != nil {
+		c = *hc
+	}
+	c.Transport = m.WrapTransport(c.Transport, route)
+	return &c
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// histCount reads one child's observation count from the RED histogram.
+func histCount(t *testing.T, reg *Registry, metric string, want ...string) float64 {
+	t.Helper()
+	_, vals := reg.Samples(metric)
+	for _, v := range vals {
+		if len(v.Labels) != len(want) {
+			continue
+		}
+		match := true
+		for i := range want {
+			if v.Labels[i] != want[i] {
+				match = false
+			}
+		}
+		if match {
+			return v.Value
+		}
+	}
+	return 0
+}
+
+func TestWrapHandlerStatusCapture(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(64)
+	mw := NewMiddleware("svc", reg, tr)
+
+	mux := http.NewServeMux()
+	mux.Handle("/implicit", mw.WrapHandler("/implicit", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, "ok") // no WriteHeader: implicit 200
+		})))
+	mux.Handle("/empty", mw.WrapHandler("/empty", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {}))) // nothing at all: 200
+	mux.Handle("/notfound", mw.WrapHandler("/notfound", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "nope", http.StatusNotFound)
+		})))
+	mux.Handle("/boom", mw.WrapHandler("/boom", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "broken", http.StatusInternalServerError)
+		})))
+
+	for _, path := range []string{"/implicit", "/empty", "/notfound", "/boom"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	}
+	for _, tc := range []struct {
+		route, code string
+		want        float64
+	}{
+		{"/implicit", "2xx", 1},
+		{"/empty", "2xx", 1},
+		{"/notfound", "4xx", 1},
+		{"/boom", "5xx", 1},
+	} {
+		if got := histCount(t, reg, "http_server_request_seconds", "svc", tc.route, tc.code); got != tc.want {
+			t.Errorf("server{%s,%s} = %v, want %v", tc.route, tc.code, got, tc.want)
+		}
+	}
+
+	// The 5xx span is marked failed.
+	var errSpan bool
+	for _, s := range tr.Snapshot() {
+		if s.Name == "server /boom" && s.Error != "" {
+			errSpan = true
+		}
+	}
+	if !errSpan {
+		t.Error("5xx response did not mark its span failed")
+	}
+}
+
+func TestWrapHandlerPanic(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(16)
+	mw := NewMiddleware("svc", reg, tr)
+	h := mw.WrapHandler("/panic", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			panic("kaboom")
+		}))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("middleware swallowed the panic")
+			}
+		}()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/panic", nil))
+	}()
+	if got := histCount(t, reg, "http_server_request_seconds", "svc", "/panic", "5xx"); got != 1 {
+		t.Fatalf("panicking handler observed as %v 5xx requests, want 1", got)
+	}
+	var found bool
+	for _, s := range tr.Snapshot() {
+		if s.Name == "server /panic" && strings.Contains(s.Error, "kaboom") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("panic not recorded on the server span")
+	}
+}
+
+// flushRecorder counts Flush calls to prove the wrapped writer forwards
+// them.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushes int
+}
+
+func (f *flushRecorder) Flush() { f.flushes++ }
+
+// hijackRecorder pretends to support hijacking.
+type hijackRecorder struct {
+	*httptest.ResponseRecorder
+	hijacked bool
+}
+
+func (h *hijackRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	h.hijacked = true
+	return nil, nil, fmt.Errorf("test hijacker")
+}
+
+func TestWrapWriterPreservesOptionalInterfaces(t *testing.T) {
+	mw := NewMiddleware("svc", NewRegistry(), NewTracer(16))
+
+	// Flusher-only writer: the wrapped writer must still flush.
+	fr := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	mw.WrapHandler("/stream", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			t.Error("wrapped writer lost http.Flusher")
+			return
+		}
+		fmt.Fprint(w, "chunk")
+		fl.Flush()
+	})).ServeHTTP(fr, httptest.NewRequest("GET", "/stream", nil))
+	if fr.flushes != 1 {
+		t.Fatalf("Flush forwarded %d times, want 1", fr.flushes)
+	}
+
+	// Hijacker-only writer.
+	hr := &hijackRecorder{ResponseRecorder: httptest.NewRecorder()}
+	mw.WrapHandler("/upgrade", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("wrapped writer lost http.Hijacker")
+			return
+		}
+		hj.Hijack()
+	})).ServeHTTP(hr, httptest.NewRequest("GET", "/upgrade", nil))
+	if !hr.hijacked {
+		t.Fatal("Hijack not forwarded")
+	}
+
+	// A plain writer must NOT grow fake Flusher/Hijacker implementations.
+	plain := struct{ http.ResponseWriter }{httptest.NewRecorder()}
+	w, _ := wrapWriter(plain)
+	if _, ok := w.(http.Flusher); ok {
+		t.Fatal("plain writer gained a Flusher")
+	}
+	if _, ok := w.(http.Hijacker); ok {
+		t.Fatal("plain writer gained a Hijacker")
+	}
+
+	// A writer with both keeps both.
+	type both struct {
+		*httptest.ResponseRecorder
+		http.Hijacker
+	}
+	b := both{httptest.NewRecorder(), &hijackRecorder{}}
+	w, _ = wrapWriter(b)
+	if _, ok := w.(http.Flusher); !ok {
+		t.Fatal("both-writer lost Flusher")
+	}
+	if _, ok := w.(http.Hijacker); !ok {
+		t.Fatal("both-writer lost Hijacker")
+	}
+}
+
+func TestWrapTransportPropagatesAndObserves(t *testing.T) {
+	serverReg := NewRegistry()
+	serverTr := NewTracer(64)
+	serverMw := NewMiddleware("server", serverReg, serverTr)
+
+	var gotTraceparent string
+	srv := httptest.NewServer(serverMw.WrapHandler("/api/x", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			gotTraceparent = r.Header.Get(TraceParentHeader)
+			// The server-side span continues the client's trace.
+			_, inner := StartSpan(r.Context(), "inner-work")
+			inner.End()
+			fmt.Fprint(w, "ok")
+		})))
+	defer srv.Close()
+
+	clientReg := NewRegistry()
+	clientTr := NewTracer(64)
+	clientMw := NewMiddleware("client", clientReg, clientTr)
+	hc := clientMw.WrapClient(srv.Client(), func(r *http.Request) string { return "/api/x" })
+
+	ctx, root := StartSpan(WithTracer(context.Background(), clientTr), "cycle")
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/api/x", nil)
+	resp, err := hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	root.End()
+
+	traceID := root.Context().TraceID.String()
+	if !strings.Contains(gotTraceparent, traceID) {
+		t.Fatalf("server saw traceparent %q, want trace %s", gotTraceparent, traceID)
+	}
+	if got := histCount(t, clientReg, "http_client_request_seconds", "client", "/api/x", "2xx"); got != 1 {
+		t.Fatalf("client histogram = %v, want 1", got)
+	}
+	if got := histCount(t, serverReg, "http_server_request_seconds", "server", "/api/x", "2xx"); got != 1 {
+		t.Fatalf("server histogram = %v, want 1", got)
+	}
+	// All three spans — client root+call on one tracer, server span +
+	// inner work on the other — share one trace ID.
+	if got := len(clientTr.Trace(traceID)); got != 2 {
+		t.Fatalf("client tracer holds %d spans of the trace, want 2", got)
+	}
+	if got := len(serverTr.Trace(traceID)); got != 2 {
+		t.Fatalf("server tracer holds %d spans of the trace, want 2", got)
+	}
+
+	// Transport errors observe code="error".
+	dead := clientMw.WrapClient(&http.Client{}, func(r *http.Request) string { return "/dead" })
+	if _, err := dead.Get("http://127.0.0.1:1/dead"); err == nil {
+		t.Fatal("expected connection error")
+	}
+	if got := histCount(t, clientReg, "http_client_request_seconds", "client", "/dead", "error"); got != 1 {
+		t.Fatalf("error-class histogram = %v, want 1", got)
+	}
+}

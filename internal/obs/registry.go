@@ -317,6 +317,57 @@ func normalizeBuckets(buckets []float64) []float64 {
 	return out
 }
 
+// LabeledValue is one child metric's scalar reading: the label values
+// (aligned with the family's label names) and the value — counter and
+// gauge values directly, a histogram's observation count.
+type LabeledValue struct {
+	Labels []string
+	Value  float64
+}
+
+// Samples snapshots family name for programmatic readers (the SLO
+// evaluator, tests): the family's label names and every child's current
+// scalar. A missing family returns (nil, nil) — callers treat that as
+// "no traffic yet", not an error, because vec children materialize
+// lazily on first use.
+func (r *Registry) Samples(name string) (labels []string, values []LabeledValue) {
+	r.mu.Lock()
+	f := r.families[name]
+	r.mu.Unlock()
+	if f == nil {
+		return nil, nil
+	}
+	f.mu.Lock()
+	labels = append([]string(nil), f.labels...)
+	keys := make([]string, 0, len(f.children))
+	children := make([]interface{}, 0, len(f.children))
+	for k, c := range f.children {
+		keys = append(keys, k)
+		children = append(children, c)
+	}
+	f.mu.Unlock()
+	values = make([]LabeledValue, 0, len(children))
+	for i, c := range children {
+		var v float64
+		switch m := c.(type) {
+		case *Counter:
+			v = m.Value()
+		case *Gauge:
+			v = m.Value()
+		case *Histogram:
+			v = float64(m.Count())
+		default:
+			continue
+		}
+		var lv []string
+		if keys[i] != "" || len(labels) > 0 {
+			lv = strings.Split(keys[i], "\xff")
+		}
+		values = append(values, LabeledValue{Labels: lv, Value: v})
+	}
+	return labels, values
+}
+
 // DefBuckets mirrors the Prometheus client default: general-purpose
 // latency buckets from 5 ms to 10 s.
 var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}

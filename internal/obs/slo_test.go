@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sensorcal/internal/clock"
+)
+
+// drive feeds n requests with the given status class into the RED
+// histogram for route.
+func drive(mw *Middleware, route, class string, n int) {
+	h := mw.server.With("svc", route, class)
+	for i := 0; i < n; i++ {
+		h.Observe(0.01)
+	}
+}
+
+func TestSLOBurnRates(t *testing.T) {
+	reg := NewRegistry()
+	mw := NewMiddleware("svc", reg, NewTracer(4))
+	clk := clock.NewSimulated(time.Unix(1700000000, 0))
+	slo := NewSLO(SLOConfig{
+		Registry:   reg,
+		Objective:  0.99, // 1% error budget: burn = error_rate × 100
+		FastWindow: 5 * time.Minute,
+		SlowWindow: time.Hour,
+		Clock:      clk,
+	})
+
+	// Hour 0: healthy baseline, 1000 requests, no errors, sampled every
+	// 5 minutes.
+	for i := 0; i < 12; i++ {
+		drive(mw, "/api/lease", "2xx", 80)
+		drive(mw, "/api/lease", "4xx", 3) // caller errors spend no budget
+		clk.Advance(5 * time.Minute)
+		slo.Sample()
+	}
+	rep := slo.Report()
+	if len(rep.Routes) != 1 {
+		t.Fatalf("report has %d routes, want 1: %+v", len(rep.Routes), rep.Routes)
+	}
+	if rb := rep.Routes[0]; rb.FastBurn != 0 || rb.SlowBurn != 0 {
+		t.Fatalf("healthy service burns budget: %+v", rb)
+	}
+
+	// Then a sharp regression: 10% of requests fail for one fast window.
+	drive(mw, "/api/lease", "2xx", 90)
+	drive(mw, "/api/lease", "5xx", 10)
+	clk.Advance(5 * time.Minute)
+	slo.Sample()
+	rep = slo.Report()
+	rb := rep.Routes[0]
+	// Fast window covers exactly the bad interval: error rate 0.10,
+	// burn 0.10/0.01 = 10.
+	if math.Abs(rb.FastErrorRate-0.10) > 1e-9 {
+		t.Fatalf("fast error rate = %v, want 0.10", rb.FastErrorRate)
+	}
+	if math.Abs(rb.FastBurn-10) > 1e-6 {
+		t.Fatalf("fast burn = %v, want 10", rb.FastBurn)
+	}
+	// Slow window dilutes it across the healthy hour: 10 errors in
+	// (11×80 + 90+10 + 11×3 eligible?) — 4xx counts toward total but not
+	// errors: total Δ over 1 h = 11×(80+3) + 100 = 1013, errors = 10.
+	wantSlow := 10.0 / 1013.0
+	if math.Abs(rb.SlowErrorRate-wantSlow) > 1e-9 {
+		t.Fatalf("slow error rate = %v, want %v", rb.SlowErrorRate, wantSlow)
+	}
+	if rb.SlowBurn <= 0 || rb.SlowBurn >= rb.FastBurn {
+		t.Fatalf("slow burn %v should be positive and below fast burn %v", rb.SlowBurn, rb.FastBurn)
+	}
+
+	// Transport-level failures ("error" class) spend budget too.
+	drive(mw, "/api/lease", "error", 100)
+	clk.Advance(5 * time.Minute)
+	slo.Sample()
+	rb = slo.Report().Routes[0]
+	if math.Abs(rb.FastErrorRate-1.0) > 1e-9 {
+		t.Fatalf("all-error window has fast rate %v, want 1.0", rb.FastErrorRate)
+	}
+	if math.Abs(rb.FastBurn-100) > 1e-6 {
+		t.Fatalf("all-error fast burn = %v, want 100 (entire budget per SLO period)", rb.FastBurn)
+	}
+}
+
+func TestSLOHandler(t *testing.T) {
+	reg := NewRegistry()
+	mw := NewMiddleware("svc", reg, NewTracer(4))
+	drive(mw, "/api/readings", "2xx", 5)
+	slo := NewSLO(SLOConfig{Registry: reg})
+
+	rec := httptest.NewRecorder()
+	slo.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var rep SLOReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("/debug/slo is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if rep.Objective != 0.999 || rep.FastWindow != "5m0s" || rep.SlowWindow != "1h0m0s" {
+		t.Fatalf("defaults not applied: %+v", rep)
+	}
+	if len(rep.Routes) != 1 || rep.Routes[0].Route != "svc /api/readings" || rep.Routes[0].Requests != 5 {
+		t.Fatalf("routes = %+v", rep.Routes)
+	}
+
+	// A registry with no traffic yet serves an empty route list, not an
+	// error — vec children materialize lazily.
+	rec = httptest.NewRecorder()
+	NewSLO(SLOConfig{Registry: NewRegistry()}).Handler().
+		ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	var emptyRep SLOReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &emptyRep); err != nil || emptyRep.Routes == nil {
+		t.Fatalf("cold /debug/slo served %q", rec.Body.String())
+	}
+}

@@ -2,49 +2,131 @@ package obs
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
+	"math"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sensorcal/internal/clock"
 )
 
-// Lightweight in-process tracing: StartSpan records a named span whose
-// duration and parent land in a fixed-size ring buffer when the span
-// ends. The ring is dumpable as JSON from the admin mux — enough to see
-// how a measurement day decomposes into campaign stages without dragging
-// in a tracing stack.
+// Distributed tracing for the agentd→schedd→spectrumd pipeline. A trace
+// is identified by a 128-bit trace ID that crosses process boundaries in
+// the W3C `traceparent` header; each process records its own spans (with
+// 64-bit span IDs and parent links) into a fixed-size ring dumpable from
+// the admin mux — GET /debug/traces?trace_id= reassembles one request's
+// path through a daemon without dragging in a tracing stack. Sampling is
+// head-based and deterministic: the root's trace-ID-ratio decision rides
+// the traceparent sampled flag, so one decision governs the whole trace
+// and an unsampled request costs ID generation, nothing more.
+
+// TraceID is the 128-bit identifier shared by every span of one trace.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String returns the 32-digit lowercase hex form.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID is the 64-bit identifier of one span.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String returns the 16-digit lowercase hex form.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated part of a span: what a child (local or
+// remote) needs to link itself to its parent.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	// Sampled is the head decision: true means every span of this trace
+	// is recorded, false means none are. Children inherit it verbatim.
+	Sampled bool
+}
+
+// Valid reports whether the context can parent a span.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// SpanEvent is a timestamped annotation on a span: a retry attempt, a
+// breaker transition — the "why was this slow" detail.
+type SpanEvent struct {
+	At   time.Time `json:"at"`
+	Name string    `json:"name"`
+	Attr string    `json:"attr,omitempty"`
+}
 
 // SpanRecord is one finished span.
 type SpanRecord struct {
-	ID       uint64        `json:"id"`
-	ParentID uint64        `json:"parent_id,omitempty"`
-	Name     string        `json:"name"`
-	Start    time.Time     `json:"start"`
-	Duration time.Duration `json:"duration_ns"`
+	TraceID  string            `json:"trace_id"`
+	SpanID   string            `json:"span_id"`
+	ParentID string            `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Error    string            `json:"error,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Events   []SpanEvent       `json:"events,omitempty"`
+}
+
+// tracerMetrics is the opt-in instrumentation (Instrument pattern shared
+// with the resilience primitives).
+type tracerMetrics struct {
+	recorded *Counter
+	dropped  *CounterVec // reason
 }
 
 // Tracer collects finished spans into a ring buffer. The zero value is
 // not usable; call NewTracer.
 type Tracer struct {
-	ids atomic.Uint64
+	clk       atomic.Pointer[clock.Clock]
+	threshold atomic.Uint64 // sample when uint64(traceID tail) < threshold
+	exporter  atomic.Pointer[SpanExporter]
+
+	idMu  sync.Mutex
+	idHi  uint64 // splitmix64 state for trace IDs
+	idLo  uint64 // splitmix64 state for span IDs
+	ruses atomic.Uint64 // ring overwrites since construction
 
 	mu   sync.Mutex
 	ring []SpanRecord
 	next int
 	full bool
+
+	m atomic.Pointer[tracerMetrics]
 }
 
 // DefaultTraceCapacity is the default ring size.
 const DefaultTraceCapacity = 4096
 
 // NewTracer returns a tracer retaining the last capacity finished spans
-// (DefaultTraceCapacity if capacity <= 0).
+// (DefaultTraceCapacity if capacity <= 0), sampling every trace, on the
+// wall clock.
 func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
-	return &Tracer{ring: make([]SpanRecord, capacity)}
+	t := &Tracer{ring: make([]SpanRecord, capacity)}
+	t.threshold.Store(math.MaxUint64)
+	var seed [16]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		binary.BigEndian.PutUint64(seed[:8], uint64(time.Now().UnixNano()))
+	}
+	t.idHi = binary.BigEndian.Uint64(seed[:8])
+	t.idLo = binary.BigEndian.Uint64(seed[8:])
+	var clk clock.Clock = clock.System{}
+	t.clk.Store(&clk)
+	return t
 }
 
 // defaultTracer is the process-wide tracer the daemons expose.
@@ -53,11 +135,140 @@ var defaultTracer = NewTracer(DefaultTraceCapacity)
 // DefaultTracer returns the process-wide tracer.
 func DefaultTracer() *Tracer { return defaultTracer }
 
-// Span is an in-flight operation. End it exactly once.
+// SetClock injects the time source spans sample Start and Duration from.
+// Tests pass clock.Simulated so span durations are deterministic; the
+// default is the wall clock.
+func (t *Tracer) SetClock(c clock.Clock) {
+	if c == nil {
+		c = clock.System{}
+	}
+	t.clk.Store(&c)
+}
+
+func (t *Tracer) now() time.Time { return (*t.clk.Load()).Now() }
+
+// SetSampleRatio sets the head-sampling probability in [0,1] for traces
+// rooted at this tracer. The decision is a pure function of the trace ID
+// (OTel's trace-ID-ratio scheme), so every tracer configured with the
+// same ratio agrees about the same trace.
+func (t *Tracer) SetSampleRatio(ratio float64) {
+	switch {
+	case ratio <= 0:
+		t.threshold.Store(0)
+	case ratio >= 1:
+		t.threshold.Store(math.MaxUint64)
+	default:
+		t.threshold.Store(uint64(ratio * float64(math.MaxUint64)))
+	}
+}
+
+// sampled applies the trace-ID-ratio decision to id.
+func (t *Tracer) sampled(id TraceID) bool {
+	th := t.threshold.Load()
+	if th == math.MaxUint64 {
+		return true
+	}
+	return binary.BigEndian.Uint64(id[8:]) < th
+}
+
+// SetExporter attaches a durable span sink: every recorded span is also
+// offered to e (non-blocking; overflow is counted, never waited on).
+// Pass nil to detach.
+func (t *Tracer) SetExporter(e *SpanExporter) { t.exporter.Store(e) }
+
+// Resize replaces the ring with one holding capacity spans, discarding
+// retained history. Daemons call it at boot from -trace-capacity.
+func (t *Tracer) Resize(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	t.mu.Lock()
+	t.ring = make([]SpanRecord, capacity)
+	t.next = 0
+	t.full = false
+	t.mu.Unlock()
+}
+
+// Overwrites returns how many retained spans the ring has evicted to make
+// room for newer ones since construction.
+func (t *Tracer) Overwrites() uint64 { return t.ruses.Load() }
+
+// Instrument registers the tracer's metrics on reg (the process-wide
+// default when nil) and returns t for chaining.
+//
+// Exposed series:
+//
+//	trace_spans_recorded_total         — sampled spans recorded into the ring
+//	trace_spans_dropped_total{reason}  — spans lost: ring_overwrite (ring
+//	                                     evicted a retained span), export_queue
+//	                                     (exporter backlog full), export_write
+//	                                     (exporter I/O failure)
+func (t *Tracer) Instrument(reg *Registry) *Tracer {
+	if reg == nil {
+		reg = Default()
+	}
+	t.m.Store(&tracerMetrics{
+		recorded: reg.Counter("trace_spans_recorded_total",
+			"Sampled spans recorded into the trace ring."),
+		dropped: reg.CounterVec("trace_spans_dropped_total",
+			"Spans lost before they could be kept, by reason.", "reason"),
+	})
+	return t
+}
+
+func (t *Tracer) dropped(reason string) {
+	if m := t.m.Load(); m != nil {
+		m.dropped.With(reason).Inc()
+	}
+}
+
+// splitmix64 advances the given state and returns the next value.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// newTraceID generates a random-looking, process-unique 128-bit ID.
+func (t *Tracer) newTraceID() TraceID {
+	t.idMu.Lock()
+	hi := splitmix64(&t.idHi)
+	lo := splitmix64(&t.idLo)
+	t.idMu.Unlock()
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:8], hi)
+	binary.BigEndian.PutUint64(id[8:], lo)
+	if id.IsZero() { // astronomically unlikely; zero is "invalid"
+		id[0] = 1
+	}
+	return id
+}
+
+// newSpanID generates a 64-bit span ID.
+func (t *Tracer) newSpanID() SpanID {
+	t.idMu.Lock()
+	v := splitmix64(&t.idLo)
+	t.idMu.Unlock()
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], v)
+	if id.IsZero() {
+		id[0] = 1
+	}
+	return id
+}
+
+// Span is an in-flight operation. End it exactly once. All methods are
+// safe on a nil receiver and after End (late Events are dropped).
 type Span struct {
-	tracer *Tracer
-	rec    SpanRecord
-	ended  atomic.Bool
+	tracer  *Tracer
+	sc      SpanContext
+	sampled bool
+	ended   atomic.Bool
+
+	mu  sync.Mutex
+	rec SpanRecord
 }
 
 type ctxKey int
@@ -65,6 +276,8 @@ type ctxKey int
 const (
 	tracerKey ctxKey = iota
 	spanKey
+	remoteKey
+	stateKey
 )
 
 // WithTracer returns a context routing StartSpan to t instead of the
@@ -73,43 +286,206 @@ func WithTracer(ctx context.Context, t *Tracer) context.Context {
 	return context.WithValue(ctx, tracerKey, t)
 }
 
+// TracerFromContext returns the tracer StartSpan would use for ctx.
+func TracerFromContext(ctx context.Context) *Tracer {
+	if ctx != nil {
+		if v, ok := ctx.Value(tracerKey).(*Tracer); ok {
+			return v
+		}
+	}
+	return defaultTracer
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// ContextWithRemote marks sc as the parent for the next StartSpan — the
+// receiving half of propagation (Extract feeds it).
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, remoteKey, sc)
+}
+
 // StartSpan begins a span named name. The span's parent is the span
-// already in ctx, if any; the returned context carries the new span so
-// children nest. Pass a nil ctx for a root span on the default tracer.
+// already in ctx, or a remote parent planted by ContextWithRemote; with
+// neither the span roots a new trace and takes the tracer's sampling
+// decision. The returned context carries the new span so children nest.
+// Pass a nil ctx for a root span on the default tracer.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	t := defaultTracer
-	if v, ok := ctx.Value(tracerKey).(*Tracer); ok {
-		t = v
-	}
+	t := TracerFromContext(ctx)
 	s := &Span{tracer: t}
-	s.rec.ID = t.ids.Add(1)
-	s.rec.Name = name
-	s.rec.Start = time.Now()
-	if parent, ok := ctx.Value(spanKey).(*Span); ok {
-		s.rec.ParentID = parent.rec.ID
+	switch {
+	case ctx.Value(spanKey) != nil:
+		parent := ctx.Value(spanKey).(*Span)
+		s.sc.TraceID = parent.sc.TraceID
+		s.sampled = parent.sampled
+		s.rec.ParentID = parent.sc.SpanID.String()
+	default:
+		if rsc, ok := ctx.Value(remoteKey).(SpanContext); ok && rsc.Valid() {
+			s.sc.TraceID = rsc.TraceID
+			s.sampled = rsc.Sampled
+			s.rec.ParentID = rsc.SpanID.String()
+		} else {
+			s.sc.TraceID = t.newTraceID()
+			s.sampled = t.sampled(s.sc.TraceID)
+		}
 	}
+	s.sc.SpanID = t.newSpanID()
+	s.sc.Sampled = s.sampled
+	s.rec.TraceID = s.sc.TraceID.String()
+	s.rec.SpanID = s.sc.SpanID.String()
+	s.rec.Name = name
+	s.rec.Start = t.now()
 	return context.WithValue(ctx, spanKey, s), s
 }
 
-// End finishes the span, recording it into the tracer's ring. Duplicate
-// Ends are ignored.
+// StartRootSpan begins a new trace regardless of any span or remote
+// parent already in ctx — the per-lease entry point of a long-running
+// loop, where chaining every cycle onto one ancestor would produce a
+// single useless trace the size of the process lifetime.
+func StartRootSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t := TracerFromContext(ctx)
+	s := &Span{tracer: t}
+	s.sc.TraceID = t.newTraceID()
+	s.sampled = t.sampled(s.sc.TraceID)
+	s.sc.SpanID = t.newSpanID()
+	s.sc.Sampled = s.sampled
+	s.rec.TraceID = s.sc.TraceID.String()
+	s.rec.SpanID = s.sc.SpanID.String()
+	s.rec.Name = name
+	s.rec.Start = t.now()
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// StartRemote begins a span whose parent lives in another process — the
+// collector linking an ingested reading back to the agent trace that
+// produced it. Unsampled or invalid parents return nil (every Span
+// method tolerates that), so the caller pays nothing for them.
+func (t *Tracer) StartRemote(parent SpanContext, name string) *Span {
+	if !parent.Valid() || !parent.Sampled {
+		return nil
+	}
+	s := &Span{tracer: t, sampled: true}
+	s.sc = SpanContext{TraceID: parent.TraceID, SpanID: t.newSpanID(), Sampled: true}
+	s.rec.TraceID = s.sc.TraceID.String()
+	s.rec.SpanID = s.sc.SpanID.String()
+	s.rec.ParentID = parent.SpanID.String()
+	s.rec.Name = name
+	s.rec.Start = t.now()
+	return s
+}
+
+// Context returns the span's propagation context (zero for nil spans).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// SetAttr attaches a key=value attribute. No-op on nil or unsampled
+// spans.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || !s.sampled || s.ended.Load() {
+		return
+	}
+	s.mu.Lock()
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = make(map[string]string, 4)
+	}
+	s.rec.Attrs[key] = value
+	s.mu.Unlock()
+}
+
+// SetError marks the span failed. No-op on nil spans or nil errors.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil || !s.sampled || s.ended.Load() {
+		return
+	}
+	s.mu.Lock()
+	s.rec.Error = err.Error()
+	s.mu.Unlock()
+}
+
+// Event appends a timestamped annotation, formatting kv as alternating
+// key=value pairs. No-op on nil or unsampled spans.
+func (s *Span) Event(name string, kv ...interface{}) {
+	if s == nil || !s.sampled || s.ended.Load() {
+		return
+	}
+	var attr string
+	if len(kv) > 0 {
+		var sb strings.Builder
+		for i := 0; i < len(kv); i += 2 {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			if i+1 < len(kv) {
+				fmt.Fprintf(&sb, "%v=%v", kv[i], kv[i+1])
+			} else {
+				fmt.Fprintf(&sb, "%v", kv[i])
+			}
+		}
+		attr = sb.String()
+	}
+	at := s.tracer.now()
+	s.mu.Lock()
+	s.rec.Events = append(s.rec.Events, SpanEvent{At: at, Name: name, Attr: attr})
+	s.mu.Unlock()
+}
+
+// End finishes the span, recording it into the tracer's ring (and the
+// exporter, if attached) when sampled. Duplicate Ends are ignored.
 func (s *Span) End() {
 	if s == nil || !s.ended.CompareAndSwap(false, true) {
 		return
 	}
-	s.rec.Duration = time.Since(s.rec.Start)
+	if !s.sampled {
+		return
+	}
 	t := s.tracer
+	s.mu.Lock()
+	s.rec.Duration = t.now().Sub(s.rec.Start)
+	rec := s.rec
+	s.mu.Unlock()
+	t.record(rec)
+}
+
+// record lands one finished span in the ring, counting evictions.
+func (t *Tracer) record(rec SpanRecord) {
 	t.mu.Lock()
-	t.ring[t.next] = s.rec
+	evicted := t.full || t.next < len(t.ring) && t.ring[t.next].SpanID != ""
+	t.ring[t.next] = rec
 	t.next++
 	if t.next == len(t.ring) {
 		t.next = 0
 		t.full = true
 	}
 	t.mu.Unlock()
+	if evicted {
+		t.ruses.Add(1)
+		t.dropped("ring_overwrite")
+	}
+	if m := t.m.Load(); m != nil {
+		m.recorded.Inc()
+	}
+	if e := t.exporter.Load(); e != nil {
+		e.export(t, rec)
+	}
 }
 
 // Snapshot returns the retained spans, oldest first.
@@ -124,12 +500,29 @@ func (t *Tracer) Snapshot() []SpanRecord {
 	return out
 }
 
+// Trace returns the retained spans of one trace (hex ID), oldest first.
+func (t *Tracer) Trace(traceID string) []SpanRecord {
+	var out []SpanRecord
+	for _, rec := range t.Snapshot() {
+		if rec.TraceID == traceID {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
 // Handler serves the retained spans as a JSON array (newest data is at
-// the end). Useful as GET /debug/traces on the admin mux.
+// the end). `?trace_id=<32-hex>` filters to one trace — the lookup the
+// cross-daemon e2e smoke drives. Mounted as GET /debug/traces.
 func (t *Tracer) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		spans := t.Snapshot()
+		var spans []SpanRecord
+		if id := req.URL.Query().Get("trace_id"); id != "" {
+			spans = t.Trace(strings.ToLower(id))
+		} else {
+			spans = t.Snapshot()
+		}
 		if spans == nil {
 			spans = []SpanRecord{}
 		}
@@ -137,4 +530,97 @@ func (t *Tracer) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(spans)
 	})
+}
+
+// W3C Trace Context propagation (https://www.w3.org/TR/trace-context/):
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// tracestate is passed through opaquely so a mixed fleet does not strip
+// other systems' state.
+
+// TraceParentHeader and TraceStateHeader are the W3C header names.
+const (
+	TraceParentHeader = "traceparent"
+	TraceStateHeader  = "tracestate"
+)
+
+// FormatTraceParent renders sc as a version-00 traceparent value.
+func FormatTraceParent(sc SpanContext) string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// ParseTraceParent parses a traceparent value. Unknown versions are
+// accepted if the 00 layout parses (per spec); invalid IDs are rejected.
+func ParseTraceParent(s string) (SpanContext, bool) {
+	var sc SpanContext
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return sc, false
+	}
+	if s[0] == 'f' && s[1] == 'f' { // version 0xff is forbidden
+		return sc, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(s[3:35])); err != nil {
+		return sc, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(s[36:52])); err != nil {
+		return sc, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return sc, false
+	}
+	sc.Sampled = flags[0]&0x01 != 0
+	if !sc.Valid() {
+		return sc, false
+	}
+	return sc, true
+}
+
+// TraceParent returns the current span's serialized context, or "" when
+// ctx carries no span — the form a trust.Reading carries so a spooled
+// replay still links back to the measurement trace.
+func TraceParent(ctx context.Context) string {
+	s := SpanFromContext(ctx)
+	if s == nil {
+		return ""
+	}
+	return FormatTraceParent(s.sc)
+}
+
+// Inject writes the current span's context into h (plus any tracestate
+// extracted earlier on this request path). No-op when ctx has no span.
+func Inject(ctx context.Context, h http.Header) {
+	s := SpanFromContext(ctx)
+	if s == nil {
+		return
+	}
+	h.Set(TraceParentHeader, FormatTraceParent(s.sc))
+	if ctx != nil {
+		if state, ok := ctx.Value(stateKey).(string); ok && state != "" {
+			h.Set(TraceStateHeader, state)
+		}
+	}
+}
+
+// Extract reads propagation headers from h into ctx: the remote parent
+// (consumed by the next StartSpan) and the opaque tracestate (re-emitted
+// by Inject). With no valid traceparent, ctx is returned unchanged.
+func Extract(ctx context.Context, h http.Header) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sc, ok := ParseTraceParent(h.Get(TraceParentHeader))
+	if !ok {
+		return ctx
+	}
+	ctx = ContextWithRemote(ctx, sc)
+	if state := h.Get(TraceStateHeader); state != "" {
+		ctx = context.WithValue(ctx, stateKey, state)
+	}
+	return ctx
 }

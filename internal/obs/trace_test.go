@@ -3,9 +3,17 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+	"time"
+
+	"sensorcal/internal/clock"
 )
 
 func TestSpanNesting(t *testing.T) {
@@ -30,12 +38,18 @@ func TestSpanNesting(t *testing.T) {
 		byName[s.Name] = s
 	}
 	root := byName["campaign"]
-	if root.ParentID != 0 {
-		t.Fatalf("root span has parent %d", root.ParentID)
+	if root.ParentID != "" {
+		t.Fatalf("root span has parent %q", root.ParentID)
+	}
+	if root.TraceID == "" || len(root.TraceID) != 32 {
+		t.Fatalf("root trace ID %q is not 32 hex digits", root.TraceID)
 	}
 	for _, name := range []string{"stage", "stage2"} {
-		if got := byName[name].ParentID; got != root.ID {
-			t.Fatalf("%s parent = %d, want %d", name, got, root.ID)
+		if got := byName[name].ParentID; got != root.SpanID {
+			t.Fatalf("%s parent = %q, want %q", name, got, root.SpanID)
+		}
+		if got := byName[name].TraceID; got != root.TraceID {
+			t.Fatalf("%s trace = %q, want %q", name, got, root.TraceID)
 		}
 	}
 	// Children end before the parent, so they land in the ring first.
@@ -54,6 +68,12 @@ func TestDoubleEndRecordsOnce(t *testing.T) {
 	}
 	var nilSpan *Span
 	nilSpan.End() // must not panic
+	nilSpan.SetAttr("k", "v")
+	nilSpan.SetError(errors.New("x"))
+	nilSpan.Event("e")
+	if sc := nilSpan.Context(); sc.Valid() {
+		t.Fatal("nil span has a valid context")
+	}
 }
 
 func TestNilContextRoot(t *testing.T) {
@@ -64,8 +84,9 @@ func TestNilContextRoot(t *testing.T) {
 	s.End() // lands on the default tracer; just must not panic
 }
 
-func TestRingWrap(t *testing.T) {
-	tr := NewTracer(4)
+func TestRingWrapCountsOverwrites(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(4).Instrument(reg)
 	ctx := WithTracer(context.Background(), tr)
 	for i := 0; i < 6; i++ {
 		_, s := StartSpan(ctx, fmt.Sprintf("span-%d", i))
@@ -80,13 +101,52 @@ func TestRingWrap(t *testing.T) {
 			t.Fatalf("span[%d] = %q, want %q (oldest first)", i, s.Name, want)
 		}
 	}
+	// 6 spans through a 4-slot ring: 2 evictions, counted both on the
+	// tracer and in the dropped-total series.
+	if got := tr.Overwrites(); got != 2 {
+		t.Fatalf("Overwrites() = %d, want 2", got)
+	}
+	_, vals := reg.Samples("trace_spans_dropped_total")
+	var dropped float64
+	for _, v := range vals {
+		if len(v.Labels) == 1 && v.Labels[0] == "ring_overwrite" {
+			dropped = v.Value
+		}
+	}
+	if dropped != 2 {
+		t.Fatalf("trace_spans_dropped_total{ring_overwrite} = %v, want 2", dropped)
+	}
+}
+
+func TestResize(t *testing.T) {
+	tr := NewTracer(2)
+	ctx := WithTracer(context.Background(), tr)
+	_, s := StartSpan(ctx, "before")
+	s.End()
+	tr.Resize(8)
+	if got := len(tr.Snapshot()); got != 0 {
+		t.Fatalf("resize retained %d spans, want 0", got)
+	}
+	for i := 0; i < 8; i++ {
+		_, s := StartSpan(ctx, "after")
+		s.End()
+	}
+	if got := len(tr.Snapshot()); got != 8 {
+		t.Fatalf("resized ring holds %d spans, want 8", got)
+	}
+	if got := tr.Overwrites(); got != 0 {
+		t.Fatalf("filling the resized ring counted %d overwrites", got)
+	}
 }
 
 func TestTraceHandler(t *testing.T) {
 	tr := NewTracer(8)
 	ctx := WithTracer(context.Background(), tr)
-	_, s := StartSpan(ctx, "handler-span")
+	sctx, s := StartSpan(ctx, "handler-span")
 	s.End()
+	_, other := StartSpan(ctx, "other-trace")
+	other.End()
+	traceID := SpanFromContext(sctx).Context().TraceID.String()
 
 	rec := httptest.NewRecorder()
 	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
@@ -97,8 +157,19 @@ func TestTraceHandler(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
 		t.Fatalf("response is not a JSON span array: %v\n%s", err, rec.Body.String())
 	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d spans, want 2", len(got))
+	}
+
+	// ?trace_id= filters to one trace.
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace_id="+traceID, nil))
+	got = nil
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("filtered response: %v", err)
+	}
 	if len(got) != 1 || got[0].Name != "handler-span" {
-		t.Fatalf("decoded spans = %+v", got)
+		t.Fatalf("filtered spans = %+v", got)
 	}
 
 	// An empty tracer serves [] rather than null.
@@ -107,5 +178,241 @@ func TestTraceHandler(t *testing.T) {
 	var empty []SpanRecord
 	if err := json.Unmarshal(rec.Body.Bytes(), &empty); err != nil || empty == nil {
 		t.Fatalf("empty tracer served %q, want []", rec.Body.String())
+	}
+}
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, s := StartSpan(WithTracer(context.Background(), tr), "origin")
+	tp := TraceParent(ctx)
+	if len(tp) != 55 || !strings.HasPrefix(tp, "00-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("traceparent %q is not a sampled version-00 header", tp)
+	}
+	sc, ok := ParseTraceParent(tp)
+	if !ok {
+		t.Fatalf("own traceparent %q failed to parse", tp)
+	}
+	if sc.TraceID != s.Context().TraceID || sc.SpanID != s.Context().SpanID || !sc.Sampled {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", sc, s.Context())
+	}
+
+	// Inject → Extract → StartSpan continues the same trace remotely.
+	h := http.Header{}
+	Inject(ctx, h)
+	rctx := Extract(WithTracer(context.Background(), tr), h)
+	_, child := StartSpan(rctx, "remote-child")
+	if child.Context().TraceID != s.Context().TraceID {
+		t.Fatal("extracted child is on a different trace")
+	}
+	child.End()
+	s.End()
+	if got := len(tr.Trace(s.Context().TraceID.String())); got != 2 {
+		t.Fatalf("trace lookup found %d spans, want 2", got)
+	}
+}
+
+func TestParseTraceParentRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"00-short",
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("a", 16) + "-01", // zero trace ID
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01", // zero span ID
+		"00-" + strings.Repeat("g", 32) + "-" + strings.Repeat("a", 16) + "-01", // non-hex
+		"ff-" + strings.Repeat("a", 32) + "-" + strings.Repeat("a", 16) + "-01", // forbidden version
+		"00x" + strings.Repeat("a", 32) + "x" + strings.Repeat("a", 16) + "x01", // wrong separators
+	} {
+		if _, ok := ParseTraceParent(bad); ok {
+			t.Fatalf("ParseTraceParent accepted %q", bad)
+		}
+	}
+	sc, ok := ParseTraceParent("00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-00")
+	if !ok || sc.Sampled {
+		t.Fatalf("unsampled traceparent parsed as %+v, %v", sc, ok)
+	}
+}
+
+func TestSamplingDeterministicAndPropagated(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetSampleRatio(0)
+	ctx := WithTracer(context.Background(), tr)
+	rctx, root := StartSpan(ctx, "unsampled-root")
+	_, child := StartSpan(rctx, "unsampled-child")
+	child.End()
+	root.End()
+	if got := len(tr.Snapshot()); got != 0 {
+		t.Fatalf("ratio-0 tracer recorded %d spans", got)
+	}
+	// The unsampled decision still propagates valid IDs with flag 00.
+	tp := TraceParent(rctx)
+	if !strings.HasSuffix(tp, "-00") {
+		t.Fatalf("unsampled traceparent %q should carry flags 00", tp)
+	}
+
+	// A sampled remote decision overrides the local ratio: the head
+	// decision governs the whole trace.
+	sc, _ := ParseTraceParent("00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-01")
+	_, forced := StartSpan(ContextWithRemote(ctx, sc), "forced")
+	forced.End()
+	if got := len(tr.Snapshot()); got != 1 {
+		t.Fatalf("sampled remote parent recorded %d spans, want 1", got)
+	}
+
+	// Ratio 0.5 keeps roughly half; the decision is a pure function of
+	// the trace ID, so re-deciding the same IDs is stable.
+	tr2 := NewTracer(4096)
+	tr2.SetSampleRatio(0.5)
+	kept := 0
+	var ids []TraceID
+	for i := 0; i < 1000; i++ {
+		rctx, s := StartSpan(WithTracer(context.Background(), tr2), "p")
+		ids = append(ids, SpanFromContext(rctx).Context().TraceID)
+		s.End()
+	}
+	kept = len(tr2.Snapshot())
+	if kept < 350 || kept > 650 {
+		t.Fatalf("ratio 0.5 kept %d/1000 spans", kept)
+	}
+	want := 0
+	for _, id := range ids {
+		if tr2.sampled(id) {
+			want++
+		}
+	}
+	if want != kept {
+		t.Fatalf("re-deciding the same IDs kept %d, recorded %d", want, kept)
+	}
+}
+
+func TestSpanClockAndEvents(t *testing.T) {
+	clk := clock.NewSimulated(time.Unix(1700000000, 0))
+	tr := NewTracer(8)
+	tr.SetClock(clk)
+	ctx, s := StartSpan(WithTracer(context.Background(), tr), "timed")
+	clk.Advance(250 * time.Millisecond)
+	s.Event("retry", "op", "drain", "attempt", 2)
+	clk.Advance(250 * time.Millisecond)
+	s.SetAttr("node", "node-1")
+	s.SetError(errors.New("boom"))
+	s.End()
+	_ = ctx
+	spans := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans", len(spans))
+	}
+	rec := spans[0]
+	if rec.Duration != 500*time.Millisecond {
+		t.Fatalf("duration = %v, want 500ms from the simulated clock", rec.Duration)
+	}
+	if !rec.Start.Equal(time.Unix(1700000000, 0)) {
+		t.Fatalf("start = %v", rec.Start)
+	}
+	if len(rec.Events) != 1 || rec.Events[0].Name != "retry" ||
+		rec.Events[0].Attr != "op=drain attempt=2" {
+		t.Fatalf("events = %+v", rec.Events)
+	}
+	if !rec.Events[0].At.Equal(time.Unix(1700000000, 0).Add(250 * time.Millisecond)) {
+		t.Fatalf("event timestamp = %v", rec.Events[0].At)
+	}
+	if rec.Attrs["node"] != "node-1" || rec.Error != "boom" {
+		t.Fatalf("attrs/error = %+v / %q", rec.Attrs, rec.Error)
+	}
+}
+
+func TestStartRemote(t *testing.T) {
+	tr := NewTracer(8)
+	sc, _ := ParseTraceParent("00-" + strings.Repeat("c", 32) + "-" + strings.Repeat("d", 16) + "-01")
+	s := tr.StartRemote(sc, "ingest")
+	if s == nil {
+		t.Fatal("sampled remote parent produced a nil span")
+	}
+	s.End()
+	got := tr.Trace(strings.Repeat("c", 32))
+	if len(got) != 1 || got[0].ParentID != strings.Repeat("d", 16) {
+		t.Fatalf("remote span = %+v", got)
+	}
+	// Unsampled and invalid parents cost nothing.
+	sc.Sampled = false
+	if tr.StartRemote(sc, "x") != nil {
+		t.Fatal("unsampled parent produced a span")
+	}
+	if tr.StartRemote(SpanContext{}, "x") != nil {
+		t.Fatal("invalid parent produced a span")
+	}
+}
+
+func TestSpanExporter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spans.jsonl")
+	exp, err := NewSpanExporter(ExporterConfig{Path: path, QueueSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(8)
+	tr.SetExporter(exp)
+	ctx := WithTracer(context.Background(), tr)
+	var traceID string
+	for i := 0; i < 3; i++ {
+		rctx, s := StartSpan(ctx, fmt.Sprintf("exported-%d", i))
+		traceID = SpanFromContext(rctx).Context().TraceID.String()
+		s.End()
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("spool holds %d lines, want 3:\n%s", len(lines), data)
+	}
+	var rec SpanRecord
+	if err := json.Unmarshal([]byte(lines[2]), &rec); err != nil {
+		t.Fatalf("line 3 is not a span: %v", err)
+	}
+	if rec.Name != "exported-2" || rec.TraceID != traceID {
+		t.Fatalf("decoded span = %+v", rec)
+	}
+	// Exports after Close are dropped silently, not panics.
+	_, s := StartSpan(ctx, "late")
+	s.End()
+}
+
+func TestSpanExporterOverflowCounted(t *testing.T) {
+	dir := t.TempDir()
+	exp, err := NewSpanExporter(ExporterConfig{Path: filepath.Join(dir, "s.jsonl"), QueueSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	tr := NewTracer(8).Instrument(reg)
+	// Stall the writer: it needs exp.mu to write, so holding the lock
+	// pins it mid-drain and makes the 1-slot queue overflow deterministic.
+	exp.mu.Lock()
+	exp.export(tr, SpanRecord{Name: "being-written"})
+	deadline := time.Now().Add(5 * time.Second)
+	for len(exp.queue) != 0 { // writer has dequeued it and is blocked on mu
+		if time.Now().After(deadline) {
+			exp.mu.Unlock()
+			t.Fatal("writer never picked up the first span")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	exp.export(tr, SpanRecord{Name: "queued"})  // fills the 1-slot queue
+	exp.export(tr, SpanRecord{Name: "dropped"}) // queue full: must drop, not block
+	exp.mu.Unlock()
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, vals := reg.Samples("trace_spans_dropped_total")
+	var dropped float64
+	for _, v := range vals {
+		if len(v.Labels) == 1 && v.Labels[0] == "export_queue" {
+			dropped = v.Value
+		}
+	}
+	if dropped != 1 {
+		t.Fatalf("trace_spans_dropped_total{export_queue} = %v, want 1", dropped)
 	}
 }

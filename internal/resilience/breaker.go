@@ -1,12 +1,14 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"sensorcal/internal/clock"
+	"sensorcal/internal/obs"
 )
 
 // BreakerState is the circuit's position.
@@ -174,6 +176,32 @@ func (b *Breaker) Record(err error) {
 		}
 	case Open:
 		// A straggler finishing after the trip; nothing to learn.
+	}
+}
+
+// AllowCtx is Allow, annotating the span in ctx when the request is
+// rejected — a trace of a fast-failed call then says the breaker, not
+// the network, produced the error.
+func (b *Breaker) AllowCtx(ctx context.Context) error {
+	err := b.Allow()
+	if err != nil {
+		obs.SpanFromContext(ctx).Event("breaker.rejected", "name", b.cfg.Name)
+	}
+	return err
+}
+
+// RecordCtx is Record, annotating the span in ctx when the outcome moved
+// the circuit (closed→open on the tripping failure, half-open→closed on
+// the healing probe, half-open→open on a failed probe).
+func (b *Breaker) RecordCtx(ctx context.Context, err error) {
+	before := b.State()
+	b.Record(err)
+	b.mu.Lock()
+	after := b.state
+	b.mu.Unlock()
+	if before != after {
+		obs.SpanFromContext(ctx).Event("breaker.transition",
+			"name", b.cfg.Name, "from", before, "to", after)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"sensorcal/internal/clock"
+	"sensorcal/internal/obs"
 )
 
 // Policy configures a Retrier.
@@ -124,6 +125,10 @@ func (r *Retrier) Do(ctx context.Context, op string, fn func(context.Context) er
 	// One load for the whole operation: instrumenting mid-flight applies
 	// from the next Do.
 	m := r.m.Load()
+	// Retry attempts annotate the caller's span (nil-safe no-ops without
+	// one): a trace then shows *why* a request took 900 ms — three
+	// attempts with backoff — not just that it did.
+	span := obs.SpanFromContext(ctx)
 	start := r.clk.Now()
 	var last error
 	for attempt := 0; attempt < r.p.MaxAttempts; attempt++ {
@@ -145,6 +150,7 @@ func (r *Retrier) Do(ctx context.Context, op string, fn func(context.Context) er
 		}
 		if IsPermanent(last) || (r.p.Retryable != nil && !r.p.Retryable(last)) {
 			m.recordGiveUp(op)
+			span.Event("retry.giveup", "op", op, "attempt", attempt+1, "reason", "permanent")
 			return last
 		}
 		if attempt == r.p.MaxAttempts-1 {
@@ -153,6 +159,7 @@ func (r *Retrier) Do(ctx context.Context, op string, fn func(context.Context) er
 		delay := r.backoff(attempt)
 		if !r.withinBudget(start, delay) {
 			m.recordGiveUp(op)
+			span.Event("retry.giveup", "op", op, "attempt", attempt+1, "reason", "budget")
 			return fmt.Errorf("resilience: %s: retry budget exhausted after %d attempts: %w", op, attempt+1, last)
 		}
 		if deadline, ok := ctx.Deadline(); ok && r.clk.Now().Add(delay).After(deadline) {
@@ -160,9 +167,11 @@ func (r *Retrier) Do(ctx context.Context, op string, fn func(context.Context) er
 			// deadline; surface the real failure instead of sleeping into
 			// a guaranteed DeadlineExceeded.
 			m.recordGiveUp(op)
+			span.Event("retry.giveup", "op", op, "attempt", attempt+1, "reason", "deadline")
 			return fmt.Errorf("resilience: %s: context deadline before next retry: %w", op, last)
 		}
 		m.recordRetry(op)
+		span.Event("retry", "op", op, "attempt", attempt+1, "delay", delay)
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
@@ -170,6 +179,7 @@ func (r *Retrier) Do(ctx context.Context, op string, fn func(context.Context) er
 		}
 	}
 	m.recordGiveUp(op)
+	span.Event("retry.giveup", "op", op, "attempt", r.p.MaxAttempts, "reason", "attempts")
 	return fmt.Errorf("resilience: %s: %d attempts failed: %w", op, r.p.MaxAttempts, last)
 }
 

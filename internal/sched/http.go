@@ -49,12 +49,25 @@ type Server struct {
 	Q *Queue
 	// Log receives request-level warnings; nil silences them.
 	Log *obs.Logger
+	// Tracer records the server spans; nil means the process-wide
+	// default.
+	Tracer *obs.Tracer
+	// Obs receives the RED middleware's metrics; nil means the
+	// process-wide default registry.
+	Obs *obs.Registry
 }
 
-// Handler returns the /api/* mux.
+// Handler returns the /api/* mux. Every route runs under the RED
+// middleware: an agent's traceparent is continued into a server span, so
+// the lease that scheduled a measurement shows up in the same trace as
+// the measurement itself.
 func (s *Server) Handler() http.Handler {
+	mw := obs.NewMiddleware("sched", s.Obs, s.Tracer)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/lease", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(route string, h http.HandlerFunc) {
+		mux.Handle(route, mw.WrapHandler(route, h))
+	}
+	handle("/api/lease", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
@@ -69,10 +82,14 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		leases := s.Q.Lease(trust.NodeID(req.Node), req.Max)
+		if span := obs.SpanFromContext(r.Context()); span != nil {
+			span.SetAttr("node", req.Node)
+			span.SetAttr("granted", fmt.Sprintf("%d", len(leases)))
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(leaseResponse{Leases: leases})
 	})
-	mux.HandleFunc("/api/complete", func(w http.ResponseWriter, r *http.Request) {
+	handle("/api/complete", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
@@ -103,7 +120,7 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(resp)
 	})
-	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("/api/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(s.Q.Stats())
 	})
@@ -174,6 +191,7 @@ func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Resp
 		return nil, resilience.Permanent(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.Inject(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("sched: POST %s: %w", path, err)
@@ -194,12 +212,18 @@ func statusError(op string, resp *http.Response) error {
 }
 
 // Lease polls the scheduler for up to max tasks pinned to node.
-func (c *Client) Lease(ctx context.Context, node trust.NodeID, max int) ([]Lease, error) {
+func (c *Client) Lease(ctx context.Context, node trust.NodeID, max int) (leases []Lease, err error) {
 	body, err := json.Marshal(leaseRequest{Node: string(node), Max: max})
 	if err != nil {
 		return nil, err
 	}
-	if err := c.breaker.Allow(); err != nil {
+	ctx, span := obs.StartSpan(ctx, "sched.lease")
+	defer func() {
+		span.SetError(err)
+		span.End()
+	}()
+	span.SetAttr("node", string(node))
+	if err := c.breaker.AllowCtx(ctx); err != nil {
 		return nil, err
 	}
 	var out []Lease
@@ -221,19 +245,25 @@ func (c *Client) Lease(ctx context.Context, node trust.NodeID, max int) ([]Lease
 		out = got.Leases
 		return nil
 	})
-	c.breaker.Record(err)
+	c.breaker.RecordCtx(ctx, err)
 	return out, err
 }
 
 // Complete reports a finished task. Duplicate acknowledgements are
 // success; a 409 (lease superseded) surfaces as an error so the agent
 // can count the wasted window.
-func (c *Client) Complete(ctx context.Context, taskID, token string) error {
+func (c *Client) Complete(ctx context.Context, taskID, token string) (err error) {
 	body, err := json.Marshal(completeRequest{TaskID: taskID, Token: token})
 	if err != nil {
 		return err
 	}
-	if err := c.breaker.Allow(); err != nil {
+	ctx, span := obs.StartSpan(ctx, "sched.complete")
+	defer func() {
+		span.SetError(err)
+		span.End()
+	}()
+	span.SetAttr("task", taskID)
+	if err := c.breaker.AllowCtx(ctx); err != nil {
 		return err
 	}
 	err = c.retrier.Do(ctx, "complete", func(ctx context.Context) error {
@@ -256,7 +286,7 @@ func (c *Client) Complete(ctx context.Context, taskID, token string) error {
 		}
 		return nil
 	})
-	c.breaker.Record(err)
+	c.breaker.RecordCtx(ctx, err)
 	return err
 }
 

@@ -122,6 +122,7 @@ func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Resp
 		return nil, resilience.Permanent(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.Inject(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("trust: POST %s: %w", path, err)
@@ -156,6 +157,9 @@ func (c *Client) Register(ctx context.Context, node NodeID, operator, hardware s
 	if err != nil {
 		return err
 	}
+	ctx, span := obs.StartSpan(ctx, "trust.register")
+	defer span.End()
+	span.SetAttr("node", string(node))
 	return c.retrier.Do(ctx, "register", func(ctx context.Context) error {
 		resp, err := c.post(ctx, "/api/register", body)
 		if err != nil {
@@ -178,7 +182,7 @@ func (c *Client) Submit(r Reading) error {
 	}
 	return c.spool.Append(r.Key, submitRequest{
 		Node: string(r.Node), SignalID: r.SignalID,
-		PowerDBm: r.PowerDBm, At: r.At, Key: r.Key,
+		PowerDBm: r.PowerDBm, At: r.At, Key: r.Key, Trace: r.Trace,
 	})
 }
 
@@ -194,7 +198,17 @@ func (c *Client) DrainOnce(ctx context.Context) (acked int, more bool, err error
 	if len(batch) == 0 {
 		return 0, false, nil
 	}
-	if err := c.breaker.Allow(); err != nil {
+	// The drain gets its own span (propagated via the POST's traceparent)
+	// rather than adopting one reading's trace: a batch mixes readings
+	// from many measurement traces, each of which stays linked through
+	// the per-reading Trace field instead.
+	ctx, span := obs.StartSpan(ctx, "trust.drain")
+	defer func() {
+		span.SetError(err)
+		span.End()
+	}()
+	span.SetAttr("batch", strconv.Itoa(len(batch)))
+	if err := c.breaker.AllowCtx(ctx); err != nil {
 		return 0, true, err
 	}
 	payload := make([]json.RawMessage, len(batch))
@@ -228,7 +242,7 @@ func (c *Client) DrainOnce(ctx context.Context) (acked int, more bool, err error
 		summary = got
 		return nil
 	})
-	c.breaker.Record(err)
+	c.breaker.RecordCtx(ctx, err)
 	if err != nil {
 		return 0, true, err
 	}

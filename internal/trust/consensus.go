@@ -19,6 +19,12 @@ type Reading struct {
 	// link (the response was lost, not the request) cannot double-count
 	// consensus evidence. Empty means no deduplication.
 	Key string
+	// Trace is the W3C traceparent of the measurement that produced the
+	// reading. It travels with the reading through the store-and-forward
+	// spool, so even a batch replayed hours after a collector outage still
+	// links each reading back to its originating agent trace. Empty means
+	// untraced.
+	Trace string
 }
 
 // Epoch groups simultaneous readings of one signal across nodes.

@@ -2,13 +2,17 @@ package trust
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
+
+	"sensorcal/internal/obs"
 )
 
 // Collector is the cloud side of the crowd-sourced network: nodes register
@@ -29,6 +33,14 @@ type Collector struct {
 	// (oldest keys per stripe are forgotten first). Zero means the
 	// default of 65536.
 	DedupCap int
+
+	// Tracer records the collector's spans; nil means the process-wide
+	// default. Tests that emulate several daemons in one process give
+	// each its own tracer so /debug/traces stays per-daemon.
+	Tracer *obs.Tracer
+	// Obs receives the HTTP middleware's RED metrics; nil means the
+	// process-wide default registry.
+	Obs *obs.Registry
 
 	epochs []epochStripe // by signal ID hash
 	dedups []dedupStripe // by idempotency key hash
@@ -72,6 +84,14 @@ func NewShardedCollector(shards int) *Collector {
 // Shards returns the stripe count the collector was built with.
 func (c *Collector) Shards() int { return len(c.epochs) }
 
+// tracer resolves the span destination.
+func (c *Collector) tracer() *obs.Tracer {
+	if c.Tracer != nil {
+		return c.Tracer
+	}
+	return obs.DefaultTracer()
+}
+
 // dedupLimit splits DedupCap evenly across the dedup stripes, rounding
 // up so the aggregate capacity never falls below DedupCap.
 func (c *Collector) dedupLimit() int {
@@ -97,6 +117,27 @@ func (c *Collector) SubmitDedup(r Reading) (duplicate bool, err error) {
 	if m := c.metrics; m != nil {
 		start := time.Now()
 		defer func() { m.submitSeconds.Observe(time.Since(start).Seconds()) }()
+	}
+	// A reading carrying its origin's traceparent gets an ingest span
+	// parented into that trace — the link that survives hours in the
+	// agent's spool. Unsampled origins (the common case at low ratios)
+	// make StartRemote return nil and every span call below a no-op.
+	if r.Trace != "" {
+		if psc, ok := obs.ParseTraceParent(r.Trace); ok {
+			if span := c.tracer().StartRemote(psc, "trust.ingest"); span != nil {
+				span.SetAttr("node", string(r.Node))
+				span.SetAttr("signal", r.SignalID)
+				defer func() {
+					if err != nil {
+						span.SetError(err)
+					}
+					if duplicate {
+						span.SetAttr("duplicate", "true")
+					}
+					span.End()
+				}()
+			}
+		}
 	}
 	if _, ok := c.Ledger.Node(r.Node); !ok {
 		return false, fmt.Errorf("trust: node %s not registered", r.Node)
@@ -163,6 +204,10 @@ func (c *Collector) lockCounted(mu *sync.Mutex, which int) {
 // used, so anomaly lists and ledger updates are identical at any stripe
 // count.
 func (c *Collector) CloseEpochs(cutoff time.Time) []Anomaly {
+	// Epoch close aggregates readings from many traces, so it roots its
+	// own rather than picking one contributor arbitrarily.
+	_, span := obs.StartSpan(obs.WithTracer(context.Background(), c.tracer()), "trust.close_epochs")
+	defer span.End()
 	var signals []string
 	for i := range c.epochs {
 		st := &c.epochs[i]
@@ -214,6 +259,8 @@ func (c *Collector) CloseEpochs(cutoff time.Time) []Anomaly {
 		}
 		st.mu.Unlock()
 	}
+	span.SetAttr("signals", strconv.Itoa(len(signals)))
+	span.SetAttr("anomalies", strconv.Itoa(len(all)))
 	return all
 }
 
@@ -286,6 +333,7 @@ type submitRequest struct {
 	PowerDBm float64   `json:"power_dbm"`
 	At       time.Time `json:"at"`
 	Key      string    `json:"key,omitempty"`
+	Trace    string    `json:"trace,omitempty"`
 }
 
 // reading converts the wire form, defaulting a zero timestamp to now.
@@ -294,7 +342,7 @@ func (s submitRequest) reading(now func() time.Time) Reading {
 	if at.IsZero() {
 		at = now()
 	}
-	return Reading{Node: NodeID(s.Node), SignalID: s.SignalID, PowerDBm: s.PowerDBm, At: at, Key: s.Key}
+	return Reading{Node: NodeID(s.Node), SignalID: s.SignalID, PowerDBm: s.PowerDBm, At: at, Key: s.Key, Trace: s.Trace}
 }
 
 // batchResponse summarizes a batch submission. Rejected readings are
@@ -437,9 +485,17 @@ func (c *Collector) serveReadings(w http.ResponseWriter, r *http.Request, now fu
 //	POST /api/readings  — submit a reading
 //	GET  /api/trust?node=ID — query a trust score
 //	GET  /api/fleet     — every node's score + staleness (scheduler input)
+//
+// Every route runs under the RED middleware: incoming traceparent
+// headers are continued into server spans and per-route latency lands in
+// http_server_request_seconds (the /debug/slo input).
 func (c *Collector) Handler(now func() time.Time) http.Handler {
+	mw := obs.NewMiddleware("trust", c.Obs, c.Tracer)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/register", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(route string, h http.HandlerFunc) {
+		mux.Handle(route, mw.WrapHandler(route, h))
+	}
+	handle("/api/register", func(w http.ResponseWriter, r *http.Request) {
 		c.metrics.recordRequest("register")
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -463,7 +519,7 @@ func (c *Collector) Handler(now func() time.Time) http.Handler {
 		c.metrics.setNodeScore(NodeID(req.ID), c.Ledger.Trust(NodeID(req.ID)))
 		w.WriteHeader(http.StatusCreated)
 	})
-	mux.HandleFunc("/api/readings", func(w http.ResponseWriter, r *http.Request) {
+	handle("/api/readings", func(w http.ResponseWriter, r *http.Request) {
 		c.metrics.recordRequest("readings")
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -471,7 +527,7 @@ func (c *Collector) Handler(now func() time.Time) http.Handler {
 		}
 		c.serveReadings(w, r, now)
 	})
-	mux.HandleFunc("/api/fleet", func(w http.ResponseWriter, r *http.Request) {
+	handle("/api/fleet", func(w http.ResponseWriter, r *http.Request) {
 		c.metrics.recordRequest("fleet")
 		fleet := c.Fleet()
 		out := make([]fleetEntry, 0, len(fleet))
@@ -487,7 +543,7 @@ func (c *Collector) Handler(now func() time.Time) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(out)
 	})
-	mux.HandleFunc("/api/trust", func(w http.ResponseWriter, r *http.Request) {
+	handle("/api/trust", func(w http.ResponseWriter, r *http.Request) {
 		c.metrics.recordRequest("trust")
 		id := NodeID(r.URL.Query().Get("node"))
 		if _, ok := c.Ledger.Node(id); !ok {
