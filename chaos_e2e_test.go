@@ -14,6 +14,7 @@ import (
 	"sensorcal/internal/obs"
 	"sensorcal/internal/resilience"
 	"sensorcal/internal/resilience/chaos"
+	"sensorcal/internal/store"
 	"sensorcal/internal/trust"
 	"sensorcal/internal/world"
 )
@@ -269,5 +270,171 @@ func TestChaosRestartReplaysSpool(t *testing.T) {
 		if len(e.Readings) != 1 {
 			t.Fatalf("epoch %v has %d readings, want exactly 1", e.At, len(e.Readings))
 		}
+	}
+}
+
+// TestChaosSpoolReplayIntoRecoveredWAL proves the two durability layers
+// compose: the agent's spool WAL on one side, the collector's segment
+// WAL on the other. A WAL-backed collector ingests half a campaign,
+// closes those epochs (appending their trust effects durably), ingests
+// the second half with every response lost, and then loses power
+// mid-epoch. The consistency model under test: acknowledged trust
+// mutations survive the crash via the segment WAL; pending (un-closed)
+// epoch evidence does not — it re-accumulates from the agent's spool
+// replay, and idempotency keys collapse the retried deliveries to
+// exactly one reading per epoch.
+func TestChaosSpoolReplayIntoRecoveredWAL(t *testing.T) {
+	base := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	root := t.TempDir()
+	walDir := filepath.Join(root, "wal")
+	spoolPath := filepath.Join(root, "readings.jsonl")
+	ctx := context.Background()
+
+	// First life: the collector's trust store sits on a power-cuttable
+	// filesystem.
+	fs := chaos.NewPowerCutFS(store.OS{}, chaosSeed)
+	tl1, err := store.OpenTrustLog(walDir, store.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col1 := trust.NewCollector()
+	col1.EpochWindow = time.Minute
+	if _, err := tl1.Recover(col1.Ledger, base); err != nil {
+		t.Fatal(err)
+	}
+	col1.Store = tl1
+	srv1 := httptest.NewServer(trust.Harden(col1.Handler(time.Now), trust.HardenConfig{}))
+
+	spool1, err := resilience.OpenSpool(spoolPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client1, err := trust.NewClient(trust.ClientConfig{BaseURL: srv1.URL, Spool: spool1, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client1.Register(ctx, "node-1", "chaos-test", "rooftop"); err != nil {
+		t.Fatal(err)
+	}
+
+	// First half delivered and acked; closing those epochs appends the
+	// trust effect to the segment WAL.
+	const half = 5
+	for i := 0; i < half; i++ {
+		r := trust.Reading{Node: "node-1", SignalID: "tv-521MHz", PowerDBm: -60, At: base.Add(time.Duration(i) * time.Minute)}
+		if err := client1.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client1.Drain(ctx); err != nil {
+		t.Fatalf("healthy drain: %v", err)
+	}
+	col1.CloseEpochs(base.Add(time.Hour))
+	trustClosed := col1.Ledger.Trust("node-1")
+
+	// Second half: the server ingests every attempt, the client never
+	// learns — the readings stay spooled, retries double-deliver.
+	clientCrash, err := trust.NewClient(trust.ClientConfig{
+		BaseURL: srv1.URL,
+		HTTP: &http.Client{
+			Transport: chaos.NewTransport(nil, chaosSeed, chaos.Faults{DropAfter: 1}),
+			Timeout:   5 * time.Second,
+		},
+		Spool: spool1,
+		Retrier: resilience.NewRetrier(resilience.Policy{
+			MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 1,
+		}),
+		BatchSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := half; i < 2*half; i++ {
+		r := trust.Reading{Node: "node-1", SignalID: "tv-521MHz", PowerDBm: -60, At: base.Add(time.Duration(i) * time.Minute)}
+		if err := clientCrash.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := clientCrash.DrainOnce(ctx); err == nil {
+		t.Fatal("DrainOnce should fail when every response is lost")
+	}
+
+	// Lights out mid-epoch: the second half's pending windows die with
+	// the process; the closed-epoch trust is already on disk.
+	fs.Crash()
+	if err := spool1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+	tl1.Close()
+
+	// Second life: recover the ledger from the segment WAL with a healthy
+	// filesystem, replay the agent spool into the fresh collector.
+	tl2, err := store.OpenTrustLog(walDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl2.Close()
+	col2 := trust.NewCollector()
+	col2.EpochWindow = time.Minute
+	if _, err := tl2.Recover(col2.Ledger, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := col2.Ledger.Node("node-1"); !ok {
+		t.Fatal("acknowledged registration lost in the power cut")
+	}
+	if got := col2.Ledger.Trust("node-1"); got != trustClosed {
+		t.Fatalf("recovered trust = %v, want the closed-epoch value %v", got, trustClosed)
+	}
+	col2.Store = tl2
+	srv2 := httptest.NewServer(trust.Harden(col2.Handler(time.Now), trust.HardenConfig{}))
+	defer srv2.Close()
+
+	spool2, err := resilience.OpenSpool(spoolPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spool2.Close()
+	if spool2.Len() != half {
+		t.Fatalf("replayed spool holds %d readings, want the unacked %d", spool2.Len(), half)
+	}
+	client2, err := trust.NewClient(trust.ClientConfig{BaseURL: srv2.URL, Spool: spool2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client2.Drain(ctx); err != nil {
+		t.Fatalf("drain after restart: %v", err)
+	}
+	col2.CloseEpochs(base.Add(2 * time.Hour))
+
+	// Exactly-once: the crashed life delivered each reading up to twice
+	// and the replay delivered it again — idempotency keys collapse all
+	// of it to one reading per epoch.
+	epochs := col2.History("tv-521MHz")
+	if len(epochs) != half {
+		t.Fatalf("replayed epochs = %d, want %d", len(epochs), half)
+	}
+	for _, e := range epochs {
+		if len(e.Readings) != 1 {
+			t.Fatalf("epoch %v has %d readings, want exactly 1", e.At, len(e.Readings))
+		}
+	}
+	if got := col2.Ledger.Trust("node-1"); got < trustClosed {
+		t.Fatalf("trust fell from %v to %v across recovery", trustClosed, got)
+	}
+
+	// Third open: the second life's trust effects must themselves be
+	// durable already.
+	tl3, err := store.OpenTrustLog(walDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl3.Close()
+	l3 := trust.NewLedger()
+	if _, err := tl3.Recover(l3, base); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := l3.Trust("node-1"), col2.Ledger.Trust("node-1"); got != want {
+		t.Fatalf("durable trust = %v, live ledger = %v", got, want)
 	}
 }

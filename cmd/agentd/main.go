@@ -101,13 +101,15 @@ func main() {
 	}
 
 	if *admin != "" {
-		srv := &http.Server{Addr: *admin, Handler: obs.AdminMux(nil, nil)}
+		health := obs.NewHealth()
+		health.SetReady("agent", true)
+		srv := &http.Server{Addr: *admin, Handler: obs.AdminMux(nil, nil, health)}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				logger.Warnf("admin server: %v", err)
 			}
 		}()
-		logger.Infof("admin endpoints on %s (/metrics, /debug/traces, /debug/pprof)", *admin)
+		logger.Infof("admin endpoints on %s (/healthz, /readyz, /metrics, /debug/traces, /debug/pprof)", *admin)
 	}
 
 	// Ctrl-C / SIGTERM cancels the measurement loop; the deferred spool

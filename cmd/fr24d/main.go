@@ -66,7 +66,9 @@ func main() {
 	// same /metrics, /debug/traces and /debug/slo every other daemon does,
 	// with its flights route under the RED middleware.
 	mw := obs.NewMiddleware("fr24", nil, nil)
-	mux := obs.AdminMux(nil, nil)
+	health := obs.NewHealth()
+	health.SetReady("fleet", true)
+	mux := obs.AdminMux(nil, nil, health)
 	mux.Handle("/api/", mw.WrapHandler("/api/flights", svc.Handler(time.Now)))
 
 	logger.Infof("serving %d simulated aircraft on %s (latency %s)", *aircraft, *addr, *latency)

@@ -2,14 +2,14 @@
 // trust collector — in-process or a live spectrumd — with a closed loop
 // of concurrent clients submitting reading batches, and reports
 // throughput plus p50/p99 latency for a single-lock baseline and a
-// sharded collector side by side. Results are written as a BENCH_6.json
+// sharded collector side by side. Results are written as a BENCH_7.json
 // record so CI keeps a bench trajectory next to the campaign benchmarks.
 //
 // Usage:
 //
 //	loadgen [-mode both] [-shards 16] [-baseline-shards 1] [-conns 8]
 //	        [-batch 64] [-nodes 256] [-signals 64] [-duration 3s]
-//	        [-dedup] [-target http://host:8025] [-out BENCH_6.json]
+//	        [-dedup] [-target http://host:8025] [-out BENCH_7.json]
 //
 // Modes:
 //
@@ -17,13 +17,20 @@
 //	        pure ingest-path throughput, no HTTP or JSON in the loop.
 //	http  — POST /api/readings batches (streaming-decoded server side)
 //	        against an in-process listener, or -target if given.
+//	durability — the core ingest loop twice on the sharded collector,
+//	        once with the crash-safe trust store (internal/store) attached
+//	        and once without, while a background closer flushes epochs
+//	        every 100ms. The WAL sits off the submit hot path by design —
+//	        score appends happen at epoch close — so the record's
+//	        "durability_overhead_pct" prices exactly what durability costs
+//	        the core path (SLO: p99 ≤ 15%).
 //	trace — the http ingest path with the RED middleware and tracer
 //	        attached, run at head-sampling ratios 0, 0.01 and 1: every
 //	        reading carries a traceparent whose sampled flag follows the
 //	        ratio, so the scenario prices span recording + export-path
 //	        bookkeeping. The record carries p50/p99 deltas vs the
 //	        sampling-disabled run in "trace_overhead_pct".
-//	both  — run core, http and trace (default).
+//	both  — run core, http, trace and durability (default).
 //
 // Before any timed run, loadgen replays one deterministic workload into
 // collectors at the baseline and sharded stripe counts and verifies that
@@ -49,6 +56,7 @@ import (
 	"time"
 
 	"sensorcal/internal/obs"
+	"sensorcal/internal/store"
 	"sensorcal/internal/trust"
 )
 
@@ -86,7 +94,7 @@ type scenarioResult struct {
 	P99ms float64 `json:"p99_ms"`
 }
 
-// benchOutput is the BENCH_6.json record. The "schema" field names the
+// benchOutput is the BENCH_7.json record. The "schema" field names the
 // layout so later BENCH_N.json files can evolve it detectably.
 type benchOutput struct {
 	Bench         int              `json:"bench"`
@@ -104,6 +112,11 @@ type benchOutput struct {
 	// delta of the trace scenario at that sampling ratio vs sampling
 	// disabled (ratio 0). The SLO for this repo is p99@0.01 ≤ 5%.
 	TraceOverhead map[string]float64 `json:"trace_overhead_pct,omitempty"`
+	// DurabilityOverhead maps p50/p99 → percent core-path latency delta
+	// with the segment WAL attached vs without. The SLO is p99 ≤ 15%:
+	// durable trust must not tax the ingest hot path, because appends
+	// happen at epoch close, not per reading.
+	DurabilityOverhead map[string]float64 `json:"durability_overhead_pct,omitempty"`
 }
 
 // splitmix is a tiny seedable PRNG so workers don't share rand state.
@@ -509,6 +522,109 @@ func runTraceOverhead(cfg config, out *benchOutput) error {
 	return nil
 }
 
+// runDurability prices the crash-safe trust store: the same core closed
+// loop with and without a TrustLog attached, each under a background
+// closer flushing epochs every 100ms so WAL appends and fsyncs actually
+// happen during the timed window. Submit itself never touches the WAL —
+// the comparison proves it.
+func runDurability(cfg config, out *benchOutput) error {
+	scenario := func(name string, withWAL bool) (scenarioResult, error) {
+		c, err := newCollector(cfg, cfg.Shards)
+		if err != nil {
+			return scenarioResult{}, err
+		}
+		if withWAL {
+			dir, err := os.MkdirTemp("", "loadgen-wal-*")
+			if err != nil {
+				return scenarioResult{}, err
+			}
+			defer os.RemoveAll(dir)
+			tl, err := store.OpenTrustLog(dir, store.Options{})
+			if err != nil {
+				return scenarioResult{}, err
+			}
+			defer tl.Close()
+			c.Store = tl
+		}
+		stop := make(chan struct{})
+		var closerWG sync.WaitGroup
+		closerWG.Add(1)
+		go func() {
+			defer closerWG.Done()
+			tick := time.NewTicker(100 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					// The far-future cutoff closes every pending window, so
+					// each pass appends (and fsyncs) one score batch.
+					c.CloseEpochs(benchBase.Add(time.Hour))
+				}
+			}
+		}()
+		var keyPool sync.Pool
+		keyPool.New = func() interface{} { b := make([]byte, 0, 24); return &b }
+		readings, errs, lats, elapsed := runClosedLoop(cfg, func(w, b int, rng *splitmix) (int, error) {
+			kp := keyPool.Get().(*[]byte)
+			defer keyPool.Put(kp)
+			var firstErr error
+			for i := 0; i < cfg.Batch; i++ {
+				var r trust.Reading
+				r, *kp = reading(cfg, w, b*cfg.Batch+i, rng, *kp)
+				if _, err := c.SubmitDedup(r); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			return cfg.Batch, firstErr
+		})
+		close(stop)
+		closerWG.Wait()
+		c.CloseEpochs(benchBase.Add(2 * time.Hour))
+		return result(name, "durability", cfg, cfg.Shards, readings, errs, lats, elapsed), nil
+	}
+	off, err := scenario("durability/wal=off", false)
+	if err != nil {
+		return err
+	}
+	on, err := scenario("durability/wal=on", true)
+	if err != nil {
+		return err
+	}
+	out.Scenarios = append(out.Scenarios, off, on)
+	out.DurabilityOverhead = map[string]float64{}
+	if off.P50ms > 0 {
+		out.DurabilityOverhead["p50"] = 100 * (on.P50ms - off.P50ms) / off.P50ms
+	}
+	if off.P99ms > 0 {
+		out.DurabilityOverhead["p99"] = 100 * (on.P99ms - off.P99ms) / off.P99ms
+	}
+	return nil
+}
+
+// waitReady polls a live collector's /readyz until it reports ready, so
+// runs against a freshly started daemon begin when the ledger is
+// restored and the store healthy instead of after an arbitrary sleep.
+func waitReady(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = resp.Status
+		} else {
+			last = err.Error()
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("target %s not ready after %s (last: %s)", base, timeout, last)
+}
+
 // checkEquivalence replays one deterministic workload into collectors at
 // both stripe counts and compares every merge path. This is the runtime
 // re-statement of TestShardedCollectorEquivalence: the bench refuses to
@@ -575,7 +691,7 @@ func checkEquivalence(cfg config) (bool, error) {
 func run(cfg config) (*benchOutput, error) {
 	cfg.DurationS = cfg.Duration.Seconds()
 	out := &benchOutput{
-		Bench:       6,
+		Bench:       7,
 		Schema:      "sensorcal-bench/v1",
 		GeneratedAt: time.Now().UTC(),
 		GoVersion:   runtime.Version(),
@@ -591,9 +707,16 @@ func run(cfg config) (*benchOutput, error) {
 	}
 	out.EquivalenceOK = eq
 
+	if cfg.Target != "" {
+		// A live daemon may still be replaying its WAL; begin when it says
+		// ready, not after a guessed sleep.
+		if err := waitReady(cfg.Target, 30*time.Second); err != nil {
+			return nil, err
+		}
+	}
 	type runner func(config, int) (scenarioResult, error)
 	modes := map[string]runner{}
-	trace := false
+	trace, durability := false, false
 	switch cfg.Mode {
 	case "core":
 		modes["core"] = runCore
@@ -601,12 +724,15 @@ func run(cfg config) (*benchOutput, error) {
 		modes["http"] = runHTTP
 	case "trace":
 		trace = true
+	case "durability":
+		durability = true
 	case "both":
 		modes["core"] = runCore
 		modes["http"] = runHTTP
 		trace = true
+		durability = true
 	default:
-		return nil, fmt.Errorf("unknown -mode %q (want core, http, trace or both)", cfg.Mode)
+		return nil, fmt.Errorf("unknown -mode %q (want core, http, trace, durability or both)", cfg.Mode)
 	}
 	for _, mode := range []string{"core", "http"} {
 		fn, ok := modes[mode]
@@ -642,6 +768,11 @@ func run(cfg config) (*benchOutput, error) {
 			return nil, err
 		}
 	}
+	if durability {
+		if err := runDurability(cfg, out); err != nil {
+			return nil, err
+		}
+	}
 	return out, nil
 }
 
@@ -674,7 +805,7 @@ func writeOutput(path string, out *benchOutput) error {
 func main() {
 	log := obs.NewLogger("loadgen")
 	cfg := config{}
-	flag.StringVar(&cfg.Mode, "mode", "both", "core, http, trace or both")
+	flag.StringVar(&cfg.Mode, "mode", "both", "core, http, trace, durability or both")
 	flag.IntVar(&cfg.Shards, "shards", 16, "stripe count for the sharded scenario")
 	flag.IntVar(&cfg.BaselineShards, "baseline-shards", 1, "stripe count for the baseline scenario")
 	flag.IntVar(&cfg.Conns, "conns", 8, "concurrent client goroutines")
@@ -684,7 +815,7 @@ func main() {
 	flag.DurationVar(&cfg.Duration, "duration", 3*time.Second, "timed duration per scenario")
 	flag.BoolVar(&cfg.Dedup, "dedup", true, "attach idempotency keys to every reading")
 	flag.StringVar(&cfg.Target, "target", "", "live collector base URL (http mode only; empty = in-process)")
-	flag.StringVar(&cfg.Out, "out", "BENCH_6.json", "bench record output path")
+	flag.StringVar(&cfg.Out, "out", "BENCH_7.json", "bench record output path")
 	maxprocs := flag.Int("gomaxprocs", 0, "pin runtime.GOMAXPROCS for the run (0: leave the runtime default)")
 	flag.Parse()
 	if *maxprocs > 0 {
@@ -712,6 +843,11 @@ func main() {
 	sort.Strings(keys)
 	for _, k := range keys {
 		log.Infof("trace overhead %s: %+.1f%% vs sampling disabled", k, out.TraceOverhead[k])
+	}
+	for _, k := range []string{"p50", "p99"} {
+		if v, ok := out.DurabilityOverhead[k]; ok {
+			log.Infof("durability overhead %s: %+.1f%% vs wal off", k, v)
+		}
 	}
 	if cfg.Out != "" {
 		if err := writeOutput(cfg.Out, out); err != nil {

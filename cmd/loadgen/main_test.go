@@ -9,7 +9,7 @@ import (
 )
 
 // A short end-to-end run: every mode, both shard counts, the three
-// trace sampling ratios, equivalence replay, and the BENCH_6.json
+// trace sampling ratios, equivalence replay, and the BENCH_7.json
 // record written and parseable.
 func TestLoadgenSmoke(t *testing.T) {
 	out, err := run(config{
@@ -29,8 +29,9 @@ func TestLoadgenSmoke(t *testing.T) {
 	if !out.EquivalenceOK {
 		t.Fatal("sharded collector diverged from the single-lock baseline")
 	}
-	// core+http × baseline+sharded, plus one trace scenario per ratio.
-	want := 4 + len(traceRatios)
+	// core+http × baseline+sharded, one trace scenario per ratio, and
+	// the durability pair (wal off/on).
+	want := 4 + len(traceRatios) + 2
 	if len(out.Scenarios) != want {
 		t.Fatalf("got %d scenarios, want %d", len(out.Scenarios), want)
 	}
@@ -56,8 +57,13 @@ func TestLoadgenSmoke(t *testing.T) {
 	if _, ok := out.Speedup["core"]; !ok {
 		t.Error("no core-mode speedup recorded")
 	}
+	for _, key := range []string{"p50", "p99"} {
+		if _, ok := out.DurabilityOverhead[key]; !ok {
+			t.Errorf("durability_overhead_pct missing %q: %v", key, out.DurabilityOverhead)
+		}
+	}
 
-	path := filepath.Join(t.TempDir(), "BENCH_6.json")
+	path := filepath.Join(t.TempDir(), "BENCH_7.json")
 	if err := writeOutput(path, out); err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +75,7 @@ func TestLoadgenSmoke(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatalf("bench record does not round-trip: %v", err)
 	}
-	if back.Bench != 6 || back.Schema != "sensorcal-bench/v1" {
+	if back.Bench != 7 || back.Schema != "sensorcal-bench/v1" {
 		t.Fatalf("bench record header = (%d, %q)", back.Bench, back.Schema)
 	}
 	if back.GOMAXPROCS <= 0 {

@@ -266,7 +266,9 @@ func main() {
 	defer stop()
 	go d.planLoop(ctx, *planEvery)
 
-	mux := obs.AdminMux(nil, nil)
+	health := obs.NewHealth()
+	health.SetReady("queue", true)
+	mux := obs.AdminMux(nil, nil, health)
 	api := &sched.Server{Q: d.queue, Log: logger}
 	mux.Handle("/api/", api.Handler())
 	srv := &http.Server{Addr: *addr, Handler: mux}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	spectrumd [-addr :8025] [-epoch 1m] [-state ledger.json] [-shards 8]
+//	          [-wal waldir] [-wal-compact-segments 4]
 //	          [-profile-contention] [-log-level info]
 //	          [-trace-capacity 4096] [-trace-sample 1] [-trace-export spans.jsonl]
 //
@@ -14,11 +15,21 @@
 // enables the runtime mutex/block profilers so /debug/pprof/mutex and
 // /debug/pprof/block report where ingest actually waits.
 //
+// -wal enables the crash-safe trust store (internal/store): every
+// registration and every epoch's score batch is appended to a
+// checksummed segment WAL and fsynced before it is acknowledged, and
+// sealed segments fold into snapshots. With -wal set, -state becomes an
+// import/export convenience: imported once when the WAL is empty,
+// exported at shutdown for operators who want a plain JSON view.
+//
 // Endpoints:
 //
 //	POST /api/register — {"id","operator","lat","lon","claimed_outdoor","hardware"}
 //	POST /api/readings — {"node","signal_id","power_dbm","at"}
 //	GET  /api/trust?node=ID
+//	GET  /healthz       — liveness (always 200 while the process serves)
+//	GET  /readyz        — readiness (503 until the ledger is restored, or
+//	                      while the trust store is degraded)
 //	GET  /metrics       — Prometheus text exposition (trust_* series)
 //	GET  /debug/traces  — span ring buffer as JSON
 //	GET  /debug/pprof/* — runtime profiles
@@ -35,12 +46,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"sensorcal/internal/clock"
 	"sensorcal/internal/obs"
 	"sensorcal/internal/resilience"
+	"sensorcal/internal/store"
 	"sensorcal/internal/trust"
 )
 
@@ -60,7 +73,18 @@ type daemon struct {
 	// evidence that a crash would lose.
 	saveRetry    *resilience.Retrier
 	saveFailures *obs.Counter
+	// tlog is the crash-safe trust store (-wal); nil runs the legacy
+	// snapshot-only persistence. compactSegs is the sealed-segment count
+	// that triggers compaction after an epoch close.
+	tlog        *store.TrustLog
+	compactSegs int
+	// health gates /readyz; nil when the admin surface is not mounted.
+	health *obs.Health
 }
+
+// shutdownSaveTimeout bounds the final ledger save (and its retries) at
+// shutdown: a wedged disk must not hold the exit hostage forever.
+const shutdownSaveTimeout = 10 * time.Second
 
 // loadState restores the ledger snapshot, tolerating a missing file.
 func (d *daemon) loadState() error {
@@ -82,11 +106,15 @@ func (d *daemon) loadState() error {
 	return nil
 }
 
-// saveState writes the ledger snapshot atomically (write + rename),
-// retrying transient filesystem errors: a full disk or a slow NFS mount
-// recovers, and losing a snapshot over it would let a fabricator launder
-// its history by crashing the collector at the right moment.
-func (d *daemon) saveState() {
+// saveState writes the ledger snapshot atomically and durably: the temp
+// file is fsynced before the rename and the parent directory after it,
+// so a power cut leaves either the old snapshot or the new one — never
+// a half-written file whose rename "succeeded" only in the page cache.
+// Transient filesystem errors are retried within ctx: a full disk or a
+// slow NFS mount recovers, and losing a snapshot over it would let a
+// fabricator launder its history by crashing the collector at the right
+// moment.
+func (d *daemon) saveState(ctx context.Context) {
 	if d.statePath == "" {
 		return
 	}
@@ -100,14 +128,21 @@ func (d *daemon) saveState() {
 			f.Close()
 			return err
 		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
 		if err := f.Close(); err != nil {
 			return err
 		}
-		return os.Rename(tmp, d.statePath)
+		if err := os.Rename(tmp, d.statePath); err != nil {
+			return err
+		}
+		return store.OS{}.SyncDir(filepath.Dir(d.statePath))
 	}
 	var err error
 	if d.saveRetry != nil {
-		err = d.saveRetry.Do(context.Background(), "ledger_save",
+		err = d.saveRetry.Do(ctx, "ledger_save",
 			func(context.Context) error { return attempt() })
 	} else {
 		err = attempt()
@@ -120,13 +155,23 @@ func (d *daemon) saveState() {
 	}
 }
 
-// closeEpochs finalizes every epoch before cutoff and snapshots the
-// ledger.
-func (d *daemon) closeEpochs(cutoff time.Time) {
+// closeEpochs finalizes every epoch before cutoff and persists the
+// result: through the WAL's compaction scheduler when the trust store
+// is on (the score batch itself was already appended durably inside
+// CloseEpochs), else through the legacy whole-ledger snapshot.
+func (d *daemon) closeEpochs(ctx context.Context, cutoff time.Time) {
 	for _, a := range d.col.CloseEpochs(cutoff) {
 		d.log.Warnf("anomaly: %v", a)
 	}
-	d.saveState()
+	if d.tlog != nil {
+		if ran, err := d.tlog.MaybeCompact(d.col.Ledger, d.clk.Now(), d.compactSegs); err != nil {
+			d.log.Errorf("wal compaction: %v", err)
+		} else if ran {
+			d.log.Debugf("wal compacted into a fresh snapshot")
+		}
+		return
+	}
+	d.saveState(ctx)
 }
 
 // epochLoop closes matured epochs once per window until ctx is done.
@@ -136,7 +181,7 @@ func (d *daemon) epochLoop(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-d.clk.After(d.epoch):
-			d.closeEpochs(d.clk.Now().Add(-d.epoch))
+			d.closeEpochs(ctx, d.clk.Now().Add(-d.epoch))
 		}
 	}
 }
@@ -144,14 +189,24 @@ func (d *daemon) epochLoop(ctx context.Context) {
 // shutdown drains the HTTP server, then flushes every remaining epoch —
 // including the still-maturing one — and saves the ledger. Losing the
 // trailing window's evidence on restart would let a fabricator launder
-// its history by timing a crash.
+// its history by timing a crash. Every step runs under its own timeout
+// so a wedged disk or socket cannot hold the exit hostage.
 func (d *daemon) shutdown(srv *http.Server) {
 	sdCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sdCtx); err != nil {
 		d.log.Warnf("http shutdown: %v", err)
 	}
-	d.closeEpochs(d.clk.Now().Add(d.epoch))
+	saveCtx, cancelSave := context.WithTimeout(context.Background(), shutdownSaveTimeout)
+	defer cancelSave()
+	d.closeEpochs(saveCtx, d.clk.Now().Add(d.epoch))
+	if d.tlog != nil {
+		// Export the plain JSON view for operators, then release the WAL.
+		d.saveState(saveCtx)
+		if err := d.tlog.Close(); err != nil {
+			d.log.Warnf("closing wal: %v", err)
+		}
+	}
 	d.log.Infof("ledger saved, exiting")
 }
 
@@ -160,9 +215,50 @@ func (d *daemon) shutdown(srv *http.Server) {
 // endpoints stay outside the timeout: a CPU profile legitimately takes
 // longer than any API request should.
 func (d *daemon) handler() http.Handler {
-	mux := obs.AdminMux(nil, nil)
+	mux := obs.AdminMux(nil, nil, d.health)
 	mux.Handle("/api/", trust.Harden(d.col.Handler(d.clk.Now), trust.HardenConfig{}))
 	return mux
+}
+
+// openTrustLog boots the WAL-backed trust store: recover the ledger from
+// the newest snapshot plus the segment tail, fall back to a one-time
+// JSON import when the log is brand new, and wire the collector's
+// mutations through the store.
+func (d *daemon) openTrustLog(dir string) error {
+	tlog, err := store.OpenTrustLog(dir, store.Options{Metrics: store.NewMetrics(obs.Default())})
+	if err != nil {
+		return err
+	}
+	stats, err := tlog.Recover(d.col.Ledger, d.clk.Now())
+	if err != nil {
+		tlog.Close()
+		return err
+	}
+	if stats.TornBytes > 0 {
+		d.log.Warnf("wal recovery truncated %d torn bytes from the tail", stats.TornBytes)
+	}
+	if d.col.Ledger.Len() == 0 && d.statePath != "" {
+		// Brand-new WAL next to an existing JSON snapshot: import it once,
+		// then fold it into a durable WAL snapshot immediately so the
+		// import survives a crash without the JSON file.
+		if err := d.loadState(); err != nil {
+			tlog.Close()
+			return err
+		}
+		if d.col.Ledger.Len() > 0 {
+			if err := tlog.Compact(d.col.Ledger, d.clk.Now()); err != nil {
+				tlog.Close()
+				return err
+			}
+			d.log.Infof("imported %d nodes from %s into the wal", d.col.Ledger.Len(), d.statePath)
+		}
+	} else {
+		d.log.Infof("wal recovery: %d nodes from snapshot, %d records replayed",
+			stats.SnapshotNodes, stats.Records)
+	}
+	d.tlog = tlog
+	d.col.Store = tlog
+	return nil
 }
 
 func main() {
@@ -170,7 +266,9 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8025", "listen address")
 		epoch    = flag.Duration("epoch", time.Minute, "consensus epoch window")
-		state    = flag.String("state", "", "ledger snapshot file (loaded at boot, saved every epoch)")
+		state    = flag.String("state", "", "ledger snapshot file (with -wal: imported once when the wal is empty, exported at shutdown)")
+		walDir   = flag.String("wal", "", "crash-safe trust store directory (empty: legacy snapshot-only persistence)")
+		walSegs  = flag.Int("wal-compact-segments", store.DefaultCompactAfterSegments, "sealed wal segments that trigger snapshot compaction")
 		shards   = flag.Int("shards", 8, "collector ingest lock stripes (rounded up to a power of two; 1 = single-lock)")
 		profCont = flag.Bool("profile-contention", false, "enable runtime mutex/block profiling on /debug/pprof")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -199,8 +297,11 @@ func main() {
 
 	c := trust.NewShardedCollector(*shards).Instrument(obs.Default())
 	c.EpochWindow = *epoch
+	health := obs.NewHealth()
+	health.SetReady("ledger", false)
 	d := &daemon{
 		col: c, clk: clock.System{}, statePath: *state, epoch: *epoch, log: logger,
+		compactSegs: *walSegs, health: health,
 		saveRetry: resilience.NewRetrier(resilience.Policy{
 			MaxAttempts: 3,
 			BaseDelay:   50 * time.Millisecond,
@@ -209,9 +310,17 @@ func main() {
 		saveFailures: obs.Default().Counter("trust_ledger_save_failures_total",
 			"Ledger snapshot saves that failed even after retrying."),
 	}
-	if err := d.loadState(); err != nil {
+	if *walDir != "" {
+		if err := d.openTrustLog(*walDir); err != nil {
+			logger.Fatalf("opening wal %s: %v", *walDir, err)
+		}
+		// Degraded store = appends failing = mutations shed with 503: not
+		// ready for traffic until the disk heals.
+		health.AddCheck("store", func() bool { return !c.StoreDegraded() })
+	} else if err := d.loadState(); err != nil {
 		logger.Fatalf("loading %s: %v", *state, err)
 	}
+	health.SetReady("ledger", true)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

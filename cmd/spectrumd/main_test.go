@@ -103,7 +103,7 @@ func TestSaveAndLoadState(t *testing.T) {
 	register(t, d.col, "n1", "n2")
 	d.col.Ledger.Record("n1", 1)
 
-	d.saveState()
+	d.saveState(context.Background())
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("snapshot not written: %v", err)
 	}
@@ -170,7 +170,7 @@ func TestSaveStateRetriesAndCountsFailures(t *testing.T) {
 		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 1,
 	})
 	d.saveFailures = reg.Counter("trust_ledger_save_failures_total", "test")
-	d.saveState()
+	d.saveState(context.Background())
 	if got := d.saveFailures.Value(); got != 1 {
 		t.Fatalf("save failures = %v, want 1", got)
 	}
@@ -178,11 +178,75 @@ func TestSaveStateRetriesAndCountsFailures(t *testing.T) {
 	// the counter alone.
 	d.statePath = filepath.Join(t.TempDir(), "ledger.json")
 	register(t, d.col, "n1")
-	d.saveState()
+	d.saveState(context.Background())
 	if _, err := os.Stat(d.statePath); err != nil {
 		t.Fatalf("snapshot not written: %v", err)
 	}
 	if got := d.saveFailures.Value(); got != 1 {
 		t.Fatalf("save failures after success = %v, want still 1", got)
+	}
+}
+
+// TestWALBootImportsLegacySnapshotOnce: a brand-new WAL directory next to
+// an existing JSON snapshot imports it exactly once, folds it into a
+// durable WAL snapshot, and subsequent boots recover from the WAL alone.
+func TestWALBootImportsLegacySnapshotOnce(t *testing.T) {
+	start := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	root := t.TempDir()
+	statePath := filepath.Join(root, "ledger.json")
+	walDir := filepath.Join(root, "wal")
+
+	// Legacy daemon leaves a JSON snapshot behind.
+	d1, _ := newTestDaemon(t, start, statePath)
+	register(t, d1.col, "a", "b")
+	d1.col.Ledger.SetScore("a", 0.9)
+	d1.saveState(context.Background())
+	if _, err := os.Stat(statePath); err != nil {
+		t.Fatalf("legacy snapshot not written: %v", err)
+	}
+
+	// First WAL boot: empty log, so the JSON imports once.
+	d2, _ := newTestDaemon(t, start.Add(time.Hour), statePath)
+	if err := d2.openTrustLog(walDir); err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.col.Ledger.Len(); got != 2 {
+		t.Fatalf("imported %d nodes, want 2", got)
+	}
+	if got := d2.col.Ledger.Trust("a"); got != 0.9 {
+		t.Fatalf("imported trust for a = %v, want 0.9", got)
+	}
+	if d2.col.Store == nil {
+		t.Fatal("collector mutations not wired through the store")
+	}
+	// A post-import mutation lands in the WAL tail.
+	if err := d2.col.Ledger.Register(trust.Node{ID: "c", Registered: start}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.col.Store.AppendRegister(trust.Node{ID: "c", Registered: start}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.tlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second WAL boot: the JSON file is gone, proving recovery reads the
+	// WAL — snapshot plus tail — and does not re-import.
+	if err := os.Remove(statePath); err != nil {
+		t.Fatal(err)
+	}
+	d3, _ := newTestDaemon(t, start.Add(2*time.Hour), statePath)
+	if err := d3.openTrustLog(walDir); err != nil {
+		t.Fatal(err)
+	}
+	defer d3.tlog.Close()
+	if got := d3.col.Ledger.Len(); got != 3 {
+		t.Fatalf("recovered %d nodes, want 3", got)
+	}
+	if got := d3.col.Ledger.Trust("a"); got != 0.9 {
+		t.Fatalf("recovered trust for a = %v, want 0.9", got)
+	}
+	if _, ok := d3.col.Ledger.Node("c"); !ok {
+		t.Fatal("tail-appended registration lost across boots")
 	}
 }

@@ -7,14 +7,17 @@ import (
 
 // AdminMux assembles the standard daemon admin surface:
 //
+//	GET /healthz                  — liveness: 200 while the process answers
+//	GET /readyz                   — readiness: 200 when every health probe passes
 //	GET /metrics                  — reg in Prometheus text exposition format
 //	GET /debug/traces[?trace_id=] — tr's span ring as JSON, filterable
 //	GET /debug/slo                — per-route burn-rate report (samples on scrape)
 //	GET /debug/pprof/*            — net/http/pprof profiles
 //
-// Nil reg or tr default to the process-wide instances, so a daemon that
-// only uses default instrumentation can call AdminMux(nil, nil).
-func AdminMux(reg *Registry, tr *Tracer) *http.ServeMux {
+// Nil reg or tr default to the process-wide instances, and a nil health
+// is always ready, so a daemon that only uses default instrumentation
+// and has no boot dependencies can call AdminMux(nil, nil, nil).
+func AdminMux(reg *Registry, tr *Tracer, health *Health) *http.ServeMux {
 	if reg == nil {
 		reg = Default()
 	}
@@ -22,6 +25,8 @@ func AdminMux(reg *Registry, tr *Tracer) *http.ServeMux {
 		tr = DefaultTracer()
 	}
 	mux := http.NewServeMux()
+	mux.Handle("/healthz", health.LiveHandler())
+	mux.Handle("/readyz", health.ReadyHandler())
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/traces", tr.Handler())
 	mux.Handle("/debug/slo", NewSLO(SLOConfig{Registry: reg}).Handler())

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHealthNilIsAlwaysReady(t *testing.T) {
+	var h *Health
+	ready, failing := h.Ready()
+	if !ready || len(failing) != 0 {
+		t.Fatalf("nil health ready = %v failing = %v, want ready", ready, failing)
+	}
+	rec := httptest.NewRecorder()
+	h.ReadyHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/readyz on nil health = %d, want 200", rec.Code)
+	}
+}
+
+func TestHealthProbesGateReadiness(t *testing.T) {
+	h := NewHealth()
+	h.SetReady("ledger", false)
+	walOK := true
+	h.AddCheck("wal", func() bool { return walOK })
+
+	assert := func(wantReady bool, wantFailing ...string) {
+		t.Helper()
+		ready, failing := h.Ready()
+		if ready != wantReady {
+			t.Fatalf("ready = %v, want %v (failing %v)", ready, wantReady, failing)
+		}
+		if len(failing) != len(wantFailing) {
+			t.Fatalf("failing = %v, want %v", failing, wantFailing)
+		}
+		for i := range failing {
+			if failing[i] != wantFailing[i] {
+				t.Fatalf("failing = %v, want %v", failing, wantFailing)
+			}
+		}
+	}
+	assert(false, "ledger")
+	h.SetReady("ledger", true)
+	assert(true)
+	walOK = false
+	assert(false, "wal")
+	h.SetReady("ledger", false)
+	assert(false, "ledger", "wal")
+}
+
+func TestHealthReadyHandlerCodesAndBody(t *testing.T) {
+	h := NewHealth()
+	h.SetReady("boot", false)
+	rec := httptest.NewRecorder()
+	h.ReadyHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("/readyz while booting = %d, want 503", rec.Code)
+	}
+	var body struct {
+		Ready   bool     `json:"ready"`
+		Failing []string `json:"failing"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Ready || len(body.Failing) != 1 || body.Failing[0] != "boot" {
+		t.Fatalf("body = %+v, want failing [boot]", body)
+	}
+
+	h.SetReady("boot", true)
+	rec = httptest.NewRecorder()
+	h.ReadyHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/readyz after boot = %d, want 200", rec.Code)
+	}
+	liveRec := httptest.NewRecorder()
+	h.LiveHandler().ServeHTTP(liveRec, httptest.NewRequest("GET", "/healthz", nil))
+	if liveRec.Code != 200 {
+		t.Fatalf("/healthz = %d, want 200", liveRec.Code)
+	}
+}
+
+func TestAdminMuxServesHealthEndpoints(t *testing.T) {
+	mux := AdminMux(NewRegistry(), NewTracer(16), nil)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s = %d, want 200", path, rec.Code)
+		}
+	}
+}

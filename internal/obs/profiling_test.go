@@ -32,7 +32,7 @@ func TestAdminMuxServesContentionProfiles(t *testing.T) {
 	}
 	wg.Wait()
 
-	srv := httptest.NewServer(AdminMux(NewRegistry(), nil))
+	srv := httptest.NewServer(AdminMux(NewRegistry(), nil, nil))
 	defer srv.Close()
 	for _, profile := range []string{"mutex", "block"} {
 		resp, err := srv.Client().Get(srv.URL + "/debug/pprof/" + profile + "?debug=1")

@@ -48,7 +48,7 @@ func TestScrapeInstrumentedCollector(t *testing.T) {
 	}
 	col.CloseEpochs(at.Add(2 * time.Minute))
 
-	srv := httptest.NewServer(obs.AdminMux(reg, obs.NewTracer(8)))
+	srv := httptest.NewServer(obs.AdminMux(reg, obs.NewTracer(8), nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/metrics")

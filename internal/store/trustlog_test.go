@@ -1,0 +1,218 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sensorcal/internal/trust"
+)
+
+var logEpoch = time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+func mustOpenLog(t *testing.T, dir string, opts Options) *TrustLog {
+	t.Helper()
+	tl, err := OpenTrustLog(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tl.Close() })
+	return tl
+}
+
+func mustRecover(t *testing.T, tl *TrustLog) (*trust.Ledger, TrustRecoveryStats) {
+	t.Helper()
+	l := trust.NewLedger()
+	stats, err := tl.Recover(l, logEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, stats
+}
+
+func TestTrustLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tl := mustOpenLog(t, dir, Options{})
+	nodes := []trust.Node{
+		{ID: "alpha", Operator: "op-1", Lat: 46.5, Lon: 6.6, Registered: logEpoch},
+		{ID: "beta", Operator: "op-2", ClaimedOutdoor: true, Registered: logEpoch},
+	}
+	for _, n := range nodes {
+		if err := tl.AppendRegister(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tl.AppendScores(logEpoch, []trust.ScoreUpdate{
+		{Node: "alpha", Score: 0.7}, {Node: "beta", Score: 0.4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.AppendScores(logEpoch.Add(time.Minute), []trust.ScoreUpdate{
+		{Node: "beta", Score: 0.35},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tl.Close()
+
+	tl2 := mustOpenLog(t, dir, Options{})
+	l, stats := mustRecover(t, tl2)
+	if l.Len() != 2 {
+		t.Fatalf("recovered %d nodes, want 2", l.Len())
+	}
+	if stats.Records != 4 {
+		t.Fatalf("replayed %d records, want 4", stats.Records)
+	}
+	if got := l.Trust("alpha"); got != 0.7 {
+		t.Fatalf("alpha score = %v, want 0.7", got)
+	}
+	// The later batch wins: absolute scores replay in append order.
+	if got := l.Trust("beta"); got != 0.35 {
+		t.Fatalf("beta score = %v, want 0.35", got)
+	}
+}
+
+func TestTrustLogCompactionFoldsSegmentsIntoSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	tl := mustOpenLog(t, dir, Options{SegmentBytes: 256})
+	l := trust.NewLedger()
+	for i := 0; i < 20; i++ {
+		n := trust.Node{ID: trust.NodeID(string(rune('a'+i)) + "-node"), Registered: logEpoch}
+		if err := l.Register(n); err != nil {
+			t.Fatal(err)
+		}
+		if err := tl.AppendRegister(n); err != nil {
+			t.Fatal(err)
+		}
+		l.SetScore(n.ID, trust.Score(float64(i)/20))
+		if err := tl.AppendScores(logEpoch, []trust.ScoreUpdate{{Node: n.ID, Score: trust.Score(float64(i) / 20)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tl.SealedSegments() == 0 {
+		t.Fatal("no sealed segments before compaction")
+	}
+	if err := tl.Compact(l, logEpoch); err != nil {
+		t.Fatal(err)
+	}
+	if got := tl.SealedSegments(); got != 0 {
+		t.Fatalf("%d sealed segments survived compaction", got)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, snapPrefix+"*"))
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots on disk = %v, want exactly one", snaps)
+	}
+
+	// Post-compaction appends land in the fresh tail and replay over the
+	// snapshot.
+	if err := tl.AppendScores(logEpoch, []trust.ScoreUpdate{{Node: "a-node", Score: 0.99}}); err != nil {
+		t.Fatal(err)
+	}
+	tl.Close()
+	tl2 := mustOpenLog(t, dir, Options{SegmentBytes: 256})
+	got, stats := mustRecover(t, tl2)
+	if stats.SnapshotSeq == 0 || stats.SnapshotNodes != 20 {
+		t.Fatalf("recovery ignored the snapshot: %+v", stats)
+	}
+	if got.Len() != 20 {
+		t.Fatalf("recovered %d nodes, want 20", got.Len())
+	}
+	if s := got.Trust("a-node"); s != 0.99 {
+		t.Fatalf("tail record did not override snapshot: a-node = %v", s)
+	}
+}
+
+func TestTrustLogRepeatedCompactionKeepsOneSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	tl := mustOpenLog(t, dir, Options{})
+	l := trust.NewLedger()
+	for round := 0; round < 3; round++ {
+		n := trust.Node{ID: trust.NodeID("n" + string(rune('0'+round))), Registered: logEpoch}
+		if err := l.Register(n); err != nil {
+			t.Fatal(err)
+		}
+		if err := tl.AppendRegister(n); err != nil {
+			t.Fatal(err)
+		}
+		if err := tl.Compact(l, logEpoch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, snapPrefix+"*"))
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots after 3 compactions = %v, want one", snaps)
+	}
+	tl.Close()
+	tl2 := mustOpenLog(t, dir, Options{})
+	got, _ := mustRecover(t, tl2)
+	if got.Len() != 3 {
+		t.Fatalf("recovered %d nodes, want 3", got.Len())
+	}
+}
+
+func TestTrustLogCleansLeftoverTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	leftover := filepath.Join(dir, snapName(7)+".tmp")
+	if err := os.WriteFile(leftover, []byte("{half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl := mustOpenLog(t, dir, Options{})
+	defer tl.Close()
+	if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+		t.Fatal("interrupted compaction temp file survived open")
+	}
+	// And the half-written temp must not have been mistaken for a
+	// snapshot.
+	l, stats := mustRecover(t, tl)
+	if stats.SnapshotSeq != 0 || l.Len() != 0 {
+		t.Fatalf("temp file treated as authoritative: %+v", stats)
+	}
+}
+
+func TestTrustLogSkipsUnknownRecordKinds(t *testing.T) {
+	dir := t.TempDir()
+	tl := mustOpenLog(t, dir, Options{})
+	// A future version's record kind: must be skipped, not fatal.
+	if err := tl.wal.Append([]byte(`{"k":"from-the-future","v":42}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.AppendRegister(trust.Node{ID: "n1", Registered: logEpoch}); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := mustRecover(t, tl)
+	if l.Len() != 1 {
+		t.Fatalf("recovered %d nodes, want 1", l.Len())
+	}
+}
+
+func TestTrustLogMaybeCompactHonorsThreshold(t *testing.T) {
+	dir := t.TempDir()
+	tl := mustOpenLog(t, dir, Options{SegmentBytes: 128})
+	l := trust.NewLedger()
+	for i := 0; i < 10; i++ {
+		n := trust.Node{ID: trust.NodeID("node-" + string(rune('a'+i))), Registered: logEpoch}
+		if err := l.Register(n); err != nil {
+			t.Fatal(err)
+		}
+		if err := tl.AppendRegister(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ran, err := tl.MaybeCompact(l, logEpoch, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("compacted below threshold")
+	}
+	ran, err = tl.MaybeCompact(l, logEpoch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatalf("did not compact with %d sealed segments and threshold 1", tl.SealedSegments())
+	}
+}

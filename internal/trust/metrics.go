@@ -18,6 +18,8 @@ type collectorMetrics struct {
 	nodeScore     *obs.GaugeVec   // node
 	httpRequests  *obs.CounterVec // endpoint, code
 	submitSeconds *obs.Histogram  // per-reading ingest latency
+	storeErrors   *obs.Counter    // durable appends that failed
+	shedTotal     *obs.Counter    // requests shed while the store is degraded
 	// contention counters, one per stripe family, pre-resolved so the
 	// hot path never does a label lookup.
 	contention [stripeKinds]*obs.Counter
@@ -74,7 +76,22 @@ func (c *Collector) Instrument(reg *obs.Registry) *Collector {
 		submitSeconds: reg.Histogram("collector_submit_seconds",
 			"Latency of one reading through the collector ingest path.",
 			obs.ExpBuckets(250e-9, 4, 10)),
+		storeErrors: reg.Counter("trust_store_append_failures_total",
+			"Durable store appends (registrations, epoch-close score batches) that failed."),
+		shedTotal: reg.Counter("trust_store_shed_total",
+			"Mutating API requests shed with 503 while the durable store was degraded."),
 	}
+	reg.GaugeFunc("collector_store_degraded",
+		"1 while the durable store is erroring and mutating traffic is shed, else 0.",
+		func() float64 {
+			if c.StoreDegraded() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("collector_store_lag_updates",
+		"Score updates applied in memory but still awaiting a durable append.",
+		func() float64 { return float64(c.StoreLag()) })
 	contention := reg.CounterVec("collector_shard_contention_total",
 		"Stripe lock acquisitions that found the lock held (fast-path TryLock miss), by stripe family.",
 		"stripe")
@@ -140,4 +157,18 @@ func (m *collectorMetrics) recordContention(which int) {
 		return
 	}
 	m.contention[which].Inc()
+}
+
+func (m *collectorMetrics) recordStoreAppendError() {
+	if m == nil {
+		return
+	}
+	m.storeErrors.Inc()
+}
+
+func (m *collectorMetrics) recordShed() {
+	if m == nil {
+		return
+	}
+	m.shedTotal.Inc()
 }

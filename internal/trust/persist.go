@@ -43,11 +43,25 @@ func (l *Ledger) Save(w io.Writer, now time.Time) error {
 	return enc.Encode(snap)
 }
 
-// Load restores a snapshot into an empty ledger. Loading over existing
-// registrations is refused to avoid silent merges. Load runs at boot,
-// before the collector serves traffic, so the emptiness check does not
-// need to hold every stripe lock at once.
-func (l *Ledger) Load(r io.Reader) error {
+// loadClockSkewTolerance is how far a snapshot's SavedAt may sit past the
+// loading clock before the snapshot is rejected as forged or corrupt. A
+// collector fleet's clocks drift by seconds, not minutes; anything beyond
+// this is a timestamp that never came from a wall clock we trust.
+const loadClockSkewTolerance = 5 * time.Minute
+
+// Load restores a snapshot into an empty ledger, validating against the
+// system clock. See LoadAt.
+func (l *Ledger) Load(r io.Reader) error { return l.LoadAt(r, time.Now()) }
+
+// LoadAt restores a snapshot into an empty ledger. Loading over existing
+// registrations is refused to avoid silent merges, a snapshot whose
+// SavedAt sits meaningfully past now is rejected (a fabricator handing
+// the collector a forged "future" snapshot must not win an argument with
+// the clock), and duplicate node IDs are an error rather than a silent
+// last-wins merge. LoadAt runs at boot, before the collector serves
+// traffic, so the emptiness check does not need to hold every stripe
+// lock at once.
+func (l *Ledger) LoadAt(r io.Reader, now time.Time) error {
 	var snap ledgerSnapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("trust: decoding ledger snapshot: %w", err)
@@ -55,13 +69,23 @@ func (l *Ledger) Load(r io.Reader) error {
 	if l.Len() != 0 {
 		return fmt.Errorf("trust: refusing to load into a non-empty ledger")
 	}
+	if skew := snap.SavedAt.Sub(now); skew > loadClockSkewTolerance {
+		return fmt.Errorf("trust: snapshot saved_at %s is %s in the future", snap.SavedAt.Format(time.RFC3339), skew)
+	}
+	seen := make(map[NodeID]struct{}, len(snap.Nodes))
 	for _, ns := range snap.Nodes {
 		if ns.ID == "" {
 			return fmt.Errorf("trust: snapshot contains a node without an ID")
 		}
+		if _, dup := seen[ns.ID]; dup {
+			return fmt.Errorf("trust: snapshot contains node %s twice", ns.ID)
+		}
+		seen[ns.ID] = struct{}{}
 		if ns.Score < 0 || ns.Score > 1 {
 			return fmt.Errorf("trust: snapshot score %v for %s out of range", ns.Score, ns.ID)
 		}
+	}
+	for _, ns := range snap.Nodes {
 		n := ns.Node
 		st := l.stripe(ns.ID)
 		st.mu.Lock()

@@ -1,0 +1,102 @@
+package trust
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Regression tests for the snapshot-validation hardening: the loader
+// used to accept duplicate node IDs silently (last entry won — a forged
+// snapshot could overwrite an operator's score by appending a duplicate)
+// and trusted SavedAt blindly.
+
+func TestLoadRejectsDuplicateNodeIDs(t *testing.T) {
+	snap := `{"saved_at":"2026-08-05T12:00:00Z","nodes":[
+		{"ID":"n1","score":0.9},
+		{"ID":"n2","score":0.5},
+		{"ID":"n1","score":0.1}
+	]}`
+	l := NewLedger()
+	err := l.LoadAt(strings.NewReader(snap), time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC))
+	if err == nil {
+		t.Fatal("duplicate node IDs accepted")
+	}
+	if !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("error does not name the duplicate: %v", err)
+	}
+	// Validation precedes mutation: the rejected snapshot must leave the
+	// ledger untouched, not half-loaded up to the duplicate.
+	if l.Len() != 0 {
+		t.Fatalf("rejected snapshot partially applied: %d nodes", l.Len())
+	}
+}
+
+func TestLoadRejectsFutureSavedAt(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	l := NewLedger()
+	_ = l.Register(Node{ID: "n1"})
+	var buf bytes.Buffer
+	if err := l.Save(&buf, now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewLedger()
+	err := fresh.LoadAt(bytes.NewReader(buf.Bytes()), now)
+	if err == nil {
+		t.Fatal("snapshot from an hour in the future accepted")
+	}
+	if fresh.Len() != 0 {
+		t.Fatalf("rejected snapshot partially applied: %d nodes", fresh.Len())
+	}
+}
+
+func TestLoadToleratesSmallClockSkew(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	l := NewLedger()
+	_ = l.Register(Node{ID: "n1"})
+	var buf bytes.Buffer
+	// Saved one minute "ahead" of the loading clock: ordinary fleet drift,
+	// must load.
+	if err := l.Save(&buf, now.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewLedger()
+	if err := fresh.LoadAt(bytes.NewReader(buf.Bytes()), now); err != nil {
+		t.Fatalf("one minute of skew rejected: %v", err)
+	}
+	if fresh.Len() != 1 {
+		t.Fatalf("loaded %d nodes, want 1", fresh.Len())
+	}
+}
+
+func TestSetScoreClampsAndIgnoresUnknown(t *testing.T) {
+	l := NewLedger()
+	_ = l.Register(Node{ID: "n1"})
+	l.SetScore("n1", 1.5)
+	if got := l.Trust("n1"); got != 1 {
+		t.Fatalf("score not clamped high: %v", got)
+	}
+	l.SetScore("n1", -0.5)
+	if got := l.Trust("n1"); got != 0 {
+		t.Fatalf("score not clamped low: %v", got)
+	}
+	l.SetScore("ghost", 0.7)
+	if _, ok := l.Node("ghost"); ok {
+		t.Fatal("SetScore invented a node")
+	}
+}
+
+func TestUnregisterRollsBackRegistration(t *testing.T) {
+	l := NewLedger()
+	_ = l.Register(Node{ID: "n1"})
+	l.unregister("n1")
+	if _, ok := l.Node("n1"); ok {
+		t.Fatal("unregister left the node behind")
+	}
+	// The ID is free again: a durable-append failure must not burn the
+	// identity forever.
+	if err := l.Register(Node{ID: "n1"}); err != nil {
+		t.Fatalf("re-register after rollback: %v", err)
+	}
+}

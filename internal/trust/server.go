@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sensorcal/internal/obs"
@@ -41,6 +43,21 @@ type Collector struct {
 	// Obs receives the HTTP middleware's RED metrics; nil means the
 	// process-wide default registry.
 	Obs *obs.Registry
+
+	// Store, when non-nil, durably records trust mutations: enrollments
+	// as they happen, scores at epoch close (off the submit hot path).
+	// When the store errors the collector degrades instead of silently
+	// dropping evidence: mutating endpoints shed with 503 + Retry-After
+	// and failed score batches are retried on the next epoch close.
+	Store Store
+
+	// RetryAfter is the backoff hint attached to 503 responses shed
+	// while the store is degraded. Zero means 5 s.
+	RetryAfter time.Duration
+
+	storeMu       sync.Mutex
+	storePending  map[NodeID]Score // score updates awaiting a durable append
+	storeDegraded atomic.Bool
 
 	epochs []epochStripe // by signal ID hash
 	dedups []dedupStripe // by idempotency key hash
@@ -78,7 +95,80 @@ func NewShardedCollector(shards int) *Collector {
 		c.dedups[i].seen = make(map[string]struct{})
 		c.fresh[i].lastSeen = make(map[NodeID]time.Time)
 	}
+	c.storePending = make(map[NodeID]Score)
 	return c
+}
+
+// ErrStoreUnavailable marks a mutation refused because the durable store
+// could not persist it. Handlers map it to 503 + Retry-After: the client
+// should back off and retry, not treat the mutation as permanently
+// rejected.
+var ErrStoreUnavailable = errors.New("trust: durable store unavailable")
+
+// StoreDegraded reports whether the last durable append failed. A
+// degraded collector sheds mutating API traffic and fails readiness; it
+// heals automatically when an append (or the epoch-close probe) succeeds.
+func (c *Collector) StoreDegraded() bool { return c.storeDegraded.Load() }
+
+// StoreLag returns how many score updates are waiting for a durable
+// append to succeed — nonzero only while the store is erroring.
+func (c *Collector) StoreLag() int {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	return len(c.storePending)
+}
+
+// registerDurable enrolls a node and, when a store is attached, appends
+// the registration before acknowledging. A registration whose append
+// failed is rolled back from the ledger: acknowledging an enrollment the
+// disk never saw would let a crash silently drop it.
+func (c *Collector) registerDurable(n Node) error {
+	if err := c.Ledger.Register(n); err != nil {
+		return err
+	}
+	if c.Store == nil {
+		return nil
+	}
+	if err := c.Store.AppendRegister(n); err != nil {
+		c.Ledger.unregister(n.ID)
+		c.storeDegraded.Store(true)
+		c.metrics.recordStoreAppendError()
+		return fmt.Errorf("%w: %v", ErrStoreUnavailable, err)
+	}
+	c.storeDegraded.Store(false)
+	return nil
+}
+
+// flushStore merges updates with any batch still owed from a failed
+// append and tries one durable append. While degraded it probes with
+// whatever is pending (possibly nothing) so a healed disk brings the
+// collector back without waiting for new evidence.
+func (c *Collector) flushStore(at time.Time, updates []ScoreUpdate) {
+	if c.Store == nil {
+		return
+	}
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	for _, u := range updates {
+		c.storePending[u.Node] = u.Score
+	}
+	if len(c.storePending) == 0 && !c.storeDegraded.Load() {
+		return
+	}
+	batch := make([]ScoreUpdate, 0, len(c.storePending))
+	for id, s := range c.storePending {
+		batch = append(batch, ScoreUpdate{Node: id, Score: s})
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Node < batch[j].Node })
+	if err := c.Store.AppendScores(at, batch); err != nil {
+		c.storeDegraded.Store(true)
+		c.metrics.recordStoreAppendError()
+		return
+	}
+	for id := range c.storePending {
+		delete(c.storePending, id)
+	}
+	c.storeDegraded.Store(false)
 }
 
 // Shards returns the stripe count the collector was built with.
@@ -224,6 +314,7 @@ func (c *Collector) CloseEpochs(cutoff time.Time) []Anomaly {
 	}
 	sort.Strings(signals)
 	var all []Anomaly
+	var updates []ScoreUpdate
 	for _, sig := range signals {
 		st := &c.epochs[fnv1a(sig)&c.mask]
 		st.mu.Lock()
@@ -250,7 +341,9 @@ func (c *Collector) CloseEpochs(cutoff time.Time) []Anomaly {
 			Apply(c.Ledger, participants, anomalies)
 			c.metrics.recordEpochClosed(anomalies)
 			for _, id := range participants {
-				c.metrics.setNodeScore(id, c.Ledger.Trust(id))
+				s := c.Ledger.Trust(id)
+				c.metrics.setNodeScore(id, s)
+				updates = append(updates, ScoreUpdate{Node: id, Score: s})
 			}
 			all = append(all, anomalies...)
 		}
@@ -259,6 +352,10 @@ func (c *Collector) CloseEpochs(cutoff time.Time) []Anomaly {
 		}
 		st.mu.Unlock()
 	}
+	// One durable append (one fsync) per close pass, off the submit hot
+	// path; a failure degrades the collector and the batch is retried —
+	// merged with newer updates — on the next pass.
+	c.flushStore(cutoff, updates)
 	span.SetAttr("signals", strconv.Itoa(len(signals)))
 	span.SetAttr("anomalies", strconv.Itoa(len(all)))
 	return all
@@ -495,10 +592,31 @@ func (c *Collector) Handler(now func() time.Time) http.Handler {
 	handle := func(route string, h http.HandlerFunc) {
 		mux.Handle(route, mw.WrapHandler(route, h))
 	}
+	retryAfter := c.RetryAfter
+	if retryAfter <= 0 {
+		retryAfter = 5 * time.Second
+	}
+	// shed refuses a mutating request while the durable store is erroring:
+	// accepting evidence we cannot persist — and acking it to an agent
+	// that will then drop it from its spool — is silent data loss. 503 +
+	// Retry-After tells the agents' retriers to hold the evidence and
+	// back off; it replays from their spools once the store heals.
+	shed := func(w http.ResponseWriter) bool {
+		if !c.storeDegraded.Load() {
+			return false
+		}
+		c.metrics.recordShed()
+		w.Header().Set("Retry-After", strconv.Itoa(int((retryAfter+time.Second-1)/time.Second)))
+		http.Error(w, "durable store unavailable, retry later", http.StatusServiceUnavailable)
+		return true
+	}
 	handle("/api/register", func(w http.ResponseWriter, r *http.Request) {
 		c.metrics.recordRequest("register")
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if shed(w) {
 			return
 		}
 		var req registerRequest
@@ -506,12 +624,17 @@ func (c *Collector) Handler(now func() time.Time) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		err := c.Ledger.Register(Node{
+		err := c.registerDurable(Node{
 			ID: NodeID(req.ID), Operator: req.Operator,
 			Lat: req.Lat, Lon: req.Lon,
 			ClaimedOutdoor: req.ClaimedOutdoor, Hardware: req.Hardware,
 			Registered: now(),
 		})
+		if errors.Is(err, ErrStoreUnavailable) {
+			w.Header().Set("Retry-After", strconv.Itoa(int((retryAfter+time.Second-1)/time.Second)))
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusConflict)
 			return
@@ -523,6 +646,9 @@ func (c *Collector) Handler(now func() time.Time) http.Handler {
 		c.metrics.recordRequest("readings")
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if shed(w) {
 			return
 		}
 		c.serveReadings(w, r, now)

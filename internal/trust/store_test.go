@@ -1,0 +1,235 @@
+package trust
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeStore is a scriptable trust.Store: flip failing to drive the
+// degradation and healing paths.
+type fakeStore struct {
+	mu        sync.Mutex
+	failing   bool
+	registers []Node
+	batches   [][]ScoreUpdate
+}
+
+var errDiskGone = errors.New("disk gone")
+
+func (f *fakeStore) AppendRegister(n Node) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failing {
+		return errDiskGone
+	}
+	f.registers = append(f.registers, n)
+	return nil
+}
+
+func (f *fakeStore) AppendScores(at time.Time, updates []ScoreUpdate) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failing {
+		return errDiskGone
+	}
+	batch := append([]ScoreUpdate(nil), updates...)
+	f.batches = append(f.batches, batch)
+	return nil
+}
+
+func (f *fakeStore) setFailing(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failing = v
+}
+
+func (f *fakeStore) lastBatch() []ScoreUpdate {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.batches) == 0 {
+		return nil
+	}
+	return f.batches[len(f.batches)-1]
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestRegisterDurableRollsBackOnAppendFailure: an enrollment the store
+// cannot persist must not be served from memory — and the identity must
+// not be burned.
+func TestRegisterDurableRollsBackOnAppendFailure(t *testing.T) {
+	c := NewCollector()
+	fs := &fakeStore{}
+	c.Store = fs
+	fs.setFailing(true)
+	err := c.registerDurable(Node{ID: "n1"})
+	if !errors.Is(err, ErrStoreUnavailable) {
+		t.Fatalf("err = %v, want ErrStoreUnavailable", err)
+	}
+	if _, ok := c.Ledger.Node("n1"); ok {
+		t.Fatal("failed registration left in the ledger")
+	}
+	if !c.StoreDegraded() {
+		t.Fatal("append failure did not degrade the collector")
+	}
+	// Disk heals: the same identity registers cleanly.
+	fs.setFailing(false)
+	if err := c.registerDurable(Node{ID: "n1"}); err != nil {
+		t.Fatalf("register after heal: %v", err)
+	}
+	if c.StoreDegraded() {
+		t.Fatal("successful append did not clear degradation")
+	}
+	if len(fs.registers) != 1 || fs.registers[0].ID != "n1" {
+		t.Fatalf("durable registers = %+v", fs.registers)
+	}
+}
+
+// TestDegradedCollectorShedsMutations: while the store is erroring, the
+// mutating endpoints refuse with 503 + Retry-After (the agents hold
+// evidence in their spools); reads keep serving.
+func TestDegradedCollectorShedsMutations(t *testing.T) {
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	c := NewCollector()
+	fs := &fakeStore{}
+	c.Store = fs
+	c.RetryAfter = 7 * time.Second
+	if err := c.registerDurable(Node{ID: "n1"}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler(func() time.Time { return t0 }))
+	defer srv.Close()
+
+	// Healthy: a reading lands.
+	resp := postJSON(t, srv.URL+"/api/readings", map[string]any{
+		"node": "n1", "signal_id": "s", "power_dbm": -50.0, "at": t0,
+	})
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy reading status = %d", resp.StatusCode)
+	}
+
+	// Disk dies; the next epoch close fails its append and degrades.
+	fs.setFailing(true)
+	c.CloseEpochs(t0.Add(time.Hour))
+	if !c.StoreDegraded() {
+		t.Fatal("failed score append did not degrade")
+	}
+
+	resp = postJSON(t, srv.URL+"/api/readings", map[string]any{
+		"node": "n1", "signal_id": "s", "power_dbm": -50.0, "at": t0,
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded reading status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Fatalf("Retry-After = %q, want 7", ra)
+	}
+	resp = postJSON(t, srv.URL+"/api/register", map[string]any{"id": "n2"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded register status = %d, want 503", resp.StatusCode)
+	}
+	if _, ok := c.Ledger.Node("n2"); ok {
+		t.Fatal("shed registration reached the ledger")
+	}
+
+	// Reads still serve while degraded.
+	getResp, err := http.Get(srv.URL + "/api/trust?node=n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded read status = %d, want 200", getResp.StatusCode)
+	}
+}
+
+// TestFlushStoreRetriesPendingAndHeals: score updates whose append
+// failed are merged into the next close's batch; an empty-handed close
+// probes the store so the collector heals without new evidence.
+func TestFlushStoreRetriesPendingAndHeals(t *testing.T) {
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	c := NewCollector()
+	fs := &fakeStore{}
+	c.Store = fs
+	for _, id := range []NodeID{"a", "b", "c"} {
+		if err := c.registerDurable(Node{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []NodeID{"a", "b", "c"} {
+		if err := c.Submit(Reading{Node: id, SignalID: "s", PowerDBm: -50, At: t0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fs.setFailing(true)
+	c.CloseEpochs(t0.Add(time.Hour))
+	if !c.StoreDegraded() {
+		t.Fatal("not degraded after failed flush")
+	}
+	if c.StoreLag() != 3 {
+		t.Fatalf("store lag = %d, want 3", c.StoreLag())
+	}
+
+	// Disk heals; a close pass with no new epochs still flushes the owed
+	// batch.
+	fs.setFailing(false)
+	c.CloseEpochs(t0.Add(2 * time.Hour))
+	if c.StoreDegraded() {
+		t.Fatal("still degraded after successful flush")
+	}
+	if c.StoreLag() != 0 {
+		t.Fatalf("store lag = %d after heal, want 0", c.StoreLag())
+	}
+	batch := fs.lastBatch()
+	if len(batch) != 3 {
+		t.Fatalf("healed batch = %+v, want the 3 owed updates", batch)
+	}
+	for _, u := range batch {
+		if u.Score != c.Ledger.Trust(u.Node) {
+			t.Fatalf("batch score for %s = %v, ledger has %v", u.Node, u.Score, c.Ledger.Trust(u.Node))
+		}
+	}
+}
+
+// TestCloseEpochsAppendsOneBatchPerPass: the durable append happens once
+// per close pass (one fsync), not once per node or per signal.
+func TestCloseEpochsAppendsOneBatchPerPass(t *testing.T) {
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	c := NewShardedCollector(8)
+	fs := &fakeStore{}
+	c.Store = fs
+	for _, id := range []NodeID{"a", "b", "c", "d"} {
+		if err := c.registerDurable(Node{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Submit(Reading{Node: id, SignalID: "sig-" + string(id), PowerDBm: -50, At: t0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.CloseEpochs(t0.Add(time.Hour))
+	if len(fs.batches) != 1 {
+		t.Fatalf("close pass made %d score appends, want 1", len(fs.batches))
+	}
+	if got := len(fs.batches[0]); got != 4 {
+		t.Fatalf("batch covers %d nodes, want 4", got)
+	}
+}

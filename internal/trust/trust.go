@@ -157,6 +157,40 @@ func (l *Ledger) Record(id NodeID, verdict float64) {
 	st.scores[id] = Score(float64(s)*(1-l.Alpha) + verdict*l.Alpha)
 }
 
+// SetScore overwrites a registered node's score with an absolute value,
+// clamped to [0,1]. Unknown nodes are ignored. This is the WAL replay
+// primitive: durable score records carry the post-update absolute score
+// (not the evidence delta), so replaying a record twice — a snapshot
+// that already folded it in, then the tail segment again — converges to
+// the same ledger instead of double-applying the EWMA.
+func (l *Ledger) SetScore(id NodeID, s Score) {
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	st := l.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.nodes[id]; !ok {
+		return
+	}
+	st.scores[id] = s
+}
+
+// unregister removes a node, undoing a Register whose durable append
+// failed: an enrollment the store cannot persist must not be served from
+// memory, or a crash would silently drop it while the operator believes
+// registration succeeded.
+func (l *Ledger) unregister(id NodeID) {
+	st := l.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.nodes, id)
+	delete(st.scores, id)
+}
+
 // Trusted returns node IDs whose score meets the threshold, sorted by
 // descending score (ties by ID for determinism).
 func (l *Ledger) Trusted(threshold Score) []NodeID {

@@ -27,17 +27,19 @@ SCHED=127.0.0.1:18027
 
 go build -o "$WORK" ./cmd/spectrumd ./cmd/schedd ./cmd/agentd
 
-"$WORK/spectrumd" -addr "$SPECTRUM" -state "$WORK/ledger.json" \
+"$WORK/spectrumd" -addr "$SPECTRUM" -state "$WORK/ledger.json" -wal "$WORK/wal" \
   -trace-export "$OUT/spectrumd-spans.jsonl" >"$OUT/spectrumd.log" 2>&1 &
 "$WORK/schedd" -addr "$SCHED" -nodes node-1 -plan-every 2s \
   -trace-export "$OUT/schedd-spans.jsonl" >"$OUT/schedd.log" 2>&1 &
 
+# /readyz, not /metrics: the metrics endpoint answers while spectrumd is
+# still replaying its WAL; readiness flips only once the ledger is live.
 for i in $(seq 1 50); do
-  if curl -fsS "http://$SPECTRUM/metrics" >/dev/null 2>&1 &&
-     curl -fsS "http://$SCHED/metrics" >/dev/null 2>&1; then
+  if curl -fsS "http://$SPECTRUM/readyz" >/dev/null 2>&1 &&
+     curl -fsS "http://$SCHED/readyz" >/dev/null 2>&1; then
     break
   fi
-  [ "$i" -eq 50 ] && { echo "daemons never came up" >&2; exit 1; }
+  [ "$i" -eq 50 ] && { echo "daemons never became ready" >&2; exit 1; }
   sleep 0.2
 done
 

@@ -45,7 +45,7 @@ func TestTraceEndToEnd(t *testing.T) {
 	col := trust.NewShardedCollector(4)
 	col.Tracer = spectrumTr
 	col.Obs = spectrumReg
-	spectrumMux := obs.AdminMux(spectrumReg, spectrumTr)
+	spectrumMux := obs.AdminMux(spectrumReg, spectrumTr, nil)
 	spectrumMux.Handle("/api/", col.Handler(sim.Now))
 	spectrumSrv := httptest.NewServer(spectrumMux)
 	defer spectrumSrv.Close()
@@ -70,7 +70,7 @@ func TestTraceEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	api := &sched.Server{Q: q, Log: logger, Tracer: schedTr, Obs: schedReg}
-	schedMux := obs.AdminMux(schedReg, schedTr)
+	schedMux := obs.AdminMux(schedReg, schedTr, nil)
 	schedMux.Handle("/api/", api.Handler())
 	var leaseCalls atomic.Int32
 	schedSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
