@@ -10,6 +10,8 @@
 //	loadgen [-mode both] [-shards 16] [-baseline-shards 1] [-conns 8]
 //	        [-batch 64] [-nodes 256] [-signals 64] [-duration 3s]
 //	        [-dedup] [-target http://host:8025] [-out BENCH_7.json]
+//	        [-scenario stream] [-sensors 10000] [-stream-fft 256]
+//	        [-scaling-sweep] [-gomaxprocs N]
 //
 // Modes:
 //
@@ -31,6 +33,14 @@
 //	        bookkeeping. The record carries p50/p99 deltas vs the
 //	        sampling-disabled run in "trace_overhead_pct".
 //	both  — run core, http, trace and durability (default).
+//
+// -scenario=stream switches to the fleet streaming harness (stream.go):
+// a 10k-sensor closed loop through the batched shared-FFT service vs the
+// unshared per-sensor DSP path, recorded to BENCH_8.json with the
+// batched speedup, frame latency percentiles and steady-state
+// allocs/frame. -scaling-sweep additionally reruns the scenario's core
+// loop at GOMAXPROCS 1/2/4/NumCPU and records the per-core curve; every
+// scenario is stamped with the GOMAXPROCS it actually ran at.
 //
 // Before any timed run, loadgen replays one deterministic workload into
 // collectors at the baseline and sharded stripe counts and verifies that
@@ -75,6 +85,18 @@ type config struct {
 	Dedup          bool          `json:"dedup"`
 	Target         string        `json:"target,omitempty"`
 	Out            string        `json:"-"`
+
+	// Scenario selects an alternative harness: "" is the trust-collector
+	// bench above; "stream" drives the fleet streaming spectrum service
+	// (see stream.go) and writes BENCH_8.json.
+	Scenario string `json:"scenario,omitempty"`
+	// Sensors is the simulated fleet size for the stream scenario.
+	Sensors int `json:"sensors,omitempty"`
+	// StreamFFT is the streaming frame length.
+	StreamFFT int `json:"stream_fft,omitempty"`
+	// ScalingSweep reruns the scenario's core closed loop at GOMAXPROCS
+	// 1/2/4/NumCPU and records the per-core scaling curve.
+	ScalingSweep bool `json:"scaling_sweep,omitempty"`
 }
 
 // scenarioResult is one timed run of one collector configuration.
@@ -88,6 +110,9 @@ type scenarioResult struct {
 	Errors        int64   `json:"errors"`
 	ElapsedS      float64 `json:"elapsed_s"`
 	ThroughputRPS float64 `json:"throughput_rps"`
+	// Procs is the GOMAXPROCS this scenario actually ran at — stamped
+	// per scenario because -scaling-sweep varies it within one record.
+	Procs int `json:"gomaxprocs"`
 	// Latency of one batch through the ingest path (the full request in
 	// http mode), milliseconds.
 	P50ms float64 `json:"p50_ms"`
@@ -117,6 +142,12 @@ type benchOutput struct {
 	// durable trust must not tax the ingest hot path, because appends
 	// happen at epoch close, not per reading.
 	DurabilityOverhead map[string]float64 `json:"durability_overhead_pct,omitempty"`
+	// StreamAllocsPerFrame is the stream scenario's steady-state heap
+	// objects per frame through the batched service (target: ≈ 0).
+	StreamAllocsPerFrame float64 `json:"stream_allocs_per_frame,omitempty"`
+	// ScalingCurve is the -scaling-sweep result: the scenario's core
+	// closed loop rerun at GOMAXPROCS 1/2/4/NumCPU.
+	ScalingCurve []scalingPoint `json:"scaling_curve,omitempty"`
 }
 
 // splitmix is a tiny seedable PRNG so workers don't share rand state.
@@ -219,6 +250,7 @@ func result(name, mode string, cfg config, shards int, readings, errs int64, lat
 		Conns: cfg.Conns, Batch: cfg.Batch,
 		Readings: readings, Errors: errs, ElapsedS: elapsed,
 		P50ms: percentileMS(lats, 0.50), P99ms: percentileMS(lats, 0.99),
+		Procs: runtime.GOMAXPROCS(0),
 	}
 	if elapsed > 0 {
 		r.ThroughputRPS = float64(readings) / elapsed
@@ -700,6 +732,18 @@ func run(cfg config) (*benchOutput, error) {
 		Config:      cfg,
 		Speedup:     map[string]float64{},
 	}
+	switch cfg.Scenario {
+	case "":
+		// Fall through to the trust-collector bench below.
+	case "stream":
+		if err := runStream(cfg, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown -scenario %q (want stream)", cfg.Scenario)
+	}
+
 	// cfg with reduced sizes is built inside checkEquivalence.
 	eq, err := checkEquivalence(configForEquivalence(cfg))
 	if err != nil {
@@ -761,6 +805,17 @@ func run(cfg config) (*benchOutput, error) {
 			out.Speedup[mode] = sharded.ThroughputRPS / baseline.ThroughputRPS
 		}
 	}
+	if cfg.ScalingSweep {
+		if _, ok := modes["core"]; ok && cfg.Target == "" {
+			curve, err := runScalingSweep(cfg, func(c config) (scenarioResult, error) {
+				return runCore(c, c.Shards)
+			})
+			if err != nil {
+				return nil, err
+			}
+			out.ScalingCurve = curve
+		}
+	}
 	if trace {
 		// Always in-process: the scenario prices this build's middleware
 		// and tracer, not a remote daemon's.
@@ -815,11 +870,22 @@ func main() {
 	flag.DurationVar(&cfg.Duration, "duration", 3*time.Second, "timed duration per scenario")
 	flag.BoolVar(&cfg.Dedup, "dedup", true, "attach idempotency keys to every reading")
 	flag.StringVar(&cfg.Target, "target", "", "live collector base URL (http mode only; empty = in-process)")
-	flag.StringVar(&cfg.Out, "out", "BENCH_7.json", "bench record output path")
+	flag.StringVar(&cfg.Out, "out", "", "bench record output path (default BENCH_7.json, or BENCH_8.json for -scenario=stream)")
+	flag.StringVar(&cfg.Scenario, "scenario", "", "alternative harness: stream (fleet streaming spectrum service)")
+	flag.IntVar(&cfg.Sensors, "sensors", 10000, "simulated sensor fleet size (stream scenario)")
+	flag.IntVar(&cfg.StreamFFT, "stream-fft", 256, "streaming frame length in samples (stream scenario)")
+	flag.BoolVar(&cfg.ScalingSweep, "scaling-sweep", false, "rerun the core closed loop at GOMAXPROCS 1/2/4/NumCPU and record the per-core curve")
 	maxprocs := flag.Int("gomaxprocs", 0, "pin runtime.GOMAXPROCS for the run (0: leave the runtime default)")
 	flag.Parse()
 	if *maxprocs > 0 {
 		runtime.GOMAXPROCS(*maxprocs)
+	}
+	if cfg.Out == "" {
+		if cfg.Scenario == "stream" {
+			cfg.Out = "BENCH_8.json"
+		} else {
+			cfg.Out = "BENCH_7.json"
+		}
 	}
 
 	out, err := run(cfg)
@@ -834,7 +900,11 @@ func main() {
 			s.Name, s.ThroughputRPS, s.P50ms, s.P99ms, s.Readings, s.Errors)
 	}
 	for mode, sp := range out.Speedup {
-		log.Infof("%s speedup: %.2fx (shards=%d vs shards=%d)", mode, sp, cfg.Shards, cfg.BaselineShards)
+		if cfg.Scenario == "stream" {
+			log.Infof("%s speedup: %.2fx (batched service vs per-sensor serial)", mode, sp)
+		} else {
+			log.Infof("%s speedup: %.2fx (shards=%d vs shards=%d)", mode, sp, cfg.Shards, cfg.BaselineShards)
+		}
 	}
 	keys := make([]string, 0, len(out.TraceOverhead))
 	for k := range out.TraceOverhead {
@@ -848,6 +918,13 @@ func main() {
 		if v, ok := out.DurabilityOverhead[k]; ok {
 			log.Infof("durability overhead %s: %+.1f%% vs wal off", k, v)
 		}
+	}
+	if cfg.Scenario == "stream" && cfg.Target == "" {
+		log.Infof("stream steady-state allocs/frame: %.3f", out.StreamAllocsPerFrame)
+	}
+	for _, pt := range out.ScalingCurve {
+		log.Infof("scaling gomaxprocs=%-2d %10.0f /s  (%.2fx vs 1 core)",
+			pt.Procs, pt.ThroughputRPS, pt.SpeedupVs1)
 	}
 	if cfg.Out != "" {
 		if err := writeOutput(cfg.Out, out); err != nil {

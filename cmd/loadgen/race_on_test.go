@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation allocates inside sync.Pool and breaks allocs-per-frame
+// assertions.
+const raceEnabled = true

@@ -1,0 +1,513 @@
+package main
+
+// The -scenario=stream harness: drive the fleet-scale streaming spectrum
+// service (internal/stream) with a closed loop of sensors and price the
+// batched shared engine against the unshared per-sensor DSP path. The
+// record lands in BENCH_8.json:
+//
+//	stream/serial  — every frame through stream.SerialReference plus a
+//	                 local occupancy fold: fresh window, single-frame
+//	                 FFT, per-call buffers, then the same noise-floor +
+//	                 threshold pass the grid applies. What a fleet where
+//	                 each sensor owns its DSP and aggregates locally
+//	                 pays per frame for the same end product.
+//	stream/batched — the same frames through a stream.Service: shared
+//	                 cached windows, batched FFTs across sensors, pooled
+//	                 scratch, sessions and grid folds included.
+//
+// "stream" speedup = batched throughput / serial throughput, and
+// stream_allocs_per_frame is measured over a steady-state segment with
+// runtime.MemStats — the ≈0 claim that makes 10k sensors on one engine
+// viable. With -target the scenario instead streams wire-format frames
+// at a live spectrumd (the CI smoke uses this).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sensorcal/internal/obs"
+	"sensorcal/internal/spectrum"
+	"sensorcal/internal/stream"
+)
+
+// streamFramePool is how many distinct IQ frames the generator cycles
+// through — enough variety to defeat any value-level caching, small
+// enough to stay resident.
+const streamFramePool = 256
+
+// streamInflight bounds each worker's unacknowledged frames: the closed
+// loop waits for Done callbacks instead of flooding the queue.
+const streamInflight = 256
+
+// streamCenters spread the synthetic fleet across the monitored UHF
+// band so the occupancy grid fills in more than one bucket.
+var streamCenters = []float64{500e6, 550e6, 600e6, 650e6}
+
+// makeStreamFrames builds the deterministic frame pool: a tone whose bin
+// varies per frame, plus cheap uniform noise.
+func makeStreamFrames(n, count int) [][]complex128 {
+	frames := make([][]complex128, count)
+	rng := splitmix(0x5eed)
+	for f := range frames {
+		fr := make([]complex128, n)
+		bin := 3 + f%17
+		for i := range fr {
+			ph := 2 * math.Pi * float64(bin) * float64(i) / float64(n)
+			ni := (float64(rng.next()%1000)/1000 - 0.5) * 0.05
+			nq := (float64(rng.next()%1000)/1000 - 0.5) * 0.05
+			fr[i] = complex(0.4*math.Cos(ph)+ni, 0.4*math.Sin(ph)+nq)
+		}
+		frames[f] = fr
+	}
+	return frames
+}
+
+func sensorIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = "sensor-" + strconv.Itoa(i)
+	}
+	return ids
+}
+
+func newStreamService(cfg config) (*stream.Service, error) {
+	return stream.NewService(stream.Config{
+		FFTSize:     cfg.StreamFFT,
+		MaxSessions: cfg.Sensors + 64,
+		QueueCap:    16384,
+		MaxBatch:    128,
+		Linger:      200 * time.Microsecond,
+		Registry:    obs.NewRegistry(),
+		Grid:        stream.GridConfig{LowHz: 470e6, HighHz: 698e6},
+	})
+}
+
+// streamEquivalence is the stream scenario's refuse-to-lie gate: before
+// claiming a speedup, replay frames through the shared engine at batch
+// sizes 1, 8 and 64 and demand bit-identity with the serial reference.
+func streamEquivalence(cfg config) (bool, error) {
+	eng, err := stream.NewEngine(cfg.StreamFFT, nil)
+	if err != nil {
+		return false, err
+	}
+	frames := makeStreamFrames(cfg.StreamFFT, 64)
+	for _, batch := range []int{1, 8, 64} {
+		jobs := make([]stream.Job, batch)
+		for i := range jobs {
+			jobs[i] = stream.Job{IQ: frames[i%len(frames)], SampleRate: 2.4e6,
+				Bins: make([]float64, cfg.StreamFFT)}
+		}
+		if err := eng.Process(jobs); err != nil {
+			return false, err
+		}
+		for i := range jobs {
+			want, err := stream.SerialReference(jobs[i].IQ, 2.4e6, cfg.StreamFFT, nil)
+			if err != nil {
+				return false, err
+			}
+			for k := range want {
+				if math.Float64bits(jobs[i].Bins[k]) != math.Float64bits(want[k]) {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// runStreamSerial times the unshared baseline: one frame, one window,
+// one FFT, per-call allocations, then the same noise-floor estimate and
+// margin threshold the grid fold applies — a per-sensor deployment that
+// aggregates occupancy locally instead of through the shared service.
+// Scaled across -conns workers exactly like the batched run. The
+// occupied-bin tally is accumulated and published so the fold loop
+// cannot be optimized away.
+func runStreamSerial(cfg config) (scenarioResult, error) {
+	frames := makeStreamFrames(cfg.StreamFFT, streamFramePool)
+	var firstErr atomic.Value
+	var occupiedBins atomic.Int64
+	const marginDB = 6 // stream.GridConfig default
+	readings, errs, lats, elapsed := runClosedLoop(cfg, func(w, b int, rng *splitmix) (int, error) {
+		fr := frames[rng.next()%uint64(len(frames))]
+		bins, err := stream.SerialReference(fr, 2.4e6, cfg.StreamFFT, nil)
+		if err != nil {
+			firstErr.Store(err)
+			return 0, err
+		}
+		threshold := spectrum.NoiseFloorOf(bins, 0.25) + marginDB
+		occupied := 0
+		for _, p := range bins {
+			if p >= threshold {
+				occupied++
+			}
+		}
+		occupiedBins.Add(int64(occupied))
+		return 1, nil
+	})
+	_ = occupiedBins.Load()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return scenarioResult{}, err
+	}
+	return result("stream/serial", "stream", cfg, 0, readings, errs, lats, elapsed), nil
+}
+
+// runStreamBatched times the shared service end to end — ingest, queue,
+// batched FFT, session and grid folds — with frame latency measured from
+// Ingest to the Done callback. It also measures steady-state allocations
+// per frame over an untimed segment on the already-warm service.
+func runStreamBatched(cfg config) (scenarioResult, float64, error) {
+	sv, err := newStreamService(cfg)
+	if err != nil {
+		return scenarioResult{}, 0, err
+	}
+	defer sv.Close()
+	frames := makeStreamFrames(cfg.StreamFFT, streamFramePool)
+	ids := sensorIDs(cfg.Sensors)
+
+	var (
+		accepted atomic.Int64
+		shed     atomic.Int64
+		latMu    sync.Mutex
+		lats     []float64
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for w := 0; w < cfg.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := splitmix(0xbeef + uint64(w)*0x9137)
+			tokens := make(chan struct{}, streamInflight)
+			for i := 0; time.Now().Before(deadline); i++ {
+				tokens <- struct{}{}
+				idx := (i*cfg.Conns + w) % len(ids)
+				t0 := time.Now()
+				err := sv.Ingest(stream.IngestFrame{
+					Sensor:     ids[idx],
+					CenterHz:   streamCenters[idx%len(streamCenters)],
+					SampleRate: 2.4e6,
+					IQ:         frames[rng.next()%uint64(len(frames))],
+					Done: func() {
+						lat := time.Since(t0).Seconds()
+						latMu.Lock()
+						lats = append(lats, lat)
+						latMu.Unlock()
+						<-tokens
+					},
+				})
+				if err != nil {
+					shed.Add(1)
+					<-tokens
+					time.Sleep(50 * time.Microsecond)
+					continue
+				}
+				accepted.Add(1)
+			}
+			// Wait for this worker's in-flight frames: the channel only
+			// fills to capacity once every Done has drained a token.
+			for k := 0; k < streamInflight; k++ {
+				tokens <- struct{}{}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	res := result("stream/batched", "stream", cfg, 0, accepted.Load(), shed.Load(), lats, elapsed)
+
+	allocs, err := measureStreamAllocs(sv, frames, ids)
+	if err != nil {
+		return scenarioResult{}, 0, err
+	}
+	return res, allocs, nil
+}
+
+// measureStreamAllocs runs a steady-state segment on the warm service
+// and prices it in heap objects per frame: ingest K frames with no
+// per-frame closures, wait for a sentinel fold (the queue is FIFO and
+// the dispatcher is single, so the sentinel folding means everything
+// before it folded), and divide the Mallocs delta.
+func measureStreamAllocs(sv *stream.Service, frames [][]complex128, ids []string) (float64, error) {
+	// The warm phase must reach the same steady state the measured
+	// window runs in, or the window prices one-time ramp costs as if
+	// they were per-frame: every sensor's session must already exist,
+	// and the task pool must already hold as many recycled tasks as the
+	// queue can hold in flight. 2× the fleet covers both here (the
+	// queue cap is 16384 < 2×10000).
+	measured := 20000
+	warm := 2 * len(ids)
+	if warm < measured {
+		warm = measured
+	}
+	rng := splitmix(0xa110c)
+	feed := func(k int) int {
+		sent := 0
+		for i := 0; sent < k; i++ {
+			err := sv.Ingest(stream.IngestFrame{
+				Sensor:     ids[i%len(ids)],
+				CenterHz:   streamCenters[i%len(streamCenters)],
+				SampleRate: 2.4e6,
+				IQ:         frames[rng.next()%uint64(len(frames))],
+			})
+			if err != nil {
+				time.Sleep(100 * time.Microsecond)
+				continue
+			}
+			sent++
+		}
+		return sent
+	}
+	settle := func() error {
+		var done sync.WaitGroup
+		done.Add(1)
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			err := sv.Ingest(stream.IngestFrame{
+				Sensor: ids[0], CenterHz: streamCenters[0], SampleRate: 2.4e6,
+				IQ: frames[0], Done: done.Done,
+			})
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("allocs segment: sentinel never accepted: %w", err)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		done.Wait()
+		return nil
+	}
+	feed(warm)
+	if err := settle(); err != nil {
+		return 0, err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	sent := feed(measured)
+	if err := settle(); err != nil {
+		return 0, err
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(sent), nil
+}
+
+// measureEngineSpeedup prices the two DSP paths head to head with no
+// service, queue or aggregation in the way: the same frames through
+// SerialReference one at a time versus the shared engine at full
+// batches, both on a single goroutine. The ratio isolates what batching
+// itself buys — cached windows, amortized twiddles, pooled scratch —
+// from the service-level number, which also carries queueing and folds.
+func measureEngineSpeedup(cfg config) (float64, error) {
+	eng, err := stream.NewEngine(cfg.StreamFFT, nil)
+	if err != nil {
+		return 0, err
+	}
+	const total, batch = 4096, 128
+	frames := makeStreamFrames(cfg.StreamFFT, streamFramePool)
+	bins := make([][]float64, batch)
+	for i := range bins {
+		bins[i] = make([]float64, cfg.StreamFFT)
+	}
+	jobs := make([]stream.Job, batch)
+
+	// Warm both paths (window cache, pools) before timing.
+	for i := 0; i < batch; i++ {
+		jobs[i] = stream.Job{IQ: frames[i%len(frames)], SampleRate: 2.4e6, Bins: bins[i]}
+	}
+	if err := eng.Process(jobs); err != nil {
+		return 0, err
+	}
+	if _, err := stream.SerialReference(frames[0], 2.4e6, cfg.StreamFFT, nil); err != nil {
+		return 0, err
+	}
+
+	t0 := time.Now()
+	for done := 0; done < total; done += batch {
+		if err := eng.Process(jobs); err != nil {
+			return 0, err
+		}
+	}
+	batched := time.Since(t0)
+
+	t0 = time.Now()
+	for i := 0; i < total; i++ {
+		if _, err := stream.SerialReference(frames[i%len(frames)], 2.4e6, cfg.StreamFFT, nil); err != nil {
+			return 0, err
+		}
+	}
+	serial := time.Since(t0)
+	if batched <= 0 {
+		return 0, fmt.Errorf("engine speedup: zero batched time")
+	}
+	return float64(serial) / float64(batched), nil
+}
+
+// runStreamTarget streams wire-format frames at a live spectrumd — the
+// CI smoke path. Latency is the full HTTP batch round trip.
+func runStreamTarget(cfg config) (scenarioResult, error) {
+	frames := makeStreamFrames(cfg.StreamFFT, streamFramePool)
+	encoded := make([]string, len(frames))
+	for i, fr := range frames {
+		encoded[i] = stream.EncodeIQ(fr)
+	}
+	ids := sensorIDs(cfg.Sensors)
+	url := cfg.Target + "/api/stream/frames"
+	type wf struct {
+		Sensor     string  `json:"sensor"`
+		CenterHz   float64 `json:"center_hz"`
+		SampleRate float64 `json:"sample_rate"`
+		IQB64      string  `json:"iq_b64"`
+	}
+	bufPool := sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+	readings, errs, lats, elapsed := runClosedLoop(cfg, func(w, b int, rng *splitmix) (int, error) {
+		buf := bufPool.Get().(*bytes.Buffer)
+		defer bufPool.Put(buf)
+		buf.Reset()
+		batch := struct {
+			Frames []wf `json:"frames"`
+		}{Frames: make([]wf, cfg.Batch)}
+		for i := range batch.Frames {
+			idx := ((b*cfg.Batch+i)*cfg.Conns + w) % len(ids)
+			fi := rng.next() % uint64(len(encoded))
+			batch.Frames[i] = wf{
+				Sensor: ids[idx], CenterHz: streamCenters[idx%len(streamCenters)],
+				SampleRate: 2.4e6, IQB64: encoded[fi],
+			}
+		}
+		if err := json.NewEncoder(buf).Encode(&batch); err != nil {
+			return 0, err
+		}
+		resp, err := http.Post(url, "application/json", buf)
+		if err != nil {
+			return 0, err
+		}
+		var fr struct {
+			Accepted int `json:"accepted"`
+			Shed     int `json:"shed"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&fr)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			// Backpressure is the service working as designed; back off
+			// and keep the loop closed.
+			time.Sleep(50 * time.Millisecond)
+			return 0, nil
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return fr.Accepted, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return fr.Accepted, nil
+	})
+	return result("stream/target", "stream", cfg, 0, readings, errs, lats, elapsed), nil
+}
+
+// scalingPoint is one GOMAXPROCS setting of the -scaling-sweep curve.
+type scalingPoint struct {
+	Procs         int     `json:"gomaxprocs"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// SpeedupVs1 is throughput at this core count over throughput at 1 —
+	// the per-core scaling curve reviewers read first.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// sweepProcs is the GOMAXPROCS ladder: 1, 2, 4 and every core.
+func sweepProcs() []int {
+	set := map[int]bool{1: true}
+	for _, p := range []int{2, 4, runtime.NumCPU()} {
+		if p >= 1 {
+			set[p] = true
+		}
+	}
+	procs := make([]int, 0, len(set))
+	for p := range set {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	return procs
+}
+
+// runScalingSweep reruns one scenario across the GOMAXPROCS ladder and
+// returns the per-core curve. The original GOMAXPROCS is restored.
+func runScalingSweep(cfg config, runner func(config) (scenarioResult, error)) ([]scalingPoint, error) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	var points []scalingPoint
+	for _, p := range sweepProcs() {
+		runtime.GOMAXPROCS(p)
+		res, err := runner(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scaling sweep at gomaxprocs=%d: %w", p, err)
+		}
+		pt := scalingPoint{Procs: p, ThroughputRPS: res.ThroughputRPS}
+		if len(points) > 0 && points[0].ThroughputRPS > 0 {
+			pt.SpeedupVs1 = res.ThroughputRPS / points[0].ThroughputRPS
+		} else {
+			pt.SpeedupVs1 = 1
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// runStream executes the stream scenario into out (Bench 8).
+func runStream(cfg config, out *benchOutput) error {
+	out.Bench = 8
+	ok, err := streamEquivalence(cfg)
+	if err != nil {
+		return fmt.Errorf("stream equivalence: %w", err)
+	}
+	out.EquivalenceOK = ok
+	if cfg.Target != "" {
+		if err := waitReady(cfg.Target, 30*time.Second); err != nil {
+			return err
+		}
+		res, err := runStreamTarget(cfg)
+		if err != nil {
+			return err
+		}
+		out.Scenarios = append(out.Scenarios, res)
+		return nil
+	}
+	serial, err := runStreamSerial(cfg)
+	if err != nil {
+		return err
+	}
+	batched, allocs, err := runStreamBatched(cfg)
+	if err != nil {
+		return err
+	}
+	out.Scenarios = append(out.Scenarios, serial, batched)
+	if serial.ThroughputRPS > 0 {
+		out.Speedup["stream"] = batched.ThroughputRPS / serial.ThroughputRPS
+	}
+	engineSpeedup, err := measureEngineSpeedup(cfg)
+	if err != nil {
+		return err
+	}
+	out.Speedup["stream_engine"] = engineSpeedup
+	out.StreamAllocsPerFrame = allocs
+	if cfg.ScalingSweep {
+		curve, err := runScalingSweep(cfg, func(c config) (scenarioResult, error) {
+			res, _, err := runStreamBatched(c)
+			return res, err
+		})
+		if err != nil {
+			return err
+		}
+		out.ScalingCurve = curve
+	}
+	return nil
+}

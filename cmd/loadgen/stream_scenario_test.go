@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestStreamScenarioSmoke runs a shrunk stream scenario end to end:
+// equivalence gate, serial vs batched, speedup, allocs/frame, and a
+// BENCH_8.json record that round-trips.
+func TestStreamScenarioSmoke(t *testing.T) {
+	out, err := run(config{
+		Scenario:  "stream",
+		Conns:     4,
+		Batch:     16,
+		Sensors:   500,
+		StreamFFT: 128,
+		Duration:  150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Bench != 8 {
+		t.Fatalf("bench = %d, want 8", out.Bench)
+	}
+	if !out.EquivalenceOK {
+		t.Fatal("batched engine diverged from the serial reference")
+	}
+	if len(out.Scenarios) != 2 {
+		t.Fatalf("got %d scenarios, want 2 (serial, batched)", len(out.Scenarios))
+	}
+	for _, s := range out.Scenarios {
+		if s.Readings == 0 || s.ThroughputRPS <= 0 {
+			t.Errorf("scenario %s: %d frames, %.0f /s", s.Name, s.Readings, s.ThroughputRPS)
+		}
+		if s.Procs <= 0 {
+			t.Errorf("scenario %s missing gomaxprocs stamp", s.Name)
+		}
+	}
+	if _, ok := out.Speedup["stream"]; !ok {
+		t.Error("no stream speedup recorded")
+	}
+	if sp, ok := out.Speedup["stream_engine"]; !ok {
+		t.Error("no stream_engine speedup recorded")
+	} else if sp <= 1 {
+		t.Errorf("engine-level speedup = %.2fx, want > 1 (batching must beat per-frame DSP)", sp)
+	}
+	// The contract the whole subsystem sells: a steady-state frame through
+	// the batched service costs (almost) no heap objects. The race
+	// detector allocates inside sync.Pool, so the threshold only holds on
+	// uninstrumented builds.
+	if !raceEnabled && out.StreamAllocsPerFrame > 1 {
+		t.Errorf("steady-state allocs/frame = %.3f, want ≈ 0", out.StreamAllocsPerFrame)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_8.json")
+	if err := writeOutput(path, out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back benchOutput
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("bench record does not round-trip: %v", err)
+	}
+	if back.Bench != 8 || back.Schema != "sensorcal-bench/v1" {
+		t.Fatalf("bench record header = (%d, %q)", back.Bench, back.Schema)
+	}
+	if back.GOMAXPROCS <= 0 || back.NumCPU <= 0 {
+		t.Error("bench record missing gomaxprocs/num_cpu stamp")
+	}
+}
+
+// TestScalingSweepCore pins the -scaling-sweep satellite on the trust
+// core loop: one point per rung of the GOMAXPROCS ladder, each stamped.
+func TestScalingSweepCore(t *testing.T) {
+	out, err := run(config{
+		Mode:           "core",
+		Shards:         2,
+		BaselineShards: 1,
+		Conns:          2,
+		Batch:          8,
+		Nodes:          8,
+		Signals:        4,
+		Duration:       40 * time.Millisecond,
+		Dedup:          true,
+		ScalingSweep:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.ScalingCurve) != len(sweepProcs()) {
+		t.Fatalf("scaling curve has %d points, want %d", len(out.ScalingCurve), len(sweepProcs()))
+	}
+	for i, pt := range out.ScalingCurve {
+		if pt.Procs <= 0 || pt.ThroughputRPS <= 0 || pt.SpeedupVs1 <= 0 {
+			t.Errorf("curve point %d: %+v", i, pt)
+		}
+		if i > 0 && pt.Procs <= out.ScalingCurve[i-1].Procs {
+			t.Errorf("curve not ascending by procs: %+v", out.ScalingCurve)
+		}
+	}
+}
+
+func TestRejectsUnknownScenario(t *testing.T) {
+	if _, err := run(config{Scenario: "warp", Conns: 1, Batch: 1, Duration: time.Millisecond}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -9,6 +9,8 @@
 //	          [-wal waldir] [-wal-compact-segments 4]
 //	          [-profile-contention] [-log-level info]
 //	          [-trace-capacity 4096] [-trace-sample 1] [-trace-export spans.jsonl]
+//	          [-stream] [-stream-fft 256] [-stream-queue 8192]
+//	          [-stream-sessions 16384] [-stream-idle 1m] [-stream-band 470e6:698e6]
 //
 // -shards sets the collector's ingest lock-stripe count (power of two;
 // 1 reproduces the classic single-lock collector). -profile-contention
@@ -27,6 +29,10 @@
 //	POST /api/register — {"id","operator","lat","lon","claimed_outdoor","hardware"}
 //	POST /api/readings — {"node","signal_id","power_dbm","at"}
 //	GET  /api/trust?node=ID
+//	POST /api/stream/register — enroll a streaming sensor session
+//	POST /api/stream/frames   — batched base64 IQ frames through the shared engine
+//	GET  /api/stream/stats    — fleet/session counters
+//	GET  /api/occupancy?band=lo:hi — time×frequency occupancy buckets
 //	GET  /healthz       — liveness (always 200 while the process serves)
 //	GET  /readyz        — readiness (503 until the ledger is restored, or
 //	                      while the trust store is degraded)
@@ -43,10 +49,13 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +63,7 @@ import (
 	"sensorcal/internal/obs"
 	"sensorcal/internal/resilience"
 	"sensorcal/internal/store"
+	"sensorcal/internal/stream"
 	"sensorcal/internal/trust"
 )
 
@@ -80,11 +90,28 @@ type daemon struct {
 	compactSegs int
 	// health gates /readyz; nil when the admin surface is not mounted.
 	health *obs.Health
+	// stream is the fleet-scale continuous-monitoring service (-stream);
+	// nil leaves the daemon a pure trust collector.
+	stream *stream.Service
 }
 
 // shutdownSaveTimeout bounds the final ledger save (and its retries) at
 // shutdown: a wedged disk must not hold the exit hostage forever.
 const shutdownSaveTimeout = 10 * time.Second
+
+// parseBand parses "lo:hi" in Hz (scientific notation welcome).
+func parseBand(s string) (lo, hi float64, err error) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("band %q must be lo:hi in Hz", s)
+	}
+	lo, err1 := strconv.ParseFloat(s[:i], 64)
+	hi, err2 := strconv.ParseFloat(s[i+1:], 64)
+	if err1 != nil || err2 != nil || hi <= lo {
+		return 0, 0, fmt.Errorf("band %q must be lo:hi in Hz with hi > lo", s)
+	}
+	return lo, hi, nil
+}
 
 // loadState restores the ledger snapshot, tolerating a missing file.
 func (d *daemon) loadState() error {
@@ -197,6 +224,11 @@ func (d *daemon) shutdown(srv *http.Server) {
 	if err := srv.Shutdown(sdCtx); err != nil {
 		d.log.Warnf("http shutdown: %v", err)
 	}
+	if d.stream != nil {
+		// Fold every already-accepted frame before exiting: the grid and
+		// session aggregates stay consistent with what sensors were acked.
+		d.stream.Close()
+	}
 	saveCtx, cancelSave := context.WithTimeout(context.Background(), shutdownSaveTimeout)
 	defer cancelSave()
 	d.closeEpochs(saveCtx, d.clk.Now().Add(d.epoch))
@@ -217,6 +249,15 @@ func (d *daemon) shutdown(srv *http.Server) {
 func (d *daemon) handler() http.Handler {
 	mux := obs.AdminMux(nil, nil, d.health)
 	mux.Handle("/api/", trust.Harden(d.col.Handler(d.clk.Now), trust.HardenConfig{}))
+	if d.stream != nil {
+		// Longer patterns win in ServeMux, so the streaming surface
+		// carves its routes out of /api/ without touching the trust API.
+		// It carries its own RED middleware and backpressure (bounded
+		// queue + breaker), so it mounts outside the trust hardening.
+		sh := d.stream.Handler()
+		mux.Handle("/api/stream/", sh)
+		mux.Handle("/api/occupancy", sh)
+	}
 	return mux
 }
 
@@ -276,6 +317,13 @@ func main() {
 		traceCap    = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "span ring capacity served on /debug/traces")
 		traceSample = flag.Float64("trace-sample", 1, "head-sampling ratio for traces rooted here, in [0,1]")
 		traceExport = flag.String("trace-export", "", "durable JSONL span spool path (empty: in-memory ring only)")
+
+		streamOn    = flag.Bool("stream", true, "serve the fleet streaming spectrum API (/api/stream, /api/occupancy)")
+		streamFFT   = flag.Int("stream-fft", 256, "streaming frame length in samples (power of two)")
+		streamQueue = flag.Int("stream-queue", 8192, "bounded streaming frame queue; full sheds with 429")
+		streamSess  = flag.Int("stream-sessions", 16384, "max concurrent sensor sessions")
+		streamIdle  = flag.Duration("stream-idle", time.Minute, "evict sensor sessions idle this long")
+		streamBand  = flag.String("stream-band", "470e6:698e6", "monitored occupancy band as lo:hi in Hz")
 	)
 	flag.Parse()
 	lv, err := obs.ParseLevel(*logLevel)
@@ -321,6 +369,30 @@ func main() {
 		logger.Fatalf("loading %s: %v", *state, err)
 	}
 	health.SetReady("ledger", true)
+	if *streamOn {
+		lo, hi, err := parseBand(*streamBand)
+		if err != nil {
+			logger.Fatalf("-stream-band: %v", err)
+		}
+		sv, err := stream.NewService(stream.Config{
+			FFTSize:     *streamFFT,
+			QueueCap:    *streamQueue,
+			MaxSessions: *streamSess,
+			IdleAfter:   *streamIdle,
+			Grid:        stream.GridConfig{LowHz: lo, HighHz: hi},
+			Registry:    obs.Default(),
+			Tracer:      obs.DefaultTracer(),
+		})
+		if err != nil {
+			logger.Fatalf("stream service: %v", err)
+		}
+		d.stream = sv
+		// An open aggregation breaker means frames are being shed at the
+		// door: take the daemon out of rotation until it heals.
+		health.AddCheck("stream", func() bool { return !sv.Degraded() })
+		logger.Infof("streaming spectrum service on /api/stream (fft %d, queue %d, band %s)",
+			*streamFFT, *streamQueue, *streamBand)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -90,6 +90,10 @@ func main() {
 			logger.Fatalf("%v", err)
 		}
 		var last []spectrum.ChannelReport
+		// One frame reused across the sweep: AnalyzeInto recycles its bins
+		// and draws scratch from the dsp pools, so the per-frame loop is
+		// the same amortized kernel path the streaming service runs.
+		var frame spectrum.Frame
 		for fIdx := 0; fIdx < *frames; fIdx++ {
 			ems, err := scene.EmissionsFor(tn.centerHz, tn.rate, 1<<15)
 			if err != nil {
@@ -99,11 +103,10 @@ func main() {
 			if err != nil {
 				logger.Fatalf("%v", err)
 			}
-			frame, err := analyzer.Analyze(buf, tn.centerHz)
-			if err != nil {
+			if err := analyzer.AnalyzeInto(&frame, buf, tn.centerHz); err != nil {
 				logger.Fatalf("%v", err)
 			}
-			last = spectrum.ChannelOccupancy(frame, 6, tn.channels)
+			last = spectrum.ChannelOccupancy(&frame, 6, tn.channels)
 			duty.Add(last)
 		}
 		for _, r := range last {

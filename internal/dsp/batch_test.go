@@ -1,0 +1,142 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randFrames builds count deterministic complex frames of length n.
+func randFrames(t *testing.T, count, n int, seed int64) [][]complex128 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	frames := make([][]complex128, count)
+	for i := range frames {
+		f := make([]complex128, n)
+		for k := range f {
+			f[k] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		frames[i] = f
+	}
+	return frames
+}
+
+// TestFFTBatchBitIdenticalToSerial is the batching contract: a batch of
+// any size produces exactly the bits per-frame FFT calls produce.
+func TestFFTBatchBitIdenticalToSerial(t *testing.T) {
+	for _, batch := range []int{1, 3, 8, 64} {
+		for _, n := range []int{1, 2, 64, 1024} {
+			frames := randFrames(t, batch, n, int64(batch*1000+n))
+			want := make([][]complex128, batch)
+			for i, f := range frames {
+				want[i] = append([]complex128(nil), f...)
+				if err := FFT(want[i]); err != nil {
+					t.Fatalf("serial FFT: %v", err)
+				}
+			}
+			if err := FFTBatch(frames); err != nil {
+				t.Fatalf("FFTBatch(batch=%d,n=%d): %v", batch, n, err)
+			}
+			for i := range frames {
+				for k := range frames[i] {
+					g, w := frames[i][k], want[i][k]
+					if math.Float64bits(real(g)) != math.Float64bits(real(w)) ||
+						math.Float64bits(imag(g)) != math.Float64bits(imag(w)) {
+						t.Fatalf("batch=%d n=%d frame %d bin %d: batched %v != serial %v",
+							batch, n, i, k, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFFTBatchRejectsMixedLengths(t *testing.T) {
+	frames := [][]complex128{make([]complex128, 8), make([]complex128, 16)}
+	if err := FFTBatch(frames); err == nil {
+		t.Fatal("want error for mixed frame lengths")
+	}
+	if err := FFTBatch([][]complex128{make([]complex128, 12)}); err == nil {
+		t.Fatal("want error for non-power-of-two length")
+	}
+	if err := FFTBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestCachedWindowSharesExactValues pins that the cache returns the very
+// floats the generator produces, and one shared slice per (fn, n).
+func TestCachedWindowSharesExactValues(t *testing.T) {
+	for _, fn := range []WindowFunc{Rectangular, Hann, Hamming, Blackman} {
+		fresh := fn(257)
+		cached := CachedWindow(fn, 257)
+		if len(fresh) != len(cached) {
+			t.Fatalf("length mismatch: %d != %d", len(fresh), len(cached))
+		}
+		for i := range fresh {
+			if math.Float64bits(fresh[i]) != math.Float64bits(cached[i]) {
+				t.Fatalf("bin %d: cached %v != fresh %v", i, cached[i], fresh[i])
+			}
+		}
+		again := CachedWindow(fn, 257)
+		if &cached[0] != &again[0] {
+			t.Fatal("second lookup did not share the cached vector")
+		}
+	}
+	// Distinct lengths and distinct generators must not collide.
+	if len(CachedWindow(Hann, 8)) != 8 {
+		t.Fatal("length collision in window cache")
+	}
+	h, b := CachedWindow(Hann, 64), CachedWindow(Blackman, 64)
+	if math.Float64bits(h[1]) == math.Float64bits(b[1]) {
+		t.Fatal("generator collision in window cache")
+	}
+}
+
+// TestWelchPSDIntoMatchesWelchPSD pins the refactor: the Into variant
+// produces bit-identical density to the allocating wrapper.
+func TestWelchPSDIntoMatchesWelchPSD(t *testing.T) {
+	frames := randFrames(t, 1, 4096, 7)
+	x := frames[0]
+	want, err := WelchPSD(x, 2.4e6, 1024, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 1024)
+	// Dirty the destination: Into must fully overwrite it.
+	for i := range dst {
+		dst[i] = math.NaN()
+	}
+	if err := WelchPSDInto(dst, x, 2.4e6, 1024, Hann); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if math.Float64bits(dst[i]) != math.Float64bits(want.Density[i]) {
+			t.Fatalf("bin %d: into %v != alloc %v", i, dst[i], want.Density[i])
+		}
+	}
+	if err := WelchPSDInto(dst[:8], x, 2.4e6, 1024, Hann); err == nil {
+		t.Fatal("want error for short destination")
+	}
+}
+
+// BenchmarkWelchPSDInto proves the scan path's per-frame PSD is
+// allocation-free once the window and twiddles are cached.
+func BenchmarkWelchPSDInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	dst := make([]float64, 1024)
+	if err := WelchPSDInto(dst, x, 2.4e6, 1024, Hann); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WelchPSDInto(dst, x, 2.4e6, 1024, Hann); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

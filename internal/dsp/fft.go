@@ -103,6 +103,26 @@ func fftDir(x []complex128, inverse bool) error {
 	if n&(n-1) != 0 {
 		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
 	}
+	tab := twiddlesFor(n).fwd
+	if inverse {
+		tab = twiddlesFor(n).inv
+	}
+	fftCore(x, tab)
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	return nil
+}
+
+// fftCore runs the bit-reversal permutation and the butterfly stages of
+// one transform against a prefetched twiddle table. It is the shared
+// kernel of FFT, IFFT and FFTBatch: per-frame arithmetic is identical in
+// all three, which is what makes batched output bit-identical to serial.
+func fftCore(x []complex128, tab []complex128) {
+	n := len(x)
 	// Bit-reversal permutation.
 	shift := 64 - uint(bits.TrailingZeros(uint(n)))
 	for i := 0; i < n; i++ {
@@ -110,10 +130,6 @@ func fftDir(x []complex128, inverse bool) error {
 		if j > i {
 			x[i], x[j] = x[j], x[i]
 		}
-	}
-	tab := twiddlesFor(n).fwd
-	if inverse {
-		tab = twiddlesFor(n).inv
 	}
 	off := 0
 	for size := 2; size <= n; size <<= 1 {
@@ -129,11 +145,35 @@ func fftDir(x []complex128, inverse bool) error {
 		}
 		off += half
 	}
-	if inverse {
-		inv := complex(1/float64(n), 0)
-		for i := range x {
-			x[i] *= inv
+}
+
+// FFTBatch computes the forward FFT of every frame in place. All frames
+// must share one power-of-two length: the batch fetches the twiddle table
+// once and reuses it across frames, which is the per-transform overhead a
+// fleet of sensors streaming the same FFT size would otherwise pay per
+// call (cache map lookup under an RWMutex). Each frame goes through
+// exactly the arithmetic FFT would apply, in the same order, so a batch
+// of any size produces bit-identical results to per-frame serial calls —
+// the contract internal/stream's equivalence tests pin.
+func FFTBatch(frames [][]complex128) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	n := len(frames[0])
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	for i, f := range frames {
+		if len(f) != n {
+			return fmt.Errorf("dsp: batch frame %d has length %d, want %d", i, len(f), n)
 		}
+	}
+	tab := twiddlesFor(n).fwd
+	for _, f := range frames {
+		fftCore(f, tab)
 	}
 	return nil
 }

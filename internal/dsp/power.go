@@ -91,15 +91,35 @@ type PSD struct {
 // WelchPSD estimates the PSD by averaging windowed periodograms over 50%
 // overlapping segments of the given power-of-two length.
 func WelchPSD(x []complex128, sampleRate float64, segment int, window WindowFunc) (*PSD, error) {
+	density := make([]float64, segment)
+	if err := WelchPSDInto(density, x, sampleRate, segment, window); err != nil {
+		return nil, err
+	}
+	return &PSD{Density: density, SampleRate: sampleRate}, nil
+}
+
+// WelchPSDInto is the allocation-free core of WelchPSD: it writes the
+// density estimate into dst (which must have length segment), draws its
+// FFT scratch from the package pools and its window from the shared
+// window cache. Scan loops that compute the same-size PSD per frame —
+// the streaming service and the one-shot spectrum analyzer — call this
+// with a reused dst so the steady state allocates nothing.
+func WelchPSDInto(dst []float64, x []complex128, sampleRate float64, segment int, window WindowFunc) error {
 	if segment <= 0 || segment&(segment-1) != 0 {
-		return nil, fmt.Errorf("dsp: segment %d must be a power of two", segment)
+		return fmt.Errorf("dsp: segment %d must be a power of two", segment)
 	}
 	if len(x) < segment {
-		return nil, fmt.Errorf("dsp: input (%d) shorter than segment (%d)", len(x), segment)
+		return fmt.Errorf("dsp: input (%d) shorter than segment (%d)", len(x), segment)
 	}
-	w := window(segment)
+	if len(dst) != segment {
+		return fmt.Errorf("dsp: density buffer (%d) must match segment (%d)", len(dst), segment)
+	}
+	w := CachedWindow(window, segment)
 	gain := windowPowerGain(w)
-	density := make([]float64, segment)
+	density := dst
+	for i := range density {
+		density[i] = 0
+	}
 	buf := GetComplex(segment)
 	defer PutComplex(buf)
 	hop := segment / 2
@@ -109,7 +129,7 @@ func WelchPSD(x []complex128, sampleRate float64, segment int, window WindowFunc
 			buf[i] = x[start+i] * complex(w[i], 0)
 		}
 		if err := FFT(buf); err != nil {
-			return nil, err
+			return err
 		}
 		for i, s := range buf {
 			density[i] += real(s)*real(s) + imag(s)*imag(s)
@@ -120,7 +140,7 @@ func WelchPSD(x []complex128, sampleRate float64, segment int, window WindowFunc
 	for i := range density {
 		density[i] *= norm
 	}
-	return &PSD{Density: density, SampleRate: sampleRate}, nil
+	return nil
 }
 
 // TotalPower integrates the PSD across the whole band, which by Parseval

@@ -1,0 +1,57 @@
+package spectrum
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestNoiseFloorMatchesSortReference pins the quickselect floor to the
+// full-sort definition: for any input, NoiseFloorOf must return exactly
+// the element an ascending sort leaves at index k/2 of the quietest
+// fraction — same value, same bits.
+func TestNoiseFloorMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []func(i, n int) float64{
+		func(i, n int) float64 { return rng.NormFloat64()*8 - 90 },          // noise
+		func(i, n int) float64 { return -120 + float64(i)/float64(n)*40 },   // ascending ramp
+		func(i, n int) float64 { return -80 - float64(i)/float64(n)*40 },    // descending ramp
+		func(i, n int) float64 { return -100 },                              // constant
+		func(i, n int) float64 { return -100 + 30*float64(i%2) },            // alternating
+		func(i, n int) float64 { return -100 + 60*math.Sin(float64(i)/7.3) }, // tones
+	}
+	for _, n := range []int{1, 2, 3, 7, 64, 256, 1024} {
+		for si, shape := range shapes {
+			bins := make([]float64, n)
+			for i := range bins {
+				bins[i] = shape(i, n)
+			}
+			for _, frac := range []float64{0.1, 0.25, 0.5, 1} {
+				ref := append([]float64(nil), bins...)
+				sort.Float64s(ref)
+				k := int(float64(n) * frac)
+				if k < 1 {
+					k = 1
+				}
+				want := ref[k/2]
+				got := NoiseFloorOf(bins, frac)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Errorf("n=%d shape=%d frac=%g: floor=%v, sort reference=%v", n, si, frac, got, want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkNoiseFloorOf(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	bins := make([]float64, 256)
+	for i := range bins {
+		bins[i] = rng.NormFloat64()*8 - 90
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NoiseFloorOf(bins, 0.25)
+	}
+}

@@ -1,0 +1,72 @@
+package stream
+
+import (
+	"testing"
+)
+
+// BenchmarkEngineBatched measures the shared-engine cost per frame at a
+// realistic batch size. The companion claim — allocs/frame ≈ 0 in the
+// steady state — is what makes 10k sensors on one engine viable.
+func BenchmarkEngineBatched(b *testing.B) {
+	const n = 256
+	const batch = 64
+	eng, err := NewEngine(n, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]Job, batch)
+	for i := range jobs {
+		jobs[i] = Job{IQ: randFrame(n, int64(i)), SampleRate: 2.4e6, Bins: make([]float64, n)}
+	}
+	if err := eng.Process(jobs); err != nil { // warm pools and caches
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Process(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialReference is the unshared baseline the batched engine
+// is judged against (same work per frame, per-sensor windows/FFT/allocs).
+func BenchmarkSerialReference(b *testing.B) {
+	const n = 256
+	frame := randFrame(n, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SerialReference(frame, 2.4e6, n, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEngineSteadyStateAllocs pins the allocation contract directly:
+// after warm-up, a batch through the engine allocates nothing.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside sync.Pool")
+	}
+	const n = 256
+	const batch = 16
+	eng, err := NewEngine(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]Job, batch)
+	for i := range jobs {
+		jobs[i] = Job{IQ: randFrame(n, int64(i)), SampleRate: 2.4e6, Bins: make([]float64, n)}
+	}
+	work := func() {
+		if err := eng.Process(jobs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	work()
+	if avg := testing.AllocsPerRun(100, work); avg > 0.5 {
+		t.Fatalf("steady-state batch allocates %.2f objects, want 0", avg)
+	}
+}

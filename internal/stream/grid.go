@@ -1,0 +1,228 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sensorcal/internal/spectrum"
+)
+
+// Grid is the fleet-wide aggregation the streaming service sells: a
+// time×frequency occupancy surface. Frequency is split into fixed-width
+// buckets across a configured band; time into a ring of slots, so memory
+// is bounded however long the service runs (old slots are overwritten in
+// place). Every processed frame folds in as "which buckets carried
+// signal above the noise floor", and GET /api/occupancy serves the
+// bucket fractions — the "Open and Big Spectrum Data" aggregation API
+// shape from PAPERS.md.
+type Grid struct {
+	cfg     GridConfig
+	buckets int
+	slotSec int64
+	slots   []gridSlot
+}
+
+// GridConfig shapes a Grid.
+type GridConfig struct {
+	// LowHz/HighHz bound the monitored band. Defaults: the UHF TV band,
+	// 470–698 MHz.
+	LowHz, HighHz float64
+	// BucketHz is the frequency bucket width. Zero means 1 MHz.
+	BucketHz float64
+	// Slot is the time bucket width. Zero means 10s.
+	Slot time.Duration
+	// Slots is the ring length. Zero means 60 (10 minutes of history at
+	// the default slot width).
+	Slots int
+	// MarginDB is the occupancy threshold above the per-frame noise
+	// floor. Zero means 6 dB.
+	MarginDB float64
+}
+
+func (c *GridConfig) fill() {
+	if c.LowHz == 0 && c.HighHz == 0 {
+		c.LowHz, c.HighHz = 470e6, 698e6
+	}
+	if c.BucketHz <= 0 {
+		c.BucketHz = 1e6
+	}
+	if c.Slot <= 0 {
+		c.Slot = 10 * time.Second
+	}
+	if c.Slots <= 0 {
+		c.Slots = 60
+	}
+	if c.MarginDB <= 0 {
+		c.MarginDB = 6
+	}
+}
+
+// gridSlot is one time bucket: per-frequency-bucket counts of occupied
+// and total bins, plus how many frames contributed. Each slot carries
+// its own lock — frames land on the current slot, queries sweep all of
+// them, so per-slot locking keeps folds of different time windows (and
+// the query path) off each other's locks.
+type gridSlot struct {
+	mu       sync.Mutex
+	startSec int64
+	frames   uint64
+	occ      []uint32
+	bins     []uint32
+	_        [24]byte
+}
+
+// ErrOutOfBand is returned for frames that do not overlap the grid's
+// monitored band at all; the service counts them as shed, not failed.
+var ErrOutOfBand = errors.New("stream: frame outside the monitored band")
+
+// NewGrid returns a grid for the configured band.
+func NewGrid(cfg GridConfig) (*Grid, error) {
+	cfg.fill()
+	if cfg.HighHz <= cfg.LowHz {
+		return nil, fmt.Errorf("stream: grid band [%g,%g) is empty", cfg.LowHz, cfg.HighHz)
+	}
+	nb := int((cfg.HighHz-cfg.LowHz)/cfg.BucketHz + 0.5)
+	if nb < 1 {
+		nb = 1
+	}
+	if nb > 1<<20 {
+		return nil, fmt.Errorf("stream: %d frequency buckets (band too wide for bucket width %g)", nb, cfg.BucketHz)
+	}
+	g := &Grid{cfg: cfg, buckets: nb, slotSec: int64(cfg.Slot / time.Second), slots: make([]gridSlot, cfg.Slots)}
+	if g.slotSec < 1 {
+		g.slotSec = 1
+	}
+	for i := range g.slots {
+		g.slots[i].occ = make([]uint32, nb)
+		g.slots[i].bins = make([]uint32, nb)
+	}
+	return g, nil
+}
+
+// Config returns the grid's (filled) configuration.
+func (g *Grid) Config() GridConfig { return g.cfg }
+
+// Fold accumulates one frame's occupancy into the grid and returns the
+// frame's occupied-bin fraction (for the per-session aggregate). bins
+// are ascending-frequency dBFS as the engine produces; centerHz and
+// sampleRate place them on the spectrum; at selects the time slot.
+func (g *Grid) Fold(bins []float64, centerHz, sampleRate float64, at time.Time) (float64, error) {
+	n := len(bins)
+	if n == 0 || sampleRate <= 0 {
+		return 0, fmt.Errorf("stream: empty frame")
+	}
+	frameLo := centerHz - sampleRate/2
+	binWidth := sampleRate / float64(n)
+	if frameLo >= g.cfg.HighHz || frameLo+sampleRate <= g.cfg.LowHz {
+		return 0, ErrOutOfBand
+	}
+	floor := spectrum.NoiseFloorOf(bins, 0.25)
+	threshold := floor + g.cfg.MarginDB
+
+	slotStart := at.Unix() / g.slotSec * g.slotSec
+	idx := (slotStart / g.slotSec) % int64(len(g.slots))
+	if idx < 0 {
+		idx += int64(len(g.slots))
+	}
+	sl := &g.slots[idx]
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.startSec != slotStart {
+		// The ring lapped: this slot last held an older (or a future
+		// backfilled) window. Reset it in place.
+		sl.startSec = slotStart
+		sl.frames = 0
+		for i := range sl.occ {
+			sl.occ[i] = 0
+			sl.bins[i] = 0
+		}
+	}
+	sl.frames++
+	occupied := 0
+	for i := 0; i < n; i++ {
+		hz := frameLo + (float64(i)+0.5)*binWidth
+		if hz < g.cfg.LowHz || hz >= g.cfg.HighHz {
+			continue
+		}
+		b := int((hz - g.cfg.LowHz) / g.cfg.BucketHz)
+		if b < 0 || b >= g.buckets {
+			continue
+		}
+		sl.bins[b]++
+		if bins[i] >= threshold {
+			sl.occ[b]++
+			occupied++
+		}
+	}
+	return float64(occupied) / float64(n), nil
+}
+
+// SlotOccupancy is one time slot of one band query.
+type SlotOccupancy struct {
+	Start  time.Time `json:"start"`
+	Frames uint64    `json:"frames"`
+	// Occupancy is the occupied-bin fraction per frequency bucket of the
+	// queried band, ascending frequency. Buckets no frame covered are 0.
+	Occupancy []float64 `json:"occupancy"`
+}
+
+// BandOccupancy is the /api/occupancy response body.
+type BandOccupancy struct {
+	LowHz    float64         `json:"low_hz"`
+	HighHz   float64         `json:"high_hz"`
+	BucketHz float64         `json:"bucket_hz"`
+	SlotS    float64         `json:"slot_s"`
+	Slots    []SlotOccupancy `json:"slots"`
+}
+
+// Query returns the occupancy surface for [lowHz, highHz), every
+// non-empty time slot ascending by start. A query outside the grid band
+// is clamped; an empty intersection errors.
+func (g *Grid) Query(lowHz, highHz float64) (*BandOccupancy, error) {
+	if lowHz < g.cfg.LowHz {
+		lowHz = g.cfg.LowHz
+	}
+	if highHz > g.cfg.HighHz {
+		highHz = g.cfg.HighHz
+	}
+	if highHz <= lowHz {
+		return nil, fmt.Errorf("stream: band [%g,%g) does not intersect the monitored band [%g,%g)",
+			lowHz, highHz, g.cfg.LowHz, g.cfg.HighHz)
+	}
+	b0 := int((lowHz - g.cfg.LowHz) / g.cfg.BucketHz)
+	b1 := int((highHz-g.cfg.LowHz)/g.cfg.BucketHz + 0.999999)
+	if b1 > g.buckets {
+		b1 = g.buckets
+	}
+	if b1 <= b0 {
+		b1 = b0 + 1
+	}
+	out := &BandOccupancy{
+		LowHz:    g.cfg.LowHz + float64(b0)*g.cfg.BucketHz,
+		HighHz:   g.cfg.LowHz + float64(b1)*g.cfg.BucketHz,
+		BucketHz: g.cfg.BucketHz,
+		SlotS:    float64(g.slotSec),
+	}
+	for i := range g.slots {
+		sl := &g.slots[i]
+		sl.mu.Lock()
+		if sl.startSec == 0 || sl.frames == 0 {
+			sl.mu.Unlock()
+			continue
+		}
+		so := SlotOccupancy{Start: time.Unix(sl.startSec, 0).UTC(), Frames: sl.frames,
+			Occupancy: make([]float64, b1-b0)}
+		for b := b0; b < b1; b++ {
+			if sl.bins[b] > 0 {
+				so.Occupancy[b-b0] = float64(sl.occ[b]) / float64(sl.bins[b])
+			}
+		}
+		sl.mu.Unlock()
+		out.Slots = append(out.Slots, so)
+	}
+	sort.Slice(out.Slots, func(i, j int) bool { return out.Slots[i].Start.Before(out.Slots[j].Start) })
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package stream
+
+import (
+	"sensorcal/internal/obs"
+)
+
+// Per-stage instrumentation of the streaming pipeline: ingest (frames
+// accepted/shed and why), batching (batch counts and fill), the two
+// processing stages (batched FFT, aggregation fold) and the end-to-end
+// frame latency from enqueue to folded. Together with the RED middleware
+// on the HTTP surface this answers the operator questions in order:
+// is the fleet being shed (backpressure), is the engine keeping up
+// (batch fill + stage times), and what does a frame's journey cost
+// (latency histogram).
+type serviceMetrics struct {
+	framesIngested *obs.Counter
+	framesDone     *obs.Counter
+	framesShed     *obs.CounterVec
+	batches        *obs.Counter
+	batchSize      *obs.Histogram
+	fftSeconds     *obs.Histogram
+	foldSeconds    *obs.Histogram
+	frameLatency   *obs.Histogram
+	occQueries     *obs.Counter
+	evictions      *obs.Counter
+}
+
+// Shed reasons, the label values of stream_frames_shed_total.
+const (
+	shedQueue     = "queue"     // bounded frame queue full
+	shedSessions  = "sessions"  // session table at capacity
+	shedMalformed = "malformed" // frame length/rate invalid
+	shedBand      = "band"      // frame outside the monitored band
+	shedDegraded  = "degraded"  // aggregation breaker open
+	shedShutdown  = "shutdown"  // service closing, queue drained unprocessed
+)
+
+func newServiceMetrics(reg *obs.Registry, table *SessionTable, queueDepth func() float64) *serviceMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	m := &serviceMetrics{
+		framesIngested: reg.Counter("stream_frames_ingested_total",
+			"IQ frames accepted into the streaming queue."),
+		framesDone: reg.Counter("stream_frames_processed_total",
+			"Frames that completed the batched FFT and aggregation fold."),
+		framesShed: reg.CounterVec("stream_frames_shed_total",
+			"Frames shed instead of processed, by reason.", "reason"),
+		batches: reg.Counter("stream_batches_total",
+			"Batches dispatched through the shared engine."),
+		batchSize: reg.Histogram("stream_batch_size",
+			"Frames per dispatched batch — low fill means the linger window, not the batch cap, is forming batches.",
+			obs.ExpBuckets(1, 2, 12)),
+		fftSeconds: reg.Histogram("stream_fft_stage_seconds",
+			"Batched FFT stage wall time per batch.", obs.DurationBuckets),
+		foldSeconds: reg.Histogram("stream_fold_stage_seconds",
+			"Aggregation fold stage wall time per batch.", obs.DurationBuckets),
+		frameLatency: reg.Histogram("stream_frame_latency_seconds",
+			"Frame latency from ingest enqueue to aggregation fold.", obs.DurationBuckets),
+		occQueries: reg.Counter("stream_occupancy_queries_total",
+			"Occupancy API queries served."),
+		evictions: reg.Counter("stream_sessions_evicted_total",
+			"Sensor sessions evicted after going idle."),
+	}
+	reg.GaugeFunc("stream_sessions_active",
+		"Sensor sessions currently registered.",
+		func() float64 { return float64(table.Len()) })
+	reg.GaugeFunc("stream_queue_depth",
+		"Frames waiting in the bounded ingest queue.", queueDepth)
+	return m
+}

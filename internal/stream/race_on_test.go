@@ -1,0 +1,7 @@
+//go:build race
+
+package stream
+
+// raceEnabled lets allocation-contract tests stand down under the race
+// detector, whose instrumentation allocates inside sync.Pool.
+const raceEnabled = true

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# stream_smoke.sh — black-box proof of the fleet streaming service:
+# boot a real spectrumd, stream frames from 100 sensors through the wire
+# API with loadgen, then assert the aggregation actually happened
+# (/api/occupancy holds non-empty slots) and the daemon stayed healthy
+# (/readyz 200, i.e. the aggregation breaker never opened).
+#
+# Usage: scripts/stream_smoke.sh [artifact-dir]   (default: stream-smoke)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-stream-smoke}
+mkdir -p "$OUT"
+WORK=$(mktemp -d)
+cleanup() {
+  kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+ADDR=127.0.0.1:18125
+
+go build -o "$WORK" ./cmd/spectrumd ./cmd/loadgen
+
+"$WORK/spectrumd" -addr "$ADDR" -state "$WORK/ledger.json" \
+  >"$OUT/spectrumd.log" 2>&1 &
+
+for i in $(seq 1 50); do
+  curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1 && break
+  [ "$i" -eq 50 ] && { echo "spectrumd never became ready" >&2; exit 1; }
+  sleep 0.2
+done
+
+# 100 sensors, wire-format frames, closed loop for 2s. loadgen exits
+# non-zero if the equivalence gate or the run itself fails.
+"$WORK/loadgen" -scenario stream -target "http://$ADDR" \
+  -sensors 100 -conns 4 -batch 25 -duration 2s \
+  -out "$OUT/BENCH_stream_smoke.json" >"$OUT/loadgen.log" 2>&1
+
+curl -fsS "http://$ADDR/api/occupancy" >"$OUT/occupancy.json"
+python3 - "$OUT/occupancy.json" <<'EOF'
+import json, sys
+occ = json.load(open(sys.argv[1]))
+slots = occ.get("slots") or []
+frames = sum(s.get("frames", 0) for s in slots)
+if not slots or frames == 0:
+    raise SystemExit(f"FAIL: occupancy empty (slots={len(slots)}, frames={frames})")
+buckets = sum(1 for s in slots for f in s.get("occupancy", []) if f > 0)
+print(f"OK: {len(slots)} slot(s), {frames} frames folded, {buckets} occupied bucket(s)")
+EOF
+
+# Still ready after the load: the breaker never latched the service
+# degraded, and the stream health check passes.
+code=$(curl -s -o "$OUT/readyz.txt" -w '%{http_code}' "http://$ADDR/readyz")
+if [ "$code" != "200" ]; then
+  echo "FAIL: /readyz returned $code after streaming load" >&2
+  cat "$OUT/readyz.txt" >&2
+  exit 1
+fi
+echo "OK: /readyz healthy after streaming load"
+
+# The stream metrics surfaced on /metrics prove the obs wiring end to end.
+curl -fsS "http://$ADDR/metrics" >"$OUT/metrics.txt"
+grep -q '^stream_frames_processed_total [1-9]' "$OUT/metrics.txt" || {
+  echo "FAIL: stream_frames_processed_total not advancing" >&2
+  exit 1
+}
+echo "OK: stream metrics advancing"
