@@ -1,0 +1,165 @@
+// Command benchcheck validates BENCH_N.json records after a loadgen
+// run, so CI fails on a regression the run itself would only log. It
+// checks the schema stamp, the equivalence verdict (a bench whose
+// sharded/replicated variant diverged from the baseline gets no
+// credit for being fast), that every timed scenario actually moved
+// readings, and — on multi-core machines — that the recorded speedups
+// clear a floor.
+//
+// Records stamped "single_core": true skip every speedup and scaling
+// assertion: with one CPU the parallel variants cannot beat the serial
+// ones and the ratios measure scheduler noise, not the code. The stamp
+// is set by loadgen itself (runtime.NumCPU() == 1), not by the
+// invoker, so a CI runner downgrade cannot silently relax the gate on
+// machines that could have asserted.
+//
+// Usage:
+//
+//	benchcheck [-min-speedup 1.0] [-min-tax 0.05] BENCH_7.json [BENCH_8.json ...]
+//
+// Speedup entries whose key starts with "replica_" are throughput
+// ratios vs a single replica — a routing tax expected to be below 1 —
+// and are held to -min-tax instead of -min-speedup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+const wantSchema = "sensorcal-bench/v1"
+
+// record mirrors the loadgen benchOutput fields benchcheck judges.
+// Unknown fields are ignored so the record can grow without breaking
+// older checkers.
+type record struct {
+	Bench         int     `json:"bench"`
+	Schema        string  `json:"schema"`
+	NumCPU        int     `json:"num_cpu"`
+	EquivalenceOK bool    `json:"equivalence_ok"`
+	SingleCore    bool    `json:"single_core"`
+	Scenarios     []struct {
+		Name          string  `json:"name"`
+		Readings      int64   `json:"readings"`
+		Errors        int64   `json:"errors"`
+		ThroughputRPS float64 `json:"throughput_rps"`
+	} `json:"scenarios"`
+	Speedup      map[string]float64 `json:"speedup"`
+	ScalingCurve []struct {
+		Procs      int     `json:"gomaxprocs"`
+		SpeedupVs1 float64 `json:"speedup_vs_1"`
+	} `json:"scaling_curve"`
+}
+
+// check returns every violation in one record; an empty slice is a pass.
+func check(rec record, minSpeedup, minTax float64) []string {
+	var bad []string
+	fail := func(format string, args ...interface{}) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+	if rec.Schema != wantSchema {
+		fail("schema %q, want %q", rec.Schema, wantSchema)
+	}
+	if rec.Bench == 0 {
+		fail("missing bench number")
+	}
+	if !rec.EquivalenceOK {
+		fail("equivalence_ok is false: the benched variant diverged from its baseline")
+	}
+	if len(rec.Scenarios) == 0 {
+		fail("no timed scenarios")
+	}
+	for _, s := range rec.Scenarios {
+		if s.Readings <= 0 || s.ThroughputRPS <= 0 {
+			fail("scenario %q moved no readings", s.Name)
+		}
+		// Errors budget: a closed loop that sheds a few batches under a
+		// short CI duration is noise; one that mostly errors is broken.
+		if s.Readings > 0 && float64(s.Errors) > 0.05*float64(s.Readings) {
+			fail("scenario %q: %d errors against %d readings (>5%%)", s.Name, s.Errors, s.Readings)
+		}
+	}
+	// Every recorded ratio must at least be a real number, single-core
+	// or not: NaN/Inf means a zero-throughput baseline slipped through.
+	keys := make([]string, 0, len(rec.Speedup))
+	for k := range rec.Speedup {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := rec.Speedup[k]
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			fail("speedup[%s] = %v is not a positive finite ratio", k, v)
+		}
+	}
+	if rec.SingleCore {
+		// The stamp carries the proof: nothing parallel can be asserted.
+		return bad
+	}
+	for _, k := range keys {
+		v := rec.Speedup[k]
+		if strings.HasPrefix(k, "replica_") {
+			if v < minTax {
+				fail("speedup[%s] = %.3f below the routing-tax floor %.3f", k, v, minTax)
+			}
+			continue
+		}
+		if v < minSpeedup {
+			fail("speedup[%s] = %.3f below the %.3f floor", k, v, minSpeedup)
+		}
+	}
+	for _, pt := range rec.ScalingCurve {
+		if pt.Procs > 1 && pt.SpeedupVs1 < minSpeedup {
+			fail("scaling curve at gomaxprocs=%d: %.3fx vs 1 core, below the %.3f floor",
+				pt.Procs, pt.SpeedupVs1, minSpeedup)
+		}
+	}
+	return bad
+}
+
+func main() {
+	minSpeedup := flag.Float64("min-speedup", 1.0, "floor for parallel speedup ratios (multi-core records only)")
+	minTax := flag.Float64("min-tax", 0.05, "floor for replica routing-tax ratios (multi-core records only)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-min-speedup 1.0] [-min-tax 0.05] BENCH_N.json ...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			failed = true
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		bad := check(rec, *minSpeedup, *minTax)
+		if len(bad) > 0 {
+			failed = true
+			for _, msg := range bad {
+				fmt.Fprintf(os.Stderr, "benchcheck: %s: %s\n", path, msg)
+			}
+			continue
+		}
+		note := ""
+		if rec.SingleCore {
+			note = " (single-core record: speedup assertions skipped)"
+		}
+		fmt.Printf("benchcheck: %s ok — bench %d, %d scenarios, equivalence ok%s\n",
+			path, rec.Bench, len(rec.Scenarios), note)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

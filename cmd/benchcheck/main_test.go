@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func baseRecord() record {
+	rec := record{
+		Bench:         9,
+		Schema:        wantSchema,
+		NumCPU:        8,
+		EquivalenceOK: true,
+		Speedup:       map[string]float64{"core": 3.2, "replica_n4": 0.4},
+	}
+	rec.Scenarios = append(rec.Scenarios, struct {
+		Name          string  `json:"name"`
+		Readings      int64   `json:"readings"`
+		Errors        int64   `json:"errors"`
+		ThroughputRPS float64 `json:"throughput_rps"`
+	}{Name: "replica/n=1", Readings: 10000, ThroughputRPS: 50000})
+	return rec
+}
+
+func assertViolation(t *testing.T, rec record, want string) {
+	t.Helper()
+	bad := check(rec, 1.0, 0.05)
+	for _, msg := range bad {
+		if strings.Contains(msg, want) {
+			return
+		}
+	}
+	t.Fatalf("no violation mentioning %q in %v", want, bad)
+}
+
+func TestCheckPasses(t *testing.T) {
+	if bad := check(baseRecord(), 1.0, 0.05); len(bad) != 0 {
+		t.Fatalf("clean record flagged: %v", bad)
+	}
+}
+
+func TestCheckCatches(t *testing.T) {
+	rec := baseRecord()
+	rec.Schema = "something-else"
+	assertViolation(t, rec, "schema")
+
+	rec = baseRecord()
+	rec.EquivalenceOK = false
+	assertViolation(t, rec, "equivalence_ok")
+
+	rec = baseRecord()
+	rec.Scenarios[0].Errors = 1000
+	assertViolation(t, rec, "errors")
+
+	rec = baseRecord()
+	rec.Speedup["core"] = 0.7
+	assertViolation(t, rec, "below the 1.000 floor")
+
+	rec = baseRecord()
+	rec.Speedup["replica_n4"] = 0.01
+	assertViolation(t, rec, "routing-tax floor")
+
+	rec = baseRecord()
+	rec.ScalingCurve = append(rec.ScalingCurve, struct {
+		Procs      int     `json:"gomaxprocs"`
+		SpeedupVs1 float64 `json:"speedup_vs_1"`
+	}{Procs: 4, SpeedupVs1: 0.8})
+	assertViolation(t, rec, "scaling curve")
+}
+
+// TestSingleCoreSkipsSpeedups is the satellite contract: a 1-CPU record
+// keeps the structural assertions but drops every parallel one.
+func TestSingleCoreSkipsSpeedups(t *testing.T) {
+	rec := baseRecord()
+	rec.NumCPU = 1
+	rec.SingleCore = true
+	rec.Speedup["core"] = 0.5 // hopeless on one core, and that is fine
+	rec.ScalingCurve = append(rec.ScalingCurve, struct {
+		Procs      int     `json:"gomaxprocs"`
+		SpeedupVs1 float64 `json:"speedup_vs_1"`
+	}{Procs: 4, SpeedupVs1: 0.6})
+	if bad := check(rec, 1.0, 0.05); len(bad) != 0 {
+		t.Fatalf("single-core record flagged on speedups: %v", bad)
+	}
+	// But a broken equivalence still fails — single_core is not a pass.
+	rec.EquivalenceOK = false
+	if bad := check(rec, 1.0, 0.05); len(bad) == 0 {
+		t.Fatal("single-core record with failed equivalence passed")
+	}
+	// And NaN ratios still fail: they mean a zero baseline, not one core.
+	rec.EquivalenceOK = true
+	rec.Speedup["core"] = 0
+	if bad := check(rec, 1.0, 0.05); len(bad) == 0 {
+		t.Fatal("single-core record with a zero ratio passed")
+	}
+}

@@ -10,8 +10,8 @@
 //	loadgen [-mode both] [-shards 16] [-baseline-shards 1] [-conns 8]
 //	        [-batch 64] [-nodes 256] [-signals 64] [-duration 3s]
 //	        [-dedup] [-target http://host:8025] [-out BENCH_7.json]
-//	        [-scenario stream] [-sensors 10000] [-stream-fft 256]
-//	        [-scaling-sweep] [-gomaxprocs N]
+//	        [-scenario stream|replica] [-sensors 10000] [-stream-fft 256]
+//	        [-replicas 4] [-scaling-sweep] [-gomaxprocs N]
 //
 // Modes:
 //
@@ -40,7 +40,15 @@
 // batched speedup, frame latency percentiles and steady-state
 // allocs/frame. -scaling-sweep additionally reruns the scenario's core
 // loop at GOMAXPROCS 1/2/4/NumCPU and records the per-core curve; every
-// scenario is stamped with the GOMAXPROCS it actually ran at.
+// scenario is stamped with the GOMAXPROCS it actually ran at, and runs
+// on a 1-CPU machine are stamped "single_core" so compare tooling skips
+// speedup assertions for them.
+//
+// -scenario=replica switches to the multi-replica collector harness
+// (replica.go): the http closed loop against in-process rings of 1, 2
+// and up to -replicas members with round-robin entry, recorded to
+// BENCH_9.json with per-size throughput and the routing-tax ratio vs a
+// single replica, gated on ring-vs-single byte equivalence.
 //
 // Before any timed run, loadgen replays one deterministic workload into
 // collectors at the baseline and sharded stripe counts and verifies that
@@ -88,8 +96,12 @@ type config struct {
 
 	// Scenario selects an alternative harness: "" is the trust-collector
 	// bench above; "stream" drives the fleet streaming spectrum service
-	// (see stream.go) and writes BENCH_8.json.
+	// (see stream.go) and writes BENCH_8.json; "replica" drives the
+	// multi-replica collector ring (see replica.go) and writes
+	// BENCH_9.json.
 	Scenario string `json:"scenario,omitempty"`
+	// Replicas is the largest ring size for the replica scenario.
+	Replicas int `json:"replicas,omitempty"`
 	// Sensors is the simulated fleet size for the stream scenario.
 	Sensors int `json:"sensors,omitempty"`
 	// StreamFFT is the streaming frame length.
@@ -130,6 +142,11 @@ type benchOutput struct {
 	NumCPU        int              `json:"num_cpu"`
 	Config        config           `json:"config"`
 	EquivalenceOK bool             `json:"equivalence_ok"`
+	// SingleCore marks records produced on a 1-CPU machine. Scaling and
+	// speedup numbers from such a run say nothing about parallelism, so
+	// bench-compare tooling (cmd/benchcheck) skips speedup assertions
+	// when it is set.
+	SingleCore bool `json:"single_core,omitempty"`
 	Scenarios     []scenarioResult `json:"scenarios"`
 	// Speedup maps mode → sharded throughput / baseline throughput.
 	Speedup map[string]float64 `json:"speedup,omitempty"`
@@ -729,6 +746,7 @@ func run(cfg config) (*benchOutput, error) {
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
+		SingleCore:  runtime.NumCPU() == 1,
 		Config:      cfg,
 		Speedup:     map[string]float64{},
 	}
@@ -740,8 +758,13 @@ func run(cfg config) (*benchOutput, error) {
 			return nil, err
 		}
 		return out, nil
+	case "replica":
+		if err := runReplica(cfg, out); err != nil {
+			return nil, err
+		}
+		return out, nil
 	default:
-		return nil, fmt.Errorf("unknown -scenario %q (want stream)", cfg.Scenario)
+		return nil, fmt.Errorf("unknown -scenario %q (want stream or replica)", cfg.Scenario)
 	}
 
 	// cfg with reduced sizes is built inside checkEquivalence.
@@ -870,8 +893,9 @@ func main() {
 	flag.DurationVar(&cfg.Duration, "duration", 3*time.Second, "timed duration per scenario")
 	flag.BoolVar(&cfg.Dedup, "dedup", true, "attach idempotency keys to every reading")
 	flag.StringVar(&cfg.Target, "target", "", "live collector base URL (http mode only; empty = in-process)")
-	flag.StringVar(&cfg.Out, "out", "", "bench record output path (default BENCH_7.json, or BENCH_8.json for -scenario=stream)")
-	flag.StringVar(&cfg.Scenario, "scenario", "", "alternative harness: stream (fleet streaming spectrum service)")
+	flag.StringVar(&cfg.Out, "out", "", "bench record output path (default BENCH_7.json; BENCH_8.json for -scenario=stream, BENCH_9.json for -scenario=replica)")
+	flag.StringVar(&cfg.Scenario, "scenario", "", "alternative harness: stream (fleet streaming spectrum service) or replica (multi-replica collector ring)")
+	flag.IntVar(&cfg.Replicas, "replicas", 4, "largest ring size for the replica scenario")
 	flag.IntVar(&cfg.Sensors, "sensors", 10000, "simulated sensor fleet size (stream scenario)")
 	flag.IntVar(&cfg.StreamFFT, "stream-fft", 256, "streaming frame length in samples (stream scenario)")
 	flag.BoolVar(&cfg.ScalingSweep, "scaling-sweep", false, "rerun the core closed loop at GOMAXPROCS 1/2/4/NumCPU and record the per-core curve")
@@ -881,9 +905,12 @@ func main() {
 		runtime.GOMAXPROCS(*maxprocs)
 	}
 	if cfg.Out == "" {
-		if cfg.Scenario == "stream" {
+		switch cfg.Scenario {
+		case "stream":
 			cfg.Out = "BENCH_8.json"
-		} else {
+		case "replica":
+			cfg.Out = "BENCH_9.json"
+		default:
 			cfg.Out = "BENCH_7.json"
 		}
 	}
@@ -900,9 +927,12 @@ func main() {
 			s.Name, s.ThroughputRPS, s.P50ms, s.P99ms, s.Readings, s.Errors)
 	}
 	for mode, sp := range out.Speedup {
-		if cfg.Scenario == "stream" {
+		switch cfg.Scenario {
+		case "stream":
 			log.Infof("%s speedup: %.2fx (batched service vs per-sensor serial)", mode, sp)
-		} else {
+		case "replica":
+			log.Infof("%s throughput ratio: %.2fx vs a single replica (routing tax)", mode, sp)
+		default:
 			log.Infof("%s speedup: %.2fx (shards=%d vs shards=%d)", mode, sp, cfg.Shards, cfg.BaselineShards)
 		}
 	}

@@ -1,0 +1,297 @@
+// The replica scenario (-scenario=replica) benches the multi-replica
+// collector tier (internal/replica): an in-process ring of N spectrumd
+// equivalents behind real HTTP servers, driven by the same closed-loop
+// batch workload as the http mode. Batches enter through every replica
+// round-robin, so roughly (N-1)/N of the readings are misrouted and
+// must be proxied to their ring owner — the scenario prices exactly
+// that routing tax, 1 replica vs N. Before timing anything it replays a
+// deterministic workload into a single collector and into the ring and
+// refuses to claim numbers if /api/fleet or the closed-epoch history
+// diverge (the tier's byte-identical contract).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"time"
+
+	"sensorcal/internal/obs"
+	"sensorcal/internal/replica"
+	"sensorcal/internal/trust"
+)
+
+// replicaRing is an in-process N-member collector ring.
+type replicaRing struct {
+	nodes []*replica.Node
+	cols  []*trust.Collector
+	srvs  []*httptest.Server
+}
+
+func (r *replicaRing) close() {
+	for _, s := range r.srvs {
+		s.Close()
+	}
+}
+
+// coordinator returns the merge-close coordinator's node.
+func (r *replicaRing) coordinator() *replica.Node {
+	for _, n := range r.nodes {
+		if n.IsCoordinator() {
+			return n
+		}
+	}
+	return r.nodes[0]
+}
+
+// newReplicaRing boots n replicas with the workload fleet pre-enrolled
+// on every member (the steady state after replicated registration).
+func newReplicaRing(cfg config, n int) (*replicaRing, error) {
+	ring := &replicaRing{}
+	members := make([]replica.Member, n)
+	handlers := make([]atomic.Value, n)
+	for i := 0; i < n; i++ {
+		h := &handlers[i]
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			h.Load().(http.Handler).ServeHTTP(w, req)
+		}))
+		ring.srvs = append(ring.srvs, srv)
+		members[i] = replica.Member{ID: fmt.Sprintf("r%d", i+1), URL: srv.URL}
+	}
+	for i := 0; i < n; i++ {
+		col, err := newCollector(cfg, cfg.Shards)
+		if err != nil {
+			ring.close()
+			return nil, err
+		}
+		col.Obs = obs.NewRegistry()
+		col.Tracer = obs.NewTracer(16)
+		node, err := replica.New(replica.Config{
+			Self:      members[i].ID,
+			Members:   members,
+			Collector: col,
+			Registry:  obs.NewRegistry(),
+			Tracer:    col.Tracer,
+		})
+		if err != nil {
+			ring.close()
+			return nil, err
+		}
+		ring.nodes = append(ring.nodes, node)
+		ring.cols = append(ring.cols, col)
+		handlers[i].Store(node.Handler())
+	}
+	return ring, nil
+}
+
+// runReplicaLoop times the closed-loop batch workload against an
+// n-replica ring, workers spread round-robin across entry replicas.
+func runReplicaLoop(cfg config, n int) (scenarioResult, error) {
+	ring, err := newReplicaRing(cfg, n)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	defer ring.close()
+	type wire struct {
+		Node     string    `json:"node"`
+		SignalID string    `json:"signal_id"`
+		PowerDBm float64   `json:"power_dbm"`
+		At       time.Time `json:"at"`
+		Key      string    `json:"key,omitempty"`
+	}
+	urls := make([]string, n)
+	for i, srv := range ring.srvs {
+		urls[i] = srv.URL + "/api/readings"
+	}
+	client := ring.srvs[0].Client()
+	readings, errs, lats, elapsed := runClosedLoop(cfg, func(w, b int, rng *splitmix) (int, error) {
+		var buf bytes.Buffer
+		var key []byte
+		batch := make([]wire, cfg.Batch)
+		for i := range batch {
+			var r trust.Reading
+			r, key = reading(cfg, w, b*cfg.Batch+i, rng, key)
+			batch[i] = wire{Node: string(r.Node), SignalID: r.SignalID, PowerDBm: r.PowerDBm, At: r.At, Key: r.Key}
+		}
+		if err := json.NewEncoder(&buf).Encode(batch); err != nil {
+			return 0, err
+		}
+		resp, err := client.Post(urls[w%len(urls)], "application/json", &buf)
+		if err != nil {
+			return cfg.Batch, err
+		}
+		var summary struct {
+			Rejected int `json:"rejected"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&summary)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return cfg.Batch, err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return cfg.Batch, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		if summary.Rejected > 0 {
+			return cfg.Batch, fmt.Errorf("%d readings rejected", summary.Rejected)
+		}
+		return cfg.Batch, nil
+	})
+	// One untimed merge close proves the ingested state drains ring-wide.
+	ring.coordinator().MergeClose(benchBase.Add(time.Hour))
+	name := fmt.Sprintf("replica/n=%d", n)
+	return result(name, "replica", cfg, cfg.Shards, readings, errs, lats, elapsed), nil
+}
+
+// checkReplicaEquivalence replays one deterministic workload into a
+// plain collector and into a ring of cfg.Replicas members (entered
+// through rotating replicas, so forwarding is exercised), then compares
+// /api/fleet bytes on every member, the merged anomaly list and the
+// closed-epoch history. The bench record carries the verdict: a ring
+// that changed the fleet's answers gets no throughput claims.
+func checkReplicaEquivalence(cfg config, n int) (bool, error) {
+	single, err := newCollector(cfg, cfg.Shards)
+	if err != nil {
+		return false, err
+	}
+	single.Obs = obs.NewRegistry()
+	single.Tracer = obs.NewTracer(16)
+	singleSrv := httptest.NewServer(single.Handler(time.Now))
+	defer singleSrv.Close()
+	ring, err := newReplicaRing(cfg, n)
+	if err != nil {
+		return false, err
+	}
+	defer ring.close()
+
+	rng := splitmix(0xabcdef)
+	client := ring.srvs[0].Client()
+	for w := 0; w < 4; w++ {
+		at := benchBase.Add(time.Duration(w) * time.Minute)
+		trend := float64(rng.next()%12) - 6
+		for s := 0; s < cfg.Signals; s++ {
+			for nd := 0; nd < cfg.Nodes; nd++ {
+				p := -55 + trend + float64(rng.next()%5) - 2
+				if nd == 0 {
+					p = -10 // flagrant over-consensus inflation
+				}
+				r := trust.Reading{
+					Node: nodeID(nd), SignalID: signalID(s), PowerDBm: p, At: at,
+					Key: fmt.Sprintf("eqr-%d-%d-%d", w, s, nd),
+				}
+				if _, err := single.SubmitDedup(r); err != nil {
+					return false, err
+				}
+				body, _ := json.Marshal(map[string]interface{}{
+					"node": string(r.Node), "signal_id": r.SignalID,
+					"power_dbm": r.PowerDBm, "at": r.At, "key": r.Key,
+				})
+				entry := ring.srvs[(w*cfg.Signals+s)%len(ring.srvs)]
+				resp, err := client.Post(entry.URL+"/api/readings", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return false, err
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					return false, fmt.Errorf("ring submission status %d", resp.StatusCode)
+				}
+			}
+		}
+	}
+	cutoff := benchBase.Add(time.Hour)
+	wantAnoms := single.CloseEpochs(cutoff)
+	gotAnoms := ring.coordinator().MergeClose(cutoff)
+	if len(wantAnoms) == 0 || !reflect.DeepEqual(wantAnoms, gotAnoms) {
+		return false, nil
+	}
+	fetch := func(base string) ([]byte, error) {
+		resp, err := client.Get(base + "/api/fleet")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		return io.ReadAll(resp.Body)
+	}
+	want, err := fetch(singleSrv.URL)
+	if err != nil {
+		return false, err
+	}
+	for _, srv := range ring.srvs {
+		got, err := fetch(srv.URL)
+		if err != nil {
+			return false, err
+		}
+		if !bytes.Equal(want, got) {
+			return false, nil
+		}
+	}
+	for s := 0; s < cfg.Signals; s++ {
+		want := single.History(signalID(s))
+		for _, col := range ring.cols {
+			if !reflect.DeepEqual(want, col.History(signalID(s))) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// replicaCounts is the topology ladder: 1 (the routing-free baseline),
+// then doublings up to the configured max.
+func replicaCounts(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	counts := []int{1}
+	for n := 2; n <= max; n *= 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// runReplica is the -scenario=replica entrypoint: equivalence gate,
+// then the closed loop at each ring size.
+func runReplica(cfg config, out *benchOutput) error {
+	out.Bench = 9
+	eqCfg := configForEquivalence(cfg)
+	maxN := cfg.Replicas
+	if maxN < 2 {
+		maxN = 2
+	}
+	ok, err := checkReplicaEquivalence(eqCfg, maxN)
+	if err != nil {
+		return fmt.Errorf("replica equivalence: %w", err)
+	}
+	out.EquivalenceOK = ok
+	var base float64
+	for _, n := range replicaCounts(cfg.Replicas) {
+		res, err := runReplicaLoop(cfg, n)
+		if err != nil {
+			return err
+		}
+		out.Scenarios = append(out.Scenarios, res)
+		if n == 1 {
+			base = res.ThroughputRPS
+		} else if base > 0 {
+			// Routing tax, not a speedup: one process hosts every replica,
+			// so >1 means forwarding is cheap, <1 shows its cost.
+			out.Speedup[fmt.Sprintf("replica_n%d", n)] = res.ThroughputRPS / base
+		}
+	}
+	if cfg.ScalingSweep {
+		curve, err := runScalingSweep(cfg, func(c config) (scenarioResult, error) {
+			return runReplicaLoop(c, maxN)
+		})
+		if err != nil {
+			return err
+		}
+		out.ScalingCurve = curve
+	}
+	return nil
+}

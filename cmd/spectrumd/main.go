@@ -7,6 +7,8 @@
 //
 //	spectrumd [-addr :8025] [-epoch 1m] [-state ledger.json] [-shards 8]
 //	          [-wal waldir] [-wal-compact-segments 4]
+//	          [-replica-id r1] [-ring r1=http://a:8025,r2=http://b:8025]
+//	          [-ring-vnodes 128] [-catchup-wait 30s]
 //	          [-profile-contention] [-log-level info]
 //	          [-trace-capacity 4096] [-trace-sample 1] [-trace-export spans.jsonl]
 //	          [-stream] [-stream-fft 256] [-stream-queue 8192]
@@ -16,6 +18,13 @@
 // 1 reproduces the classic single-lock collector). -profile-contention
 // enables the runtime mutex/block profilers so /debug/pprof/mutex and
 // /debug/pprof/block report where ingest actually waits.
+//
+// -replica-id + -ring turn the daemon into one member of a multi-replica
+// collector tier (internal/replica): a consistent-hash ring partitions
+// ingest by node ID, misrouted submissions are proxied to their owner,
+// the lexically smallest member merges and closes epochs ring-wide, and
+// a (re)joining member catches up from a live peer before /readyz goes
+// green. Agents need no changes — any replica accepts the whole API.
 //
 // -wal enables the crash-safe trust store (internal/store): every
 // registration and every epoch's score batch is appended to a
@@ -29,6 +38,7 @@
 //	POST /api/register — {"id","operator","lat","lon","claimed_outdoor","hardware"}
 //	POST /api/readings — {"node","signal_id","power_dbm","at"}
 //	GET  /api/trust?node=ID
+//	GET  /api/ring      — ring topology and readiness (replica mode)
 //	POST /api/stream/register — enroll a streaming sensor session
 //	POST /api/stream/frames   — batched base64 IQ frames through the shared engine
 //	GET  /api/stream/stats    — fleet/session counters
@@ -61,6 +71,7 @@ import (
 
 	"sensorcal/internal/clock"
 	"sensorcal/internal/obs"
+	"sensorcal/internal/replica"
 	"sensorcal/internal/resilience"
 	"sensorcal/internal/store"
 	"sensorcal/internal/stream"
@@ -93,6 +104,9 @@ type daemon struct {
 	// stream is the fleet-scale continuous-monitoring service (-stream);
 	// nil leaves the daemon a pure trust collector.
 	stream *stream.Service
+	// replica is the multi-replica collector tier (-replica-id/-ring);
+	// nil runs the classic single-collector daemon.
+	replica *replica.Node
 }
 
 // shutdownSaveTimeout bounds the final ledger save (and its retries) at
@@ -187,7 +201,20 @@ func (d *daemon) saveState(ctx context.Context) {
 // is on (the score batch itself was already appended durably inside
 // CloseEpochs), else through the legacy whole-ledger snapshot.
 func (d *daemon) closeEpochs(ctx context.Context, cutoff time.Time) {
-	for _, a := range d.col.CloseEpochs(cutoff) {
+	var anomalies []trust.Anomaly
+	switch {
+	case d.replica != nil && d.replica.IsCoordinator():
+		// Ring coordinator: drain every member, merge, close once,
+		// broadcast the install.
+		anomalies = d.replica.MergeClose(cutoff)
+	case d.replica != nil:
+		// Follower: never closes locally — the coordinator drains this
+		// replica's pending epochs over /replica/drain and installs the
+		// merged result back. Closing here too would double-count.
+	default:
+		anomalies = d.col.CloseEpochs(cutoff)
+	}
+	for _, a := range anomalies {
 		d.log.Warnf("anomaly: %v", a)
 	}
 	if d.tlog != nil {
@@ -248,7 +275,18 @@ func (d *daemon) shutdown(srv *http.Server) {
 // longer than any API request should.
 func (d *daemon) handler() http.Handler {
 	mux := obs.AdminMux(nil, nil, d.health)
-	mux.Handle("/api/", trust.Harden(d.col.Handler(d.clk.Now), trust.HardenConfig{}))
+	if d.replica != nil {
+		// Replica mode: the agent-facing API routes through the ring
+		// (hardened like the plain collector); the /replica/* peer
+		// protocol mounts unhardened — drains and catch-up streams are
+		// ring-internal and must not compete with agents for the
+		// in-flight budget.
+		rh := d.replica.Handler()
+		mux.Handle("/api/", trust.Harden(rh, trust.HardenConfig{}))
+		mux.Handle("/replica/", rh)
+	} else {
+		mux.Handle("/api/", trust.Harden(d.col.Handler(d.clk.Now), trust.HardenConfig{}))
+	}
 	if d.stream != nil {
 		// Longer patterns win in ServeMux, so the streaming surface
 		// carves its routes out of /api/ without touching the trust API.
@@ -310,6 +348,12 @@ func main() {
 		state    = flag.String("state", "", "ledger snapshot file (with -wal: imported once when the wal is empty, exported at shutdown)")
 		walDir   = flag.String("wal", "", "crash-safe trust store directory (empty: legacy snapshot-only persistence)")
 		walSegs  = flag.Int("wal-compact-segments", store.DefaultCompactAfterSegments, "sealed wal segments that trigger snapshot compaction")
+
+		replicaID   = flag.String("replica-id", "", "this member's ID in the collector ring (empty: single-collector mode)")
+		ringSpec    = flag.String("ring", "", "full ring membership as id=url,id=url (must include -replica-id)")
+		ringVnodes  = flag.Int("ring-vnodes", replica.DefaultVirtualNodes, "virtual nodes per ring member (identical on every member)")
+		catchupWait = flag.Duration("catchup-wait", 30*time.Second, "how long a booting replica waits for a live peer before assuming a cold start")
+
 		shards   = flag.Int("shards", 8, "collector ingest lock stripes (rounded up to a power of two; 1 = single-lock)")
 		profCont = flag.Bool("profile-contention", false, "enable runtime mutex/block profiling on /debug/pprof")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -369,6 +413,33 @@ func main() {
 		logger.Fatalf("loading %s: %v", *state, err)
 	}
 	health.SetReady("ledger", true)
+	if *replicaID != "" {
+		members, err := replica.ParseMembers(*ringSpec)
+		if err != nil {
+			logger.Fatalf("-ring: %v", err)
+		}
+		node, err := replica.New(replica.Config{
+			Self:      *replicaID,
+			Members:   members,
+			VNodes:    *ringVnodes,
+			Collector: c,
+			Log:       d.tlog,
+			Registry:  obs.Default(),
+			Tracer:    obs.DefaultTracer(),
+			Health:    health,
+			Now:       d.clk.Now,
+		})
+		if err != nil {
+			logger.Fatalf("replica: %v", err)
+		}
+		d.replica = node
+		role := "follower"
+		if node.IsCoordinator() {
+			role = "coordinator"
+		}
+		logger.Infof("replica %s (%s) in a %d-member ring, %d virtual nodes each",
+			*replicaID, role, node.Ring().Len(), node.Ring().VirtualNodes())
+	}
 	if *streamOn {
 		lo, hi, err := parseBand(*streamBand)
 		if err != nil {
@@ -397,6 +468,35 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go d.epochLoop(ctx)
+	if d.replica != nil {
+		// Catch up from a live peer before going ready. Outbound only, so
+		// it runs while this replica already serves /replica/* to others —
+		// a whole ring booting at once converges (everyone copies an empty
+		// peer), and a ring with no live peers at all is a cold start.
+		go func() {
+			deadline := time.Now().Add(*catchupWait)
+			for {
+				reached, err := d.replica.CatchUp()
+				if reached && err == nil {
+					logger.Infof("caught up from a live peer; replica ready")
+					return
+				}
+				if err != nil {
+					logger.Warnf("catch-up: %v", err)
+				}
+				if !reached && time.Now().After(deadline) {
+					logger.Infof("no live peer within %s; assuming cold start", *catchupWait)
+					d.replica.MarkReady()
+					return
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(2 * time.Second):
+				}
+			}
+		}()
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: d.handler()}
 	errc := make(chan error, 1)

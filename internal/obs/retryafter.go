@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RetryAfterSeconds renders a backoff hint as the whole-second string the
+// Retry-After header wants, rounding up and clamping to at least 1.
+//
+// The clamp is the point: Retry-After carries integer seconds, so any
+// sub-second hint rounds to "0" — which retriers read as "retry
+// immediately", turning a shed response into a tight retry loop against
+// the very server that asked for air. Every shed surface (the trust
+// collector's 503s, the hardening middleware's 429s, the stream
+// service's backpressure) must emit the header through this helper
+// rather than hand-rolling the division.
+func RetryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// SetRetryAfter attaches the clamped Retry-After header to a response.
+func SetRetryAfter(w http.ResponseWriter, d time.Duration) {
+	w.Header().Set("Retry-After", RetryAfterSeconds(d))
+}

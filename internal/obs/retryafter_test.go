@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		// The bug this helper exists to kill: sub-second hints used to
+		// truncate to "0", which retriers treat as "retry immediately".
+		{0, "1"},
+		{-time.Second, "1"},
+		{time.Millisecond, "1"},
+		{999 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1001 * time.Millisecond, "2"},
+		{1500 * time.Millisecond, "2"},
+		{5 * time.Second, "5"},
+		{90 * time.Second, "90"},
+	}
+	for _, c := range cases {
+		if got := RetryAfterSeconds(c.d); got != c.want {
+			t.Errorf("RetryAfterSeconds(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestSetRetryAfter(t *testing.T) {
+	w := httptest.NewRecorder()
+	SetRetryAfter(w, 250*time.Millisecond)
+	if got := w.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want %q", got, "1")
+	}
+}

@@ -1,0 +1,113 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sensorcal/internal/obs"
+	"sensorcal/internal/trust"
+)
+
+// Merge close. An epoch groups readings of one signal across many
+// nodes, and ring ownership scatters those nodes across replicas — so
+// epoch close is the one operation that must see the union. The
+// coordinator (lexically smallest member ID, no election) drains every
+// replica's matured pending epochs, merges them per (signal, window),
+// runs the one close pipeline over the merged list, and broadcasts the
+// result for followers to install. The pipeline is the same code path a
+// single collector runs (trust.CloseEpochs = DrainPending +
+// CloseDrained), so the fleet view is byte-identical by construction.
+//
+// Failure model:
+//   - A peer unreachable at drain time keeps its pending epochs; they
+//     mature into the next pass. Its share of a window closes later than
+//     the rest — late, not lost.
+//   - A follower unreachable at install time misses the history append
+//     and score update; its /api/trust answers lag until the next
+//     successful install or its own catch-up. The coordinator's own
+//     state (and its durable log) already has the close.
+//   - A dead coordinator means no merges at all until it returns —
+//     pending epochs accumulate but nothing is lost. Replacing the
+//     coordinator is a ring-membership change, which is an operator
+//     action (roll the -ring flag), not an election.
+
+// MergeClose runs one coordinator close pass over the whole ring:
+// drain self and every peer, merge, close, broadcast the install. Only
+// the coordinator's epoch loop should schedule it — two concurrent
+// mergers would race their history appends into different orders.
+func (n *Node) MergeClose(cutoff time.Time) []trust.Anomaly {
+	n.closeMu.Lock()
+	defer n.closeMu.Unlock()
+	_, span := obs.StartSpan(obs.WithTracer(context.Background(), n.resolveTracer()), "replica.merge_close")
+	defer span.End()
+	drains := [][]trust.Epoch{n.col.DrainPending(cutoff)}
+	for _, peer := range n.peers() {
+		epochs, err := n.drainPeer(peer, cutoff)
+		if err != nil {
+			n.m.drainPeerErrors.Inc()
+			span.SetAttr("drain_error_"+peer.ID, err.Error())
+			continue
+		}
+		drains = append(drains, epochs)
+	}
+	merged := trust.MergeDrained(drains...)
+	anomalies, updates := n.col.CloseDrained(cutoff, merged)
+	n.m.mergeCloses.Inc()
+	n.m.mergeEpochs.Add(float64(len(merged)))
+	span.SetAttr("epochs", strconv.Itoa(len(merged)))
+	span.SetAttr("anomalies", strconv.Itoa(len(anomalies)))
+	if len(merged) > 0 || len(updates) > 0 {
+		n.broadcastInstall(cutoff, merged, updates)
+	}
+	return anomalies
+}
+
+// drainPeer asks one peer for its matured pending epochs.
+func (n *Node) drainPeer(peer Member, cutoff time.Time) ([]trust.Epoch, error) {
+	body, err := json.Marshal(drainRequest{Cutoff: cutoff})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.client.Post(peer.URL+"/replica/drain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("peer returned %d", resp.StatusCode)
+	}
+	var out drainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Epochs, nil
+}
+
+// broadcastInstall sends the close result to every peer. Errors are
+// counted, not retried: the next pass's install carries newer absolute
+// scores, and a restarted peer catches up from the durable log.
+func (n *Node) broadcastInstall(at time.Time, epochs []trust.Epoch, updates []trust.ScoreUpdate) {
+	body, err := json.Marshal(installRequest{At: at, Epochs: epochs, Updates: updates})
+	if err != nil {
+		return
+	}
+	for _, peer := range n.peers() {
+		resp, err := n.client.Post(peer.URL+"/replica/install", "application/json", bytes.NewReader(body))
+		if err != nil {
+			n.m.installPeerErrors.Inc()
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			n.m.installPeerErrors.Inc()
+		}
+	}
+}

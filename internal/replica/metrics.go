@@ -1,0 +1,38 @@
+package replica
+
+import "sensorcal/internal/obs"
+
+// metrics is the replica tier's own instrument panel, alongside the RED
+// metrics the HTTP middleware already records per route.
+type metrics struct {
+	localReadings     *obs.Counter
+	forwardedReadings *obs.Counter
+	forwardErrors     *obs.Counter
+	replicationErrors *obs.Counter
+	mergeCloses       *obs.Counter
+	mergeEpochs       *obs.Counter
+	drainPeerErrors   *obs.Counter
+	installPeerErrors *obs.Counter
+	activityPeerErrs  *obs.Counter
+	catchupRecords    *obs.Counter
+	catchupFailures   *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &metrics{
+		localReadings:     reg.Counter("replica_local_readings_total", "Readings owned by this replica and applied locally."),
+		forwardedReadings: reg.Counter("replica_forwarded_readings_total", "Misrouted readings proxied to their ring owner."),
+		forwardErrors:     reg.Counter("replica_forward_errors_total", "Forward attempts that failed; the whole submission sheds with 503."),
+		replicationErrors: reg.Counter("replica_replication_errors_total", "Best-effort registration broadcasts that failed."),
+		mergeCloses:       reg.Counter("replica_merge_closes_total", "Coordinator merge-close passes."),
+		mergeEpochs:       reg.Counter("replica_merge_epochs_total", "Epochs closed by merge-close passes."),
+		drainPeerErrors:   reg.Counter("replica_drain_peer_errors_total", "Peers unreachable during a drain; their pending epochs close on a later pass."),
+		installPeerErrors: reg.Counter("replica_install_peer_errors_total", "Followers that failed to install a close result."),
+		activityPeerErrs:  reg.Counter("replica_activity_peer_errors_total", "Peers unreachable during a fleet-view freshness merge."),
+		catchupRecords:    reg.Counter("replica_catchup_records_total", "Records applied during snapshot catch-up."),
+		catchupFailures:   reg.Counter("replica_catchup_failures_total", "Catch-up attempts that failed."),
+	}
+}

@@ -1,0 +1,608 @@
+package replica
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sensorcal/internal/obs"
+	"sensorcal/internal/store"
+	"sensorcal/internal/trust"
+)
+
+// ForwardHeader marks a submission already routed by a peer replica. A
+// receiver seeing it applies the batch locally and never re-forwards, so
+// a stale ring on one member degrades to one extra hop instead of a
+// forwarding loop.
+const ForwardHeader = "X-Sensorcal-Forwarded"
+
+// Config wires one replica of the collector ring.
+type Config struct {
+	// Self is this replica's member ID; it must appear in Members.
+	Self string
+	// Members is the full ring membership, including Self.
+	Members []Member
+	// VNodes is the per-member virtual-node count (≤ 0 means
+	// DefaultVirtualNodes). Every member must be configured identically.
+	VNodes int
+	// Collector is this replica's trust collector.
+	Collector *trust.Collector
+	// Log is the replica's durable trust log; nil means in-memory only
+	// (catch-up then synthesizes a snapshot from the live ledger).
+	Log *store.TrustLog
+	// Client is the peer-to-peer HTTP client; nil means a 10 s-timeout
+	// default.
+	Client *http.Client
+	// Registry receives replica metrics; nil means the process default.
+	Registry *obs.Registry
+	// Tracer records replica spans; nil means the process default.
+	Tracer *obs.Tracer
+	// Health, when non-nil, gets a "replica" readiness probe that
+	// CatchUp flips: a joining replica fails readiness until it has
+	// copied a live peer's state.
+	Health *obs.Health
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+// Node is one member of the multi-replica collector tier. It owns a
+// slice of the fleet's node IDs (by consistent hash), proxies misrouted
+// submissions to their owner, participates in coordinator-driven merge
+// closes, and can bootstrap itself from a live peer.
+type Node struct {
+	self   Member
+	ring   *Ring
+	col    *trust.Collector
+	log    *store.TrustLog
+	client *http.Client
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	health *obs.Health
+	now    func() time.Time
+	m      *metrics
+
+	// closeMu single-flights merge closes, the same discipline the
+	// single-daemon epoch loop gives CloseEpochs.
+	closeMu  sync.Mutex
+	caughtUp atomic.Bool
+}
+
+// New builds a replica node. The ring is computed locally from the
+// member list — every member configured with the same list computes the
+// same placement, so there is no join protocol to run.
+func New(cfg Config) (*Node, error) {
+	ring, err := NewRing(cfg.Members, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	self, ok := ring.Member(cfg.Self)
+	if !ok {
+		return nil, fmt.Errorf("replica: self %q is not a ring member", cfg.Self)
+	}
+	if cfg.Collector == nil {
+		return nil, fmt.Errorf("replica: config needs a collector")
+	}
+	n := &Node{
+		self:   self,
+		ring:   ring,
+		col:    cfg.Collector,
+		log:    cfg.Log,
+		client: cfg.Client,
+		reg:    cfg.Registry,
+		tracer: cfg.Tracer,
+		health: cfg.Health,
+		now:    cfg.Now,
+		m:      newMetrics(cfg.Registry),
+	}
+	if n.client == nil {
+		n.client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if n.now == nil {
+		n.now = time.Now
+	}
+	n.caughtUp.Store(true)
+	n.health.SetReady("replica", true)
+	return n, nil
+}
+
+// Ring exposes the node's ring (read-only by construction).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Self returns this node's member identity.
+func (n *Node) Self() Member { return n.self }
+
+// IsCoordinator reports whether this node is the merge-close
+// coordinator (the lexically smallest member ID).
+func (n *Node) IsCoordinator() bool { return n.ring.Coordinator().ID == n.self.ID }
+
+// CaughtUp reports whether the replica is serving (true from New;
+// cleared and restored around CatchUp).
+func (n *Node) CaughtUp() bool { return n.caughtUp.Load() }
+
+// MarkReady declares the replica caught up without a peer copy — the
+// cold-start path when a whole ring boots at once and no peer has state
+// to offer.
+func (n *Node) MarkReady() {
+	n.caughtUp.Store(true)
+	n.health.SetReady("replica", true)
+}
+
+// peers returns every member except self, in ring (ID-sorted) order.
+func (n *Node) peers() []Member {
+	var out []Member
+	for _, m := range n.ring.Members() {
+		if m.ID != n.self.ID {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (n *Node) resolveTracer() *obs.Tracer {
+	if n.tracer != nil {
+		return n.tracer
+	}
+	return obs.DefaultTracer()
+}
+
+// Wire mirrors of the collector's HTTP types: the replica tier speaks
+// the exact same agent-facing protocol, so agents stay dumb — they point
+// at any replica and never learn the ring exists.
+
+type wireRegister struct {
+	ID             string  `json:"id"`
+	Operator       string  `json:"operator"`
+	Lat            float64 `json:"lat"`
+	Lon            float64 `json:"lon"`
+	ClaimedOutdoor bool    `json:"claimed_outdoor"`
+	Hardware       string  `json:"hardware"`
+}
+
+type wireReading struct {
+	Node     string    `json:"node"`
+	SignalID string    `json:"signal_id"`
+	PowerDBm float64   `json:"power_dbm"`
+	At       time.Time `json:"at"`
+	Key      string    `json:"key,omitempty"`
+	Trace    string    `json:"trace,omitempty"`
+}
+
+func (r wireReading) reading(now func() time.Time) trust.Reading {
+	at := r.At
+	if at.IsZero() {
+		at = now()
+	}
+	return trust.Reading{Node: trust.NodeID(r.Node), SignalID: r.SignalID, PowerDBm: r.PowerDBm, At: at, Key: r.Key, Trace: r.Trace}
+}
+
+type wireBatchResponse struct {
+	Accepted   int      `json:"accepted"`
+	Duplicates int      `json:"duplicates"`
+	Rejected   int      `json:"rejected"`
+	Errors     []string `json:"errors,omitempty"`
+}
+
+type wireFleetEntry struct {
+	Node          string    `json:"node"`
+	Score         float64   `json:"score"`
+	Rating        string    `json:"rating"`
+	RegisteredAt  time.Time `json:"registered_at"`
+	LastReadingAt time.Time `json:"last_reading_at"`
+}
+
+type ringResponse struct {
+	Self         string   `json:"self"`
+	Coordinator  string   `json:"coordinator"`
+	VirtualNodes int      `json:"virtual_nodes"`
+	Members      []Member `json:"members"`
+	Ready        bool     `json:"ready"`
+}
+
+type drainRequest struct {
+	Cutoff time.Time `json:"cutoff"`
+}
+
+type drainResponse struct {
+	Epochs []trust.Epoch `json:"epochs"`
+}
+
+type installRequest struct {
+	At      time.Time           `json:"at"`
+	Epochs  []trust.Epoch       `json:"epochs"`
+	Updates []trust.ScoreUpdate `json:"updates"`
+}
+
+// maxBody bounds one request body, matching the collector's ingest cap.
+const maxBody = 16 << 20
+
+// Handler exposes the replica over HTTP. Agent-facing routes mirror the
+// collector's API exactly; /replica/* routes are the peer protocol:
+//
+//	POST /api/register     — enroll locally, replicate to every peer
+//	POST /api/readings     — apply owned readings, proxy the rest
+//	GET  /api/fleet        — ledger + freshness merged across replicas
+//	GET  /api/trust        — local ledger (replicated, so identical)
+//	GET  /api/ring         — ring topology and readiness
+//	POST /replica/register — replicated enrollment (idempotent)
+//	POST /replica/drain    — drain matured pending epochs to the caller
+//	POST /replica/install  — install a coordinator's close result
+//	GET  /replica/activity — this replica's freshness partition
+//	GET  /replica/catchup  — durable-state dump for a joining replica
+func (n *Node) Handler() http.Handler {
+	mw := obs.NewMiddleware("replica", n.reg, n.tracer)
+	mux := http.NewServeMux()
+	handle := func(route string, h http.HandlerFunc) {
+		mux.Handle(route, mw.WrapHandler(route, h))
+	}
+	colHandler := n.col.Handler(n.now)
+	retryAfter := n.col.RetryAfter
+	if retryAfter <= 0 {
+		retryAfter = 5 * time.Second
+	}
+	shed := func(w http.ResponseWriter) bool {
+		if !n.col.StoreDegraded() {
+			return false
+		}
+		obs.SetRetryAfter(w, retryAfter)
+		http.Error(w, "durable store unavailable, retry later", http.StatusServiceUnavailable)
+		return true
+	}
+	handle("/api/register", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if shed(w) {
+			return
+		}
+		var req wireRegister
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxBody)).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		node := trust.Node{
+			ID: trust.NodeID(req.ID), Operator: req.Operator,
+			Lat: req.Lat, Lon: req.Lon,
+			ClaimedOutdoor: req.ClaimedOutdoor, Hardware: req.Hardware,
+			Registered: n.now(),
+		}
+		err := n.col.RegisterDurable(node)
+		if errors.Is(err, trust.ErrStoreUnavailable) {
+			obs.SetRetryAfter(w, retryAfter)
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		// Replicate the enrollment verbatim — the Registered stamp travels
+		// with it so every ledger carries the same value. Best effort: a
+		// peer that misses the broadcast picks the node up at its next
+		// catch-up, and until then readings routed to it for this node are
+		// rejected as unknown (the agent's spool retries them).
+		n.broadcastRegister(node)
+		w.WriteHeader(http.StatusCreated)
+	})
+	handle("/api/readings", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if shed(w) {
+			return
+		}
+		n.serveReadings(w, r)
+	})
+	handle("/api/fleet", func(w http.ResponseWriter, r *http.Request) {
+		n.serveFleet(w, r)
+	})
+	mux.Handle("/api/trust", colHandler)
+	handle("/api/ring", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(ringResponse{
+			Self:         n.self.ID,
+			Coordinator:  n.ring.Coordinator().ID,
+			VirtualNodes: n.ring.VirtualNodes(),
+			Members:      n.ring.Members(),
+			Ready:        n.caughtUp.Load(),
+		})
+	})
+	handle("/replica/register", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var node trust.Node
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxBody)).Decode(&node); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if node.ID == "" {
+			http.Error(w, "replicated enrollment without a node ID", http.StatusBadRequest)
+			return
+		}
+		if err := n.col.ApplyRegister(node); err != nil {
+			obs.SetRetryAfter(w, retryAfter)
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	handle("/replica/drain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req drainRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxBody)).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		epochs := n.col.DrainPending(req.Cutoff)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(drainResponse{Epochs: epochs})
+	})
+	handle("/replica/install", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req installRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxBody)).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n.col.InstallClosed(req.At, req.Epochs, req.Updates)
+		w.WriteHeader(http.StatusOK)
+	})
+	handle("/replica/activity", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(n.col.FreshnessSnapshot())
+	})
+	handle("/replica/catchup", func(w http.ResponseWriter, r *http.Request) {
+		n.serveCatchup(w, r)
+	})
+	return mux
+}
+
+// broadcastRegister replicates an enrollment to every peer.
+func (n *Node) broadcastRegister(node trust.Node) {
+	body, err := json.Marshal(node)
+	if err != nil {
+		return
+	}
+	for _, peer := range n.peers() {
+		resp, err := n.client.Post(peer.URL+"/replica/register", "application/json", bytes.NewReader(body))
+		if err != nil {
+			n.m.replicationErrors.Inc()
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			n.m.replicationErrors.Inc()
+		}
+	}
+}
+
+// serveReadings partitions a submission by ring ownership: owned
+// readings apply locally, the rest are proxied per-owner with the
+// forward header set. A forward failure fails the whole request with
+// 503 + Retry-After — the readings the proxy could not place were never
+// acknowledged, and the idempotency keys on the locally-applied prefix
+// make the client's retry safe. A request arriving with the forward
+// header is applied entirely locally (the sender already routed it).
+func (n *Node) serveReadings(w http.ResponseWriter, r *http.Request) {
+	forwarded := r.Header.Get(ForwardHeader) != ""
+	br := bufio.NewReaderSize(io.LimitReader(r.Body, maxBody), 32<<10)
+	first, err := peekNonSpace(br)
+	if err != nil {
+		http.Error(w, "empty or unreadable body", http.StatusBadRequest)
+		return
+	}
+	dec := json.NewDecoder(br)
+	single := first != '['
+	var resp wireBatchResponse
+	remote := make(map[string][]wireReading)
+	apply := func(req wireReading) {
+		if !forwarded {
+			if owner := n.ring.Owner(req.Node); owner.ID != n.self.ID {
+				remote[owner.ID] = append(remote[owner.ID], req)
+				return
+			}
+		}
+		dup, err := n.col.SubmitDedup(req.reading(n.now))
+		switch {
+		case err != nil:
+			resp.Rejected++
+			if len(resp.Errors) < 10 {
+				resp.Errors = append(resp.Errors, err.Error())
+			}
+		case dup:
+			resp.Duplicates++
+		default:
+			resp.Accepted++
+		}
+		n.m.localReadings.Inc()
+	}
+	if single {
+		var req wireReading
+		if err := dec.Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		apply(req)
+	} else {
+		if _, err := dec.Token(); err != nil { // consume '['
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for i := 0; dec.More(); i++ {
+			var req wireReading
+			if err := dec.Decode(&req); err != nil {
+				http.Error(w, fmt.Sprintf("batch element %d: %v", i, err), http.StatusBadRequest)
+				return
+			}
+			apply(req)
+		}
+		if _, err := dec.Token(); err != nil { // consume ']'
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	for ownerID, group := range remote {
+		owner, _ := n.ring.Member(ownerID)
+		sub, err := n.forward(owner, group)
+		if err != nil {
+			// Never acknowledge evidence that was not placed: shed and let
+			// the agent's retrier replay the whole batch.
+			n.m.forwardErrors.Inc()
+			retryAfter := n.col.RetryAfter
+			if retryAfter <= 0 {
+				retryAfter = 5 * time.Second
+			}
+			obs.SetRetryAfter(w, retryAfter)
+			http.Error(w, fmt.Sprintf("forwarding to replica %s failed: %v", ownerID, err), http.StatusServiceUnavailable)
+			return
+		}
+		n.m.forwardedReadings.Add(float64(len(group)))
+		resp.Accepted += sub.Accepted
+		resp.Duplicates += sub.Duplicates
+		resp.Rejected += sub.Rejected
+		for _, e := range sub.Errors {
+			if len(resp.Errors) < 10 {
+				resp.Errors = append(resp.Errors, e)
+			}
+		}
+	}
+	if single {
+		// Mirror the collector's single-object contract: bare 202 on
+		// success, 400 when the one reading was rejected.
+		if resp.Rejected > 0 {
+			msg := "reading rejected"
+			if len(resp.Errors) > 0 {
+				msg = resp.Errors[0]
+			}
+			http.Error(w, msg, http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(&resp)
+}
+
+// forward proxies a misrouted group to its owner and returns the
+// owner's batch summary.
+func (n *Node) forward(owner Member, group []wireReading) (wireBatchResponse, error) {
+	var out wireBatchResponse
+	body, err := json.Marshal(group)
+	if err != nil {
+		return out, err
+	}
+	req, err := http.NewRequest(http.MethodPost, owner.URL+"/api/readings", bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardHeader, n.self.ID)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return out, fmt.Errorf("owner returned %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("decoding owner response: %w", err)
+	}
+	return out, nil
+}
+
+// serveFleet merges the fleet view across replicas. The ledger —
+// membership, scores, enrollment stamps — is replicated, so it is read
+// locally; only freshness is partitioned, so each peer's snapshot is
+// fetched and merged by newest timestamp per node. The output is the
+// collector's /api/fleet wire form, byte for byte.
+func (n *Node) serveFleet(w http.ResponseWriter, r *http.Request) {
+	last := n.col.FreshnessSnapshot()
+	for _, peer := range n.peers() {
+		snap, err := n.fetchActivity(peer)
+		if err != nil {
+			// A dead peer's partition shows stale freshness until its
+			// replacement re-accumulates; scores and membership are local
+			// and stay correct.
+			n.m.activityPeerErrs.Inc()
+			continue
+		}
+		for id, at := range snap {
+			if at.After(last[id]) {
+				last[id] = at
+			}
+		}
+	}
+	nodes := n.col.Ledger.Nodes()
+	out := make([]wireFleetEntry, 0, len(nodes))
+	for _, node := range nodes {
+		s := n.col.Ledger.Trust(node.ID)
+		out = append(out, wireFleetEntry{
+			Node:          string(node.ID),
+			Score:         float64(s),
+			Rating:        s.Quantize(),
+			RegisteredAt:  node.Registered,
+			LastReadingAt: last[node.ID],
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// fetchActivity pulls one peer's freshness partition.
+func (n *Node) fetchActivity(peer Member) (map[trust.NodeID]time.Time, error) {
+	resp, err := n.client.Get(peer.URL + "/replica/activity")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("peer returned %d", resp.StatusCode)
+	}
+	var snap map[trust.NodeID]time.Time
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// peekNonSpace returns the first non-whitespace byte without consuming
+// it — the same single-object/batch dispatch the collector's ingest
+// path uses.
+func peekNonSpace(br *bufio.Reader) (byte, error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		if err := br.UnreadByte(); err != nil {
+			return 0, err
+		}
+		return b, nil
+	}
+}

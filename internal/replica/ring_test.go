@@ -1,0 +1,146 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingPlacementPinned pins the exact owner assignment for a 3-member
+// ring. These values are load-bearing: the hash (FNV-1a + avalanche
+// finalizer), the vnode naming ("id#v") and the clockwise walk together
+// define fleet-wide ownership, and any change reshuffles every node onto
+// a different replica. If this test fails, the routing function changed —
+// that is a breaking, migration-requiring event, not a test to update
+// casually.
+func TestRingPlacementPinned(t *testing.T) {
+	r, err := NewRing([]Member{{ID: "r1"}, {ID: "r2"}, {ID: "r3"}}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := []struct {
+		key  string
+		want string
+	}{
+		{"node-0", "r2"},
+		{"node-1", "r1"},
+		{"node-2", "r3"},
+		{"node-3", "r3"},
+		{"node-4", "r2"},
+		{"node-5", "r3"},
+		{"node-6", "r3"},
+		{"node-7", "r2"},
+		{"node-8", "r1"},
+		{"node-9", "r2"},
+	}
+	for _, p := range pinned {
+		if got := r.Owner(p.key).ID; got != p.want {
+			t.Errorf("Owner(%q) = %s, want %s", p.key, got, p.want)
+		}
+	}
+}
+
+// TestRingDeterministicAcrossMemberOrder: every replica builds the ring
+// from its own flag parse; the placement must not depend on the order
+// members were listed.
+func TestRingDeterministicAcrossMemberOrder(t *testing.T) {
+	a, err := NewRing([]Member{{ID: "r1"}, {ID: "r2"}, {ID: "r3"}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]Member{{ID: "r3"}, {ID: "r1"}, {ID: "r2"}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("node-%d", i)
+		if a.Owner(k).ID != b.Owner(k).ID {
+			t.Fatalf("Owner(%q) differs across member list order: %s vs %s", k, a.Owner(k).ID, b.Owner(k).ID)
+		}
+	}
+}
+
+// TestRingBalance: with the default vnode count, no member of a 3-ring
+// owns a pathological share of a 10k-node fleet. Raw FNV-1a (without the
+// finalizer) fails this badly — sequential node IDs pile into one arc.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]Member{{ID: "r1"}, {ID: "r2"}, {ID: "r3"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("node-%d", i)).ID]++
+	}
+	for id, c := range counts {
+		share := float64(c) / n
+		if share < 0.20 || share > 0.47 {
+			t.Errorf("member %s owns %.1f%% of the fleet (counts %v)", id, 100*share, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding a member moves roughly 1/N of the
+// keys and never moves a key between two surviving members.
+func TestRingMinimalMovement(t *testing.T) {
+	three, err := NewRing([]Member{{ID: "r1"}, {ID: "r2"}, {ID: "r3"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := NewRing([]Member{{ID: "r1"}, {ID: "r2"}, {ID: "r3"}, {ID: "r4"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	moved := 0
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("node-%d", i)
+		before, after := three.Owner(k).ID, four.Owner(k).ID
+		if before != after {
+			moved++
+			if after != "r4" {
+				t.Fatalf("key %q moved between surviving members %s -> %s", k, before, after)
+			}
+		}
+	}
+	if share := float64(moved) / n; share > 0.35 {
+		t.Errorf("adding one member moved %.1f%% of keys, want ~25%%", 100*share)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := NewRing([]Member{{ID: "a"}, {ID: "a"}}, 0); err == nil {
+		t.Error("duplicate member IDs accepted")
+	}
+	if _, err := NewRing([]Member{{ID: ""}}, 0); err == nil {
+		t.Error("empty member ID accepted")
+	}
+}
+
+func TestRingCoordinator(t *testing.T) {
+	r, err := NewRing([]Member{{ID: "zeta"}, {ID: "alpha"}, {ID: "mid"}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Coordinator().ID; got != "alpha" {
+		t.Errorf("Coordinator() = %s, want alpha (lexically smallest)", got)
+	}
+}
+
+func TestParseMembers(t *testing.T) {
+	ms, err := ParseMembers("r1=http://a:1, r2=http://b:2/,r3=http://c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 || ms[1].ID != "r2" || ms[1].URL != "http://b:2" {
+		t.Errorf("ParseMembers = %+v", ms)
+	}
+	for _, bad := range []string{"", "noequals", "=url", "id="} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Errorf("ParseMembers(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"sensorcal/internal/trust"
+)
+
+// Catch-up: a replica joining the collector ring bootstraps its trust
+// state by replaying a live peer's durable log — the newest snapshot
+// first, then every record in segments the snapshot does not cover,
+// sealed segments before the active tail (the same order Recover
+// replays). The joiner applies each record through its *own* collector
+// and WAL, so the copied state is immediately as durable on the joiner
+// as it was on the peer.
+
+// CatchupRecord is one element of a catch-up stream, in replay order.
+type CatchupRecord struct {
+	// Kind is "snapshot" (Ledger set), "reg" (Node set) or "scores"
+	// (At + Scores set). Unknown kinds must be skipped by consumers, the
+	// same forward-compatibility rule Recover applies.
+	Kind   string              `json:"k"`
+	Covers uint64              `json:"covers,omitempty"`
+	Ledger json.RawMessage     `json:"ledger,omitempty"`
+	Node   *trust.Node         `json:"node,omitempty"`
+	At     time.Time           `json:"at,omitempty"`
+	Scores []trust.ScoreUpdate `json:"scores,omitempty"`
+}
+
+// StreamState feeds the log's current durable state to fn in replay
+// order and returns how many records were produced. The whole state is
+// gathered under the log mutex — appends and compactions are excluded,
+// so the snapshot boundary and the tail are consistent — and fn runs
+// after the lock is released, so a slow consumer (a joiner on the far
+// end of a network stream) never stalls the serving replica's appends.
+func (t *TrustLog) StreamState(fn func(CatchupRecord) error) (int, error) {
+	var recs []CatchupRecord
+	t.mu.Lock()
+	if t.coveredSeq > 0 {
+		raw, err := t.readSnapshot(t.coveredSeq)
+		if err != nil {
+			t.mu.Unlock()
+			return 0, err
+		}
+		recs = append(recs, CatchupRecord{Kind: "snapshot", Covers: t.coveredSeq, Ledger: raw})
+	}
+	_, err := t.wal.ReplayFrom(t.coveredSeq, func(payload []byte) error {
+		var rec logRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("store: decoding trust record for catch-up: %w", err)
+		}
+		switch rec.Kind {
+		case "reg":
+			if rec.Node == nil || rec.Node.ID == "" {
+				return fmt.Errorf("store: registration record without a node")
+			}
+			recs = append(recs, CatchupRecord{Kind: "reg", Node: rec.Node})
+		case "scores":
+			recs = append(recs, CatchupRecord{Kind: "scores", At: rec.At, Scores: rec.Scores})
+		default:
+			// Skipped, not fatal — same rule as Recover.
+		}
+		return nil
+	})
+	t.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	for i := range recs {
+		if err := fn(recs[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(recs), nil
+}

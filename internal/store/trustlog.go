@@ -201,12 +201,15 @@ func (t *TrustLog) readSnapshot(seq uint64) (json.RawMessage, error) {
 	return sf.Ledger, nil
 }
 
-// AppendRegister implements trust.Store.
+// AppendRegister implements trust.Store. Appends serialize on the log
+// mutex so a concurrent StreamState dump sees a stable tail.
 func (t *TrustLog) AppendRegister(n trust.Node) error {
 	payload, err := json.Marshal(logRecord{Kind: "reg", Node: &n})
 	if err != nil {
 		return fmt.Errorf("store: encoding registration: %w", err)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.wal.Append(payload)
 }
 
@@ -216,6 +219,8 @@ func (t *TrustLog) AppendScores(at time.Time, updates []trust.ScoreUpdate) error
 	if err != nil {
 		return fmt.Errorf("store: encoding score batch: %w", err)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.wal.Append(payload)
 }
 

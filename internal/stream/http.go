@@ -98,8 +98,7 @@ func (s *Service) Handler() http.Handler {
 }
 
 func (s *Service) retryAfterHeader(w http.ResponseWriter) {
-	w.Header().Set("Retry-After",
-		strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	obs.SetRetryAfter(w, s.cfg.RetryAfter)
 }
 
 func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {

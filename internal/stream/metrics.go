@@ -23,6 +23,7 @@ type serviceMetrics struct {
 	frameLatency   *obs.Histogram
 	occQueries     *obs.Counter
 	evictions      *obs.Counter
+	tombstoneFolds *obs.Counter
 }
 
 // Shed reasons, the label values of stream_frames_shed_total.
@@ -61,6 +62,8 @@ func newServiceMetrics(reg *obs.Registry, table *SessionTable, queueDepth func()
 			"Occupancy API queries served."),
 		evictions: reg.Counter("stream_sessions_evicted_total",
 			"Sensor sessions evicted after going idle."),
+		tombstoneFolds: reg.Counter("stream_tombstone_folds_total",
+			"In-flight frames whose session aggregation landed on an already-evicted tombstone."),
 	}
 	reg.GaugeFunc("stream_sessions_active",
 		"Sensor sessions currently registered.",

@@ -120,9 +120,14 @@ type IngestFrame struct {
 	ReleaseIQ bool
 }
 
-// frameTask is the queued form of an accepted frame.
+// frameTask is the queued form of an accepted frame. sess is the session
+// the frame was admitted under, captured at ingest: the fold touches this
+// pointer, not a by-ID lookup, so a sweep-evict + re-register between
+// admission and fold cannot leak the old session's aggregates into the
+// reincarnated one.
 type frameTask struct {
 	sensor     string
+	sess       *Session
 	at         time.Time
 	enqueued   time.Time
 	centerHz   float64
@@ -258,7 +263,8 @@ func (s *Service) Ingest(f IngestFrame) error {
 	if at.IsZero() {
 		at = now
 	}
-	if _, err := s.table.Acquire(f.Sensor, now); err != nil {
+	sess, err := s.table.Acquire(f.Sensor, now)
+	if err != nil {
 		if errors.Is(err, ErrSessionLimit) {
 			s.m.framesShed.With(shedSessions).Inc()
 		} else {
@@ -268,7 +274,7 @@ func (s *Service) Ingest(f IngestFrame) error {
 	}
 	t := taskPool.Get().(*frameTask)
 	*t = frameTask{
-		sensor: f.Sensor, at: at, enqueued: now,
+		sensor: f.Sensor, sess: sess, at: at, enqueued: now,
 		centerHz: f.CenterHz, sampleRate: f.SampleRate,
 		iq: f.IQ, done: f.Done, releaseIQ: f.ReleaseIQ,
 	}
@@ -503,8 +509,12 @@ func (s *Service) foldTask(t *frameTask) error {
 		}
 		return err
 	}
-	if sess := s.table.Get(t.sensor); sess != nil {
-		sess.touch(t.at, frac)
+	// Fold into the session captured at admission. If the sweeper evicted
+	// it while the frame was queued, the touch lands on the tombstone —
+	// counted, but never visible through a re-registered session of the
+	// same sensor ID.
+	if t.sess.touch(t.at, frac) {
+		s.m.tombstoneFolds.Inc()
 	}
 	s.m.framesDone.Inc()
 	return nil

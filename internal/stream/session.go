@@ -45,15 +45,21 @@ type Session struct {
 }
 
 // touch refreshes the idle clock and folds one frame's occupancy
-// fraction into the session aggregate.
-func (s *Session) touch(at time.Time, occFraction float64) {
+// fraction into the session aggregate. It reports whether the session is
+// an evicted tombstone — the fold still lands (the frame was admitted
+// under this session and its grid contribution already counted), but the
+// caller can account for aggregates that no live session will ever
+// serve.
+func (s *Session) touch(at time.Time, occFraction float64) (evicted bool) {
 	s.mu.Lock()
 	if at.After(s.lastSeen) {
 		s.lastSeen = at
 	}
 	s.frames++
 	s.occSum += occFraction
+	evicted = s.evicted
 	s.mu.Unlock()
+	return evicted
 }
 
 // SessionStats is a point-in-time snapshot of one session's aggregate.
@@ -178,9 +184,12 @@ func (t *SessionTable) Evicted() int64 { return t.evicted.Load() }
 
 // EvictIdle removes every session whose lastSeen is before cutoff and
 // returns how many were evicted. A frame of an evicted session that was
-// already in flight still folds into the shared grid — its aggregation
-// simply lands on a tombstone session — and the sensor transparently
-// re-registers on its next frame.
+// already in flight still folds into the shared grid, and its session
+// aggregation lands on the evicted tombstone — never on a fresh session
+// the same sensor ID re-registered in the meantime. The dispatcher folds
+// through the *Session captured at admission (not a by-ID lookup), so an
+// evict/re-register cycle between admission and fold cannot resurrect
+// the old session's aggregates inside the new one.
 func (t *SessionTable) EvictIdle(cutoff time.Time) int {
 	n := 0
 	for i := range t.stripes {

@@ -3,7 +3,6 @@ package trust
 import (
 	"fmt"
 	"net/http"
-	"strconv"
 	"time"
 
 	"sensorcal/internal/obs"
@@ -62,7 +61,7 @@ func Harden(h http.Handler, cfg HardenConfig) http.Handler {
 	slots := make(chan struct{}, cfg.MaxInFlight)
 	inner := http.TimeoutHandler(h, cfg.RequestTimeout,
 		fmt.Sprintf("collector: request exceeded %s", cfg.RequestTimeout))
-	retryAfter := strconv.Itoa(int((cfg.RetryAfter + time.Second - 1) / time.Second))
+	retryAfter := obs.RetryAfterSeconds(cfg.RetryAfter)
 
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {

@@ -298,65 +298,13 @@ func (c *Collector) CloseEpochs(cutoff time.Time) []Anomaly {
 	// own rather than picking one contributor arbitrarily.
 	_, span := obs.StartSpan(obs.WithTracer(context.Background(), c.tracer()), "trust.close_epochs")
 	defer span.End()
-	var signals []string
-	for i := range c.epochs {
-		st := &c.epochs[i]
-		st.mu.Lock()
-		for sig, byWindow := range st.pending {
-			for w := range byWindow {
-				if w.Before(cutoff) {
-					signals = append(signals, sig)
-					break
-				}
-			}
-		}
-		st.mu.Unlock()
-	}
-	sort.Strings(signals)
-	var all []Anomaly
-	var updates []ScoreUpdate
-	for _, sig := range signals {
-		st := &c.epochs[fnv1a(sig)&c.mask]
-		st.mu.Lock()
-		byWindow := st.pending[sig]
-		var windows []time.Time
-		for w := range byWindow {
-			if w.Before(cutoff) {
-				windows = append(windows, w)
-			}
-		}
-		sort.Slice(windows, func(i, j int) bool { return windows[i].Before(windows[j]) })
-		for _, w := range windows {
-			e := byWindow[w]
-			delete(byWindow, w)
-			anomalies := c.Detector.CheckEpoch(*e)
-			st.history[sig] = append(st.history[sig], *e)
-			var participants []NodeID
-			for id := range e.Readings {
-				participants = append(participants, id)
-			}
-			sort.Slice(participants, func(i, j int) bool { return participants[i] < participants[j] })
-			// Correlation check over the accumulated history.
-			anomalies = append(anomalies, c.Detector.CheckCorrelation(st.history[sig])...)
-			Apply(c.Ledger, participants, anomalies)
-			c.metrics.recordEpochClosed(anomalies)
-			for _, id := range participants {
-				s := c.Ledger.Trust(id)
-				c.metrics.setNodeScore(id, s)
-				updates = append(updates, ScoreUpdate{Node: id, Score: s})
-			}
-			all = append(all, anomalies...)
-		}
-		if len(byWindow) == 0 {
-			delete(st.pending, sig)
-		}
-		st.mu.Unlock()
-	}
-	// One durable append (one fsync) per close pass, off the submit hot
-	// path; a failure degrades the collector and the batch is retried —
-	// merged with newer updates — on the next pass.
-	c.flushStore(cutoff, updates)
-	span.SetAttr("signals", strconv.Itoa(len(signals)))
+	// Drain-then-close: the same two primitives the replica tier uses,
+	// so a single collector and a coordinator merging drains from N
+	// replicas run the identical pipeline by construction (see
+	// replica.go).
+	epochs := c.DrainPending(cutoff)
+	all, _ := c.CloseDrained(cutoff, epochs)
+	span.SetAttr("epochs", strconv.Itoa(len(epochs)))
 	span.SetAttr("anomalies", strconv.Itoa(len(all)))
 	return all
 }
@@ -606,7 +554,7 @@ func (c *Collector) Handler(now func() time.Time) http.Handler {
 			return false
 		}
 		c.metrics.recordShed()
-		w.Header().Set("Retry-After", strconv.Itoa(int((retryAfter+time.Second-1)/time.Second)))
+		obs.SetRetryAfter(w, retryAfter)
 		http.Error(w, "durable store unavailable, retry later", http.StatusServiceUnavailable)
 		return true
 	}
@@ -631,7 +579,7 @@ func (c *Collector) Handler(now func() time.Time) http.Handler {
 			Registered: now(),
 		})
 		if errors.Is(err, ErrStoreUnavailable) {
-			w.Header().Set("Retry-After", strconv.Itoa(int((retryAfter+time.Second-1)/time.Second)))
+			obs.SetRetryAfter(w, retryAfter)
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}

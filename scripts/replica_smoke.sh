@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# replica_smoke.sh — black-box proof of the multi-replica collector
+# tier: boot three spectrumd replicas as one ring, register through one
+# member, submit readings through the "wrong" members (forcing ring
+# forwarding), verify every replica serves the identical fleet view,
+# kill a non-coordinator and prove (a) submissions owned by the dead
+# member shed with 503 + Retry-After instead of being acked into a
+# void, (b) the restarted member catches up from a live peer and gates
+# /readyz until it has.
+#
+# Usage: scripts/replica_smoke.sh [artifact-dir]   (default: replica-smoke)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-replica-smoke}
+mkdir -p "$OUT"
+WORK=$(mktemp -d)
+cleanup() {
+  kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+A1=127.0.0.1:18201
+A2=127.0.0.1:18202
+A3=127.0.0.1:18203
+RING="r1=http://$A1,r2=http://$A2,r3=http://$A3"
+
+go build -o "$WORK" ./cmd/spectrumd
+
+start_replica() { # id addr
+  "$WORK/spectrumd" -addr "$2" -replica-id "$1" -ring "$RING" \
+    -wal "$WORK/wal-$1" -epoch 1s -catchup-wait 10s \
+    >>"$OUT/spectrumd-$1.log" 2>&1 &
+}
+
+wait_ready() { # addr what
+  for i in $(seq 1 50); do
+    curl -fsS "http://$1/readyz" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  echo "FAIL: $2 never became ready" >&2
+  exit 1
+}
+
+start_replica r1 "$A1"
+start_replica r2 "$A2"
+start_replica r3 "$A3"
+wait_ready "$A1" r1; wait_ready "$A2" r2; wait_ready "$A3" r3
+
+# The ring endpoint agrees on topology and the coordinator everywhere.
+for a in "$A1" "$A2" "$A3"; do
+  curl -fsS "http://$a/api/ring" >"$OUT/ring-$a.json"
+  python3 - "$OUT/ring-$a.json" <<'EOF'
+import json, sys
+ring = json.load(open(sys.argv[1]))
+assert ring["coordinator"] == "r1", f"coordinator {ring['coordinator']}, want r1"
+assert len(ring["members"]) == 3, f"{len(ring['members'])} members, want 3"
+assert ring["ready"], "replica not ready"
+EOF
+done
+echo "OK: ring topology agreed on all three replicas"
+
+# Register 10 nodes through r2 only — the broadcast must land them on
+# every ledger. node-2 is pinned to r3 by the ring placement tests, and
+# we rely on that below.
+for n in $(seq 0 9); do
+  curl -fsS -X POST "http://$A2/api/register" \
+    -d "{\"id\":\"node-$n\",\"operator\":\"op-$n\",\"hardware\":\"rtl-sdr-v3\"}" >/dev/null
+done
+
+# Submit every node's readings through r1: most are owned elsewhere, so
+# this exercises the forward path. node-7 reads hot to trip an anomaly.
+submit_round() { # key-prefix entry-addr
+  local batch="[" sep=""
+  for n in $(seq 0 9); do
+    p=-60; [ "$n" -eq 7 ] && p=-10
+    batch="$batch$sep{\"node\":\"node-$n\",\"signal_id\":\"tv-521\",\"power_dbm\":$p,\"key\":\"$1-$n\"}"
+    sep=","
+  done
+  batch="$batch]"
+  curl -fsS -X POST "http://$2/api/readings" -d "$batch"
+}
+submit_round w1 "$A1" >"$OUT/submit1.json"
+python3 - "$OUT/submit1.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["accepted"] == 10 and r["rejected"] == 0, r
+EOF
+echo "OK: 10 readings accepted through a non-owning replica"
+
+# Forwarding really happened: the entry replica's counter is non-zero.
+curl -fsS "http://$A1/metrics" >"$OUT/metrics-r1.txt"
+grep -q '^replica_forwarded_readings_total [1-9]' "$OUT/metrics-r1.txt" || {
+  echo "FAIL: no forwarded readings counted on r1" >&2
+  exit 1
+}
+
+# Let the coordinator run a merge close (epoch window 1s), then the
+# fleet view must be byte-identical on every replica and contain the
+# scores the merge moved.
+sleep 3
+curl -fsS "http://$A1/api/fleet" >"$OUT/fleet-r1.json"
+curl -fsS "http://$A2/api/fleet" >"$OUT/fleet-r2.json"
+curl -fsS "http://$A3/api/fleet" >"$OUT/fleet-r3.json"
+cmp "$OUT/fleet-r1.json" "$OUT/fleet-r2.json"
+cmp "$OUT/fleet-r1.json" "$OUT/fleet-r3.json"
+python3 - "$OUT/fleet-r1.json" <<'EOF'
+import json, sys
+fleet = json.load(open(sys.argv[1]))
+assert len(fleet) == 10, f"{len(fleet)} nodes, want 10"
+scores = {e["node"]: e["score"] for e in fleet}
+assert scores["node-7"] < max(s for n, s in scores.items() if n != "node-7"), \
+    f"node-7 never penalized: {scores}"
+EOF
+echo "OK: fleet view byte-identical across the ring, merge moved scores"
+
+# Kill the non-coordinator r3. A batch containing node-2 (owned by r3)
+# must shed whole with 503 + Retry-After: never ack evidence that was
+# not placed.
+pkill -f "replica-id r3" || true
+sleep 0.5
+code=$(curl -s -o "$OUT/shed-body.txt" -D "$OUT/shed-headers.txt" -w '%{http_code}' \
+  -X POST "http://$A1/api/readings" \
+  -d '[{"node":"node-2","signal_id":"tv-521","power_dbm":-60,"key":"dead-1"}]')
+if [ "$code" != "503" ]; then
+  echo "FAIL: submission for a dead owner returned $code, want 503" >&2
+  exit 1
+fi
+grep -qi '^retry-after:' "$OUT/shed-headers.txt" || {
+  echo "FAIL: 503 without Retry-After" >&2
+  exit 1
+}
+echo "OK: dead-owner submission shed with 503 + Retry-After"
+
+# Restart r3 on its surviving WAL: boot catch-up from a live peer must
+# gate /readyz until the copy lands, then the ring converges again.
+start_replica r3 "$A3"
+wait_ready "$A3" "restarted r3"
+curl -fsS "http://$A3/api/fleet" >"$OUT/fleet-r3-restarted.json"
+cmp "$OUT/fleet-r1.json" "$OUT/fleet-r3-restarted.json" || {
+  # The fleet merges live freshness; allow one refresh cycle.
+  sleep 1
+  curl -fsS "http://$A1/api/fleet" >"$OUT/fleet-r1-2.json"
+  curl -fsS "http://$A3/api/fleet" >"$OUT/fleet-r3-restarted.json"
+  cmp "$OUT/fleet-r1-2.json" "$OUT/fleet-r3-restarted.json"
+}
+# And the rerouted submission goes through now.
+curl -fsS -X POST "http://$A1/api/readings" \
+  -d '[{"node":"node-2","signal_id":"tv-521","power_dbm":-60,"key":"dead-1"}]' \
+  >"$OUT/resubmit.json"
+python3 - "$OUT/resubmit.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["accepted"] + r["duplicates"] == 1 and r["rejected"] == 0, r
+EOF
+echo "OK: restarted replica caught up; rerouted submission accepted"
+echo "replica smoke passed"
