@@ -75,6 +75,7 @@ func newReplicaRing(cfg config, n int) (*replicaRing, error) {
 			Self:      members[i].ID,
 			Members:   members,
 			Collector: col,
+			Secret:    "loadgen-ring-secret",
 			Registry:  obs.NewRegistry(),
 			Tracer:    col.Tracer,
 		})

@@ -8,6 +8,7 @@
 //	spectrumd [-addr :8025] [-epoch 1m] [-state ledger.json] [-shards 8]
 //	          [-wal waldir] [-wal-compact-segments 4]
 //	          [-replica-id r1] [-ring r1=http://a:8025,r2=http://b:8025]
+//	          [-ring-secret s | $SENSORCAL_RING_SECRET]
 //	          [-ring-vnodes 128] [-catchup-wait 30s]
 //	          [-profile-contention] [-log-level info]
 //	          [-trace-capacity 4096] [-trace-sample 1] [-trace-export spans.jsonl]
@@ -25,6 +26,11 @@
 // the lexically smallest member merges and closes epochs ring-wide, and
 // a (re)joining member catches up from a live peer before /readyz goes
 // green. Agents need no changes — any replica accepts the whole API.
+// Replica mode requires a shared ring secret (-ring-secret, or the
+// SENSORCAL_RING_SECRET environment variable so the credential stays
+// out of process listings): the /replica/* peer protocol can install
+// absolute trust scores and drain pending evidence, so every peer
+// request is authenticated and everything else gets 403.
 //
 // -wal enables the crash-safe trust store (internal/store): every
 // registration and every epoch's score batch is appended to a
@@ -210,7 +216,9 @@ func (d *daemon) closeEpochs(ctx context.Context, cutoff time.Time) {
 	case d.replica != nil:
 		// Follower: never closes locally — the coordinator drains this
 		// replica's pending epochs over /replica/drain and installs the
-		// merged result back. Closing here too would double-count.
+		// merged result back. Closing here too would double-count. (At
+		// shutdown the follower instead hands its pending epochs to the
+		// coordinator; see daemon.shutdown.)
 	default:
 		anomalies = d.col.CloseEpochs(cutoff)
 	}
@@ -258,6 +266,16 @@ func (d *daemon) shutdown(srv *http.Server) {
 	}
 	saveCtx, cancelSave := context.WithTimeout(context.Background(), shutdownSaveTimeout)
 	defer cancelSave()
+	if d.replica != nil && !d.replica.IsCoordinator() {
+		// A follower's pending epochs live only in memory and only the
+		// coordinator may close them: hand them over — including the
+		// still-maturing window — so a graceful restart loses no acked
+		// evidence. If the coordinator is down too, the agents' spools
+		// re-submit; log exactly what is at stake.
+		if err := d.replica.FlushPending(d.clk.Now().Add(d.epoch)); err != nil {
+			d.log.Warnf("shutdown handoff failed, trailing-window evidence lost with this process: %v", err)
+		}
+	}
 	d.closeEpochs(saveCtx, d.clk.Now().Add(d.epoch))
 	if d.tlog != nil {
 		// Export the plain JSON view for operators, then release the WAL.
@@ -278,9 +296,11 @@ func (d *daemon) handler() http.Handler {
 	if d.replica != nil {
 		// Replica mode: the agent-facing API routes through the ring
 		// (hardened like the plain collector); the /replica/* peer
-		// protocol mounts unhardened — drains and catch-up streams are
-		// ring-internal and must not compete with agents for the
-		// in-flight budget.
+		// protocol mounts outside the hardening middleware — drains and
+		// catch-up streams are ring-internal and must not compete with
+		// agents for the in-flight budget — but every /replica/* route
+		// demands the shared ring credential, so on the public listener
+		// it is 403 to anything but a ring member.
 		rh := d.replica.Handler()
 		mux.Handle("/api/", trust.Harden(rh, trust.HardenConfig{}))
 		mux.Handle("/replica/", rh)
@@ -351,6 +371,7 @@ func main() {
 
 		replicaID   = flag.String("replica-id", "", "this member's ID in the collector ring (empty: single-collector mode)")
 		ringSpec    = flag.String("ring", "", "full ring membership as id=url,id=url (must include -replica-id)")
+		ringSecret  = flag.String("ring-secret", "", "shared peer credential authenticating /replica/* (identical on every member; prefer SENSORCAL_RING_SECRET to keep it out of process listings)")
 		ringVnodes  = flag.Int("ring-vnodes", replica.DefaultVirtualNodes, "virtual nodes per ring member (identical on every member)")
 		catchupWait = flag.Duration("catchup-wait", 30*time.Second, "how long a booting replica waits for a live peer before assuming a cold start")
 
@@ -418,11 +439,19 @@ func main() {
 		if err != nil {
 			logger.Fatalf("-ring: %v", err)
 		}
+		secret := *ringSecret
+		if secret == "" {
+			secret = os.Getenv("SENSORCAL_RING_SECRET")
+		}
+		if secret == "" {
+			logger.Fatalf("replica mode needs a ring credential: set -ring-secret or SENSORCAL_RING_SECRET (the same value on every member)")
+		}
 		node, err := replica.New(replica.Config{
 			Self:      *replicaID,
 			Members:   members,
 			VNodes:    *ringVnodes,
 			Collector: c,
+			Secret:    secret,
 			Log:       d.tlog,
 			Registry:  obs.Default(),
 			Tracer:    obs.DefaultTracer(),

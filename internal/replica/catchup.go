@@ -114,7 +114,11 @@ func (n *Node) CatchUp() (reached bool, err error) {
 // answered the request (distinguishing "unreachable, try the next"
 // from "reachable but the copy failed").
 func (n *Node) catchUpFrom(peer Member) (got bool, records int, err error) {
-	resp, err := n.client.Get(peer.URL + "/replica/catchup")
+	req, err := n.newPeerRequest(http.MethodGet, peer.URL+"/replica/catchup", nil)
+	if err != nil {
+		return false, 0, err
+	}
+	resp, err := n.client.Do(req)
 	if err != nil {
 		return false, 0, err
 	}

@@ -59,6 +59,7 @@ func TestCatchupPowerCut(t *testing.T) {
 		Self:      "r1",
 		Members:   []Member{{ID: "r1"}, {ID: "r2"}},
 		Collector: peerCol,
+		Secret:    testRingSecret,
 		Log:       peerLog,
 		Registry:  obs.NewRegistry(),
 		Now:       frozenNow,
@@ -82,6 +83,7 @@ func TestCatchupPowerCut(t *testing.T) {
 			Self:      "r2",
 			Members:   []Member{{ID: "r1", URL: peerSrv.URL}, {ID: "r2"}},
 			Collector: col,
+			Secret:    testRingSecret,
 			Log:       log,
 			Registry:  obs.NewRegistry(),
 			Client:    &http.Client{Timeout: 5 * time.Second},

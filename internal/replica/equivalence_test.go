@@ -38,6 +38,8 @@ func (r *testReplica) swap(n *Node) {
 	r.handler.Store(n.Handler())
 }
 
+const testRingSecret = "test-ring-secret"
+
 var testEpoch = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
 
 func frozenNow() time.Time { return testEpoch }
@@ -87,6 +89,7 @@ func newTestNode(t *testing.T, self string, members []Member) *Node {
 		Self:      self,
 		Members:   members,
 		Collector: col,
+		Secret:    testRingSecret,
 		Log:       log,
 		Registry:  obs.NewRegistry(),
 		Tracer:    obs.NewTracer(16),

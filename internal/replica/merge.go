@@ -26,8 +26,11 @@ import (
 //
 // Failure model:
 //   - A peer unreachable at drain time keeps its pending epochs; they
-//     mature into the next pass. Its share of a window closes later than
-//     the rest — late, not lost.
+//     mature into the next pass. A drain that fails mid-response is the
+//     same story: the peer restages what it drained (serveDrain), and
+//     the coordinator — whose decode necessarily failed against the
+//     declared Content-Length — merges none of it. Its share of a
+//     window closes later than the rest — late, not lost.
 //   - A follower unreachable at install time misses the history append
 //     and score update; its /api/trust answers lag until the next
 //     successful install or its own catch-up. The coordinator's own
@@ -36,6 +39,11 @@ import (
 //     pending epochs accumulate but nothing is lost. Replacing the
 //     coordinator is a ring-membership change, which is an operator
 //     action (roll the -ring flag), not an election.
+//   - A follower shutting down gracefully hands its pending epochs to
+//     the coordinator (FlushPending → /replica/handoff), which restages
+//     them and closes them in its next pass. Only when the coordinator
+//     is also unreachable at that moment does the follower's trailing
+//     window die with its process (the agents' spools still re-submit).
 
 // MergeClose runs one coordinator close pass over the whole ring:
 // drain self and every peer, merge, close, broadcast the install. Only
@@ -74,7 +82,11 @@ func (n *Node) drainPeer(peer Member, cutoff time.Time) ([]trust.Epoch, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := n.client.Post(peer.URL+"/replica/drain", "application/json", bytes.NewReader(body))
+	req, err := n.newPeerRequest(http.MethodPost, peer.URL+"/replica/drain", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.client.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +111,12 @@ func (n *Node) broadcastInstall(at time.Time, epochs []trust.Epoch, updates []tr
 		return
 	}
 	for _, peer := range n.peers() {
-		resp, err := n.client.Post(peer.URL+"/replica/install", "application/json", bytes.NewReader(body))
+		req, err := n.newPeerRequest(http.MethodPost, peer.URL+"/replica/install", bytes.NewReader(body))
+		if err != nil {
+			n.m.installPeerErrors.Inc()
+			continue
+		}
+		resp, err := n.client.Do(req)
 		if err != nil {
 			n.m.installPeerErrors.Inc()
 			continue
@@ -110,4 +127,49 @@ func (n *Node) broadcastInstall(at time.Time, epochs []trust.Epoch, updates []tr
 			n.m.installPeerErrors.Inc()
 		}
 	}
+}
+
+// FlushPending is a follower's graceful-shutdown path: drain this
+// replica's pending epochs — including the still-maturing trailing
+// window, per the caller's cutoff — and hand them to the coordinator,
+// whose next merge pass closes them. In-memory pending state dies with
+// the process, so without the handoff a follower restart silently loses
+// every acked reading in the trailing window; the coordinator and
+// single-collector daemons already flush at shutdown for exactly this
+// reason. On any failure the epochs are restaged locally (so a caller
+// that is NOT exiting loses nothing) and the error reports what a real
+// exit would lose.
+func (n *Node) FlushPending(cutoff time.Time) error {
+	if n.IsCoordinator() {
+		// The coordinator's own shutdown path is MergeClose.
+		return nil
+	}
+	epochs := n.col.DrainPending(cutoff)
+	if len(epochs) == 0 {
+		return nil
+	}
+	coord := n.ring.Coordinator()
+	fail := func(err error) error {
+		n.col.RestagePending(epochs)
+		n.m.handoffErrors.Inc()
+		return fmt.Errorf("handing %d pending epochs to coordinator %s: %w", len(epochs), coord.ID, err)
+	}
+	body, err := json.Marshal(handoffRequest{From: n.self.ID, Epochs: epochs})
+	if err != nil {
+		return fail(err)
+	}
+	req, err := n.newPeerRequest(http.MethodPost, coord.URL+"/replica/handoff", bytes.NewReader(body))
+	if err != nil {
+		return fail(err)
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fail(fmt.Errorf("coordinator returned %d", resp.StatusCode))
+	}
+	return nil
 }

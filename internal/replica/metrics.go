@@ -16,6 +16,10 @@ type metrics struct {
 	activityPeerErrs  *obs.Counter
 	catchupRecords    *obs.Counter
 	catchupFailures   *obs.Counter
+	authRejects       *obs.Counter
+	drainRestages     *obs.Counter
+	handoffEpochs     *obs.Counter
+	handoffErrors     *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -34,5 +38,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 		activityPeerErrs:  reg.Counter("replica_activity_peer_errors_total", "Peers unreachable during a fleet-view freshness merge."),
 		catchupRecords:    reg.Counter("replica_catchup_records_total", "Records applied during snapshot catch-up."),
 		catchupFailures:   reg.Counter("replica_catchup_failures_total", "Catch-up attempts that failed."),
+		authRejects:       reg.Counter("replica_auth_rejects_total", "Peer-protocol requests rejected for a missing or wrong ring credential."),
+		drainRestages:     reg.Counter("replica_drain_restages_total", "Drains restaged into pending because the response failed mid-write."),
+		handoffEpochs:     reg.Counter("replica_handoff_epochs_total", "Pending epochs restaged from a shutting-down peer's handoff."),
+		handoffErrors:     reg.Counter("replica_handoff_errors_total", "Shutdown handoffs to the coordinator that failed (epochs restaged locally)."),
 	}
 }

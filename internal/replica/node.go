@@ -3,6 +3,7 @@ package replica
 import (
 	"bufio"
 	"bytes"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,8 +21,21 @@ import (
 // ForwardHeader marks a submission already routed by a peer replica. A
 // receiver seeing it applies the batch locally and never re-forwards, so
 // a stale ring on one member degrades to one extra hop instead of a
-// forwarding loop.
+// forwarding loop. It is honored only alongside a valid RingAuthHeader:
+// an agent (or attacker) forging it is routed normally.
 const ForwardHeader = "X-Sensorcal-Forwarded"
+
+// RingAuthHeader carries the ring's shared secret on every peer-to-peer
+// request. The /replica/* protocol can set absolute trust scores and
+// hand over pending evidence — precisely the levers a sensor fabricator
+// wants — so every peer route rejects requests whose credential does
+// not match, and the forward fast-path above requires it too.
+const RingAuthHeader = "X-Sensorcal-Ring-Auth"
+
+// DefaultBroadcastTimeout bounds one best-effort replication fan-out
+// (registration broadcasts): peers are tried concurrently, so a dead
+// peer delays /api/register by at most this, not per-peer serially.
+const DefaultBroadcastTimeout = 2 * time.Second
 
 // Config wires one replica of the collector ring.
 type Config struct {
@@ -34,6 +48,13 @@ type Config struct {
 	VNodes int
 	// Collector is this replica's trust collector.
 	Collector *trust.Collector
+	// Secret is the ring's shared peer credential, required: it
+	// authenticates every /replica/* request and outbound peer call.
+	// Every member must be configured with the same value.
+	Secret string
+	// BroadcastTimeout bounds one best-effort replication fan-out (≤ 0
+	// means DefaultBroadcastTimeout).
+	BroadcastTimeout time.Duration
 	// Log is the replica's durable trust log; nil means in-memory only
 	// (catch-up then synthesizes a snapshot from the live ledger).
 	Log *store.TrustLog
@@ -61,7 +82,9 @@ type Node struct {
 	ring   *Ring
 	col    *trust.Collector
 	log    *store.TrustLog
+	secret string
 	client *http.Client
+	bcast  *http.Client // short-timeout client for best-effort fan-outs
 	reg    *obs.Registry
 	tracer *obs.Tracer
 	health *obs.Health
@@ -89,11 +112,18 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Collector == nil {
 		return nil, fmt.Errorf("replica: config needs a collector")
 	}
+	if cfg.Secret == "" {
+		// Refusing to run open is deliberate: /replica/install sets
+		// absolute trust scores, which is the exact capability the threat
+		// model defends against handing to the network.
+		return nil, fmt.Errorf("replica: config needs a ring secret (every member the same)")
+	}
 	n := &Node{
 		self:   self,
 		ring:   ring,
 		col:    cfg.Collector,
 		log:    cfg.Log,
+		secret: cfg.Secret,
 		client: cfg.Client,
 		reg:    cfg.Registry,
 		tracer: cfg.Tracer,
@@ -104,6 +134,11 @@ func New(cfg Config) (*Node, error) {
 	if n.client == nil {
 		n.client = &http.Client{Timeout: 10 * time.Second}
 	}
+	bt := cfg.BroadcastTimeout
+	if bt <= 0 {
+		bt = DefaultBroadcastTimeout
+	}
+	n.bcast = &http.Client{Transport: n.client.Transport, Timeout: bt}
 	if n.now == nil {
 		n.now = time.Now
 	}
@@ -150,6 +185,28 @@ func (n *Node) resolveTracer() *obs.Tracer {
 		return n.tracer
 	}
 	return obs.DefaultTracer()
+}
+
+// authorized reports whether a request carries the ring credential.
+// Constant-time comparison: the credential gates score installs, so it
+// must not be oracle-guessable byte by byte.
+func (n *Node) authorized(r *http.Request) bool {
+	got := r.Header.Get(RingAuthHeader)
+	return got != "" && subtle.ConstantTimeCompare([]byte(got), []byte(n.secret)) == 1
+}
+
+// newPeerRequest builds an outbound peer request with the ring
+// credential attached.
+func (n *Node) newPeerRequest(method, url string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(RingAuthHeader, n.secret)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return req, nil
 }
 
 // Wire mirrors of the collector's HTTP types: the replica tier speaks
@@ -213,6 +270,11 @@ type drainResponse struct {
 	Epochs []trust.Epoch `json:"epochs"`
 }
 
+type handoffRequest struct {
+	From   string        `json:"from"`
+	Epochs []trust.Epoch `json:"epochs"`
+}
+
 type installRequest struct {
 	At      time.Time           `json:"at"`
 	Epochs  []trust.Epoch       `json:"epochs"`
@@ -223,7 +285,10 @@ type installRequest struct {
 const maxBody = 16 << 20
 
 // Handler exposes the replica over HTTP. Agent-facing routes mirror the
-// collector's API exactly; /replica/* routes are the peer protocol:
+// collector's API exactly; /replica/* routes are the peer protocol and
+// every one of them requires the ring credential (RingAuthHeader) —
+// they can set absolute trust scores and hand over pending evidence,
+// so an unauthenticated caller gets 403 regardless of route or method:
 //
 //	POST /api/register     — enroll locally, replicate to every peer
 //	POST /api/readings     — apply owned readings, proxy the rest
@@ -232,6 +297,7 @@ const maxBody = 16 << 20
 //	GET  /api/ring         — ring topology and readiness
 //	POST /replica/register — replicated enrollment (idempotent)
 //	POST /replica/drain    — drain matured pending epochs to the caller
+//	POST /replica/handoff  — restage a shutting-down peer's pending epochs
 //	POST /replica/install  — install a coordinator's close result
 //	GET  /replica/activity — this replica's freshness partition
 //	GET  /replica/catchup  — durable-state dump for a joining replica
@@ -240,6 +306,16 @@ func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(route string, h http.HandlerFunc) {
 		mux.Handle(route, mw.WrapHandler(route, h))
+	}
+	peer := func(route string, h http.HandlerFunc) {
+		handle(route, func(w http.ResponseWriter, r *http.Request) {
+			if !n.authorized(r) {
+				n.m.authRejects.Inc()
+				http.Error(w, "ring credential required", http.StatusForbidden)
+				return
+			}
+			h(w, r)
+		})
 	}
 	colHandler := n.col.Handler(n.now)
 	retryAfter := n.col.RetryAfter
@@ -315,7 +391,7 @@ func (n *Node) Handler() http.Handler {
 			Ready:        n.caughtUp.Load(),
 		})
 	})
-	handle("/replica/register", func(w http.ResponseWriter, r *http.Request) {
+	peer("/replica/register", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
@@ -336,7 +412,7 @@ func (n *Node) Handler() http.Handler {
 		}
 		w.WriteHeader(http.StatusOK)
 	})
-	handle("/replica/drain", func(w http.ResponseWriter, r *http.Request) {
+	peer("/replica/drain", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
@@ -346,11 +422,26 @@ func (n *Node) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		epochs := n.col.DrainPending(req.Cutoff)
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(drainResponse{Epochs: epochs})
+		n.serveDrain(w, req.Cutoff)
 	})
-	handle("/replica/install", func(w http.ResponseWriter, r *http.Request) {
+	peer("/replica/handoff", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req handoffRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxBody)).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// A shutting-down peer's pending evidence restages here and closes
+		// in the next merge pass, exactly as if its readings had been
+		// submitted to this member in the first place.
+		n.col.RestagePending(req.Epochs)
+		n.m.handoffEpochs.Add(float64(len(req.Epochs)))
+		w.WriteHeader(http.StatusOK)
+	})
+	peer("/replica/install", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
@@ -363,34 +454,83 @@ func (n *Node) Handler() http.Handler {
 		n.col.InstallClosed(req.At, req.Epochs, req.Updates)
 		w.WriteHeader(http.StatusOK)
 	})
-	handle("/replica/activity", func(w http.ResponseWriter, r *http.Request) {
+	peer("/replica/activity", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(n.col.FreshnessSnapshot())
 	})
-	handle("/replica/catchup", func(w http.ResponseWriter, r *http.Request) {
+	peer("/replica/catchup", func(w http.ResponseWriter, r *http.Request) {
 		n.serveCatchup(w, r)
 	})
 	return mux
 }
 
-// broadcastRegister replicates an enrollment to every peer.
+// serveDrain hands the matured pending epochs to the coordinator. The
+// drain must not be destructive before receipt is plausible: the
+// response is fully encoded first (with Content-Length, so a partial
+// write can never decode as complete on the coordinator) and a failed
+// encode or write restages the epochs into pending — the documented
+// "late, not lost" failure model, instead of lost on both sides.
+func (n *Node) serveDrain(w http.ResponseWriter, cutoff time.Time) {
+	epochs := n.col.DrainPending(cutoff)
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(drainResponse{Epochs: epochs}); err != nil {
+		n.col.RestagePending(epochs)
+		n.m.drainRestages.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		n.col.RestagePending(epochs)
+		n.m.drainRestages.Inc()
+		return
+	}
+	// Push the bytes through any buffering writer so a dropped connection
+	// surfaces as an error here rather than after the handler returns. A
+	// flush failure means the coordinator may not have the data: restage —
+	// the worst case flips to double-counting within one window on the
+	// coordinator's side, which MergeDrained's last-write-wins union
+	// absorbs (the readings are identical values).
+	if err := http.NewResponseController(w).Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+		n.col.RestagePending(epochs)
+		n.m.drainRestages.Inc()
+	}
+}
+
+// broadcastRegister replicates an enrollment to every peer. Peers are
+// tried concurrently under the short broadcast timeout: the fan-out is
+// best-effort (a peer that misses it heals at catch-up), so a dead peer
+// may cost the registration response at most one broadcast timeout —
+// not the full peer-client timeout per dead peer, serially.
 func (n *Node) broadcastRegister(node trust.Node) {
 	body, err := json.Marshal(node)
 	if err != nil {
 		return
 	}
+	var wg sync.WaitGroup
 	for _, peer := range n.peers() {
-		resp, err := n.client.Post(peer.URL+"/replica/register", "application/json", bytes.NewReader(body))
-		if err != nil {
-			n.m.replicationErrors.Inc()
-			continue
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			n.m.replicationErrors.Inc()
-		}
+		wg.Add(1)
+		go func(peer Member) {
+			defer wg.Done()
+			req, err := n.newPeerRequest(http.MethodPost, peer.URL+"/replica/register", bytes.NewReader(body))
+			if err != nil {
+				n.m.replicationErrors.Inc()
+				return
+			}
+			resp, err := n.bcast.Do(req)
+			if err != nil {
+				n.m.replicationErrors.Inc()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				n.m.replicationErrors.Inc()
+			}
+		}(peer)
 	}
+	wg.Wait()
 }
 
 // serveReadings partitions a submission by ring ownership: owned
@@ -399,9 +539,11 @@ func (n *Node) broadcastRegister(node trust.Node) {
 // 503 + Retry-After — the readings the proxy could not place were never
 // acknowledged, and the idempotency keys on the locally-applied prefix
 // make the client's retry safe. A request arriving with the forward
-// header is applied entirely locally (the sender already routed it).
+// header AND the ring credential is applied entirely locally (a peer
+// already routed it); a forged forward header without the credential is
+// ignored and the batch routes normally.
 func (n *Node) serveReadings(w http.ResponseWriter, r *http.Request) {
-	forwarded := r.Header.Get(ForwardHeader) != ""
+	forwarded := r.Header.Get(ForwardHeader) != "" && n.authorized(r)
 	br := bufio.NewReaderSize(io.LimitReader(r.Body, maxBody), 32<<10)
 	first, err := peekNonSpace(br)
 	if err != nil {
@@ -510,11 +652,10 @@ func (n *Node) forward(owner Member, group []wireReading) (wireBatchResponse, er
 	if err != nil {
 		return out, err
 	}
-	req, err := http.NewRequest(http.MethodPost, owner.URL+"/api/readings", bytes.NewReader(body))
+	req, err := n.newPeerRequest(http.MethodPost, owner.URL+"/api/readings", bytes.NewReader(body))
 	if err != nil {
 		return out, err
 	}
-	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardHeader, n.self.ID)
 	resp, err := n.client.Do(req)
 	if err != nil {
@@ -571,7 +712,11 @@ func (n *Node) serveFleet(w http.ResponseWriter, r *http.Request) {
 
 // fetchActivity pulls one peer's freshness partition.
 func (n *Node) fetchActivity(peer Member) (map[trust.NodeID]time.Time, error) {
-	resp, err := n.client.Get(peer.URL + "/replica/activity")
+	req, err := n.newPeerRequest(http.MethodGet, peer.URL+"/replica/activity", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.client.Do(req)
 	if err != nil {
 		return nil, err
 	}

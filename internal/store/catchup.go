@@ -30,48 +30,85 @@ type CatchupRecord struct {
 }
 
 // StreamState feeds the log's current durable state to fn in replay
-// order and returns how many records were produced. The whole state is
-// gathered under the log mutex — appends and compactions are excluded,
-// so the snapshot boundary and the tail are consistent — and fn runs
-// after the lock is released, so a slow consumer (a joiner on the far
-// end of a network stream) never stalls the serving replica's appends.
+// order and returns how many records were produced. Only the stream's
+// *boundary* is frozen under the log mutex: the snapshot bytes are
+// read, and the active tail is rotated so every record past the
+// snapshot lives in a sealed — therefore immutable — segment. The
+// segment scan and every fn call then run outside the lock, one record
+// in memory at a time, so a large log never spikes the serving
+// replica's memory and a slow consumer (a joiner on the far end of a
+// network stream) never stalls its appends, which simply land in the
+// fresh tail beyond the stream's boundary.
+//
+// A compaction racing the scan can prune a captured segment out from
+// under it; that fails the stream with an open error and the joiner
+// retries — never a torn or inconsistent copy.
 func (t *TrustLog) StreamState(fn func(CatchupRecord) error) (int, error) {
-	var recs []CatchupRecord
 	t.mu.Lock()
-	if t.coveredSeq > 0 {
-		raw, err := t.readSnapshot(t.coveredSeq)
+	coveredSeq := t.coveredSeq
+	var snap json.RawMessage
+	if coveredSeq > 0 {
+		raw, err := t.readSnapshot(coveredSeq)
 		if err != nil {
 			t.mu.Unlock()
 			return 0, err
 		}
-		recs = append(recs, CatchupRecord{Kind: "snapshot", Covers: t.coveredSeq, Ledger: raw})
+		snap = raw
 	}
-	_, err := t.wal.ReplayFrom(t.coveredSeq, func(payload []byte) error {
-		var rec logRecord
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			return fmt.Errorf("store: decoding trust record for catch-up: %w", err)
-		}
-		switch rec.Kind {
-		case "reg":
-			if rec.Node == nil || rec.Node.ID == "" {
-				return fmt.Errorf("store: registration record without a node")
-			}
-			recs = append(recs, CatchupRecord{Kind: "reg", Node: rec.Node})
-		case "scores":
-			recs = append(recs, CatchupRecord{Kind: "scores", At: rec.At, Scores: rec.Scores})
-		default:
-			// Skipped, not fatal — same rule as Recover.
-		}
-		return nil
-	})
+	if _, err := t.wal.RotateNonEmpty(); err != nil {
+		t.mu.Unlock()
+		return 0, fmt.Errorf("store: sealing tail for catch-up: %w", err)
+	}
+	sealed := t.wal.SealedSegments()
 	t.mu.Unlock()
-	if err != nil {
-		return 0, err
+
+	n := 0
+	emit := func(rec CatchupRecord) error {
+		if err := fn(rec); err != nil {
+			return err
+		}
+		n++
+		return nil
 	}
-	for i := range recs {
-		if err := fn(recs[i]); err != nil {
-			return i, err
+	if snap != nil {
+		if err := emit(CatchupRecord{Kind: "snapshot", Covers: coveredSeq, Ledger: snap}); err != nil {
+			return n, err
 		}
 	}
-	return len(recs), nil
+	for _, seq := range sealed {
+		if seq <= coveredSeq {
+			continue
+		}
+		good, _, err := t.wal.scanSegment(seq, func(payload []byte) error {
+			var rec logRecord
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				return fmt.Errorf("store: decoding trust record for catch-up: %w", err)
+			}
+			switch rec.Kind {
+			case "reg":
+				if rec.Node == nil || rec.Node.ID == "" {
+					return fmt.Errorf("store: registration record without a node")
+				}
+				return emit(CatchupRecord{Kind: "reg", Node: rec.Node})
+			case "scores":
+				return emit(CatchupRecord{Kind: "scores", At: rec.At, Scores: rec.Scores})
+			default:
+				// Skipped, not fatal — same rule as Recover.
+			}
+			return nil
+		})
+		if err != nil {
+			return n, err
+		}
+		// The segments are sealed: a scan stopping before the end means a
+		// corrupt frame mid-log, the same rule ReplayFrom applies.
+		size, serr := t.fs.Size(join(t.dir, segName(seq)))
+		if serr != nil {
+			return n, fmt.Errorf("store: sizing sealed segment for catch-up: %w", serr)
+		}
+		if good < size {
+			return n, fmt.Errorf("store: sealed segment %s corrupt at offset %d", segName(seq), good)
+		}
+	}
+	return n, nil
 }

@@ -1,0 +1,174 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"sensorcal/internal/trust"
+)
+
+// applyCatchup replays a CatchupRecord stream into a fresh ledger the
+// way a joining replica would: snapshot first, then records in order.
+func applyCatchup(t *testing.T, recs []CatchupRecord) *trust.Ledger {
+	t.Helper()
+	l := trust.NewLedger()
+	for _, rec := range recs {
+		switch rec.Kind {
+		case "snapshot":
+			if err := l.LoadAt(bytes.NewReader(rec.Ledger), logEpoch); err != nil {
+				t.Fatalf("loading snapshot record: %v", err)
+			}
+		case "reg":
+			if rec.Node == nil {
+				t.Fatal("reg record without a node")
+			}
+			if err := l.Register(*rec.Node); err != nil {
+				t.Fatalf("registering %s: %v", rec.Node.ID, err)
+			}
+		case "scores":
+			for _, u := range rec.Scores {
+				l.SetScore(u.Node, u.Score)
+			}
+		default:
+			t.Fatalf("unknown catch-up record kind %q", rec.Kind)
+		}
+	}
+	return l
+}
+
+func collectStream(t *testing.T, tl *TrustLog) []CatchupRecord {
+	t.Helper()
+	var recs []CatchupRecord
+	n, err := tl.StreamState(func(rec CatchupRecord) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("StreamState: %v", err)
+	}
+	if n != len(recs) {
+		t.Fatalf("StreamState reported %d records, delivered %d", n, len(recs))
+	}
+	return recs
+}
+
+// TestStreamStateMatchesRecover: a ledger rebuilt from the catch-up
+// stream — snapshot, sealed segments AND the (rotated) active tail —
+// is exactly the ledger Recover builds from the same disk.
+func TestStreamStateMatchesRecover(t *testing.T) {
+	dir := t.TempDir()
+	tl := mustOpenLog(t, dir, Options{SegmentBytes: 256})
+	live := trust.NewLedger()
+	register := func(id string, score float64) {
+		t.Helper()
+		n := trust.Node{ID: trust.NodeID(id), Registered: logEpoch}
+		if err := live.Register(n); err != nil {
+			t.Fatal(err)
+		}
+		if err := tl.AppendRegister(n); err != nil {
+			t.Fatal(err)
+		}
+		live.SetScore(n.ID, trust.Score(score))
+		if err := tl.AppendScores(logEpoch, []trust.ScoreUpdate{{Node: n.ID, Score: trust.Score(score)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		register(fmt.Sprintf("snap-node-%d", i), float64(i)/20)
+	}
+	// Fold the prefix into a snapshot, then grow past it: sealed
+	// segments plus records still in the active tail at stream time.
+	if err := tl.Compact(live, logEpoch); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		register(fmt.Sprintf("tail-node-%d", i), 0.5+float64(i)/100)
+	}
+
+	got := applyCatchup(t, collectStream(t, tl))
+	want, _ := mustRecover(t, tl)
+	if got.Len() != want.Len() || want.Len() != 20 {
+		t.Fatalf("streamed ledger has %d nodes, recovered has %d, want 20", got.Len(), want.Len())
+	}
+	for _, n := range want.Nodes() {
+		gn, ok := got.Node(n.ID)
+		if !ok {
+			t.Fatalf("node %s missing from the streamed copy", n.ID)
+		}
+		if !gn.Registered.Equal(n.Registered) {
+			t.Fatalf("node %s registered stamp drifted", n.ID)
+		}
+		if g, w := got.Trust(n.ID), want.Trust(n.ID); g != w {
+			t.Fatalf("node %s: streamed score %v, recovered %v", n.ID, g, w)
+		}
+	}
+}
+
+// TestStreamStateFreezesItsBoundary: appends racing the stream land
+// beyond its frozen boundary — absent from the current stream, present
+// in the next. This is exactly what lets fn run outside the log lock.
+func TestStreamStateFreezesItsBoundary(t *testing.T) {
+	dir := t.TempDir()
+	tl := mustOpenLog(t, dir, Options{})
+	if err := tl.AppendRegister(trust.Node{ID: "early", Registered: logEpoch}); err != nil {
+		t.Fatal(err)
+	}
+	var first []CatchupRecord
+	appended := false
+	if _, err := tl.StreamState(func(rec CatchupRecord) error {
+		if !appended {
+			// A concurrent writer mid-stream: must not deadlock (the log
+			// lock is not held across fn) and must not leak into this
+			// stream's records.
+			appended = true
+			if err := tl.AppendRegister(trust.Node{ID: "late", Registered: logEpoch.Add(time.Minute)}); err != nil {
+				return err
+			}
+		}
+		first = append(first, rec)
+		return nil
+	}); err != nil {
+		t.Fatalf("StreamState with a concurrent append: %v", err)
+	}
+	seen := func(recs []CatchupRecord, id trust.NodeID) bool {
+		for _, rec := range recs {
+			if rec.Kind == "reg" && rec.Node != nil && rec.Node.ID == id {
+				return true
+			}
+		}
+		return false
+	}
+	if !seen(first, "early") {
+		t.Fatal("record from before the stream missing")
+	}
+	if seen(first, "late") {
+		t.Fatal("append racing the stream leaked inside its boundary")
+	}
+	if second := collectStream(t, tl); !seen(second, "late") {
+		t.Fatal("racing append missing from the next stream")
+	}
+}
+
+// TestStreamStateIdleDoesNotChurnSegments: re-streaming an unchanged
+// log must not seal fresh empty segments — retried catch-ups against
+// an idle peer leave its WAL layout alone.
+func TestStreamStateIdleDoesNotChurnSegments(t *testing.T) {
+	dir := t.TempDir()
+	tl := mustOpenLog(t, dir, Options{})
+	if err := tl.AppendRegister(trust.Node{ID: "only", Registered: logEpoch}); err != nil {
+		t.Fatal(err)
+	}
+	first := collectStream(t, tl)
+	segs := tl.SealedSegments()
+	for i := 0; i < 3; i++ {
+		again := collectStream(t, tl)
+		if len(again) != len(first) {
+			t.Fatalf("idle re-stream %d produced %d records, first produced %d", i, len(again), len(first))
+		}
+	}
+	if got := tl.SealedSegments(); got != segs {
+		t.Fatalf("idle re-streams grew sealed segments from %d to %d", segs, got)
+	}
+}

@@ -290,6 +290,27 @@ func (w *WAL) Rotate() error {
 	return w.rotateLocked()
 }
 
+// RotateNonEmpty seals the active segment only when it holds records,
+// reporting whether a rotation ran. StreamState uses it to freeze the
+// tail for a catch-up scan without growing the segment chain on every
+// repeated (retried) catch-up of an idle log.
+func (w *WAL) RotateNonEmpty() (bool, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false, fmt.Errorf("store: wal is closed")
+	}
+	if w.dirty {
+		if err := w.repairLocked(); err != nil {
+			return false, err
+		}
+	}
+	if w.activeSize == 0 {
+		return false, nil
+	}
+	return true, w.rotateLocked()
+}
+
 func (w *WAL) rotateLocked() error {
 	// Create-then-seal: if the new segment (or the directory fsync that
 	// makes it durable) fails, the current tail stays active and nothing

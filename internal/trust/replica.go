@@ -72,6 +72,37 @@ func (c *Collector) DrainPending(cutoff time.Time) []Epoch {
 	return out
 }
 
+// RestagePending returns drained epochs to the pending state: the
+// rollback path when a drain's consumer never received them (the
+// /replica/drain response failed mid-write) and the receiving side of a
+// shutting-down follower handing its pending evidence to the
+// coordinator. A reading that arrived for the same (signal, window,
+// node) after the drain is newer and wins — restaged values fill only
+// the gaps, the same last-write-wins rule Epoch ingestion applies.
+func (c *Collector) RestagePending(epochs []Epoch) {
+	for i := range epochs {
+		e := &epochs[i]
+		st := &c.epochs[fnv1a(e.SignalID)&c.mask]
+		st.mu.Lock()
+		byWindow, ok := st.pending[e.SignalID]
+		if !ok {
+			byWindow = make(map[time.Time]*Epoch)
+			st.pending[e.SignalID] = byWindow
+		}
+		cur, ok := byWindow[e.At]
+		if !ok {
+			cur = &Epoch{SignalID: e.SignalID, At: e.At, Readings: make(map[NodeID]float64, len(e.Readings))}
+			byWindow[e.At] = cur
+		}
+		for id, p := range e.Readings {
+			if _, exists := cur.Readings[id]; !exists {
+				cur.Readings[id] = p
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
 // MergeDrained merges per-replica drains into one close input: epochs of
 // the same (signal, window) have their readings unioned, and the result
 // is re-sorted into the pipeline order. Replicas partition readings by

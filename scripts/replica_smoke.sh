@@ -26,6 +26,8 @@ A1=127.0.0.1:18201
 A2=127.0.0.1:18202
 A3=127.0.0.1:18203
 RING="r1=http://$A1,r2=http://$A2,r3=http://$A3"
+# Every member shares the ring secret; /replica/* rejects anyone else.
+export SENSORCAL_RING_SECRET=smoke-ring-secret
 
 go build -o "$WORK" ./cmd/spectrumd
 
@@ -61,6 +63,16 @@ assert ring["ready"], "replica not ready"
 EOF
 done
 echo "OK: ring topology agreed on all three replicas"
+
+# The peer protocol is credential-gated: a drain attempt without the
+# ring secret must bounce with 403, not hand over pending evidence.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$A1/replica/drain" \
+  -d '{"cutoff":"2030-01-01T00:00:00Z"}')
+if [ "$code" != "403" ]; then
+  echo "FAIL: unauthenticated /replica/drain returned $code, want 403" >&2
+  exit 1
+fi
+echo "OK: unauthenticated peer-protocol call rejected with 403"
 
 # Register 10 nodes through r2 only — the broadcast must land them on
 # every ledger. node-2 is pinned to r3 by the ring placement tests, and
