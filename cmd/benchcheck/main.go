@@ -15,11 +15,23 @@
 //
 // Usage:
 //
-//	benchcheck [-min-speedup 1.0] [-min-tax 0.05] BENCH_7.json [BENCH_8.json ...]
+//	benchcheck [-min-speedup 1.0] [-min-tax 0.05] [-min-core-scaling 0]
+//	           BENCH_7.json [BENCH_8.json ...]
 //
 // Speedup entries whose key starts with "replica_" are throughput
 // ratios vs a single replica — a routing tax expected to be below 1 —
 // and are held to -min-tax instead of -min-speedup.
+//
+// -min-core-scaling (0 disables it) is the multi-core ingest gate: on
+// records that carry a scaling curve, every point at 4+ cores must show
+// at least that speedup over the 1-core rung. Single-core records skip
+// it like every other parallel assertion.
+//
+// Records carrying "allocs_per_submit" are additionally held to
+// batched ≤ per_reading + 0.25 allocations per reading: the batched
+// entry point's regrouping must come from pooled scratch, not fresh
+// heap. That is a per-entry-point cost comparison, not a parallelism
+// claim, so it is asserted on single-core records too.
 package main
 
 import (
@@ -54,10 +66,16 @@ type record struct {
 		Procs      int     `json:"gomaxprocs"`
 		SpeedupVs1 float64 `json:"speedup_vs_1"`
 	} `json:"scaling_curve"`
+	AllocsPerSubmit map[string]float64 `json:"allocs_per_submit"`
 }
 
+// allocsSlack is how many allocations per reading the batched entry
+// point may exceed the per-reading one by before the gate fails —
+// measurement noise headroom, not a real budget.
+const allocsSlack = 0.25
+
 // check returns every violation in one record; an empty slice is a pass.
-func check(rec record, minSpeedup, minTax float64) []string {
+func check(rec record, minSpeedup, minTax, minCoreScaling float64) []string {
 	var bad []string
 	fail := func(format string, args ...interface{}) {
 		bad = append(bad, fmt.Sprintf(format, args...))
@@ -97,6 +115,23 @@ func check(rec record, minSpeedup, minTax float64) []string {
 			fail("speedup[%s] = %v is not a positive finite ratio", k, v)
 		}
 	}
+	// The allocation comparison is single-threaded by construction, so it
+	// holds on any host — including single-core runners where every
+	// parallel assertion below is skipped.
+	if len(rec.AllocsPerSubmit) > 0 {
+		batched, okB := rec.AllocsPerSubmit["batched"]
+		perReading, okP := rec.AllocsPerSubmit["per_reading"]
+		switch {
+		case !okB || !okP:
+			fail("allocs_per_submit present but missing batched/per_reading keys: %v", rec.AllocsPerSubmit)
+		case math.IsNaN(batched) || math.IsInf(batched, 0) || batched < 0 ||
+			math.IsNaN(perReading) || math.IsInf(perReading, 0) || perReading < 0:
+			fail("allocs_per_submit has a non-finite or negative entry: batched=%v per_reading=%v", batched, perReading)
+		case batched > perReading+allocsSlack:
+			fail("allocs_per_submit: batched %.2f exceeds per_reading %.2f (+%.2f slack) — batch scratch is not pooled",
+				batched, perReading, allocsSlack)
+		}
+	}
 	if rec.SingleCore {
 		// The stamp carries the proof: nothing parallel can be asserted.
 		return bad
@@ -118,6 +153,13 @@ func check(rec record, minSpeedup, minTax float64) []string {
 			fail("scaling curve at gomaxprocs=%d: %.3fx vs 1 core, below the %.3f floor",
 				pt.Procs, pt.SpeedupVs1, minSpeedup)
 		}
+		// The ingest scaling gate: 4+ cores must actually buy throughput,
+		// not just avoid losing it. Vacuous when the host has < 4 cores
+		// (the curve then has no 4+ rung) or the flag is left at 0.
+		if minCoreScaling > 0 && pt.Procs >= 4 && pt.SpeedupVs1 < minCoreScaling {
+			fail("scaling curve at gomaxprocs=%d: %.3fx vs 1 core, below the %.3f multi-core floor",
+				pt.Procs, pt.SpeedupVs1, minCoreScaling)
+		}
 	}
 	return bad
 }
@@ -125,9 +167,10 @@ func check(rec record, minSpeedup, minTax float64) []string {
 func main() {
 	minSpeedup := flag.Float64("min-speedup", 1.0, "floor for parallel speedup ratios (multi-core records only)")
 	minTax := flag.Float64("min-tax", 0.05, "floor for replica routing-tax ratios (multi-core records only)")
+	minCoreScaling := flag.Float64("min-core-scaling", 0, "floor for scaling-curve speedup at 4+ cores (0: disabled; multi-core records only)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck [-min-speedup 1.0] [-min-tax 0.05] BENCH_N.json ...")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-min-speedup 1.0] [-min-tax 0.05] [-min-core-scaling 0] BENCH_N.json ...")
 		os.Exit(2)
 	}
 	failed := false
@@ -144,7 +187,7 @@ func main() {
 			failed = true
 			continue
 		}
-		bad := check(rec, *minSpeedup, *minTax)
+		bad := check(rec, *minSpeedup, *minTax, *minCoreScaling)
 		if len(bad) > 0 {
 			failed = true
 			for _, msg := range bad {

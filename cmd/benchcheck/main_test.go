@@ -24,7 +24,7 @@ func baseRecord() record {
 
 func assertViolation(t *testing.T, rec record, want string) {
 	t.Helper()
-	bad := check(rec, 1.0, 0.05)
+	bad := check(rec, 1.0, 0.05, 2.5)
 	for _, msg := range bad {
 		if strings.Contains(msg, want) {
 			return
@@ -34,7 +34,7 @@ func assertViolation(t *testing.T, rec record, want string) {
 }
 
 func TestCheckPasses(t *testing.T) {
-	if bad := check(baseRecord(), 1.0, 0.05); len(bad) != 0 {
+	if bad := check(baseRecord(), 1.0, 0.05, 2.5); len(bad) != 0 {
 		t.Fatalf("clean record flagged: %v", bad)
 	}
 }
@@ -66,6 +66,77 @@ func TestCheckCatches(t *testing.T) {
 		SpeedupVs1 float64 `json:"speedup_vs_1"`
 	}{Procs: 4, SpeedupVs1: 0.8})
 	assertViolation(t, rec, "scaling curve")
+
+	// Above the 1.0 baseline floor but under the multi-core ingest floor.
+	rec = baseRecord()
+	rec.ScalingCurve = append(rec.ScalingCurve, struct {
+		Procs      int     `json:"gomaxprocs"`
+		SpeedupVs1 float64 `json:"speedup_vs_1"`
+	}{Procs: 4, SpeedupVs1: 1.8})
+	assertViolation(t, rec, "multi-core floor")
+
+	rec = baseRecord()
+	rec.AllocsPerSubmit = map[string]float64{"batched": 9.5, "per_reading": 8.0}
+	assertViolation(t, rec, "batch scratch is not pooled")
+}
+
+// TestMultiCoreScalingGate pins the -min-core-scaling contract: 2-core
+// rungs are exempt, 4+ rungs must clear the floor, and a zero floor
+// disables the gate entirely.
+func TestMultiCoreScalingGate(t *testing.T) {
+	point := func(procs int, speedup float64) struct {
+		Procs      int     `json:"gomaxprocs"`
+		SpeedupVs1 float64 `json:"speedup_vs_1"`
+	} {
+		return struct {
+			Procs      int     `json:"gomaxprocs"`
+			SpeedupVs1 float64 `json:"speedup_vs_1"`
+		}{Procs: procs, SpeedupVs1: speedup}
+	}
+	rec := baseRecord()
+	rec.ScalingCurve = append(rec.ScalingCurve, point(1, 1.0), point(2, 1.4), point(4, 2.6))
+	if bad := check(rec, 1.0, 0.05, 2.5); len(bad) != 0 {
+		t.Fatalf("curve clearing the floor flagged: %v", bad)
+	}
+	// A 2-core rung under the floor is fine — the gate starts at 4.
+	rec.ScalingCurve[1] = point(2, 1.1)
+	if bad := check(rec, 1.0, 0.05, 2.5); len(bad) != 0 {
+		t.Fatalf("2-core rung held to the 4-core floor: %v", bad)
+	}
+	// Floor 0 disables the gate; the generic ≥1.0 check still applies.
+	rec.ScalingCurve[2] = point(4, 1.2)
+	if bad := check(rec, 1.0, 0.05, 0); len(bad) != 0 {
+		t.Fatalf("disabled gate still fired: %v", bad)
+	}
+	if bad := check(rec, 1.0, 0.05, 2.5); len(bad) == 0 {
+		t.Fatal("4-core rung below the floor passed")
+	}
+}
+
+// TestAllocsGate pins the allocs_per_submit contract: within-slack
+// passes, over-slack fails, non-finite entries fail, and — unlike every
+// speedup assertion — the gate holds on single-core records too.
+func TestAllocsGate(t *testing.T) {
+	rec := baseRecord()
+	rec.AllocsPerSubmit = map[string]float64{"batched": 8.1, "per_reading": 8.0}
+	if bad := check(rec, 1.0, 0.05, 2.5); len(bad) != 0 {
+		t.Fatalf("within-slack allocs flagged: %v", bad)
+	}
+	rec.AllocsPerSubmit["batched"] = 8.5
+	if bad := check(rec, 1.0, 0.05, 2.5); len(bad) == 0 {
+		t.Fatal("over-slack allocs passed")
+	}
+	rec.AllocsPerSubmit = map[string]float64{"batched": 1.0}
+	assertViolation(t, rec, "missing batched/per_reading")
+
+	single := baseRecord()
+	single.NumCPU = 1
+	single.SingleCore = true
+	single.Speedup["core"] = 0.5 // skipped on one core
+	single.AllocsPerSubmit = map[string]float64{"batched": 12.0, "per_reading": 8.0}
+	if bad := check(single, 1.0, 0.05, 2.5); len(bad) == 0 {
+		t.Fatal("single-core record escaped the allocs gate")
+	}
 }
 
 // TestSingleCoreSkipsSpeedups is the satellite contract: a 1-CPU record
@@ -79,18 +150,18 @@ func TestSingleCoreSkipsSpeedups(t *testing.T) {
 		Procs      int     `json:"gomaxprocs"`
 		SpeedupVs1 float64 `json:"speedup_vs_1"`
 	}{Procs: 4, SpeedupVs1: 0.6})
-	if bad := check(rec, 1.0, 0.05); len(bad) != 0 {
+	if bad := check(rec, 1.0, 0.05, 2.5); len(bad) != 0 {
 		t.Fatalf("single-core record flagged on speedups: %v", bad)
 	}
 	// But a broken equivalence still fails — single_core is not a pass.
 	rec.EquivalenceOK = false
-	if bad := check(rec, 1.0, 0.05); len(bad) == 0 {
+	if bad := check(rec, 1.0, 0.05, 2.5); len(bad) == 0 {
 		t.Fatal("single-core record with failed equivalence passed")
 	}
 	// And NaN ratios still fail: they mean a zero baseline, not one core.
 	rec.EquivalenceOK = true
 	rec.Speedup["core"] = 0
-	if bad := check(rec, 1.0, 0.05); len(bad) == 0 {
+	if bad := check(rec, 1.0, 0.05, 2.5); len(bad) == 0 {
 		t.Fatal("single-core record with a zero ratio passed")
 	}
 }

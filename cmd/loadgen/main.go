@@ -15,8 +15,10 @@
 //
 // Modes:
 //
-//	core  — call Collector.SubmitDedup directly from -conns goroutines:
-//	        pure ingest-path throughput, no HTTP or JSON in the loop.
+//	core  — call Collector.SubmitBatch directly from -conns goroutines —
+//	        the same batched entry point the HTTP server's chunked
+//	        decoder uses — so the loop prices the shipped ingest path
+//	        with no HTTP or JSON around it.
 //	http  — POST /api/readings batches (streaming-decoded server side)
 //	        against an in-process listener, or -target if given.
 //	durability — the core ingest loop twice on the sharded collector,
@@ -42,7 +44,10 @@
 // loop at GOMAXPROCS 1/2/4/NumCPU and records the per-core curve; every
 // scenario is stamped with the GOMAXPROCS it actually ran at, and runs
 // on a 1-CPU machine are stamped "single_core" so compare tooling skips
-// speedup assertions for them.
+// speedup assertions for them. With no -scenario, -scaling-sweep sweeps
+// the collector's core ingest loop and writes the curve — plus an
+// allocs-per-reading comparison of the batched vs per-reading submit
+// entry points — as a BENCH_10.json record (bench 10).
 //
 // -scenario=replica switches to the multi-replica collector harness
 // (replica.go): the http closed loop against in-process rings of 1, 2
@@ -51,10 +56,11 @@
 // single replica, gated on ring-vs-single byte equivalence.
 //
 // Before any timed run, loadgen replays one deterministic workload into
-// collectors at the baseline and sharded stripe counts and verifies that
-// CloseEpochs anomalies, Fleet and History are identical — the merge-
-// determinism contract the sharding relies on. The bench record carries
-// the verdict in "equivalence_ok".
+// collectors at the baseline and sharded stripe counts — and through
+// both the per-reading and batched submit entry points — and verifies
+// that CloseEpochs anomalies, Fleet and History are identical: the
+// merge-determinism contract the sharding and batch grouping rely on.
+// The bench record carries the verdict in "equivalence_ok".
 package main
 
 import (
@@ -165,6 +171,12 @@ type benchOutput struct {
 	// ScalingCurve is the -scaling-sweep result: the scenario's core
 	// closed loop rerun at GOMAXPROCS 1/2/4/NumCPU.
 	ScalingCurve []scalingPoint `json:"scaling_curve,omitempty"`
+	// AllocsPerSubmit prices the two ingest entry points in steady-state
+	// heap allocations per reading: "batched" (SubmitBatch, the shipped
+	// server path) and "per_reading" (SubmitDedup). The batch path's
+	// regrouping must be paid from pooled scratch, so the gate is
+	// batched ≤ per_reading — meaningful even on a single-core host.
+	AllocsPerSubmit map[string]float64 `json:"allocs_per_submit,omitempty"`
 }
 
 // splitmix is a tiny seedable PRNG so workers don't share rand state.
@@ -275,32 +287,122 @@ func result(name, mode string, cfg config, shards int, readings, errs int64, lat
 	return r
 }
 
-// runCore times direct SubmitDedup calls — the ingest hot path with no
-// HTTP or JSON around it, where lock striping is the only variable.
+// coreScratch is one worker's reusable batch state for the direct
+// (no-HTTP) ingest loops.
+type coreScratch struct {
+	batch []trust.Reading
+	outs  []trust.SubmitOutcome
+	key   []byte
+}
+
+// runCoreLoop drives the closed loop straight into c.SubmitBatch — the
+// same batched entry point the HTTP server's chunked decoder and the
+// replica router's local partition use, so the bench measures the
+// shipped ingest path rather than a parallel per-reading loop.
+func runCoreLoop(cfg config, c *trust.Collector) (int64, int64, []float64, float64) {
+	pool := sync.Pool{New: func() interface{} {
+		return &coreScratch{batch: make([]trust.Reading, 0, cfg.Batch), key: make([]byte, 0, 24)}
+	}}
+	return runClosedLoop(cfg, func(w, b int, rng *splitmix) (int, error) {
+		sc := pool.Get().(*coreScratch)
+		defer pool.Put(sc)
+		sc.batch = sc.batch[:0]
+		for i := 0; i < cfg.Batch; i++ {
+			var r trust.Reading
+			r, sc.key = reading(cfg, w, b*cfg.Batch+i, rng, sc.key)
+			sc.batch = append(sc.batch, r)
+		}
+		sc.outs = c.SubmitBatch(sc.batch, sc.outs)
+		for i := range sc.outs {
+			if err := sc.outs[i].Err; err != nil {
+				return cfg.Batch, err
+			}
+		}
+		return cfg.Batch, nil
+	})
+}
+
+// runCore times the direct ingest hot path with no HTTP or JSON around
+// it, where lock striping and batch grouping are the only variables.
 func runCore(cfg config, shards int) (scenarioResult, error) {
 	c, err := newCollector(cfg, shards)
 	if err != nil {
 		return scenarioResult{}, err
 	}
-	var keyPool sync.Pool // per-worker key scratch would do; pool is simplest
-	keyPool.New = func() interface{} { b := make([]byte, 0, 24); return &b }
-	readings, errs, lats, elapsed := runClosedLoop(cfg, func(w, b int, rng *splitmix) (int, error) {
-		kp := keyPool.Get().(*[]byte)
-		defer keyPool.Put(kp)
-		var firstErr error
-		for i := 0; i < cfg.Batch; i++ {
-			var r trust.Reading
-			r, *kp = reading(cfg, w, b*cfg.Batch+i, rng, *kp)
-			if _, err := c.SubmitDedup(r); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		return cfg.Batch, firstErr
-	})
+	readings, errs, lats, elapsed := runCoreLoop(cfg, c)
 	// Close everything once, untimed: proves the ingested state drains.
 	c.CloseEpochs(benchBase.Add(time.Hour))
 	name := fmt.Sprintf("core/shards=%d", shards)
 	return result(name, "core", cfg, shards, readings, errs, lats, elapsed), nil
+}
+
+// measureSubmitAllocs prices the two ingest entry points in steady-state
+// heap allocations per reading: the same deterministic workload through
+// SubmitBatch ("batched") and through per-reading SubmitDedup
+// ("per_reading"), each on its own warm collector, single-threaded, with
+// runtime.MemStats around the measured segment. cmd/benchcheck gates
+// batched ≤ per_reading — the batch path's regrouping scratch must stay
+// pooled, not paid per call.
+func measureSubmitAllocs(cfg config) (map[string]float64, error) {
+	const warm, measured = 20000, 50000
+	measure := func(batched bool) (float64, error) {
+		c, err := newCollector(cfg, cfg.Shards)
+		if err != nil {
+			return 0, err
+		}
+		rng := splitmix(0xa110c)
+		sc := coreScratch{batch: make([]trust.Reading, 0, cfg.Batch), key: make([]byte, 0, 24)}
+		idx := 0
+		submitChunk := func() error {
+			sc.batch = sc.batch[:0]
+			for i := 0; i < cfg.Batch; i++ {
+				var r trust.Reading
+				r, sc.key = reading(cfg, 0, idx, &rng, sc.key)
+				idx++
+				sc.batch = append(sc.batch, r)
+			}
+			if batched {
+				sc.outs = c.SubmitBatch(sc.batch, sc.outs)
+				for i := range sc.outs {
+					if sc.outs[i].Err != nil {
+						return sc.outs[i].Err
+					}
+				}
+				return nil
+			}
+			for _, r := range sc.batch {
+				if _, err := c.SubmitDedup(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for idx < warm {
+			if err := submitChunk(); err != nil {
+				return 0, err
+			}
+		}
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := idx
+		for idx-start < measured {
+			if err := submitChunk(); err != nil {
+				return 0, err
+			}
+		}
+		runtime.ReadMemStats(&m1)
+		return float64(m1.Mallocs-m0.Mallocs) / float64(idx-start), nil
+	}
+	batched, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	perReading, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]float64{"batched": batched, "per_reading": perReading}, nil
 }
 
 // runHTTP times POST /api/readings batches. With no -target an
@@ -595,41 +697,16 @@ func runDurability(cfg config, out *benchOutput) error {
 			defer tl.Close()
 			c.Store = tl
 		}
-		stop := make(chan struct{})
-		var closerWG sync.WaitGroup
-		closerWG.Add(1)
-		go func() {
-			defer closerWG.Done()
-			tick := time.NewTicker(100 * time.Millisecond)
-			defer tick.Stop()
-			for {
-				select {
-				case <-stop:
-					return
-				case <-tick.C:
-					// The far-future cutoff closes every pending window, so
-					// each pass appends (and fsyncs) one score batch.
-					c.CloseEpochs(benchBase.Add(time.Hour))
-				}
-			}
-		}()
-		var keyPool sync.Pool
-		keyPool.New = func() interface{} { b := make([]byte, 0, 24); return &b }
-		readings, errs, lats, elapsed := runClosedLoop(cfg, func(w, b int, rng *splitmix) (int, error) {
-			kp := keyPool.Get().(*[]byte)
-			defer keyPool.Put(kp)
-			var firstErr error
-			for i := 0; i < cfg.Batch; i++ {
-				var r trust.Reading
-				r, *kp = reading(cfg, w, b*cfg.Batch+i, rng, *kp)
-				if _, err := c.SubmitDedup(r); err != nil && firstErr == nil {
-					firstErr = err
-				}
-			}
-			return cfg.Batch, firstErr
+		// The far-future cutoff closes every pending window, so each
+		// closer pass appends (and fsyncs) one score batch.
+		cl := c.StartCloser(trust.CloserConfig{
+			Interval: 100 * time.Millisecond,
+			Run: func(time.Time) []trust.Anomaly {
+				return c.CloseEpochs(benchBase.Add(time.Hour))
+			},
 		})
-		close(stop)
-		closerWG.Wait()
+		readings, errs, lats, elapsed := runCoreLoop(cfg, c)
+		cl.Stop()
 		c.CloseEpochs(benchBase.Add(2 * time.Hour))
 		return result(name, "durability", cfg, cfg.Shards, readings, errs, lats, elapsed), nil
 	}
@@ -675,37 +752,62 @@ func waitReady(base string, timeout time.Duration) error {
 }
 
 // checkEquivalence replays one deterministic workload into collectors at
-// both stripe counts and compares every merge path. This is the runtime
-// re-statement of TestShardedCollectorEquivalence: the bench refuses to
-// claim a speedup for a collector that changed its answers.
+// both stripe counts — and, at the sharded count, through both submit
+// entry points (per-reading SubmitDedup and chunked SubmitBatch) — and
+// compares every merge path. This is the runtime re-statement of
+// TestShardedCollectorEquivalence: the bench refuses to claim a speedup
+// for a collector that changed its answers.
 func checkEquivalence(cfg config) (bool, error) {
 	type outcome struct {
 		anomalies []trust.Anomaly
 		fleet     []trust.NodeActivity
 		history   map[string][]trust.Epoch
 	}
-	run := func(shards int) (outcome, error) {
+	// One deterministic workload, generated once, replayed identically
+	// into every collector under test.
+	var readings []trust.Reading
+	rng := splitmix(0xabcdef)
+	for w := 0; w < 6; w++ {
+		at := benchBase.Add(time.Duration(w) * time.Minute)
+		trend := float64(rng.next()%12) - 6
+		for s := 0; s < cfg.Signals; s++ {
+			for n := 0; n < cfg.Nodes; n++ {
+				p := -55 + trend + float64(rng.next()%5) - 2
+				if n == 0 {
+					p = -10 // flagrant over-consensus inflation
+				}
+				readings = append(readings, trust.Reading{
+					Node: nodeID(n), SignalID: signalID(s), PowerDBm: p, At: at,
+					Key: fmt.Sprintf("eq-%d-%d-%d", w, s, n),
+				})
+			}
+		}
+	}
+	run := func(shards int, batched bool) (outcome, error) {
 		c, err := newCollector(cfg, shards)
 		if err != nil {
 			return outcome{}, err
 		}
-		rng := splitmix(0xabcdef)
-		for w := 0; w < 6; w++ {
-			at := benchBase.Add(time.Duration(w) * time.Minute)
-			trend := float64(rng.next()%12) - 6
-			for s := 0; s < cfg.Signals; s++ {
-				for n := 0; n < cfg.Nodes; n++ {
-					p := -55 + trend + float64(rng.next()%5) - 2
-					if n == 0 {
-						p = -10 // flagrant over-consensus inflation
+		if batched {
+			// Chunk size 7 is deliberately co-prime with every stripe
+			// count so chunk boundaries never align with stripe layout.
+			var outs []trust.SubmitOutcome
+			for i := 0; i < len(readings); i += 7 {
+				end := i + 7
+				if end > len(readings) {
+					end = len(readings)
+				}
+				outs = c.SubmitBatch(readings[i:end], outs)
+				for k := range outs {
+					if outs[k].Err != nil {
+						return outcome{}, outs[k].Err
 					}
-					r := trust.Reading{
-						Node: nodeID(n), SignalID: signalID(s), PowerDBm: p, At: at,
-						Key: fmt.Sprintf("eq-%d-%d-%d", w, s, n),
-					}
-					if _, err := c.SubmitDedup(r); err != nil {
-						return outcome{}, err
-					}
+				}
+			}
+		} else {
+			for _, r := range readings {
+				if _, err := c.SubmitDedup(r); err != nil {
+					return outcome{}, err
 				}
 			}
 		}
@@ -719,20 +821,26 @@ func checkEquivalence(cfg config) (bool, error) {
 		}
 		return o, nil
 	}
-	// The deterministic replay needs identical submission order at both
-	// stripe counts, so it runs single-threaded by construction.
-	want, err := run(cfg.BaselineShards)
+	// The deterministic replay needs identical submission order at every
+	// stripe count, so it runs single-threaded by construction.
+	want, err := run(cfg.BaselineShards, false)
 	if err != nil {
 		return false, err
 	}
-	got, err := run(cfg.Shards)
+	got, err := run(cfg.Shards, false)
 	if err != nil {
 		return false, err
 	}
-	ok := len(want.anomalies) > 0 &&
-		reflect.DeepEqual(want.anomalies, got.anomalies) &&
-		reflect.DeepEqual(want.fleet, got.fleet) &&
-		reflect.DeepEqual(want.history, got.history)
+	gotBatch, err := run(cfg.Shards, true)
+	if err != nil {
+		return false, err
+	}
+	same := func(o outcome) bool {
+		return reflect.DeepEqual(want.anomalies, o.anomalies) &&
+			reflect.DeepEqual(want.fleet, o.fleet) &&
+			reflect.DeepEqual(want.history, o.history)
+	}
+	ok := len(want.anomalies) > 0 && same(got) && same(gotBatch)
 	return ok, nil
 }
 
@@ -828,8 +936,12 @@ func run(cfg config) (*benchOutput, error) {
 			out.Speedup[mode] = sharded.ThroughputRPS / baseline.ThroughputRPS
 		}
 	}
-	if cfg.ScalingSweep {
-		if _, ok := modes["core"]; ok && cfg.Target == "" {
+	if _, ok := modes["core"]; ok && cfg.Target == "" {
+		if cfg.ScalingSweep {
+			// A sweep over the ingest core loop is the multi-core scaling
+			// record: stamp it as its own bench so compare tooling can
+			// gate the curve independently of the BENCH_7 trajectory.
+			out.Bench = 10
 			curve, err := runScalingSweep(cfg, func(c config) (scenarioResult, error) {
 				return runCore(c, c.Shards)
 			})
@@ -838,6 +950,11 @@ func run(cfg config) (*benchOutput, error) {
 			}
 			out.ScalingCurve = curve
 		}
+		allocs, err := measureSubmitAllocs(configForEquivalence(cfg))
+		if err != nil {
+			return nil, fmt.Errorf("allocs measurement: %w", err)
+		}
+		out.AllocsPerSubmit = allocs
 	}
 	if trace {
 		// Always in-process: the scenario prices this build's middleware
@@ -905,11 +1022,14 @@ func main() {
 		runtime.GOMAXPROCS(*maxprocs)
 	}
 	if cfg.Out == "" {
-		switch cfg.Scenario {
-		case "stream":
+		switch {
+		case cfg.Scenario == "stream":
 			cfg.Out = "BENCH_8.json"
-		case "replica":
+		case cfg.Scenario == "replica":
 			cfg.Out = "BENCH_9.json"
+		case cfg.ScalingSweep:
+			// The ingest multi-core scaling record is its own bench.
+			cfg.Out = "BENCH_10.json"
 		default:
 			cfg.Out = "BENCH_7.json"
 		}
@@ -955,6 +1075,10 @@ func main() {
 	for _, pt := range out.ScalingCurve {
 		log.Infof("scaling gomaxprocs=%-2d %10.0f /s  (%.2fx vs 1 core)",
 			pt.Procs, pt.ThroughputRPS, pt.SpeedupVs1)
+	}
+	if len(out.AllocsPerSubmit) > 0 {
+		log.Infof("allocs/submit: batched %.2f  per-reading %.2f",
+			out.AllocsPerSubmit["batched"], out.AllocsPerSubmit["per_reading"])
 	}
 	if cfg.Out != "" {
 		if err := writeOutput(cfg.Out, out); err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -94,8 +95,17 @@ func TestScalingSweepCore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if out.Bench != 10 {
+		t.Fatalf("sweep record bench = %d, want 10", out.Bench)
+	}
 	if len(out.ScalingCurve) != len(sweepProcs()) {
 		t.Fatalf("scaling curve has %d points, want %d", len(out.ScalingCurve), len(sweepProcs()))
+	}
+	for _, k := range []string{"batched", "per_reading"} {
+		v, ok := out.AllocsPerSubmit[k]
+		if !ok || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("allocs_per_submit[%q] = %v (present=%v)", k, v, ok)
+		}
 	}
 	for i, pt := range out.ScalingCurve {
 		if pt.Procs <= 0 || pt.ThroughputRPS <= 0 || pt.SpeedupVs1 <= 0 {

@@ -236,16 +236,24 @@ func (d *daemon) closeEpochs(ctx context.Context, cutoff time.Time) {
 	d.saveState(ctx)
 }
 
-// epochLoop closes matured epochs once per window until ctx is done.
+// epochLoop closes matured epochs once per window until ctx is done. The
+// cadence machinery is the collector's background closer (trust.Closer)
+// with the daemon's clock injected; the Run hook substitutes the
+// replica-aware close (coordinator merge / follower no-op) plus
+// persistence for the plain single-collector pass.
 func (d *daemon) epochLoop(ctx context.Context) {
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-d.clk.After(d.epoch):
-			d.closeEpochs(ctx, d.clk.Now().Add(-d.epoch))
-		}
-	}
+	cl := d.col.StartCloser(trust.CloserConfig{
+		Interval: d.epoch,
+		Lag:      d.epoch,
+		Now:      d.clk.Now,
+		After:    d.clk.After,
+		Run: func(cutoff time.Time) []trust.Anomaly {
+			d.closeEpochs(ctx, cutoff)
+			return nil // closeEpochs logs its own anomalies
+		},
+	})
+	<-ctx.Done()
+	cl.Stop()
 }
 
 // shutdown drains the HTTP server, then flushes every remaining epoch —

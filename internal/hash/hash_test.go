@@ -1,0 +1,53 @@
+package hash
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestFNV1aMatchesStdlib cross-checks the inlined loop against stdlib
+// hash/fnv for fixed and generated strings. trust, replica and stream
+// all stripe/route by this function; if the loop ever drifted from
+// FNV-1a proper, stripe selection and ring placement would reshuffle
+// fleet-wide.
+func TestFNV1aMatchesStdlib(t *testing.T) {
+	cases := []string{
+		"", "a", "ab", "node-1", "node-2", "tv-583", "k-0-0-0",
+		"replica-a#0", "sensor-00042", "\x00\xff\x00",
+	}
+	for i := 0; i < 256; i++ {
+		cases = append(cases, fmt.Sprintf("gen-%d-%x", i, i*2654435761))
+	}
+	for _, s := range cases {
+		ref := fnv.New64a()
+		ref.Write([]byte(s))
+		if got, want := FNV1a(s), ref.Sum64(); got != want {
+			t.Fatalf("FNV1a(%q) = %#x, want stdlib %#x", s, got, want)
+		}
+	}
+}
+
+// TestFNV1aPinnedConstants pins the offset basis and a known vector so
+// the constants cannot be edited without tripping a test.
+func TestFNV1aPinnedConstants(t *testing.T) {
+	if got := FNV1a(""); got != 14695981039346656037 {
+		t.Errorf("FNV1a(\"\") = %d, want offset basis 14695981039346656037", got)
+	}
+	if got := FNV1a("a"); got != 0xaf63dc4c8601ec8c {
+		t.Errorf("FNV1a(\"a\") = %#x, want %#x", got, uint64(0xaf63dc4c8601ec8c))
+	}
+}
+
+// TestMix64Pinned pins the splitmix64 finalizer to the reference
+// sequence: splitmix64 seeded with 0 first advances its state by the
+// golden gamma and then applies exactly this mixer, so Mix64(gamma)
+// must equal the generator's first output.
+func TestMix64Pinned(t *testing.T) {
+	if got := Mix64(0x9e3779b97f4a7c15); got != 0xe220a8397b1dcdaf {
+		t.Errorf("Mix64(golden gamma) = %#x, want %#x", got, uint64(0xe220a8397b1dcdaf))
+	}
+	if got := Mix64(0); got != 0 {
+		t.Errorf("Mix64(0) = %#x, want 0 (fixed point of the mixer)", got)
+	}
+}

@@ -284,6 +284,10 @@ type installRequest struct {
 // maxBody bounds one request body, matching the collector's ingest cap.
 const maxBody = 16 << 20
 
+// localChunk bounds how many locally-owned readings accumulate before a
+// SubmitBatch flush, matching the collector's own ingest chunking.
+const localChunk = 256
+
 // Handler exposes the replica over HTTP. Agent-facing routes mirror the
 // collector's API exactly; /replica/* routes are the peer protocol and
 // every one of them requires the ring credential (RingAuthHeader) —
@@ -554,6 +558,35 @@ func (n *Node) serveReadings(w http.ResponseWriter, r *http.Request) {
 	single := first != '['
 	var resp wireBatchResponse
 	remote := make(map[string][]wireReading)
+	// The locally-owned partition accumulates into chunks and ingests
+	// through the collector's batched entry point — the same SubmitBatch
+	// the single-collector /api/readings path uses — so each stripe lock
+	// is taken once per chunk, not once per reading.
+	var (
+		local []trust.Reading
+		outs  []trust.SubmitOutcome
+	)
+	flushLocal := func() {
+		if len(local) == 0 {
+			return
+		}
+		outs = n.col.SubmitBatch(local, outs)
+		for i := range outs {
+			switch o := &outs[i]; {
+			case o.Err != nil:
+				resp.Rejected++
+				if len(resp.Errors) < 10 {
+					resp.Errors = append(resp.Errors, o.Err.Error())
+				}
+			case o.Duplicate:
+				resp.Duplicates++
+			default:
+				resp.Accepted++
+			}
+		}
+		n.m.localReadings.Add(float64(len(local)))
+		local = local[:0]
+	}
 	apply := func(req wireReading) {
 		if !forwarded {
 			if owner := n.ring.Owner(req.Node); owner.ID != n.self.ID {
@@ -561,19 +594,10 @@ func (n *Node) serveReadings(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		dup, err := n.col.SubmitDedup(req.reading(n.now))
-		switch {
-		case err != nil:
-			resp.Rejected++
-			if len(resp.Errors) < 10 {
-				resp.Errors = append(resp.Errors, err.Error())
-			}
-		case dup:
-			resp.Duplicates++
-		default:
-			resp.Accepted++
+		local = append(local, req.reading(n.now))
+		if len(local) >= localChunk {
+			flushLocal()
 		}
-		n.m.localReadings.Inc()
 	}
 	if single {
 		var req wireReading
@@ -590,16 +614,21 @@ func (n *Node) serveReadings(w http.ResponseWriter, r *http.Request) {
 		for i := 0; dec.More(); i++ {
 			var req wireReading
 			if err := dec.Decode(&req); err != nil {
+				// Ingest the well-formed prefix before rejecting, matching
+				// the submit-as-you-decode behaviour retries depend on.
+				flushLocal()
 				http.Error(w, fmt.Sprintf("batch element %d: %v", i, err), http.StatusBadRequest)
 				return
 			}
 			apply(req)
 		}
 		if _, err := dec.Token(); err != nil { // consume ']'
+			flushLocal()
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 	}
+	flushLocal()
 	for ownerID, group := range remote {
 		owner, _ := n.ring.Member(ownerID)
 		sub, err := n.forward(owner, group)

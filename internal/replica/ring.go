@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"sensorcal/internal/hash"
 )
 
 // Member is one replica of the collector ring.
@@ -46,27 +48,16 @@ type Ring struct {
 	vnodes  int
 }
 
-// fnv1a is the same cheap string hash the collector stripes by.
-func fnv1a(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
-}
-
 // ringHash is FNV-1a with an avalanche finalizer (the splitmix64 mixer).
 // Raw FNV-1a is fine for lock striping (the mask only reads low bits)
 // but terrible as a ring position: keys differing in their last byte —
 // "node-1" vs "node-2", exactly the fleet's naming shape — land within a
 // few multiples of the FNV prime of each other and pile into one arc.
-// The finalizer spreads them across the full 64-bit circle.
+// The finalizer spreads them across the full 64-bit circle. Both halves
+// come from the shared internal/hash package, so ring placement and the
+// collector's stripe selection can never silently diverge.
 func ringHash(s string) uint64 {
-	z := fnv1a(s)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return hash.Mix64(hash.FNV1a(s))
 }
 
 // NewRing builds a ring over members with vnodes virtual nodes each

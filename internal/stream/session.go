@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sensorcal/internal/hash"
 )
 
 // A sensor session is a cheap state machine:
@@ -123,18 +125,9 @@ func NewSessionTable(max, stripes int) *SessionTable {
 	return t
 }
 
-// fnv1a is the same cheap string hash the trust collector stripes by.
-func fnv1a(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
-}
-
 func (t *SessionTable) stripe(id string) *sessionStripe {
-	return &t.stripes[fnv1a(id)&t.mask]
+	// The same shared hash the trust collector stripes by.
+	return &t.stripes[hash.FNV1a(id)&t.mask]
 }
 
 // Acquire returns the session for id, registering it when absent. The

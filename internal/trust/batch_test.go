@@ -1,0 +1,209 @@
+package trust
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSubmitBatchOutcomes pins the per-reading contract: SubmitBatch's
+// outcome slice must equal, position by position, what N sequential
+// SubmitDedup calls would have returned for the same slice — across
+// rejects (unknown node, missing signal), duplicates of earlier batches,
+// duplicates *within* one batch, and keyless readings — at 1, 4 and 16
+// stripes.
+func TestSubmitBatchOutcomes(t *testing.T) {
+	mixed := func() []Reading {
+		at := t0.Add(30 * time.Second)
+		return []Reading{
+			{Node: "node-00", SignalID: "sig-a", PowerDBm: -50, At: at, Key: "k1"},
+			{Node: "ghost", SignalID: "sig-a", PowerDBm: -50, At: at, Key: "k2"},   // unknown node
+			{Node: "node-01", SignalID: "", PowerDBm: -50, At: at, Key: "k3"},      // missing signal
+			{Node: "node-00", SignalID: "sig-a", PowerDBm: -51, At: at, Key: "k1"}, // dup within batch
+			{Node: "node-01", SignalID: "sig-b", PowerDBm: -52, At: at},            // keyless
+			{Node: "node-01", SignalID: "sig-b", PowerDBm: -53, At: at},            // keyless repeat: accepted again
+			{Node: "node-02", SignalID: "sig-a", PowerDBm: -54, At: at, Key: "prev"},
+		}
+	}
+	for _, shards := range []int{1, 4, 16} {
+		serial := newWorkloadCollector(t, shards, 3)
+		batch := newWorkloadCollector(t, shards, 3)
+		// Seed both with an earlier batch so cross-batch duplicates (and
+		// the lock-free fast path, populated by the first round) fire.
+		seed := []Reading{{Node: "node-02", SignalID: "sig-a", PowerDBm: -49, At: t0, Key: "prev"}}
+		submitSerial(t, serial, seed)
+		if outs := batch.SubmitBatch(seed, nil); outs[0].Duplicate || outs[0].Err != nil {
+			t.Fatalf("shards=%d: seed outcome = %+v", shards, outs[0])
+		}
+
+		rs := mixed()
+		var want []SubmitOutcome
+		for _, r := range rs {
+			dup, err := serial.SubmitDedup(r)
+			want = append(want, SubmitOutcome{Duplicate: dup, Err: err})
+		}
+		got := batch.SubmitBatch(mixed(), nil)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d outcomes, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Duplicate != want[i].Duplicate {
+				t.Errorf("shards=%d reading %d: Duplicate = %v, want %v", shards, i, got[i].Duplicate, want[i].Duplicate)
+			}
+			gotErr, wantErr := fmt.Sprint(got[i].Err), fmt.Sprint(want[i].Err)
+			if gotErr != wantErr {
+				t.Errorf("shards=%d reading %d: Err = %q, want %q", shards, i, gotErr, wantErr)
+			}
+		}
+		// And the collectors must have converged to identical state.
+		if !reflect.DeepEqual(batch.Fleet(), serial.Fleet()) {
+			t.Errorf("shards=%d: fleet diverges after mixed batch", shards)
+		}
+		if got, want := batch.PendingEpochs(), serial.PendingEpochs(); got != want {
+			t.Errorf("shards=%d: pending = %d, want %d", shards, got, want)
+		}
+		a := batch.CloseEpochs(t0.Add(time.Hour))
+		b := serial.CloseEpochs(t0.Add(time.Hour))
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("shards=%d: close anomalies diverge: %v vs %v", shards, a, b)
+		}
+		for _, sig := range []string{"sig-a", "sig-b"} {
+			if !reflect.DeepEqual(batch.History(sig), serial.History(sig)) {
+				t.Errorf("shards=%d: history(%s) diverges", shards, sig)
+			}
+		}
+	}
+}
+
+// TestSubmitBatchReusesOuts pins the scratch contract: passing the
+// previous call's outcome slice back in reuses its backing array.
+func TestSubmitBatchReusesOuts(t *testing.T) {
+	c := newWorkloadCollector(t, 4, 2)
+	rs := []Reading{
+		{Node: "node-00", SignalID: "s", PowerDBm: -50, At: t0, Key: "a"},
+		{Node: "node-01", SignalID: "s", PowerDBm: -51, At: t0, Key: "b"},
+	}
+	outs := c.SubmitBatch(rs, nil)
+	again := c.SubmitBatch(rs[:1], outs)
+	if &again[0] != &outs[0] {
+		t.Error("SubmitBatch did not reuse the passed outcome slice")
+	}
+	if !again[0].Duplicate {
+		t.Error("retried key not marked duplicate on reused outs")
+	}
+}
+
+// TestDedupFastPathChurnRace hammers the lock-free dedup fast path with
+// eviction churn: a tiny DedupCap forces constant ring eviction and slot
+// clears while concurrent workers retry both hot (never-evicted is not
+// guaranteed — cap is tiny) and fresh keys, and a closer/reader pair
+// scans shared state. Run under -race this is the memory-model check for
+// the slot cache; the semantic assertion is the no-false-positive
+// invariant, checked via keys that were *never* submitted.
+func TestDedupFastPathChurnRace(t *testing.T) {
+	const workers, perWorker = 8, 600
+	c := newWorkloadCollector(t, 4, 8)
+	c.DedupCap = 64 // 16 per stripe at 4 stripes: constant eviction
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.CloseEpochs(t0.Add(time.Duration(i%16) * time.Minute))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = c.Fleet()
+			_ = c.PendingEpochs()
+			_ = c.History("sig-0")
+		}
+	}()
+	var subWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		subWG.Add(1)
+		go func(w int) {
+			defer subWG.Done()
+			var outs []SubmitOutcome
+			batch := make([]Reading, 0, 4)
+			for i := 0; i < perWorker; i++ {
+				batch = batch[:0]
+				for j := 0; j < 4; j++ {
+					batch = append(batch, Reading{
+						Node:     NodeID(fmt.Sprintf("node-%02d", (w+j)%8)),
+						SignalID: fmt.Sprintf("sig-%d", j%3),
+						PowerDBm: -50,
+						At:       t0.Add(time.Duration(i%32) * time.Minute),
+						// Deliberately overlapping key space across workers:
+						// the same key races remember/evict/fastDup.
+						Key: fmt.Sprintf("churn-%d", (w*perWorker+i*4+j)%128),
+					})
+				}
+				outs = c.SubmitBatch(batch, outs)
+				for k := range outs {
+					if outs[k].Err != nil {
+						t.Error(outs[k].Err)
+						return
+					}
+				}
+				// A key that no goroutine ever submits must never be a
+				// fast-path duplicate, whatever churn is in flight.
+				ghost := fmt.Sprintf("never-%d-%d", w, i)
+				if dup, err := c.SubmitDedup(Reading{
+					Node: "node-00", SignalID: "sig-0", PowerDBm: -50,
+					At: t0, Key: ghost,
+				}); err != nil || dup {
+					t.Errorf("fresh key %s: dup=%v err=%v", ghost, dup, err)
+					return
+				}
+			}
+		}(w)
+	}
+	subWG.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+// TestSubmitBatchDedupAcrossChunks pins that the fast path and the
+// locked path agree when a retry arrives through a different entry point
+// and stripe count than the original.
+func TestSubmitBatchDedupAcrossChunks(t *testing.T) {
+	c := newWorkloadCollector(t, 8, 1)
+	c.DedupCap = 64 * 1024
+	var outs []SubmitOutcome
+	mk := func(i int) Reading {
+		return Reading{Node: "node-00", SignalID: "s", PowerDBm: -50, At: t0, Key: fmt.Sprintf("key-%d", i)}
+	}
+	for i := 0; i < 200; i++ {
+		outs = c.SubmitBatch([]Reading{mk(i)}, outs)
+		if outs[0].Duplicate || outs[0].Err != nil {
+			t.Fatalf("first submit %d: %+v", i, outs[0])
+		}
+	}
+	// Retry all 200 in one batch: every one must dedup (mostly via the
+	// lock-free fast path, since nothing was evicted).
+	batch := make([]Reading, 200)
+	for i := range batch {
+		batch[i] = mk(i)
+	}
+	outs = c.SubmitBatch(batch, outs)
+	for i := range outs {
+		if !outs[i].Duplicate || outs[i].Err != nil {
+			t.Fatalf("retry %d not deduped: %+v", i, outs[i])
+		}
+	}
+}

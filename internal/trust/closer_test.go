@@ -1,0 +1,230 @@
+package trust
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCloserClosesMaturedEpochs drives the background closer with an
+// injected clock: ticks fire on demand, the cutoff trails Now by Lag,
+// and matured epochs land in history without any caller running
+// CloseEpochs.
+func TestCloserClosesMaturedEpochs(t *testing.T) {
+	c := newWorkloadCollector(t, 4, 3)
+	tick := make(chan time.Time)
+	var mu sync.Mutex
+	now := t0.Add(10 * time.Minute)
+	closed := make(chan struct{}, 16)
+	cl := c.StartCloser(CloserConfig{
+		Interval: time.Minute,
+		Lag:      time.Minute,
+		Now: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return now
+		},
+		After: func(time.Duration) <-chan time.Time { return tick },
+		Run: func(cutoff time.Time) []Anomaly {
+			a := c.CloseEpochs(cutoff)
+			closed <- struct{}{}
+			return a
+		},
+	})
+	defer cl.Stop()
+	submitSerial(t, c, []Reading{
+		{Node: "node-00", SignalID: "sig", PowerDBm: -50, At: t0},
+		{Node: "node-01", SignalID: "sig", PowerDBm: -51, At: t0},
+	})
+	if got := c.PendingEpochs(); got != 1 {
+		t.Fatalf("pending before tick = %d, want 1", got)
+	}
+	tick <- time.Time{}
+	<-closed
+	if got := c.PendingEpochs(); got != 0 {
+		t.Errorf("pending after tick = %d, want 0", got)
+	}
+	if got := len(c.History("sig")); got != 1 {
+		t.Errorf("history after tick = %d epochs, want 1", got)
+	}
+	// A window newer than cutoff−Lag must survive the next pass.
+	submitSerial(t, c, []Reading{
+		{Node: "node-00", SignalID: "sig", PowerDBm: -50, At: now},
+	})
+	tick <- time.Time{}
+	<-closed
+	if got := c.PendingEpochs(); got != 1 {
+		t.Errorf("immature window closed early: pending = %d, want 1", got)
+	}
+}
+
+// TestCloserKick pins that Kick runs a pass without waiting for a tick.
+func TestCloserKick(t *testing.T) {
+	c := newWorkloadCollector(t, 1, 1)
+	ran := make(chan time.Time, 1)
+	cl := c.StartCloser(CloserConfig{
+		Interval: time.Hour, // effectively never ticks
+		Run: func(cutoff time.Time) []Anomaly {
+			ran <- cutoff
+			return nil
+		},
+	})
+	defer cl.Stop()
+	cl.Kick()
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("kicked closer did not run within 5s")
+	}
+}
+
+// TestCloserEquivalence pins that ingesting under a live background
+// closer converges to the same final state as foreground closes: the
+// same workload, one collector closing inline and one closing on a
+// (kicked) background closer, must agree on history, fleet and scores
+// after the final drain.
+func TestCloserEquivalence(t *testing.T) {
+	const nNodes, nSignals, nWindows = 8, 5, 6
+	readings := shardWorkload(nNodes, nSignals, nWindows, 7)
+	final := t0.Add(time.Duration(nWindows+1) * time.Minute)
+
+	inline := newWorkloadCollector(t, 4, nNodes)
+	submitSerial(t, inline, readings)
+	inlineAnoms := inline.CloseEpochs(final)
+
+	bg := newWorkloadCollector(t, 4, nNodes)
+	done := make(chan []Anomaly, 1)
+	cl := bg.StartCloser(CloserConfig{
+		Interval: time.Hour,
+		Now:      func() time.Time { return final.Add(time.Hour) },
+		Lag:      time.Hour,
+		Run: func(cutoff time.Time) []Anomaly {
+			a := bg.CloseEpochs(cutoff)
+			done <- a
+			return a
+		},
+	})
+	submitBatched(t, bg, readings)
+	cl.Kick()
+	bgAnoms := <-done
+	cl.Stop()
+
+	if !reflect.DeepEqual(bgAnoms, inlineAnoms) {
+		t.Errorf("background close anomalies diverge:\n got %v\nwant %v", bgAnoms, inlineAnoms)
+	}
+	if !reflect.DeepEqual(bg.Fleet(), inline.Fleet()) {
+		t.Error("fleet diverges after background close")
+	}
+	for s := 0; s < nSignals; s++ {
+		sig := fmt.Sprintf("tv-%d", 500+s)
+		if !reflect.DeepEqual(bg.History(sig), inline.History(sig)) {
+			t.Errorf("history(%s) diverges after background close", sig)
+		}
+	}
+	if !reflect.DeepEqual(bg.Ledger.Trusted(0.5), inline.Ledger.Trusted(0.5)) {
+		t.Error("trusted set diverges after background close")
+	}
+}
+
+// TestCloserConcurrentStress runs concurrent batched submits, a fast
+// real-time background closer, and Fleet/History/PendingEpochs readers
+// — the -race check for the dirty-mark/open-counter handoff between
+// submit and the closer goroutine.
+func TestCloserConcurrentStress(t *testing.T) {
+	const nNodes, workers, perWorker = 8, 6, 250
+	c := newWorkloadCollector(t, 8, nNodes)
+	c.DedupCap = 64 * 1024
+	cl := c.StartCloser(CloserConfig{
+		Interval: time.Millisecond,
+		Now:      func() time.Time { return t0.Add(17 * time.Minute) },
+		Lag:      time.Minute,
+	})
+	stop := make(chan struct{})
+	var readWG sync.WaitGroup
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = c.Fleet()
+			_ = c.PendingEpochs()
+			_ = c.History("sig-1")
+			_ = c.FreshnessSnapshot()
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var outs []SubmitOutcome
+			for i := 0; i < perWorker; i++ {
+				batch := []Reading{
+					{
+						Node:     NodeID(fmt.Sprintf("node-%02d", (w+i)%nNodes)),
+						SignalID: fmt.Sprintf("sig-%d", i%4),
+						PowerDBm: -50,
+						// Windows straddle the closer cutoff so drains and
+						// inserts genuinely interleave.
+						At:  t0.Add(time.Duration(i%32) * time.Minute),
+						Key: fmt.Sprintf("cl-%d-%d", w, i),
+					},
+				}
+				outs = c.SubmitBatch(batch, outs)
+				if outs[0].Err != nil {
+					t.Error(outs[0].Err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	cl.Stop()
+	close(stop)
+	readWG.Wait()
+	// Everything below the cutoff must eventually have closed; drain the
+	// rest and check the books balance.
+	c.CloseEpochs(t0.Add(365 * 24 * time.Hour))
+	if got := c.PendingEpochs(); got != 0 {
+		t.Errorf("pending after final close = %d, want 0", got)
+	}
+}
+
+// TestDrainSkipsIdleStripes pins the dirty-mark fast-out: draining an
+// already-drained collector must return nothing (and not resurrect
+// state), while a stripe holding an immature window keeps being visited
+// until it matures.
+func TestDrainSkipsIdleStripes(t *testing.T) {
+	c := newWorkloadCollector(t, 4, 2)
+	submitSerial(t, c, []Reading{
+		{Node: "node-00", SignalID: "early", PowerDBm: -50, At: t0},
+		{Node: "node-01", SignalID: "late", PowerDBm: -51, At: t0.Add(30 * time.Minute)},
+	})
+	first := c.DrainPending(t0.Add(time.Minute))
+	if len(first) != 1 || first[0].SignalID != "early" {
+		t.Fatalf("first drain = %v, want the early epoch", first)
+	}
+	// Idle re-drain: every stripe is either clean or holds only the
+	// immature window; nothing comes back.
+	if again := c.DrainPending(t0.Add(time.Minute)); len(again) != 0 {
+		t.Errorf("idle re-drain returned %v, want empty", again)
+	}
+	if got := c.PendingEpochs(); got != 1 {
+		t.Errorf("pending = %d, want 1 (the immature window)", got)
+	}
+	// The immature window's stripe was not dirty-marked again, but its
+	// open counter keeps it visited: it must drain once matured.
+	late := c.DrainPending(t0.Add(time.Hour))
+	if len(late) != 1 || late[0].SignalID != "late" {
+		t.Errorf("matured drain = %v, want the late epoch", late)
+	}
+	if got := c.PendingEpochs(); got != 0 {
+		t.Errorf("pending after full drain = %d, want 0", got)
+	}
+}

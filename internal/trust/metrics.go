@@ -1,6 +1,8 @@
 package trust
 
 import (
+	"time"
+
 	"sensorcal/internal/obs"
 )
 
@@ -18,6 +20,8 @@ type collectorMetrics struct {
 	nodeScore     *obs.GaugeVec   // node
 	httpRequests  *obs.CounterVec // endpoint, code
 	submitSeconds *obs.Histogram  // per-reading ingest latency
+	batchSize     *obs.Histogram  // readings per SubmitBatch call
+	closeLag      *obs.Histogram  // epoch age at close (cutoff − window start)
 	storeErrors   *obs.Counter    // durable appends that failed
 	shedTotal     *obs.Counter    // requests shed while the store is degraded
 	// contention counters, one per stripe family, pre-resolved so the
@@ -51,6 +55,8 @@ var stripeNames = [stripeKinds]string{"epoch", "dedup", "fresh"}
 //	trust_pending_epochs         — open epochs awaiting closure (callback)
 //	trust_http_requests_total{endpoint} — API traffic
 //	collector_submit_seconds     — per-reading ingest latency histogram
+//	collector_submit_batch_size  — readings per SubmitBatch call
+//	collector_epoch_close_lag_seconds — epoch age (cutoff − window start) at close
 //	collector_shards             — ingest lock-stripe count
 //	collector_shard_contention_total{stripe} — stripe lock acquisitions
 //	                               that found the lock held (TryLock miss)
@@ -76,6 +82,12 @@ func (c *Collector) Instrument(reg *obs.Registry) *Collector {
 		submitSeconds: reg.Histogram("collector_submit_seconds",
 			"Latency of one reading through the collector ingest path.",
 			obs.ExpBuckets(250e-9, 4, 10)),
+		batchSize: reg.Histogram("collector_submit_batch_size",
+			"Readings per SubmitBatch call — how much lock amortization the batched ingest path actually gets.",
+			obs.ExpBuckets(1, 2, 12)),
+		closeLag: reg.Histogram("collector_epoch_close_lag_seconds",
+			"Age of an epoch when the closer finalizes it: close cutoff minus the epoch window start.",
+			obs.ExpBuckets(0.25, 2, 14)),
 		storeErrors: reg.Counter("trust_store_append_failures_total",
 			"Durable store appends (registrations, epoch-close score batches) that failed."),
 		shedTotal: reg.Counter("trust_store_shed_total",
@@ -135,6 +147,19 @@ func (m *collectorMetrics) recordEpochClosed(anomalies []Anomaly) {
 	m.epochsClosed.Inc()
 	for _, a := range anomalies {
 		m.anomalies.With(a.Kind).Inc()
+	}
+}
+
+// recordCloseLag observes how old an epoch was when it closed. Measured
+// against the close cutoff (not wall time) so the number is deterministic
+// and means the same thing on the coordinator merge path, a follower
+// install, and a loadgen run with synthetic timestamps.
+func (m *collectorMetrics) recordCloseLag(cutoff, windowStart time.Time) {
+	if m == nil {
+		return
+	}
+	if lag := cutoff.Sub(windowStart).Seconds(); lag >= 0 {
+		m.closeLag.Observe(lag)
 	}
 }
 

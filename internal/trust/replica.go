@@ -36,6 +36,14 @@ func (c *Collector) DrainPending(cutoff time.Time) []Epoch {
 	var signals []string
 	for i := range c.epochs {
 		st := &c.epochs[i]
+		// Skip stripes with nothing to drain: no open windows and no
+		// submit since the last pass. The dirty swap is safe against a
+		// concurrent submit — the submit increments `open` under the
+		// stripe lock *before* setting dirty, so either we see its open
+		// count here or it re-marks the stripe for the next pass.
+		if !st.dirty.Swap(false) && st.open.Load() == 0 {
+			continue
+		}
 		st.mu.Lock()
 		for sig, byWindow := range st.pending {
 			for w := range byWindow {
@@ -64,6 +72,7 @@ func (c *Collector) DrainPending(cutoff time.Time) []Epoch {
 			out = append(out, *byWindow[w])
 			delete(byWindow, w)
 		}
+		st.open.Add(int64(-len(windows)))
 		if len(byWindow) == 0 {
 			delete(st.pending, sig)
 		}
@@ -93,6 +102,7 @@ func (c *Collector) RestagePending(epochs []Epoch) {
 		if !ok {
 			cur = &Epoch{SignalID: e.SignalID, At: e.At, Readings: make(map[NodeID]float64, len(e.Readings))}
 			byWindow[e.At] = cur
+			st.open.Add(1)
 		}
 		for id, p := range e.Readings {
 			if _, exists := cur.Readings[id]; !exists {
@@ -100,6 +110,7 @@ func (c *Collector) RestagePending(epochs []Epoch) {
 			}
 		}
 		st.mu.Unlock()
+		st.markDirty()
 	}
 }
 
@@ -172,6 +183,7 @@ func (c *Collector) CloseDrained(cutoff time.Time, epochs []Epoch) ([]Anomaly, [
 		anomalies = append(anomalies, c.Detector.CheckCorrelation(hist)...)
 		Apply(c.Ledger, participants, anomalies)
 		c.metrics.recordEpochClosed(anomalies)
+		c.metrics.recordCloseLag(cutoff, e.At)
 		for _, id := range participants {
 			s := c.Ledger.Trust(id)
 			c.metrics.setNodeScore(id, s)
@@ -234,12 +246,13 @@ func (c *Collector) RegisterDurable(n Node) error { return c.registerDurable(n) 
 func (c *Collector) FreshnessSnapshot() map[NodeID]time.Time {
 	out := make(map[NodeID]time.Time)
 	for i := range c.fresh {
-		f := &c.fresh[i]
-		f.mu.Lock()
-		for id, at := range f.lastSeen {
-			out[id] = at
+		m := c.fresh[i].m.Load()
+		if m == nil {
+			continue
 		}
-		f.mu.Unlock()
+		for id, cell := range *m {
+			out[id] = time.Unix(0, cell.Load()).UTC()
+		}
 	}
 	return out
 }

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sensorcal/internal/hash"
 	"sensorcal/internal/obs"
 )
 
@@ -93,7 +94,6 @@ func NewShardedCollector(shards int) *Collector {
 		c.epochs[i].pending = make(map[string]map[time.Time]*Epoch)
 		c.epochs[i].history = make(map[string][]Epoch)
 		c.dedups[i].seen = make(map[string]struct{})
-		c.fresh[i].lastSeen = make(map[NodeID]time.Time)
 	}
 	c.storePending = make(map[NodeID]Score)
 	return c
@@ -236,39 +236,34 @@ func (c *Collector) SubmitDedup(r Reading) (duplicate bool, err error) {
 		return false, fmt.Errorf("trust: reading needs a signal ID")
 	}
 	if r.Key != "" {
-		d := &c.dedups[fnv1a(r.Key)&c.mask]
+		h := fnv1a(r.Key)
+		d := &c.dedups[h&c.mask]
+		slot := hash.Mix64(h)
+		// Lock-free fast path: a retried key whose slot still points at
+		// it is a duplicate with certainty — no lock, no map lookup.
+		if d.fastDup(slot, r.Key) {
+			return true, nil
+		}
 		c.lockCounted(&d.mu, stripeDedup)
 		if d.dup(r.Key) {
 			d.mu.Unlock()
 			return true, nil
 		}
-		d.remember(r.Key, c.dedupLimit())
+		d.remember(slot, r.Key, c.dedupLimit())
 		d.mu.Unlock()
 	}
 	// The staleness signal the measurement scheduler plans from: the
 	// newest evidence timestamp per node. Reading time, not arrival time,
-	// so a spool replay of old readings does not fake freshness.
-	f := &c.fresh[fnv1a(string(r.Node))&c.mask]
-	c.lockCounted(&f.mu, stripeFresh)
-	if r.At.After(f.lastSeen[r.Node]) {
-		f.lastSeen[r.Node] = r.At
-	}
-	f.mu.Unlock()
+	// so a spool replay of old readings does not fake freshness. touch is
+	// lock-free (CAS-max on a per-node atomic), so freshness traffic
+	// never contends.
+	c.fresh[fnv1a(string(r.Node))&c.mask].touch(r.Node, r.At)
 	window := r.At.Truncate(c.EpochWindow)
 	st := &c.epochs[fnv1a(r.SignalID)&c.mask]
 	c.lockCounted(&st.mu, stripeEpoch)
-	defer st.mu.Unlock()
-	byWindow, ok := st.pending[r.SignalID]
-	if !ok {
-		byWindow = make(map[time.Time]*Epoch)
-		st.pending[r.SignalID] = byWindow
-	}
-	e, ok := byWindow[window]
-	if !ok {
-		e = &Epoch{SignalID: r.SignalID, At: window, Readings: map[NodeID]float64{}}
-		byWindow[window] = e
-	}
-	e.Readings[r.Node] = r.PowerDBm
+	st.insertLocked(r.SignalID, window, r.Node, r.PowerDBm)
+	st.mu.Unlock()
+	st.markDirty()
 	return false, nil
 }
 
@@ -325,10 +320,7 @@ func (c *Collector) Fleet() []NodeActivity {
 	nodes := c.Ledger.Nodes()
 	out := make([]NodeActivity, 0, len(nodes))
 	for _, n := range nodes {
-		f := &c.fresh[fnv1a(string(n.ID))&c.mask]
-		f.mu.Lock()
-		last := f.lastSeen[n.ID]
-		f.mu.Unlock()
+		last := c.fresh[fnv1a(string(n.ID))&c.mask].lastSeen(n.ID)
 		out = append(out, NodeActivity{
 			Node:        n.ID,
 			Score:       c.Ledger.Trust(n.ID),
@@ -340,17 +332,14 @@ func (c *Collector) Fleet() []NodeActivity {
 }
 
 // PendingEpochs returns how many epochs are open and awaiting closure.
+// Lock-free: each stripe maintains its open-window count atomically, so
+// the metrics scrape (trust_pending_epochs) never touches ingest locks.
 func (c *Collector) PendingEpochs() int {
-	n := 0
+	n := int64(0)
 	for i := range c.epochs {
-		st := &c.epochs[i]
-		st.mu.Lock()
-		for _, byWindow := range st.pending {
-			n += len(byWindow)
-		}
-		st.mu.Unlock()
+		n += c.epochs[i].open.Load()
 	}
-	return n
+	return int(n)
 }
 
 // History returns the closed epochs for a signal.
@@ -418,20 +407,55 @@ type fleetEntry struct {
 // maxReadingsBody bounds one /api/readings request body.
 const maxReadingsBody = 16 << 20
 
+// ingestChunk bounds how many decoded readings accumulate before a
+// SubmitBatch flush: big enough to amortize each stripe lock across
+// hundreds of readings, small enough that a 10k-reading body still
+// ingests in O(chunk) memory, preserving the streaming-decode bound.
+const ingestChunk = 256
+
 // ingestScratch is the pooled per-request decode state for /api/readings:
-// a reusable buffered reader plus request/response structs, so the
-// steady-state ingest path allocates only what encoding/json needs for
-// one array element — never a second full-body copy.
+// a reusable buffered reader, request/response structs, and the chunk
+// buffers the batched submit path flushes through, so the steady-state
+// ingest path allocates only what encoding/json needs for one array
+// element — never a second full-body copy.
 type ingestScratch struct {
-	br   *bufio.Reader
-	req  submitRequest
-	resp batchResponse
+	br    *bufio.Reader
+	req   submitRequest
+	resp  batchResponse
+	chunk []Reading
+	outs  []SubmitOutcome
 }
 
 var ingestPool = sync.Pool{
 	New: func() interface{} {
-		return &ingestScratch{br: bufio.NewReaderSize(nil, 32<<10)}
+		return &ingestScratch{
+			br:    bufio.NewReaderSize(nil, 32<<10),
+			chunk: make([]Reading, 0, ingestChunk),
+		}
 	},
+}
+
+// flushChunk submits the accumulated readings through the batched entry
+// point and folds the outcomes into the response summary.
+func (c *Collector) flushChunk(sc *ingestScratch) {
+	if len(sc.chunk) == 0 {
+		return
+	}
+	sc.outs = c.SubmitBatch(sc.chunk, sc.outs)
+	for i := range sc.outs {
+		switch o := &sc.outs[i]; {
+		case o.Err != nil:
+			sc.resp.Rejected++
+			if len(sc.resp.Errors) < 10 {
+				sc.resp.Errors = append(sc.resp.Errors, o.Err.Error())
+			}
+		case o.Duplicate:
+			sc.resp.Duplicates++
+		default:
+			sc.resp.Accepted++
+		}
+	}
+	sc.chunk = sc.chunk[:0]
 }
 
 // peekNonSpace returns the first non-whitespace byte without consuming
@@ -458,8 +482,11 @@ func peekNonSpace(br *bufio.Reader) (byte, error) {
 // JSON array of readings) is decoded as a token stream — element by
 // element through one json.Decoder — so a 10k-reading batch is never
 // materialized as a []submitRequest and the body bytes are read exactly
-// once. Each element is individually accepted, deduplicated or rejected;
-// a malformed element aborts with 400 mid-stream, and the idempotency
+// once. Decoded elements accumulate into ingestChunk-sized groups and
+// ingest through SubmitBatch, which takes each stripe lock once per
+// chunk instead of once per reading. Each element is individually
+// accepted, deduplicated or rejected; a malformed element flushes the
+// decoded prefix and aborts with 400 mid-stream, and the idempotency
 // keys on the already-ingested prefix make the client's retry safe.
 func (c *Collector) serveReadings(w http.ResponseWriter, r *http.Request, now func() time.Time) {
 	sc := ingestPool.Get().(*ingestScratch)
@@ -496,29 +523,29 @@ func (c *Collector) serveReadings(w http.ResponseWriter, r *http.Request, now fu
 		return
 	}
 	sc.resp = batchResponse{Errors: sc.resp.Errors[:0]}
+	sc.chunk = sc.chunk[:0]
 	for i := 0; dec.More(); i++ {
 		sc.req = submitRequest{}
 		if err := dec.Decode(&sc.req); err != nil {
+			// Ingest what already decoded cleanly, then reject: the
+			// pre-chunking behaviour (submit-as-you-decode) ingested the
+			// full well-formed prefix, and the client's retry logic
+			// depends on that.
+			c.flushChunk(sc)
 			http.Error(w, fmt.Sprintf("batch element %d: %v", i, err), http.StatusBadRequest)
 			return
 		}
-		dup, err := c.SubmitDedup(sc.req.reading(now))
-		switch {
-		case err != nil:
-			sc.resp.Rejected++
-			if len(sc.resp.Errors) < 10 {
-				sc.resp.Errors = append(sc.resp.Errors, err.Error())
-			}
-		case dup:
-			sc.resp.Duplicates++
-		default:
-			sc.resp.Accepted++
+		sc.chunk = append(sc.chunk, sc.req.reading(now))
+		if len(sc.chunk) >= ingestChunk {
+			c.flushChunk(sc)
 		}
 	}
 	if _, err := dec.Token(); err != nil { // consume ']'
+		c.flushChunk(sc)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	c.flushChunk(sc)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	_ = json.NewEncoder(w).Encode(&sc.resp)

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"sensorcal/internal/hash"
 )
 
 // shardWorkload builds a deterministic stream of readings across nodes,
@@ -60,12 +62,46 @@ func newWorkloadCollector(t *testing.T, shards, nNodes int) *Collector {
 	return c
 }
 
+// submitSerial feeds readings through SubmitDedup one at a time — the
+// reference ingest path every other entry point is pinned against.
+func submitSerial(t *testing.T, c *Collector, rs []Reading) {
+	t.Helper()
+	for _, r := range rs {
+		if _, err := c.SubmitDedup(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// submitBatched feeds readings through SubmitBatch in uneven chunks (a
+// prime size, so chunk boundaries sweep across signal/node cycles).
+func submitBatched(t *testing.T, c *Collector, rs []Reading) {
+	t.Helper()
+	const chunk = 7
+	var outs []SubmitOutcome
+	for len(rs) > 0 {
+		n := chunk
+		if n > len(rs) {
+			n = len(rs)
+		}
+		outs = c.SubmitBatch(rs[:n], outs)
+		for i := range outs {
+			if outs[i].Err != nil {
+				t.Fatal(outs[i].Err)
+			}
+		}
+		rs = rs[n:]
+	}
+}
+
 // TestShardedCollectorEquivalence replays an identical workload into
-// collectors at 1, 4 and 16 shards and requires byte-identical results
-// from every merge path: CloseEpochs anomalies (order included), Fleet,
-// History, PendingEpochs, and final ledger scores. The 1-shard collector
-// is semantically the old single-lock collector, so this pins the
-// sharded paths to the pre-sharding behaviour.
+// collectors at 1, 4 and 16 shards — through both the serial SubmitDedup
+// path and the batched SubmitBatch path — and requires byte-identical
+// results from every merge path: CloseEpochs anomalies (order included),
+// Fleet, History, PendingEpochs, and final ledger scores. The 1-shard
+// serial collector is semantically the old single-lock collector, so
+// this pins both ingest entry points at every stripe count to the
+// pre-sharding behaviour.
 func TestShardedCollectorEquivalence(t *testing.T) {
 	const nNodes, nSignals, nWindows = 8, 5, 12
 	readings := shardWorkload(nNodes, nSignals, nWindows, 42)
@@ -78,23 +114,15 @@ func TestShardedCollectorEquivalence(t *testing.T) {
 		history   map[string][]Epoch
 		trusted   []NodeID
 	}
-	run := func(shards int) outcome {
+	run := func(shards int, submit func(*testing.T, *Collector, []Reading)) outcome {
 		c := newWorkloadCollector(t, shards, nNodes)
 		// Submit the first half, close part of the stream, submit the
 		// rest, then close everything: exercises the merge paths with
 		// both open and closed epochs in flight.
 		half := len(readings) / 2
-		for _, r := range readings[:half] {
-			if _, err := c.SubmitDedup(r); err != nil {
-				t.Fatal(err)
-			}
-		}
+		submit(t, c, readings[:half])
 		partial := c.CloseEpochs(t0.Add(3 * time.Minute))
-		for _, r := range readings[half:] {
-			if _, err := c.SubmitDedup(r); err != nil {
-				t.Fatal(err)
-			}
-		}
+		submit(t, c, readings[half:])
 		pendingBefore := c.PendingEpochs()
 		anomalies := c.CloseEpochs(t0.Add(time.Duration(nWindows+1) * time.Minute))
 		history := map[string][]Epoch{}
@@ -108,29 +136,39 @@ func TestShardedCollectorEquivalence(t *testing.T) {
 		}
 	}
 
-	want := run(1)
+	want := run(1, submitSerial)
 	if len(want.anomalies) == 0 {
 		t.Fatal("workload produced no anomalies; equivalence test is vacuous")
 	}
-	for _, shards := range []int{4, 16} {
-		got := run(shards)
-		if !reflect.DeepEqual(got.partial, want.partial) {
-			t.Errorf("shards=%d: partial-close anomalies diverge:\n got %v\nwant %v", shards, got.partial, want.partial)
-		}
-		if !reflect.DeepEqual(got.anomalies, want.anomalies) {
-			t.Errorf("shards=%d: final anomalies diverge:\n got %v\nwant %v", shards, got.anomalies, want.anomalies)
-		}
-		if !reflect.DeepEqual(got.fleet, want.fleet) {
-			t.Errorf("shards=%d: fleet diverges:\n got %v\nwant %v", shards, got.fleet, want.fleet)
-		}
-		if got.pending != want.pending {
-			t.Errorf("shards=%d: pending epochs = %d, want %d", shards, got.pending, want.pending)
-		}
-		if !reflect.DeepEqual(got.history, want.history) {
-			t.Errorf("shards=%d: history diverges", shards)
-		}
-		if !reflect.DeepEqual(got.trusted, want.trusted) {
-			t.Errorf("shards=%d: trusted set diverges:\n got %v\nwant %v", shards, got.trusted, want.trusted)
+	paths := []struct {
+		name   string
+		submit func(*testing.T, *Collector, []Reading)
+		shards []int
+	}{
+		{"serial", submitSerial, []int{4, 16}},
+		{"batch", submitBatched, []int{1, 4, 16}},
+	}
+	for _, p := range paths {
+		for _, shards := range p.shards {
+			got := run(shards, p.submit)
+			if !reflect.DeepEqual(got.partial, want.partial) {
+				t.Errorf("%s shards=%d: partial-close anomalies diverge:\n got %v\nwant %v", p.name, shards, got.partial, want.partial)
+			}
+			if !reflect.DeepEqual(got.anomalies, want.anomalies) {
+				t.Errorf("%s shards=%d: final anomalies diverge:\n got %v\nwant %v", p.name, shards, got.anomalies, want.anomalies)
+			}
+			if !reflect.DeepEqual(got.fleet, want.fleet) {
+				t.Errorf("%s shards=%d: fleet diverges:\n got %v\nwant %v", p.name, shards, got.fleet, want.fleet)
+			}
+			if got.pending != want.pending {
+				t.Errorf("%s shards=%d: pending epochs = %d, want %d", p.name, shards, got.pending, want.pending)
+			}
+			if !reflect.DeepEqual(got.history, want.history) {
+				t.Errorf("%s shards=%d: history diverges", p.name, shards)
+			}
+			if !reflect.DeepEqual(got.trusted, want.trusted) {
+				t.Errorf("%s shards=%d: trusted set diverges:\n got %v\nwant %v", p.name, shards, got.trusted, want.trusted)
+			}
 		}
 	}
 }
@@ -155,37 +193,53 @@ func TestShardedCollectorDedup(t *testing.T) {
 
 // TestDedupRingEviction exercises the fixed-size ring directly: FIFO
 // eviction at capacity and order-preserving resize when DedupCap changes
-// between submissions.
+// between submissions. The lock-free slot cache must agree with the
+// locked map at every step: a fastDup hit is only legal for a live key
+// (no false positives), so every evicted key must answer false on both
+// paths.
 func TestDedupRingEviction(t *testing.T) {
 	var s dedupStripe
 	s.seen = make(map[string]struct{})
-	for i := 0; i < 6; i++ {
-		s.remember(fmt.Sprintf("k%d", i), 4)
-	}
-	for i, want := range []bool{false, false, true, true, true, true} {
-		if got := s.dup(fmt.Sprintf("k%d", i)); got != want {
-			t.Errorf("after 6 inserts at cap 4: dup(k%d) = %v, want %v", i, got, want)
+	slot := func(key string) uint64 { return hash.Mix64(fnv1a(key)) }
+	rem := func(key string, limit int) { s.remember(slot(key), key, limit) }
+	check := func(stage string, wants []bool) {
+		t.Helper()
+		for i, want := range wants {
+			key := fmt.Sprintf("k%d", i)
+			if got := s.dup(key); got != want {
+				t.Errorf("%s: dup(%s) = %v, want %v", stage, key, got, want)
+			}
+			// fastDup may under-report (slot collision) but must never
+			// claim an evicted key is live.
+			if fast := s.fastDup(slot(key), key); fast && !want {
+				t.Errorf("%s: fastDup(%s) = true for evicted key", stage, key)
+			}
 		}
 	}
+	for i := 0; i < 6; i++ {
+		rem(fmt.Sprintf("k%d", i), 4)
+	}
+	check("after 6 inserts at cap 4", []bool{false, false, true, true, true, true})
 	// Shrink: the oldest survivors are evicted, newest kept, and the
 	// ring keeps working at the new capacity.
-	s.remember("k6", 2)
-	for i, want := range []bool{false, false, false, false, false, true, true} {
-		if got := s.dup(fmt.Sprintf("k%d", i)); got != want {
-			t.Errorf("after shrink to 2: dup(k%d) = %v, want %v", i, got, want)
-		}
-	}
+	rem("k6", 2)
+	check("after shrink to 2", []bool{false, false, false, false, false, true, true})
 	// Grow: existing keys survive and new capacity is usable.
-	s.remember("k7", 5)
-	s.remember("k8", 5)
-	s.remember("k9", 5)
-	for i, want := range []bool{false, false, false, false, false, true, true, true, true, true} {
-		if got := s.dup(fmt.Sprintf("k%d", i)); got != want {
-			t.Errorf("after grow to 5: dup(k%d) = %v, want %v", i, got, want)
-		}
-	}
+	rem("k7", 5)
+	rem("k8", 5)
+	rem("k9", 5)
+	check("after grow to 5", []bool{false, false, false, false, false, true, true, true, true, true})
 	if len(s.seen) != 5 {
 		t.Errorf("seen holds %d keys, want 5", len(s.seen))
+	}
+	// Live keys the map knows must also be fastDup hits here: with ≤5
+	// keys in a ≥16-slot table seeded by Mix64 there are no collisions
+	// among this fixed key set, so the cache should be fully populated.
+	for i := 5; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if !s.fastDup(slot(key), key) {
+			t.Errorf("fastDup(%s) = false for live key", key)
+		}
 	}
 }
 
